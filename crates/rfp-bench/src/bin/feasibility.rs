@@ -1,0 +1,23 @@
+//! Regenerates the Section VI feasibility analysis: for each SDR region,
+//! can the floorplanner reserve one free-compatible area?
+fn main() {
+    println!("Section VI feasibility analysis — one free-compatible area per region at a time\n");
+    let verdicts = rfp_bench::feasibility_report().expect("SDR problem is well formed");
+    let rows: Vec<Vec<String>> = verdicts
+        .iter()
+        .map(|v| {
+            vec![
+                v.name.clone(),
+                if v.feasible { "feasible".into() } else { "infeasible".into() },
+                if v.proven { "yes".into() } else { "no".into() },
+                v.nodes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        rfp_bench::markdown_table(&["Region", "Free-compatible area", "Proven", "Search nodes"], &rows)
+    );
+    println!("Paper: feasible for Carrier Recovery, Demodulator, Signal Decoder (the `relocatable");
+    println!("regions`); infeasible for Matched Filter and Video Decoder (DSP geometry).");
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 1: example of compatible and non-compatible areas.
+use rfp_device::{areas_compatible, columnar_partition, figure1_device, Rect};
+
+fn main() {
+    let device = figure1_device();
+    let partition = columnar_partition(&device).unwrap();
+    let a = Rect::new(1, 1, 2, 2);
+    let b = Rect::new(3, 4, 2, 2);
+    let c = Rect::new(2, 1, 2, 2);
+    println!("Figure 1 — compatible and non-compatible areas on a two-type striped device\n");
+    println!("Column tile types (1..{}):", device.cols());
+    for col in 1..=device.cols() {
+        let ty = partition.column_type(col).unwrap();
+        print!(" {}", device.registry.expect(ty).name);
+    }
+    println!("\n");
+    for (name, rect) in [("A", a), ("B", b), ("C", c)] {
+        println!("Area {name}: {rect}");
+    }
+    println!();
+    println!("A vs B: {}", areas_compatible(&device, &a, &b));
+    println!("A vs C: {}", areas_compatible(&device, &a, &c));
+    println!("\nAs in the paper: A and B are compatible (same relative tile types); A and C are not.");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 2: the columnar partitioning example.
+use rfp_device::{columnar_partition, figure2_device};
+
+fn main() {
+    let device = figure2_device();
+    let partition = columnar_partition(&device).unwrap();
+    println!("Figure 2 — columnar partitioning example\n");
+    println!("Device: {} columns x {} rows, {} tile types, {} hard blocks\n",
+        device.cols(), device.rows(), device.registry.len(), device.forbidden.len());
+    println!("Columnar portions (Equation 3 expects |P| = 6):");
+    for p in &partition.portions {
+        println!(
+            "  {}: columns {}..{} ({} wide), tile type {} (tid {})",
+            p.id,
+            p.x1,
+            p.x2,
+            p.width(),
+            device.registry.expect(p.tile_type).name,
+            partition.tid(p.id),
+        );
+    }
+    println!("\nForbidden areas (Equation 3 expects |A| = 2):");
+    for fa in &partition.forbidden {
+        println!("  {}", fa);
+    }
+    println!("\nP = {{1..{}}}, A = {{{}}}",
+        partition.n_portions(),
+        partition.forbidden.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", "));
+}

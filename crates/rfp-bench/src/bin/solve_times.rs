@@ -1,0 +1,78 @@
+//! Regenerates the Section VI solve-time discussion: time to best solution
+//! and to proof of optimality for SDR, SDR2 and SDR3, plus the O/HO MILP
+//! statistics on a reduced device (the paper reports 1160 s to the SDR2
+//! optimum and ~5 h to prove it with a commercial solver; the combinatorial
+//! engine proves the full-die instances in seconds, while the from-scratch
+//! MILP path is exercised on a reduced device).
+use rfp_floorplan::combinatorial::{solve_combinatorial, CombinatorialConfig};
+use rfp_floorplan::model::{FloorplanMilp, MilpBuildConfig};
+use rfp_floorplan::{Floorplanner, FloorplannerConfig, Algorithm};
+use rfp_workloads::generator::WorkloadSpec;
+use rfp_workloads::{sdr2_problem, sdr3_problem, sdr_problem};
+
+fn main() {
+    let limit: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120.0);
+    println!("Solve-time study (combinatorial engine, limit {limit}s per instance)\n");
+    let mut rows = Vec::new();
+    for (name, p) in [("SDR", sdr_problem()), ("SDR2", sdr2_problem()), ("SDR3", sdr3_problem())] {
+        let cfg = CombinatorialConfig::with_time_limit(limit);
+        match solve_combinatorial(&p, &cfg) {
+            Ok(r) => rows.push(vec![
+                name.to_string(),
+                r.best_waste.map(|w| w.to_string()).unwrap_or_else(|| "-".into()),
+                format!("{:.2}", r.solve_seconds),
+                r.nodes.to_string(),
+                if r.proven { "yes".into() } else { "no".into() },
+            ]),
+            Err(e) => rows.push(vec![name.to_string(), format!("error: {e}"), "-".into(), "-".into(), "-".into()]),
+        }
+    }
+    println!(
+        "{}",
+        rfp_bench::markdown_table(&["Instance", "Wasted frames", "Seconds", "Nodes", "Proven"], &rows)
+    );
+
+    println!("\nMILP model statistics and O/HO solve on a reduced synthetic device:\n");
+    let spec = WorkloadSpec {
+        n_regions: 3,
+        utilisation: 0.35,
+        device: rfp_device::SyntheticSpec { cols: 8, rows: 3, bram_every: 4, dsp_every: 0, ..Default::default() },
+        fc_per_region: 1,
+        relocatable_regions: 1,
+        ..WorkloadSpec::default()
+    };
+    let problem = spec.generate().problem;
+    let model = FloorplanMilp::build(&problem, &MilpBuildConfig::optimal());
+    let stats = model.stats();
+    println!(
+        "model: {} entities, {} vars ({} integer), {} constraints, {} nonzeros",
+        stats.entities, stats.n_vars, stats.n_int_vars, stats.n_cons, stats.n_nonzeros
+    );
+    let mut milp_rows = Vec::new();
+    for (label, mut cfg) in [
+        ("O", FloorplannerConfig::optimal()),
+        ("HO", FloorplannerConfig::heuristic_optimal()),
+        ("Combinatorial", FloorplannerConfig::combinatorial()),
+    ] {
+        cfg = cfg.with_time_limit(limit);
+        match Floorplanner::new(cfg).solve_report(&problem) {
+            Ok(r) => milp_rows.push(vec![
+                label.to_string(),
+                r.metrics.wasted_frames.to_string(),
+                r.metrics.fc_found.to_string(),
+                format!("{:.2}", r.solve_seconds),
+                r.nodes.to_string(),
+                if r.proven_optimal { "yes".into() } else { "no".into() },
+            ]),
+            Err(e) => milp_rows.push(vec![label.to_string(), format!("error: {e}"), "-".into(), "-".into(), "-".into(), "-".into()]),
+        }
+    }
+    println!(
+        "{}",
+        rfp_bench::markdown_table(
+            &["Engine", "Wasted frames", "FC areas", "Seconds", "Nodes", "Proven"],
+            &milp_rows
+        )
+    );
+    let _ = Algorithm::O;
+}

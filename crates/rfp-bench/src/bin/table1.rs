@@ -1,0 +1,6 @@
+//! Regenerates Table I: resource requirements of the SDR design.
+fn main() {
+    println!("Table I — Resource requirements for the SDR design (tiles and frames)\n");
+    println!("{}", rfp_bench::table1_markdown());
+    println!("Frame weights per tile (Virtex-5 FX70T): CLB 36, BRAM 30, DSP 28.");
+}

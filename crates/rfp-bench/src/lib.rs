@@ -1,0 +1,29 @@
+//! # rfp-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper's evaluation (Section VI) plus
+//! Criterion micro/macro benchmarks. The binaries print the regenerated
+//! artefact to stdout in a form directly comparable with the paper:
+//!
+//! | target | artefact |
+//! |--------|----------|
+//! | `table1` | Table I — SDR resource requirements |
+//! | `feasibility` | Section VI feasibility analysis (relocatable regions) |
+//! | `table2` | Table II — floorplan comparison ([8], [10], PA on SDR/SDR2/SDR3) |
+//! | `figure1` | Figure 1 — compatible vs non-compatible areas |
+//! | `figure2` | Figure 2 — columnar partitioning example |
+//! | `figure3` | Figure 3 — offset-variable semantics |
+//! | `figure4` | Figure 4 — SDR2 floorplan (6 free-compatible areas) |
+//! | `figure5` | Figure 5 — SDR3 floorplan (9 free-compatible areas) |
+//! | `solve_times` | Section VI solve-time discussion (SDR/SDR2/SDR3) |
+//!
+//! The [`reports`] module contains the reusable report builders so that the
+//! binaries stay thin and the logic is unit-tested.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod reports;
+
+pub use reports::{
+    feasibility_report, markdown_table, table1_markdown, table2, table2_markdown, Table2Row,
+};

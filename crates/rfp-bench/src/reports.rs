@@ -1,0 +1,204 @@
+//! Reusable report builders for the table/figure binaries.
+
+use rfp_baselines::{tessellation_floorplan, TessellationConfig};
+use rfp_floorplan::combinatorial::CombinatorialConfig;
+use rfp_floorplan::feasibility::{feasibility_analysis, RegionFeasibility};
+use rfp_floorplan::{Floorplan, FloorplanError, FloorplanProblem, Floorplanner, FloorplannerConfig};
+use rfp_workloads::sdr::{sdr_problem, sdr_region_table, sdr2_problem, sdr3_problem};
+use serde::{Deserialize, Serialize};
+
+/// Renders a plain markdown table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Regenerates Table I (resource requirements of the SDR design) as markdown.
+pub fn table1_markdown() -> String {
+    let rows = sdr_region_table();
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.clb_tiles.to_string(),
+                r.bram_tiles.to_string(),
+                r.dsp_tiles.to_string(),
+                r.frames.to_string(),
+            ]
+        })
+        .collect();
+    body.push(vec![
+        "Total".to_string(),
+        rows.iter().map(|r| r.clb_tiles).sum::<u32>().to_string(),
+        rows.iter().map(|r| r.bram_tiles).sum::<u32>().to_string(),
+        rows.iter().map(|r| r.dsp_tiles).sum::<u32>().to_string(),
+        rows.iter().map(|r| r.frames).sum::<u64>().to_string(),
+    ]);
+    markdown_table(&["Region", "CLB tiles", "BRAM tiles", "DSP tiles", "# Frames"], &body)
+}
+
+/// One row of the regenerated Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Algorithm label as used by the paper ("[8]", "[10]", "PA").
+    pub algorithm: String,
+    /// Design name (SDR, SDR2, SDR3).
+    pub design: String,
+    /// Free-compatible areas identified.
+    pub fc_areas: usize,
+    /// Wasted frames.
+    pub wasted_frames: u64,
+    /// Wall-clock seconds spent producing the floorplan.
+    pub solve_seconds: f64,
+    /// Whether the engine proved optimality of its result.
+    pub proven_optimal: bool,
+}
+
+/// Regenerates Table II: floorplan comparison of the tessellation baseline
+/// (in the spirit of [8]), the MILP floorplanner without relocation ([10],
+/// which the paper states is what PA degenerates to), and the
+/// relocation-aware floorplanner (PA) on SDR2 and SDR3.
+///
+/// `time_limit_secs` bounds each PA solve; the full-die instances are solved
+/// to proven optimality in a few seconds by the combinatorial engine, so the
+/// limit only matters on very slow machines.
+pub fn table2(time_limit_secs: f64) -> Result<(Vec<Table2Row>, Vec<Floorplan>), FloorplanError> {
+    let mut rows = Vec::new();
+    let mut floorplans = Vec::new();
+
+    // [8]-style baseline on the plain SDR design.
+    let sdr = sdr_problem();
+    let start = std::time::Instant::now();
+    let tess = tessellation_floorplan(&sdr, &TessellationConfig::default())?;
+    let tess_secs = start.elapsed().as_secs_f64();
+    let m = tess.metrics(&sdr);
+    rows.push(Table2Row {
+        algorithm: "[8] (tessellation baseline)".to_string(),
+        design: "SDR".to_string(),
+        fc_areas: m.fc_found,
+        wasted_frames: m.wasted_frames,
+        solve_seconds: tess_secs,
+        proven_optimal: false,
+    });
+    floorplans.push(tess);
+
+    // [10] == PA without relocation requirements, and PA on SDR2/SDR3.
+    let configs: [(&str, &str, FloorplanProblem); 3] = [
+        ("[10] (PA without relocation)", "SDR", sdr_problem()),
+        ("PA", "SDR2", sdr2_problem()),
+        ("PA", "SDR3", sdr3_problem()),
+    ];
+    for (alg, design, problem) in configs {
+        let cfg = FloorplannerConfig {
+            combinatorial: CombinatorialConfig::with_time_limit(time_limit_secs),
+            ..FloorplannerConfig::combinatorial()
+        };
+        let report = Floorplanner::new(cfg).solve_report(&problem)?;
+        rows.push(Table2Row {
+            algorithm: alg.to_string(),
+            design: design.to_string(),
+            fc_areas: report.metrics.fc_found,
+            wasted_frames: report.metrics.wasted_frames,
+            solve_seconds: report.solve_seconds,
+            proven_optimal: report.proven_optimal,
+        });
+        floorplans.push(report.floorplan);
+    }
+    Ok((rows, floorplans))
+}
+
+/// Renders the regenerated Table II as markdown, side by side with the
+/// paper's published numbers.
+pub fn table2_markdown(rows: &[Table2Row]) -> String {
+    let paper: [(&str, &str, &str, &str); 4] = [
+        ("[8]", "SDR", "0", "466"),
+        ("[10]", "SDR", "0", "306"),
+        ("PA", "SDR2", "6", "306"),
+        ("PA", "SDR3", "9", "346"),
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .zip(paper.iter())
+        .map(|(r, (_, _, paper_fc, paper_waste))| {
+            vec![
+                r.algorithm.clone(),
+                r.design.clone(),
+                r.fc_areas.to_string(),
+                r.wasted_frames.to_string(),
+                format!("{:.1}", r.solve_seconds),
+                if r.proven_optimal { "yes" } else { "no" }.to_string(),
+                format!("{paper_fc} / {paper_waste}"),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "Algorithm",
+            "Design",
+            "Free-compatible areas",
+            "Wasted frames",
+            "Solve s",
+            "Proven",
+            "Paper (areas / wasted)",
+        ],
+        &body,
+    )
+}
+
+/// Runs the Section VI feasibility analysis on the SDR design.
+pub fn feasibility_report() -> Result<Vec<RegionFeasibility>, FloorplanError> {
+    feasibility_analysis(&sdr_problem(), &CombinatorialConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_markdown_reproduces_the_paper_rows() {
+        let t = table1_markdown();
+        assert!(t.contains("| Matched Filter | 25 | 0 | 5 | 1040 |"));
+        assert!(t.contains("| Video Decoder | 55 | 2 | 5 | 2180 |"));
+        assert!(t.contains("| Total | 104 | 5 | 11 | 4202 |"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.starts_with("| a | b |"));
+    }
+
+    #[test]
+    fn table2_paper_reference_is_stable() {
+        // The paper's reference values are embedded for side-by-side display;
+        // a rendering with dummy rows must include them.
+        let rows = vec![
+            Table2Row {
+                algorithm: "[8] (tessellation baseline)".into(),
+                design: "SDR".into(),
+                fc_areas: 0,
+                wasted_frames: 1,
+                solve_seconds: 0.0,
+                proven_optimal: false,
+            };
+            4
+        ];
+        let md = table2_markdown(&rows);
+        assert!(md.contains("0 / 466"));
+        assert!(md.contains("9 / 346"));
+    }
+}

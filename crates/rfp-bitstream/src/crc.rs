@@ -1,0 +1,53 @@
+//! CRC-32 (IEEE 802.3 polynomial), implemented from scratch.
+//!
+//! Relocating a bitstream invalidates the CRC embedded by the vendor tools;
+//! the relocation filter must recompute it after rewriting the frame
+//! addresses ([2]). The synthetic bitstream format uses the ubiquitous
+//! reflected CRC-32 with polynomial `0xEDB88320`.
+
+/// Computes the CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed an intermediate state (start from `0xFFFF_FFFF`)
+/// and finish by XOR-ing with `0xFFFF_FFFF`.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        state ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let (head, tail) = data.split_at(10);
+        let streamed = crc32_update(crc32_update(0xFFFF_FFFF, head), tail) ^ 0xFFFF_FFFF;
+        assert_eq!(streamed, crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_crc() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        data[17] ^= 0x20;
+        assert_ne!(crc32(&data), base);
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulated configuration memory.
+//!
+//! A minimal model of the device's configuration plane: partial bitstreams
+//! are "programmed" frame by frame, the CRC is verified on entry, and the
+//! memory tracks which module owns each tile so that overlapping
+//! configurations — the malfunction scenario the free-compatible-area
+//! definition (Definition .2) exists to prevent — are detected.
+
+use crate::format::{Bitstream, BitstreamError};
+use rfp_device::Rect;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors reported by the configuration memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The bitstream failed its CRC check.
+    Bitstream(BitstreamError),
+    /// The target area overlaps an area owned by another module.
+    Conflict {
+        /// Module already configured at the conflicting location.
+        existing: String,
+        /// Module that attempted the overlapping configuration.
+        incoming: String,
+        /// One conflicting tile.
+        column: u32,
+        /// Row of the conflicting tile.
+        row: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Bitstream(e) => write!(f, "bitstream rejected: {e}"),
+            ConfigError::Conflict { existing, incoming, column, row } => write!(
+                f,
+                "configuration conflict at ({column}, {row}): `{incoming}` overlaps `{existing}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The simulated configuration memory of one device.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigMemory {
+    /// Owner module per tile.
+    owners: HashMap<(u32, u32), String>,
+    /// Areas currently configured, by module instance name.
+    areas: HashMap<String, Rect>,
+    /// Total frames written since creation (reconfiguration traffic).
+    frames_written: u64,
+}
+
+impl ConfigMemory {
+    /// Creates an empty configuration memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Programs a partial bitstream under an instance name.
+    ///
+    /// Verifies the CRC, checks that the target area does not overlap any
+    /// area owned by a *different* instance (reprogramming the same instance
+    /// elsewhere releases its previous area), and records ownership.
+    pub fn program(&mut self, instance: &str, bitstream: &Bitstream) -> Result<(), ConfigError> {
+        bitstream.verify().map_err(ConfigError::Bitstream)?;
+        for (c, r) in bitstream.area.cells() {
+            if let Some(owner) = self.owners.get(&(c, r)) {
+                if owner != instance {
+                    return Err(ConfigError::Conflict {
+                        existing: owner.clone(),
+                        incoming: instance.to_string(),
+                        column: c,
+                        row: r,
+                    });
+                }
+            }
+        }
+        // Release the instance's previous area (module moved by relocation).
+        if let Some(old) = self.areas.remove(instance) {
+            for (c, r) in old.cells() {
+                self.owners.remove(&(c, r));
+            }
+        }
+        for (c, r) in bitstream.area.cells() {
+            self.owners.insert((c, r), instance.to_string());
+        }
+        self.areas.insert(instance.to_string(), bitstream.area);
+        self.frames_written += bitstream.n_frames() as u64;
+        Ok(())
+    }
+
+    /// Removes an instance from the configuration plane.
+    pub fn remove(&mut self, instance: &str) -> bool {
+        match self.areas.remove(instance) {
+            Some(area) => {
+                for (c, r) in area.cells() {
+                    self.owners.remove(&(c, r));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Area currently occupied by an instance.
+    pub fn area_of(&self, instance: &str) -> Option<Rect> {
+        self.areas.get(instance).copied()
+    }
+
+    /// Areas currently configured (useful as the `occupied` input of the
+    /// free-compatible enumeration).
+    pub fn occupied(&self) -> Vec<Rect> {
+        let mut v: Vec<Rect> = self.areas.values().copied().collect();
+        v.sort_by_key(|r| (r.x, r.y, r.w, r.h));
+        v
+    }
+
+    /// Total frames written since creation.
+    pub fn frames_written(&self) -> u64 {
+        self.frames_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relocate::relocate;
+    use rfp_device::{columnar_partition, figure1_device};
+
+    #[test]
+    fn programming_and_conflicts() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let a = Bitstream::generate(&p, "filter", Rect::new(1, 1, 2, 2), 1).unwrap();
+        let b = Bitstream::generate(&p, "decoder", Rect::new(2, 2, 2, 2), 2).unwrap();
+        let c = Bitstream::generate(&p, "decoder", Rect::new(5, 4, 2, 2), 2).unwrap();
+        let mut mem = ConfigMemory::new();
+        mem.program("filter", &a).unwrap();
+        // Overlapping configuration from a different module is refused.
+        assert!(matches!(mem.program("decoder", &b), Err(ConfigError::Conflict { .. })));
+        // A disjoint area is fine.
+        mem.program("decoder", &c).unwrap();
+        assert_eq!(mem.occupied().len(), 2);
+        assert_eq!(mem.area_of("filter"), Some(Rect::new(1, 1, 2, 2)));
+        assert_eq!(mem.frames_written(), a.n_frames() as u64 + c.n_frames() as u64);
+    }
+
+    #[test]
+    fn relocation_moves_a_module_between_areas() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let source = Rect::new(1, 1, 2, 2);
+        let target = Rect::new(3, 4, 2, 2);
+        let bs = Bitstream::generate(&p, "filter", source, 1).unwrap();
+        let mut mem = ConfigMemory::new();
+        mem.program("filter", &bs).unwrap();
+        let moved = relocate(&p, &bs, target).unwrap();
+        mem.program("filter", &moved).unwrap();
+        assert_eq!(mem.area_of("filter"), Some(target));
+        // The old area is released: another module can take it.
+        let other = Bitstream::generate(&p, "other", source, 9).unwrap();
+        mem.program("other", &other).unwrap();
+    }
+
+    #[test]
+    fn corrupt_bitstreams_are_rejected_by_the_memory() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let mut bs = Bitstream::generate(&p, "filter", Rect::new(1, 1, 2, 2), 1).unwrap();
+        bs.frames[0].words[0] ^= 1;
+        let mut mem = ConfigMemory::new();
+        assert!(matches!(mem.program("filter", &bs), Err(ConfigError::Bitstream(_))));
+    }
+
+    #[test]
+    fn remove_releases_tiles() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let bs = Bitstream::generate(&p, "filter", Rect::new(1, 1, 2, 2), 1).unwrap();
+        let mut mem = ConfigMemory::new();
+        mem.program("filter", &bs).unwrap();
+        assert!(mem.remove("filter"));
+        assert!(!mem.remove("filter"));
+        assert!(mem.occupied().is_empty());
+        // The area is free again.
+        let other = Bitstream::generate(&p, "other", Rect::new(1, 1, 2, 2), 2).unwrap();
+        mem.program("other", &other).unwrap();
+    }
+}

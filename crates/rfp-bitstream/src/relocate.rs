@@ -1,0 +1,163 @@
+//! The software relocation filter.
+//!
+//! In the spirit of REPLICA [2][3] and BiRF [4][5]: relocation only rewrites
+//! the frame addresses of the partial bitstream (by the column/row offset
+//! between the source and the target area) and recomputes the CRC. The filter
+//! refuses to relocate into a target area that is not **compatible** with the
+//! source area (Definition .1): same shape, size and relative positioning of
+//! tiles of the same type. Whether the target is *free* (Definition .2) is a
+//! run-time property checked by the configuration-memory model, not by the
+//! filter.
+
+use crate::format::{Bitstream, Frame};
+use rfp_device::compat::{columnar_compatible, CompatReport};
+use rfp_device::{ColumnarPartition, Rect};
+use std::fmt;
+
+/// Errors reported by the relocation filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelocationError {
+    /// The target area is not compatible with the bitstream's source area.
+    NotCompatible {
+        /// The detailed compatibility report.
+        report: CompatReport,
+    },
+    /// The bitstream failed its CRC check before relocation.
+    CorruptSource {
+        /// CRC stored in the container.
+        stored: u32,
+        /// CRC recomputed over the content.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for RelocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelocationError::NotCompatible { report } => {
+                write!(f, "target area is not compatible with the source area: {report}")
+            }
+            RelocationError::CorruptSource { stored, computed } => write!(
+                f,
+                "source bitstream is corrupt (stored CRC {stored:#010x}, computed {computed:#010x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelocationError {}
+
+/// Relocates a partial bitstream to a compatible target area.
+///
+/// Returns a new bitstream whose frame addresses point at `target` and whose
+/// CRC has been recomputed; the configuration payload is untouched, which is
+/// exactly what makes relocation cheap compared to re-implementing the module
+/// for the new location.
+pub fn relocate(
+    partition: &ColumnarPartition,
+    bitstream: &Bitstream,
+    target: Rect,
+) -> Result<Bitstream, RelocationError> {
+    if let Err(crate::format::BitstreamError::CrcMismatch { stored, computed }) = bitstream.verify()
+    {
+        return Err(RelocationError::CorruptSource { stored, computed });
+    }
+    let report = columnar_compatible(partition, &bitstream.area, &target);
+    if !report.is_compatible() {
+        return Err(RelocationError::NotCompatible { report });
+    }
+    let dx = target.x as i64 - bitstream.area.x as i64;
+    let dy = target.y as i64 - bitstream.area.y as i64;
+    let frames: Vec<Frame> = bitstream
+        .frames
+        .iter()
+        .map(|f| {
+            let mut address = f.address;
+            address.column = (address.column as i64 + dx) as u32;
+            address.row = (address.row as i64 + dy) as u32;
+            Frame { address, words: f.words.clone() }
+        })
+        .collect();
+    let mut out = Bitstream {
+        device: bitstream.device.clone(),
+        module: bitstream.module.clone(),
+        area: target,
+        frames,
+        crc: 0,
+    };
+    out.crc = out.compute_crc();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_device::compat::enumerate_free_compatible;
+    use rfp_device::{columnar_partition, figure1_device, xc5vfx70t};
+
+    #[test]
+    fn relocation_to_a_compatible_area_preserves_payload_and_fixes_addresses() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let source = Rect::new(1, 1, 2, 2);
+        let target = Rect::new(3, 4, 2, 2);
+        let bs = Bitstream::generate(&p, "demo", source, 11).unwrap();
+        let moved = relocate(&p, &bs, target).unwrap();
+        assert_eq!(moved.area, target);
+        assert!(moved.verify().is_ok());
+        assert_ne!(moved.crc, bs.crc, "addresses changed, so the CRC must change");
+        // Payload is untouched, addresses are shifted by (+2, +3).
+        for (a, b) in bs.frames.iter().zip(moved.frames.iter()) {
+            assert_eq!(a.words, b.words);
+            assert_eq!(b.address.column, a.address.column + 2);
+            assert_eq!(b.address.row, a.address.row + 3);
+            assert_eq!(b.address.minor, a.address.minor);
+        }
+    }
+
+    #[test]
+    fn relocation_to_an_incompatible_area_is_refused() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let source = Rect::new(1, 1, 2, 2);
+        let bs = Bitstream::generate(&p, "demo", source, 11).unwrap();
+        // Area C of Figure 1: same shape but shifted by one column, so the
+        // column types do not line up.
+        let err = relocate(&p, &bs, Rect::new(2, 1, 2, 2));
+        assert!(matches!(err, Err(RelocationError::NotCompatible { .. })));
+        // A different shape is refused too.
+        let err2 = relocate(&p, &bs, Rect::new(3, 4, 3, 2));
+        assert!(matches!(err2, Err(RelocationError::NotCompatible { .. })));
+    }
+
+    #[test]
+    fn corrupt_bitstreams_are_refused() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let mut bs = Bitstream::generate(&p, "demo", Rect::new(1, 1, 2, 2), 11).unwrap();
+        bs.frames[0].words[3] ^= 0xFF;
+        let err = relocate(&p, &bs, Rect::new(3, 4, 2, 2));
+        assert!(matches!(err, Err(RelocationError::CorruptSource { .. })));
+    }
+
+    #[test]
+    fn every_free_compatible_area_reported_by_the_device_model_accepts_relocation() {
+        let p = columnar_partition(&xc5vfx70t()).unwrap();
+        let source = Rect::new(1, 1, 3, 2);
+        let bs = Bitstream::generate(&p, "demo", source, 5).unwrap();
+        let targets = enumerate_free_compatible(&p, &source, &[source]);
+        assert!(!targets.is_empty());
+        for t in targets.iter().take(20) {
+            let moved = relocate(&p, &bs, *t).expect("free-compatible targets must be accepted");
+            assert!(moved.verify().is_ok());
+        }
+    }
+
+    #[test]
+    fn double_relocation_returns_to_the_original() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let source = Rect::new(1, 1, 2, 2);
+        let target = Rect::new(3, 4, 2, 2);
+        let bs = Bitstream::generate(&p, "demo", source, 11).unwrap();
+        let moved = relocate(&p, &bs, target).unwrap();
+        let back = relocate(&p, &moved, source).unwrap();
+        assert_eq!(back, bs);
+    }
+}

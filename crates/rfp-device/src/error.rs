@@ -1,0 +1,124 @@
+//! Error type for device-model construction and partitioning.
+
+use std::fmt;
+
+/// Errors produced while building a device description or while running the
+/// columnar partitioning procedure of Section III-B.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A coordinate lies outside the device grid.
+    OutOfBounds {
+        /// 1-based column of the offending cell.
+        col: u32,
+        /// 1-based row of the offending cell.
+        row: u32,
+        /// Number of columns of the device.
+        cols: u32,
+        /// Number of rows of the device.
+        rows: u32,
+    },
+    /// The grid dimensions are degenerate (zero columns or rows).
+    EmptyGrid,
+    /// A tile-type id was used that is not registered in the registry.
+    UnknownTileType(u16),
+    /// Step 1 of the columnar partitioning could not replace a forbidden tile
+    /// because the whole column is covered by forbidden areas.
+    ColumnFullyForbidden {
+        /// 1-based column that could not be repaired.
+        col: u32,
+    },
+    /// Step 4 of the columnar partitioning failed: a portion could not be
+    /// extended to the bottom of the FPGA, so the device cannot be described
+    /// by full-height columnar portions.
+    NotColumnar {
+        /// 1-based column where the vertical extension stopped.
+        col: u32,
+        /// 1-based row at which a tile of a different type was found.
+        row: u32,
+    },
+    /// A cell of the grid has no tile type assigned (hole in the fabric) and
+    /// is not covered by a forbidden area, so partitioning cannot proceed.
+    UnassignedTile {
+        /// 1-based column of the hole.
+        col: u32,
+        /// 1-based row of the hole.
+        row: u32,
+    },
+    /// A forbidden area extends (partially) outside the device.
+    ForbiddenOutOfBounds {
+        /// Name of the offending forbidden area.
+        name: String,
+    },
+    /// Two tile types with identical fingerprints were registered under
+    /// different identifiers; Definition .1 requires them to be the same type.
+    DuplicateTileType {
+        /// Name of the tile type registered first.
+        first: String,
+        /// Name of the tile type registered second.
+        second: String,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfBounds { col, row, cols, rows } => write!(
+                f,
+                "cell ({col}, {row}) lies outside the {cols}x{rows} device grid"
+            ),
+            DeviceError::EmptyGrid => write!(f, "device grid must have at least one column and one row"),
+            DeviceError::UnknownTileType(id) => write!(f, "tile type id {id} is not registered"),
+            DeviceError::ColumnFullyForbidden { col } => write!(
+                f,
+                "column {col} is entirely covered by forbidden areas; step 1 of the columnar \
+                 partitioning cannot find a replacement tile in the same column"
+            ),
+            DeviceError::NotColumnar { col, row } => write!(
+                f,
+                "the device cannot be columnar-partitioned: the portion containing column {col} \
+                 cannot be extended to the bottom of the FPGA (tile type changes at row {row})"
+            ),
+            DeviceError::UnassignedTile { col, row } => write!(
+                f,
+                "cell ({col}, {row}) has no tile type and is not covered by a forbidden area"
+            ),
+            DeviceError::ForbiddenOutOfBounds { name } => {
+                write!(f, "forbidden area `{name}` extends outside the device grid")
+            }
+            DeviceError::DuplicateTileType { first, second } => write!(
+                f,
+                "tile types `{first}` and `{second}` have identical resources and frame counts; \
+                 by Definition .1 they are the same type and must be registered once"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds_mentions_grid_size() {
+        let e = DeviceError::OutOfBounds { col: 7, row: 3, cols: 5, rows: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains("(7, 3)"));
+        assert!(msg.contains("5x2"));
+    }
+
+    #[test]
+    fn display_not_columnar_mentions_column_and_row() {
+        let e = DeviceError::NotColumnar { col: 4, row: 6 };
+        let msg = e.to_string();
+        assert!(msg.contains("column 4"));
+        assert!(msg.contains("row 6"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<DeviceError>();
+    }
+}

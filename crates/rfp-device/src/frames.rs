@@ -1,0 +1,75 @@
+//! Configuration-frame accounting.
+//!
+//! The size of a partial bitstream is proportional to the number of
+//! configuration frames of the area it configures. The paper's evaluation
+//! (Table II) scores floorplans by **wasted frames**: frames covered by the
+//! placed reconfigurable regions beyond what their resource requirements
+//! strictly need.
+
+use crate::geometry::Rect;
+use crate::partition::ColumnarPartition;
+use crate::tile::{TileTypeId, TileTypeRegistry};
+
+/// Number of configuration frames covered by a rectangle on a
+/// columnar-partitioned device.
+pub fn frames_in_rect(partition: &ColumnarPartition, rect: &Rect) -> u64 {
+    partition.frames_in_rect(rect)
+}
+
+/// Minimum number of configuration frames needed by a requirement expressed
+/// as tiles per tile type (the last column of Table I).
+pub fn required_frames(registry: &TileTypeRegistry, tiles: &[(TileTypeId, u32)]) -> u64 {
+    tiles
+        .iter()
+        .map(|(ty, count)| registry.expect(*ty).frames as u64 * *count as u64)
+        .sum()
+}
+
+/// Wasted frames of a placement: frames covered minus frames strictly
+/// required (saturating at zero — a region can never cover fewer frames than
+/// it requires in a valid floorplan, but partial solutions may).
+pub fn wasted_frames(covered: u64, required: u64) -> u64 {
+    covered.saturating_sub(required)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::DeviceBuilder;
+    use crate::partition::columnar_partition;
+    use crate::resources::ResourceVec;
+
+    #[test]
+    fn required_frames_matches_table1_arithmetic() {
+        // Uses the paper's frame weights: CLB 36, BRAM 30, DSP 28.
+        let mut b = DeviceBuilder::new("t");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        let dsp = b.tile_type("DSP", ResourceVec::new(0, 0, 1), 28);
+        b.rows(2).columns(&[clb, bram, dsp]);
+        let d = b.build().unwrap();
+        // Matched filter: 25 CLB + 5 DSP tiles = 1040 frames.
+        assert_eq!(required_frames(&d.registry, &[(clb, 25), (dsp, 5)]), 1040);
+        // Video decoder: 55 CLB + 2 BRAM + 5 DSP = 2180 frames.
+        assert_eq!(required_frames(&d.registry, &[(clb, 55), (bram, 2), (dsp, 5)]), 2180);
+    }
+
+    #[test]
+    fn frames_in_rect_counts_column_types() {
+        let mut b = DeviceBuilder::new("t");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        b.rows(4).columns(&[clb, clb, bram, clb]);
+        let d = b.build().unwrap();
+        let p = columnar_partition(&d).unwrap();
+        let r = Rect::new(2, 1, 2, 3); // one CLB column + one BRAM column, 3 rows
+        assert_eq!(frames_in_rect(&p, &r), 3 * 36 + 3 * 30);
+    }
+
+    #[test]
+    fn wasted_frames_saturates() {
+        assert_eq!(wasted_frames(1100, 1040), 60);
+        assert_eq!(wasted_frames(1000, 1040), 0);
+        assert_eq!(wasted_frames(0, 0), 0);
+    }
+}

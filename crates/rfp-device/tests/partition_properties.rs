@@ -1,0 +1,130 @@
+//! Property-based tests of the columnar partitioning and compatibility
+//! invariants (Section III of the paper) on randomly generated devices.
+
+use proptest::prelude::*;
+use rfp_device::compat::{columnar_compatible, enumerate_free_compatible};
+use rfp_device::{columnar_partition, PortionId, Rect, SyntheticSpec};
+
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (4u32..40, 2u32..10, 0u32..8, 0u32..12, proptest::option::of((1u32..4, 1u32..3))).prop_map(
+        |(cols, rows, bram_every, dsp_every, hard_block)| SyntheticSpec {
+            name: "prop-device".to_string(),
+            cols,
+            rows,
+            bram_every,
+            dsp_every,
+            // Only keep hard blocks that leave part of every column free.
+            hard_block: hard_block.filter(|&(w, h)| w < cols && h < rows),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every synthetic columnar device partitions successfully and the
+    /// resulting portions satisfy Properties .3 and .4 of the paper:
+    /// adjacent portions have different tile types and portions are ordered
+    /// left to right, covering every column exactly once.
+    #[test]
+    fn partitioning_satisfies_properties_3_and_4(spec in arb_spec()) {
+        let device = spec.build().unwrap();
+        let partition = columnar_partition(&device).unwrap();
+        // Property .4: ordered left to right, covering all columns exactly once.
+        let mut next_col = 1u32;
+        for p in &partition.portions {
+            prop_assert_eq!(p.x1, next_col);
+            prop_assert!(p.x2 >= p.x1);
+            next_col = p.x2 + 1;
+        }
+        prop_assert_eq!(next_col, partition.cols + 1);
+        // Property .3: adjacent portions have different tile types.
+        for w in partition.portions.windows(2) {
+            prop_assert_ne!(w[0].tile_type, w[1].tile_type);
+        }
+        // The dense MILP type ids are 1-based and bounded by nTypes.
+        for i in 0..partition.n_portions() {
+            let tid = partition.tid(PortionId(i));
+            prop_assert!(tid >= 1 && tid <= partition.n_types());
+        }
+    }
+
+    /// Frame and resource accounting is additive: splitting a rectangle into
+    /// a left part and a right part never changes the totals.
+    #[test]
+    fn rect_accounting_is_additive(spec in arb_spec(), split in 1u32..40) {
+        let device = spec.build().unwrap();
+        let partition = columnar_partition(&device).unwrap();
+        let full = Rect::new(1, 1, partition.cols, partition.rows);
+        let split = split.min(partition.cols.saturating_sub(1)).max(1);
+        if split >= partition.cols {
+            return Ok(());
+        }
+        let left = Rect::new(1, 1, split, partition.rows);
+        let right = Rect::new(split + 1, 1, partition.cols - split, partition.rows);
+        prop_assert_eq!(
+            partition.frames_in_rect(&full),
+            partition.frames_in_rect(&left) + partition.frames_in_rect(&right)
+        );
+        let l = partition.resources_in_rect(&left);
+        let r = partition.resources_in_rect(&right);
+        prop_assert_eq!(partition.resources_in_rect(&full), l + r);
+    }
+
+    /// Compatibility is invariant under vertical translation on columnar
+    /// devices: moving both areas by the same row offset never changes the
+    /// verdict, and moving a single area vertically (within bounds) never
+    /// changes it either, because tile types only depend on the column.
+    #[test]
+    fn compatibility_depends_only_on_columns(
+        spec in arb_spec(),
+        x1 in 1u32..40, x2 in 1u32..40,
+        w in 1u32..6, h in 1u32..4,
+    ) {
+        let spec = SyntheticSpec { hard_block: None, ..spec };
+        let device = spec.build().unwrap();
+        let partition = columnar_partition(&device).unwrap();
+        let cols = partition.cols;
+        let rows = partition.rows;
+        let w = w.min(cols);
+        let h = h.min(rows);
+        let x1 = x1.min(cols - w + 1);
+        let x2 = x2.min(cols - w + 1);
+        let a = Rect::new(x1, 1, w, h);
+        let b = Rect::new(x2, 1, w, h);
+        let verdict = columnar_compatible(&partition, &a, &b).is_compatible();
+        for dy in 0..(rows - h) {
+            let b_shifted = Rect::new(x2, 1 + dy, w, h);
+            prop_assert_eq!(
+                columnar_compatible(&partition, &a, &b_shifted).is_compatible(),
+                verdict
+            );
+        }
+    }
+
+    /// The free-compatible enumeration never returns the source, never
+    /// returns overlapping pairs of results for disjoint occupancy sets, and
+    /// every returned rectangle is in bounds and legal.
+    #[test]
+    fn free_compatible_enumeration_is_well_formed(
+        spec in arb_spec(),
+        x in 1u32..40, y in 1u32..10, w in 1u32..5, h in 1u32..4,
+    ) {
+        let device = spec.build().unwrap();
+        let partition = columnar_partition(&device).unwrap();
+        let cols = partition.cols;
+        let rows = partition.rows;
+        let w = w.min(cols);
+        let h = h.min(rows);
+        let source = Rect::new(x.min(cols - w + 1), y.min(rows - h + 1), w, h);
+        let occupied = vec![source];
+        let found = enumerate_free_compatible(&partition, &source, &occupied);
+        for cand in &found {
+            prop_assert!(cand != &source);
+            prop_assert!(partition.rect_in_bounds(cand));
+            prop_assert!(!partition.rect_crosses_forbidden(cand));
+            prop_assert!(!cand.overlaps(&source));
+            prop_assert!(columnar_compatible(&partition, &source, cand).is_compatible());
+        }
+    }
+}

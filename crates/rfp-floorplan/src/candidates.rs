@@ -1,0 +1,325 @@
+//! Candidate-rectangle enumeration.
+//!
+//! On a columnar-partitioned device the tiles covered by a rectangle only
+//! depend on its column window and its height, so the set of placements that
+//! satisfy a region's requirement can be enumerated exactly. The
+//! combinatorial engine and the HO seeding heuristic both work on this
+//! candidate list.
+//!
+//! A candidate is **irredundant** when no single-side shrink (one row
+//! shorter, leftmost column dropped, or rightmost column dropped) still
+//! satisfies the requirement. Irredundant candidates dominate all others in
+//! wasted frames; the enumeration can optionally keep redundant candidates up
+//! to a waste slack, which matters when relocation constraints make a
+//! slightly larger region the only way to obtain a free-compatible area.
+
+use crate::problem::RegionSpec;
+use rfp_device::{ColumnarPartition, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A candidate placement for a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The rectangle.
+    pub rect: Rect,
+    /// Configuration frames wasted by this placement (covered minus required).
+    pub waste: u64,
+}
+
+/// Parameters of the candidate enumeration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateConfig {
+    /// Keep only irredundant candidates (see module docs). When `false`,
+    /// candidates with larger heights are also enumerated, subject to
+    /// `waste_slack`.
+    pub irredundant_only: bool,
+    /// When keeping redundant candidates, only keep those whose waste exceeds
+    /// the region's minimum achievable waste by at most this many frames.
+    pub waste_slack: u64,
+    /// Hard cap on the number of candidates returned (after sorting by
+    /// waste); `0` means unlimited.
+    pub max_candidates: usize,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig { irredundant_only: true, waste_slack: 0, max_candidates: 0 }
+    }
+}
+
+impl CandidateConfig {
+    /// Enumeration suitable for relocation-constrained problems: keeps
+    /// redundant candidates within a slack of one extra column of frames.
+    pub fn relaxed(waste_slack: u64) -> Self {
+        CandidateConfig { irredundant_only: false, waste_slack, max_candidates: 0 }
+    }
+}
+
+/// Per-column tile-type table used to answer coverage queries in O(1) per
+/// column window.
+struct ColumnTable {
+    /// `counts[t][c]` = number of columns of tile-type index `t` among the
+    /// first `c` columns (prefix sums, index 0 = 0).
+    counts: Vec<Vec<u32>>,
+    /// Frames of one tile in each column, prefix-summed.
+    frame_prefix: Vec<u64>,
+    n_types: usize,
+}
+
+impl ColumnTable {
+    fn new(partition: &ColumnarPartition) -> Self {
+        let cols = partition.cols as usize;
+        // Registry indices present.
+        let n_types = partition
+            .portions
+            .iter()
+            .map(|p| p.tile_type.index() + 1)
+            .max()
+            .unwrap_or(1);
+        let mut counts = vec![vec![0u32; cols + 1]; n_types];
+        let mut frame_prefix = vec![0u64; cols + 1];
+        for c in 1..=cols {
+            let ty = partition.column_type(c as u32).expect("column inside device");
+            for (t, row) in counts.iter_mut().enumerate() {
+                row[c] = row[c - 1] + u32::from(t == ty.index());
+            }
+            frame_prefix[c] =
+                frame_prefix[c - 1] + partition.frames_per_tile(ty) as u64;
+        }
+        ColumnTable { counts, frame_prefix, n_types }
+    }
+
+    /// Columns of tile-type index `t` in the window `[x, x+w-1]` (1-based).
+    fn cols_of_type(&self, t: usize, x: u32, w: u32) -> u32 {
+        let lo = (x - 1) as usize;
+        let hi = (x + w - 1) as usize;
+        self.counts[t][hi] - self.counts[t][lo]
+    }
+
+    /// Frames of one row of the window `[x, x+w-1]`.
+    fn frames_per_row(&self, x: u32, w: u32) -> u64 {
+        let lo = (x - 1) as usize;
+        let hi = (x + w - 1) as usize;
+        self.frame_prefix[hi] - self.frame_prefix[lo]
+    }
+}
+
+/// Minimum height needed by the requirement in a column window, or `None` if
+/// the window can never satisfy it.
+fn min_height(
+    table: &ColumnTable,
+    spec: &RegionSpec,
+    x: u32,
+    w: u32,
+    rows: u32,
+) -> Option<u32> {
+    let mut h = 1u32;
+    for &(ty, need) in spec.tile_req() {
+        let t = ty.index();
+        if t >= table.n_types {
+            return None;
+        }
+        let per_row = table.cols_of_type(t, x, w);
+        if per_row == 0 {
+            return None;
+        }
+        h = h.max(need.div_ceil(per_row));
+    }
+    (h <= rows).then_some(h)
+}
+
+/// Enumerates the candidate placements of a region, sorted by increasing
+/// waste (ties broken by x, then y, then width, then height).
+pub fn enumerate_candidates(
+    partition: &ColumnarPartition,
+    spec: &RegionSpec,
+    config: &CandidateConfig,
+) -> Vec<Candidate> {
+    let cols = partition.cols;
+    let rows = partition.rows;
+    let table = ColumnTable::new(partition);
+    let required = spec.required_frames(partition);
+
+    let mut out: Vec<Candidate> = Vec::new();
+    for x in 1..=cols {
+        for w in 1..=(cols - x + 1) {
+            let Some(h_min) = min_height(&table, spec, x, w, rows) else { continue };
+            // Irredundancy in width: dropping the leftmost or the rightmost
+            // column must break coverage at height h_min.
+            let left_shrink_ok = w > 1 && min_height(&table, spec, x + 1, w - 1, rows)
+                .is_some_and(|h| h <= h_min);
+            let right_shrink_ok =
+                w > 1 && min_height(&table, spec, x, w - 1, rows).is_some_and(|h| h <= h_min);
+            if left_shrink_ok || right_shrink_ok {
+                // A narrower window does at least as well: this window is
+                // redundant in width for every height.
+                continue;
+            }
+            let frames_per_row = table.frames_per_row(x, w);
+            let h_max = if config.irredundant_only { h_min } else { rows };
+            for h in h_min..=h_max {
+                let waste = (frames_per_row * h as u64).saturating_sub(required);
+                if !config.irredundant_only && h > h_min {
+                    let min_waste = (frames_per_row * h_min as u64).saturating_sub(required);
+                    if waste > min_waste + config.waste_slack {
+                        break;
+                    }
+                }
+                for y in 1..=(rows - h + 1) {
+                    let rect = Rect::new(x, y, w, h);
+                    if partition.rect_crosses_forbidden(&rect) {
+                        continue;
+                    }
+                    out.push(Candidate { rect, waste });
+                }
+            }
+        }
+    }
+
+    out.sort_by_key(|c| (c.waste, c.rect.x, c.rect.y, c.rect.w, c.rect.h));
+    if config.max_candidates > 0 && out.len() > config.max_candidates {
+        out.truncate(config.max_candidates);
+    }
+    out
+}
+
+/// Minimum waste achievable by any placement of the region (ignoring the
+/// other regions), or `None` if the region cannot be placed at all.
+pub fn min_waste(partition: &ColumnarPartition, spec: &RegionSpec) -> Option<u64> {
+    enumerate_candidates(partition, spec, &CandidateConfig::default())
+        .first()
+        .map(|c| c.waste)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::RegionSpec;
+    use rfp_device::{columnar_partition, xc5vfx70t, DeviceBuilder, ResourceVec};
+
+    fn small_partition() -> (ColumnarPartition, rfp_device::TileTypeId, rfp_device::TileTypeId) {
+        let mut b = DeviceBuilder::new("small");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        b.rows(4).columns(&[clb, clb, bram, clb, clb, clb]);
+        (columnar_partition(&b.build().unwrap()).unwrap(), clb, bram)
+    }
+
+    #[test]
+    fn candidates_cover_requirements_and_respect_bounds() {
+        let (p, clb, bram) = small_partition();
+        let spec = RegionSpec::new("r", vec![(clb, 4), (bram, 1)]);
+        let cands = enumerate_candidates(&p, &spec, &CandidateConfig::default());
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(p.rect_in_bounds(&c.rect));
+            let covered = p.tiles_by_type_in_rect(&c.rect);
+            let clb_cov = covered.iter().find(|(t, _)| *t == clb).map(|&(_, n)| n).unwrap_or(0);
+            let bram_cov = covered.iter().find(|(t, _)| *t == bram).map(|&(_, n)| n).unwrap_or(0);
+            assert!(clb_cov >= 4 && bram_cov >= 1, "candidate {:?} under-covers", c.rect);
+            assert_eq!(c.waste, p.frames_in_rect(&c.rect) - spec.required_frames(&p));
+        }
+        // Sorted by waste.
+        for w in cands.windows(2) {
+            assert!(w[0].waste <= w[1].waste);
+        }
+    }
+
+    #[test]
+    fn irredundant_candidates_cannot_shrink() {
+        let (p, clb, bram) = small_partition();
+        let spec = RegionSpec::new("r", vec![(clb, 4), (bram, 1)]);
+        let cands = enumerate_candidates(&p, &spec, &CandidateConfig::default());
+        for c in &cands {
+            let r = c.rect;
+            // Shrinking the height must break coverage.
+            if r.h > 1 {
+                let shorter = Rect::new(r.x, r.y, r.w, r.h - 1);
+                let covered = p.tiles_by_type_in_rect(&shorter);
+                let ok = spec.tile_req().iter().all(|&(ty, need)| {
+                    covered.iter().find(|(t, _)| *t == ty).map(|&(_, n)| n).unwrap_or(0) >= need
+                });
+                assert!(!ok, "candidate {r} is redundant in height");
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_enumeration_is_a_superset() {
+        let (p, clb, bram) = small_partition();
+        let spec = RegionSpec::new("r", vec![(clb, 2), (bram, 1)]);
+        let strict = enumerate_candidates(&p, &spec, &CandidateConfig::default());
+        let relaxed = enumerate_candidates(&p, &spec, &CandidateConfig::relaxed(1000));
+        assert!(relaxed.len() >= strict.len());
+        for c in &strict {
+            assert!(relaxed.contains(c), "strict candidate {:?} missing from relaxed set", c);
+        }
+    }
+
+    #[test]
+    fn impossible_requirement_has_no_candidates() {
+        let (p, _, bram) = small_partition();
+        // Only one BRAM column of 4 rows exists -> 5 BRAM tiles is impossible.
+        let spec = RegionSpec::new("r", vec![(bram, 5)]);
+        assert!(enumerate_candidates(&p, &spec, &CandidateConfig::default()).is_empty());
+        assert_eq!(min_waste(&p, &spec), None);
+    }
+
+    #[test]
+    fn forbidden_areas_exclude_candidates() {
+        let mut b = DeviceBuilder::new("fb");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        b.rows(3).repeat_column(clb, 3);
+        // The forbidden block covers column 2, rows 1-2.
+        b.forbidden("blk", rfp_device::Rect::new(2, 1, 1, 2));
+        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        let spec = RegionSpec::new("r", vec![(clb, 1)]);
+        let cands = enumerate_candidates(&p, &spec, &CandidateConfig::default());
+        assert!(!cands.is_empty());
+        assert!(
+            cands
+                .iter()
+                .all(|c| !(c.rect.contains(2, 1) || c.rect.contains(2, 2))),
+            "no candidate may cross the forbidden block"
+        );
+        // The non-forbidden tile of column 2 is still usable.
+        assert!(cands.iter().any(|c| c.rect.contains(2, 3)));
+    }
+
+    #[test]
+    fn max_candidates_caps_after_sorting() {
+        let (p, clb, _) = small_partition();
+        let spec = RegionSpec::new("r", vec![(clb, 1)]);
+        let all = enumerate_candidates(&p, &spec, &CandidateConfig::default());
+        let capped = enumerate_candidates(
+            &p,
+            &spec,
+            &CandidateConfig { max_candidates: 3, ..CandidateConfig::default() },
+        );
+        assert_eq!(capped.len(), 3);
+        assert_eq!(&all[..3], &capped[..]);
+    }
+
+    #[test]
+    fn sdr_video_decoder_has_candidates_on_fx70t() {
+        let device = xc5vfx70t();
+        let clb = device.registry.by_name("CLB").unwrap();
+        let bram = device.registry.by_name("BRAM").unwrap();
+        let dsp = device.registry.by_name("DSP").unwrap();
+        let p = columnar_partition(&device).unwrap();
+        let video = RegionSpec::new("Video Decoder", vec![(clb, 55), (bram, 2), (dsp, 5)]);
+        let cands = enumerate_candidates(&p, &video, &CandidateConfig::default());
+        assert!(!cands.is_empty(), "the video decoder must be placeable on the FX70T");
+        // The best candidate's waste is bounded by a sane amount (less than
+        // the region's own requirement).
+        assert!(cands[0].waste < video.required_frames(&p));
+    }
+
+    #[test]
+    fn min_waste_matches_first_candidate() {
+        let (p, clb, bram) = small_partition();
+        let spec = RegionSpec::new("r", vec![(clb, 3), (bram, 2)]);
+        let cands = enumerate_candidates(&p, &spec, &CandidateConfig::default());
+        assert_eq!(min_waste(&p, &spec), Some(cands[0].waste));
+    }
+}

@@ -1,0 +1,523 @@
+//! Exact combinatorial branch-and-bound floorplanning engine.
+//!
+//! The MILP formulation (module [`crate::model`]) is the faithful
+//! reproduction of the paper, but the paper solved it with a commercial
+//! branch-and-cut engine; the from-scratch simplex of `rfp-milp` handles the
+//! reduced instances comfortably but not the full Virtex-5 FX70T die. This
+//! module provides an engine specialised to the columnar structure that
+//! solves the same problem exactly:
+//!
+//! * every region's candidate rectangles are enumerated
+//!   ([`crate::candidates`]);
+//! * regions are placed one at a time by depth-first search, most-constrained
+//!   region first, candidates in increasing-waste order;
+//! * the objective is lexicographic — wasted frames first, then weighted wire
+//!   length — matching the evaluation methodology of Section VI;
+//! * relocation-as-a-constraint prunes any partial placement for which the
+//!   requested free-compatible areas can no longer be packed;
+//! * relocation-as-a-metric packs as many of the requested areas as possible
+//!   and reports the rest as missing.
+//!
+//! Node and time limits make the engine usable inside benchmarks; the result
+//! reports whether optimality was proven.
+
+use crate::candidates::{enumerate_candidates, Candidate, CandidateConfig};
+use crate::error::FloorplanError;
+use crate::placement::{FcPlacement, Floorplan};
+use crate::problem::{FloorplanProblem, RelocationMode};
+use rfp_device::compat::enumerate_free_compatible;
+use rfp_device::Rect;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Configuration of the combinatorial engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinatorialConfig {
+    /// Candidate enumeration parameters.
+    pub candidates: CandidateConfig,
+    /// Stop after this many search nodes (0 = unlimited).
+    pub node_limit: u64,
+    /// Wall-clock limit in seconds (0 = unlimited).
+    pub time_limit_secs: f64,
+    /// Return the first feasible floorplan found instead of optimising.
+    pub first_feasible: bool,
+    /// Optimise weighted wire length as a secondary criterion (lexicographic
+    /// after wasted frames).
+    pub optimize_wirelength: bool,
+}
+
+impl Default for CombinatorialConfig {
+    fn default() -> Self {
+        CombinatorialConfig {
+            candidates: CandidateConfig::default(),
+            node_limit: 0,
+            time_limit_secs: 0.0,
+            first_feasible: false,
+            optimize_wirelength: true,
+        }
+    }
+}
+
+impl CombinatorialConfig {
+    /// Feasibility-check configuration: stop at the first feasible floorplan.
+    pub fn feasibility() -> Self {
+        CombinatorialConfig { first_feasible: true, ..CombinatorialConfig::default() }
+    }
+
+    /// Configuration with a time limit, for use inside benchmarks.
+    pub fn with_time_limit(secs: f64) -> Self {
+        CombinatorialConfig { time_limit_secs: secs, ..CombinatorialConfig::default() }
+    }
+}
+
+/// Outcome of a combinatorial solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinatorialResult {
+    /// Best floorplan found, if any.
+    pub floorplan: Option<Floorplan>,
+    /// Wasted frames of the best floorplan.
+    pub best_waste: Option<u64>,
+    /// Weighted wire length of the best floorplan.
+    pub best_wirelength: Option<f64>,
+    /// `true` when the search space was exhausted (the result is optimal, or
+    /// the instance proven infeasible).
+    pub proven: bool,
+    /// Search nodes explored.
+    pub nodes: u64,
+    /// Wall-clock seconds.
+    pub solve_seconds: f64,
+}
+
+struct SearchCtx<'a> {
+    problem: &'a FloorplanProblem,
+    /// Region order (most constrained first); `order[i]` is a region index.
+    order: Vec<usize>,
+    /// Candidates per region (indexed by region id).
+    candidates: Vec<Vec<Candidate>>,
+    /// Connections grouped for incremental wire-length computation.
+    config: &'a CombinatorialConfig,
+    deadline: Option<Instant>,
+    node_limit: u64,
+    nodes: u64,
+    aborted: bool,
+    /// Current partial placement, indexed by region id.
+    placed: Vec<Option<Rect>>,
+    best: Option<(u64, f64, Floorplan)>,
+    /// Minimum waste per region (for the lower bound).
+    min_waste: Vec<u64>,
+}
+
+impl<'a> SearchCtx<'a> {
+    fn time_up(&mut self) -> bool {
+        if self.aborted {
+            return true;
+        }
+        if self.node_limit > 0 && self.nodes >= self.node_limit {
+            self.aborted = true;
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if self.nodes % 256 == 0 && Instant::now() >= d {
+                self.aborted = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn partial_wirelength(&self) -> f64 {
+        let mut wl = 0.0;
+        for c in &self.problem.connections {
+            if let (Some(ra), Some(rb)) = (self.placed[c.a], self.placed[c.b]) {
+                wl += c.weight * ra.center_distance_x2(&rb) as f64 / 2.0;
+            }
+        }
+        wl
+    }
+
+    fn occupied(&self) -> Vec<Rect> {
+        self.placed.iter().filter_map(|r| *r).collect()
+    }
+
+    /// Packs the requested free-compatible areas given the fully-placed
+    /// regions. Returns `None` if a constraint-mode area cannot be packed;
+    /// otherwise returns the placements (metric-mode areas may be missing).
+    fn pack_fc_areas(&self) -> Option<Vec<FcPlacement>> {
+        let fc = self.problem.fc_areas();
+        if fc.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut occupied = self.occupied();
+        let mut placements: Vec<FcPlacement> = Vec::with_capacity(fc.len());
+        // Constraint-mode areas first (they can fail the whole packing),
+        // then metric-mode areas greedily.
+        let mut order: Vec<usize> = (0..fc.len()).collect();
+        order.sort_by_key(|&i| match fc[i].2 {
+            RelocationMode::Constraint => 0,
+            RelocationMode::Metric { .. } => 1,
+        });
+        // Backtracking packer over the constraint-mode areas.
+        let constraint_idx: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| matches!(fc[i].2, RelocationMode::Constraint))
+            .collect();
+        let metric_idx: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| matches!(fc[i].2, RelocationMode::Metric { .. }))
+            .collect();
+
+        let mut chosen: Vec<Option<Rect>> = vec![None; fc.len()];
+        if !self.pack_constraints(&fc, &constraint_idx, 0, &mut occupied, &mut chosen) {
+            return None;
+        }
+        // Greedy packing of the metric-mode areas.
+        for &i in &metric_idx {
+            let source = self.placed[fc[i].1].expect("all regions placed");
+            let options = enumerate_free_compatible(&self.problem.partition, &source, &occupied);
+            if let Some(rect) = options.first().copied() {
+                occupied.push(rect);
+                chosen[i] = Some(rect);
+            }
+        }
+        for (i, &(request, region, mode)) in fc.iter().enumerate() {
+            placements.push(FcPlacement { request, region, mode, rect: chosen[i] });
+        }
+        Some(placements)
+    }
+
+    /// Depth-first packing of the constraint-mode free-compatible areas.
+    fn pack_constraints(
+        &self,
+        fc: &[(usize, usize, RelocationMode)],
+        idx: &[usize],
+        depth: usize,
+        occupied: &mut Vec<Rect>,
+        chosen: &mut Vec<Option<Rect>>,
+    ) -> bool {
+        if depth == idx.len() {
+            return true;
+        }
+        let i = idx[depth];
+        let source = self.placed[fc[i].1].expect("all regions placed");
+        let options = enumerate_free_compatible(&self.problem.partition, &source, occupied);
+        for rect in options {
+            occupied.push(rect);
+            chosen[i] = Some(rect);
+            if self.pack_constraints(fc, idx, depth + 1, occupied, chosen) {
+                return true;
+            }
+            occupied.pop();
+            chosen[i] = None;
+        }
+        false
+    }
+
+    /// Quick necessary condition: every constraint-mode area of already-placed
+    /// regions still has at least one compatible placement ignoring the
+    /// not-yet-placed regions.
+    fn fc_still_possible(&self) -> bool {
+        let occupied = self.occupied();
+        for req in &self.problem.relocation {
+            if !matches!(req.mode, RelocationMode::Constraint) {
+                continue;
+            }
+            let Some(source) = self.placed[req.region] else { continue };
+            let options =
+                enumerate_free_compatible(&self.problem.partition, &source, &occupied);
+            if (options.len() as u32) < req.count {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn dfs(&mut self, level: usize, waste_so_far: u64) {
+        if self.time_up() {
+            return;
+        }
+        self.nodes += 1;
+
+        // Bound: waste so far plus the best-case waste of the remaining regions.
+        let remaining_min: u64 =
+            self.order[level..].iter().map(|&r| self.min_waste[r]).sum();
+        if let Some((best_waste, _, _)) = &self.best {
+            let lb = waste_so_far + remaining_min;
+            if lb > *best_waste {
+                return;
+            }
+            if !self.config.optimize_wirelength && lb == *best_waste {
+                return;
+            }
+        }
+
+        if level == self.order.len() {
+            // All regions placed: try to pack the free-compatible areas.
+            let Some(fc_areas) = self.pack_fc_areas() else { return };
+            let floorplan = Floorplan {
+                regions: self
+                    .placed
+                    .iter()
+                    .map(|r| r.expect("all regions placed at a leaf"))
+                    .collect(),
+                fc_areas,
+            };
+            let wl = self.partial_wirelength();
+            let better = match &self.best {
+                None => true,
+                Some((bw, bwl, _)) => {
+                    waste_so_far < *bw
+                        || (waste_so_far == *bw && self.config.optimize_wirelength && wl + 1e-9 < *bwl)
+                }
+            };
+            if better {
+                self.best = Some((waste_so_far, wl, floorplan));
+            }
+            if self.config.first_feasible {
+                // Unwind the whole search: the caller reports `proven: false`.
+                self.aborted = true;
+            }
+            return;
+        }
+
+        let region = self.order[level];
+        for ci in 0..self.candidates[region].len() {
+            let cand = self.candidates[region][ci];
+            // Overlap check against already-placed regions.
+            if self.placed.iter().flatten().any(|r| r.overlaps(&cand.rect)) {
+                continue;
+            }
+            self.placed[region] = Some(cand.rect);
+            if self.fc_still_possible() {
+                self.dfs(level + 1, waste_so_far + cand.waste);
+            }
+            self.placed[region] = None;
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+/// Solves a floorplanning problem with the combinatorial engine.
+pub fn solve_combinatorial(
+    problem: &FloorplanProblem,
+    config: &CombinatorialConfig,
+) -> Result<CombinatorialResult, FloorplanError> {
+    problem.validate()?;
+    let start = Instant::now();
+
+    let mut candidates = Vec::with_capacity(problem.regions.len());
+    let mut min_waste = Vec::with_capacity(problem.regions.len());
+    for spec in &problem.regions {
+        let cands = enumerate_candidates(&problem.partition, spec, &config.candidates);
+        if cands.is_empty() {
+            return Err(FloorplanError::ImpossibleRequirement {
+                region: spec.name.clone(),
+                detail: "no candidate placement satisfies the requirement".to_string(),
+            });
+        }
+        min_waste.push(cands[0].waste);
+        candidates.push(cands);
+    }
+
+    // Most-constrained region first (fewest candidates), ties by larger
+    // requirement.
+    let mut order: Vec<usize> = (0..problem.regions.len()).collect();
+    order.sort_by_key(|&r| (candidates[r].len(), usize::MAX - problem.regions[r].total_tiles() as usize));
+
+    let deadline = if config.time_limit_secs > 0.0 {
+        Some(start + Duration::from_secs_f64(config.time_limit_secs))
+    } else {
+        None
+    };
+
+    let mut ctx = SearchCtx {
+        problem,
+        order,
+        candidates,
+        config,
+        deadline,
+        node_limit: config.node_limit,
+        nodes: 0,
+        aborted: false,
+        placed: vec![None; problem.regions.len()],
+        best: None,
+        min_waste,
+    };
+
+    ctx.dfs(0, 0);
+
+    let proven = !ctx.aborted;
+    let nodes = ctx.nodes;
+    let solve_seconds = start.elapsed().as_secs_f64();
+    match ctx.best {
+        Some((waste, wl, floorplan)) => Ok(CombinatorialResult {
+            floorplan: Some(floorplan),
+            best_waste: Some(waste),
+            best_wirelength: Some(wl),
+            proven: proven && !config.first_feasible,
+            nodes,
+            solve_seconds,
+        }),
+        None => {
+            if proven {
+                Ok(CombinatorialResult {
+                    floorplan: None,
+                    best_waste: None,
+                    best_wirelength: None,
+                    proven: true,
+                    nodes,
+                    solve_seconds,
+                })
+            } else {
+                Err(FloorplanError::LimitReached)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RegionSpec, RelocationRequest};
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+
+    fn small_problem() -> (FloorplanProblem, rfp_device::TileTypeId, rfp_device::TileTypeId, rfp_device::TileTypeId)
+    {
+        let mut b = DeviceBuilder::new("small");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        let dsp = b.tile_type("DSP", ResourceVec::new(0, 0, 1), 28);
+        b.rows(4).columns(&[clb, clb, bram, clb, dsp, clb, clb, bram, clb, clb]);
+        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        (FloorplanProblem::new(p), clb, bram, dsp)
+    }
+
+    #[test]
+    fn finds_zero_waste_floorplan_when_one_exists() {
+        let (mut p, clb, bram, _) = small_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 4)]));
+        let res = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        assert!(res.proven);
+        let fp = res.floorplan.unwrap();
+        assert!(fp.validate(&p).is_empty());
+        // A exact fit: 1 CLB col + 1 BRAM col at height... needs 2 CLB,1 BRAM:
+        // cols {2,3} height 1 covers 1 CLB + 1 BRAM (not enough CLB) -> h=2
+        // over cols {2,3} gives 2 CLB + 2 BRAM (waste 30) or cols {1,2,3} h=1
+        // gives 2 CLB + 1 BRAM (waste 0). B: 4 CLB = 0 waste options exist.
+        assert_eq!(res.best_waste, Some(0));
+    }
+
+    #[test]
+    fn respects_non_overlap() {
+        let (mut p, clb, _, dsp) = small_problem();
+        // Both regions need the single DSP column; they must stack vertically.
+        p.add_region(RegionSpec::new("A", vec![(dsp, 2)]));
+        p.add_region(RegionSpec::new("B", vec![(dsp, 2)]));
+        let res = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        let fp = res.floorplan.unwrap();
+        assert!(fp.validate(&p).is_empty());
+        assert!(!fp.regions[0].overlaps(&fp.regions[1]));
+        let _ = clb;
+    }
+
+    #[test]
+    fn detects_infeasibility_from_capacity() {
+        let (mut p, _, _, dsp) = small_problem();
+        // Only 4 DSP tiles exist (1 column x 4 rows); three regions of 2 DSP
+        // tiles each cannot fit.
+        p.add_region(RegionSpec::new("A", vec![(dsp, 2)]));
+        p.add_region(RegionSpec::new("B", vec![(dsp, 2)]));
+        p.add_region(RegionSpec::new("C", vec![(dsp, 2)]));
+        let res = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        assert!(res.proven);
+        assert!(res.floorplan.is_none());
+    }
+
+    #[test]
+    fn relocation_constraint_is_honoured() {
+        let (mut p, clb, bram, _) = small_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 3)]));
+        p.request_relocation(RelocationRequest::constraint(a, 1));
+        let res = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        let fp = res.floorplan.unwrap();
+        assert!(fp.validate(&p).is_empty());
+        assert_eq!(fp.fc_found(), 1);
+        let m = fp.metrics(&p);
+        assert_eq!(m.fc_requested, 1);
+        assert_eq!(m.fc_found, 1);
+    }
+
+    #[test]
+    fn impossible_relocation_constraint_is_reported_infeasible() {
+        let (mut p, _, _, dsp) = small_problem();
+        // The region needs 3 of the 4 DSP tiles in the single DSP column; a
+        // compatible copy would need 3 more -> impossible.
+        let a = p.add_region(RegionSpec::new("A", vec![(dsp, 3)]));
+        p.request_relocation(RelocationRequest::constraint(a, 1));
+        let res = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        assert!(res.proven);
+        assert!(res.floorplan.is_none(), "no floorplan should satisfy the relocation constraint");
+    }
+
+    #[test]
+    fn relocation_metric_reports_missing_areas() {
+        let (mut p, _, _, dsp) = small_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(dsp, 3)]));
+        p.request_relocation(RelocationRequest::metric(a, 1, 2.0));
+        let res = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        let fp = res.floorplan.unwrap();
+        assert!(fp.validate(&p).is_empty());
+        assert_eq!(fp.fc_found(), 0);
+        let m = fp.metrics(&p);
+        assert_eq!(m.fc_requested, 1);
+        assert!((m.relocation_cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wirelength_is_optimised_as_secondary_criterion() {
+        let (mut p, clb, _, _) = small_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 2)]));
+        let b = p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        p.connect(a, b, 10.0);
+        let with_wl = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        let without_wl = solve_combinatorial(
+            &p,
+            &CombinatorialConfig { optimize_wirelength: false, ..CombinatorialConfig::default() },
+        )
+        .unwrap();
+        // Both must reach the same (zero) waste; the wire-length-aware run
+        // must not be worse in wire length.
+        assert_eq!(with_wl.best_waste, without_wl.best_waste);
+        let wl_a = with_wl.floorplan.unwrap().metrics(&p).wirelength;
+        let wl_b = without_wl.floorplan.unwrap().metrics(&p).wirelength;
+        assert!(wl_a <= wl_b + 1e-9);
+    }
+
+    #[test]
+    fn first_feasible_mode_is_fast_and_valid() {
+        let (mut p, clb, bram, dsp) = small_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 3), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2), (dsp, 1)]));
+        p.add_region(RegionSpec::new("C", vec![(clb, 2)]));
+        let res = solve_combinatorial(&p, &CombinatorialConfig::feasibility()).unwrap();
+        let fp = res.floorplan.unwrap();
+        assert!(fp.validate(&p).is_empty());
+        assert!(!res.proven, "first-feasible mode does not prove optimality");
+    }
+
+    #[test]
+    fn node_limit_aborts_with_limit_error_when_nothing_found() {
+        let (mut p, clb, bram, _) = small_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 4)]));
+        // A node limit of 1 gives the search no room to reach a leaf.
+        let cfg = CombinatorialConfig { node_limit: 1, ..CombinatorialConfig::default() };
+        let err = solve_combinatorial(&p, &cfg);
+        assert!(matches!(err, Err(FloorplanError::LimitReached)));
+    }
+}

@@ -1,0 +1,203 @@
+//! Export of floorplans to Vivado-style physical constraints.
+//!
+//! A floorplan is only useful if it can be handed to the vendor
+//! implementation flow. This module renders a [`Floorplan`] as the
+//! `create_pblock` / `resize_pblock` XDC commands a designer would paste into
+//! a Vivado constraints file (one Pblock per reconfigurable region, plus one
+//! commented-out Pblock per reserved free-compatible area, since those areas
+//! host *relocated* bitstreams rather than separately implemented modules).
+//!
+//! Tile coordinates are translated to SLICE/RAMB/DSP site ranges with a
+//! configurable number of sites per tile, matching the granularity used by
+//! the device model (one tile = one resource column of one clock region).
+
+use crate::placement::Floorplan;
+use crate::problem::FloorplanProblem;
+use rfp_device::{ColumnarPartition, Rect, ResourceKind};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Site-naming configuration for the XDC export.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XdcConfig {
+    /// SLICE sites per CLB tile in the X direction.
+    pub slices_per_clb_x: u32,
+    /// SLICE rows per tile row (20 CLB rows per clock region on Virtex-5).
+    pub slice_rows_per_tile: u32,
+    /// RAMB36 sites per BRAM tile.
+    pub rambs_per_tile: u32,
+    /// DSP48 sites per DSP tile.
+    pub dsps_per_tile: u32,
+    /// Emit `RESET_AFTER_RECONFIG` and `SNAPPING_MODE` properties, as
+    /// recommended by the partial-reconfiguration guidelines [7].
+    pub pr_properties: bool,
+}
+
+impl Default for XdcConfig {
+    fn default() -> Self {
+        XdcConfig {
+            slices_per_clb_x: 1,
+            slice_rows_per_tile: 20,
+            rambs_per_tile: 4,
+            dsps_per_tile: 8,
+            pr_properties: true,
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Site ranges (one string per resource kind present) for a rectangle.
+fn site_ranges(partition: &ColumnarPartition, rect: &Rect, cfg: &XdcConfig) -> Vec<String> {
+    // Column index per resource kind, counting columns of that kind from the
+    // left edge of the device (vendor tools number sites per-kind).
+    let mut ranges = Vec::new();
+    let kinds = [
+        (ResourceKind::Clb, "SLICE", cfg.slices_per_clb_x, cfg.slice_rows_per_tile),
+        (ResourceKind::Bram, "RAMB36", 1, cfg.rambs_per_tile),
+        (ResourceKind::Dsp, "DSP48", 1, cfg.dsps_per_tile),
+    ];
+    for (kind, prefix, sites_x, sites_y) in kinds {
+        // Per-kind x index of each device column.
+        let mut kind_index_of_col = Vec::with_capacity(partition.cols as usize);
+        let mut count = 0u32;
+        for col in 1..=partition.cols {
+            let is_kind = partition
+                .column_type(col)
+                .map(|ty| partition.resources_per_tile(ty)[kind] > 0)
+                .unwrap_or(false);
+            kind_index_of_col.push(if is_kind { Some(count) } else { None });
+            if is_kind {
+                count += 1;
+            }
+        }
+        let covered: Vec<u32> = rect
+            .columns()
+            .filter_map(|c| kind_index_of_col[(c - 1) as usize])
+            .collect();
+        if covered.is_empty() {
+            continue;
+        }
+        let x0 = covered.iter().min().unwrap() * sites_x;
+        let x1 = (covered.iter().max().unwrap() + 1) * sites_x - 1;
+        let y0 = (rect.y - 1) * sites_y;
+        let y1 = rect.y2() * sites_y - 1;
+        ranges.push(format!("{prefix}_X{x0}Y{y0}:{prefix}_X{x1}Y{y1}"));
+    }
+    ranges
+}
+
+/// Renders the floorplan as an XDC constraints snippet.
+pub fn to_xdc(problem: &FloorplanProblem, floorplan: &Floorplan, cfg: &XdcConfig) -> String {
+    let mut out = String::new();
+    let partition = &problem.partition;
+    let _ = writeln!(out, "# Floorplan exported by relocfp for device `{}`", partition.device_name);
+    let _ = writeln!(out, "# {} regions, {} reserved free-compatible areas", floorplan.regions.len(), floorplan.fc_found());
+    for (spec, rect) in problem.regions.iter().zip(floorplan.regions.iter()) {
+        let name = sanitize(&spec.name);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "create_pblock pblock_{name}");
+        let _ = writeln!(
+            out,
+            "add_cells_to_pblock [get_pblocks pblock_{name}] [get_cells -quiet [list {name}_i]]"
+        );
+        for range in site_ranges(partition, rect, cfg) {
+            let _ = writeln!(out, "resize_pblock [get_pblocks pblock_{name}] -add {{{range}}}");
+        }
+        if cfg.pr_properties {
+            let _ = writeln!(out, "set_property RESET_AFTER_RECONFIG true [get_pblocks pblock_{name}]");
+            let _ = writeln!(out, "set_property SNAPPING_MODE ON [get_pblocks pblock_{name}]");
+        }
+    }
+    let mut counter = vec![0usize; problem.regions.len()];
+    for fc in &floorplan.fc_areas {
+        let Some(rect) = fc.rect else { continue };
+        counter[fc.region] += 1;
+        let region = sanitize(&problem.regions[fc.region].name);
+        let name = format!("{region}_reloc{}", counter[fc.region]);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "# Reserved free-compatible area for `{region}` (relocation target #{})", counter[fc.region]);
+        let _ = writeln!(out, "# create_pblock pblock_{name}");
+        for range in site_ranges(partition, &rect, cfg) {
+            let _ = writeln!(out, "# resize_pblock [get_pblocks pblock_{name}] -add {{{range}}}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::FcPlacement;
+    use crate::problem::{RegionSpec, RelocationMode};
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+
+    fn setup() -> (FloorplanProblem, Floorplan) {
+        let mut b = DeviceBuilder::new("xdc");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        let dsp = b.tile_type("DSP", ResourceVec::new(0, 0, 1), 28);
+        b.rows(4).columns(&[clb, clb, bram, clb, dsp, clb, clb, bram]);
+        let part = columnar_partition(&b.build().unwrap()).unwrap();
+        let mut p = FloorplanProblem::new(part);
+        p.add_region(RegionSpec::new("Matched Filter", vec![(clb, 2), (dsp, 1)]));
+        p.add_region(RegionSpec::new("FFT core", vec![(clb, 1), (bram, 1)]));
+        let mut fp = Floorplan::from_regions(vec![Rect::new(4, 1, 2, 1), Rect::new(2, 2, 2, 1)]);
+        fp.fc_areas.push(FcPlacement {
+            request: 0,
+            region: 1,
+            mode: RelocationMode::Constraint,
+            rect: Some(Rect::new(7, 3, 2, 1)),
+        });
+        (p, fp)
+    }
+
+    #[test]
+    fn xdc_contains_a_pblock_per_region() {
+        let (p, fp) = setup();
+        let xdc = to_xdc(&p, &fp, &XdcConfig::default());
+        assert!(xdc.contains("create_pblock pblock_Matched_Filter"));
+        assert!(xdc.contains("create_pblock pblock_FFT_core"));
+        assert!(xdc.contains("RESET_AFTER_RECONFIG"));
+        // The matched filter covers a CLB column and the DSP column.
+        assert!(xdc.contains("SLICE_X"));
+        assert!(xdc.contains("DSP48_X"));
+    }
+
+    #[test]
+    fn reserved_areas_are_emitted_as_comments() {
+        let (p, fp) = setup();
+        let xdc = to_xdc(&p, &fp, &XdcConfig::default());
+        assert!(xdc.contains("# Reserved free-compatible area for `FFT_core`"));
+        assert!(xdc.contains("# create_pblock pblock_FFT_core_reloc1"));
+    }
+
+    #[test]
+    fn site_ranges_scale_with_the_site_geometry() {
+        let (p, fp) = setup();
+        let cfg = XdcConfig { slice_rows_per_tile: 10, ..XdcConfig::default() };
+        let xdc10 = to_xdc(&p, &fp, &cfg);
+        let xdc20 = to_xdc(&p, &fp, &XdcConfig::default());
+        assert_ne!(xdc10, xdc20);
+        // Row 1..1 with 20 slice rows per tile spans Y0..Y19.
+        assert!(xdc20.contains("Y0:") && xdc20.contains("Y19"));
+    }
+
+    #[test]
+    fn names_are_sanitised_for_xdc() {
+        assert_eq!(sanitize("Video Decoder #2"), "Video_Decoder__2");
+    }
+
+    #[test]
+    fn pr_properties_can_be_disabled() {
+        let (p, fp) = setup();
+        let cfg = XdcConfig { pr_properties: false, ..XdcConfig::default() };
+        let xdc = to_xdc(&p, &fp, &cfg);
+        assert!(!xdc.contains("RESET_AFTER_RECONFIG"));
+        assert!(!xdc.contains("SNAPPING_MODE"));
+    }
+}

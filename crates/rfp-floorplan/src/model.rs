@@ -1,0 +1,830 @@
+//! The MILP floorplanning formulation.
+//!
+//! This module generates the mixed-integer linear program at the core of the
+//! paper: the base floorplanning model of [10] restricted to columnar
+//! devices (Section III), extended with
+//!
+//! * forbidden-area avoidance — Equations (1) and (2);
+//! * the portion-offset variables `o_{n,p}` — Equations (4) and (5);
+//! * relocation as a constraint — Equations (6), (7), (9) and the tightened
+//!   (10);
+//! * relocation as a metric — Equations (11), (12) and the cost terms (13)
+//!   and (15);
+//! * the composite objective — Equation (14).
+//!
+//! ## Variables
+//!
+//! For every *entity* (a reconfigurable region of set `N` or a
+//! free-compatible pseudo-region of set `FC ⊂ N`):
+//!
+//! | paper | here | kind | meaning |
+//! |-------|------|------|---------|
+//! | `x_n` | `x[e]` | integer ≥ 1 | leftmost column |
+//! | `w_n` | `w[e]` | integer ≥ 1 | width in columns |
+//! | —     | `y[e]` | continuous | topmost row (integrality implied) |
+//! | `h_n` | `h[e]` | continuous | height in rows (integrality implied) |
+//! | —     | `a[e][r]` | binary | entity covers row `r` |
+//! | —     | `cov[e][c]` | binary | entity covers column `c` |
+//! | `k_{n,p}` | `k[e][p]` | continuous [0,1] | x-projection intersects portion `p` |
+//! | `o_{n,p}` | `o[e][p]` | continuous [0,1] | `p` is the first covered portion |
+//! | `l_{n,p,r}` | `l[e][p][r]` | continuous | tiles covered in portion `p` on row `r` |
+//! | `q_{n,a}` | `q[e][a]` | binary | entity not left of forbidden area `a` |
+//! | `v_c` | `v[c]` | binary | free-compatible area `c` violated (metric mode) |
+//!
+//! The column-coverage binaries `cov` are an implementation detail not named
+//! in the paper: they pin the per-portion intersection widths exactly, which
+//! the relocation equalities of Equation (9) require (the paper inherits this
+//! machinery from the base model of [10]).
+//!
+//! Note on Equations (10)/(12): the paper's text states that the constraint
+//! must forbid `o_{c,pc} = o_{n,pn} = k_{n,pn+i} = 1` **when the two tile
+//! types differ**; the inequality as printed carries an `=` guard, which we
+//! read as the evident typo for `≠` and implement accordingly.
+
+use crate::placement::{FcPlacement, Floorplan};
+use crate::problem::{FloorplanProblem, RelocationMode};
+use crate::sequence_pair::{PairRelation, Relation};
+use rfp_device::{PortionId, Rect};
+use rfp_milp::{ConOp, LinExpr, Model, Sense, Solution, VarId};
+use serde::{Deserialize, Serialize};
+
+/// Which algorithm variant the model is built for.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MilpBuildConfig {
+    /// HO mode: pairwise relations extracted from a heuristic solution; each
+    /// fixes the corresponding relative-position binary, shrinking the search
+    /// space (Section II-A). `None` builds the full O model.
+    pub ho_relations: Option<Vec<PairRelation>>,
+}
+
+impl MilpBuildConfig {
+    /// Builds the full (O) model.
+    pub fn optimal() -> Self {
+        MilpBuildConfig { ho_relations: None }
+    }
+
+    /// Builds the HO model constrained by the given pairwise relations.
+    pub fn heuristic_optimal(relations: Vec<PairRelation>) -> Self {
+        MilpBuildConfig { ho_relations: Some(relations) }
+    }
+}
+
+/// Handles to every variable of the generated model, used for extraction and
+/// by the white-box tests.
+#[derive(Debug, Clone)]
+pub struct ModelVars {
+    /// Leftmost column per entity.
+    pub x: Vec<VarId>,
+    /// Width per entity.
+    pub w: Vec<VarId>,
+    /// Topmost row per entity.
+    pub y: Vec<VarId>,
+    /// Height per entity.
+    pub h: Vec<VarId>,
+    /// Row-coverage binaries `a[e][r-1]`.
+    pub a: Vec<Vec<VarId>>,
+    /// Column-coverage binaries `cov[e][c-1]`.
+    pub cov: Vec<Vec<VarId>>,
+    /// Portion-intersection indicators `k[e][p]`.
+    pub k: Vec<Vec<VarId>>,
+    /// First-portion offsets `o[e][p]`.
+    pub o: Vec<Vec<VarId>>,
+    /// Per-portion per-row intersection `l[e][p][r-1]`.
+    pub l: Vec<Vec<Vec<VarId>>>,
+    /// Violation binaries `v` per free-compatible entity (index into the FC
+    /// list), only present in metric mode.
+    pub v: Vec<Option<VarId>>,
+}
+
+/// Statistics of a generated model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Number of entities (regions + free-compatible areas).
+    pub entities: usize,
+    /// Number of variables.
+    pub n_vars: usize,
+    /// Number of integer/binary variables.
+    pub n_int_vars: usize,
+    /// Number of constraints.
+    pub n_cons: usize,
+    /// Number of non-zero coefficients.
+    pub n_nonzeros: usize,
+}
+
+/// A generated floorplanning MILP together with the handles needed to read a
+/// floorplan back out of a solution.
+#[derive(Debug, Clone)]
+pub struct FloorplanMilp {
+    /// The generated mixed-integer linear program.
+    pub milp: Model,
+    /// Variable handles.
+    pub vars: ModelVars,
+    n_regions: usize,
+    /// `(request index, source region, mode)` per FC entity.
+    fc_meta: Vec<(usize, usize, RelocationMode)>,
+}
+
+impl FloorplanMilp {
+    /// Generates the MILP for a problem.
+    pub fn build(problem: &FloorplanProblem, config: &MilpBuildConfig) -> FloorplanMilp {
+        let partition = &problem.partition;
+        let cols = partition.cols as f64;
+        let rows = partition.rows as f64;
+        let max_w = partition.cols;
+        let n_rows = partition.rows;
+        let n_portions = partition.n_portions();
+        let n_regions = problem.regions.len();
+        let fc_meta = problem.fc_areas();
+        let entities = n_regions + fc_meta.len();
+
+        let mut m = Model::new(format!("floorplan-{}", partition.device_name), Sense::Minimize);
+
+        let entity_name = |e: usize| -> String {
+            if e < n_regions {
+                problem.regions[e].name.clone()
+            } else {
+                let (_, region, _) = fc_meta[e - n_regions];
+                format!("fc{}_{}", e - n_regions, problem.regions[region].name)
+            }
+        };
+
+        // ------------------------------------------------------------------
+        // Variables.
+        // ------------------------------------------------------------------
+        let mut vars = ModelVars {
+            x: Vec::new(),
+            w: Vec::new(),
+            y: Vec::new(),
+            h: Vec::new(),
+            a: Vec::new(),
+            cov: Vec::new(),
+            k: Vec::new(),
+            o: Vec::new(),
+            l: Vec::new(),
+            v: vec![None; fc_meta.len()],
+        };
+        for e in 0..entities {
+            let name = entity_name(e);
+            vars.x.push(m.int_var(format!("x[{name}]"), 1.0, cols));
+            vars.w.push(m.int_var(format!("w[{name}]"), 1.0, cols));
+            vars.y.push(m.cont_var(format!("y[{name}]"), 1.0, rows));
+            vars.h.push(m.cont_var(format!("h[{name}]"), 1.0, rows));
+            vars.a.push(
+                (1..=n_rows).map(|r| m.bin_var(format!("a[{name}][{r}]"))).collect(),
+            );
+            vars.cov.push(
+                (1..=max_w).map(|c| m.bin_var(format!("cov[{name}][{c}]"))).collect(),
+            );
+            vars.k.push(
+                (0..n_portions).map(|p| m.cont_var(format!("k[{name}][{}]", p + 1), 0.0, 1.0)).collect(),
+            );
+            vars.o.push(
+                (0..n_portions).map(|p| m.cont_var(format!("o[{name}][{}]", p + 1), 0.0, 1.0)).collect(),
+            );
+            let mut l_e = Vec::with_capacity(n_portions);
+            for p in 0..n_portions {
+                let wp = partition.portion(PortionId(p)).width() as f64;
+                l_e.push(
+                    (1..=n_rows)
+                        .map(|r| m.cont_var(format!("l[{name}][{}][{r}]", p + 1), 0.0, wp))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            vars.l.push(l_e);
+        }
+        // Violation binaries for metric-mode FC areas (Section V).
+        for (c, &(_, region, mode)) in fc_meta.iter().enumerate() {
+            if matches!(mode, RelocationMode::Metric { .. }) {
+                let name = format!("v[fc{c}_{}]", problem.regions[region].name);
+                vars.v[c] = Some(m.bin_var(name));
+            }
+        }
+
+        // Soft-constraint helper: the `+ v_c * M` term for entities that are
+        // metric-mode FC areas.
+        let soft_term = |e: usize, big_m: f64| -> LinExpr {
+            if e >= n_regions {
+                if let Some(v) = vars.v[e - n_regions] {
+                    return LinExpr::term(v, big_m);
+                }
+            }
+            LinExpr::zero()
+        };
+
+        // ------------------------------------------------------------------
+        // Geometry of every entity.
+        // ------------------------------------------------------------------
+        for e in 0..entities {
+            let name = entity_name(e);
+            // x + w <= maxW + 1 ; y + h <= |R| + 1.
+            m.add_con(
+                format!("xw_bound[{name}]"),
+                LinExpr::from(vars.x[e]) + vars.w[e],
+                ConOp::Le,
+                cols + 1.0,
+            );
+            m.add_con(
+                format!("yh_bound[{name}]"),
+                LinExpr::from(vars.y[e]) + vars.h[e],
+                ConOp::Le,
+                rows + 1.0,
+            );
+            // Row window: sum_r a = h ; a_r = 1 <=> y <= r <= y + h - 1.
+            m.add_con(
+                format!("row_count[{name}]"),
+                LinExpr::weighted_sum(vars.a[e].iter().map(|&v| (v, 1.0))) - vars.h[e],
+                ConOp::Eq,
+                0.0,
+            );
+            for r in 1..=n_rows {
+                let a = vars.a[e][(r - 1) as usize];
+                m.add_con(
+                    format!("row_lo[{name}][{r}]"),
+                    LinExpr::from(vars.y[e]) + LinExpr::term(a, rows),
+                    ConOp::Le,
+                    r as f64 + rows,
+                );
+                m.add_con(
+                    format!("row_hi[{name}][{r}]"),
+                    LinExpr::from(vars.y[e]) + vars.h[e] - LinExpr::term(a, rows),
+                    ConOp::Ge,
+                    r as f64 + 1.0 - rows,
+                );
+            }
+            // Column window: sum_c cov = w ; cov_c = 1 <=> x <= c <= x + w - 1.
+            m.add_con(
+                format!("col_count[{name}]"),
+                LinExpr::weighted_sum(vars.cov[e].iter().map(|&v| (v, 1.0))) - vars.w[e],
+                ConOp::Eq,
+                0.0,
+            );
+            for c in 1..=max_w {
+                let cv = vars.cov[e][(c - 1) as usize];
+                m.add_con(
+                    format!("col_lo[{name}][{c}]"),
+                    LinExpr::from(vars.x[e]) + LinExpr::term(cv, cols),
+                    ConOp::Le,
+                    c as f64 + cols,
+                );
+                m.add_con(
+                    format!("col_hi[{name}][{c}]"),
+                    LinExpr::from(vars.x[e]) + vars.w[e] - LinExpr::term(cv, cols),
+                    ConOp::Ge,
+                    c as f64 + 1.0 - cols,
+                );
+            }
+            // Portion intersection indicator k and per-row intersection l.
+            for p in 0..n_portions {
+                let portion = partition.portion(PortionId(p));
+                let wp = portion.width() as f64;
+                let cov_in_p: Vec<VarId> = (portion.x1..=portion.x2)
+                    .map(|c| vars.cov[e][(c - 1) as usize])
+                    .collect();
+                let ow_expr = LinExpr::weighted_sum(cov_in_p.iter().map(|&v| (v, 1.0)));
+                // k >= cov_c for every column of the portion.
+                for &cv in &cov_in_p {
+                    m.add_con(
+                        format!("k_lo[{name}][{}]", p + 1),
+                        LinExpr::from(vars.k[e][p]) - cv,
+                        ConOp::Ge,
+                        0.0,
+                    );
+                }
+                // k <= sum of cov over the portion.
+                m.add_con(
+                    format!("k_hi[{name}][{}]", p + 1),
+                    LinExpr::from(vars.k[e][p]) - ow_expr.clone(),
+                    ConOp::Le,
+                    0.0,
+                );
+                // l[p][r] = (overlap width) * a_r, linearised exactly.
+                for r in 1..=n_rows {
+                    let l = vars.l[e][p][(r - 1) as usize];
+                    let a = vars.a[e][(r - 1) as usize];
+                    m.add_con(
+                        format!("l_row[{name}][{}][{r}]", p + 1),
+                        LinExpr::from(l) - LinExpr::term(a, wp),
+                        ConOp::Le,
+                        0.0,
+                    );
+                    m.add_con(
+                        format!("l_ow_hi[{name}][{}][{r}]", p + 1),
+                        LinExpr::from(l) - ow_expr.clone(),
+                        ConOp::Le,
+                        0.0,
+                    );
+                    m.add_con(
+                        format!("l_ow_lo[{name}][{}][{r}]", p + 1),
+                        LinExpr::from(l) - ow_expr.clone() - LinExpr::term(a, wp),
+                        ConOp::Ge,
+                        -wp,
+                    );
+                }
+            }
+            // Offset variables (Equations 4 and 5).
+            m.add_con(
+                format!("offset_sum[{name}]"),
+                LinExpr::weighted_sum(vars.o[e].iter().map(|&v| (v, 1.0))),
+                ConOp::Eq,
+                1.0,
+            );
+            m.add_con(
+                format!("offset_first[{name}]"),
+                LinExpr::from(vars.o[e][0]) - vars.k[e][0],
+                ConOp::Eq,
+                0.0,
+            );
+            for p in 1..n_portions {
+                m.add_con(
+                    format!("offset_step[{name}][{}]", p + 1),
+                    LinExpr::from(vars.o[e][p]) - vars.k[e][p] + vars.k[e][p - 1],
+                    ConOp::Ge,
+                    0.0,
+                );
+            }
+            // Forbidden areas (Equations 1 and 2).
+            for (ai, fa) in partition.forbidden.iter().enumerate() {
+                let q = m.bin_var(format!("q[{name}][{}]", fa.name));
+                m.add_con(
+                    format!("forbidden_left[{name}][{}]", fa.name),
+                    LinExpr::from(vars.x[e]) + vars.w[e] - LinExpr::term(q, cols),
+                    ConOp::Le,
+                    fa.xa1() as f64,
+                );
+                for r in 1..=n_rows {
+                    if !fa.lies_on_row(r) {
+                        continue;
+                    }
+                    let a = vars.a[e][(r - 1) as usize];
+                    m.add_con(
+                        format!("forbidden_right[{name}][{}][{r}]", fa.name),
+                        LinExpr::from(vars.x[e])
+                            - LinExpr::term(q, cols)
+                            - LinExpr::term(a, cols),
+                        ConOp::Ge,
+                        fa.xa2() as f64 + 1.0 - 2.0 * cols,
+                    );
+                }
+                let _ = ai;
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Resource coverage (reconfigurable regions only, Section IV-A).
+        // ------------------------------------------------------------------
+        for (e, spec) in problem.regions.iter().enumerate() {
+            for &(ty, need) in spec.tile_req() {
+                let mut expr = LinExpr::zero();
+                for p in 0..n_portions {
+                    if partition.portion(PortionId(p)).tile_type != ty {
+                        continue;
+                    }
+                    for r in 0..n_rows as usize {
+                        expr.add_term(vars.l[e][p][r], 1.0);
+                    }
+                }
+                m.add_con(
+                    format!("coverage[{}][{ty}]", spec.name),
+                    expr,
+                    ConOp::Ge,
+                    need as f64,
+                );
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Pairwise non-overlap (soft for metric-mode FC areas, Section V).
+        // ------------------------------------------------------------------
+        let relation_of = |i: usize, j: usize| -> Option<Relation> {
+            config.ho_relations.as_ref().and_then(|rels| {
+                rels.iter().find_map(|r| {
+                    if r.a == i && r.b == j {
+                        Some(r.relation)
+                    } else if r.a == j && r.b == i {
+                        Some(match r.relation {
+                            Relation::LeftOf => Relation::RightOf,
+                            Relation::RightOf => Relation::LeftOf,
+                            Relation::Above => Relation::Below,
+                            Relation::Below => Relation::Above,
+                        })
+                    } else {
+                        None
+                    }
+                })
+            })
+        };
+        for i in 0..entities {
+            for j in (i + 1)..entities {
+                let ni = entity_name(i);
+                let nj = entity_name(j);
+                let fixed = relation_of(i, j);
+                let mut left_ij = m.bin_var(format!("left[{ni}][{nj}]"));
+                let mut left_ji = m.bin_var(format!("left[{nj}][{ni}]"));
+                let mut below_ij = m.bin_var(format!("above[{ni}][{nj}]"));
+                let mut below_ji = m.bin_var(format!("above[{nj}][{ni}]"));
+                if let Some(rel) = fixed {
+                    // HO: pin the binary corresponding to the seed relation.
+                    let pin = |m: &mut Model, var: &mut VarId| m.set_bounds(*var, 1.0, 1.0);
+                    match rel {
+                        Relation::LeftOf => pin(&mut m, &mut left_ij),
+                        Relation::RightOf => pin(&mut m, &mut left_ji),
+                        Relation::Above => pin(&mut m, &mut below_ij),
+                        Relation::Below => pin(&mut m, &mut below_ji),
+                    }
+                }
+                let soft = soft_term(i, cols.max(rows)) + soft_term(j, cols.max(rows));
+                m.add_con(
+                    format!("no_overlap[{ni}][{nj}]"),
+                    LinExpr::from(left_ij) + left_ji + below_ij + below_ji,
+                    ConOp::Ge,
+                    1.0,
+                );
+                m.add_con(
+                    format!("left_sep[{ni}][{nj}]"),
+                    LinExpr::from(vars.x[i]) + vars.w[i] - vars.x[j] + LinExpr::term(left_ij, cols)
+                        - soft.clone(),
+                    ConOp::Le,
+                    cols,
+                );
+                m.add_con(
+                    format!("left_sep[{nj}][{ni}]"),
+                    LinExpr::from(vars.x[j]) + vars.w[j] - vars.x[i] + LinExpr::term(left_ji, cols)
+                        - soft.clone(),
+                    ConOp::Le,
+                    cols,
+                );
+                m.add_con(
+                    format!("above_sep[{ni}][{nj}]"),
+                    LinExpr::from(vars.y[i]) + vars.h[i] - vars.y[j]
+                        + LinExpr::term(below_ij, rows)
+                        - soft.clone(),
+                    ConOp::Le,
+                    rows,
+                );
+                m.add_con(
+                    format!("above_sep[{nj}][{ni}]"),
+                    LinExpr::from(vars.y[j]) + vars.h[j] - vars.y[i]
+                        + LinExpr::term(below_ji, rows)
+                        - soft,
+                    ConOp::Le,
+                    rows,
+                );
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Relocation constraints (Sections IV-C and V).
+        // ------------------------------------------------------------------
+        let big_m_tiles = cols * rows;
+        for (c_idx, &(_, region, mode)) in fc_meta.iter().enumerate() {
+            let ec = n_regions + c_idx; // entity index of the FC area
+            let en = region; // entity index of the source region
+            let name_c = entity_name(ec);
+            let name_n = entity_name(en);
+            let v_term = |scale: f64| -> LinExpr {
+                match (mode, vars.v[c_idx]) {
+                    (RelocationMode::Metric { .. }, Some(v)) => LinExpr::term(v, scale),
+                    _ => LinExpr::zero(),
+                }
+            };
+            // Equation 6: equal heights.
+            m.add_con(
+                format!("reloc_height[{name_c}]"),
+                LinExpr::from(vars.h[ec]) - vars.h[en],
+                ConOp::Eq,
+                0.0,
+            );
+            // Equation 7: equal number of covered portions.
+            m.add_con(
+                format!("reloc_portions[{name_c}]"),
+                LinExpr::weighted_sum(vars.k[ec].iter().map(|&v| (v, 1.0)))
+                    - LinExpr::weighted_sum(vars.k[en].iter().map(|&v| (v, 1.0))),
+                ConOp::Eq,
+                0.0,
+            );
+            // Equations 9/11 and 10/12, enumerated over (pc, pn, i).
+            for pc in 0..n_portions {
+                for pn in 0..n_portions {
+                    let i_lo = -(pc.min(pn) as i64);
+                    let i_hi = (n_portions - 1 - pc.max(pn)) as i64;
+                    for i in i_lo..=i_hi {
+                        let pci = (pc as i64 + i) as usize;
+                        let pni = (pn as i64 + i) as usize;
+                        let tid_c = partition.tid(PortionId(pci));
+                        let tid_n = partition.tid(PortionId(pni));
+                        let gate = LinExpr::term(vars.o[ec][pc], 1.0)
+                            + LinExpr::term(vars.o[en][pn], 1.0)
+                            + LinExpr::term(vars.k[en][pni], 1.0);
+                        if tid_c != tid_n {
+                            // Tightened Equation 10 (Equation 12 in metric mode).
+                            m.add_con(
+                                format!("reloc_type[{name_c}][{}][{}][{i}]", pc + 1, pn + 1),
+                                gate.clone() - v_term(1.0),
+                                ConOp::Le,
+                                2.0,
+                            );
+                        }
+                        // Equation 9 (Equation 11 in metric mode): equal tiles
+                        // in aligned portions when the gate is fully active.
+                        let sum_l_c = LinExpr::weighted_sum(
+                            (0..n_rows as usize).map(|r| (vars.l[ec][pci][r], 1.0)),
+                        );
+                        let sum_l_n = LinExpr::weighted_sum(
+                            (0..n_rows as usize).map(|r| (vars.l[en][pni][r], 1.0)),
+                        );
+                        let diff = sum_l_c - sum_l_n;
+                        // diff <= M (3 - gate + v)
+                        m.add_con(
+                            format!("reloc_tiles_ub[{name_c}][{}][{}][{i}]", pc + 1, pn + 1),
+                            diff.clone() + gate.clone() * big_m_tiles - v_term(big_m_tiles),
+                            ConOp::Le,
+                            3.0 * big_m_tiles,
+                        );
+                        // diff >= -M (3 - gate + v)
+                        m.add_con(
+                            format!("reloc_tiles_lb[{name_c}][{}][{}][{i}]", pc + 1, pn + 1),
+                            diff - gate * big_m_tiles + v_term(big_m_tiles),
+                            ConOp::Ge,
+                            -3.0 * big_m_tiles,
+                        );
+                    }
+                }
+            }
+            let _ = name_n;
+        }
+
+        // ------------------------------------------------------------------
+        // Objective (Equation 14).
+        // ------------------------------------------------------------------
+        let weights = &problem.weights;
+        let mut objective = LinExpr::zero();
+
+        // Wire-length cost.
+        if weights.wirelength != 0.0 && !problem.connections.is_empty() {
+            let scale = weights.wirelength / problem.wl_max();
+            for (ci, conn) in problem.connections.iter().enumerate() {
+                let dx = m.cont_var(format!("wl_dx[{ci}]"), 0.0, cols);
+                let dy = m.cont_var(format!("wl_dy[{ci}]"), 0.0, rows);
+                // Centre coordinates: x + (w - 1)/2 and y + (h - 1)/2.
+                let cx_a = LinExpr::from(vars.x[conn.a]) + LinExpr::term(vars.w[conn.a], 0.5);
+                let cx_b = LinExpr::from(vars.x[conn.b]) + LinExpr::term(vars.w[conn.b], 0.5);
+                let cy_a = LinExpr::from(vars.y[conn.a]) + LinExpr::term(vars.h[conn.a], 0.5);
+                let cy_b = LinExpr::from(vars.y[conn.b]) + LinExpr::term(vars.h[conn.b], 0.5);
+                m.add_con(
+                    format!("wl_dx_pos[{ci}]"),
+                    LinExpr::from(dx) - cx_a.clone() + cx_b.clone(),
+                    ConOp::Ge,
+                    0.0,
+                );
+                m.add_con(
+                    format!("wl_dx_neg[{ci}]"),
+                    LinExpr::from(dx) + cx_a - cx_b,
+                    ConOp::Ge,
+                    0.0,
+                );
+                m.add_con(
+                    format!("wl_dy_pos[{ci}]"),
+                    LinExpr::from(dy) - cy_a.clone() + cy_b.clone(),
+                    ConOp::Ge,
+                    0.0,
+                );
+                m.add_con(
+                    format!("wl_dy_neg[{ci}]"),
+                    LinExpr::from(dy) + cy_a - cy_b,
+                    ConOp::Ge,
+                    0.0,
+                );
+                objective += LinExpr::term(dx, conn.weight * scale)
+                    + LinExpr::term(dy, conn.weight * scale);
+            }
+        }
+
+        // Perimeter cost.
+        if weights.perimeter != 0.0 {
+            let scale = weights.perimeter / problem.p_max();
+            for e in 0..n_regions {
+                objective += LinExpr::term(vars.w[e], scale) + LinExpr::term(vars.h[e], scale);
+            }
+        }
+
+        // Resource (wasted frames) cost.
+        if weights.resources != 0.0 {
+            let scale = weights.resources / problem.r_max();
+            for e in 0..n_regions {
+                for p in 0..n_portions {
+                    let frames =
+                        partition.frames_per_tile(partition.portion(PortionId(p)).tile_type) as f64;
+                    for r in 0..n_rows as usize {
+                        objective += LinExpr::term(vars.l[e][p][r], frames * scale);
+                    }
+                }
+            }
+            // Constant shift so the objective reports *wasted* frames rather
+            // than covered frames; purely cosmetic for comparisons.
+            objective += LinExpr::constant(-(problem.total_required_frames() as f64) * scale);
+        }
+
+        // Relocation cost (Equations 13 and 15).
+        if weights.relocation != 0.0 {
+            let scale = weights.relocation / problem.rl_max();
+            for (c_idx, &(req_idx, _, mode)) in fc_meta.iter().enumerate() {
+                if let (RelocationMode::Metric { weight }, Some(v)) = (mode, vars.v[c_idx]) {
+                    objective += LinExpr::term(v, weight * scale);
+                }
+                let _ = req_idx;
+            }
+        }
+
+        m.set_objective(objective);
+
+        FloorplanMilp { milp: m, vars, n_regions, fc_meta }
+    }
+
+    /// Statistics of the generated model.
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            entities: self.vars.x.len(),
+            n_vars: self.milp.n_vars(),
+            n_int_vars: self.milp.n_integer_vars(),
+            n_cons: self.milp.n_cons(),
+            n_nonzeros: self.milp.n_nonzeros(),
+        }
+    }
+
+    /// Number of entities (regions plus free-compatible areas).
+    pub fn n_entities(&self) -> usize {
+        self.vars.x.len()
+    }
+
+    /// Reads a floorplan out of a MILP solution.
+    pub fn extract(&self, solution: &Solution) -> Floorplan {
+        let rect_of = |e: usize| -> Rect {
+            let x = solution.value(self.vars.x[e]).round().max(1.0) as u32;
+            let y = solution.value(self.vars.y[e]).round().max(1.0) as u32;
+            let w = solution.value(self.vars.w[e]).round().max(1.0) as u32;
+            let h = solution.value(self.vars.h[e]).round().max(1.0) as u32;
+            Rect::new(x, y, w, h)
+        };
+        let regions: Vec<Rect> = (0..self.n_regions).map(rect_of).collect();
+        let mut fc_areas = Vec::with_capacity(self.fc_meta.len());
+        for (c_idx, &(request, region, mode)) in self.fc_meta.iter().enumerate() {
+            let violated = self
+                .vars
+                .v
+                .get(c_idx)
+                .and_then(|v| *v)
+                .map(|v| solution.bool_value(v))
+                .unwrap_or(false);
+            let rect = if violated { None } else { Some(rect_of(self.n_regions + c_idx)) };
+            fc_areas.push(FcPlacement { request, region, mode, rect });
+        }
+        Floorplan { regions, fc_areas }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinatorial::{solve_combinatorial, CombinatorialConfig};
+    use crate::problem::{ObjectiveWeights, RegionSpec, RelocationRequest};
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use rfp_milp::{Solver, SolverConfig};
+
+    /// A tiny device: 5 columns (C C B C C), 3 rows.
+    fn tiny_problem() -> (FloorplanProblem, rfp_device::TileTypeId, rfp_device::TileTypeId) {
+        let mut b = DeviceBuilder::new("tiny");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        b.rows(3).columns(&[clb, clb, bram, clb, clb]);
+        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        (FloorplanProblem::new(p), clb, bram)
+    }
+
+    fn milp_solver() -> Solver {
+        let mut cfg = SolverConfig::default();
+        cfg.max_nodes = 200_000;
+        cfg.time_limit = Some(std::time::Duration::from_secs(60));
+        Solver::new(cfg)
+    }
+
+    #[test]
+    fn model_statistics_scale_with_entities() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2)]));
+        let one = FloorplanMilp::build(&p, &MilpBuildConfig::optimal());
+        p.add_region(RegionSpec::new("B", vec![(bram, 1)]));
+        let two = FloorplanMilp::build(&p, &MilpBuildConfig::optimal());
+        assert_eq!(one.n_entities(), 1);
+        assert_eq!(two.n_entities(), 2);
+        assert!(two.stats().n_vars > one.stats().n_vars);
+        assert!(two.stats().n_cons > one.stats().n_cons);
+        assert!(two.stats().n_int_vars > one.stats().n_int_vars);
+    }
+
+    #[test]
+    fn fc_areas_become_pseudo_regions() {
+        let (mut p, clb, _) = tiny_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 2)]));
+        p.request_relocation(RelocationRequest::constraint(a, 2));
+        let model = FloorplanMilp::build(&p, &MilpBuildConfig::optimal());
+        assert_eq!(model.n_entities(), 3, "FC ⊂ N: one entity per requested area");
+    }
+
+    #[test]
+    fn o_model_matches_combinatorial_on_waste() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let comb = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        let model = FloorplanMilp::build(&p, &MilpBuildConfig::optimal());
+        let sol = milp_solver().solve(&model.milp);
+        assert!(sol.status.has_solution(), "status {:?}", sol.status);
+        let fp = model.extract(&sol);
+        assert!(fp.validate(&p).is_empty(), "{:?}", fp.validate(&p));
+        let milp_waste = fp.metrics(&p).wasted_frames;
+        assert_eq!(Some(milp_waste), comb.best_waste, "O and the combinatorial engine agree");
+    }
+
+    #[test]
+    fn relocation_as_constraint_yields_a_compatible_area() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 1), (bram, 1)]));
+        p.request_relocation(RelocationRequest::constraint(a, 1));
+        let model = FloorplanMilp::build(&p, &MilpBuildConfig::optimal());
+        let sol = milp_solver().solve(&model.milp);
+        assert!(sol.status.has_solution(), "status {:?}", sol.status);
+        let fp = model.extract(&sol);
+        assert!(fp.validate(&p).is_empty(), "{:?}", fp.validate(&p));
+        assert_eq!(fp.fc_found(), 1);
+    }
+
+    #[test]
+    fn relocation_as_metric_allows_violation_when_impossible() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only().with_relocation(1.0);
+        // The region occupies 2 of the 3 BRAM tiles of the single BRAM
+        // column; a compatible copy would need 2 more -> impossible, so the
+        // metric-mode area must be reported violated while the floorplan
+        // stays feasible.
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 2)]));
+        p.request_relocation(RelocationRequest::metric(a, 1, 1.0));
+        let model = FloorplanMilp::build(&p, &MilpBuildConfig::optimal());
+        let sol = milp_solver().solve(&model.milp);
+        assert!(sol.status.has_solution(), "status {:?}", sol.status);
+        let fp = model.extract(&sol);
+        assert!(fp.validate(&p).is_empty(), "{:?}", fp.validate(&p));
+        assert_eq!(fp.fc_found(), 0);
+        assert!(fp.metrics(&p).relocation_cost > 0.0);
+    }
+
+    #[test]
+    fn ho_relations_restrict_but_preserve_feasibility() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        // Seed: A on the left block, B on the right block.
+        let seed = crate::heuristic::greedy_floorplan(&p).unwrap();
+        let relations = crate::sequence_pair::extract_relations(&seed.occupied());
+        let model = FloorplanMilp::build(&p, &MilpBuildConfig::heuristic_optimal(relations));
+        let sol = milp_solver().solve(&model.milp);
+        assert!(sol.status.has_solution(), "status {:?}", sol.status);
+        let fp = model.extract(&sol);
+        assert!(fp.validate(&p).is_empty(), "{:?}", fp.validate(&p));
+        // HO explores a subset of the O space, so its waste can only be >= O's.
+        let comb = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        assert!(fp.metrics(&p).wasted_frames >= comb.best_waste.unwrap());
+    }
+
+    #[test]
+    fn forbidden_areas_are_avoided_by_the_milp() {
+        let mut b = DeviceBuilder::new("fb");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        b.rows(3).repeat_column(clb, 4);
+        // Column 2, rows 1-2 are off limits.
+        b.forbidden("blk", rfp_device::Rect::new(2, 1, 1, 2));
+        let part = columnar_partition(&b.build().unwrap()).unwrap();
+        let mut p = FloorplanProblem::new(part);
+        p.weights = ObjectiveWeights::area_only();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2)]));
+        let model = FloorplanMilp::build(&p, &MilpBuildConfig::optimal());
+        let sol = milp_solver().solve(&model.milp);
+        assert!(sol.status.has_solution());
+        let fp = model.extract(&sol);
+        assert!(fp.validate(&p).is_empty(), "{:?}", fp.validate(&p));
+        assert!(!fp.regions[0].contains(2, 1) && !fp.regions[0].contains(2, 2));
+    }
+
+    #[test]
+    fn lp_format_export_of_a_floorplanning_model_is_well_formed() {
+        let (mut p, clb, _) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 1)]));
+        let model = FloorplanMilp::build(&p, &MilpBuildConfig::optimal());
+        let text = rfp_milp::io::to_lp_format(&model.milp);
+        assert!(text.contains("Minimize"));
+        assert!(text.contains("x[A]"));
+        assert!(text.contains("Binaries"));
+    }
+}

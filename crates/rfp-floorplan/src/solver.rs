@@ -1,0 +1,300 @@
+//! The user-facing floorplanner.
+//!
+//! [`Floorplanner`] ties the pieces together and exposes the three engines:
+//!
+//! * [`Algorithm::O`] — the full MILP model (Section II of [10] plus the
+//!   relocation extension of this paper), solved by the from-scratch
+//!   branch-and-bound of `rfp-milp`. Exact, but practical only for small and
+//!   mid-size instances with this solver.
+//! * [`Algorithm::HO`] — the same MILP restricted by the sequence pair of a
+//!   greedy seed solution (Section II-A), which shrinks the search space by
+//!   orders of magnitude at the cost of possible sub-optimality.
+//! * [`Algorithm::Combinatorial`] — the exact columnar branch-and-bound of
+//!   [`crate::combinatorial`]; this is the engine used for the full-die SDR
+//!   experiments.
+
+use crate::combinatorial::{solve_combinatorial, CombinatorialConfig};
+use crate::error::FloorplanError;
+use crate::heuristic::greedy_floorplan;
+use crate::model::{FloorplanMilp, MilpBuildConfig, ModelStats};
+use crate::placement::{Floorplan, Metrics};
+use crate::problem::FloorplanProblem;
+use crate::sequence_pair::extract_relations;
+use rfp_milp::{Solver as MilpSolver, SolverConfig as MilpSolverConfig};
+use serde::{Deserialize, Serialize};
+
+/// Selection of the solving engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Optimal MILP (full search space).
+    O,
+    /// Heuristic-Optimal MILP (search space restricted by the sequence pair
+    /// of a greedy seed).
+    HO,
+    /// Exact combinatorial branch and bound over candidate rectangles.
+    Combinatorial,
+}
+
+/// Configuration of the floorplanner.
+#[derive(Debug, Clone)]
+pub struct FloorplannerConfig {
+    /// Engine to use.
+    pub algorithm: Algorithm,
+    /// MILP solver parameters (O and HO).
+    pub milp: MilpSolverConfig,
+    /// Combinatorial engine parameters.
+    pub combinatorial: CombinatorialConfig,
+}
+
+impl Default for FloorplannerConfig {
+    fn default() -> Self {
+        FloorplannerConfig::combinatorial()
+    }
+}
+
+impl FloorplannerConfig {
+    /// The combinatorial engine with default settings (recommended).
+    pub fn combinatorial() -> Self {
+        FloorplannerConfig {
+            algorithm: Algorithm::Combinatorial,
+            milp: MilpSolverConfig::default(),
+            combinatorial: CombinatorialConfig::default(),
+        }
+    }
+
+    /// The O algorithm (full MILP).
+    pub fn optimal() -> Self {
+        FloorplannerConfig {
+            algorithm: Algorithm::O,
+            milp: MilpSolverConfig::default(),
+            combinatorial: CombinatorialConfig::default(),
+        }
+    }
+
+    /// The HO algorithm (MILP restricted by a heuristic sequence pair).
+    pub fn heuristic_optimal() -> Self {
+        FloorplannerConfig {
+            algorithm: Algorithm::HO,
+            milp: MilpSolverConfig::default(),
+            combinatorial: CombinatorialConfig::default(),
+        }
+    }
+
+    /// Applies a wall-clock time limit (seconds) to whichever engine is used.
+    pub fn with_time_limit(mut self, secs: f64) -> Self {
+        self.milp.time_limit = Some(std::time::Duration::from_secs_f64(secs));
+        self.combinatorial.time_limit_secs = secs;
+        self
+    }
+}
+
+/// Detailed outcome of a floorplanning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// The floorplan found.
+    pub floorplan: Floorplan,
+    /// Its evaluation metrics.
+    pub metrics: Metrics,
+    /// Engine that produced it.
+    pub algorithm: Algorithm,
+    /// Whether the engine proved optimality (with respect to its own search
+    /// space: for HO that is the restricted space).
+    pub proven_optimal: bool,
+    /// Search nodes explored (branch-and-bound nodes for every engine).
+    pub nodes: u64,
+    /// Wall-clock seconds spent solving.
+    pub solve_seconds: f64,
+    /// MILP model statistics (O and HO only).
+    pub model_stats: Option<ModelStats>,
+}
+
+/// The relocation-aware floorplanner.
+#[derive(Debug, Clone, Default)]
+pub struct Floorplanner {
+    /// Configuration.
+    pub config: FloorplannerConfig,
+}
+
+impl Floorplanner {
+    /// Creates a floorplanner with the given configuration.
+    pub fn new(config: FloorplannerConfig) -> Self {
+        Floorplanner { config }
+    }
+
+    /// Solves a problem and returns the floorplan.
+    pub fn solve(&self, problem: &FloorplanProblem) -> Result<Floorplan, FloorplanError> {
+        self.solve_report(problem).map(|r| r.floorplan)
+    }
+
+    /// Solves a problem and returns the floorplan together with solve
+    /// statistics.
+    pub fn solve_report(&self, problem: &FloorplanProblem) -> Result<SolveReport, FloorplanError> {
+        problem.validate()?;
+        match self.config.algorithm {
+            Algorithm::Combinatorial => self.solve_combinatorial(problem),
+            Algorithm::O => self.solve_milp(problem, None),
+            Algorithm::HO => {
+                let seed = greedy_floorplan(problem)?;
+                self.solve_milp(problem, Some(seed))
+            }
+        }
+    }
+
+    fn solve_combinatorial(
+        &self,
+        problem: &FloorplanProblem,
+    ) -> Result<SolveReport, FloorplanError> {
+        let res = solve_combinatorial(problem, &self.config.combinatorial)?;
+        match res.floorplan {
+            Some(floorplan) => {
+                let metrics = floorplan.metrics(problem);
+                Ok(SolveReport {
+                    floorplan,
+                    metrics,
+                    algorithm: Algorithm::Combinatorial,
+                    proven_optimal: res.proven,
+                    nodes: res.nodes,
+                    solve_seconds: res.solve_seconds,
+                    model_stats: None,
+                })
+            }
+            None => Err(FloorplanError::Infeasible {
+                reason: "the combinatorial search exhausted the space without a feasible floorplan"
+                    .to_string(),
+            }),
+        }
+    }
+
+    fn solve_milp(
+        &self,
+        problem: &FloorplanProblem,
+        seed: Option<Floorplan>,
+    ) -> Result<SolveReport, FloorplanError> {
+        let (build_cfg, algorithm) = match seed {
+            None => (MilpBuildConfig::optimal(), Algorithm::O),
+            Some(seed) => {
+                // The sequence pair covers the regions and, when all requested
+                // areas were reserved by the seed, also the free-compatible
+                // pseudo-regions (Section II-A). If the seed could not reserve
+                // every area, restrict only the region pairs.
+                let expected_entities = problem.n_regions() + problem.n_fc_areas();
+                let rects = if seed.fc_found() == problem.n_fc_areas() {
+                    seed.occupied()
+                } else {
+                    seed.regions.clone()
+                };
+                let relations = extract_relations(&rects);
+                debug_assert!(rects.len() <= expected_entities);
+                (MilpBuildConfig::heuristic_optimal(relations), Algorithm::HO)
+            }
+        };
+        let model = FloorplanMilp::build(problem, &build_cfg);
+        let stats = model.stats();
+        let solver = MilpSolver::new(self.config.milp.clone());
+        let solution = solver.solve(&model.milp);
+        if !solution.status.has_solution() {
+            return match solution.status {
+                rfp_milp::SolveStatus::Infeasible => Err(FloorplanError::Infeasible {
+                    reason: "the MILP model is infeasible".to_string(),
+                }),
+                _ => Err(FloorplanError::LimitReached),
+            };
+        }
+        let floorplan = model.extract(&solution);
+        let issues = floorplan.validate(problem);
+        if !issues.is_empty() {
+            // A solution that passes the MILP but fails the independent
+            // validator indicates numerical trouble; report it as a limit
+            // rather than returning a bogus floorplan.
+            return Err(FloorplanError::Infeasible {
+                reason: format!("extracted floorplan failed validation: {}", issues.join("; ")),
+            });
+        }
+        let metrics = floorplan.metrics(problem);
+        Ok(SolveReport {
+            floorplan,
+            metrics,
+            algorithm,
+            proven_optimal: solution.status == rfp_milp::SolveStatus::Optimal,
+            nodes: solution.nodes as u64,
+            solve_seconds: solution.solve_seconds,
+            model_stats: Some(stats),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ObjectiveWeights, RegionSpec, RelocationRequest};
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+
+    fn tiny_problem() -> (FloorplanProblem, rfp_device::TileTypeId, rfp_device::TileTypeId) {
+        let mut b = DeviceBuilder::new("tiny");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        b.rows(3).columns(&[clb, clb, bram, clb, clb]);
+        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        (FloorplanProblem::new(p), clb, bram)
+    }
+
+    #[test]
+    fn combinatorial_and_o_agree_on_a_tiny_instance() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let comb = Floorplanner::new(FloorplannerConfig::combinatorial())
+            .solve_report(&p)
+            .unwrap();
+        let o = Floorplanner::new(FloorplannerConfig::optimal()).solve_report(&p).unwrap();
+        assert_eq!(comb.metrics.wasted_frames, o.metrics.wasted_frames);
+        assert!(o.model_stats.is_some());
+        assert!(comb.model_stats.is_none());
+    }
+
+    #[test]
+    fn ho_is_no_better_than_o_and_both_are_valid() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        p.add_region(RegionSpec::new("A", vec![(clb, 1), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let o = Floorplanner::new(FloorplannerConfig::optimal()).solve_report(&p).unwrap();
+        let ho = Floorplanner::new(FloorplannerConfig::heuristic_optimal())
+            .solve_report(&p)
+            .unwrap();
+        assert!(ho.metrics.wasted_frames >= o.metrics.wasted_frames);
+        assert!(o.floorplan.validate(&p).is_empty());
+        assert!(ho.floorplan.validate(&p).is_empty());
+        assert_eq!(ho.algorithm, Algorithm::HO);
+    }
+
+    #[test]
+    fn relocation_constraint_via_the_facade() {
+        let (mut p, clb, bram) = tiny_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 1), (bram, 1)]));
+        p.request_relocation(RelocationRequest::constraint(a, 1));
+        let report = Floorplanner::new(FloorplannerConfig::combinatorial())
+            .solve_report(&p)
+            .unwrap();
+        assert_eq!(report.metrics.fc_found, 1);
+        assert!(report.floorplan.validate(&p).is_empty());
+    }
+
+    #[test]
+    fn infeasible_problems_surface_as_errors() {
+        let (mut p, _, bram) = tiny_problem();
+        // Two regions each needing 2 of the 3 BRAM tiles cannot coexist.
+        p.add_region(RegionSpec::new("A", vec![(bram, 2)]));
+        p.add_region(RegionSpec::new("B", vec![(bram, 2)]));
+        let err = Floorplanner::new(FloorplannerConfig::combinatorial()).solve(&p);
+        assert!(matches!(err, Err(FloorplanError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn time_limit_configuration_is_plumbed() {
+        let cfg = FloorplannerConfig::combinatorial().with_time_limit(0.5);
+        assert!((cfg.combinatorial.time_limit_secs - 0.5).abs() < 1e-12);
+        assert!(cfg.milp.time_limit.is_some());
+    }
+}

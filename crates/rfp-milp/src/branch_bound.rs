@@ -1,0 +1,554 @@
+//! Branch-and-bound MILP search on top of the bounded simplex.
+//!
+//! The search is a best-first exploration of the bound-tightening tree:
+//!
+//! * every node re-solves the LP relaxation with tightened variable bounds
+//!   (the [`crate::simplex::StandardForm`] is built once and shared);
+//! * branching picks the integer variable whose LP value is most fractional;
+//! * nodes are pruned by bound against the incumbent;
+//! * a cheap rounding heuristic is applied at every node to find incumbents
+//!   early;
+//! * node order is deterministic (ties broken by node id), so repeated solves
+//!   of the same model explore the same tree.
+
+use crate::model::{Model, Sense};
+use crate::simplex::{LpConfig, LpStatus, StandardForm};
+use crate::solution::{SolveStatus, Solution};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Configuration of the MILP solver.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// LP (simplex) parameters.
+    pub lp: LpConfig,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Absolute optimality gap at which the search stops.
+    pub gap_abs: f64,
+    /// Relative optimality gap at which the search stops.
+    pub gap_rel: f64,
+    /// Maximum number of branch-and-bound nodes (0 = unlimited).
+    pub max_nodes: usize,
+    /// Wall-clock time limit.
+    pub time_limit: Option<Duration>,
+    /// Stop as soon as any feasible solution is found (feasibility mode, used
+    /// by the floorplanner's feasibility analysis).
+    pub stop_at_first_feasible: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            lp: LpConfig::default(),
+            int_tol: 1e-6,
+            gap_abs: 1e-6,
+            gap_rel: 1e-6,
+            max_nodes: 0,
+            time_limit: None,
+            stop_at_first_feasible: false,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration with a node budget and time limit suitable for use
+    /// inside benchmarks.
+    pub fn with_limits(max_nodes: usize, time_limit_secs: f64) -> Self {
+        SolverConfig {
+            max_nodes,
+            time_limit: Some(Duration::from_secs_f64(time_limit_secs)),
+            ..SolverConfig::default()
+        }
+    }
+}
+
+/// The MILP solver.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    /// Solver configuration.
+    pub config: SolverConfig,
+}
+
+/// A node of the branch-and-bound tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Bounds of the structural variables at this node.
+    bounds: Vec<(f64, f64)>,
+    /// Parent LP bound in minimisation sense (used for ordering).
+    bound: f64,
+    /// Depth in the tree.
+    depth: usize,
+    /// Monotone id for deterministic tie-breaking.
+    id: usize,
+}
+
+/// Best-first ordering: smaller bound first, then deeper, then older.
+struct OrderedNode(Node);
+
+impl PartialEq for OrderedNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for OrderedNode {}
+impl PartialOrd for OrderedNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest bound on top.
+        other
+            .0
+            .bound
+            .partial_cmp(&self.0.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.depth.cmp(&other.0.depth))
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// Solves a mixed-integer linear program.
+    pub fn solve(&self, model: &Model) -> Solution {
+        let start = Instant::now();
+        let n = model.n_vars();
+        let maximize = model.sense == Sense::Maximize;
+        // Internal bounding works in minimisation sense.
+        let to_min = |obj: f64| if maximize { -obj } else { obj };
+        let from_min = |obj: f64| if maximize { -obj } else { obj };
+
+        let sf = StandardForm::from_model(model);
+        let int_vars: Vec<usize> = model
+            .vars()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind.is_integral())
+            .map(|(j, _)| j)
+            .collect();
+
+        let root_bounds: Vec<(f64, f64)> =
+            model.vars().iter().map(|v| (v.lb, v.ub)).collect();
+
+        let mut heap: BinaryHeap<OrderedNode> = BinaryHeap::new();
+        let mut next_id = 0usize;
+        heap.push(OrderedNode(Node {
+            bounds: root_bounds,
+            bound: f64::NEG_INFINITY,
+            depth: 0,
+            id: next_id,
+        }));
+        next_id += 1;
+
+        let mut incumbent: Option<(f64, Vec<f64>)> = None; // (obj in min sense, values)
+        let mut best_bound_min = f64::NEG_INFINITY;
+        let mut nodes = 0usize;
+        let mut lp_iterations = 0usize;
+        let mut root_status: Option<LpStatus> = None;
+        let mut hit_limit = false;
+
+        while let Some(OrderedNode(node)) = heap.pop() {
+            // Global bound = min over the popped node and everything remaining.
+            best_bound_min = node.bound.max(best_bound_min.min(node.bound));
+            if let Some((inc_obj, _)) = &incumbent {
+                let gap = inc_obj - node.bound;
+                if gap <= self.config.gap_abs
+                    || gap <= self.config.gap_rel * inc_obj.abs().max(1.0)
+                {
+                    // Every remaining node has a bound at least as large.
+                    break;
+                }
+            }
+            if self.config.max_nodes > 0 && nodes >= self.config.max_nodes {
+                hit_limit = true;
+                break;
+            }
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() >= limit {
+                    hit_limit = true;
+                    break;
+                }
+            }
+
+            nodes += 1;
+            let lp = sf.solve_with_bounds(Some(&node.bounds), &self.config.lp);
+            lp_iterations += lp.iterations;
+            if node.depth == 0 {
+                root_status = Some(lp.status);
+            }
+            match lp.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Unbounded => {
+                    if node.depth == 0 && int_vars.is_empty() {
+                        let mut sol = Solution::empty(SolveStatus::Unbounded, n);
+                        sol.nodes = nodes;
+                        sol.solve_seconds = start.elapsed().as_secs_f64();
+                        return sol;
+                    }
+                    // An unbounded relaxation of a bounded-integer problem is
+                    // pathological; treat the node as un-prunable with an
+                    // infinite bound and branch on the first integer variable.
+                    continue;
+                }
+                LpStatus::IterationLimit => {
+                    // Treat conservatively: cannot trust the bound, but keep
+                    // searching children with the parent bound.
+                }
+                LpStatus::Optimal => {}
+            }
+
+            let node_bound_min = if lp.status == LpStatus::Optimal {
+                to_min(lp.objective)
+            } else {
+                node.bound
+            };
+
+            // Prune by bound.
+            if let Some((inc_obj, _)) = &incumbent {
+                if node_bound_min >= *inc_obj - self.config.gap_abs {
+                    continue;
+                }
+            }
+
+            // Integral solution?
+            let frac_var = int_vars
+                .iter()
+                .map(|&j| (j, lp.values[j]))
+                .map(|(j, v)| (j, v, (v - v.round()).abs()))
+                .filter(|&(_, _, f)| f > self.config.int_tol)
+                .max_by(|a, b| {
+                    // Most fractional: distance to the nearest integer closest to 0.5.
+                    let da = (a.2 - 0.5).abs();
+                    let db = (b.2 - 0.5).abs();
+                    db.partial_cmp(&da).unwrap_or(Ordering::Equal).then(b.0.cmp(&a.0))
+                });
+
+            match frac_var {
+                None => {
+                    // LP solution is integral: candidate incumbent.
+                    let mut values = lp.values.clone();
+                    for &j in &int_vars {
+                        values[j] = values[j].round();
+                    }
+                    if model.is_feasible(&values, 1e-5) {
+                        let obj_min = to_min(model.objective.eval(&values));
+                        if incumbent.as_ref().map_or(true, |(best, _)| obj_min < *best) {
+                            incumbent = Some((obj_min, values));
+                            if self.config.stop_at_first_feasible {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Some((j, v, _)) => {
+                    // Rounding heuristic before branching.
+                    if incumbent.is_none() || nodes % 16 == 1 {
+                        let mut rounded = lp.values.clone();
+                        for &jj in &int_vars {
+                            rounded[jj] = rounded[jj]
+                                .round()
+                                .clamp(node.bounds[jj].0, node.bounds[jj].1);
+                        }
+                        if model.is_feasible(&rounded, 1e-6) {
+                            let obj_min = to_min(model.objective.eval(&rounded));
+                            if incumbent.as_ref().map_or(true, |(best, _)| obj_min < *best) {
+                                incumbent = Some((obj_min, rounded));
+                                if self.config.stop_at_first_feasible {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+
+                    // Branch: x_j <= floor(v) and x_j >= ceil(v).
+                    let floor = v.floor();
+                    let ceil = v.ceil();
+                    let (lbj, ubj) = node.bounds[j];
+                    if floor >= lbj - 1e-9 {
+                        let mut b = node.bounds.clone();
+                        b[j] = (lbj, floor.min(ubj));
+                        heap.push(OrderedNode(Node {
+                            bounds: b,
+                            bound: node_bound_min,
+                            depth: node.depth + 1,
+                            id: next_id,
+                        }));
+                        next_id += 1;
+                    }
+                    if ceil <= ubj + 1e-9 {
+                        let mut b = node.bounds.clone();
+                        b[j] = (ceil.max(lbj), ubj);
+                        heap.push(OrderedNode(Node {
+                            bounds: b,
+                            bound: node_bound_min,
+                            depth: node.depth + 1,
+                            id: next_id,
+                        }));
+                        next_id += 1;
+                    }
+                }
+            }
+        }
+
+        let elapsed = start.elapsed().as_secs_f64();
+        // Remaining open nodes bound the optimum from below (min sense).
+        let open_bound = heap
+            .iter()
+            .map(|OrderedNode(nd)| nd.bound)
+            .fold(f64::INFINITY, f64::min);
+
+        match incumbent {
+            Some((obj_min, values)) => {
+                let proven = !hit_limit && heap.is_empty()
+                    || {
+                        let bound = open_bound.min(obj_min);
+                        obj_min - bound <= self.config.gap_abs
+                            || obj_min - bound <= self.config.gap_rel * obj_min.abs().max(1.0)
+                    };
+                let bound_min = if heap.is_empty() && !hit_limit {
+                    obj_min
+                } else {
+                    open_bound.min(obj_min)
+                };
+                Solution {
+                    status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
+                    objective: from_min(obj_min),
+                    best_bound: from_min(bound_min),
+                    values,
+                    nodes,
+                    lp_iterations,
+                    solve_seconds: elapsed,
+                }
+            }
+            None => {
+                let status = if hit_limit {
+                    SolveStatus::Unknown
+                } else if root_status == Some(LpStatus::Unbounded) {
+                    SolveStatus::Unbounded
+                } else {
+                    SolveStatus::Infeasible
+                };
+                let mut sol = Solution::empty(status, n);
+                sol.nodes = nodes;
+                sol.lp_iterations = lp_iterations;
+                sol.solve_seconds = elapsed;
+                sol
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{ConOp, Model, Sense};
+
+    fn solver() -> Solver {
+        Solver::default()
+    }
+
+    #[test]
+    fn integer_optimum_differs_from_lp_relaxation() {
+        // max x + y s.t. 2x + 3y <= 12, 4x + y <= 10, x,y >= 0 integer.
+        // LP optimum is fractional (x=1.8, y=2.8, obj 4.6); ILP optimum is 4.
+        let mut m = Model::new("ilp", Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        m.add_con("c1", LinExpr::from(x) * 2.0 + LinExpr::from(y) * 3.0, ConOp::Le, 12.0);
+        m.add_con("c2", LinExpr::from(x) * 4.0 + LinExpr::from(y), ConOp::Le, 10.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let sol = solver().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 4.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(sol.verify(&m, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn knapsack_is_solved_to_optimality() {
+        // Classic 0/1 knapsack: values [10, 13, 18, 31, 7, 15],
+        // weights [2, 3, 4, 5, 1, 4], capacity 10 -> optimum 56 (items 2, 3, 4).
+        let values = [10.0, 13.0, 18.0, 31.0, 7.0, 15.0];
+        let weights = [2.0, 3.0, 4.0, 5.0, 1.0, 4.0];
+        let mut m = Model::new("knapsack", Sense::Maximize);
+        let vars: Vec<_> = (0..6).map(|i| m.bin_var(format!("item{i}"))).collect();
+        m.add_con(
+            "capacity",
+            LinExpr::weighted_sum(vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w))),
+            ConOp::Le,
+            10.0,
+        );
+        m.set_objective(LinExpr::weighted_sum(
+            vars.iter().zip(values.iter()).map(|(&v, &c)| (v, c)),
+        ));
+        let sol = solver().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 56.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(sol.verify(&m, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 2x = 3 with x integer has no solution.
+        let mut m = Model::new("inf", Sense::Minimize);
+        let x = m.int_var("x", 0.0, 10.0);
+        m.add_con("odd", LinExpr::from(x) * 2.0, ConOp::Eq, 3.0);
+        m.set_objective(LinExpr::from(x));
+        let sol = solver().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn pure_lp_model_is_solved_at_the_root() {
+        let mut m = Model::new("lp", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 10.0);
+        let y = m.cont_var("y", 0.0, 10.0);
+        m.add_con("c", LinExpr::from(x) + y, ConOp::Ge, 3.0);
+        m.set_objective(LinExpr::from(x) * 2.0 + y);
+        let sol = solver().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.nodes, 1);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constrained_assignment_problem() {
+        // 3x3 assignment problem with cost matrix; optimum = 5 (1+1+3 ... )
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new("assign", Sense::Minimize);
+        let mut x = vec![vec![]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                x[i].push(m.bin_var(format!("x{i}{j}")));
+            }
+        }
+        for i in 0..3 {
+            m.add_con(
+                format!("row{i}"),
+                LinExpr::weighted_sum((0..3).map(|j| (x[i][j], 1.0))),
+                ConOp::Eq,
+                1.0,
+            );
+        }
+        for j in 0..3 {
+            m.add_con(
+                format!("col{j}"),
+                LinExpr::weighted_sum((0..3).map(|i| (x[i][j], 1.0))),
+                ConOp::Eq,
+                1.0,
+            );
+        }
+        m.set_objective(LinExpr::weighted_sum(
+            (0..3).flat_map(|i| (0..3).map(|j| (x[i][j], cost[i][j])).collect::<Vec<_>>()),
+        ));
+        let sol = solver().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        // Optimal assignment: (0,1)=1, (1,0)=2, (2,2)=2 -> 5.
+        assert!((sol.objective - 5.0).abs() < 1e-6, "objective {}", sol.objective);
+    }
+
+    #[test]
+    fn stop_at_first_feasible_returns_quickly() {
+        let mut cfg = SolverConfig::default();
+        cfg.stop_at_first_feasible = true;
+        let solver = Solver::new(cfg);
+        let mut m = Model::new("firstfeas", Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| m.bin_var(format!("b{i}"))).collect();
+        m.add_con(
+            "cap",
+            LinExpr::weighted_sum(vars.iter().map(|&v| (v, 1.0))),
+            ConOp::Le,
+            4.0,
+        );
+        m.set_objective(LinExpr::weighted_sum(vars.iter().map(|&v| (v, 1.0))));
+        let sol = solver.solve(&m);
+        assert!(sol.status.has_solution());
+        assert!(sol.objective >= 0.0);
+    }
+
+    #[test]
+    fn node_limit_yields_feasible_or_unknown() {
+        let mut cfg = SolverConfig::default();
+        cfg.max_nodes = 1;
+        let solver = Solver::new(cfg);
+        let mut m = Model::new("limited", Sense::Maximize);
+        let x = m.int_var("x", 0.0, 100.0);
+        let y = m.int_var("y", 0.0, 100.0);
+        m.add_con("c", LinExpr::from(x) * 3.0 + LinExpr::from(y) * 7.0, ConOp::Le, 20.5);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y) * 2.0);
+        let sol = solver.solve(&m);
+        assert!(matches!(
+            sol.status,
+            SolveStatus::Feasible | SolveStatus::Unknown | SolveStatus::Optimal
+        ));
+    }
+
+    #[test]
+    fn big_m_indicator_style_model() {
+        // Either x >= 5 or y >= 5 (selected by a binary), minimise x + y.
+        let mut m = Model::new("bigm", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 100.0);
+        let y = m.cont_var("y", 0.0, 100.0);
+        let z = m.bin_var("z");
+        // x >= 5 - M z  and  y >= 5 - M (1 - z)
+        m.add_con("x_on", LinExpr::from(x) + LinExpr::from(z) * 100.0, ConOp::Ge, 5.0);
+        m.add_con(
+            "y_on",
+            LinExpr::from(y) - LinExpr::from(z) * 100.0,
+            ConOp::Ge,
+            5.0 - 100.0,
+        );
+        m.set_objective(LinExpr::from(x) + y);
+        let sol = Solver::default().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximization_bounds_are_reported_in_model_sense() {
+        let mut m = Model::new("sense", Sense::Maximize);
+        let x = m.int_var("x", 0.0, 7.0);
+        m.add_con("c", LinExpr::from(x) * 2.0, ConOp::Le, 9.0);
+        m.set_objective(LinExpr::from(x));
+        let sol = Solver::default().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+        assert!(sol.best_bound >= sol.objective - 1e-6);
+        assert!(sol.gap() < 1e-6);
+    }
+
+    #[test]
+    fn solutions_are_deterministic() {
+        let build = || {
+            let mut m = Model::new("det", Sense::Maximize);
+            let vars: Vec<_> = (0..10).map(|i| m.bin_var(format!("b{i}"))).collect();
+            for k in 0..5 {
+                m.add_con(
+                    format!("c{k}"),
+                    LinExpr::weighted_sum(
+                        vars.iter().enumerate().map(|(i, &v)| (v, ((i + k) % 4 + 1) as f64)),
+                    ),
+                    ConOp::Le,
+                    7.0,
+                );
+            }
+            m.set_objective(LinExpr::weighted_sum(
+                vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64)),
+            ));
+            m
+        };
+        let s1 = Solver::default().solve(&build());
+        let s2 = Solver::default().solve(&build());
+        assert_eq!(s1.status, s2.status);
+        assert_eq!(s1.values, s2.values);
+        assert_eq!(s1.nodes, s2.nodes);
+    }
+}

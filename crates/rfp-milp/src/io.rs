@@ -1,0 +1,135 @@
+//! Export of models in the (CPLEX-style) LP text format.
+//!
+//! The exporter is used by golden tests, by debugging sessions and by anyone
+//! who wants to cross-check the generated floorplanning formulations with an
+//! external solver.
+
+use crate::expr::LinExpr;
+use crate::model::{ConOp, Model, Sense, VarKind};
+use std::fmt::Write as _;
+
+/// Renders a linear expression as LP-format text (without the constant term).
+fn write_expr(out: &mut String, expr: &LinExpr, model: &Model) {
+    let mut first = true;
+    for (v, c) in expr.iter() {
+        let name = &model.var(v).name;
+        if first {
+            if c < 0.0 {
+                let _ = write!(out, "- ");
+            }
+            let _ = write!(out, "{} {}", fmt_coeff(c.abs()), name);
+            first = false;
+        } else {
+            let sign = if c < 0.0 { "-" } else { "+" };
+            let _ = write!(out, " {} {} {}", sign, fmt_coeff(c.abs()), name);
+        }
+    }
+    if first {
+        let _ = write!(out, "0");
+    }
+}
+
+fn fmt_coeff(c: f64) -> String {
+    if (c - c.round()).abs() < 1e-12 {
+        format!("{}", c.round() as i64)
+    } else {
+        format!("{c}")
+    }
+}
+
+/// Serialises a model in LP format.
+pub fn to_lp_format(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\\ Model: {}", model.name);
+    let _ = writeln!(
+        out,
+        "{}",
+        match model.sense {
+            Sense::Minimize => "Minimize",
+            Sense::Maximize => "Maximize",
+        }
+    );
+    let _ = write!(out, " obj: ");
+    write_expr(&mut out, &model.objective, model);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Subject To");
+    for (i, con) in model.constraints().iter().enumerate() {
+        let name = if con.name.is_empty() { format!("c{i}") } else { con.name.clone() };
+        let _ = write!(out, " {name}: ");
+        write_expr(&mut out, &con.expr, model);
+        let op = match con.op {
+            ConOp::Le => "<=",
+            ConOp::Ge => ">=",
+            ConOp::Eq => "=",
+        };
+        let _ = writeln!(out, " {op} {}", fmt_coeff(con.rhs));
+    }
+    let _ = writeln!(out, "Bounds");
+    for v in model.vars() {
+        if v.kind == VarKind::Binary {
+            continue;
+        }
+        if v.ub.is_finite() {
+            let _ = writeln!(out, " {} <= {} <= {}", fmt_coeff(v.lb), v.name, fmt_coeff(v.ub));
+        } else {
+            let _ = writeln!(out, " {} <= {}", fmt_coeff(v.lb), v.name);
+        }
+    }
+    let generals: Vec<&str> = model
+        .vars()
+        .iter()
+        .filter(|v| v.kind == VarKind::Integer)
+        .map(|v| v.name.as_str())
+        .collect();
+    if !generals.is_empty() {
+        let _ = writeln!(out, "Generals");
+        let _ = writeln!(out, " {}", generals.join(" "));
+    }
+    let binaries: Vec<&str> = model
+        .vars()
+        .iter()
+        .filter(|v| v.kind == VarKind::Binary)
+        .map(|v| v.name.as_str())
+        .collect();
+    if !binaries.is_empty() {
+        let _ = writeln!(out, "Binaries");
+        let _ = writeln!(out, " {}", binaries.join(" "));
+    }
+    let _ = writeln!(out, "End");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConOp, Model, Sense};
+
+    #[test]
+    fn lp_format_contains_all_sections() {
+        let mut m = Model::new("fmt", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 4.0);
+        let y = m.int_var("y", 0.0, 3.0);
+        let z = m.bin_var("z");
+        m.add_con("cap", LinExpr::from(x) + LinExpr::from(y) * 2.0 - z, ConOp::Le, 5.0);
+        m.add_con("link", LinExpr::from(y) - LinExpr::from(z) * 3.0, ConOp::Ge, 0.0);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(z) * 10.0);
+        let text = to_lp_format(&m);
+        assert!(text.contains("Minimize"));
+        assert!(text.contains("Subject To"));
+        assert!(text.contains("cap: 1 x + 2 y - 1 z <= 5"));
+        assert!(text.contains("link: 1 y - 3 z >= 0"));
+        assert!(text.contains("Bounds"));
+        assert!(text.contains("0 <= x <= 4"));
+        assert!(text.contains("Generals"));
+        assert!(text.contains("Binaries"));
+        assert!(text.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let m = Model::new("empty", Sense::Maximize);
+        let text = to_lp_format(&m);
+        assert!(text.contains("obj: 0"));
+        assert!(text.contains("Maximize"));
+    }
+}

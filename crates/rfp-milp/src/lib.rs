@@ -1,0 +1,67 @@
+//! # rfp-milp — a from-scratch Mixed-Integer Linear Programming solver
+//!
+//! The floorplanner of the paper is built on a MILP formulation solved by a
+//! commercial branch-and-cut engine. This crate provides the substrate the
+//! reproduction needs, implemented entirely in safe Rust with no external
+//! solver bindings:
+//!
+//! * a [`model::Model`] builder with continuous, integer and binary variables,
+//!   linear constraints and a linear objective ([`expr::LinExpr`]);
+//! * a bounded-variable two-phase **primal simplex** for the LP relaxations
+//!   ([`simplex`]);
+//! * a **branch-and-bound** MILP search with best-bound node selection,
+//!   depth-first diving, most-fractional branching and a rounding heuristic
+//!   ([`branch_bound`]);
+//! * solution reporting and feasibility checking ([`solution`]);
+//! * an LP-format exporter for debugging and golden tests ([`io`]).
+//!
+//! The solver is deterministic: identical models produce identical search
+//! trees and solutions, which the benchmark harness relies on.
+//!
+//! ## Scale
+//!
+//! The simplex uses a dense tableau, which comfortably handles the reduced
+//! and mid-size floorplanning instances (a few thousand rows/columns). The
+//! full-die SDR2/SDR3 instances of the paper are solved by the specialised
+//! combinatorial engine in `rfp-floorplan`; DESIGN.md discusses this
+//! substitution.
+//!
+//! ## Example
+//!
+//! ```
+//! use rfp_milp::prelude::*;
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x - y >= -2, x,y integer in [0,10]
+//! let mut m = Model::new("demo", Sense::Maximize);
+//! let x = m.int_var("x", 0.0, 10.0);
+//! let y = m.int_var("y", 0.0, 10.0);
+//! m.add_con("cap", LinExpr::from(x) + y, ConOp::Le, 4.0);
+//! m.add_con("diff", LinExpr::from(x) - y, ConOp::Ge, -2.0);
+//! m.set_objective(LinExpr::from(x) * 3.0 + LinExpr::from(y) * 2.0);
+//! let sol = Solver::default().solve(&m);
+//! assert_eq!(sol.status, SolveStatus::Optimal);
+//! assert!((sol.objective - 12.0).abs() < 1e-6); // x=4, y=0
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod branch_bound;
+pub mod expr;
+pub mod io;
+pub mod model;
+pub mod simplex;
+pub mod solution;
+
+/// Convenient glob import for users of the solver.
+pub mod prelude {
+    pub use crate::branch_bound::{Solver, SolverConfig};
+    pub use crate::expr::LinExpr;
+    pub use crate::model::{ConOp, Model, Sense, VarId, VarKind};
+    pub use crate::solution::{SolveStatus, Solution};
+}
+
+pub use branch_bound::{Solver, SolverConfig};
+pub use expr::LinExpr;
+pub use model::{ConOp, Model, Sense, VarId, VarKind};
+pub use solution::{SolveStatus, Solution};

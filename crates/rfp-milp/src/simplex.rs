@@ -1,0 +1,714 @@
+//! Bounded-variable two-phase primal simplex.
+//!
+//! The LP relaxations solved during branch and bound are small to mid-size
+//! dense problems, so the implementation favours robustness and clarity over
+//! sparse-algebra sophistication:
+//!
+//! * every constraint is converted to an equality by adding a slack variable;
+//! * variable bounds are handled natively (non-basic variables sit at their
+//!   lower or upper bound and may *bound-flip* without a basis change);
+//! * phase 1 minimises the sum of artificial variables starting from the
+//!   all-artificial basis; phase 2 then minimises the real objective with the
+//!   artificials fixed to zero;
+//! * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//!   degenerate pivots guarantees termination.
+//!
+//! The solver is exact in the LP sense up to the configured tolerances and is
+//! fully deterministic.
+
+use crate::model::{ConOp, Model, Sense, VarKind};
+
+/// Status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints are infeasible.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The iteration limit was hit before optimality was proven.
+    IterationLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Objective value in the *model's* sense (meaningful for `Optimal`).
+    pub objective: f64,
+    /// Values of the structural (model) variables.
+    pub values: Vec<f64>,
+    /// Number of simplex iterations performed (both phases).
+    pub iterations: usize,
+}
+
+/// Tunable parameters of the simplex.
+#[derive(Debug, Clone)]
+pub struct LpConfig {
+    /// Feasibility / reduced-cost tolerance.
+    pub tol: f64,
+    /// Minimum magnitude accepted for a pivot element.
+    pub pivot_tol: f64,
+    /// Hard cap on simplex iterations (both phases combined). `0` means
+    /// "derive from problem size".
+    pub max_iterations: usize,
+}
+
+impl Default for LpConfig {
+    fn default() -> Self {
+        LpConfig { tol: 1e-7, pivot_tol: 1e-9, max_iterations: 0 }
+    }
+}
+
+/// Pre-processed standard form of a model: all constraints as equalities with
+/// slack variables, ready to be instantiated into a dense tableau.
+///
+/// The standard form depends only on the constraint matrix, so branch and
+/// bound builds it once and re-solves with different variable bounds.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Number of structural (model) variables.
+    n_struct: usize,
+    /// Number of slack variables (one per inequality constraint).
+    n_slack: usize,
+    /// Sparse rows over structural+slack columns.
+    rows: Vec<Vec<(usize, f64)>>,
+    /// Right-hand sides.
+    rhs: Vec<f64>,
+    /// Default bounds of structural + slack variables.
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Minimisation objective over structural variables (sign-adjusted).
+    obj: Vec<f64>,
+    /// `true` if the model maximises (objective value is negated back).
+    maximize: bool,
+    /// Constant term of the objective.
+    obj_constant: f64,
+}
+
+impl StandardForm {
+    /// Builds the standard form of a model.
+    pub fn from_model(model: &Model) -> StandardForm {
+        let n_struct = model.n_vars();
+        let maximize = model.sense == Sense::Maximize;
+
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(model.n_cons());
+        let mut rhs: Vec<f64> = Vec::with_capacity(model.n_cons());
+        let mut slack_bounds: Vec<(f64, f64)> = Vec::new();
+
+        for con in model.constraints() {
+            let mut row: Vec<(usize, f64)> =
+                con.expr.iter().map(|(v, c)| (v.index(), c)).collect();
+            match con.op {
+                ConOp::Le => {
+                    // expr + s = rhs, s >= 0
+                    let s_col = n_struct + slack_bounds.len();
+                    slack_bounds.push((0.0, f64::INFINITY));
+                    row.push((s_col, 1.0));
+                }
+                ConOp::Ge => {
+                    // expr - s = rhs, s >= 0
+                    let s_col = n_struct + slack_bounds.len();
+                    slack_bounds.push((0.0, f64::INFINITY));
+                    row.push((s_col, -1.0));
+                }
+                ConOp::Eq => {}
+            }
+            rows.push(row);
+            rhs.push(con.rhs);
+        }
+
+        let n_slack = slack_bounds.len();
+        let mut lb = Vec::with_capacity(n_struct + n_slack);
+        let mut ub = Vec::with_capacity(n_struct + n_slack);
+        for v in model.vars() {
+            // The simplex requires finite lower bounds; clamp pathological
+            // values rather than failing (floorplanning models never need
+            // free variables).
+            lb.push(if v.lb.is_finite() { v.lb } else { -1e12 });
+            ub.push(v.ub);
+        }
+        for (l, u) in slack_bounds {
+            lb.push(l);
+            ub.push(u);
+        }
+
+        let mut obj = vec![0.0; n_struct];
+        for (v, c) in model.objective.iter() {
+            obj[v.index()] = if maximize { -c } else { c };
+        }
+        let obj_constant = model.objective.constant_term();
+
+        StandardForm {
+            n_struct,
+            n_slack,
+            rows,
+            rhs,
+            lb,
+            ub,
+            obj,
+            maximize,
+            obj_constant,
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn n_struct(&self) -> usize {
+        self.n_struct
+    }
+
+    /// Number of rows (constraints).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves the LP with the model's own bounds.
+    pub fn solve(&self, config: &LpConfig) -> LpResult {
+        self.solve_with_bounds(None, config)
+    }
+
+    /// Solves the LP overriding the bounds of the structural variables.
+    ///
+    /// `bounds_override` must contain one `(lb, ub)` pair per structural
+    /// variable when provided.
+    pub fn solve_with_bounds(
+        &self,
+        bounds_override: Option<&[(f64, f64)]>,
+        config: &LpConfig,
+    ) -> LpResult {
+        let m = self.rows.len();
+        let n = self.n_struct + self.n_slack;
+        let total = n + m; // + artificials
+
+        // Working bounds.
+        let mut lb = self.lb.clone();
+        let mut ub = self.ub.clone();
+        if let Some(over) = bounds_override {
+            debug_assert_eq!(over.len(), self.n_struct);
+            for (j, &(l, u)) in over.iter().enumerate() {
+                lb[j] = if l.is_finite() { l } else { -1e12 };
+                ub[j] = u;
+            }
+        }
+        // Quick infeasibility check on crossed bounds.
+        for j in 0..n {
+            if lb[j] > ub[j] + config.tol {
+                return LpResult {
+                    status: LpStatus::Infeasible,
+                    objective: f64::NAN,
+                    values: vec![0.0; self.n_struct],
+                    iterations: 0,
+                };
+            }
+        }
+        // Artificials: fixed later, start in [0, inf).
+        lb.extend(std::iter::repeat(0.0).take(m));
+        ub.extend(std::iter::repeat(f64::INFINITY).take(m));
+
+        // Dense tableau rows over all columns (structural + slack + artificial).
+        let mut tab = vec![0.0f64; m * total];
+        let mut b = self.rhs.clone();
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, c) in row {
+                tab[i * total + j] = c;
+            }
+        }
+
+        // Non-basic variables start at the finite bound of smallest magnitude.
+        let mut at_upper = vec![false; total];
+        let value_of_nonbasic = |j: usize, at_upper: &Vec<bool>, lb: &Vec<f64>, ub: &Vec<f64>| {
+            if at_upper[j] {
+                ub[j]
+            } else {
+                lb[j]
+            }
+        };
+        for j in 0..n {
+            if !ub[j].is_finite() {
+                at_upper[j] = false;
+            } else if lb[j].abs() <= ub[j].abs() {
+                at_upper[j] = false;
+            } else {
+                at_upper[j] = true;
+            }
+        }
+
+        // Residuals r_i = b_i - sum_j a_ij * x_j(nonbasic).
+        let mut xb = vec![0.0f64; m];
+        for i in 0..m {
+            let mut r = b[i];
+            for j in 0..n {
+                let a = tab[i * total + j];
+                if a != 0.0 {
+                    r -= a * value_of_nonbasic(j, &at_upper, &lb, &ub);
+                }
+            }
+            xb[i] = r;
+        }
+        // Negate rows with negative residuals so artificials start >= 0.
+        for i in 0..m {
+            if xb[i] < 0.0 {
+                for j in 0..n {
+                    tab[i * total + j] = -tab[i * total + j];
+                }
+                b[i] = -b[i];
+                xb[i] = -xb[i];
+            }
+            // Artificial column for row i.
+            tab[i * total + n + i] = 1.0;
+        }
+        let mut basis: Vec<usize> = (n..n + m).collect();
+
+        // Phase-1 and phase-2 reduced-cost rows.
+        // Phase 1: cost 1 on artificials. With the all-artificial basis the
+        // reduced cost of column j is -sum_i tab[i][j] (and 0 on artificials).
+        let mut d1 = vec![0.0f64; total];
+        for j in 0..n {
+            let mut s = 0.0;
+            for i in 0..m {
+                s += tab[i * total + j];
+            }
+            d1[j] = -s;
+        }
+        // Phase 2: artificials have zero cost, so reduced costs start equal to
+        // the raw objective coefficients.
+        let mut d2 = vec![0.0f64; total];
+        for (j, &c) in self.obj.iter().enumerate() {
+            d2[j] = c;
+        }
+
+        let max_iter = if config.max_iterations > 0 {
+            config.max_iterations
+        } else {
+            20_000 + 60 * (m + total)
+        };
+
+        let mut iterations = 0usize;
+        let tol = config.tol;
+        let mut degenerate_run = 0usize;
+
+        // The main pivoting loop, shared by both phases.
+        // phase = 1 uses d1, phase = 2 uses d2.
+        let mut phase = 1;
+        loop {
+            if iterations >= max_iter {
+                return self.finish(LpStatus::IterationLimit, &basis, &xb, &at_upper, &lb, &ub);
+            }
+
+            // Entering variable selection.
+            let use_bland = degenerate_run > 2 * (m + 10);
+            let d = if phase == 1 { &d1 } else { &d2 };
+            let mut enter: Option<(usize, f64, i8)> = None; // (col, score, direction)
+            for j in 0..total {
+                if basis.contains(&j) {
+                    continue;
+                }
+                // Fixed variables can never improve.
+                if (ub[j] - lb[j]).abs() < 1e-15 {
+                    continue;
+                }
+                let dj = d[j];
+                let dir: i8 = if !at_upper[j] && dj < -tol {
+                    1
+                } else if at_upper[j] && dj > tol {
+                    -1
+                } else {
+                    continue;
+                };
+                let score = dj.abs();
+                match (&enter, use_bland) {
+                    (_, true) => {
+                        enter = Some((j, score, dir));
+                        break;
+                    }
+                    (None, false) => enter = Some((j, score, dir)),
+                    (Some((_, best, _)), false) if score > *best => enter = Some((j, score, dir)),
+                    _ => {}
+                }
+            }
+
+            let (j_enter, _, dir) = match enter {
+                Some(e) => e,
+                None => {
+                    // Optimal for the current phase.
+                    if phase == 1 {
+                        let infeas: f64 = basis
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &v)| v >= n)
+                            .map(|(i, _)| xb[i])
+                            .sum();
+                        if infeas > 1e-6 {
+                            return self.finish(
+                                LpStatus::Infeasible,
+                                &basis,
+                                &xb,
+                                &at_upper,
+                                &lb,
+                                &ub,
+                            );
+                        }
+                        // Fix artificials at zero and move to phase 2.
+                        for a in n..total {
+                            lb[a] = 0.0;
+                            ub[a] = 0.0;
+                        }
+                        phase = 2;
+                        degenerate_run = 0;
+                        continue;
+                    } else {
+                        let mut res =
+                            self.finish(LpStatus::Optimal, &basis, &xb, &at_upper, &lb, &ub);
+                        res.iterations = iterations;
+                        return res;
+                    }
+                }
+            };
+
+            // Ratio test along the entering direction.
+            let dirf = dir as f64;
+            let range = ub[j_enter] - lb[j_enter]; // may be inf
+            let mut t_max = range;
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+            for i in 0..m {
+                let a = tab[i * total + j_enter];
+                if a.abs() < config.pivot_tol {
+                    continue;
+                }
+                let delta = dirf * a;
+                let (limit, goes_upper) = if delta > 0.0 {
+                    // Basic variable decreases towards its lower bound.
+                    ((xb[i] - lb[basis[i]]) / delta, false)
+                } else {
+                    // Basic variable increases towards its upper bound.
+                    if !ub[basis[i]].is_finite() {
+                        continue;
+                    }
+                    ((ub[basis[i]] - xb[i]) / (-delta), true)
+                };
+                let limit = limit.max(0.0);
+                if limit < t_max - 1e-12 {
+                    t_max = limit;
+                    leave = Some((i, goes_upper));
+                }
+            }
+
+            if !t_max.is_finite() {
+                // Entering variable can increase forever: unbounded (only
+                // meaningful in phase 2; phase 1 objective is bounded below).
+                return self.finish(LpStatus::Unbounded, &basis, &xb, &at_upper, &lb, &ub);
+            }
+
+            iterations += 1;
+            if t_max <= 1e-11 {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: the entering variable moves to its other bound.
+                    for i in 0..m {
+                        let a = tab[i * total + j_enter];
+                        if a != 0.0 {
+                            xb[i] -= dirf * t_max * a;
+                        }
+                    }
+                    at_upper[j_enter] = !at_upper[j_enter];
+                }
+                Some((r, goes_upper)) => {
+                    // Update basic values.
+                    for i in 0..m {
+                        let a = tab[i * total + j_enter];
+                        if a != 0.0 {
+                            xb[i] -= dirf * t_max * a;
+                        }
+                    }
+                    let entering_value =
+                        value_of_nonbasic(j_enter, &at_upper, &lb, &ub) + dirf * t_max;
+                    let leaving = basis[r];
+                    at_upper[leaving] = goes_upper;
+                    basis[r] = j_enter;
+                    xb[r] = entering_value;
+
+                    // Pivot the tableau and both cost rows on (r, j_enter).
+                    let pivot = tab[r * total + j_enter];
+                    let inv = 1.0 / pivot;
+                    for j in 0..total {
+                        tab[r * total + j] *= inv;
+                    }
+                    for i in 0..m {
+                        if i == r {
+                            continue;
+                        }
+                        let factor = tab[i * total + j_enter];
+                        if factor != 0.0 {
+                            for j in 0..total {
+                                tab[i * total + j] -= factor * tab[r * total + j];
+                            }
+                        }
+                    }
+                    let f1 = d1[j_enter];
+                    if f1 != 0.0 {
+                        for j in 0..total {
+                            d1[j] -= f1 * tab[r * total + j];
+                        }
+                    }
+                    let f2 = d2[j_enter];
+                    if f2 != 0.0 {
+                        for j in 0..total {
+                            d2[j] -= f2 * tab[r * total + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles an [`LpResult`] from the final simplex state.
+    fn finish(
+        &self,
+        status: LpStatus,
+        basis: &[usize],
+        xb: &[f64],
+        at_upper: &[bool],
+        lb: &[f64],
+        ub: &[f64],
+    ) -> LpResult {
+        let mut values = vec![0.0f64; self.n_struct];
+        for j in 0..self.n_struct {
+            values[j] = if at_upper[j] { ub[j] } else { lb[j] };
+        }
+        for (i, &v) in basis.iter().enumerate() {
+            if v < self.n_struct {
+                values[v] = xb[i];
+            }
+        }
+        let mut objective = self.obj_constant;
+        if status == LpStatus::Optimal || status == LpStatus::IterationLimit {
+            let raw: f64 = self
+                .obj
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| c * values[j])
+                .sum();
+            objective += if self.maximize { -raw } else { raw };
+        } else {
+            objective = f64::NAN;
+        }
+        LpResult { status, objective, values, iterations: 0 }
+    }
+}
+
+/// Solves the LP relaxation of a model (integrality requirements are ignored,
+/// variable kinds only contribute their bounds).
+pub fn solve_lp(model: &Model, config: &LpConfig) -> LpResult {
+    StandardForm::from_model(model).solve(config)
+}
+
+/// Returns `true` if every integer/binary variable of the model takes an
+/// integral value (within `tol`) in the assignment.
+pub fn is_integral(model: &Model, values: &[f64], tol: f64) -> bool {
+    model
+        .vars()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind.is_integral())
+        .all(|(j, _)| (values[j] - values[j].round()).abs() <= tol)
+}
+
+/// Convenience: `true` when the variable kind at index `j` is integral.
+pub fn is_integer_var(model: &Model, j: usize) -> bool {
+    matches!(model.vars()[j].kind, VarKind::Integer | VarKind::Binary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{ConOp, Model, Sense};
+
+    fn cfg() -> LpConfig {
+        LpConfig::default()
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> obj 36 at (2,6).
+        let mut m = Model::new("lp1", Sense::Maximize);
+        let x = m.cont_var("x", 0.0, f64::INFINITY);
+        let y = m.cont_var("y", 0.0, f64::INFINITY);
+        m.add_con("c1", LinExpr::from(x), ConOp::Le, 4.0);
+        m.add_con("c2", LinExpr::from(y) * 2.0, ConOp::Le, 12.0);
+        m.add_con("c3", LinExpr::from(x) * 3.0 + LinExpr::from(y) * 2.0, ConOp::Le, 18.0);
+        m.set_objective(LinExpr::from(x) * 3.0 + LinExpr::from(y) * 5.0);
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 36.0).abs() < 1e-6);
+        assert!((r.values[x.index()] - 2.0).abs() < 1e-6);
+        assert!((r.values[y.index()] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simple_minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 1 -> x=9, y=1, obj 21.
+        let mut m = Model::new("lp2", Sense::Minimize);
+        let x = m.cont_var("x", 2.0, f64::INFINITY);
+        let y = m.cont_var("y", 1.0, f64::INFINITY);
+        m.add_con("cover", LinExpr::from(x) + y, ConOp::Ge, 10.0);
+        m.set_objective(LinExpr::from(x) * 2.0 + LinExpr::from(y) * 3.0);
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 8, x - y = 2 -> x=4, y=2, obj 6.
+        let mut m = Model::new("lp3", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, f64::INFINITY);
+        let y = m.cont_var("y", 0.0, f64::INFINITY);
+        m.add_con("e1", LinExpr::from(x) + LinExpr::from(y) * 2.0, ConOp::Eq, 8.0);
+        m.add_con("e2", LinExpr::from(x) - y, ConOp::Eq, 2.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.values[x.index()] - 4.0).abs() < 1e-6);
+        assert!((r.values[y.index()] - 2.0).abs() < 1e-6);
+        assert!((r.objective - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        let mut m = Model::new("inf", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 1.0);
+        m.add_con("hi", LinExpr::from(x), ConOp::Ge, 2.0);
+        m.set_objective(LinExpr::from(x));
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_detected() {
+        let mut m = Model::new("unb", Sense::Maximize);
+        let x = m.cont_var("x", 0.0, f64::INFINITY);
+        let y = m.cont_var("y", 0.0, f64::INFINITY);
+        m.add_con("c", LinExpr::from(x) - y, ConOp::Le, 1.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn crossed_bounds_are_infeasible() {
+        let mut m = Model::new("xb", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 5.0);
+        m.set_objective(LinExpr::from(x));
+        let sf = StandardForm::from_model(&m);
+        let r = sf.solve_with_bounds(Some(&[(3.0, 2.0)]), &cfg());
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn bound_overrides_are_respected() {
+        // min x with default bound [0, 5] but overridden to [2, 5].
+        let mut m = Model::new("bo", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 5.0);
+        let y = m.cont_var("y", 0.0, 5.0);
+        m.add_con("link", LinExpr::from(x) + y, ConOp::Ge, 3.0);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y) * 10.0);
+        let sf = StandardForm::from_model(&m);
+        let base = sf.solve(&cfg());
+        assert!((base.objective - 3.0).abs() < 1e-6, "x=3, y=0");
+        let tightened = sf.solve_with_bounds(Some(&[(0.0, 1.0), (0.0, 5.0)]), &cfg());
+        assert_eq!(tightened.status, LpStatus::Optimal);
+        // x can only reach 1, y must cover the remaining 2.
+        assert!((tightened.objective - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows_handled() {
+        // x - y >= -2 with minimization pushing towards the constraint.
+        let mut m = Model::new("neg", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 10.0);
+        let y = m.cont_var("y", 0.0, 10.0);
+        m.add_con("c", LinExpr::from(x) - y, ConOp::Ge, -2.0);
+        m.set_objective(LinExpr::from(x) * 2.0 - LinExpr::from(y));
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Optimal);
+        // Optimum: x = 0, y = 2 -> objective -2.
+        assert!((r.objective + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Highly degenerate: many redundant constraints through the optimum.
+        let mut m = Model::new("degen", Sense::Maximize);
+        let x = m.cont_var("x", 0.0, 1.0);
+        let y = m.cont_var("y", 0.0, 1.0);
+        for i in 0..30 {
+            m.add_con(format!("r{i}"), LinExpr::from(x) + y, ConOp::Le, 1.0);
+        }
+        m.set_objective(LinExpr::from(x) + y);
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_constant_is_reported() {
+        let mut m = Model::new("const", Sense::Minimize);
+        let x = m.cont_var("x", 1.0, 4.0);
+        m.set_objective(LinExpr::from(x) + 100.0);
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 101.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_random_like_lp_is_consistent() {
+        // A transportation-style LP with a known optimum.
+        // Supplies: 20, 30; demands: 10, 25, 15.
+        // Costs: [[2,3,1],[5,4,8]] -> optimal cost = 10*2+15*1+... compute:
+        // ship s1->d1:10, s1->d3:10 (cost 2*10+1*10=30), s2->d2:25, s2->d3:5
+        // (4*25+8*5=140) -> wait capacity s1=20 used 20, s2=30 used 30.
+        // total = 170. A cheaper plan: s1->d3:15, s1->d1:5 (15+10=25 cost),
+        // s2->d1:5, s2->d2:25 (25+100=125) total=150... let the solver decide
+        // and just verify feasibility + objective consistency.
+        let mut m = Model::new("transport", Sense::Minimize);
+        let costs = [[2.0, 3.0, 1.0], [5.0, 4.0, 8.0]];
+        let supply = [20.0, 30.0];
+        let demand = [10.0, 25.0, 15.0];
+        let mut vars = [[None; 3]; 2];
+        for s in 0..2 {
+            for d in 0..3 {
+                vars[s][d] = Some(m.cont_var(format!("x{s}{d}"), 0.0, f64::INFINITY));
+            }
+        }
+        for s in 0..2 {
+            let e = LinExpr::weighted_sum((0..3).map(|d| (vars[s][d].unwrap(), 1.0)));
+            m.add_con(format!("supply{s}"), e, ConOp::Le, supply[s]);
+        }
+        for d in 0..3 {
+            let e = LinExpr::weighted_sum((0..2).map(|s| (vars[s][d].unwrap(), 1.0)));
+            m.add_con(format!("demand{d}"), e, ConOp::Ge, demand[d]);
+        }
+        let obj = LinExpr::weighted_sum(
+            (0..2).flat_map(|s| (0..3).map(move |d| (vars[s][d].unwrap(), costs[s][d]))),
+        );
+        m.set_objective(obj.clone());
+        let r = solve_lp(&m, &cfg());
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!(m.is_feasible(&r.values, 1e-6) || {
+            // The LP relaxation ignores integrality, but there are no integer
+            // vars here, so feasibility must hold.
+            false
+        });
+        assert!((r.objective - obj.eval(&r.values)).abs() < 1e-6);
+        // Known optimum for this data is 150.
+        assert!((r.objective - 150.0).abs() < 1e-6, "objective was {}", r.objective);
+    }
+}

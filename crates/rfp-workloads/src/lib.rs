@@ -1,0 +1,16 @@
+//! # rfp-workloads — case studies and workload generators
+//!
+//! * [`sdr`] — the software-defined-radio design of the paper's evaluation
+//!   (Section VI, Table I): five reconfigurable regions connected in a chain
+//!   by a 64-bit bus, plus the SDR2/SDR3 relocation variants.
+//! * [`generator`] — reproducible synthetic workloads and devices for the
+//!   scaling and ablation benchmarks.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod generator;
+pub mod sdr;
+
+pub use generator::{SyntheticWorkload, WorkloadSpec};
+pub use sdr::{sdr_problem, sdr_region_table, sdr2_problem, sdr3_problem, SdrRegionRow};

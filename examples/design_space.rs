@@ -1,0 +1,65 @@
+//! Design-space exploration on synthetic workloads: sweep the number of
+//! requested free-compatible areas and the device size, and watch how wasted
+//! frames and solve time respond — the axis the paper explores between SDR,
+//! SDR2 and SDR3, extended to parameterised instances.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use relocfp::prelude::*;
+use rfp_device::SyntheticSpec;
+use rfp_floorplan::combinatorial::CombinatorialConfig;
+use rfp_workloads::generator::WorkloadSpec;
+
+fn solve(problem: &FloorplanProblem) -> Option<(u64, usize, f64)> {
+    let cfg = FloorplannerConfig {
+        combinatorial: CombinatorialConfig::with_time_limit(20.0),
+        ..FloorplannerConfig::combinatorial()
+    };
+    Floorplanner::new(cfg)
+        .solve_report(problem)
+        .ok()
+        .map(|r| (r.metrics.wasted_frames, r.metrics.fc_found, r.solve_seconds))
+}
+
+fn main() {
+    println!("Sweep 1: free-compatible areas requested per relocatable region");
+    println!("(device 24x6, 5 regions, 2 relocatable — the SDR->SDR2->SDR3 axis)\n");
+    println!("{:<10} {:>14} {:>10} {:>10}", "fc/region", "wasted frames", "fc found", "seconds");
+    for fc in 0..=3u32 {
+        let spec = WorkloadSpec {
+            n_regions: 5,
+            utilisation: 0.35,
+            device: SyntheticSpec { cols: 24, rows: 6, bram_every: 5, dsp_every: 9, ..Default::default() },
+            fc_per_region: fc,
+            relocatable_regions: 2,
+            ..WorkloadSpec::default()
+        };
+        let problem = spec.generate().problem;
+        match solve(&problem) {
+            Some((waste, found, secs)) => {
+                println!("{:<10} {:>14} {:>10} {:>10.2}", fc, waste, found, secs)
+            }
+            None => println!("{:<10} {:>14}", fc, "infeasible / limit"),
+        }
+    }
+
+    println!("\nSweep 2: device width at fixed utilisation (4 regions, 1 area each)\n");
+    println!("{:<10} {:>14} {:>10} {:>10}", "columns", "wasted frames", "fc found", "seconds");
+    for cols in [16u32, 24, 32, 48] {
+        let spec = WorkloadSpec {
+            n_regions: 4,
+            utilisation: 0.3,
+            device: SyntheticSpec { cols, rows: 6, bram_every: 5, dsp_every: 9, ..Default::default() },
+            fc_per_region: 1,
+            relocatable_regions: 4,
+            ..WorkloadSpec::default()
+        };
+        let problem = spec.generate().problem;
+        match solve(&problem) {
+            Some((waste, found, secs)) => {
+                println!("{:<10} {:>14} {:>10} {:>10.2}", cols, waste, found, secs)
+            }
+            None => println!("{:<10} {:>14}", cols, "infeasible / limit"),
+        }
+    }
+}

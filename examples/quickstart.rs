@@ -1,0 +1,66 @@
+//! Quickstart: describe a device, describe regions, reserve a relocation
+//! target, solve, and inspect the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use relocfp::prelude::*;
+use rfp_floorplan::render::render_ascii;
+
+fn main() {
+    // 1. Describe a columnar device: 12 resource columns, 4 tile rows,
+    //    BRAM columns at 4 and 9, a DSP column at 6, and a hard block.
+    let mut builder = DeviceBuilder::new("demo-device");
+    let clb = builder.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+    let bram = builder.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+    let dsp = builder.tile_type("DSP", ResourceVec::new(0, 0, 1), 28);
+    for col in 1..=12u32 {
+        match col {
+            4 | 9 => builder.column(bram),
+            6 => builder.column(dsp),
+            _ => builder.column(clb),
+        };
+    }
+    builder.hard_block("PCIe", Rect::new(11, 1, 2, 1));
+    let device = builder.build().expect("valid device description");
+
+    // 2. Run the columnar partitioning of Section III.
+    let partition = columnar_partition(&device).expect("device is columnar");
+    println!(
+        "Device `{}`: {} columns x {} rows, {} columnar portions, {} forbidden area(s)",
+        device.name,
+        device.cols(),
+        device.rows(),
+        partition.n_portions(),
+        partition.forbidden.len()
+    );
+
+    // 3. Describe the reconfigurable regions and their connectivity.
+    let mut problem = FloorplanProblem::new(partition);
+    let fir = problem.add_region(RegionSpec::new("FIR filter", vec![(clb, 6), (dsp, 2)]));
+    let fft = problem.add_region(RegionSpec::new("FFT", vec![(clb, 8), (bram, 2)]));
+    let crc = problem.add_region(RegionSpec::new("CRC offload", vec![(clb, 3)]));
+    problem.connect_chain(&[fir, fft, crc], 32.0);
+
+    // 4. Ask for one free-compatible area for the CRC offload module
+    //    (relocation as a constraint, Section IV) and one *optional* area for
+    //    the FFT (relocation as a metric, Section V).
+    problem.request_relocation(RelocationRequest::constraint(crc, 1));
+    problem.request_relocation(RelocationRequest::metric(fft, 1, 2.0));
+
+    // 5. Solve and validate.
+    let report = Floorplanner::new(FloorplannerConfig::combinatorial())
+        .solve_report(&problem)
+        .expect("the instance is feasible");
+    let issues = report.floorplan.validate(&problem);
+    assert!(issues.is_empty(), "the floorplanner must return a valid floorplan: {issues:?}");
+
+    println!("\n{}", render_ascii(&problem, &report.floorplan));
+    println!(
+        "wasted frames = {}, wire length = {:.0}, free-compatible areas = {}/{}, proven optimal = {}",
+        report.metrics.wasted_frames,
+        report.metrics.wirelength,
+        report.metrics.fc_found,
+        report.metrics.fc_requested,
+        report.proven_optimal,
+    );
+}

@@ -1,0 +1,53 @@
+//! # relocfp — relocation-aware floorplanning for partially-reconfigurable FPGAs
+//!
+//! This is the facade crate of the workspace: it re-exports the public API of
+//! every sub-crate so applications can depend on a single crate. The
+//! workspace reproduces the system of
+//!
+//! > M. Rabozzi, R. Cattaneo, T. Becker, W. Luk, M. D. Santambrogio,
+//! > *"Relocation-aware Floorplanning for Partially-Reconfigurable
+//! > FPGA-based Systems"*, IPDPSW 2015.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`device`] | `rfp-device` | FPGA device model, columnar partitioning, area compatibility |
+//! | [`milp`] | `rfp-milp` | from-scratch LP/MILP solver (simplex + branch and bound) |
+//! | [`floorplan`] | `rfp-floorplan` | the relocation-aware floorplanner (O, HO, combinatorial) |
+//! | [`baselines`] | `rfp-baselines` | tessellation ([8]-style) and simulated annealing ([9]-style) |
+//! | [`bitstream`] | `rfp-bitstream` | synthetic partial bitstreams, CRC-32, relocation filter |
+//! | [`workloads`] | `rfp-workloads` | the SDR case study (Table I) and synthetic generators |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use relocfp::prelude::*;
+//!
+//! // The SDR2 instance of the paper: two free-compatible areas for every
+//! // relocatable region of the SDR design on a Virtex-5 FX70T.
+//! let problem = relocfp::workloads::sdr2_problem();
+//! let floorplan = Floorplanner::new(FloorplannerConfig::combinatorial().with_time_limit(60.0))
+//!     .solve(&problem)
+//!     .expect("SDR2 is feasible");
+//! assert!(floorplan.validate(&problem).is_empty());
+//! assert_eq!(floorplan.fc_found(), 6);
+//! ```
+
+pub use rfp_baselines as baselines;
+pub use rfp_bitstream as bitstream;
+pub use rfp_device as device;
+pub use rfp_floorplan as floorplan;
+pub use rfp_milp as milp;
+pub use rfp_workloads as workloads;
+
+/// One-stop import of the most used types.
+pub mod prelude {
+    pub use rfp_bitstream::{relocate, Bitstream, ConfigMemory};
+    pub use rfp_device::{
+        areas_compatible, columnar_partition, enumerate_free_compatible, xc5vfx70t, Device,
+        DeviceBuilder, Rect, ResourceVec,
+    };
+    pub use rfp_floorplan::prelude::*;
+    pub use rfp_milp::prelude::*;
+}

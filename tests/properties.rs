@@ -1,0 +1,173 @@
+//! Property-based tests over the cross-crate invariants.
+
+use proptest::prelude::*;
+use relocfp::prelude::*;
+use rfp_device::compat::{columnar_compatible, enumerate_free_compatible};
+use rfp_device::{ColumnarPartition, SyntheticSpec};
+use rfp_floorplan::candidates::{enumerate_candidates, CandidateConfig};
+use rfp_floorplan::combinatorial::{solve_combinatorial, CombinatorialConfig};
+use rfp_workloads::generator::WorkloadSpec;
+
+fn partition(cols: u32, rows: u32) -> ColumnarPartition {
+    let spec = SyntheticSpec {
+        name: "prop".into(),
+        cols,
+        rows,
+        bram_every: 4,
+        dsp_every: 7,
+        hard_block: None,
+    };
+    columnar_partition(&spec.build().unwrap()).unwrap()
+}
+
+fn arb_rect(cols: u32, rows: u32) -> impl Strategy<Value = Rect> {
+    (1..=cols, 1..=rows).prop_flat_map(move |(x, y)| {
+        (Just(x), Just(y), 1..=(cols - x + 1), 1..=(rows - y + 1))
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compatibility is reflexive and symmetric (Definition .1).
+    #[test]
+    fn compatibility_is_reflexive_and_symmetric(
+        a in arb_rect(16, 5),
+        b in arb_rect(16, 5),
+    ) {
+        let p = partition(16, 5);
+        prop_assert!(columnar_compatible(&p, &a, &a).is_compatible());
+        prop_assert_eq!(
+            columnar_compatible(&p, &a, &b).is_compatible(),
+            columnar_compatible(&p, &b, &a).is_compatible()
+        );
+    }
+
+    /// The bitstream relocation filter accepts exactly the compatible,
+    /// in-bounds targets and round-trips payloads.
+    #[test]
+    fn relocation_filter_agrees_with_the_compatibility_predicate(
+        source in arb_rect(16, 5),
+        target in arb_rect(16, 5),
+        seed in any::<u64>(),
+    ) {
+        let p = partition(16, 5);
+        let bs = Bitstream::generate(&p, "m", source, seed).unwrap();
+        let compatible = columnar_compatible(&p, &source, &target).is_compatible();
+        match relocate(&p, &bs, target) {
+            Ok(moved) => {
+                prop_assert!(compatible);
+                prop_assert!(moved.verify().is_ok());
+                prop_assert_eq!(moved.n_frames(), bs.n_frames());
+                // Relocating back restores the original container.
+                let back = relocate(&p, &moved, source).unwrap();
+                prop_assert_eq!(back, bs);
+            }
+            Err(_) => prop_assert!(!compatible),
+        }
+    }
+
+    /// Every enumerated free-compatible area is compatible with the source
+    /// and overlaps neither the source nor the occupied rectangles.
+    #[test]
+    fn free_compatible_enumeration_is_sound(
+        source in arb_rect(16, 5),
+        blocker in arb_rect(16, 5),
+    ) {
+        let p = partition(16, 5);
+        let occupied = vec![source, blocker];
+        for cand in enumerate_free_compatible(&p, &source, &occupied) {
+            prop_assert!(columnar_compatible(&p, &source, &cand).is_compatible());
+            prop_assert!(!cand.overlaps(&source));
+            prop_assert!(!cand.overlaps(&blocker));
+        }
+    }
+
+    /// Candidate enumeration only returns placements that really satisfy the
+    /// region requirement, and its waste accounting is exact.
+    #[test]
+    fn candidates_cover_their_requirement(
+        clb_req in 1u32..10,
+        bram_req in 0u32..3,
+        seed in 0u64..1000,
+    ) {
+        let p = partition(14, 4);
+        let clb = p.portions.iter().find(|q| p.frames_per_tile(q.tile_type) == 36).unwrap().tile_type;
+        let bram = p.portions.iter().find(|q| p.frames_per_tile(q.tile_type) == 30).unwrap().tile_type;
+        let spec = RegionSpec::new(format!("r{seed}"), vec![(clb, clb_req), (bram, bram_req)]);
+        let required = spec.required_frames(&p);
+        for cand in enumerate_candidates(&p, &spec, &CandidateConfig::default()) {
+            let covered = p.tiles_by_type_in_rect(&cand.rect);
+            for &(ty, need) in spec.tile_req() {
+                let have = covered.iter().find(|(t, _)| *t == ty).map(|&(_, c)| c).unwrap_or(0);
+                prop_assert!(have >= need);
+            }
+            prop_assert_eq!(cand.waste, p.frames_in_rect(&cand.rect) - required);
+        }
+    }
+
+    /// Any floorplan returned by the combinatorial engine on a random
+    /// feasible workload passes the independent validator, and its reserved
+    /// areas match the requests.
+    #[test]
+    fn solved_workloads_always_validate(
+        seed in 0u64..500,
+        n_regions in 2usize..5,
+        fc in 0u32..2,
+    ) {
+        let spec = WorkloadSpec {
+            seed,
+            n_regions,
+            utilisation: 0.3,
+            device: SyntheticSpec { cols: 18, rows: 5, bram_every: 5, dsp_every: 0, ..Default::default() },
+            fc_per_region: fc,
+            relocatable_regions: 1,
+            bus_width: 8.0,
+            ..WorkloadSpec::default()
+        };
+        let problem = spec.generate().problem;
+        let cfg = CombinatorialConfig { time_limit_secs: 10.0, ..CombinatorialConfig::default() };
+        if let Ok(res) = solve_combinatorial(&problem, &cfg) {
+            if let Some(fp) = res.floorplan {
+                let issues = fp.validate(&problem);
+                prop_assert!(issues.is_empty(), "violations: {issues:?}");
+                prop_assert!(fp.fc_found() <= problem.n_fc_areas());
+            }
+        }
+    }
+
+    /// The MILP solver agrees with brute force on random small knapsacks.
+    #[test]
+    fn milp_matches_brute_force_on_small_knapsacks(
+        values in proptest::collection::vec(1u32..20, 6),
+        weights in proptest::collection::vec(1u32..10, 6),
+        capacity in 5u32..30,
+    ) {
+        use rfp_milp::{ConOp, LinExpr, Model, Sense, Solver, SolveStatus};
+        let mut m = Model::new("knap", Sense::Maximize);
+        let vars: Vec<_> = (0..6).map(|i| m.bin_var(format!("x{i}"))).collect();
+        m.add_con(
+            "cap",
+            LinExpr::weighted_sum(vars.iter().zip(&weights).map(|(&v, &w)| (v, w as f64))),
+            ConOp::Le,
+            capacity as f64,
+        );
+        m.set_objective(LinExpr::weighted_sum(
+            vars.iter().zip(&values).map(|(&v, &c)| (v, c as f64)),
+        ));
+        let sol = Solver::default().solve(&m);
+        prop_assert_eq!(sol.status, SolveStatus::Optimal);
+        // Brute force over the 64 subsets.
+        let mut best = 0u32;
+        for mask in 0u32..64 {
+            let w: u32 = (0..6).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+            if w <= capacity {
+                let v: u32 = (0..6).filter(|i| mask & (1 << i) != 0).map(|i| values[i]).sum();
+                best = best.max(v);
+            }
+        }
+        prop_assert!((sol.objective - best as f64).abs() < 1e-6,
+            "solver found {} but brute force found {best}", sol.objective);
+    }
+}
