@@ -73,11 +73,7 @@ struct State<'a> {
 
 impl<'a> State<'a> {
     fn rects(&self) -> Vec<Rect> {
-        self.choice
-            .iter()
-            .enumerate()
-            .map(|(r, &c)| self.candidates[r][c].rect)
-            .collect()
+        self.choice.iter().enumerate().map(|(r, &c)| self.candidates[r][c].rect).collect()
     }
 
     fn cost(&self, cfg: &AnnealingConfig) -> f64 {
@@ -94,12 +90,8 @@ impl<'a> State<'a> {
         for c in &self.problem.connections {
             wirelength += c.weight * rects[c.a].center_distance_x2(&rects[c.b]) as f64 / 2.0;
         }
-        let waste: u64 = self
-            .choice
-            .iter()
-            .enumerate()
-            .map(|(r, &c)| self.candidates[r][c].waste)
-            .sum();
+        let waste: u64 =
+            self.choice.iter().enumerate().map(|(r, &c)| self.candidates[r][c].waste).sum();
         cfg.overlap_penalty * overlap_tiles as f64
             + cfg.wirelength_weight * wirelength
             + cfg.waste_weight * waste as f64
@@ -168,10 +160,8 @@ impl AnnealingFloorplanner {
             let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0));
             if accept {
                 cost = new_cost;
-                if state.is_overlap_free() {
-                    if best.as_ref().map_or(true, |(bc, _)| cost < *bc) {
-                        best = Some((cost, state.choice.clone()));
-                    }
+                if state.is_overlap_free() && best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                    best = Some((cost, state.choice.clone()));
                 }
             } else {
                 state.choice[region] = old_choice;
@@ -235,9 +225,10 @@ mod tests {
         let a = AnnealingFloorplanner::default().solve(&p).unwrap();
         let b = AnnealingFloorplanner::default().solve(&p).unwrap();
         assert_eq!(a, b);
-        let other_seed = AnnealingFloorplanner::new(AnnealingConfig { seed: 7, ..Default::default() })
-            .solve(&p)
-            .unwrap();
+        let other_seed =
+            AnnealingFloorplanner::new(AnnealingConfig { seed: 7, ..Default::default() })
+                .solve(&p)
+                .unwrap();
         // Different seeds may or may not give the same floorplan; both must be valid.
         assert!(other_seed.validate(&p).is_empty());
     }

@@ -20,18 +20,12 @@ use rfp_floorplan::FloorplanError;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the tessellation heuristic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct TessellationConfig {
     /// When `true`, regions additionally extend to the full device height
     /// (one reconfigurable slot per set of columns), which models the most
     /// conservative reconfiguration-centric style.
     pub full_height_slots: bool,
-}
-
-impl Default for TessellationConfig {
-    fn default() -> Self {
-        TessellationConfig { full_height_slots: false }
-    }
 }
 
 /// Tiles of each type covered by a span of whole portions at height `h`.
@@ -108,7 +102,7 @@ pub fn tessellation_floorplan(
                     let waste = partition
                         .frames_in_rect(&rect)
                         .saturating_sub(spec.required_frames(partition));
-                    if best.as_ref().map_or(true, |(bw, _)| waste < *bw) {
+                    if best.as_ref().is_none_or(|(bw, _)| waste < *bw) {
                         best = Some((waste, rect));
                     }
                 }

@@ -3,7 +3,9 @@
 //! solve-time discussion of Section VI).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rfp_baselines::{tessellation_floorplan, AnnealingConfig, AnnealingFloorplanner, TessellationConfig};
+use rfp_baselines::{
+    tessellation_floorplan, AnnealingConfig, AnnealingFloorplanner, TessellationConfig,
+};
 use rfp_bitstream::{relocate, Bitstream};
 use rfp_device::compat::enumerate_free_compatible;
 use rfp_device::{columnar_partition, xc5vfx70t, Rect};

@@ -20,7 +20,13 @@ fn bench_device_size_sweep(c: &mut Criterion) {
         let spec = WorkloadSpec {
             n_regions: 4,
             utilisation: 0.35,
-            device: SyntheticSpec { cols, rows: 6, bram_every: 5, dsp_every: 9, ..Default::default() },
+            device: SyntheticSpec {
+                cols,
+                rows: 6,
+                bram_every: 5,
+                dsp_every: 9,
+                ..Default::default()
+            },
             fc_per_region: 1,
             relocatable_regions: 2,
             ..WorkloadSpec::default()

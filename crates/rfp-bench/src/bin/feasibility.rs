@@ -16,7 +16,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        rfp_bench::markdown_table(&["Region", "Free-compatible area", "Proven", "Search nodes"], &rows)
+        rfp_bench::markdown_table(
+            &["Region", "Free-compatible area", "Proven", "Search nodes"],
+            &rows
+        )
     );
     println!("Paper: feasible for Carrier Recovery, Demodulator, Signal Decoder (the `relocatable");
     println!("regions`); infeasible for Matched Filter and Video Decoder (DSP geometry).");

@@ -20,5 +20,7 @@ fn main() {
     println!();
     println!("A vs B: {}", areas_compatible(&device, &a, &b));
     println!("A vs C: {}", areas_compatible(&device, &a, &c));
-    println!("\nAs in the paper: A and B are compatible (same relative tile types); A and C are not.");
+    println!(
+        "\nAs in the paper: A and B are compatible (same relative tile types); A and C are not."
+    );
 }

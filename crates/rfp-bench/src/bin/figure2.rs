@@ -5,8 +5,13 @@ fn main() {
     let device = figure2_device();
     let partition = columnar_partition(&device).unwrap();
     println!("Figure 2 — columnar partitioning example\n");
-    println!("Device: {} columns x {} rows, {} tile types, {} hard blocks\n",
-        device.cols(), device.rows(), device.registry.len(), device.forbidden.len());
+    println!(
+        "Device: {} columns x {} rows, {} tile types, {} hard blocks\n",
+        device.cols(),
+        device.rows(),
+        device.registry.len(),
+        device.forbidden.len()
+    );
     println!("Columnar portions (Equation 3 expects |P| = 6):");
     for p in &partition.portions {
         println!(
@@ -23,7 +28,9 @@ fn main() {
     for fa in &partition.forbidden {
         println!("  {}", fa);
     }
-    println!("\nP = {{1..{}}}, A = {{{}}}",
+    println!(
+        "\nP = {{1..{}}}, A = {{{}}}",
         partition.n_portions(),
-        partition.forbidden.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", "));
+        partition.forbidden.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ")
+    );
 }

@@ -6,7 +6,7 @@
 //! MILP path is exercised on a reduced device).
 use rfp_floorplan::combinatorial::{solve_combinatorial, CombinatorialConfig};
 use rfp_floorplan::model::{FloorplanMilp, MilpBuildConfig};
-use rfp_floorplan::{Floorplanner, FloorplannerConfig, Algorithm};
+use rfp_floorplan::{Algorithm, Floorplanner, FloorplannerConfig};
 use rfp_workloads::generator::WorkloadSpec;
 use rfp_workloads::{sdr2_problem, sdr3_problem, sdr_problem};
 
@@ -24,19 +24,34 @@ fn main() {
                 r.nodes.to_string(),
                 if r.proven { "yes".into() } else { "no".into() },
             ]),
-            Err(e) => rows.push(vec![name.to_string(), format!("error: {e}"), "-".into(), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                name.to_string(),
+                format!("error: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     println!(
         "{}",
-        rfp_bench::markdown_table(&["Instance", "Wasted frames", "Seconds", "Nodes", "Proven"], &rows)
+        rfp_bench::markdown_table(
+            &["Instance", "Wasted frames", "Seconds", "Nodes", "Proven"],
+            &rows
+        )
     );
 
     println!("\nMILP model statistics and O/HO solve on a reduced synthetic device:\n");
     let spec = WorkloadSpec {
         n_regions: 3,
         utilisation: 0.35,
-        device: rfp_device::SyntheticSpec { cols: 8, rows: 3, bram_every: 4, dsp_every: 0, ..Default::default() },
+        device: rfp_device::SyntheticSpec {
+            cols: 8,
+            rows: 3,
+            bram_every: 4,
+            dsp_every: 0,
+            ..Default::default()
+        },
         fc_per_region: 1,
         relocatable_regions: 1,
         ..WorkloadSpec::default()
@@ -64,7 +79,14 @@ fn main() {
                 r.nodes.to_string(),
                 if r.proven_optimal { "yes".into() } else { "no".into() },
             ]),
-            Err(e) => milp_rows.push(vec![label.to_string(), format!("error: {e}"), "-".into(), "-".into(), "-".into(), "-".into()]),
+            Err(e) => milp_rows.push(vec![
+                label.to_string(),
+                format!("error: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     println!(

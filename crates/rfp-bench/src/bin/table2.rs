@@ -1,10 +1,14 @@
 //! Regenerates Table II: comparison of floorplan solutions.
 fn main() {
     let limit: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120.0);
-    println!("Table II — Comparison of different floorplan solutions (time limit {limit}s per solve)\n");
+    println!(
+        "Table II — Comparison of different floorplan solutions (time limit {limit}s per solve)\n"
+    );
     let (rows, _) = rfp_bench::table2(limit).expect("SDR instances are feasible");
     println!("{}", rfp_bench::table2_markdown(&rows));
     println!("Shape to compare with the paper: PA/SDR2 matches [10]/SDR (relocation is free),");
     println!("PA/SDR3 costs extra wasted frames, and the [8]-style baseline wastes the most.");
-    println!("Absolute numbers differ because the device model and baseline are re-implementations.");
+    println!(
+        "Absolute numbers differ because the device model and baseline are re-implementations."
+    );
 }

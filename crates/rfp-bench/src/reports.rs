@@ -3,8 +3,10 @@
 use rfp_baselines::{tessellation_floorplan, TessellationConfig};
 use rfp_floorplan::combinatorial::CombinatorialConfig;
 use rfp_floorplan::feasibility::{feasibility_analysis, RegionFeasibility};
-use rfp_floorplan::{Floorplan, FloorplanError, FloorplanProblem, Floorplanner, FloorplannerConfig};
-use rfp_workloads::sdr::{sdr_problem, sdr_region_table, sdr2_problem, sdr3_problem};
+use rfp_floorplan::{
+    Floorplan, FloorplanError, FloorplanProblem, Floorplanner, FloorplannerConfig,
+};
+use rfp_workloads::sdr::{sdr2_problem, sdr3_problem, sdr_problem, sdr_region_table};
 use serde::{Deserialize, Serialize};
 
 /// Renders a plain markdown table.

@@ -7,7 +7,7 @@
 //! and minor frame index — which is what the relocation filter rewrites. The
 //! container ends with a CRC-32 over the addresses and payloads.
 
-use crate::crc::{crc32_update};
+use crate::crc::crc32_update;
 use bytes::{BufMut, Bytes, BytesMut};
 use rfp_device::{ColumnarPartition, Rect};
 use serde::{Deserialize, Serialize};

@@ -220,13 +220,9 @@ mod tests {
         for c in 1..=4 {
             grid.fill_column(c, clb).unwrap();
         }
-        let d = Device::new(
-            "fb",
-            reg,
-            grid,
-            vec![ForbiddenArea::new("blk", Rect::new(3, 3, 1, 1))],
-        )
-        .unwrap();
+        let d =
+            Device::new("fb", reg, grid, vec![ForbiddenArea::new("blk", Rect::new(3, 3, 1, 1))])
+                .unwrap();
         let a = Rect::new(1, 1, 2, 2);
         let b = Rect::new(3, 3, 2, 2);
         assert_eq!(areas_compatible(&d, &a, &b), CompatReport::CrossesForbidden);

@@ -62,11 +62,12 @@ pub enum DeviceError {
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeviceError::OutOfBounds { col, row, cols, rows } => write!(
-                f,
-                "cell ({col}, {row}) lies outside the {cols}x{rows} device grid"
-            ),
-            DeviceError::EmptyGrid => write!(f, "device grid must have at least one column and one row"),
+            DeviceError::OutOfBounds { col, row, cols, rows } => {
+                write!(f, "cell ({col}, {row}) lies outside the {cols}x{rows} device grid")
+            }
+            DeviceError::EmptyGrid => {
+                write!(f, "device grid must have at least one column and one row")
+            }
             DeviceError::UnknownTileType(id) => write!(f, "tile type id {id} is not registered"),
             DeviceError::ColumnFullyForbidden { col } => write!(
                 f,

@@ -19,10 +19,7 @@ pub fn frames_in_rect(partition: &ColumnarPartition, rect: &Rect) -> u64 {
 /// Minimum number of configuration frames needed by a requirement expressed
 /// as tiles per tile type (the last column of Table I).
 pub fn required_frames(registry: &TileTypeRegistry, tiles: &[(TileTypeId, u32)]) -> u64 {
-    tiles
-        .iter()
-        .map(|(ty, count)| registry.expect(*ty).frames as u64 * *count as u64)
-        .sum()
+    tiles.iter().map(|(ty, count)| registry.expect(*ty).frames as u64 * *count as u64).sum()
 }
 
 /// Wasted frames of a placement: frames covered minus frames strictly

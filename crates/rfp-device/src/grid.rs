@@ -103,9 +103,8 @@ impl TileGrid {
 
     /// Iterates over all `(col, row, tile_type)` cells, row-major.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, Option<TileTypeId>)> + '_ {
-        (1..=self.rows).flat_map(move |r| {
-            (1..=self.cols).map(move |c| (c, r, self.cells[self.idx(c, r)]))
-        })
+        (1..=self.rows)
+            .flat_map(move |r| (1..=self.cols).map(move |c| (c, r, self.cells[self.idx(c, r)])))
     }
 }
 
@@ -218,10 +217,8 @@ impl Device {
 
     /// Number of usable (typed and non-forbidden) tiles.
     pub fn usable_tiles(&self) -> u64 {
-        self.grid
-            .iter()
-            .filter(|(c, r, ty)| ty.is_some() && !self.is_forbidden(*c, *r))
-            .count() as u64
+        self.grid.iter().filter(|(c, r, ty)| ty.is_some() && !self.is_forbidden(*c, *r)).count()
+            as u64
     }
 }
 
@@ -291,12 +288,8 @@ mod tests {
         let err = Device::new("bad", reg.clone(), grid.clone(), vec![]).unwrap_err();
         assert!(matches!(err, DeviceError::UnassignedTile { col: 2, .. }));
         // Declaring the hole as a forbidden area makes the device valid.
-        let ok = Device::new(
-            "good",
-            reg,
-            grid,
-            vec![ForbiddenArea::new("hole", Rect::new(2, 1, 1, 2))],
-        );
+        let ok =
+            Device::new("good", reg, grid, vec![ForbiddenArea::new("hole", Rect::new(2, 1, 1, 2))]);
         assert!(ok.is_ok());
     }
 

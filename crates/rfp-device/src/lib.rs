@@ -48,8 +48,7 @@ pub mod resources;
 pub mod tile;
 
 pub use compat::{
-    areas_compatible, columnar_compatible, enumerate_free_compatible, free_compatible,
-    CompatReport,
+    areas_compatible, columnar_compatible, enumerate_free_compatible, free_compatible, CompatReport,
 };
 pub use devices::{
     figure1_device, figure2_device, xc5vfx70t, xc7vx485t, xc7z020, DeviceBuilder, SyntheticSpec,

@@ -242,11 +242,7 @@ impl ColumnarPartition {
     pub fn total_frames(&self) -> u64 {
         let full = Rect::new(1, 1, self.cols, self.rows);
         let gross = self.frames_in_rect(&full);
-        let forbidden: u64 = self
-            .forbidden
-            .iter()
-            .map(|fa| self.frames_in_rect(&fa.rect))
-            .sum();
+        let forbidden: u64 = self.forbidden.iter().map(|fa| self.frames_in_rect(&fa.rect)).sum();
         gross - forbidden
     }
 
@@ -267,10 +263,10 @@ impl ColumnarPartition {
 /// 1. every tile belonging to a forbidden area (or left untyped under a hard
 ///    block) is replaced by a tile of the same column that does not belong to
 ///    any forbidden area;
-/// 2-5. the device is scanned top-to-bottom, left-to-right, growing maximal
-///    same-type portions first to the right and then to the bottom; if a
-///    portion cannot be extended to the bottom of the FPGA the device cannot
-///    be columnar-partitioned and an error is returned;
+/// 2. (through 5.) the device is scanned top-to-bottom, left-to-right,
+///    growing maximal same-type portions first to the right and then to the
+///    bottom; if a portion cannot be extended to the bottom of the FPGA the
+///    device cannot be columnar-partitioned and an error is returned;
 /// 6. the forbidden areas are reported by position and size.
 pub fn columnar_partition(device: &Device) -> Result<ColumnarPartition, DeviceError> {
     let cols = device.cols();
@@ -319,7 +315,7 @@ pub fn columnar_partition(device: &Device) -> Result<ColumnarPartition, DeviceEr
     while col <= cols {
         let ty = column_types[(col - 1) as usize];
         let mut end = col;
-        while end + 1 <= cols && column_types[end as usize] == ty {
+        while end < cols && column_types[end as usize] == ty {
             end += 1;
         }
         let id = PortionId(portions.len());
@@ -344,8 +340,7 @@ pub fn columnar_partition(device: &Device) -> Result<ColumnarPartition, DeviceEr
     }
     let n_types = next_tid - 1;
 
-    let frames_of_type: Vec<u32> =
-        device.registry.iter().map(|(_, t)| t.frames).collect();
+    let frames_of_type: Vec<u32> = device.registry.iter().map(|(_, t)| t.frames).collect();
     let resources_of_type: Vec<ResourceVec> =
         device.registry.iter().map(|(_, t)| t.resources).collect();
 
@@ -386,13 +381,7 @@ mod tests {
         // Hard block: clear the tiles underneath to model a processor.
         let block = Rect::new(2, 2, 2, 2);
         grid.fill_rect(&block, None).unwrap();
-        Device::new(
-            "toy-block",
-            reg,
-            grid,
-            vec![ForbiddenArea::new("PPC", block)],
-        )
-        .unwrap()
+        Device::new("toy-block", reg, grid, vec![ForbiddenArea::new("PPC", block)]).unwrap()
     }
 
     #[test]

@@ -165,11 +165,7 @@ impl Sub for ResourceVec {
 
 impl fmt::Display for ResourceVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "CLB:{} BRAM:{} DSP:{} OTHER:{}",
-            self.0[0], self.0[1], self.0[2], self.0[3]
-        )
+        write!(f, "CLB:{} BRAM:{} DSP:{} OTHER:{}", self.0[0], self.0[1], self.0[2], self.0[3])
     }
 }
 

@@ -70,12 +70,7 @@ impl ColumnTable {
     fn new(partition: &ColumnarPartition) -> Self {
         let cols = partition.cols as usize;
         // Registry indices present.
-        let n_types = partition
-            .portions
-            .iter()
-            .map(|p| p.tile_type.index() + 1)
-            .max()
-            .unwrap_or(1);
+        let n_types = partition.portions.iter().map(|p| p.tile_type.index() + 1).max().unwrap_or(1);
         let mut counts = vec![vec![0u32; cols + 1]; n_types];
         let mut frame_prefix = vec![0u64; cols + 1];
         for c in 1..=cols {
@@ -83,8 +78,7 @@ impl ColumnTable {
             for (t, row) in counts.iter_mut().enumerate() {
                 row[c] = row[c - 1] + u32::from(t == ty.index());
             }
-            frame_prefix[c] =
-                frame_prefix[c - 1] + partition.frames_per_tile(ty) as u64;
+            frame_prefix[c] = frame_prefix[c - 1] + partition.frames_per_tile(ty) as u64;
         }
         ColumnTable { counts, frame_prefix, n_types }
     }
@@ -106,13 +100,7 @@ impl ColumnTable {
 
 /// Minimum height needed by the requirement in a column window, or `None` if
 /// the window can never satisfy it.
-fn min_height(
-    table: &ColumnTable,
-    spec: &RegionSpec,
-    x: u32,
-    w: u32,
-    rows: u32,
-) -> Option<u32> {
+fn min_height(table: &ColumnTable, spec: &RegionSpec, x: u32, w: u32, rows: u32) -> Option<u32> {
     let mut h = 1u32;
     for &(ty, need) in spec.tile_req() {
         let t = ty.index();
@@ -146,8 +134,8 @@ pub fn enumerate_candidates(
             let Some(h_min) = min_height(&table, spec, x, w, rows) else { continue };
             // Irredundancy in width: dropping the leftmost or the rightmost
             // column must break coverage at height h_min.
-            let left_shrink_ok = w > 1 && min_height(&table, spec, x + 1, w - 1, rows)
-                .is_some_and(|h| h <= h_min);
+            let left_shrink_ok =
+                w > 1 && min_height(&table, spec, x + 1, w - 1, rows).is_some_and(|h| h <= h_min);
             let right_shrink_ok =
                 w > 1 && min_height(&table, spec, x, w - 1, rows).is_some_and(|h| h <= h_min);
             if left_shrink_ok || right_shrink_ok {
@@ -186,9 +174,7 @@ pub fn enumerate_candidates(
 /// Minimum waste achievable by any placement of the region (ignoring the
 /// other regions), or `None` if the region cannot be placed at all.
 pub fn min_waste(partition: &ColumnarPartition, spec: &RegionSpec) -> Option<u64> {
-    enumerate_candidates(partition, spec, &CandidateConfig::default())
-        .first()
-        .map(|c| c.waste)
+    enumerate_candidates(partition, spec, &CandidateConfig::default()).first().map(|c| c.waste)
 }
 
 #[cfg(test)]
@@ -277,9 +263,7 @@ mod tests {
         let cands = enumerate_candidates(&p, &spec, &CandidateConfig::default());
         assert!(!cands.is_empty());
         assert!(
-            cands
-                .iter()
-                .all(|c| !(c.rect.contains(2, 1) || c.rect.contains(2, 2))),
+            cands.iter().all(|c| !(c.rect.contains(2, 1) || c.rect.contains(2, 2))),
             "no candidate may cross the forbidden block"
         );
         // The non-forbidden tile of column 2 is still usable.

@@ -117,7 +117,7 @@ impl<'a> SearchCtx<'a> {
             return true;
         }
         if let Some(d) = self.deadline {
-            if self.nodes % 256 == 0 && Instant::now() >= d {
+            if self.nodes.is_multiple_of(256) && Instant::now() >= d {
                 self.aborted = true;
                 return true;
             }
@@ -224,8 +224,7 @@ impl<'a> SearchCtx<'a> {
                 continue;
             }
             let Some(source) = self.placed[req.region] else { continue };
-            let options =
-                enumerate_free_compatible(&self.problem.partition, &source, &occupied);
+            let options = enumerate_free_compatible(&self.problem.partition, &source, &occupied);
             if (options.len() as u32) < req.count {
                 return false;
             }
@@ -240,8 +239,7 @@ impl<'a> SearchCtx<'a> {
         self.nodes += 1;
 
         // Bound: waste so far plus the best-case waste of the remaining regions.
-        let remaining_min: u64 =
-            self.order[level..].iter().map(|&r| self.min_waste[r]).sum();
+        let remaining_min: u64 = self.order[level..].iter().map(|&r| self.min_waste[r]).sum();
         if let Some((best_waste, _, _)) = &self.best {
             let lb = waste_so_far + remaining_min;
             if lb > *best_waste {
@@ -268,7 +266,9 @@ impl<'a> SearchCtx<'a> {
                 None => true,
                 Some((bw, bwl, _)) => {
                     waste_so_far < *bw
-                        || (waste_so_far == *bw && self.config.optimize_wirelength && wl + 1e-9 < *bwl)
+                        || (waste_so_far == *bw
+                            && self.config.optimize_wirelength
+                            && wl + 1e-9 < *bwl)
                 }
             };
             if better {
@@ -325,7 +325,9 @@ pub fn solve_combinatorial(
     // Most-constrained region first (fewest candidates), ties by larger
     // requirement.
     let mut order: Vec<usize> = (0..problem.regions.len()).collect();
-    order.sort_by_key(|&r| (candidates[r].len(), usize::MAX - problem.regions[r].total_tiles() as usize));
+    order.sort_by_key(|&r| {
+        (candidates[r].len(), usize::MAX - problem.regions[r].total_tiles() as usize)
+    });
 
     let deadline = if config.time_limit_secs > 0.0 {
         Some(start + Duration::from_secs_f64(config.time_limit_secs))
@@ -384,7 +386,8 @@ mod tests {
     use crate::problem::{RegionSpec, RelocationRequest};
     use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
 
-    fn small_problem() -> (FloorplanProblem, rfp_device::TileTypeId, rfp_device::TileTypeId, rfp_device::TileTypeId)
+    fn small_problem(
+    ) -> (FloorplanProblem, rfp_device::TileTypeId, rfp_device::TileTypeId, rfp_device::TileTypeId)
     {
         let mut b = DeviceBuilder::new("small");
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);

@@ -46,9 +46,7 @@ impl Default for XdcConfig {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 /// Site ranges (one string per resource kind present) for a rectangle.
@@ -75,10 +73,8 @@ fn site_ranges(partition: &ColumnarPartition, rect: &Rect, cfg: &XdcConfig) -> V
                 count += 1;
             }
         }
-        let covered: Vec<u32> = rect
-            .columns()
-            .filter_map(|c| kind_index_of_col[(c - 1) as usize])
-            .collect();
+        let covered: Vec<u32> =
+            rect.columns().filter_map(|c| kind_index_of_col[(c - 1) as usize]).collect();
         if covered.is_empty() {
             continue;
         }
@@ -96,7 +92,12 @@ pub fn to_xdc(problem: &FloorplanProblem, floorplan: &Floorplan, cfg: &XdcConfig
     let mut out = String::new();
     let partition = &problem.partition;
     let _ = writeln!(out, "# Floorplan exported by relocfp for device `{}`", partition.device_name);
-    let _ = writeln!(out, "# {} regions, {} reserved free-compatible areas", floorplan.regions.len(), floorplan.fc_found());
+    let _ = writeln!(
+        out,
+        "# {} regions, {} reserved free-compatible areas",
+        floorplan.regions.len(),
+        floorplan.fc_found()
+    );
     for (spec, rect) in problem.regions.iter().zip(floorplan.regions.iter()) {
         let name = sanitize(&spec.name);
         let _ = writeln!(out);
@@ -109,7 +110,8 @@ pub fn to_xdc(problem: &FloorplanProblem, floorplan: &Floorplan, cfg: &XdcConfig
             let _ = writeln!(out, "resize_pblock [get_pblocks pblock_{name}] -add {{{range}}}");
         }
         if cfg.pr_properties {
-            let _ = writeln!(out, "set_property RESET_AFTER_RECONFIG true [get_pblocks pblock_{name}]");
+            let _ =
+                writeln!(out, "set_property RESET_AFTER_RECONFIG true [get_pblocks pblock_{name}]");
             let _ = writeln!(out, "set_property SNAPPING_MODE ON [get_pblocks pblock_{name}]");
         }
     }
@@ -120,7 +122,11 @@ pub fn to_xdc(problem: &FloorplanProblem, floorplan: &Floorplan, cfg: &XdcConfig
         let region = sanitize(&problem.regions[fc.region].name);
         let name = format!("{region}_reloc{}", counter[fc.region]);
         let _ = writeln!(out);
-        let _ = writeln!(out, "# Reserved free-compatible area for `{region}` (relocation target #{})", counter[fc.region]);
+        let _ = writeln!(
+            out,
+            "# Reserved free-compatible area for `{region}` (relocation target #{})",
+            counter[fc.region]
+        );
         let _ = writeln!(out, "# create_pblock pblock_{name}");
         for range in site_ranges(partition, &rect, cfg) {
             let _ = writeln!(out, "# resize_pblock [get_pblocks pblock_{name}] -add {{{range}}}");

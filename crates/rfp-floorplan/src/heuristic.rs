@@ -32,6 +32,17 @@ pub fn greedy_floorplan(problem: &FloorplanProblem) -> Result<Floorplan, Floorpl
     })
 }
 
+/// The greedy pass alone, without the complete combinatorial fallback.
+///
+/// Unlike [`greedy_floorplan`] this is guaranteed cheap (one first-fit pass),
+/// which makes it safe to call opportunistically — e.g. as a MILP warm start
+/// — where an unbounded exhaustive fallback search would blow past the
+/// caller's own time limit.
+pub fn greedy_floorplan_fast(problem: &FloorplanProblem) -> Option<Floorplan> {
+    problem.validate().ok()?;
+    greedy_attempt(problem)
+}
+
 /// One greedy pass; returns `None` if it paints itself into a corner.
 fn greedy_attempt(problem: &FloorplanProblem) -> Option<Floorplan> {
     let partition = &problem.partition;
@@ -41,19 +52,14 @@ fn greedy_attempt(problem: &FloorplanProblem) -> Option<Floorplan> {
     // determinism).
     let mut order: Vec<usize> = (0..problem.regions.len()).collect();
     order.sort_by_key(|&i| {
-        (
-            u64::MAX - problem.regions[i].required_frames(partition),
-            problem.regions[i].name.clone(),
-        )
+        (u64::MAX - problem.regions[i].required_frames(partition), problem.regions[i].name.clone())
     });
 
     let mut placed: Vec<Option<Rect>> = vec![None; problem.regions.len()];
     let mut occupied: Vec<Rect> = Vec::new();
     for &i in &order {
         let cands = enumerate_candidates(partition, &problem.regions[i], &cand_cfg);
-        let chosen = cands
-            .iter()
-            .find(|c| !occupied.iter().any(|o| o.overlaps(&c.rect)))?;
+        let chosen = cands.iter().find(|c| !occupied.iter().any(|o| o.overlaps(&c.rect)))?;
         placed[i] = Some(chosen.rect);
         occupied.push(chosen.rect);
     }

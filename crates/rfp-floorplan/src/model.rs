@@ -94,6 +94,14 @@ pub struct ModelVars {
     /// Violation binaries `v` per free-compatible entity (index into the FC
     /// list), only present in metric mode.
     pub v: Vec<Option<VarId>>,
+    /// Forbidden-area binaries `q[e][a]`, aligned with `partition.forbidden`.
+    pub q: Vec<Vec<VarId>>,
+    /// Pairwise relative-position binaries
+    /// `(i, j, [left_ij, left_ji, below_ij, below_ji])` for every `i < j`.
+    pub pair_rel: Vec<(usize, usize, [VarId; 4])>,
+    /// Wire-length auxiliaries `(dx, dy)` per connection (empty when the
+    /// wire-length weight is zero).
+    pub wl: Vec<(VarId, VarId)>,
 }
 
 /// Statistics of a generated model.
@@ -162,6 +170,9 @@ impl FloorplanMilp {
             o: Vec::new(),
             l: Vec::new(),
             v: vec![None; fc_meta.len()],
+            q: Vec::new(),
+            pair_rel: Vec::new(),
+            wl: Vec::new(),
         };
         for e in 0..entities {
             let name = entity_name(e);
@@ -169,17 +180,17 @@ impl FloorplanMilp {
             vars.w.push(m.int_var(format!("w[{name}]"), 1.0, cols));
             vars.y.push(m.cont_var(format!("y[{name}]"), 1.0, rows));
             vars.h.push(m.cont_var(format!("h[{name}]"), 1.0, rows));
-            vars.a.push(
-                (1..=n_rows).map(|r| m.bin_var(format!("a[{name}][{r}]"))).collect(),
-            );
-            vars.cov.push(
-                (1..=max_w).map(|c| m.bin_var(format!("cov[{name}][{c}]"))).collect(),
-            );
+            vars.a.push((1..=n_rows).map(|r| m.bin_var(format!("a[{name}][{r}]"))).collect());
+            vars.cov.push((1..=max_w).map(|c| m.bin_var(format!("cov[{name}][{c}]"))).collect());
             vars.k.push(
-                (0..n_portions).map(|p| m.cont_var(format!("k[{name}][{}]", p + 1), 0.0, 1.0)).collect(),
+                (0..n_portions)
+                    .map(|p| m.cont_var(format!("k[{name}][{}]", p + 1), 0.0, 1.0))
+                    .collect(),
             );
             vars.o.push(
-                (0..n_portions).map(|p| m.cont_var(format!("o[{name}][{}]", p + 1), 0.0, 1.0)).collect(),
+                (0..n_portions)
+                    .map(|p| m.cont_var(format!("o[{name}][{}]", p + 1), 0.0, 1.0))
+                    .collect(),
             );
             let mut l_e = Vec::with_capacity(n_portions);
             for p in 0..n_portions {
@@ -277,9 +288,8 @@ impl FloorplanMilp {
             for p in 0..n_portions {
                 let portion = partition.portion(PortionId(p));
                 let wp = portion.width() as f64;
-                let cov_in_p: Vec<VarId> = (portion.x1..=portion.x2)
-                    .map(|c| vars.cov[e][(c - 1) as usize])
-                    .collect();
+                let cov_in_p: Vec<VarId> =
+                    (portion.x1..=portion.x2).map(|c| vars.cov[e][(c - 1) as usize]).collect();
                 let ow_expr = LinExpr::weighted_sum(cov_in_p.iter().map(|&v| (v, 1.0)));
                 // k >= cov_c for every column of the portion.
                 for &cv in &cov_in_p {
@@ -343,8 +353,10 @@ impl FloorplanMilp {
                 );
             }
             // Forbidden areas (Equations 1 and 2).
+            vars.q.push(Vec::with_capacity(partition.forbidden.len()));
             for (ai, fa) in partition.forbidden.iter().enumerate() {
                 let q = m.bin_var(format!("q[{name}][{}]", fa.name));
+                vars.q[e].push(q);
                 m.add_con(
                     format!("forbidden_left[{name}][{}]", fa.name),
                     LinExpr::from(vars.x[e]) + vars.w[e] - LinExpr::term(q, cols),
@@ -358,9 +370,7 @@ impl FloorplanMilp {
                     let a = vars.a[e][(r - 1) as usize];
                     m.add_con(
                         format!("forbidden_right[{name}][{}][{r}]", fa.name),
-                        LinExpr::from(vars.x[e])
-                            - LinExpr::term(q, cols)
-                            - LinExpr::term(a, cols),
+                        LinExpr::from(vars.x[e]) - LinExpr::term(q, cols) - LinExpr::term(a, cols),
                         ConOp::Ge,
                         fa.xa2() as f64 + 1.0 - 2.0 * cols,
                     );
@@ -383,12 +393,7 @@ impl FloorplanMilp {
                         expr.add_term(vars.l[e][p][r], 1.0);
                     }
                 }
-                m.add_con(
-                    format!("coverage[{}][{ty}]", spec.name),
-                    expr,
-                    ConOp::Ge,
-                    need as f64,
-                );
+                m.add_con(format!("coverage[{}][{ty}]", spec.name), expr, ConOp::Ge, need as f64);
             }
         }
 
@@ -422,6 +427,7 @@ impl FloorplanMilp {
                 let mut left_ji = m.bin_var(format!("left[{nj}][{ni}]"));
                 let mut below_ij = m.bin_var(format!("above[{ni}][{nj}]"));
                 let mut below_ji = m.bin_var(format!("above[{nj}][{ni}]"));
+                vars.pair_rel.push((i, j, [left_ij, left_ji, below_ij, below_ji]));
                 if let Some(rel) = fixed {
                     // HO: pin the binary corresponding to the seed relation.
                     let pin = |m: &mut Model, var: &mut VarId| m.set_bounds(*var, 1.0, 1.0);
@@ -565,6 +571,7 @@ impl FloorplanMilp {
             for (ci, conn) in problem.connections.iter().enumerate() {
                 let dx = m.cont_var(format!("wl_dx[{ci}]"), 0.0, cols);
                 let dy = m.cont_var(format!("wl_dy[{ci}]"), 0.0, rows);
+                vars.wl.push((dx, dy));
                 // Centre coordinates: x + (w - 1)/2 and y + (h - 1)/2.
                 let cx_a = LinExpr::from(vars.x[conn.a]) + LinExpr::term(vars.w[conn.a], 0.5);
                 let cx_b = LinExpr::from(vars.x[conn.b]) + LinExpr::term(vars.w[conn.b], 0.5);
@@ -594,8 +601,8 @@ impl FloorplanMilp {
                     ConOp::Ge,
                     0.0,
                 );
-                objective += LinExpr::term(dx, conn.weight * scale)
-                    + LinExpr::term(dy, conn.weight * scale);
+                objective +=
+                    LinExpr::term(dx, conn.weight * scale) + LinExpr::term(dy, conn.weight * scale);
             }
         }
 
@@ -680,6 +687,131 @@ impl FloorplanMilp {
         }
         Floorplan { regions, fc_areas }
     }
+
+    /// Encodes a floorplan as a full variable assignment of this model, for
+    /// use as a MILP warm start (the inverse of [`FloorplanMilp::extract`]).
+    ///
+    /// A metric-mode area the floorplan could not reserve is encoded on top
+    /// of its source region with its violation binary set — exactly the
+    /// relaxation the soft constraints permit. Returns `None` when the
+    /// floorplan cannot be expressed in this model (wrong problem, or a
+    /// missing constraint-mode area).
+    pub fn encode(&self, problem: &FloorplanProblem, floorplan: &Floorplan) -> Option<Vec<f64>> {
+        let partition = &problem.partition;
+        let vars = &self.vars;
+        if floorplan.regions.len() != self.n_regions
+            || floorplan.fc_areas.len() != self.fc_meta.len()
+        {
+            return None;
+        }
+        // Effective rectangle per entity: regions first, then FC areas.
+        let mut rects: Vec<Rect> = floorplan.regions.clone();
+        let mut violated = vec![false; self.fc_meta.len()];
+        for (c_idx, fcp) in floorplan.fc_areas.iter().enumerate() {
+            match (fcp.rect, self.fc_meta[c_idx].2) {
+                (Some(rect), _) => rects.push(rect),
+                (None, RelocationMode::Metric { .. }) => {
+                    violated[c_idx] = true;
+                    rects.push(floorplan.regions[self.fc_meta[c_idx].1]);
+                }
+                (None, RelocationMode::Constraint) => return None,
+            }
+        }
+
+        // Every rectangle must lie on this device's grid, or the coverage
+        // indexing below would reach past the per-row/column variable arrays.
+        if rects
+            .iter()
+            .any(|r| r.x < 1 || r.y < 1 || r.x2() > partition.cols || r.y2() > partition.rows)
+        {
+            return None;
+        }
+
+        let mut values = vec![0.0; self.milp.n_vars()];
+        let mut set = |id: VarId, value: f64| values[id.index()] = value;
+
+        for (e, rect) in rects.iter().enumerate() {
+            let (x1, x2) = (rect.x, rect.x2());
+            let (y1, y2) = (rect.y, rect.y2());
+            set(vars.x[e], f64::from(rect.x));
+            set(vars.w[e], f64::from(rect.w));
+            set(vars.y[e], f64::from(rect.y));
+            set(vars.h[e], f64::from(rect.h));
+            for r in y1..=y2 {
+                set(vars.a[e][(r - 1) as usize], 1.0);
+            }
+            for c in x1..=x2 {
+                set(vars.cov[e][(c - 1) as usize], 1.0);
+            }
+            let mut first_covered = true;
+            for p in 0..partition.n_portions() {
+                let portion = partition.portion(PortionId(p));
+                let overlap = (x2.min(portion.x2) + 1).saturating_sub(x1.max(portion.x1)) as f64;
+                if overlap <= 0.0 {
+                    continue;
+                }
+                set(vars.k[e][p], 1.0);
+                if first_covered {
+                    set(vars.o[e][p], 1.0);
+                    first_covered = false;
+                }
+                for r in y1..=y2 {
+                    set(vars.l[e][p][(r - 1) as usize], overlap);
+                }
+            }
+            for (ai, fa) in partition.forbidden.iter().enumerate() {
+                // q = 0 encodes "entirely left of the area"; anything else
+                // needs q = 1 (and a legal floorplan guarantees the entity is
+                // then right of the area on every shared row).
+                set(vars.q[e][ai], if x2 < fa.xa1() { 0.0 } else { 1.0 });
+            }
+        }
+
+        for (c_idx, &is_violated) in violated.iter().enumerate() {
+            if let (true, Some(v)) = (is_violated, vars.v[c_idx]) {
+                set(v, 1.0);
+            }
+        }
+
+        for &(i, j, [left_ij, left_ji, below_ij, below_ji]) in &vars.pair_rel {
+            let (ri, rj) = (rects[i], rects[j]);
+            let mut any = false;
+            let mut rel = |id: VarId, holds: bool| {
+                if holds {
+                    set(id, 1.0);
+                    any = true;
+                }
+            };
+            rel(left_ij, ri.x + ri.w <= rj.x);
+            rel(left_ji, rj.x + rj.w <= ri.x);
+            rel(below_ij, ri.y + ri.h <= rj.y);
+            rel(below_ji, rj.y + rj.h <= ri.y);
+            if !any {
+                // Overlapping pair: only legal for a violated metric-mode
+                // area, whose separation constraints are soft.
+                set(left_ij, 1.0);
+            }
+        }
+
+        for (ci, conn) in problem.connections.iter().enumerate() {
+            if ci >= vars.wl.len() {
+                break;
+            }
+            let centre_x = |r: &Rect| f64::from(r.x) + f64::from(r.w) * 0.5;
+            let centre_y = |r: &Rect| f64::from(r.y) + f64::from(r.h) * 0.5;
+            let (dx, dy) = vars.wl[ci];
+            set(dx, (centre_x(&rects[conn.a]) - centre_x(&rects[conn.b])).abs());
+            set(dy, (centre_y(&rects[conn.a]) - centre_y(&rects[conn.b])).abs());
+        }
+
+        // Respect pinned bounds (HO relation binaries): the relations were
+        // extracted from this very floorplan, so raising a variable to a
+        // pinned lower bound keeps the assignment consistent.
+        for (idx, def) in self.milp.vars().iter().enumerate() {
+            values[idx] = values[idx].clamp(def.lb, def.ub);
+        }
+        Some(values)
+    }
 }
 
 #[cfg(test)]
@@ -701,10 +833,11 @@ mod tests {
     }
 
     fn milp_solver() -> Solver {
-        let mut cfg = SolverConfig::default();
-        cfg.max_nodes = 200_000;
-        cfg.time_limit = Some(std::time::Duration::from_secs(60));
-        Solver::new(cfg)
+        Solver::new(SolverConfig {
+            max_nodes: 200_000,
+            time_limit: Some(std::time::Duration::from_secs(60)),
+            ..SolverConfig::default()
+        })
     }
 
     #[test]

@@ -83,11 +83,7 @@ impl Floorplan {
 
     /// The free-compatible areas reserved for a given region.
     pub fn fc_for_region(&self, region: RegionId) -> Vec<Rect> {
-        self.fc_areas
-            .iter()
-            .filter(|f| f.region == region)
-            .filter_map(|f| f.rect)
-            .collect()
+        self.fc_areas.iter().filter(|f| f.region == region).filter_map(|f| f.rect).collect()
     }
 
     /// Computes the evaluation metrics of the floorplan.
@@ -109,8 +105,7 @@ impl Floorplan {
             }
         }
 
-        let perimeter: u64 =
-            self.regions.iter().map(|r| r.half_perimeter() as u64).sum();
+        let perimeter: u64 = self.regions.iter().map(|r| r.half_perimeter() as u64).sum();
 
         let fc_requested = problem.n_fc_areas();
         let fc_found = self.fc_found();
@@ -181,8 +176,7 @@ impl Floorplan {
             }
             let covered = partition.tiles_by_type_in_rect(rect);
             for &(ty, need) in spec.tile_req() {
-                let have =
-                    covered.iter().find(|(t, _)| *t == ty).map(|&(_, c)| c).unwrap_or(0);
+                let have = covered.iter().find(|(t, _)| *t == ty).map(|&(_, c)| c).unwrap_or(0);
                 if have < need {
                     issues.push(format!(
                         "region `{}` ({i}) covers {have} tiles of {ty} but requires {need}",
@@ -258,7 +252,7 @@ impl Floorplan {
 mod tests {
     use super::*;
     use crate::problem::{RegionSpec, RelocationRequest};
-    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec, Rect};
+    use rfp_device::{columnar_partition, DeviceBuilder, Rect, ResourceVec};
 
     /// 10 columns x 4 rows: C C B C C D C C B C.
     fn small_problem() -> FloorplanProblem {

@@ -65,10 +65,7 @@ impl RegionSpec {
     /// Minimum configuration frames needed by the requirement (last column of
     /// Table I).
     pub fn required_frames(&self, partition: &ColumnarPartition) -> u64 {
-        self.tile_req
-            .iter()
-            .map(|&(ty, c)| partition.frames_per_tile(ty) as u64 * c as u64)
-            .sum()
+        self.tile_req.iter().map(|&(ty, c)| partition.frames_per_tile(ty) as u64 * c as u64).sum()
     }
 }
 
@@ -253,11 +250,7 @@ impl FloorplanProblem {
 
     /// Normalisation constant `RL_max` of Equation 15.
     pub fn rl_max(&self) -> f64 {
-        let v: f64 = self
-            .relocation
-            .iter()
-            .map(|r| r.area_weight() * r.count as f64)
-            .sum();
+        let v: f64 = self.relocation.iter().map(|r| r.area_weight() * r.count as f64).sum();
         if v > 0.0 {
             v
         } else {

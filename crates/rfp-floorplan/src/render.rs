@@ -25,9 +25,7 @@ pub fn render_ascii(problem: &FloorplanProblem, floorplan: &Floorplan) -> String
         }
     }
 
-    let letter = |i: usize| -> char {
-        (b'A' + (i % 26) as u8) as char
-    };
+    let letter = |i: usize| -> char { (b'A' + (i % 26) as u8) as char };
     for (i, rect) in floorplan.regions.iter().enumerate() {
         for (c, r) in rect.cells() {
             grid[(r - 1) as usize][(c - 1) as usize] = letter(i);

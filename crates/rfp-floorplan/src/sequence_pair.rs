@@ -90,10 +90,7 @@ pub fn extract_relations(rects: &[Rect]) -> Vec<PairRelation> {
                 (above, Relation::Above),
                 (below, Relation::Below),
             ];
-            let best = candidates
-                .iter()
-                .filter(|(sep, _)| *sep >= 0)
-                .max_by_key(|(sep, _)| *sep);
+            let best = candidates.iter().filter(|(sep, _)| *sep >= 0).max_by_key(|(sep, _)| *sep);
             match best {
                 Some(&(_, relation)) => out.push(PairRelation { a, b, relation }),
                 None => panic!(
@@ -138,7 +135,7 @@ pub fn extract_sequence_pair(rects: &[Rect]) -> SequencePair {
     let order_by = |prefer_above: bool| -> Vec<usize> {
         // Count, for each entity, how many entities must precede it.
         let mut score = vec![0usize; n];
-        for a in 0..n {
+        for (a, score_a) in score.iter_mut().enumerate() {
             for b in 0..n {
                 if a == b {
                     continue;
@@ -151,7 +148,7 @@ pub fn extract_sequence_pair(rects: &[Rect]) -> SequencePair {
                         Relation::Below => !prefer_above,
                     };
                     if !a_first {
-                        score[a] += 1;
+                        *score_a += 1;
                     }
                 }
             }

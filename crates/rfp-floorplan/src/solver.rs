@@ -15,7 +15,7 @@
 
 use crate::combinatorial::{solve_combinatorial, CombinatorialConfig};
 use crate::error::FloorplanError;
-use crate::heuristic::greedy_floorplan;
+use crate::heuristic::{greedy_floorplan, greedy_floorplan_fast};
 use crate::model::{FloorplanMilp, MilpBuildConfig, ModelStats};
 use crate::placement::{Floorplan, Metrics};
 use crate::problem::FloorplanProblem;
@@ -170,6 +170,13 @@ impl Floorplanner {
         problem: &FloorplanProblem,
         seed: Option<Floorplan>,
     ) -> Result<SolveReport, FloorplanError> {
+        // O gets a fresh greedy pass as its warm start; HO reuses its seed.
+        // A warm start never restricts the search space — it only gives the
+        // branch-and-bound an initial incumbent to prune against, which is
+        // what makes the indicator-heavy floorplanning models tractable for
+        // the from-scratch solver. The fallback-free greedy keeps this
+        // opportunistic step from launching an unbounded exhaustive search.
+        let warm = seed.clone().or_else(|| greedy_floorplan_fast(problem));
         let (build_cfg, algorithm) = match seed {
             None => (MilpBuildConfig::optimal(), Algorithm::O),
             Some(seed) => {
@@ -191,7 +198,8 @@ impl Floorplanner {
         let model = FloorplanMilp::build(problem, &build_cfg);
         let stats = model.stats();
         let solver = MilpSolver::new(self.config.milp.clone());
-        let solution = solver.solve(&model.milp);
+        let start = warm.and_then(|fp| model.encode(problem, &fp));
+        let solution = solver.solve_with_start(&model.milp, start.as_deref());
         if !solution.status.has_solution() {
             return match solution.status {
                 rfp_milp::SolveStatus::Infeasible => Err(FloorplanError::Infeasible {
@@ -244,9 +252,7 @@ mod tests {
         p.weights = ObjectiveWeights::area_only();
         p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
         p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
-        let comb = Floorplanner::new(FloorplannerConfig::combinatorial())
-            .solve_report(&p)
-            .unwrap();
+        let comb = Floorplanner::new(FloorplannerConfig::combinatorial()).solve_report(&p).unwrap();
         let o = Floorplanner::new(FloorplannerConfig::optimal()).solve_report(&p).unwrap();
         assert_eq!(comb.metrics.wasted_frames, o.metrics.wasted_frames);
         assert!(o.model_stats.is_some());
@@ -260,9 +266,8 @@ mod tests {
         p.add_region(RegionSpec::new("A", vec![(clb, 1), (bram, 1)]));
         p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
         let o = Floorplanner::new(FloorplannerConfig::optimal()).solve_report(&p).unwrap();
-        let ho = Floorplanner::new(FloorplannerConfig::heuristic_optimal())
-            .solve_report(&p)
-            .unwrap();
+        let ho =
+            Floorplanner::new(FloorplannerConfig::heuristic_optimal()).solve_report(&p).unwrap();
         assert!(ho.metrics.wasted_frames >= o.metrics.wasted_frames);
         assert!(o.floorplan.validate(&p).is_empty());
         assert!(ho.floorplan.validate(&p).is_empty());
@@ -274,9 +279,8 @@ mod tests {
         let (mut p, clb, bram) = tiny_problem();
         let a = p.add_region(RegionSpec::new("A", vec![(clb, 1), (bram, 1)]));
         p.request_relocation(RelocationRequest::constraint(a, 1));
-        let report = Floorplanner::new(FloorplannerConfig::combinatorial())
-            .solve_report(&p)
-            .unwrap();
+        let report =
+            Floorplanner::new(FloorplannerConfig::combinatorial()).solve_report(&p).unwrap();
         assert_eq!(report.metrics.fc_found, 1);
         assert!(report.floorplan.validate(&p).is_empty());
     }

@@ -7,13 +7,17 @@
 //! * branching picks the integer variable whose LP value is most fractional;
 //! * nodes are pruned by bound against the incumbent;
 //! * a cheap rounding heuristic is applied at every node to find incumbents
-//!   early;
+//!   early, and an LP-guided diving heuristic (fix the most fractional
+//!   variable, re-solve, repeat) runs at the root and periodically until the
+//!   first incumbent is found — plain rounding almost never satisfies the
+//!   big-M indicator constraints of the floorplanning models, diving usually
+//!   does;
 //! * node order is deterministic (ties broken by node id), so repeated solves
 //!   of the same model explore the same tree.
 
 use crate::model::{Model, Sense};
 use crate::simplex::{LpConfig, LpStatus, StandardForm};
-use crate::solution::{SolveStatus, Solution};
+use crate::solution::{Solution, SolveStatus};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
@@ -36,6 +40,9 @@ pub struct SolverConfig {
     /// Stop as soon as any feasible solution is found (feasibility mode, used
     /// by the floorplanner's feasibility analysis).
     pub stop_at_first_feasible: bool,
+    /// While no incumbent exists, run the diving heuristic every this many
+    /// nodes (0 disables diving; it always runs at the root).
+    pub dive_period: usize,
 }
 
 impl Default for SolverConfig {
@@ -48,6 +55,7 @@ impl Default for SolverConfig {
             max_nodes: 0,
             time_limit: None,
             stop_at_first_feasible: false,
+            dive_period: 256,
         }
     }
 }
@@ -119,6 +127,16 @@ impl Solver {
 
     /// Solves a mixed-integer linear program.
     pub fn solve(&self, model: &Model) -> Solution {
+        self.solve_with_start(model, None)
+    }
+
+    /// Solves a mixed-integer linear program from a warm start.
+    ///
+    /// `warm_start` is a candidate assignment of every variable; when it is
+    /// feasible (within tolerance) and integral on the integer variables it
+    /// becomes the initial incumbent, which prunes the search from the first
+    /// node. An infeasible or malformed start is silently ignored.
+    pub fn solve_with_start(&self, model: &Model, warm_start: Option<&[f64]>) -> Solution {
         let start = Instant::now();
         let n = model.n_vars();
         let maximize = model.sense == Sense::Maximize;
@@ -135,8 +153,7 @@ impl Solver {
             .map(|(j, _)| j)
             .collect();
 
-        let root_bounds: Vec<(f64, f64)> =
-            model.vars().iter().map(|v| (v.lb, v.ub)).collect();
+        let root_bounds: Vec<(f64, f64)> = model.vars().iter().map(|v| (v.lb, v.ub)).collect();
 
         let mut heap: BinaryHeap<OrderedNode> = BinaryHeap::new();
         let mut next_id = 0usize;
@@ -149,6 +166,27 @@ impl Solver {
         next_id += 1;
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None; // (obj in min sense, values)
+        if let Some(values) = warm_start {
+            let integral = values.len() == n
+                && int_vars
+                    .iter()
+                    .all(|&j| (values[j] - values[j].round()).abs() <= self.config.int_tol);
+            if integral && model.is_feasible(values, 1e-5) {
+                let obj_min = to_min(model.objective.eval(values));
+                incumbent = Some((obj_min, values.to_vec()));
+                if self.config.stop_at_first_feasible {
+                    return Solution {
+                        status: SolveStatus::Feasible,
+                        objective: from_min(obj_min),
+                        best_bound: from_min(f64::NEG_INFINITY),
+                        values: values.to_vec(),
+                        nodes: 0,
+                        lp_iterations: 0,
+                        solve_seconds: start.elapsed().as_secs_f64(),
+                    };
+                }
+            }
+        }
         let mut best_bound_min = f64::NEG_INFINITY;
         let mut nodes = 0usize;
         let mut lp_iterations = 0usize;
@@ -160,8 +198,7 @@ impl Solver {
             best_bound_min = node.bound.max(best_bound_min.min(node.bound));
             if let Some((inc_obj, _)) = &incumbent {
                 let gap = inc_obj - node.bound;
-                if gap <= self.config.gap_abs
-                    || gap <= self.config.gap_rel * inc_obj.abs().max(1.0)
+                if gap <= self.config.gap_abs || gap <= self.config.gap_rel * inc_obj.abs().max(1.0)
                 {
                     // Every remaining node has a bound at least as large.
                     break;
@@ -205,11 +242,8 @@ impl Solver {
                 LpStatus::Optimal => {}
             }
 
-            let node_bound_min = if lp.status == LpStatus::Optimal {
-                to_min(lp.objective)
-            } else {
-                node.bound
-            };
+            let node_bound_min =
+                if lp.status == LpStatus::Optimal { to_min(lp.objective) } else { node.bound };
 
             // Prune by bound.
             if let Some((inc_obj, _)) = &incumbent {
@@ -219,17 +253,7 @@ impl Solver {
             }
 
             // Integral solution?
-            let frac_var = int_vars
-                .iter()
-                .map(|&j| (j, lp.values[j]))
-                .map(|(j, v)| (j, v, (v - v.round()).abs()))
-                .filter(|&(_, _, f)| f > self.config.int_tol)
-                .max_by(|a, b| {
-                    // Most fractional: distance to the nearest integer closest to 0.5.
-                    let da = (a.2 - 0.5).abs();
-                    let db = (b.2 - 0.5).abs();
-                    db.partial_cmp(&da).unwrap_or(Ordering::Equal).then(b.0.cmp(&a.0))
-                });
+            let frac_var = most_fractional(&int_vars, &lp.values, self.config.int_tol);
 
             match frac_var {
                 None => {
@@ -240,7 +264,7 @@ impl Solver {
                     }
                     if model.is_feasible(&values, 1e-5) {
                         let obj_min = to_min(model.objective.eval(&values));
-                        if incumbent.as_ref().map_or(true, |(best, _)| obj_min < *best) {
+                        if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
                             incumbent = Some((obj_min, values));
                             if self.config.stop_at_first_feasible {
                                 break;
@@ -248,18 +272,40 @@ impl Solver {
                         }
                     }
                 }
-                Some((j, v, _)) => {
+                Some((j, v)) => {
+                    // LP-guided diving until the first incumbent is known.
+                    let dive_due = self.config.dive_period > 0
+                        && (node.depth == 0 || (nodes - 1).is_multiple_of(self.config.dive_period));
+                    if incumbent.is_none() && dive_due {
+                        if let Some((obj_min_raw, values)) = self.dive(
+                            &sf,
+                            model,
+                            &int_vars,
+                            &node.bounds,
+                            &lp.values,
+                            &mut lp_iterations,
+                            start,
+                        ) {
+                            let obj_min = to_min(obj_min_raw);
+                            if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
+                                incumbent = Some((obj_min, values));
+                                if self.config.stop_at_first_feasible {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+
                     // Rounding heuristic before branching.
                     if incumbent.is_none() || nodes % 16 == 1 {
                         let mut rounded = lp.values.clone();
                         for &jj in &int_vars {
-                            rounded[jj] = rounded[jj]
-                                .round()
-                                .clamp(node.bounds[jj].0, node.bounds[jj].1);
+                            rounded[jj] =
+                                rounded[jj].round().clamp(node.bounds[jj].0, node.bounds[jj].1);
                         }
                         if model.is_feasible(&rounded, 1e-6) {
                             let obj_min = to_min(model.objective.eval(&rounded));
-                            if incumbent.as_ref().map_or(true, |(best, _)| obj_min < *best) {
+                            if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
                                 incumbent = Some((obj_min, rounded));
                                 if self.config.stop_at_first_feasible {
                                     break;
@@ -300,24 +346,17 @@ impl Solver {
 
         let elapsed = start.elapsed().as_secs_f64();
         // Remaining open nodes bound the optimum from below (min sense).
-        let open_bound = heap
-            .iter()
-            .map(|OrderedNode(nd)| nd.bound)
-            .fold(f64::INFINITY, f64::min);
+        let open_bound = heap.iter().map(|OrderedNode(nd)| nd.bound).fold(f64::INFINITY, f64::min);
 
         match incumbent {
             Some((obj_min, values)) => {
-                let proven = !hit_limit && heap.is_empty()
-                    || {
-                        let bound = open_bound.min(obj_min);
-                        obj_min - bound <= self.config.gap_abs
-                            || obj_min - bound <= self.config.gap_rel * obj_min.abs().max(1.0)
-                    };
-                let bound_min = if heap.is_empty() && !hit_limit {
-                    obj_min
-                } else {
-                    open_bound.min(obj_min)
+                let proven = !hit_limit && heap.is_empty() || {
+                    let bound = open_bound.min(obj_min);
+                    obj_min - bound <= self.config.gap_abs
+                        || obj_min - bound <= self.config.gap_rel * obj_min.abs().max(1.0)
                 };
+                let bound_min =
+                    if heap.is_empty() && !hit_limit { obj_min } else { open_bound.min(obj_min) };
                 Solution {
                     status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
                     objective: from_min(obj_min),
@@ -344,6 +383,88 @@ impl Solver {
             }
         }
     }
+
+    /// LP-guided diving: repeatedly tighten the most fractional integer
+    /// variable towards its nearest integer (a one-sided, branch-like bound
+    /// change rather than a hard fix) and re-solve the LP, flipping the
+    /// direction once on infeasibility. Returns an objective (in the
+    /// *model's* sense) and a feasible assignment on success.
+    #[allow(clippy::too_many_arguments)]
+    fn dive(
+        &self,
+        sf: &StandardForm,
+        model: &Model,
+        int_vars: &[usize],
+        start_bounds: &[(f64, f64)],
+        start_values: &[f64],
+        lp_iterations: &mut usize,
+        start: Instant,
+    ) -> Option<(f64, Vec<f64>)> {
+        let mut bounds = start_bounds.to_vec();
+        let mut values = start_values.to_vec();
+        // Each step moves one bound by at least one unit, so the budget is
+        // generous for binary-dominated models while still bounded for wide
+        // integer ranges.
+        for _ in 0..4 * int_vars.len() + 16 {
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() >= limit {
+                    return None;
+                }
+            }
+            let frac = most_fractional(int_vars, &values, self.config.int_tol);
+            let (j, v) = match frac {
+                None => {
+                    let mut rounded = values;
+                    for &jj in int_vars {
+                        rounded[jj] = rounded[jj].round();
+                    }
+                    if model.is_feasible(&rounded, 1e-6) {
+                        let obj = model.objective.eval(&rounded);
+                        return Some((obj, rounded));
+                    }
+                    return None;
+                }
+                Some((j, v)) => (j, v),
+            };
+            let (lbj, ubj) = bounds[j];
+            // Tighten towards the nearest integer: raise the lower bound when
+            // rounding up, lower the upper bound when rounding down.
+            let up = v.round() >= v;
+            bounds[j] = if up { (v.ceil().min(ubj), ubj) } else { (lbj, v.floor().max(lbj)) };
+            let lp = sf.solve_with_bounds(Some(&bounds), &self.config.lp);
+            *lp_iterations += lp.iterations;
+            if lp.status == LpStatus::Optimal {
+                values = lp.values;
+                continue;
+            }
+            // Infeasible (or numerically stuck): flip the direction once,
+            // then give up on this dive.
+            bounds[j] = if up { (lbj, v.floor().max(lbj)) } else { (v.ceil().min(ubj), ubj) };
+            let lp = sf.solve_with_bounds(Some(&bounds), &self.config.lp);
+            *lp_iterations += lp.iterations;
+            if lp.status == LpStatus::Optimal {
+                values = lp.values;
+            } else {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// The integer variable whose LP value is farthest from integral (ties broken
+/// towards 0.5 then by index, matching the branching rule).
+fn most_fractional(int_vars: &[usize], values: &[f64], tol: f64) -> Option<(usize, f64)> {
+    int_vars
+        .iter()
+        .map(|&j| (j, values[j], (values[j] - values[j].round()).abs()))
+        .filter(|&(_, _, f)| f > tol)
+        .max_by(|a, b| {
+            let da = (a.2 - 0.5).abs();
+            let db = (b.2 - 0.5).abs();
+            db.partial_cmp(&da).unwrap_or(Ordering::Equal).then(b.0.cmp(&a.0))
+        })
+        .map(|(j, v, _)| (j, v))
 }
 
 #[cfg(test)]
@@ -420,6 +541,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // 2-D index math reads clearest as written
     fn equality_constrained_assignment_problem() {
         // 3x3 assignment problem with cost matrix; optimum = 5 (1+1+3 ... )
         let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
@@ -457,17 +579,11 @@ mod tests {
 
     #[test]
     fn stop_at_first_feasible_returns_quickly() {
-        let mut cfg = SolverConfig::default();
-        cfg.stop_at_first_feasible = true;
+        let cfg = SolverConfig { stop_at_first_feasible: true, ..SolverConfig::default() };
         let solver = Solver::new(cfg);
         let mut m = Model::new("firstfeas", Sense::Maximize);
         let vars: Vec<_> = (0..8).map(|i| m.bin_var(format!("b{i}"))).collect();
-        m.add_con(
-            "cap",
-            LinExpr::weighted_sum(vars.iter().map(|&v| (v, 1.0))),
-            ConOp::Le,
-            4.0,
-        );
+        m.add_con("cap", LinExpr::weighted_sum(vars.iter().map(|&v| (v, 1.0))), ConOp::Le, 4.0);
         m.set_objective(LinExpr::weighted_sum(vars.iter().map(|&v| (v, 1.0))));
         let sol = solver.solve(&m);
         assert!(sol.status.has_solution());
@@ -476,8 +592,7 @@ mod tests {
 
     #[test]
     fn node_limit_yields_feasible_or_unknown() {
-        let mut cfg = SolverConfig::default();
-        cfg.max_nodes = 1;
+        let cfg = SolverConfig { max_nodes: 1, ..SolverConfig::default() };
         let solver = Solver::new(cfg);
         let mut m = Model::new("limited", Sense::Maximize);
         let x = m.int_var("x", 0.0, 100.0);
@@ -500,12 +615,7 @@ mod tests {
         let z = m.bin_var("z");
         // x >= 5 - M z  and  y >= 5 - M (1 - z)
         m.add_con("x_on", LinExpr::from(x) + LinExpr::from(z) * 100.0, ConOp::Ge, 5.0);
-        m.add_con(
-            "y_on",
-            LinExpr::from(y) - LinExpr::from(z) * 100.0,
-            ConOp::Ge,
-            5.0 - 100.0,
-        );
+        m.add_con("y_on", LinExpr::from(y) - LinExpr::from(z) * 100.0, ConOp::Ge, 5.0 - 100.0);
         m.set_objective(LinExpr::from(x) + y);
         let sol = Solver::default().solve(&m);
         assert_eq!(sol.status, SolveStatus::Optimal);

@@ -58,10 +58,10 @@ pub mod prelude {
     pub use crate::branch_bound::{Solver, SolverConfig};
     pub use crate::expr::LinExpr;
     pub use crate::model::{ConOp, Model, Sense, VarId, VarKind};
-    pub use crate::solution::{SolveStatus, Solution};
+    pub use crate::solution::{Solution, SolveStatus};
 }
 
 pub use branch_bound::{Solver, SolverConfig};
 pub use expr::LinExpr;
 pub use model::{ConOp, Model, Sense, VarId, VarKind};
-pub use solution::{SolveStatus, Solution};
+pub use solution::{Solution, SolveStatus};

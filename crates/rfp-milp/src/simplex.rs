@@ -99,8 +99,7 @@ impl StandardForm {
         let mut slack_bounds: Vec<(f64, f64)> = Vec::new();
 
         for con in model.constraints() {
-            let mut row: Vec<(usize, f64)> =
-                con.expr.iter().map(|(v, c)| (v.index(), c)).collect();
+            let mut row: Vec<(usize, f64)> = con.expr.iter().map(|(v, c)| (v.index(), c)).collect();
             match con.op {
                 ConOp::Le => {
                     // expr + s = rhs, s >= 0
@@ -141,17 +140,7 @@ impl StandardForm {
         }
         let obj_constant = model.objective.constant_term();
 
-        StandardForm {
-            n_struct,
-            n_slack,
-            rows,
-            rhs,
-            lb,
-            ub,
-            obj,
-            maximize,
-            obj_constant,
-        }
+        StandardForm { n_struct, n_slack, rows, rhs, lb, ub, obj, maximize, obj_constant }
     }
 
     /// Number of structural variables.
@@ -204,8 +193,8 @@ impl StandardForm {
             }
         }
         // Artificials: fixed later, start in [0, inf).
-        lb.extend(std::iter::repeat(0.0).take(m));
-        ub.extend(std::iter::repeat(f64::INFINITY).take(m));
+        lb.extend(std::iter::repeat_n(0.0, m));
+        ub.extend(std::iter::repeat_n(f64::INFINITY, m));
 
         // Dense tableau rows over all columns (structural + slack + artificial).
         let mut tab = vec![0.0f64; m * total];
@@ -228,10 +217,8 @@ impl StandardForm {
         for j in 0..n {
             if !ub[j].is_finite() {
                 at_upper[j] = false;
-            } else if lb[j].abs() <= ub[j].abs() {
-                at_upper[j] = false;
             } else {
-                at_upper[j] = true;
+                at_upper[j] = lb[j].abs() > ub[j].abs();
             }
         }
 
@@ -489,12 +476,7 @@ impl StandardForm {
         }
         let mut objective = self.obj_constant;
         if status == LpStatus::Optimal || status == LpStatus::IterationLimit {
-            let raw: f64 = self
-                .obj
-                .iter()
-                .enumerate()
-                .map(|(j, &c)| c * values[j])
-                .sum();
+            let raw: f64 = self.obj.iter().enumerate().map(|(j, &c)| c * values[j]).sum();
             objective += if self.maximize { -raw } else { raw };
         } else {
             objective = f64::NAN;
@@ -669,6 +651,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // 2-D index math reads clearest as written
     fn bigger_random_like_lp_is_consistent() {
         // A transportation-style LP with a known optimum.
         // Supplies: 20, 30; demands: 10, 25, 15.
@@ -702,11 +685,13 @@ mod tests {
         m.set_objective(obj.clone());
         let r = solve_lp(&m, &cfg());
         assert_eq!(r.status, LpStatus::Optimal);
-        assert!(m.is_feasible(&r.values, 1e-6) || {
-            // The LP relaxation ignores integrality, but there are no integer
-            // vars here, so feasibility must hold.
-            false
-        });
+        assert!(
+            m.is_feasible(&r.values, 1e-6) || {
+                // The LP relaxation ignores integrality, but there are no integer
+                // vars here, so feasibility must hold.
+                false
+            }
+        );
         assert!((r.objective - obj.eval(&r.values)).abs() < 1e-6);
         // Known optimum for this data is 150.
         assert!((r.objective - 150.0).abs() < 1e-6, "objective was {}", r.objective);

@@ -129,10 +129,8 @@ impl WorkloadSpec {
         }
         for &region in ids.iter().take(self.relocatable_regions) {
             if self.fc_per_region > 0 {
-                problem.request_relocation(RelocationRequest::constraint(
-                    region,
-                    self.fc_per_region,
-                ));
+                problem
+                    .request_relocation(RelocationRequest::constraint(region, self.fc_per_region));
             }
         }
         problem
@@ -170,11 +168,8 @@ mod tests {
 
     #[test]
     fn relocation_requests_follow_the_spec() {
-        let spec = WorkloadSpec {
-            fc_per_region: 2,
-            relocatable_regions: 2,
-            ..WorkloadSpec::default()
-        };
+        let spec =
+            WorkloadSpec { fc_per_region: 2, relocatable_regions: 2, ..WorkloadSpec::default() };
         let p = spec.generate().problem;
         assert_eq!(p.relocation.len(), 2);
         assert_eq!(p.n_fc_areas(), 4);

@@ -13,4 +13,4 @@ pub mod generator;
 pub mod sdr;
 
 pub use generator::{SyntheticWorkload, WorkloadSpec};
-pub use sdr::{sdr_problem, sdr_region_table, sdr2_problem, sdr3_problem, SdrRegionRow};
+pub use sdr::{sdr2_problem, sdr3_problem, sdr_problem, sdr_region_table, SdrRegionRow};

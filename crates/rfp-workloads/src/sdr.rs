@@ -39,19 +39,48 @@ pub struct SdrRegionRow {
 /// The five rows of Table I (resource requirements of the SDR design).
 pub fn sdr_region_table() -> Vec<SdrRegionRow> {
     vec![
-        SdrRegionRow { name: "Matched Filter", clb_tiles: 25, bram_tiles: 0, dsp_tiles: 5, frames: 1040 },
-        SdrRegionRow { name: "Carrier Recovery", clb_tiles: 7, bram_tiles: 0, dsp_tiles: 1, frames: 280 },
-        SdrRegionRow { name: "Demodulator", clb_tiles: 5, bram_tiles: 2, dsp_tiles: 0, frames: 240 },
-        SdrRegionRow { name: "Signal Decoder", clb_tiles: 12, bram_tiles: 1, dsp_tiles: 0, frames: 462 },
-        SdrRegionRow { name: "Video Decoder", clb_tiles: 55, bram_tiles: 2, dsp_tiles: 5, frames: 2180 },
+        SdrRegionRow {
+            name: "Matched Filter",
+            clb_tiles: 25,
+            bram_tiles: 0,
+            dsp_tiles: 5,
+            frames: 1040,
+        },
+        SdrRegionRow {
+            name: "Carrier Recovery",
+            clb_tiles: 7,
+            bram_tiles: 0,
+            dsp_tiles: 1,
+            frames: 280,
+        },
+        SdrRegionRow {
+            name: "Demodulator",
+            clb_tiles: 5,
+            bram_tiles: 2,
+            dsp_tiles: 0,
+            frames: 240,
+        },
+        SdrRegionRow {
+            name: "Signal Decoder",
+            clb_tiles: 12,
+            bram_tiles: 1,
+            dsp_tiles: 0,
+            frames: 462,
+        },
+        SdrRegionRow {
+            name: "Video Decoder",
+            clb_tiles: 55,
+            bram_tiles: 2,
+            dsp_tiles: 5,
+            frames: 2180,
+        },
     ]
 }
 
 /// Names of the *relocatable* regions identified by the paper's feasibility
 /// analysis (the regions for which a free-compatible area exists on the
 /// FX70T).
-pub const RELOCATABLE_REGIONS: [&str; 3] =
-    ["Carrier Recovery", "Demodulator", "Signal Decoder"];
+pub const RELOCATABLE_REGIONS: [&str; 3] = ["Carrier Recovery", "Demodulator", "Signal Decoder"];
 
 /// Builds the SDR floorplanning problem (no relocation requests) on the
 /// Virtex-5 FX70T model, with the five regions connected in a chain by a

@@ -14,8 +14,8 @@ fn main() {
 
     // A module occupying 3 CLB columns + the first BRAM column, 2 rows high.
     let source = Rect::new(1, 1, 4, 2);
-    let module = Bitstream::generate(&partition, "turbo-decoder", source, 0xC0FFEE)
-        .expect("legal area");
+    let module =
+        Bitstream::generate(&partition, "turbo-decoder", source, 0xC0FFEE).expect("legal area");
     println!(
         "module `{}` @ {}: {} frames, {} payload bytes, crc {:#010x}",
         module.module,

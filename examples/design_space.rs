@@ -29,7 +29,13 @@ fn main() {
         let spec = WorkloadSpec {
             n_regions: 5,
             utilisation: 0.35,
-            device: SyntheticSpec { cols: 24, rows: 6, bram_every: 5, dsp_every: 9, ..Default::default() },
+            device: SyntheticSpec {
+                cols: 24,
+                rows: 6,
+                bram_every: 5,
+                dsp_every: 9,
+                ..Default::default()
+            },
             fc_per_region: fc,
             relocatable_regions: 2,
             ..WorkloadSpec::default()
@@ -49,7 +55,13 @@ fn main() {
         let spec = WorkloadSpec {
             n_regions: 4,
             utilisation: 0.3,
-            device: SyntheticSpec { cols, rows: 6, bram_every: 5, dsp_every: 9, ..Default::default() },
+            device: SyntheticSpec {
+                cols,
+                rows: 6,
+                bram_every: 5,
+                dsp_every: 9,
+                ..Default::default()
+            },
             fc_per_region: 1,
             relocatable_regions: 4,
             ..WorkloadSpec::default()

@@ -13,6 +13,7 @@ fn main() {
     let clb = builder.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
     let bram = builder.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
     let dsp = builder.tile_type("DSP", ResourceVec::new(0, 0, 1), 28);
+    builder.rows(4);
     for col in 1..=12u32 {
         match col {
             4 | 9 => builder.column(bram),

@@ -35,10 +35,7 @@ fn main() {
     let plain = Floorplanner::new(FloorplannerConfig::combinatorial().with_time_limit(60.0))
         .solve_report(&sdr)
         .expect("SDR is feasible");
-    println!(
-        "[10]  (PA without relocation)   : {:>5} wasted frames",
-        plain.metrics.wasted_frames
-    );
+    println!("[10]  (PA without relocation)   : {:>5} wasted frames", plain.metrics.wasted_frames);
 
     // The relocation-aware floorplanner on SDR2.
     let problem = sdr2_problem();
@@ -81,5 +78,8 @@ fn main() {
             targets.len()
         );
     }
-    println!("\ntotal configuration frames written to the simulated memory: {}", memory.frames_written());
+    println!(
+        "\ntotal configuration frames written to the simulated memory: {}",
+        memory.frames_written()
+    );
 }

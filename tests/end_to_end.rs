@@ -61,12 +61,12 @@ fn table2_shape_holds() {
 
 #[test]
 fn feasibility_analysis_matches_the_paper() {
-    let verdicts =
-        feasibility_analysis(&sdr_problem(), &CombinatorialConfig::default()).unwrap();
+    let verdicts = feasibility_analysis(&sdr_problem(), &CombinatorialConfig::default()).unwrap();
     for v in &verdicts {
         let expected = RELOCATABLE_REGIONS.contains(&v.name.as_str());
         assert_eq!(
-            v.feasible, expected,
+            v.feasible,
+            expected,
             "region `{}` should be {}",
             v.name,
             if expected { "relocatable" } else { "non-relocatable" }

@@ -1,0 +1,238 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench sources compiling and running without the registry crate:
+//! each `bench_function` runs its routine for a handful of timed iterations
+//! and prints a single mean-time line. There is no statistical analysis, no
+//! warm-up scheduling and no HTML report — this is a smoke-and-ballpark
+//! harness until the real criterion can be vendored in full.
+
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark. Small on purpose: the SDR instances take
+/// seconds per solve and the stand-in optimises for "runs everywhere"
+/// over statistical power.
+const ITERATIONS: u32 = 3;
+
+/// Mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for `criterion_group!` compatibility; the stand-in has no
+    /// command-line options.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into() }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into(), f);
+        self
+    }
+}
+
+/// Mirrors `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in always runs
+    /// [`ITERATIONS`] iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, mut f: F) {
+    let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+    f(&mut bencher);
+    let label = if group.is_empty() { id.0.clone() } else { format!("{group}/{}", id.0) };
+    if bencher.iterations == 0 {
+        println!("bench {label:<50} (routine never called)");
+    } else {
+        let mean = bencher.elapsed / bencher.iterations;
+        println!("bench {label:<50} mean {mean:>12.3?} ({} iters)", bencher.iterations);
+    }
+}
+
+/// Mirrors `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over the stand-in's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERATIONS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Mirrors `criterion::BatchSize`; ignored by the stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Mirrors `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Mirrors `criterion_group!`: bundles bench functions into one group
+/// function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion_main!`: runs the given groups from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, ITERATIONS);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| v * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, ITERATIONS);
+    }
+}

@@ -1,0 +1,30 @@
+//! `Option` strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+        // Match proptest's default: Some three times out of four, so the
+        // interesting branch dominates.
+        if rng.gen_bool(0.75) {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy yielding `None` or `Some(value)` with `value` from `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,55 @@
+//! Test-runner configuration and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Mirrors `proptest::test_runner::Config` (re-exported from the prelude as
+/// `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed test case, carried through `prop_assert!` early returns.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic generator for case number `case`.
+///
+/// Fixed seeds keep the suite reproducible in CI; distinct per-case seeds
+/// still explore `cases` different inputs per property.
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0xC0FF_EE00_u64 ^ (u64::from(case) << 1))
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. Nothing in the
+//! workspace performs actual serialisation yet; when it does, point the
+//! `[workspace.dependencies]` entry back at the registry crate.
+
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Mirrors `serde::de` far enough for common `use serde::de::DeserializeOwned`
+/// imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in an environment without access to crates.io, so the
+//! real `serde`/`serde_derive` cannot be fetched. The codebase only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — no
+//! code path actually serialises anything yet — so the derives expand to
+//! nothing. Swapping the `[workspace.dependencies]` entries back to the
+//! registry crates restores full serde behaviour without touching any source
+//! file.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
