@@ -1,47 +1,102 @@
-//! Regenerates the Section VI solve-time discussion: time to best solution
-//! and to proof of optimality for SDR, SDR2 and SDR3, plus the O/HO MILP
-//! statistics on a reduced device (the paper reports 1160 s to the SDR2
-//! optimum and ~5 h to prove it with a commercial solver; the combinatorial
-//! engine proves the full-die instances in seconds, while the from-scratch
-//! MILP path is exercised on a reduced device).
+//! Regenerates the Section VI solve-time discussion and the MILP
+//! proof-speed study.
+//!
+//! * Combinatorial engine on SDR/SDR2/SDR3 (the paper reports 1160 s to the
+//!   SDR2 optimum and ~5 h to prove it with a commercial solver; the
+//!   combinatorial engine proves the full-die instances in seconds).
+//! * The from-scratch MILP path on a reduced synthetic device: the O model
+//!   with the sparse revised simplex (warm-started dual re-solves,
+//!   pseudo-cost branching, root cuts), the same model on the retired dense
+//!   tableau as a baseline, HO, and the combinatorial engine. The dense vs
+//!   revised per-node LP re-solve time is the headline proof-speed metric.
+//!
+//! Usage: `solve_times [limit_secs] [--quick] [--json PATH]`
+//!
+//! `--quick` shrinks the study for CI (short limit, SDR only on the
+//! combinatorial side); `--json` writes the machine-readable BENCH artefact
+//! so proof-speed regressions are visible across PRs.
+
+use rfp_bench::json;
+use rfp_bench::MilpSolveRow;
 use rfp_floorplan::combinatorial::{solve_combinatorial, CombinatorialConfig};
 use rfp_floorplan::model::{FloorplanMilp, MilpBuildConfig};
-use rfp_floorplan::{Algorithm, Floorplanner, FloorplannerConfig};
+use rfp_floorplan::{Floorplanner, FloorplannerConfig};
 use rfp_workloads::generator::WorkloadSpec;
 use rfp_workloads::{sdr2_problem, sdr3_problem, sdr_problem};
 
+struct CombRow {
+    instance: String,
+    /// `Ok(None)` = the search timed out before finding any floorplan.
+    outcome: Result<Option<u64>, String>,
+    seconds: f64,
+    nodes: u64,
+    proven: bool,
+}
+
 fn main() {
-    let limit: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120.0);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let limit: f64 =
+        args.iter().find_map(|a| a.parse::<f64>().ok()).unwrap_or(if quick { 30.0 } else { 120.0 });
+
+    // ------------------------------------------------------------------
+    // Combinatorial engine on the paper's designs.
+    // ------------------------------------------------------------------
     println!("Solve-time study (combinatorial engine, limit {limit}s per instance)\n");
-    let mut rows = Vec::new();
-    for (name, p) in [("SDR", sdr_problem()), ("SDR2", sdr2_problem()), ("SDR3", sdr3_problem())] {
+    let mut designs = vec![("SDR", sdr_problem())];
+    if !quick {
+        designs.push(("SDR2", sdr2_problem()));
+        designs.push(("SDR3", sdr3_problem()));
+    }
+    let mut comb_rows: Vec<CombRow> = Vec::new();
+    for (name, p) in designs {
         let cfg = CombinatorialConfig::with_time_limit(limit);
         match solve_combinatorial(&p, &cfg) {
-            Ok(r) => rows.push(vec![
-                name.to_string(),
-                r.best_waste.map(|w| w.to_string()).unwrap_or_else(|| "-".into()),
-                format!("{:.2}", r.solve_seconds),
-                r.nodes.to_string(),
-                if r.proven { "yes".into() } else { "no".into() },
-            ]),
-            Err(e) => rows.push(vec![
-                name.to_string(),
-                format!("error: {e}"),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]),
+            Ok(r) => comb_rows.push(CombRow {
+                instance: name.to_string(),
+                outcome: Ok(r.best_waste),
+                seconds: r.solve_seconds,
+                nodes: r.nodes,
+                proven: r.proven,
+            }),
+            Err(e) => comb_rows.push(CombRow {
+                instance: name.to_string(),
+                outcome: Err(e.to_string()),
+                seconds: 0.0,
+                nodes: 0,
+                proven: false,
+            }),
         }
     }
+    let comb_table: Vec<Vec<String>> = comb_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.instance.clone(),
+                match &r.outcome {
+                    Ok(Some(w)) => w.to_string(),
+                    Ok(None) => "-".to_string(),
+                    Err(e) => format!("error: {e}"),
+                },
+                format!("{:.2}", r.seconds),
+                r.nodes.to_string(),
+                if r.proven { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
     println!(
         "{}",
         rfp_bench::markdown_table(
             &["Instance", "Wasted frames", "Seconds", "Nodes", "Proven"],
-            &rows
+            &comb_table
         )
     );
 
-    println!("\nMILP model statistics and O/HO solve on a reduced synthetic device:\n");
+    // ------------------------------------------------------------------
+    // MILP proof-speed study on a reduced synthetic device.
+    // ------------------------------------------------------------------
+    println!("\nMILP proof-speed study on a reduced synthetic device:\n");
     let spec = WorkloadSpec {
         n_regions: 3,
         utilisation: 0.35,
@@ -63,38 +118,127 @@ fn main() {
         "model: {} entities, {} vars ({} integer), {} constraints, {} nonzeros",
         stats.entities, stats.n_vars, stats.n_int_vars, stats.n_cons, stats.n_nonzeros
     );
-    let mut milp_rows = Vec::new();
-    for (label, mut cfg) in [
-        ("O", FloorplannerConfig::optimal()),
-        ("HO", FloorplannerConfig::heuristic_optimal()),
-        ("Combinatorial", FloorplannerConfig::combinatorial()),
-    ] {
+
+    let engines: Vec<(String, FloorplannerConfig)> = vec![
+        ("O (revised)".to_string(), FloorplannerConfig::optimal()),
+        ("O (dense baseline)".to_string(), {
+            let mut c = FloorplannerConfig::optimal();
+            c.milp.use_dense_lp = true;
+            c
+        }),
+        ("HO (revised)".to_string(), FloorplannerConfig::heuristic_optimal()),
+        ("Combinatorial".to_string(), FloorplannerConfig::combinatorial()),
+    ];
+    let mut milp_rows: Vec<MilpSolveRow> = Vec::new();
+    for (label, mut cfg) in engines {
         cfg = cfg.with_time_limit(limit);
-        match Floorplanner::new(cfg).solve_report(&problem) {
-            Ok(r) => milp_rows.push(vec![
-                label.to_string(),
-                r.metrics.wasted_frames.to_string(),
-                r.metrics.fc_found.to_string(),
+        let row = match Floorplanner::new(cfg).solve_report(&problem) {
+            Ok(r) => MilpSolveRow::from_report(&label, &r),
+            Err(e) => MilpSolveRow::from_error(&label, &e),
+        };
+        milp_rows.push(row);
+    }
+    let milp_table: Vec<Vec<String>> = milp_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                match &r.outcome {
+                    Ok(w) => w.to_string(),
+                    Err(e) => format!("error: {e}"),
+                },
+                r.fc_areas.to_string(),
                 format!("{:.2}", r.solve_seconds),
                 r.nodes.to_string(),
-                if r.proven_optimal { "yes".into() } else { "no".into() },
-            ]),
-            Err(e) => milp_rows.push(vec![
-                label.to_string(),
-                format!("error: {e}"),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]),
-        }
-    }
+                r.lp_iterations.to_string(),
+                format!("{:.2}", r.lp_seconds_per_solve() * 1e3),
+                r.cuts.to_string(),
+                if r.gap.is_finite() { format!("{:.4}", r.gap) } else { "inf".into() },
+                if r.proven { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
     println!(
         "{}",
         rfp_bench::markdown_table(
-            &["Engine", "Wasted frames", "FC areas", "Seconds", "Nodes", "Proven"],
-            &milp_rows
+            &[
+                "Engine",
+                "Wasted frames",
+                "FC areas",
+                "Seconds",
+                "Nodes",
+                "LP iters",
+                "ms/LP solve",
+                "Cuts",
+                "Gap",
+                "Proven"
+            ],
+            &milp_table
         )
     );
-    let _ = Algorithm::O;
+
+    // Headline metric: dense vs revised per-node LP re-solve time.
+    let per_solve = |label: &str| {
+        milp_rows
+            .iter()
+            .find(|r| r.engine == label)
+            .map(MilpSolveRow::lp_seconds_per_solve)
+            .filter(|&s| s > 0.0)
+    };
+    let revised = per_solve("O (revised)");
+    let dense = per_solve("O (dense baseline)");
+    let speedup = match (dense, revised) {
+        (Some(d), Some(r)) => {
+            let s = d / r;
+            println!(
+                "\nper-LP re-solve: dense {:.3} ms, revised {:.3} ms -> {s:.1}x speedup",
+                d * 1e3,
+                r * 1e3
+            );
+            Some(s)
+        }
+        _ => None,
+    };
+
+    // ------------------------------------------------------------------
+    // BENCH JSON artefact.
+    // ------------------------------------------------------------------
+    if let Some(path) = json_path {
+        let comb_json = json::array(comb_rows.iter().map(|r| {
+            let mut o = json::Object::new().str("instance", &r.instance);
+            o = match &r.outcome {
+                Ok(Some(w)) => o.int("wasted_frames", *w),
+                Ok(None) => o.raw("wasted_frames", "null".to_string()),
+                Err(e) => o.str("error", e),
+            };
+            o.num("seconds", r.seconds).int("nodes", r.nodes).bool("proven", r.proven).build()
+        }));
+        let model_json = json::Object::new()
+            .int("entities", stats.entities as u64)
+            .int("vars", stats.n_vars as u64)
+            .int("int_vars", stats.n_int_vars as u64)
+            .int("constraints", stats.n_cons as u64)
+            .int("nonzeros", stats.n_nonzeros as u64)
+            .build();
+        let mut milp = json::Object::new()
+            .raw("model", model_json)
+            .raw("engines", json::array(milp_rows.iter().map(MilpSolveRow::to_json)));
+        if let Some(s) = speedup {
+            milp = milp.num("lp_resolve_speedup", s);
+        }
+        let doc = json::Object::new()
+            .str("schema", "rfp-bench/solve_times/v2")
+            .num("limit_secs", limit)
+            .bool("quick", quick)
+            .raw("combinatorial", comb_json)
+            .raw("milp", milp.build())
+            .build();
+        match std::fs::write(&path, doc + "\n") {
+            Ok(()) => println!("\nBENCH JSON written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,0 +1,118 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace's `serde` is an offline no-op stand-in (see `vendor/`), so
+//! the bench harness writes its machine-readable artefacts with this small
+//! builder instead. Output is deterministic (insertion order) and restricted
+//! to what the BENCH JSONs need: objects, arrays, strings, numbers, bools.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite number; NaN and infinities become `null` (JSON has no
+/// representation for them).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An object under construction.
+#[derive(Debug, Default)]
+pub struct Object {
+    fields: Vec<String>,
+}
+
+impl Object {
+    /// Starts an empty object.
+    pub fn new() -> Object {
+        Object::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Object {
+        self.fields.push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds a numeric field (`null` for non-finite values).
+    pub fn num(mut self, key: &str, value: f64) -> Object {
+        self.fields.push(format!("\"{}\":{}", escape(key), number(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Object {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Object {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn raw(mut self, key: &str, value: String) -> Object {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Renders an array of already-rendered JSON values.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_arrays_and_escaping() {
+        let obj = Object::new()
+            .str("name", "a \"b\"\n")
+            .num("pi", 3.5)
+            .num("gap", f64::INFINITY)
+            .int("n", 42)
+            .bool("ok", true)
+            .raw("rows", array(vec!["1".into(), "2".into()]))
+            .build();
+        assert_eq!(
+            obj,
+            "{\"name\":\"a \\\"b\\\"\\n\",\"pi\":3.5,\"gap\":null,\"n\":42,\"ok\":true,\"rows\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(Object::new().build(), "{}");
+        assert_eq!(array(Vec::new()), "[]");
+    }
+}

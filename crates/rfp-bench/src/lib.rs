@@ -22,8 +22,10 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod json;
 pub mod reports;
 
 pub use reports::{
-    feasibility_report, markdown_table, table1_markdown, table2, table2_markdown, Table2Row,
+    feasibility_report, markdown_table, table1_markdown, table2, table2_json, table2_markdown,
+    MilpSolveRow, Table2Row,
 };

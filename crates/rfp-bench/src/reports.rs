@@ -67,6 +67,10 @@ pub struct Table2Row {
     pub solve_seconds: f64,
     /// Whether the engine proved optimality of its result.
     pub proven_optimal: bool,
+    /// Search nodes explored.
+    pub nodes: u64,
+    /// Relative optimality gap at termination (0 when proven).
+    pub gap: f64,
 }
 
 /// Regenerates Table II: floorplan comparison of the tessellation baseline
@@ -94,6 +98,8 @@ pub fn table2(time_limit_secs: f64) -> Result<(Vec<Table2Row>, Vec<Floorplan>), 
         wasted_frames: m.wasted_frames,
         solve_seconds: tess_secs,
         proven_optimal: false,
+        nodes: 0,
+        gap: f64::INFINITY,
     });
     floorplans.push(tess);
 
@@ -116,6 +122,8 @@ pub fn table2(time_limit_secs: f64) -> Result<(Vec<Table2Row>, Vec<Floorplan>), 
             wasted_frames: report.metrics.wasted_frames,
             solve_seconds: report.solve_seconds,
             proven_optimal: report.proven_optimal,
+            nodes: report.nodes,
+            gap: report.gap,
         });
         floorplans.push(report.floorplan);
     }
@@ -165,6 +173,115 @@ pub fn feasibility_report() -> Result<Vec<RegionFeasibility>, FloorplanError> {
     feasibility_analysis(&sdr_problem(), &CombinatorialConfig::default())
 }
 
+/// One MILP-engine measurement of the solve-time study: everything the BENCH
+/// JSON needs to track proof speed across PRs.
+#[derive(Debug, Clone)]
+pub struct MilpSolveRow {
+    /// Engine label (e.g. `"O (revised)"`, `"O (dense baseline)"`).
+    pub engine: String,
+    /// Outcome: wasted frames of the floorplan, or the error text.
+    pub outcome: Result<u64, String>,
+    /// Free-compatible areas reserved.
+    pub fc_areas: usize,
+    /// Wall-clock seconds.
+    pub solve_seconds: f64,
+    /// Branch-and-bound nodes.
+    pub nodes: u64,
+    /// Simplex iterations across all LP relaxations.
+    pub lp_iterations: u64,
+    /// LP (re-)solves performed (nodes, dives and cut rounds).
+    pub lp_solves: u64,
+    /// Seconds spent inside LP solves.
+    pub lp_seconds: f64,
+    /// Cutting planes separated at the root.
+    pub cuts: u64,
+    /// Relative optimality gap at termination (0 when proven).
+    pub gap: f64,
+    /// Whether optimality was proven.
+    pub proven: bool,
+}
+
+impl MilpSolveRow {
+    /// Builds a row from a floorplanner report.
+    pub fn from_report(engine: impl Into<String>, r: &rfp_floorplan::SolveReport) -> MilpSolveRow {
+        MilpSolveRow {
+            engine: engine.into(),
+            outcome: Ok(r.metrics.wasted_frames),
+            fc_areas: r.metrics.fc_found,
+            solve_seconds: r.solve_seconds,
+            nodes: r.nodes,
+            lp_iterations: r.lp_iterations,
+            lp_solves: r.lp_solves,
+            lp_seconds: r.lp_seconds,
+            cuts: r.cuts,
+            gap: r.gap,
+            proven: r.proven_optimal,
+        }
+    }
+
+    /// Builds a failure row.
+    pub fn from_error(engine: impl Into<String>, err: &FloorplanError) -> MilpSolveRow {
+        MilpSolveRow {
+            engine: engine.into(),
+            outcome: Err(err.to_string()),
+            fc_areas: 0,
+            solve_seconds: 0.0,
+            nodes: 0,
+            lp_iterations: 0,
+            lp_solves: 0,
+            lp_seconds: 0.0,
+            cuts: 0,
+            gap: f64::INFINITY,
+            proven: false,
+        }
+    }
+
+    /// Mean seconds per LP (re-)solve.
+    pub fn lp_seconds_per_solve(&self) -> f64 {
+        if self.lp_solves == 0 {
+            0.0
+        } else {
+            self.lp_seconds / self.lp_solves as f64
+        }
+    }
+
+    /// The row as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = crate::json::Object::new().str("engine", &self.engine);
+        o = match &self.outcome {
+            Ok(waste) => o.int("wasted_frames", *waste),
+            Err(e) => o.str("error", e),
+        };
+        o.int("fc_areas", self.fc_areas as u64)
+            .num("solve_seconds", self.solve_seconds)
+            .int("nodes", self.nodes)
+            .int("lp_iterations", self.lp_iterations)
+            .int("lp_solves", self.lp_solves)
+            .num("lp_seconds", self.lp_seconds)
+            .num("lp_seconds_per_solve", self.lp_seconds_per_solve())
+            .int("cuts", self.cuts)
+            .num("gap", self.gap)
+            .bool("proven", self.proven)
+            .build()
+    }
+}
+
+/// Renders the Table II rows as a JSON array (used by the BENCH artefacts).
+pub fn table2_json(rows: &[Table2Row]) -> String {
+    crate::json::array(rows.iter().map(|r| {
+        crate::json::Object::new()
+            .str("algorithm", &r.algorithm)
+            .str("design", &r.design)
+            .int("fc_areas", r.fc_areas as u64)
+            .int("wasted_frames", r.wasted_frames)
+            .num("solve_seconds", r.solve_seconds)
+            .bool("proven", r.proven_optimal)
+            .int("nodes", r.nodes)
+            .num("gap", r.gap)
+            .build()
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +313,8 @@ mod tests {
                 wasted_frames: 1,
                 solve_seconds: 0.0,
                 proven_optimal: false,
+                nodes: 0,
+                gap: f64::INFINITY,
             };
             4
         ];

@@ -78,8 +78,26 @@ fn solve_times_prints_both_engine_studies() {
     let out = run(env!("CARGO_BIN_EXE_solve_times"), &["5"]);
     assert!(out.contains("Solve-time study"), "unexpected output:\n{out}");
     assert!(out.contains("SDR3"), "unexpected output:\n{out}");
-    // The O/HO rows must report a real solve (the warm-started MILP path),
-    // not the historical "no feasible floorplan" failure.
-    assert!(out.contains("| O |"), "unexpected output:\n{out}");
+    // The MILP rows must report a real solve (the warm-started MILP path),
+    // not the historical "no feasible floorplan" failure — for both the
+    // revised engine and the retired dense baseline.
+    assert!(out.contains("| O (revised) |"), "unexpected output:\n{out}");
+    assert!(out.contains("| O (dense baseline) |"), "unexpected output:\n{out}");
+    assert!(out.contains("per-LP re-solve"), "unexpected output:\n{out}");
     assert!(!out.contains("error:"), "an engine errored:\n{out}");
+}
+
+#[test]
+fn solve_times_quick_writes_the_bench_json() {
+    let path = std::env::temp_dir().join(format!("solve_times_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = run(env!("CARGO_BIN_EXE_solve_times"), &["2", "--quick", "--json", path_str]);
+    assert!(out.contains("BENCH JSON written"), "unexpected output:\n{out}");
+    let json = std::fs::read_to_string(&path).expect("JSON artefact exists");
+    let _ = std::fs::remove_file(&path);
+    assert!(json.contains("\"schema\":\"rfp-bench/solve_times/v2\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"lp_seconds_per_solve\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"quick\":true"), "bad JSON:\n{json}");
+    // Quick mode skips the big designs entirely.
+    assert!(!json.contains("SDR3"), "quick mode must skip SDR3:\n{json}");
 }

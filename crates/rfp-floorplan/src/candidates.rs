@@ -16,6 +16,8 @@
 use crate::problem::RegionSpec;
 use rfp_device::{ColumnarPartition, Rect};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// A candidate placement for a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -116,9 +118,89 @@ fn min_height(table: &ColumnTable, spec: &RegionSpec, x: u32, w: u32, rows: u32)
     (h <= rows).then_some(h)
 }
 
+/// Memoisation key: the full structural input of the enumeration. Keyed on
+/// device *structure* (per-column tile types and frames, rows, forbidden
+/// rectangles) rather than the device name, so identical synthetic devices
+/// share entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Per-column `(tile-type index, frames per tile)`.
+    columns: Vec<(usize, u32)>,
+    rows: u32,
+    /// Forbidden rectangles as `(x, y, w, h)`.
+    forbidden: Vec<(u32, u32, u32, u32)>,
+    /// The region's `(tile-type index, tiles)` requirement.
+    req: Vec<(usize, u32)>,
+    irredundant_only: bool,
+    waste_slack: u64,
+    max_candidates: usize,
+}
+
+impl CacheKey {
+    fn new(partition: &ColumnarPartition, spec: &RegionSpec, config: &CandidateConfig) -> CacheKey {
+        let columns = (1..=partition.cols)
+            .map(|c| {
+                let ty = partition.column_type(c).expect("column inside device");
+                (ty.index(), partition.frames_per_tile(ty))
+            })
+            .collect();
+        let forbidden =
+            partition.forbidden.iter().map(|f| (f.rect.x, f.rect.y, f.rect.w, f.rect.h)).collect();
+        let mut req: Vec<(usize, u32)> =
+            spec.tile_req().iter().map(|&(ty, n)| (ty.index(), n)).collect();
+        req.sort_unstable();
+        CacheKey {
+            columns,
+            rows: partition.rows,
+            forbidden,
+            req,
+            irredundant_only: config.irredundant_only,
+            waste_slack: config.waste_slack,
+            max_candidates: config.max_candidates,
+        }
+    }
+}
+
+/// Upper bound on retained cache entries; the cache is cleared wholesale
+/// beyond this (the workloads of one process reuse a handful of devices).
+const CACHE_CAPACITY: usize = 512;
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, Vec<Candidate>>> {
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, Vec<Candidate>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// Enumerates the candidate placements of a region, sorted by increasing
 /// waste (ties broken by x, then y, then width, then height).
+///
+/// Results are memoised process-wide keyed on `(device structure, resource
+/// demand, config)`: the combinatorial engine, the greedy heuristics and the
+/// benches repeatedly enumerate identical lists (the `scaling` bench sweeps
+/// FC counts over a fixed device), and the enumeration is O(cols² · rows)
+/// while a cache hit is a plain clone.
 pub fn enumerate_candidates(
+    partition: &ColumnarPartition,
+    spec: &RegionSpec,
+    config: &CandidateConfig,
+) -> Vec<Candidate> {
+    let key = CacheKey::new(partition, spec, config);
+    let guard = cache().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(hit) = guard.get(&key) {
+        return hit.clone();
+    }
+    drop(guard); // do not hold the lock across the expensive enumeration
+    let out = enumerate_candidates_uncached(partition, spec, config);
+    let mut cache = self::cache().lock().unwrap_or_else(|e| e.into_inner());
+    if cache.len() >= CACHE_CAPACITY {
+        cache.clear();
+    }
+    cache.insert(key, out.clone());
+    out
+}
+
+/// The memoisation-free enumeration behind [`enumerate_candidates`], exposed
+/// so benches can measure the raw cost.
+pub fn enumerate_candidates_uncached(
     partition: &ColumnarPartition,
     spec: &RegionSpec,
     config: &CandidateConfig,
@@ -297,6 +379,21 @@ mod tests {
         // The best candidate's waste is bounded by a sane amount (less than
         // the region's own requirement).
         assert!(cands[0].waste < video.required_frames(&p));
+    }
+
+    #[test]
+    fn memoised_enumeration_matches_uncached() {
+        let (p, clb, bram) = small_partition();
+        let spec = RegionSpec::new("r", vec![(clb, 3), (bram, 1)]);
+        let cfg = CandidateConfig::default();
+        let cached_cold = enumerate_candidates(&p, &spec, &cfg);
+        let cached_warm = enumerate_candidates(&p, &spec, &cfg);
+        let raw = enumerate_candidates_uncached(&p, &spec, &cfg);
+        assert_eq!(cached_cold, raw);
+        assert_eq!(cached_warm, raw);
+        // A different config must not collide with the cached entry.
+        let relaxed = enumerate_candidates(&p, &spec, &CandidateConfig::relaxed(100));
+        assert!(relaxed.len() >= raw.len());
     }
 
     #[test]

@@ -106,6 +106,17 @@ pub struct SolveReport {
     pub solve_seconds: f64,
     /// MILP model statistics (O and HO only).
     pub model_stats: Option<ModelStats>,
+    /// Simplex iterations across all LP relaxations (O and HO only).
+    pub lp_iterations: u64,
+    /// LP (re-)solves performed — nodes, dives and cut rounds (O/HO only).
+    pub lp_solves: u64,
+    /// Wall-clock seconds spent inside LP solves (O and HO only).
+    pub lp_seconds: f64,
+    /// Cutting planes separated at the root (O and HO only).
+    pub cuts: u64,
+    /// Relative optimality gap at termination (0 when proven optimal,
+    /// `f64::INFINITY` when no bound is available).
+    pub gap: f64,
 }
 
 /// The relocation-aware floorplanner.
@@ -156,6 +167,11 @@ impl Floorplanner {
                     nodes: res.nodes,
                     solve_seconds: res.solve_seconds,
                     model_stats: None,
+                    lp_iterations: 0,
+                    lp_solves: 0,
+                    lp_seconds: 0.0,
+                    cuts: 0,
+                    gap: if res.proven { 0.0 } else { f64::INFINITY },
                 })
             }
             None => Err(FloorplanError::Infeasible {
@@ -227,6 +243,11 @@ impl Floorplanner {
             nodes: solution.nodes as u64,
             solve_seconds: solution.solve_seconds,
             model_stats: Some(stats),
+            lp_iterations: solution.lp_iterations as u64,
+            lp_solves: solution.lp_solves as u64,
+            lp_seconds: solution.lp_seconds,
+            cuts: solution.cuts as u64,
+            gap: solution.gap(),
         })
     }
 }

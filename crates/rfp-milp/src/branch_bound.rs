@@ -1,26 +1,62 @@
-//! Branch-and-bound MILP search on top of the bounded simplex.
+//! Branch-and-bound MILP search on top of the revised simplex.
 //!
-//! The search is a best-first exploration of the bound-tightening tree:
+//! The search is a best-first exploration of the bound-tightening tree,
+//! rebuilt around warm-started node re-solves:
 //!
-//! * every node re-solves the LP relaxation with tightened variable bounds
-//!   (the [`crate::simplex::StandardForm`] is built once and shared);
-//! * branching picks the integer variable whose LP value is most fractional;
-//! * nodes are pruned by bound against the incumbent;
-//! * a cheap rounding heuristic is applied at every node to find incumbents
-//!   early, and an LP-guided diving heuristic (fix the most fractional
-//!   variable, re-solve, repeat) runs at the root and periodically until the
-//!   first incumbent is found — plain rounding almost never satisfies the
-//!   big-M indicator constraints of the floorplanning models, diving usually
-//!   does;
-//! * node order is deterministic (ties broken by node id), so repeated solves
-//!   of the same model explore the same tree.
+//! * the [`crate::simplex::StandardForm`] is built once; every node carries
+//!   an `Rc` to its parent's optimal **basis snapshot**, so the child LP is
+//!   re-solved with the **dual simplex** in a handful of pivots after the
+//!   single bound change of the branch (cold fallback when the snapshot is
+//!   unusable);
+//! * after the root LP, a **separation loop** adds cover and clique cuts
+//!   ([`crate::cuts`]) and re-solves dually — "cut and branch";
+//! * branching is pluggable ([`BranchRule`]): **pseudo-cost** branching
+//!   (objective degradation per unit of fractionality, learned online) with
+//!   a most-fractional fallback while the costs are cold, or plain
+//!   most-fractional;
+//! * nodes are pruned by bound against the incumbent; a rounding heuristic
+//!   and an LP-guided diving heuristic (warm-started along the dive path)
+//!   find incumbents early;
+//! * node order is deterministic (ties broken by node id), so repeated
+//!   solves of the same model explore the same tree.
+//!
+//! The retired dense tableau can be selected with
+//! [`SolverConfig::use_dense_lp`] to benchmark the revised engine against
+//! the old from-scratch path.
 
+use crate::cuts::Separator;
+use crate::dense::DenseForm;
 use crate::model::{Model, Sense};
-use crate::simplex::{LpConfig, LpStatus, StandardForm};
+use crate::simplex::{BasisSnapshot, LpConfig, LpResult, LpStatus, StandardForm};
 use crate::solution::{Solution, SolveStatus};
+use crate::tol;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
+
+/// Selection rule for the branching variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchRule {
+    /// Pseudo-cost branching: pick the variable maximising the product of
+    /// estimated objective degradations of the two children. Falls back to
+    /// the global average pseudo-cost for variables with fewer than
+    /// `reliability` observations per direction, and to most-fractional
+    /// while no observations exist at all.
+    PseudoCost {
+        /// Observations per direction before a variable's own history is
+        /// trusted over the global average.
+        reliability: u32,
+    },
+    /// Branch on the variable whose LP value is farthest from integral.
+    MostFractional,
+}
+
+impl Default for BranchRule {
+    fn default() -> Self {
+        BranchRule::PseudoCost { reliability: 1 }
+    }
+}
 
 /// Configuration of the MILP solver.
 #[derive(Debug, Clone)]
@@ -43,19 +79,32 @@ pub struct SolverConfig {
     /// While no incumbent exists, run the diving heuristic every this many
     /// nodes (0 disables diving; it always runs at the root).
     pub dive_period: usize,
+    /// Branching rule.
+    pub branching: BranchRule,
+    /// Maximum cut-separation rounds at the root (0 disables cuts).
+    pub cut_rounds: usize,
+    /// Maximum cuts added per separation round.
+    pub max_cuts_per_round: usize,
+    /// Solve node LPs with the retired dense tableau instead of the revised
+    /// simplex (benchmark baseline; disables warm re-solves and cuts).
+    pub use_dense_lp: bool,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             lp: LpConfig::default(),
-            int_tol: 1e-6,
-            gap_abs: 1e-6,
-            gap_rel: 1e-6,
+            int_tol: tol::INTEGRALITY,
+            gap_abs: tol::GAP_ABS,
+            gap_rel: tol::GAP_REL,
             max_nodes: 0,
             time_limit: None,
             stop_at_first_feasible: false,
             dive_period: 256,
+            branching: BranchRule::default(),
+            cut_rounds: 10,
+            max_cuts_per_round: 64,
+            use_dense_lp: false,
         }
     }
 }
@@ -79,6 +128,19 @@ pub struct Solver {
     pub config: SolverConfig,
 }
 
+/// Which branch produced a node, for pseudo-cost learning.
+#[derive(Debug, Clone, Copy)]
+struct BranchInfo {
+    /// Branched variable (structural index).
+    var: usize,
+    /// `true` for the up (`x ≥ ⌈v⌉`) child.
+    up: bool,
+    /// Parent LP objective in minimisation sense.
+    parent_obj: f64,
+    /// Fractional part `v − ⌊v⌋` of the branched value.
+    frac: f64,
+}
+
 /// A node of the branch-and-bound tree.
 #[derive(Debug, Clone)]
 struct Node {
@@ -90,6 +152,10 @@ struct Node {
     depth: usize,
     /// Monotone id for deterministic tie-breaking.
     id: usize,
+    /// Parent's optimal basis, shared between siblings.
+    snapshot: Option<Rc<BasisSnapshot>>,
+    /// Branching decision that created this node.
+    branch: Option<BranchInfo>,
 }
 
 /// Best-first ordering: smaller bound first, then deeper, then older.
@@ -119,6 +185,123 @@ impl Ord for OrderedNode {
     }
 }
 
+/// Online pseudo-cost statistics per integer variable and direction.
+#[derive(Debug)]
+struct PseudoCosts {
+    up_sum: Vec<f64>,
+    up_cnt: Vec<u32>,
+    down_sum: Vec<f64>,
+    down_cnt: Vec<u32>,
+}
+
+impl PseudoCosts {
+    fn new(n: usize) -> PseudoCosts {
+        PseudoCosts {
+            up_sum: vec![0.0; n],
+            up_cnt: vec![0; n],
+            down_sum: vec![0.0; n],
+            down_cnt: vec![0; n],
+        }
+    }
+
+    /// Records the observed per-unit objective degradation of a branch.
+    fn record(&mut self, var: usize, up: bool, per_unit: f64) {
+        let per_unit = per_unit.max(0.0);
+        if up {
+            self.up_sum[var] += per_unit;
+            self.up_cnt[var] += 1;
+        } else {
+            self.down_sum[var] += per_unit;
+            self.down_cnt[var] += 1;
+        }
+    }
+
+    fn global_avg(sums: &[f64], cnts: &[u32]) -> Option<f64> {
+        let total: u32 = cnts.iter().sum();
+        (total > 0).then(|| sums.iter().sum::<f64>() / f64::from(total))
+    }
+
+    /// Picks the branching variable among `candidates` (`(index, value)` of
+    /// the fractional integer variables), or falls back to most-fractional
+    /// while every pseudo-cost is still cold.
+    fn select(&self, candidates: &[(usize, f64)], reliability: u32) -> Option<(usize, f64)> {
+        let avg_up = Self::global_avg(&self.up_sum, &self.up_cnt);
+        let avg_down = Self::global_avg(&self.down_sum, &self.down_cnt);
+        if avg_up.is_none() && avg_down.is_none() {
+            return None; // completely cold: caller falls back
+        }
+        let avg_up = avg_up.unwrap_or(1.0);
+        let avg_down = avg_down.unwrap_or(1.0);
+        let mut best: Option<(usize, f64, f64)> = None; // (var, value, score)
+        for &(j, v) in candidates {
+            let f = v - v.floor();
+            let cost_down = if self.down_cnt[j] >= reliability {
+                self.down_sum[j] / f64::from(self.down_cnt[j])
+            } else {
+                avg_down
+            };
+            let cost_up = if self.up_cnt[j] >= reliability {
+                self.up_sum[j] / f64::from(self.up_cnt[j])
+            } else {
+                avg_up
+            };
+            let score = (cost_down * f).max(1e-6) * (cost_up * (1.0 - f)).max(1e-6);
+            if best.is_none_or(|(_, _, b)| score > b) {
+                best = Some((j, v, score));
+            }
+        }
+        best.map(|(j, v, _)| (j, v))
+    }
+}
+
+/// The LP engine behind the tree search: the revised simplex with warm
+/// starts, or the retired dense tableau as a benchmarking baseline.
+enum LpBackend {
+    Revised(StandardForm),
+    Dense(DenseForm),
+}
+
+impl LpBackend {
+    fn solve(
+        &self,
+        snapshot: Option<&BasisSnapshot>,
+        bounds: &[(f64, f64)],
+        cfg: &LpConfig,
+    ) -> (LpResult, Option<BasisSnapshot>) {
+        match self {
+            LpBackend::Revised(sf) => match snapshot {
+                Some(s) => sf.solve_warm(s, Some(bounds), cfg),
+                None => sf.solve_cold(Some(bounds), cfg),
+            },
+            LpBackend::Dense(df) => (df.solve_with_bounds(Some(bounds), cfg), None),
+        }
+    }
+}
+
+/// Bookkeeping shared by every LP solve of one `solve_with_start` call.
+struct LpStats {
+    iterations: usize,
+    solves: usize,
+    seconds: f64,
+}
+
+impl LpStats {
+    fn timed(
+        &mut self,
+        backend: &LpBackend,
+        snapshot: Option<&BasisSnapshot>,
+        bounds: &[(f64, f64)],
+        cfg: &LpConfig,
+    ) -> (LpResult, Option<BasisSnapshot>) {
+        let t0 = Instant::now();
+        let out = backend.solve(snapshot, bounds, cfg);
+        self.seconds += t0.elapsed().as_secs_f64();
+        self.solves += 1;
+        self.iterations += out.0.iterations;
+        out
+    }
+}
+
 impl Solver {
     /// Creates a solver with the given configuration.
     pub fn new(config: SolverConfig) -> Self {
@@ -144,7 +327,11 @@ impl Solver {
         let to_min = |obj: f64| if maximize { -obj } else { obj };
         let from_min = |obj: f64| if maximize { -obj } else { obj };
 
-        let sf = StandardForm::from_model(model);
+        let mut backend = if self.config.use_dense_lp {
+            LpBackend::Dense(DenseForm::from_model(model))
+        } else {
+            LpBackend::Revised(StandardForm::from_model(model))
+        };
         let int_vars: Vec<usize> = model
             .vars()
             .iter()
@@ -162,6 +349,8 @@ impl Solver {
             bound: f64::NEG_INFINITY,
             depth: 0,
             id: next_id,
+            snapshot: None,
+            branch: None,
         }));
         next_id += 1;
 
@@ -171,7 +360,7 @@ impl Solver {
                 && int_vars
                     .iter()
                     .all(|&j| (values[j] - values[j].round()).abs() <= self.config.int_tol);
-            if integral && model.is_feasible(values, 1e-5) {
+            if integral && model.is_feasible(values, tol::WARM_START) {
                 let obj_min = to_min(model.objective.eval(values));
                 incumbent = Some((obj_min, values.to_vec()));
                 if self.config.stop_at_first_feasible {
@@ -182,14 +371,21 @@ impl Solver {
                         values: values.to_vec(),
                         nodes: 0,
                         lp_iterations: 0,
+                        lp_solves: 0,
+                        lp_seconds: 0.0,
+                        cuts: 0,
                         solve_seconds: start.elapsed().as_secs_f64(),
                     };
                 }
             }
         }
+
+        let mut pseudo = PseudoCosts::new(n);
+        let mut separator = Separator::new(model);
+        let mut cuts_added = 0usize;
+        let mut stats = LpStats { iterations: 0, solves: 0, seconds: 0.0 };
         let mut best_bound_min = f64::NEG_INFINITY;
         let mut nodes = 0usize;
-        let mut lp_iterations = 0usize;
         let mut root_status: Option<LpStatus> = None;
         let mut hit_limit = false;
 
@@ -216,13 +412,46 @@ impl Solver {
             }
 
             nodes += 1;
-            let lp = sf.solve_with_bounds(Some(&node.bounds), &self.config.lp);
-            lp_iterations += lp.iterations;
+            let (mut lp, mut snap) =
+                stats.timed(&backend, node.snapshot.as_deref(), &node.bounds, &self.config.lp);
+
+            // Root separation loop: add violated cover/clique cuts and
+            // re-solve dually from the extended basis ("cut and branch").
+            if node.depth == 0
+                && !int_vars.is_empty()
+                && self.config.cut_rounds > 0
+                && lp.status == LpStatus::Optimal
+            {
+                for _ in 0..self.config.cut_rounds {
+                    if lp.status != LpStatus::Optimal
+                        || crate::simplex::is_integral(model, &lp.values, self.config.int_tol)
+                    {
+                        break;
+                    }
+                    let LpBackend::Revised(sf) = &mut backend else { break };
+                    let cuts = separator.separate(&lp.values, self.config.max_cuts_per_round);
+                    if cuts.is_empty() {
+                        break;
+                    }
+                    let rows: Vec<_> = cuts.iter().map(|c| c.as_row()).collect();
+                    sf.add_rows(&rows);
+                    cuts_added += cuts.len();
+                    let warm = snap.as_ref().and_then(|s| sf.extend_snapshot(s));
+                    let (lp2, snap2) =
+                        stats.timed(&backend, warm.as_ref(), &node.bounds, &self.config.lp);
+                    lp = lp2;
+                    snap = snap2;
+                }
+            }
+
             if node.depth == 0 {
                 root_status = Some(lp.status);
             }
             match lp.status {
-                LpStatus::Infeasible => continue,
+                LpStatus::Infeasible => {
+                    self.record_pseudo(&mut pseudo, &node, None);
+                    continue;
+                }
                 LpStatus::Unbounded => {
                     if node.depth == 0 && int_vars.is_empty() {
                         let mut sol = Solution::empty(SolveStatus::Unbounded, n);
@@ -231,8 +460,7 @@ impl Solver {
                         return sol;
                     }
                     // An unbounded relaxation of a bounded-integer problem is
-                    // pathological; treat the node as un-prunable with an
-                    // infinite bound and branch on the first integer variable.
+                    // pathological; treat the node as un-prunable.
                     continue;
                 }
                 LpStatus::IterationLimit => {
@@ -244,6 +472,9 @@ impl Solver {
 
             let node_bound_min =
                 if lp.status == LpStatus::Optimal { to_min(lp.objective) } else { node.bound };
+            if lp.status == LpStatus::Optimal {
+                self.record_pseudo(&mut pseudo, &node, Some(node_bound_min));
+            }
 
             // Prune by bound.
             if let Some((inc_obj, _)) = &incumbent {
@@ -253,94 +484,104 @@ impl Solver {
             }
 
             // Integral solution?
-            let frac_var = most_fractional(&int_vars, &lp.values, self.config.int_tol);
+            let fractional = fractional_vars(&int_vars, &lp.values, self.config.int_tol);
 
-            match frac_var {
-                None => {
-                    // LP solution is integral: candidate incumbent.
-                    let mut values = lp.values.clone();
-                    for &j in &int_vars {
-                        values[j] = values[j].round();
-                    }
-                    if model.is_feasible(&values, 1e-5) {
-                        let obj_min = to_min(model.objective.eval(&values));
-                        if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
-                            incumbent = Some((obj_min, values));
-                            if self.config.stop_at_first_feasible {
-                                break;
-                            }
+            if fractional.is_empty() {
+                // LP solution is integral: candidate incumbent.
+                let mut values = lp.values.clone();
+                for &j in &int_vars {
+                    values[j] = values[j].round();
+                }
+                if model.is_feasible(&values, tol::WARM_START) {
+                    let obj_min = to_min(model.objective.eval(&values));
+                    if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
+                        incumbent = Some((obj_min, values));
+                        if self.config.stop_at_first_feasible {
+                            break;
                         }
                     }
                 }
-                Some((j, v)) => {
-                    // LP-guided diving until the first incumbent is known.
-                    let dive_due = self.config.dive_period > 0
-                        && (node.depth == 0 || (nodes - 1).is_multiple_of(self.config.dive_period));
-                    if incumbent.is_none() && dive_due {
-                        if let Some((obj_min_raw, values)) = self.dive(
-                            &sf,
-                            model,
-                            &int_vars,
-                            &node.bounds,
-                            &lp.values,
-                            &mut lp_iterations,
-                            start,
-                        ) {
-                            let obj_min = to_min(obj_min_raw);
-                            if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
-                                incumbent = Some((obj_min, values));
-                                if self.config.stop_at_first_feasible {
-                                    break;
-                                }
-                            }
-                        }
-                    }
+                continue;
+            }
 
-                    // Rounding heuristic before branching.
-                    if incumbent.is_none() || nodes % 16 == 1 {
-                        let mut rounded = lp.values.clone();
-                        for &jj in &int_vars {
-                            rounded[jj] =
-                                rounded[jj].round().clamp(node.bounds[jj].0, node.bounds[jj].1);
+            // LP-guided diving until the first incumbent is known.
+            let dive_due = self.config.dive_period > 0
+                && (node.depth == 0 || (nodes - 1).is_multiple_of(self.config.dive_period));
+            if incumbent.is_none() && dive_due {
+                if let Some((obj_min_raw, values)) = self.dive(
+                    &backend,
+                    model,
+                    &int_vars,
+                    &node.bounds,
+                    &lp.values,
+                    snap.as_ref(),
+                    &mut stats,
+                    start,
+                ) {
+                    let obj_min = to_min(obj_min_raw);
+                    if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
+                        incumbent = Some((obj_min, values));
+                        if self.config.stop_at_first_feasible {
+                            break;
                         }
-                        if model.is_feasible(&rounded, 1e-6) {
-                            let obj_min = to_min(model.objective.eval(&rounded));
-                            if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
-                                incumbent = Some((obj_min, rounded));
-                                if self.config.stop_at_first_feasible {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-
-                    // Branch: x_j <= floor(v) and x_j >= ceil(v).
-                    let floor = v.floor();
-                    let ceil = v.ceil();
-                    let (lbj, ubj) = node.bounds[j];
-                    if floor >= lbj - 1e-9 {
-                        let mut b = node.bounds.clone();
-                        b[j] = (lbj, floor.min(ubj));
-                        heap.push(OrderedNode(Node {
-                            bounds: b,
-                            bound: node_bound_min,
-                            depth: node.depth + 1,
-                            id: next_id,
-                        }));
-                        next_id += 1;
-                    }
-                    if ceil <= ubj + 1e-9 {
-                        let mut b = node.bounds.clone();
-                        b[j] = (ceil.max(lbj), ubj);
-                        heap.push(OrderedNode(Node {
-                            bounds: b,
-                            bound: node_bound_min,
-                            depth: node.depth + 1,
-                            id: next_id,
-                        }));
-                        next_id += 1;
                     }
                 }
+            }
+
+            // Rounding heuristic before branching.
+            if incumbent.is_none() || nodes % 16 == 1 {
+                let mut rounded = lp.values.clone();
+                for &jj in &int_vars {
+                    rounded[jj] = rounded[jj].round().clamp(node.bounds[jj].0, node.bounds[jj].1);
+                }
+                if model.is_feasible(&rounded, tol::FEASIBILITY) {
+                    let obj_min = to_min(model.objective.eval(&rounded));
+                    if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
+                        incumbent = Some((obj_min, rounded));
+                        if self.config.stop_at_first_feasible {
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Branch.
+            let (j, v) = self.pick_branch(&pseudo, &fractional);
+            let shared_snap = snap.map(Rc::new);
+            let frac = v - v.floor();
+            let floor = v.floor();
+            let ceil = v.ceil();
+            let (lbj, ubj) = node.bounds[j];
+            if floor >= lbj - 1e-9 {
+                let mut b = node.bounds.clone();
+                b[j] = (lbj, floor.min(ubj));
+                heap.push(OrderedNode(Node {
+                    bounds: b,
+                    bound: node_bound_min,
+                    depth: node.depth + 1,
+                    id: next_id,
+                    snapshot: shared_snap.clone(),
+                    branch: Some(BranchInfo {
+                        var: j,
+                        up: false,
+                        parent_obj: node_bound_min,
+                        frac,
+                    }),
+                }));
+                next_id += 1;
+            }
+            if ceil <= ubj + 1e-9 {
+                let mut b = node.bounds.clone();
+                b[j] = (ceil.max(lbj), ubj);
+                heap.push(OrderedNode(Node {
+                    bounds: b,
+                    bound: node_bound_min,
+                    depth: node.depth + 1,
+                    id: next_id,
+                    snapshot: shared_snap,
+                    branch: Some(BranchInfo { var: j, up: true, parent_obj: node_bound_min, frac }),
+                }));
+                next_id += 1;
             }
         }
 
@@ -363,7 +604,10 @@ impl Solver {
                     best_bound: from_min(bound_min),
                     values,
                     nodes,
-                    lp_iterations,
+                    lp_iterations: stats.iterations,
+                    lp_solves: stats.solves,
+                    lp_seconds: stats.seconds,
+                    cuts: cuts_added,
                     solve_seconds: elapsed,
                 }
             }
@@ -377,31 +621,68 @@ impl Solver {
                 };
                 let mut sol = Solution::empty(status, n);
                 sol.nodes = nodes;
-                sol.lp_iterations = lp_iterations;
+                sol.lp_iterations = stats.iterations;
+                sol.lp_solves = stats.solves;
+                sol.lp_seconds = stats.seconds;
+                sol.cuts = cuts_added;
                 sol.solve_seconds = elapsed;
                 sol
             }
         }
     }
 
+    /// Updates pseudo-costs from a solved (or infeasible) child node.
+    fn record_pseudo(&self, pseudo: &mut PseudoCosts, node: &Node, child_obj: Option<f64>) {
+        if !matches!(self.config.branching, BranchRule::PseudoCost { .. }) {
+            return;
+        }
+        let Some(info) = node.branch else { return };
+        let dist = if info.up { 1.0 - info.frac } else { info.frac };
+        if dist <= self.config.int_tol {
+            return;
+        }
+        match child_obj {
+            Some(obj) => pseudo.record(info.var, info.up, (obj - info.parent_obj) / dist),
+            // An infeasible child is the strongest possible degradation
+            // signal; record a large (but finite) per-unit cost.
+            None => {
+                let scale = info.parent_obj.abs().max(1.0);
+                pseudo.record(info.var, info.up, scale / dist);
+            }
+        }
+    }
+
+    /// Picks the branching variable according to the configured rule.
+    fn pick_branch(&self, pseudo: &PseudoCosts, fractional: &[(usize, f64)]) -> (usize, f64) {
+        if let BranchRule::PseudoCost { reliability } = self.config.branching {
+            if let Some(pick) = pseudo.select(fractional, reliability) {
+                return pick;
+            }
+        }
+        most_fractional(fractional).expect("caller guarantees a fractional candidate")
+    }
+
     /// LP-guided diving: repeatedly tighten the most fractional integer
     /// variable towards its nearest integer (a one-sided, branch-like bound
-    /// change rather than a hard fix) and re-solve the LP, flipping the
-    /// direction once on infeasibility. Returns an objective (in the
-    /// *model's* sense) and a feasible assignment on success.
+    /// change rather than a hard fix) and re-solve the LP — warm-started
+    /// from the previous step's basis — flipping the direction once on
+    /// infeasibility. Returns an objective (in the *model's* sense) and a
+    /// feasible assignment on success.
     #[allow(clippy::too_many_arguments)]
     fn dive(
         &self,
-        sf: &StandardForm,
+        backend: &LpBackend,
         model: &Model,
         int_vars: &[usize],
         start_bounds: &[(f64, f64)],
         start_values: &[f64],
-        lp_iterations: &mut usize,
+        start_snapshot: Option<&BasisSnapshot>,
+        stats: &mut LpStats,
         start: Instant,
     ) -> Option<(f64, Vec<f64>)> {
         let mut bounds = start_bounds.to_vec();
         let mut values = start_values.to_vec();
+        let mut snapshot: Option<BasisSnapshot> = start_snapshot.cloned();
         // Each step moves one bound by at least one unit, so the budget is
         // generous for binary-dominated models while still bounded for wide
         // integer ranges.
@@ -411,14 +692,14 @@ impl Solver {
                     return None;
                 }
             }
-            let frac = most_fractional(int_vars, &values, self.config.int_tol);
-            let (j, v) = match frac {
+            let frac = fractional_vars(int_vars, &values, self.config.int_tol);
+            let (j, v) = match most_fractional(&frac) {
                 None => {
                     let mut rounded = values;
                     for &jj in int_vars {
                         rounded[jj] = rounded[jj].round();
                     }
-                    if model.is_feasible(&rounded, 1e-6) {
+                    if model.is_feasible(&rounded, tol::FEASIBILITY) {
                         let obj = model.objective.eval(&rounded);
                         return Some((obj, rounded));
                     }
@@ -431,19 +712,19 @@ impl Solver {
             // rounding up, lower the upper bound when rounding down.
             let up = v.round() >= v;
             bounds[j] = if up { (v.ceil().min(ubj), ubj) } else { (lbj, v.floor().max(lbj)) };
-            let lp = sf.solve_with_bounds(Some(&bounds), &self.config.lp);
-            *lp_iterations += lp.iterations;
+            let (lp, snap) = stats.timed(backend, snapshot.as_ref(), &bounds, &self.config.lp);
             if lp.status == LpStatus::Optimal {
                 values = lp.values;
+                snapshot = snap;
                 continue;
             }
             // Infeasible (or numerically stuck): flip the direction once,
             // then give up on this dive.
             bounds[j] = if up { (lbj, v.floor().max(lbj)) } else { (v.ceil().min(ubj), ubj) };
-            let lp = sf.solve_with_bounds(Some(&bounds), &self.config.lp);
-            *lp_iterations += lp.iterations;
+            let (lp, snap) = stats.timed(backend, snapshot.as_ref(), &bounds, &self.config.lp);
             if lp.status == LpStatus::Optimal {
                 values = lp.values;
+                snapshot = snap;
             } else {
                 return None;
             }
@@ -452,13 +733,18 @@ impl Solver {
     }
 }
 
-/// The integer variable whose LP value is farthest from integral (ties broken
-/// towards 0.5 then by index, matching the branching rule).
-fn most_fractional(int_vars: &[usize], values: &[f64], tol: f64) -> Option<(usize, f64)> {
-    int_vars
+/// The integer variables whose LP values are fractional beyond `tol`, with
+/// their values, in index order.
+fn fractional_vars(int_vars: &[usize], values: &[f64], tol: f64) -> Vec<(usize, f64)> {
+    int_vars.iter().map(|&j| (j, values[j])).filter(|&(_, v)| (v - v.round()).abs() > tol).collect()
+}
+
+/// The candidate whose value is farthest from integral (ties broken towards
+/// 0.5 then by index, matching the historical branching rule).
+fn most_fractional(candidates: &[(usize, f64)]) -> Option<(usize, f64)> {
+    candidates
         .iter()
-        .map(|&j| (j, values[j], (values[j] - values[j].round()).abs()))
-        .filter(|&(_, _, f)| f > tol)
+        .map(|&(j, v)| (j, v, (v - v.round()).abs()))
         .max_by(|a, b| {
             let da = (a.2 - 0.5).abs();
             let db = (b.2 - 0.5).abs();
@@ -517,6 +803,60 @@ mod tests {
     }
 
     #[test]
+    fn dense_backend_agrees_with_revised() {
+        let build = || {
+            let mut m = Model::new("agree", Sense::Maximize);
+            let x = m.int_var("x", 0.0, 10.0);
+            let y = m.int_var("y", 0.0, 10.0);
+            m.add_con("c1", LinExpr::from(x) * 2.0 + LinExpr::from(y) * 3.0, ConOp::Le, 12.0);
+            m.add_con("c2", LinExpr::from(x) * 4.0 + LinExpr::from(y), ConOp::Le, 10.0);
+            m.set_objective(LinExpr::from(x) + y);
+            m
+        };
+        let revised = Solver::default().solve(&build());
+        let dense = Solver::new(SolverConfig { use_dense_lp: true, ..SolverConfig::default() })
+            .solve(&build());
+        assert_eq!(revised.status, SolveStatus::Optimal);
+        assert_eq!(dense.status, SolveStatus::Optimal);
+        assert!((revised.objective - dense.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn most_fractional_rule_still_solves() {
+        let mut m = Model::new("mf", Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        m.add_con("c", LinExpr::from(x) * 3.0 + LinExpr::from(y) * 7.0, ConOp::Le, 20.5);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y) * 2.0);
+        let cfg = SolverConfig { branching: BranchRule::MostFractional, ..SolverConfig::default() };
+        let sol = Solver::new(cfg).solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(sol.verify(&m, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn mutex_hints_produce_clique_cuts() {
+        // max x + y + z with pairwise mutual exclusion declared as hints and
+        // enforced by a capacity row the LP relaxation satisfies at 0.5s.
+        let mut m = Model::new("cliq", Sense::Maximize);
+        let x = m.bin_var("x");
+        let y = m.bin_var("y");
+        let z = m.bin_var("z");
+        // Pairwise "at most one" via big-ish knapsacks the LP can cheat on.
+        m.add_con("xy", LinExpr::from(x) * 2.0 + LinExpr::from(y) * 2.0, ConOp::Le, 3.0);
+        m.add_con("yz", LinExpr::from(y) * 2.0 + LinExpr::from(z) * 2.0, ConOp::Le, 3.0);
+        m.add_con("xz", LinExpr::from(x) * 2.0 + LinExpr::from(z) * 2.0, ConOp::Le, 3.0);
+        m.add_mutex_group("xy", vec![x, y]);
+        m.add_mutex_group("yz", vec![y, z]);
+        m.add_mutex_group("xz", vec![x, z]);
+        m.set_objective(LinExpr::from(x) + y + z);
+        let sol = solver().solve(&m);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 1.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(sol.cuts > 0, "the relaxation is fractional, cuts must fire");
+    }
+
+    #[test]
     fn infeasible_integer_program() {
         // 2x = 3 with x integer has no solution.
         let mut m = Model::new("inf", Sense::Minimize);
@@ -543,7 +883,7 @@ mod tests {
     #[test]
     #[allow(clippy::needless_range_loop)] // 2-D index math reads clearest as written
     fn equality_constrained_assignment_problem() {
-        // 3x3 assignment problem with cost matrix; optimum = 5 (1+1+3 ... )
+        // 3x3 assignment problem with cost matrix; optimum = 5.
         let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
         let mut m = Model::new("assign", Sense::Minimize);
         let mut x = vec![vec![]; 3];

@@ -6,13 +6,19 @@
 //! solver bindings:
 //!
 //! * a [`model::Model`] builder with continuous, integer and binary variables,
-//!   linear constraints and a linear objective ([`expr::LinExpr`]);
-//! * a bounded-variable two-phase **primal simplex** for the LP relaxations
-//!   ([`simplex`]);
-//! * a **branch-and-bound** MILP search with best-bound node selection,
-//!   depth-first diving, most-fractional branching and a rounding heuristic
-//!   ([`branch_bound`]);
-//! * solution reporting and feasibility checking ([`solution`]);
+//!   linear constraints, a linear objective ([`expr::LinExpr`]) and
+//!   structural hints (mutual-exclusion groups) for the cut separator;
+//! * a sparse **revised simplex** for the LP relaxations ([`simplex`]): CSC
+//!   constraint storage ([`sparse`]), an LU basis factorization with eta
+//!   updates ([`basis`]), a composite-phase-1 primal and a **dual simplex**
+//!   entry point for warm re-solves after bound changes;
+//! * a **branch-and-bound** MILP search ([`branch_bound`]) with best-bound
+//!   node selection, warm-started node re-solves from the parent basis,
+//!   **pseudo-cost branching** (most-fractional fallback while cold), root
+//!   **cover/clique cutting planes** ([`cuts`]), LP-guided diving and a
+//!   rounding heuristic;
+//! * solution reporting and feasibility checking ([`solution`]), with shared
+//!   numerical tolerances in [`tol`];
 //! * an LP-format exporter for debugging and golden tests ([`io`]).
 //!
 //! The solver is deterministic: identical models produce identical search
@@ -20,11 +26,13 @@
 //!
 //! ## Scale
 //!
-//! The simplex uses a dense tableau, which comfortably handles the reduced
-//! and mid-size floorplanning instances (a few thousand rows/columns). The
-//! full-die SDR2/SDR3 instances of the paper are solved by the specialised
-//! combinatorial engine in `rfp-floorplan`; DESIGN.md discusses this
-//! substitution.
+//! The revised simplex re-solves a branch-and-bound child from its parent's
+//! basis after a single bound change, so per-node cost is a handful of
+//! pivots at O(nnz) each instead of a dense from-scratch tableau solve. The
+//! retired dense implementation is kept in [`dense`] as a property-test
+//! oracle and benchmark baseline. The full-die SDR2/SDR3 instances of the
+//! paper are solved by the specialised combinatorial engine in
+//! `rfp-floorplan`; DESIGN.md discusses this substitution.
 //!
 //! ## Example
 //!
@@ -46,22 +54,27 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod basis;
 pub mod branch_bound;
+pub mod cuts;
+pub mod dense;
 pub mod expr;
 pub mod io;
 pub mod model;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
+pub mod tol;
 
 /// Convenient glob import for users of the solver.
 pub mod prelude {
-    pub use crate::branch_bound::{Solver, SolverConfig};
+    pub use crate::branch_bound::{BranchRule, Solver, SolverConfig};
     pub use crate::expr::LinExpr;
     pub use crate::model::{ConOp, Model, Sense, VarId, VarKind};
     pub use crate::solution::{Solution, SolveStatus};
 }
 
-pub use branch_bound::{Solver, SolverConfig};
+pub use branch_bound::{BranchRule, Solver, SolverConfig};
 pub use expr::LinExpr;
 pub use model::{ConOp, Model, Sense, VarId, VarKind};
 pub use solution::{Solution, SolveStatus};

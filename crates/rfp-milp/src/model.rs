@@ -112,6 +112,10 @@ pub struct Model {
     pub objective: LinExpr,
     vars: Vec<VarDef>,
     constraints: Vec<Constraint>,
+    /// Structural hint: groups of binary variables of which at most one can
+    /// be 1 in any integral solution. Not constraints — the branch-and-bound
+    /// cut separator turns violated groups into clique cutting planes.
+    mutex_groups: Vec<(String, Vec<VarId>)>,
 }
 
 impl Model {
@@ -123,6 +127,7 @@ impl Model {
             objective: LinExpr::zero(),
             vars: Vec::new(),
             constraints: Vec::new(),
+            mutex_groups: Vec::new(),
         }
     }
 
@@ -198,6 +203,27 @@ impl Model {
         &self.constraints
     }
 
+    /// Declares that at most one of the given binary variables can be 1 in
+    /// any integral solution (a *clique* in the conflict graph).
+    ///
+    /// This is a structural hint, not a constraint: it does not change the
+    /// feasible set reported by [`Model::violations`], but the
+    /// branch-and-bound cut separator turns groups that the LP relaxation
+    /// violates into clique cutting planes, tightening the relaxation. The
+    /// caller is responsible for the hint's validity — a wrong hint can cut
+    /// off integral solutions.
+    pub fn add_mutex_group(&mut self, name: impl Into<String>, vars: Vec<VarId>) {
+        debug_assert!(vars.iter().all(|v| self.vars[v.index()].kind == VarKind::Binary));
+        if vars.len() >= 2 {
+            self.mutex_groups.push((name.into(), vars));
+        }
+    }
+
+    /// The registered mutual-exclusion hints.
+    pub fn mutex_groups(&self) -> &[(String, Vec<VarId>)] {
+        &self.mutex_groups
+    }
+
     /// Tightens the bounds of a variable (used by branch and bound).
     pub fn set_bounds(&mut self, id: VarId, lb: f64, ub: f64) {
         let v = &mut self.vars[id.index()];
@@ -245,6 +271,18 @@ impl Model {
     /// integrality requirement within tolerance `tol`.
     pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
         self.violations(values, tol).is_empty()
+    }
+
+    /// [`Model::violations`] with the solver-wide default tolerance
+    /// [`crate::tol::FEASIBILITY`].
+    pub fn violations_default(&self, values: &[f64]) -> Vec<String> {
+        self.violations(values, crate::tol::FEASIBILITY)
+    }
+
+    /// [`Model::is_feasible`] with the solver-wide default tolerance
+    /// [`crate::tol::FEASIBILITY`].
+    pub fn is_feasible_default(&self, values: &[f64]) -> bool {
+        self.is_feasible(values, crate::tol::FEASIBILITY)
     }
 }
 
@@ -298,6 +336,20 @@ mod tests {
         m.add_con("b", LinExpr::from(y) * 2.0, ConOp::Ge, 0.5);
         assert_eq!(m.n_cons(), 2);
         assert_eq!(m.n_nonzeros(), 3);
+    }
+
+    #[test]
+    fn mutex_groups_are_hints_not_constraints() {
+        let mut m = Model::new("t", Sense::Minimize);
+        let a = m.bin_var("a");
+        let b = m.bin_var("b");
+        m.add_mutex_group("ab", vec![a, b]);
+        // Singleton groups are dropped — a clique needs at least two members.
+        m.add_mutex_group("solo", vec![a]);
+        assert_eq!(m.mutex_groups().len(), 1);
+        assert_eq!(m.mutex_groups()[0].1, vec![a, b]);
+        // The hint does not change feasibility checking.
+        assert!(m.is_feasible_default(&[1.0, 1.0]));
     }
 
     #[test]

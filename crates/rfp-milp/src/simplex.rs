@@ -1,22 +1,35 @@
-//! Bounded-variable two-phase primal simplex.
+//! Sparse revised simplex with bounded variables.
 //!
-//! The LP relaxations solved during branch and bound are small to mid-size
-//! dense problems, so the implementation favours robustness and clarity over
-//! sparse-algebra sophistication:
+//! This is the LP engine under branch and bound. Unlike the retired dense
+//! tableau (kept in [`crate::dense`] as a test oracle), the revised simplex
+//! keeps the constraint matrix in CSC form ([`crate::sparse`]) and maintains
+//! a basis factorization with LU + eta updates ([`crate::basis`]), so one
+//! iteration costs O(nnz) instead of O(rows × columns):
 //!
-//! * every constraint is converted to an equality by adding a slack variable;
-//! * variable bounds are handled natively (non-basic variables sit at their
-//!   lower or upper bound and may *bound-flip* without a basis change);
-//! * phase 1 minimises the sum of artificial variables starting from the
-//!   all-artificial basis; phase 2 then minimises the real objective with the
-//!   artificials fixed to zero;
-//! * Dantzig pricing with an automatic switch to Bland's rule after a run of
-//!   degenerate pivots guarantees termination.
+//! * every constraint row carries a *logical* variable `s` with
+//!   `a·x + s = rhs` (`s ≥ 0` for `≤`, `s ≤ 0` for `≥`, `s = 0` for `=`), so
+//!   the all-logical identity basis is always available as a cold start — no
+//!   artificial variables are ever added;
+//! * the cold start runs a **composite phase 1** (minimise the sum of bound
+//!   violations of basic variables, with costs recomputed per iteration)
+//!   followed by the real phase 2;
+//! * [`StandardForm::solve_warm`] is a **dual simplex**: starting from a
+//!   parent-optimal basis snapshot it repairs primal feasibility after bound
+//!   tightenings, which is how branch-and-bound children re-solve in a
+//!   handful of pivots instead of from scratch;
+//! * cut rows can be appended ([`StandardForm::add_rows`]) and an existing
+//!   snapshot extended with the new logical basics, so a cut round re-solves
+//!   dually as well;
+//! * Dantzig pricing switches to Bland's rule after a run of degenerate
+//!   pivots, guaranteeing termination on the degenerate LPs floorplanning
+//!   produces.
 //!
-//! The solver is exact in the LP sense up to the configured tolerances and is
-//! fully deterministic.
+//! The solver is deterministic: ties are broken by column index everywhere.
 
-use crate::model::{ConOp, Model, Sense, VarKind};
+use crate::basis::Factorization;
+use crate::model::{ConOp, Model, Sense};
+use crate::sparse::CscMatrix;
+use crate::tol;
 
 /// Status of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +53,7 @@ pub struct LpResult {
     pub objective: f64,
     /// Values of the structural (model) variables.
     pub values: Vec<f64>,
-    /// Number of simplex iterations performed (both phases).
+    /// Number of simplex iterations performed.
     pub iterations: usize,
 }
 
@@ -51,88 +64,113 @@ pub struct LpConfig {
     pub tol: f64,
     /// Minimum magnitude accepted for a pivot element.
     pub pivot_tol: f64,
-    /// Hard cap on simplex iterations (both phases combined). `0` means
-    /// "derive from problem size".
+    /// Hard cap on simplex iterations. `0` means "derive from problem size".
     pub max_iterations: usize,
+    /// Refactorize the basis after this many eta updates.
+    pub refactor_interval: usize,
 }
 
 impl Default for LpConfig {
     fn default() -> Self {
-        LpConfig { tol: 1e-7, pivot_tol: 1e-9, max_iterations: 0 }
+        LpConfig {
+            tol: tol::LP_FEAS,
+            pivot_tol: tol::PIVOT,
+            max_iterations: 0,
+            refactor_interval: 64,
+        }
     }
 }
 
-/// Pre-processed standard form of a model: all constraints as equalities with
-/// slack variables, ready to be instantiated into a dense tableau.
+/// Status of one column with respect to the current basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStat {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+/// A row appended to a [`StandardForm`] (e.g. a cutting plane): sparse terms
+/// over structural columns, operator, right-hand side.
+pub type CutRow = (Vec<(usize, f64)>, ConOp, f64);
+
+/// A resumable basis: which column is basic in each row and where every
+/// non-basic column rests. Cheap to clone and share between the two children
+/// of a branch-and-bound node.
+#[derive(Debug, Clone)]
+pub struct BasisSnapshot {
+    basis: Vec<usize>,
+    status: Vec<VStat>,
+}
+
+impl BasisSnapshot {
+    /// Number of rows the snapshot was taken for.
+    pub fn n_rows(&self) -> usize {
+        self.basis.len()
+    }
+}
+
+/// Pre-processed computational form of a model: every row as an equality with
+/// a logical column, constraint matrix in CSC form.
 ///
-/// The standard form depends only on the constraint matrix, so branch and
-/// bound builds it once and re-solves with different variable bounds.
+/// The form depends only on the constraint matrix, so branch and bound builds
+/// it once and re-solves with different variable bounds; cut rows may be
+/// appended at the root.
 #[derive(Debug, Clone)]
 pub struct StandardForm {
     /// Number of structural (model) variables.
     n_struct: usize,
-    /// Number of slack variables (one per inequality constraint).
-    n_slack: usize,
-    /// Sparse rows over structural+slack columns.
+    /// Sparse rows over structural columns (logical columns are implicit:
+    /// row `i` owns column `n_struct + i` with coefficient 1).
     rows: Vec<Vec<(usize, f64)>>,
     /// Right-hand sides.
     rhs: Vec<f64>,
-    /// Default bounds of structural + slack variables.
+    /// Default bounds of structural + logical columns.
     lb: Vec<f64>,
     ub: Vec<f64>,
-    /// Minimisation objective over structural variables (sign-adjusted).
+    /// Minimisation objective over structural columns (sign-adjusted).
     obj: Vec<f64>,
     /// `true` if the model maximises (objective value is negated back).
     maximize: bool,
     /// Constant term of the objective.
     obj_constant: f64,
+    /// CSC image of `rows` + logical identity, rebuilt when rows are added.
+    matrix: CscMatrix,
+}
+
+/// Clamps an infinite lower bound to the simplex's finite stand-in.
+fn clamp_lb(lb: f64) -> f64 {
+    if lb.is_finite() {
+        lb
+    } else {
+        -tol::INFINITE_BOUND
+    }
 }
 
 impl StandardForm {
-    /// Builds the standard form of a model.
+    /// Builds the computational form of a model.
     pub fn from_model(model: &Model) -> StandardForm {
         let n_struct = model.n_vars();
         let maximize = model.sense == Sense::Maximize;
 
         let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(model.n_cons());
         let mut rhs: Vec<f64> = Vec::with_capacity(model.n_cons());
-        let mut slack_bounds: Vec<(f64, f64)> = Vec::new();
-
-        for con in model.constraints() {
-            let mut row: Vec<(usize, f64)> = con.expr.iter().map(|(v, c)| (v.index(), c)).collect();
-            match con.op {
-                ConOp::Le => {
-                    // expr + s = rhs, s >= 0
-                    let s_col = n_struct + slack_bounds.len();
-                    slack_bounds.push((0.0, f64::INFINITY));
-                    row.push((s_col, 1.0));
-                }
-                ConOp::Ge => {
-                    // expr - s = rhs, s >= 0
-                    let s_col = n_struct + slack_bounds.len();
-                    slack_bounds.push((0.0, f64::INFINITY));
-                    row.push((s_col, -1.0));
-                }
-                ConOp::Eq => {}
-            }
-            rows.push(row);
-            rhs.push(con.rhs);
-        }
-
-        let n_slack = slack_bounds.len();
-        let mut lb = Vec::with_capacity(n_struct + n_slack);
-        let mut ub = Vec::with_capacity(n_struct + n_slack);
+        let mut lb = Vec::with_capacity(n_struct + model.n_cons());
+        let mut ub = Vec::with_capacity(n_struct + model.n_cons());
         for v in model.vars() {
-            // The simplex requires finite lower bounds; clamp pathological
-            // values rather than failing (floorplanning models never need
-            // free variables).
-            lb.push(if v.lb.is_finite() { v.lb } else { -1e12 });
+            lb.push(clamp_lb(v.lb));
             ub.push(v.ub);
         }
-        for (l, u) in slack_bounds {
-            lb.push(l);
-            ub.push(u);
+        let mut logical_lb = Vec::with_capacity(model.n_cons());
+        let mut logical_ub = Vec::with_capacity(model.n_cons());
+        for con in model.constraints() {
+            rows.push(con.expr.iter().map(|(v, c)| (v.index(), c)).collect());
+            rhs.push(con.rhs);
+            let (l, u) = Self::logical_bounds(con.op);
+            logical_lb.push(l);
+            logical_ub.push(u);
         }
+        lb.extend(logical_lb);
+        ub.extend(logical_ub);
 
         let mut obj = vec![0.0; n_struct];
         for (v, c) in model.objective.iter() {
@@ -140,7 +178,43 @@ impl StandardForm {
         }
         let obj_constant = model.objective.constant_term();
 
-        StandardForm { n_struct, n_slack, rows, rhs, lb, ub, obj, maximize, obj_constant }
+        let mut sf = StandardForm {
+            n_struct,
+            rows,
+            rhs,
+            lb,
+            ub,
+            obj,
+            maximize,
+            obj_constant,
+            matrix: CscMatrix::from_rows(0, 0, &[]),
+        };
+        sf.rebuild_matrix();
+        sf
+    }
+
+    /// Bounds of the logical column of a row with the given operator.
+    fn logical_bounds(op: ConOp) -> (f64, f64) {
+        match op {
+            ConOp::Le => (0.0, f64::INFINITY),
+            ConOp::Ge => (-tol::INFINITE_BOUND, 0.0),
+            ConOp::Eq => (0.0, 0.0),
+        }
+    }
+
+    fn rebuild_matrix(&mut self) {
+        let m = self.rows.len();
+        let full: Vec<Vec<(usize, f64)>> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let mut r = row.clone();
+                r.push((self.n_struct + i, 1.0));
+                r
+            })
+            .collect();
+        self.matrix = CscMatrix::from_rows(m, self.n_struct + m, &full);
     }
 
     /// Number of structural variables.
@@ -148,9 +222,54 @@ impl StandardForm {
         self.n_struct
     }
 
-    /// Number of rows (constraints).
+    /// Number of rows (constraints, including appended cut rows).
     pub fn n_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Total number of columns (structural + logical).
+    fn n_cols(&self) -> usize {
+        self.n_struct + self.rows.len()
+    }
+
+    /// Minimisation cost of a column (0 on logicals).
+    fn cost(&self, j: usize) -> f64 {
+        if j < self.n_struct {
+            self.obj[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Appends rows (cuts) over structural columns. Each row gets a fresh
+    /// logical column; existing column indices are unchanged.
+    pub fn add_rows(&mut self, new_rows: &[CutRow]) {
+        for (terms, op, rhs) in new_rows {
+            debug_assert!(terms.iter().all(|&(j, _)| j < self.n_struct));
+            self.rows.push(terms.clone());
+            self.rhs.push(*rhs);
+            let (l, u) = Self::logical_bounds(*op);
+            self.lb.push(l);
+            self.ub.push(u);
+        }
+        self.rebuild_matrix();
+    }
+
+    /// Extends a snapshot taken before rows were appended: the new logical
+    /// columns enter the basis. Returns `None` if the snapshot does not match
+    /// this form.
+    pub fn extend_snapshot(&self, snap: &BasisSnapshot) -> Option<BasisSnapshot> {
+        let old_rows = snap.basis.len();
+        if old_rows > self.n_rows() || snap.status.len() != self.n_struct + old_rows {
+            return None;
+        }
+        let mut basis = snap.basis.clone();
+        let mut status = snap.status.clone();
+        for i in old_rows..self.n_rows() {
+            basis.push(self.n_struct + i);
+            status.push(VStat::Basic);
+        }
+        Some(BasisSnapshot { basis, status })
     }
 
     /// Solves the LP with the model's own bounds.
@@ -158,148 +277,273 @@ impl StandardForm {
         self.solve_with_bounds(None, config)
     }
 
-    /// Solves the LP overriding the bounds of the structural variables.
-    ///
-    /// `bounds_override` must contain one `(lb, ub)` pair per structural
-    /// variable when provided.
+    /// Solves the LP from a cold start, overriding the bounds of the
+    /// structural variables when provided.
     pub fn solve_with_bounds(
         &self,
         bounds_override: Option<&[(f64, f64)]>,
         config: &LpConfig,
     ) -> LpResult {
-        let m = self.rows.len();
-        let n = self.n_struct + self.n_slack;
-        let total = n + m; // + artificials
+        self.solve_cold(bounds_override, config).0
+    }
 
-        // Working bounds.
-        let mut lb = self.lb.clone();
-        let mut ub = self.ub.clone();
+    /// Cold solve that also returns a reusable basis snapshot on optimality.
+    pub fn solve_cold(
+        &self,
+        bounds_override: Option<&[(f64, f64)]>,
+        config: &LpConfig,
+    ) -> (LpResult, Option<BasisSnapshot>) {
+        if let Some(res) = self.crossed_bounds(bounds_override, config) {
+            return (res, None);
+        }
+        let Some(mut w) = Worker::start(self, config, bounds_override, None) else {
+            return (self.failed(LpStatus::IterationLimit), None);
+        };
+        let status = w.primal();
+        let snap = (status == LpStatus::Optimal).then(|| w.snapshot());
+        (w.result(status), snap)
+    }
+
+    /// Warm re-solve with the **dual simplex** from a parent-optimal basis
+    /// after bound changes. Falls back to a cold solve when the snapshot is
+    /// unusable (wrong shape, singular, or not dual feasible).
+    pub fn solve_warm(
+        &self,
+        snap: &BasisSnapshot,
+        bounds_override: Option<&[(f64, f64)]>,
+        config: &LpConfig,
+    ) -> (LpResult, Option<BasisSnapshot>) {
+        if let Some(res) = self.crossed_bounds(bounds_override, config) {
+            return (res, None);
+        }
+        if snap.basis.len() == self.n_rows() && snap.status.len() == self.n_cols() {
+            if let Some(mut w) = Worker::start(self, config, bounds_override, Some(snap)) {
+                match w.dual() {
+                    DualOutcome::Done(status) => {
+                        let out = (status == LpStatus::Optimal).then(|| w.snapshot());
+                        return (w.result(status), out);
+                    }
+                    DualOutcome::Fallback => {}
+                }
+            }
+        }
+        self.solve_cold(bounds_override, config)
+    }
+
+    /// Early exit when any *effective* structural bound pair is crossed —
+    /// the override where provided, the model's own bounds otherwise (phase 1
+    /// only repairs basic variables, so a crossed non-basic column would
+    /// silently come back "optimal" without this guard).
+    fn crossed_bounds(
+        &self,
+        bounds_override: Option<&[(f64, f64)]>,
+        config: &LpConfig,
+    ) -> Option<LpResult> {
         if let Some(over) = bounds_override {
             debug_assert_eq!(over.len(), self.n_struct);
+        }
+        for j in 0..self.n_struct {
+            let (l, u) = match bounds_override {
+                Some(over) => over[j],
+                None => (self.lb[j], self.ub[j]),
+            };
+            if clamp_lb(l) > u + config.tol {
+                return Some(self.failed(LpStatus::Infeasible));
+            }
+        }
+        None
+    }
+
+    fn failed(&self, status: LpStatus) -> LpResult {
+        LpResult { status, objective: f64::NAN, values: vec![0.0; self.n_struct], iterations: 0 }
+    }
+}
+
+/// Outcome of a dual-simplex run.
+enum DualOutcome {
+    /// The run terminated with a trustworthy status.
+    Done(LpStatus),
+    /// The snapshot was unusable; the caller should solve cold.
+    Fallback,
+}
+
+/// Working state of one revised-simplex solve.
+struct Worker<'a> {
+    sf: &'a StandardForm,
+    cfg: &'a LpConfig,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    status: Vec<VStat>,
+    in_basis: Vec<bool>,
+    basis: Vec<usize>,
+    xb: Vec<f64>,
+    fact: Factorization,
+    iterations: usize,
+}
+
+impl<'a> Worker<'a> {
+    /// Builds the working bounds and initial basis, and factorizes it.
+    fn start(
+        sf: &'a StandardForm,
+        cfg: &'a LpConfig,
+        bounds_override: Option<&[(f64, f64)]>,
+        snap: Option<&BasisSnapshot>,
+    ) -> Option<Worker<'a>> {
+        let m = sf.n_rows();
+        let n = sf.n_cols();
+        let mut lb = sf.lb.clone();
+        let mut ub = sf.ub.clone();
+        if let Some(over) = bounds_override {
             for (j, &(l, u)) in over.iter().enumerate() {
-                lb[j] = if l.is_finite() { l } else { -1e12 };
+                lb[j] = clamp_lb(l);
                 ub[j] = u;
             }
         }
-        // Quick infeasibility check on crossed bounds.
-        for j in 0..n {
-            if lb[j] > ub[j] + config.tol {
-                return LpResult {
-                    status: LpStatus::Infeasible,
-                    objective: f64::NAN,
-                    values: vec![0.0; self.n_struct],
-                    iterations: 0,
+        let (basis, status) = match snap {
+            Some(s) => (s.basis.clone(), s.status.clone()),
+            None => {
+                // Cold start: all-logical basis, structural columns at the
+                // finite bound of smallest magnitude.
+                let mut status = Vec::with_capacity(n);
+                for j in 0..sf.n_struct {
+                    let at_upper = ub[j].is_finite() && lb[j].abs() > ub[j].abs();
+                    status.push(if at_upper { VStat::AtUpper } else { VStat::AtLower });
+                }
+                status.extend(std::iter::repeat_n(VStat::Basic, m));
+                ((sf.n_struct..n).collect(), status)
+            }
+        };
+        let mut in_basis = vec![false; n];
+        for &b in &basis {
+            in_basis[b] = true;
+        }
+        let fact = Factorization::factorize(&sf.matrix, &basis)?;
+        let mut w = Worker {
+            sf,
+            cfg,
+            lb,
+            ub,
+            status,
+            in_basis,
+            basis,
+            xb: vec![0.0; m],
+            fact,
+            iterations: 0,
+        };
+        w.recompute_xb();
+        Some(w)
+    }
+
+    fn max_iter(&self) -> usize {
+        if self.cfg.max_iterations > 0 {
+            self.cfg.max_iterations
+        } else {
+            20_000 + 60 * (self.sf.n_rows() + self.sf.n_cols())
+        }
+    }
+
+    /// Resting value of a non-basic column.
+    #[inline]
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VStat::AtUpper => self.ub[j],
+            _ => self.lb[j],
+        }
+    }
+
+    /// Recomputes basic values from scratch: `x_B = B⁻¹ (rhs − N x_N)`.
+    fn recompute_xb(&mut self) {
+        let m = self.sf.n_rows();
+        let mut r = self.sf.rhs.clone();
+        for j in 0..self.sf.n_cols() {
+            if self.in_basis[j] {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                self.sf.matrix.col_axpy(j, -v, &mut r);
+            }
+        }
+        self.fact.ftran(&mut r);
+        self.xb[..m].copy_from_slice(&r);
+    }
+
+    /// Refactorizes the current basis and refreshes basic values.
+    fn refactorize(&mut self) -> bool {
+        match Factorization::factorize(&self.sf.matrix, &self.basis) {
+            Some(f) => {
+                self.fact = f;
+                self.recompute_xb();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn snapshot(&self) -> BasisSnapshot {
+        BasisSnapshot { basis: self.basis.clone(), status: self.status.clone() }
+    }
+
+    /// Two-phase primal simplex (composite phase 1, then the real objective).
+    fn primal(&mut self) -> LpStatus {
+        let m = self.sf.n_rows();
+        let n = self.sf.n_cols();
+        let tol = self.cfg.tol;
+        let max_iter = self.max_iter();
+        let mut degenerate_run = 0usize;
+        let mut cb = vec![0.0f64; m];
+        let mut y = vec![0.0f64; m];
+        let mut alpha = vec![0.0f64; m];
+
+        loop {
+            if self.iterations >= max_iter {
+                return LpStatus::IterationLimit;
+            }
+            if self.fact.n_etas() >= self.cfg.refactor_interval && !self.refactorize() {
+                return LpStatus::IterationLimit;
+            }
+
+            // Phase: 1 while any basic value violates its bounds.
+            let mut phase1 = false;
+            for i in 0..m {
+                let b = self.basis[i];
+                if self.xb[i] < self.lb[b] - tol || self.xb[i] > self.ub[b] + tol {
+                    phase1 = true;
+                    break;
+                }
+            }
+
+            // Pricing duals: composite phase-1 costs are the (sub)gradient of
+            // the sum of infeasibilities and are recomputed every iteration,
+            // which is sound because pricing restarts from `c_B` each time.
+            for ((c, &b), &x) in cb.iter_mut().zip(&self.basis).zip(&self.xb) {
+                *c = if phase1 {
+                    if x < self.lb[b] - tol {
+                        -1.0
+                    } else if x > self.ub[b] + tol {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    self.sf.cost(b)
                 };
             }
-        }
-        // Artificials: fixed later, start in [0, inf).
-        lb.extend(std::iter::repeat_n(0.0, m));
-        ub.extend(std::iter::repeat_n(f64::INFINITY, m));
+            y.copy_from_slice(&cb);
+            self.fact.btran(&mut y);
 
-        // Dense tableau rows over all columns (structural + slack + artificial).
-        let mut tab = vec![0.0f64; m * total];
-        let mut b = self.rhs.clone();
-        for (i, row) in self.rows.iter().enumerate() {
-            for &(j, c) in row {
-                tab[i * total + j] = c;
-            }
-        }
-
-        // Non-basic variables start at the finite bound of smallest magnitude.
-        let mut at_upper = vec![false; total];
-        let value_of_nonbasic = |j: usize, at_upper: &Vec<bool>, lb: &Vec<f64>, ub: &Vec<f64>| {
-            if at_upper[j] {
-                ub[j]
-            } else {
-                lb[j]
-            }
-        };
-        for j in 0..n {
-            if !ub[j].is_finite() {
-                at_upper[j] = false;
-            } else {
-                at_upper[j] = lb[j].abs() > ub[j].abs();
-            }
-        }
-
-        // Residuals r_i = b_i - sum_j a_ij * x_j(nonbasic).
-        let mut xb = vec![0.0f64; m];
-        for i in 0..m {
-            let mut r = b[i];
-            for j in 0..n {
-                let a = tab[i * total + j];
-                if a != 0.0 {
-                    r -= a * value_of_nonbasic(j, &at_upper, &lb, &ub);
-                }
-            }
-            xb[i] = r;
-        }
-        // Negate rows with negative residuals so artificials start >= 0.
-        for i in 0..m {
-            if xb[i] < 0.0 {
-                for j in 0..n {
-                    tab[i * total + j] = -tab[i * total + j];
-                }
-                b[i] = -b[i];
-                xb[i] = -xb[i];
-            }
-            // Artificial column for row i.
-            tab[i * total + n + i] = 1.0;
-        }
-        let mut basis: Vec<usize> = (n..n + m).collect();
-
-        // Phase-1 and phase-2 reduced-cost rows.
-        // Phase 1: cost 1 on artificials. With the all-artificial basis the
-        // reduced cost of column j is -sum_i tab[i][j] (and 0 on artificials).
-        let mut d1 = vec![0.0f64; total];
-        for j in 0..n {
-            let mut s = 0.0;
-            for i in 0..m {
-                s += tab[i * total + j];
-            }
-            d1[j] = -s;
-        }
-        // Phase 2: artificials have zero cost, so reduced costs start equal to
-        // the raw objective coefficients.
-        let mut d2 = vec![0.0f64; total];
-        for (j, &c) in self.obj.iter().enumerate() {
-            d2[j] = c;
-        }
-
-        let max_iter = if config.max_iterations > 0 {
-            config.max_iterations
-        } else {
-            20_000 + 60 * (m + total)
-        };
-
-        let mut iterations = 0usize;
-        let tol = config.tol;
-        let mut degenerate_run = 0usize;
-
-        // The main pivoting loop, shared by both phases.
-        // phase = 1 uses d1, phase = 2 uses d2.
-        let mut phase = 1;
-        loop {
-            if iterations >= max_iter {
-                return self.finish(LpStatus::IterationLimit, &basis, &xb, &at_upper, &lb, &ub);
-            }
-
-            // Entering variable selection.
+            // Entering column: Dantzig, or Bland after a degenerate streak.
             let use_bland = degenerate_run > 2 * (m + 10);
-            let d = if phase == 1 { &d1 } else { &d2 };
-            let mut enter: Option<(usize, f64, i8)> = None; // (col, score, direction)
-            for j in 0..total {
-                if basis.contains(&j) {
+            let mut enter: Option<(usize, f64, i8)> = None;
+            for j in 0..n {
+                if self.in_basis[j] || (self.ub[j] - self.lb[j]).abs() < 1e-15 {
                     continue;
                 }
-                // Fixed variables can never improve.
-                if (ub[j] - lb[j]).abs() < 1e-15 {
-                    continue;
-                }
-                let dj = d[j];
-                let dir: i8 = if !at_upper[j] && dj < -tol {
+                let cj = if phase1 { 0.0 } else { self.sf.cost(j) };
+                let dj = cj - self.sf.matrix.col_dot(j, &y);
+                let dir: i8 = if self.status[j] != VStat::AtUpper && dj < -tol {
                     1
-                } else if at_upper[j] && dj > tol {
+                } else if self.status[j] == VStat::AtUpper && dj > tol {
                     -1
                 } else {
                     continue;
@@ -315,80 +559,84 @@ impl StandardForm {
                     _ => {}
                 }
             }
-
-            let (j_enter, _, dir) = match enter {
-                Some(e) => e,
-                None => {
-                    // Optimal for the current phase.
-                    if phase == 1 {
-                        let infeas: f64 = basis
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, &v)| v >= n)
-                            .map(|(i, _)| xb[i])
-                            .sum();
-                        if infeas > 1e-6 {
-                            return self.finish(
-                                LpStatus::Infeasible,
-                                &basis,
-                                &xb,
-                                &at_upper,
-                                &lb,
-                                &ub,
-                            );
-                        }
-                        // Fix artificials at zero and move to phase 2.
-                        for a in n..total {
-                            lb[a] = 0.0;
-                            ub[a] = 0.0;
-                        }
-                        phase = 2;
-                        degenerate_run = 0;
-                        continue;
-                    } else {
-                        let mut res =
-                            self.finish(LpStatus::Optimal, &basis, &xb, &at_upper, &lb, &ub);
-                        res.iterations = iterations;
-                        return res;
-                    }
-                }
+            let Some((e, _, dir)) = enter else {
+                // No improving column: phase-1 optimal with residual
+                // infeasibility proves the LP infeasible; phase-2 optimal is
+                // the answer.
+                return if phase1 { LpStatus::Infeasible } else { LpStatus::Optimal };
             };
 
-            // Ratio test along the entering direction.
-            let dirf = dir as f64;
-            let range = ub[j_enter] - lb[j_enter]; // may be inf
+            // Transformed entering column.
+            alpha.iter_mut().for_each(|v| *v = 0.0);
+            self.sf.matrix.col_axpy(e, 1.0, &mut alpha);
+            self.fact.ftran(&mut alpha);
+
+            // Ratio test. In phase 1 an infeasible basic variable only blocks
+            // when it reaches the bound it violates (it may move *away* from
+            // feasibility freely — the cost row already accounts for it).
+            let dirf = f64::from(dir);
+            let range = self.ub[e] - self.lb[e];
             let mut t_max = range;
-            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
-            for i in 0..m {
-                let a = tab[i * total + j_enter];
-                if a.abs() < config.pivot_tol {
+            let mut leave: Option<(usize, bool, f64)> = None;
+            for (i, &a) in alpha.iter().enumerate() {
+                if a.abs() < self.cfg.pivot_tol {
                     continue;
                 }
-                let delta = dirf * a;
-                let (limit, goes_upper) = if delta > 0.0 {
-                    // Basic variable decreases towards its lower bound.
-                    ((xb[i] - lb[basis[i]]) / delta, false)
-                } else {
-                    // Basic variable increases towards its upper bound.
-                    if !ub[basis[i]].is_finite() {
+                let b = self.basis[i];
+                let delta = dirf * a; // xb[i] moves by −delta·t
+                let below = self.xb[i] < self.lb[b] - tol;
+                let above = self.xb[i] > self.ub[b] + tol;
+                let (target, leaves_upper) = if delta > 0.0 {
+                    // Basic value decreasing.
+                    if below {
                         continue;
                     }
-                    ((ub[basis[i]] - xb[i]) / (-delta), true)
+                    if above {
+                        (self.ub[b], true)
+                    } else {
+                        (self.lb[b], false)
+                    }
+                } else {
+                    // Basic value increasing.
+                    if above {
+                        continue;
+                    }
+                    if below {
+                        (self.lb[b], false)
+                    } else {
+                        if !self.ub[b].is_finite() {
+                            continue;
+                        }
+                        (self.ub[b], true)
+                    }
                 };
-                let limit = limit.max(0.0);
-                if limit < t_max - 1e-12 {
-                    t_max = limit;
-                    leave = Some((i, goes_upper));
+                let limit = ((self.xb[i] - target) / delta).max(0.0);
+                let replace = match &leave {
+                    None => limit < t_max - 1e-12,
+                    Some((br, _, ba)) => {
+                        limit < t_max - 1e-12
+                            || (limit <= t_max + 1e-12
+                                && if use_bland {
+                                    self.basis[i] < self.basis[*br]
+                                } else {
+                                    a.abs() > *ba
+                                })
+                    }
+                };
+                if replace {
+                    t_max = limit.min(t_max);
+                    leave = Some((i, leaves_upper, a.abs()));
                 }
             }
 
             if !t_max.is_finite() {
-                // Entering variable can increase forever: unbounded (only
-                // meaningful in phase 2; phase 1 objective is bounded below).
-                return self.finish(LpStatus::Unbounded, &basis, &xb, &at_upper, &lb, &ub);
+                // Entirely unblocked with an infinite range: unbounded (only
+                // meaningful in phase 2 — phase 1 is bounded below by 0, so a
+                // phase-1 hit means numerical trouble).
+                return if phase1 { LpStatus::IterationLimit } else { LpStatus::Unbounded };
             }
 
-            iterations += 1;
+            self.iterations += 1;
             if t_max <= 1e-11 {
                 degenerate_run += 1;
             } else {
@@ -397,91 +645,251 @@ impl StandardForm {
 
             match leave {
                 None => {
-                    // Bound flip: the entering variable moves to its other bound.
-                    for i in 0..m {
-                        let a = tab[i * total + j_enter];
+                    // Bound flip.
+                    for (x, &a) in self.xb.iter_mut().zip(&alpha) {
                         if a != 0.0 {
-                            xb[i] -= dirf * t_max * a;
+                            *x -= dirf * t_max * a;
                         }
                     }
-                    at_upper[j_enter] = !at_upper[j_enter];
+                    self.status[e] = if self.status[e] == VStat::AtUpper {
+                        VStat::AtLower
+                    } else {
+                        VStat::AtUpper
+                    };
                 }
-                Some((r, goes_upper)) => {
-                    // Update basic values.
-                    for i in 0..m {
-                        let a = tab[i * total + j_enter];
+                Some((r, leaves_upper, _)) => {
+                    for (x, &a) in self.xb.iter_mut().zip(&alpha) {
                         if a != 0.0 {
-                            xb[i] -= dirf * t_max * a;
+                            *x -= dirf * t_max * a;
                         }
                     }
-                    let entering_value =
-                        value_of_nonbasic(j_enter, &at_upper, &lb, &ub) + dirf * t_max;
-                    let leaving = basis[r];
-                    at_upper[leaving] = goes_upper;
-                    basis[r] = j_enter;
-                    xb[r] = entering_value;
-
-                    // Pivot the tableau and both cost rows on (r, j_enter).
-                    let pivot = tab[r * total + j_enter];
-                    let inv = 1.0 / pivot;
-                    for j in 0..total {
-                        tab[r * total + j] *= inv;
-                    }
-                    for i in 0..m {
-                        if i == r {
-                            continue;
-                        }
-                        let factor = tab[i * total + j_enter];
-                        if factor != 0.0 {
-                            for j in 0..total {
-                                tab[i * total + j] -= factor * tab[r * total + j];
-                            }
-                        }
-                    }
-                    let f1 = d1[j_enter];
-                    if f1 != 0.0 {
-                        for j in 0..total {
-                            d1[j] -= f1 * tab[r * total + j];
-                        }
-                    }
-                    let f2 = d2[j_enter];
-                    if f2 != 0.0 {
-                        for j in 0..total {
-                            d2[j] -= f2 * tab[r * total + j];
-                        }
+                    let entering_value = self.nonbasic_value(e) + dirf * t_max;
+                    if !self.pivot(r, e, entering_value, leaves_upper, &alpha) {
+                        return LpStatus::IterationLimit;
                     }
                 }
             }
         }
     }
 
-    /// Assembles an [`LpResult`] from the final simplex state.
-    fn finish(
-        &self,
-        status: LpStatus,
-        basis: &[usize],
-        xb: &[f64],
-        at_upper: &[bool],
-        lb: &[f64],
-        ub: &[f64],
-    ) -> LpResult {
-        let mut values = vec![0.0f64; self.n_struct];
-        for j in 0..self.n_struct {
-            values[j] = if at_upper[j] { ub[j] } else { lb[j] };
+    /// Dual simplex: repairs primal feasibility from a dual-feasible basis.
+    fn dual(&mut self) -> DualOutcome {
+        let m = self.sf.n_rows();
+        let n = self.sf.n_cols();
+        let tol = self.cfg.tol;
+        let max_iter = self.max_iter();
+        let mut cb = vec![0.0f64; m];
+        let mut y = vec![0.0f64; m];
+        let mut rho = vec![0.0f64; m];
+        let mut alpha = vec![0.0f64; m];
+
+        // Up-front dual-feasibility check: a snapshot from an aborted parent
+        // solve is not worth iterating on.
+        for (c, &b) in cb.iter_mut().zip(&self.basis) {
+            *c = self.sf.cost(b);
         }
-        for (i, &v) in basis.iter().enumerate() {
-            if v < self.n_struct {
-                values[v] = xb[i];
+        y.copy_from_slice(&cb);
+        self.fact.btran(&mut y);
+        for j in 0..n {
+            if self.in_basis[j] || (self.ub[j] - self.lb[j]).abs() < 1e-15 {
+                continue;
+            }
+            let dj = self.sf.cost(j) - self.sf.matrix.col_dot(j, &y);
+            let bad = match self.status[j] {
+                VStat::AtUpper => dj > 1e-5,
+                _ => dj < -1e-5,
+            };
+            if bad {
+                return DualOutcome::Fallback;
             }
         }
-        let mut objective = self.obj_constant;
-        if status == LpStatus::Optimal || status == LpStatus::IterationLimit {
-            let raw: f64 = self.obj.iter().enumerate().map(|(j, &c)| c * values[j]).sum();
-            objective += if self.maximize { -raw } else { raw };
-        } else {
-            objective = f64::NAN;
+
+        // Budget: a healthy warm re-solve takes a handful of pivots. These
+        // LPs are massively dual degenerate (most columns have zero cost),
+        // and a degenerate dual can ping-pong for thousands of iterations —
+        // past the budget a cold primal solve is strictly cheaper.
+        let dual_budget = (m / 2 + 200).min(max_iter);
+        let mut degenerate_run = 0usize;
+        loop {
+            if self.iterations >= dual_budget {
+                return DualOutcome::Fallback;
+            }
+            if self.fact.n_etas() >= self.cfg.refactor_interval && !self.refactorize() {
+                return DualOutcome::Fallback;
+            }
+
+            // Leaving row: most violated basic variable (smallest index after
+            // a degenerate streak, Bland-style).
+            let use_bland = degenerate_run > 2 * (m + 10);
+            let mut leave: Option<(usize, bool, f64)> = None;
+            for i in 0..m {
+                let b = self.basis[i];
+                let (viol, above) = if self.xb[i] > self.ub[b] + tol {
+                    (self.xb[i] - self.ub[b], true)
+                } else if self.xb[i] < self.lb[b] - tol {
+                    (self.lb[b] - self.xb[i], false)
+                } else {
+                    continue;
+                };
+                if leave.as_ref().is_none_or(|&(_, _, best)| viol > best) {
+                    leave = Some((i, above, viol));
+                }
+                if use_bland && leave.is_some() {
+                    break;
+                }
+            }
+            let Some((r, above, viol)) = leave else {
+                return DualOutcome::Done(LpStatus::Optimal);
+            };
+
+            // Duals and the transformed pivot row.
+            for (c, &b) in cb.iter_mut().zip(&self.basis) {
+                *c = self.sf.cost(b);
+            }
+            y.copy_from_slice(&cb);
+            self.fact.btran(&mut y);
+            rho.iter_mut().for_each(|v| *v = 0.0);
+            rho[r] = 1.0;
+            self.fact.btran(&mut rho);
+
+            // Bound-flipping dual ratio test (BFRT). Candidates are the
+            // non-basic columns whose move towards their *other* bound
+            // repairs the violated row; each has a breakpoint ratio
+            // |d_j/α_rj| (where its reduced cost crosses zero as the dual
+            // step grows) and an absorption capacity `range_j · |α_rj|`.
+            // Walking candidates in breakpoint order, columns too narrow to
+            // absorb the remaining violation *bound-flip* (binaries against
+            // big-M rows constantly are) and the first wide-enough column
+            // enters. Without the flips the entering variable overshoots its
+            // own bounds and the violation just migrates, which degrades the
+            // warm re-solve into thousands of pivots.
+            let mut cands: Vec<(f64, f64, usize)> = Vec::new(); // (ratio, |α|, col)
+            for j in 0..n {
+                if self.in_basis[j] || (self.ub[j] - self.lb[j]).abs() < 1e-15 {
+                    continue;
+                }
+                let a = self.sf.matrix.col_dot(j, &rho);
+                if a.abs() < self.cfg.pivot_tol {
+                    continue;
+                }
+                let at_upper = self.status[j] == VStat::AtUpper;
+                // xb[r] must decrease when above its upper bound, increase
+                // when below its lower bound.
+                let eligible = if above {
+                    (!at_upper && a > 0.0) || (at_upper && a < 0.0)
+                } else {
+                    (!at_upper && a < 0.0) || (at_upper && a > 0.0)
+                };
+                if !eligible {
+                    continue;
+                }
+                let dj = self.sf.cost(j) - self.sf.matrix.col_dot(j, &y);
+                cands.push((dj.abs() / a.abs(), a.abs(), j));
+            }
+            cands.sort_by(|x, y| x.0.total_cmp(&y.0).then(y.1.total_cmp(&x.1)).then(x.2.cmp(&y.2)));
+            let mut remaining = viol;
+            let mut enter: Option<usize> = None;
+            let mut flipped = false;
+            for &(_, amag, j) in &cands {
+                let cap = (self.ub[j] - self.lb[j]) * amag;
+                if !cap.is_finite() || cap + 1e-9 >= remaining {
+                    enter = Some(j);
+                    break;
+                }
+                self.status[j] =
+                    if self.status[j] == VStat::AtUpper { VStat::AtLower } else { VStat::AtUpper };
+                flipped = true;
+                remaining -= cap;
+            }
+            let Some(e) = enter else {
+                // Even with every eligible column at its most helpful bound
+                // the row stays violated: the LP is infeasible.
+                return DualOutcome::Done(LpStatus::Infeasible);
+            };
+            if flipped {
+                self.recompute_xb();
+            }
+
+            alpha.iter_mut().for_each(|v| *v = 0.0);
+            self.sf.matrix.col_axpy(e, 1.0, &mut alpha);
+            self.fact.ftran(&mut alpha);
+            if alpha[r].abs() < self.cfg.pivot_tol {
+                // FTRAN disagrees with the BTRAN row: refactorize and retry.
+                // The retry burns an iteration so that a deterministic
+                // disagreement (fresh factors reproducing the same pivot)
+                // drains the budget and falls back instead of spinning.
+                self.iterations += 1;
+                if !self.refactorize() {
+                    return DualOutcome::Fallback;
+                }
+                continue;
+            }
+
+            let b_leave = self.basis[r];
+            let target = if above { self.ub[b_leave] } else { self.lb[b_leave] };
+            let t = (self.xb[r] - target) / alpha[r];
+            if t.abs() <= 1e-11 && !flipped {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+            // Position r lands exactly on `target` here and is then
+            // overwritten with the entering value inside `pivot`.
+            for (x, &a) in self.xb.iter_mut().zip(&alpha) {
+                if a != 0.0 {
+                    *x -= t * a;
+                }
+            }
+            let entering_value = self.nonbasic_value(e) + t;
+            self.iterations += 1;
+            if !self.pivot(r, e, entering_value, above, &alpha) {
+                return DualOutcome::Fallback;
+            }
         }
-        LpResult { status, objective, values, iterations: 0 }
+    }
+
+    /// Executes a basis change: `e` enters in row `r`, the leaving column
+    /// rests at the bound it reached. Returns `false` on numerical failure.
+    fn pivot(
+        &mut self,
+        r: usize,
+        e: usize,
+        entering_value: f64,
+        leaves_upper: bool,
+        alpha: &[f64],
+    ) -> bool {
+        let leaving = self.basis[r];
+        self.status[leaving] = if leaves_upper { VStat::AtUpper } else { VStat::AtLower };
+        self.in_basis[leaving] = false;
+        self.basis[r] = e;
+        self.in_basis[e] = true;
+        self.status[e] = VStat::Basic;
+        self.xb[r] = entering_value;
+        if !self.fact.update(r, alpha, self.cfg.pivot_tol) {
+            return self.refactorize();
+        }
+        true
+    }
+
+    /// Assembles an [`LpResult`] from the final state.
+    fn result(&self, status: LpStatus) -> LpResult {
+        let n_struct = self.sf.n_struct;
+        let mut values = vec![0.0f64; n_struct];
+        for (j, value) in values.iter_mut().enumerate() {
+            *value = self.nonbasic_value(j);
+        }
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < n_struct {
+                values[b] = self.xb[i];
+            }
+        }
+        let objective = if status == LpStatus::Optimal || status == LpStatus::IterationLimit {
+            let raw: f64 = self.sf.obj.iter().enumerate().map(|(j, &c)| c * values[j]).sum();
+            self.sf.obj_constant + if self.sf.maximize { -raw } else { raw }
+        } else {
+            f64::NAN
+        };
+        LpResult { status, objective, values, iterations: self.iterations }
     }
 }
 
@@ -504,7 +912,7 @@ pub fn is_integral(model: &Model, values: &[f64], tol: f64) -> bool {
 
 /// Convenience: `true` when the variable kind at index `j` is integral.
 pub fn is_integer_var(model: &Model, j: usize) -> bool {
-    matches!(model.vars()[j].kind, VarKind::Integer | VarKind::Binary)
+    matches!(model.vars()[j].kind, crate::model::VarKind::Integer | crate::model::VarKind::Binary)
 }
 
 #[cfg(test)]
@@ -595,6 +1003,21 @@ mod tests {
     }
 
     #[test]
+    fn crossed_native_bounds_are_infeasible_without_override() {
+        // The model's own bounds can be crossed via set_bounds; the solver
+        // must report infeasibility, matching the dense oracle, rather than
+        // parking the column outside its bounds and claiming optimality.
+        let mut m = Model::new("xbn", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 5.0);
+        m.set_bounds(x, 3.0, 2.0);
+        m.set_objective(LinExpr::from(x));
+        let r = StandardForm::from_model(&m).solve(&cfg());
+        assert_eq!(r.status, LpStatus::Infeasible);
+        let d = crate::dense::DenseForm::from_model(&m).solve(&cfg());
+        assert_eq!(d.status, LpStatus::Infeasible);
+    }
+
+    #[test]
     fn bound_overrides_are_respected() {
         // min x with default bound [0, 5] but overridden to [2, 5].
         let mut m = Model::new("bo", Sense::Minimize);
@@ -651,16 +1074,55 @@ mod tests {
     }
 
     #[test]
+    fn warm_dual_resolve_matches_cold_solve() {
+        // min x + 2y s.t. x + y >= 4, x <= 3, y <= 5.
+        let mut m = Model::new("warm", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 3.0);
+        let y = m.cont_var("y", 0.0, 5.0);
+        m.add_con("cover", LinExpr::from(x) + y, ConOp::Ge, 4.0);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y) * 2.0);
+        let sf = StandardForm::from_model(&m);
+        let (root, snap) = sf.solve_cold(None, &cfg());
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert!((root.objective - 5.0).abs() < 1e-6, "x=3, y=1");
+        let snap = snap.unwrap();
+        // Tighten x <= 1: optimum moves to x=1, y=3 -> 7.
+        let (warm, warm_snap) = sf.solve_warm(&snap, Some(&[(0.0, 1.0), (0.0, 5.0)]), &cfg());
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - 7.0).abs() < 1e-6, "objective {}", warm.objective);
+        assert!(warm_snap.is_some());
+        let cold = sf.solve_with_bounds(Some(&[(0.0, 1.0), (0.0, 5.0)]), &cfg());
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        // And an infeasible tightening is detected dually.
+        let (inf, _) = sf.solve_warm(&snap, Some(&[(0.0, 1.0), (0.0, 1.0)]), &cfg());
+        assert_eq!(inf.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn appended_cut_rows_are_honoured() {
+        // max x + y s.t. x + y <= 10 with a cut x + y <= 4 appended.
+        let mut m = Model::new("cuts", Sense::Maximize);
+        let x = m.cont_var("x", 0.0, 10.0);
+        let y = m.cont_var("y", 0.0, 10.0);
+        m.add_con("cap", LinExpr::from(x) + y, ConOp::Le, 10.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let mut sf = StandardForm::from_model(&m);
+        let (root, snap) = sf.solve_cold(None, &cfg());
+        assert!((root.objective - 10.0).abs() < 1e-6);
+        sf.add_rows(&[(vec![(x.index(), 1.0), (y.index(), 1.0)], ConOp::Le, 4.0)]);
+        let ext = sf.extend_snapshot(&snap.unwrap()).unwrap();
+        let (cut, _) = sf.solve_warm(&ext, None, &cfg());
+        assert_eq!(cut.status, LpStatus::Optimal);
+        assert!((cut.objective - 4.0).abs() < 1e-6, "objective {}", cut.objective);
+        // A cold solve of the extended form agrees.
+        let cold = sf.solve(&cfg());
+        assert!((cold.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
     #[allow(clippy::needless_range_loop)] // 2-D index math reads clearest as written
     fn bigger_random_like_lp_is_consistent() {
-        // A transportation-style LP with a known optimum.
-        // Supplies: 20, 30; demands: 10, 25, 15.
-        // Costs: [[2,3,1],[5,4,8]] -> optimal cost = 10*2+15*1+... compute:
-        // ship s1->d1:10, s1->d3:10 (cost 2*10+1*10=30), s2->d2:25, s2->d3:5
-        // (4*25+8*5=140) -> wait capacity s1=20 used 20, s2=30 used 30.
-        // total = 170. A cheaper plan: s1->d3:15, s1->d1:5 (15+10=25 cost),
-        // s2->d1:5, s2->d2:25 (25+100=125) total=150... let the solver decide
-        // and just verify feasibility + objective consistency.
+        // A transportation-style LP with a known optimum of 150.
         let mut m = Model::new("transport", Sense::Minimize);
         let costs = [[2.0, 3.0, 1.0], [5.0, 4.0, 8.0]];
         let supply = [20.0, 30.0];
@@ -685,15 +1147,8 @@ mod tests {
         m.set_objective(obj.clone());
         let r = solve_lp(&m, &cfg());
         assert_eq!(r.status, LpStatus::Optimal);
-        assert!(
-            m.is_feasible(&r.values, 1e-6) || {
-                // The LP relaxation ignores integrality, but there are no integer
-                // vars here, so feasibility must hold.
-                false
-            }
-        );
+        assert!(m.is_feasible(&r.values, 1e-6));
         assert!((r.objective - obj.eval(&r.values)).abs() < 1e-6);
-        // Known optimum for this data is 150.
         assert!((r.objective - 150.0).abs() < 1e-6, "objective was {}", r.objective);
     }
 }

@@ -44,6 +44,12 @@ pub struct Solution {
     pub nodes: usize,
     /// Total simplex iterations across all LP relaxations.
     pub lp_iterations: usize,
+    /// Number of LP (re-)solves performed (nodes, dives and cut rounds).
+    pub lp_solves: usize,
+    /// Wall-clock seconds spent inside LP solves.
+    pub lp_seconds: f64,
+    /// Cutting planes added at the root.
+    pub cuts: usize,
     /// Wall-clock solve time in seconds.
     pub solve_seconds: f64,
 }
@@ -58,7 +64,19 @@ impl Solution {
             values: vec![0.0; n_vars],
             nodes: 0,
             lp_iterations: 0,
+            lp_solves: 0,
+            lp_seconds: 0.0,
+            cuts: 0,
             solve_seconds: 0.0,
+        }
+    }
+
+    /// Mean wall-clock seconds per LP (re-)solve, or 0 when none were run.
+    pub fn lp_seconds_per_solve(&self) -> f64 {
+        if self.lp_solves == 0 {
+            0.0
+        } else {
+            self.lp_seconds / self.lp_solves as f64
         }
     }
 
@@ -120,13 +138,18 @@ mod tests {
             values: vec![1.2, 0.0, 3.0],
             nodes: 5,
             lp_iterations: 42,
+            lp_solves: 6,
+            lp_seconds: 0.06,
+            cuts: 0,
             solve_seconds: 0.1,
         };
         assert_eq!(sol.value(VarId::from_index(0)), 1.2);
         assert_eq!(sol.int_value(VarId::from_index(2)), 3);
         assert!(!sol.bool_value(VarId::from_index(1)));
         assert!((sol.gap() - 0.1).abs() < 1e-12);
+        assert!((sol.lp_seconds_per_solve() - 0.01).abs() < 1e-12);
         assert_eq!(Solution::empty(SolveStatus::Infeasible, 2).gap(), f64::INFINITY);
+        assert_eq!(Solution::empty(SolveStatus::Infeasible, 2).lp_seconds_per_solve(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Shared numerical tolerances.
+//!
+//! Every layer of the solver used to hand-roll its own feasibility and
+//! integrality constants (the simplex, the branch-and-bound and the model
+//! checker each had their own); they are centralised here so a tolerance
+//! change propagates consistently through LP pricing, ratio tests, incumbent
+//! acceptance and solution verification.
+
+/// Reduced-cost / LP feasibility tolerance used by the simplex.
+pub const LP_FEAS: f64 = 1e-7;
+
+/// Minimum magnitude accepted for a simplex pivot element.
+pub const PIVOT: f64 = 1e-9;
+
+/// Integrality tolerance: a value within this distance of an integer is
+/// treated as integral by branch-and-bound and by the model checker.
+pub const INTEGRALITY: f64 = 1e-6;
+
+/// Constraint/bound feasibility tolerance for checking candidate incumbents
+/// and final solutions against the original model.
+pub const FEASIBILITY: f64 = 1e-6;
+
+/// Looser feasibility tolerance applied to externally supplied warm starts,
+/// which are encoded from geometric data and accumulate more rounding noise
+/// than LP-derived assignments.
+pub const WARM_START: f64 = 1e-5;
+
+/// Bound value used to clamp infinite lower bounds: the simplex requires
+/// finite activation values for non-basic variables.
+pub const INFINITE_BOUND: f64 = 1e12;
+
+/// Absolute optimality gap at which branch-and-bound considers a node proven.
+pub const GAP_ABS: f64 = 1e-6;
+
+/// Relative optimality gap at which branch-and-bound stops.
+pub const GAP_REL: f64 = 1e-6;

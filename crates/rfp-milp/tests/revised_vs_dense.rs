@@ -1,0 +1,132 @@
+//! Property tests pinning the sparse revised simplex to the dense oracle.
+//!
+//! Random small LPs (finite bounds, integer data) are solved by both the
+//! revised engine and the retired dense tableau ([`rfp_milp::dense`]); the
+//! two must agree on status and, when optimal, on the objective within 1e-6.
+//! A second property checks the warm-start path: a dual-simplex re-solve
+//! after a bound tightening must match a from-scratch solve of the tightened
+//! LP.
+
+use proptest::prelude::*;
+use rfp_milp::dense::DenseForm;
+use rfp_milp::model::{ConOp, Model, Sense};
+use rfp_milp::simplex::{LpConfig, LpStatus, StandardForm};
+use rfp_milp::LinExpr;
+
+/// Tiny deterministic generator so one `u64` seed yields a whole LP.
+struct Rng64(u64);
+
+impl Rng64 {
+    fn next(&mut self) -> u64 {
+        // splitmix64
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+}
+
+/// Builds a random small LP with finite bounds (never unbounded).
+fn random_lp(seed: u64) -> Model {
+    let mut rng = Rng64(seed);
+    let n = rng.int(1, 5) as usize;
+    let m = rng.int(1, 6) as usize;
+    let sense = if rng.int(0, 1) == 0 { Sense::Minimize } else { Sense::Maximize };
+    let mut model = Model::new(format!("prop{seed}"), sense);
+    let vars: Vec<_> =
+        (0..n).map(|j| model.cont_var(format!("x{j}"), 0.0, rng.int(1, 10) as f64)).collect();
+    for i in 0..m {
+        let expr = LinExpr::weighted_sum(
+            vars.iter().map(|&v| (v, rng.int(-3, 3) as f64)).filter(|&(_, c)| c != 0.0),
+        );
+        let op = match rng.int(0, 5) {
+            0 => ConOp::Eq, // equalities are rarer: they often force infeasibility
+            1 | 2 => ConOp::Ge,
+            _ => ConOp::Le,
+        };
+        model.add_con(format!("c{i}"), expr, op, rng.int(-5, 15) as f64);
+    }
+    model.set_objective(LinExpr::weighted_sum(vars.iter().map(|&v| (v, rng.int(-5, 5) as f64))));
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The revised simplex agrees with the dense-tableau oracle on random
+    /// LPs: same status, and objectives within 1e-6 when optimal.
+    #[test]
+    fn revised_simplex_matches_dense_oracle(seed in any::<u64>()) {
+        let model = random_lp(seed);
+        let cfg = LpConfig::default();
+        let revised = StandardForm::from_model(&model).solve(&cfg);
+        let dense = DenseForm::from_model(&model).solve(&cfg);
+        prop_assert_eq!(
+            revised.status, dense.status,
+            "status mismatch on seed {}: revised {:?} vs dense {:?}",
+            seed, revised.status, dense.status
+        );
+        if revised.status == LpStatus::Optimal {
+            prop_assert!(
+                (revised.objective - dense.objective).abs() <= 1e-6,
+                "objective mismatch on seed {}: revised {} vs dense {}",
+                seed, revised.objective, dense.objective
+            );
+            // The revised solution must actually satisfy the model.
+            prop_assert!(
+                model.is_feasible(&revised.values, 1e-6),
+                "revised solution infeasible on seed {}: {:?}",
+                seed, model.violations(&revised.values, 1e-6)
+            );
+        }
+    }
+
+    /// A dual-simplex warm re-solve after a bound tightening matches a
+    /// from-scratch solve of the tightened LP.
+    #[test]
+    fn dual_resolve_matches_cold_solve(seed in any::<u64>()) {
+        let model = random_lp(seed);
+        let cfg = LpConfig::default();
+        let sf = StandardForm::from_model(&model);
+        let (root, snap) = sf.solve_cold(None, &cfg);
+        prop_assume!(root.status == LpStatus::Optimal);
+        let snap = snap.expect("optimal cold solve returns a snapshot");
+
+        // Tighten one variable's bound through the optimal value, the way a
+        // branch-and-bound child would.
+        let mut rng = Rng64(seed ^ 0xabcd_ef01);
+        let j = rng.int(0, model.n_vars() as i64 - 1) as usize;
+        let mut bounds: Vec<(f64, f64)> =
+            model.vars().iter().map(|v| (v.lb, v.ub)).collect();
+        let v = root.values[j];
+        let (lb, ub) = bounds[j];
+        bounds[j] = if rng.int(0, 1) == 0 {
+            // "down" child: x_j <= floor(v).
+            (lb, v.floor().max(lb))
+        } else {
+            // "up" child: x_j >= ceil(v).
+            (v.ceil().min(ub), ub)
+        };
+
+        let (warm, _) = sf.solve_warm(&snap, Some(&bounds), &cfg);
+        let cold = sf.solve_with_bounds(Some(&bounds), &cfg);
+        prop_assert_eq!(
+            warm.status, cold.status,
+            "status mismatch on seed {}: warm {:?} vs cold {:?}",
+            seed, warm.status, cold.status
+        );
+        if warm.status == LpStatus::Optimal {
+            prop_assert!(
+                (warm.objective - cold.objective).abs() <= 1e-6,
+                "objective mismatch on seed {}: warm {} vs cold {}",
+                seed, warm.objective, cold.objective
+            );
+        }
+    }
+}
