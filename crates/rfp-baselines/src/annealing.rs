@@ -19,10 +19,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rfp_device::Rect;
 use rfp_floorplan::candidates::{enumerate_candidates, Candidate, CandidateConfig};
+use rfp_floorplan::engine::SolveControl;
 use rfp_floorplan::placement::{FcPlacement, Floorplan};
 use rfp_floorplan::problem::FloorplanProblem;
 use rfp_floorplan::FloorplanError;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Parameters of the simulated-annealing baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,6 +112,22 @@ impl<'a> State<'a> {
     }
 }
 
+/// Details of a controlled annealing run (see
+/// [`AnnealingFloorplanner::solve_with_control`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingRun {
+    /// Best overlap-free floorplan found, if any.
+    pub floorplan: Option<Floorplan>,
+    /// Moves actually proposed (may be below the configured iteration budget
+    /// when the run was cancelled or hit its deadline).
+    pub moves: u64,
+    /// `true` when the run stopped on the control's cancellation token.
+    pub cancelled: bool,
+    /// `true` when the run stopped because the deadline expired (as opposed
+    /// to completing its iteration budget or being cancelled).
+    pub hit_deadline: bool,
+}
+
 impl AnnealingFloorplanner {
     /// Creates an annealer with the given configuration.
     pub fn new(config: AnnealingConfig) -> Self {
@@ -118,6 +136,24 @@ impl AnnealingFloorplanner {
 
     /// Runs the annealer and returns the best overlap-free floorplan found.
     pub fn solve(&self, problem: &FloorplanProblem) -> Result<Floorplan, FloorplanError> {
+        let run = self.solve_with_control(problem, None, &SolveControl::default())?;
+        run.floorplan.ok_or_else(|| FloorplanError::Infeasible {
+            reason: "simulated annealing found no overlap-free placement".to_string(),
+        })
+    }
+
+    /// Runs the annealer under a [`SolveControl`] and an optional deadline.
+    ///
+    /// The move loop polls the control's cancellation token (and the
+    /// deadline) every few hundred proposals and stops early, keeping the
+    /// best floorplan found so far; improved incumbents are reported through
+    /// the control's callback with the annealing cost as the objective.
+    pub fn solve_with_control(
+        &self,
+        problem: &FloorplanProblem,
+        deadline: Option<Instant>,
+        ctl: &SolveControl,
+    ) -> Result<AnnealingRun, FloorplanError> {
         problem.validate()?;
         let cand_cfg = CandidateConfig::default();
         let mut candidates = Vec::with_capacity(problem.regions.len());
@@ -141,13 +177,31 @@ impl AnnealingFloorplanner {
                 .map(|r| rng.gen_range(0..candidates[r].len()))
                 .collect(),
         };
+        let start = Instant::now();
         let mut cost = state.cost(cfg);
         let mut best: Option<(f64, Vec<usize>)> =
             state.is_overlap_free().then(|| (cost, state.choice.clone()));
+        if best.is_some() {
+            ctl.report_incumbent("annealing", cost, 0.0);
+        }
 
         let mut temperature = cfg.initial_temperature;
         let cooling_period = (cfg.iterations / 100).max(1);
+        let mut moves = 0u64;
+        let mut cancelled = false;
+        let mut hit_deadline = false;
         for it in 0..cfg.iterations {
+            if it % 256 == 0 {
+                if ctl.cancel.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    hit_deadline = true;
+                    break;
+                }
+            }
+            moves += 1;
             let region = rng.gen_range(0..state.choice.len());
             let old_choice = state.choice[region];
             let new_choice = rng.gen_range(0..candidates[region].len());
@@ -162,6 +216,7 @@ impl AnnealingFloorplanner {
                 cost = new_cost;
                 if state.is_overlap_free() && best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
                     best = Some((cost, state.choice.clone()));
+                    ctl.report_incumbent("annealing", cost, start.elapsed().as_secs_f64());
                 }
             } else {
                 state.choice[region] = old_choice;
@@ -172,9 +227,7 @@ impl AnnealingFloorplanner {
         }
 
         let Some((_, choice)) = best else {
-            return Err(FloorplanError::Infeasible {
-                reason: "simulated annealing found no overlap-free placement".to_string(),
-            });
+            return Ok(AnnealingRun { floorplan: None, moves, cancelled, hit_deadline });
         };
         state.choice = choice;
         let mut floorplan = Floorplan::from_regions(state.rects());
@@ -187,7 +240,7 @@ impl AnnealingFloorplanner {
         if issues.iter().any(|i| !i.contains("was not identified")) {
             return Err(FloorplanError::Infeasible { reason: issues.join("; ") });
         }
-        Ok(floorplan)
+        Ok(AnnealingRun { floorplan: Some(floorplan), moves, cancelled, hit_deadline })
     }
 }
 
@@ -251,6 +304,38 @@ mod tests {
         assert_eq!(fp.fc_found(), 0);
         assert_eq!(fp.fc_areas.len(), 2);
         assert!(fp.metrics(&p).relocation_cost > 0.0);
+    }
+
+    #[test]
+    fn cancelled_annealing_stops_before_proposing_moves() {
+        let p = problem();
+        let ctl = SolveControl::default();
+        ctl.cancel.cancel();
+        let run = AnnealingFloorplanner::default().solve_with_control(&p, None, &ctl).unwrap();
+        assert!(run.cancelled);
+        assert_eq!(run.moves, 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_early_but_is_not_a_cancellation() {
+        let p = problem();
+        let run = AnnealingFloorplanner::default()
+            .solve_with_control(&p, Some(Instant::now()), &SolveControl::default())
+            .unwrap();
+        assert!(!run.cancelled);
+        assert!(run.hit_deadline);
+        assert_eq!(run.moves, 0);
+    }
+
+    #[test]
+    fn completed_runs_record_neither_deadline_nor_cancellation() {
+        let p = problem();
+        let run = AnnealingFloorplanner::default()
+            .solve_with_control(&p, None, &SolveControl::default())
+            .unwrap();
+        assert!(!run.cancelled);
+        assert!(!run.hit_deadline);
+        assert!(run.moves > 0);
     }
 
     #[test]

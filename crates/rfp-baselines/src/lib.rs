@@ -22,7 +22,9 @@
 #![deny(unsafe_code)]
 
 pub mod annealing;
+pub mod engines;
 pub mod tessellation;
 
-pub use annealing::{AnnealingConfig, AnnealingFloorplanner};
+pub use annealing::{AnnealingConfig, AnnealingFloorplanner, AnnealingRun};
+pub use engines::{full_registry, register_baselines, AnnealingEngine, TessellationEngine};
 pub use tessellation::{tessellation_floorplan, TessellationConfig};

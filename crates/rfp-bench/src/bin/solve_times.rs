@@ -19,8 +19,11 @@
 use rfp_bench::json;
 use rfp_bench::MilpSolveRow;
 use rfp_floorplan::combinatorial::{solve_combinatorial, CombinatorialConfig};
+use rfp_floorplan::engine::{
+    CombinatorialEngine, FloorplanEngine, HeuristicMilpEngine, MilpEngine, SolveControl,
+    SolveRequest,
+};
 use rfp_floorplan::model::{FloorplanMilp, MilpBuildConfig};
-use rfp_floorplan::{Floorplanner, FloorplannerConfig};
 use rfp_workloads::generator::WorkloadSpec;
 use rfp_workloads::{sdr2_problem, sdr3_problem, sdr_problem};
 
@@ -119,24 +122,26 @@ fn main() {
         stats.entities, stats.n_vars, stats.n_int_vars, stats.n_cons, stats.n_nonzeros
     );
 
-    let engines: Vec<(String, FloorplannerConfig)> = vec![
-        ("O (revised)".to_string(), FloorplannerConfig::optimal()),
-        ("O (dense baseline)".to_string(), {
-            let mut c = FloorplannerConfig::optimal();
-            c.milp.use_dense_lp = true;
-            c
-        }),
-        ("HO (revised)".to_string(), FloorplannerConfig::heuristic_optimal()),
-        ("Combinatorial".to_string(), FloorplannerConfig::combinatorial()),
+    // Every engine runs through the unified trait call path (the same one
+    // the registry, the portfolio and the `rfp` CLI use); only the engine
+    // instance differs. The dense baseline is a custom-configured instance
+    // of the same `milp` engine.
+    let dense_engine = MilpEngine::with_config(rfp_milp::SolverConfig {
+        use_dense_lp: true,
+        ..Default::default()
+    });
+    let engines: Vec<(String, Box<dyn FloorplanEngine>)> = vec![
+        ("O (revised)".to_string(), Box::new(MilpEngine::default())),
+        ("O (dense baseline)".to_string(), Box::new(dense_engine)),
+        ("HO (revised)".to_string(), Box::new(HeuristicMilpEngine::default())),
+        ("Combinatorial".to_string(), Box::new(CombinatorialEngine::default())),
     ];
+    let ctl = SolveControl::default();
     let mut milp_rows: Vec<MilpSolveRow> = Vec::new();
-    for (label, mut cfg) in engines {
-        cfg = cfg.with_time_limit(limit);
-        let row = match Floorplanner::new(cfg).solve_report(&problem) {
-            Ok(r) => MilpSolveRow::from_report(&label, &r),
-            Err(e) => MilpSolveRow::from_error(&label, &e),
-        };
-        milp_rows.push(row);
+    for (label, engine) in engines {
+        let req = SolveRequest::new(problem.clone()).with_time_limit(limit);
+        let outcome = engine.solve(&req, &ctl);
+        milp_rows.push(MilpSolveRow::from_outcome(&label, &outcome));
     }
     let milp_table: Vec<Vec<String>> = milp_rows
         .iter()

@@ -1,11 +1,14 @@
 //! Reusable report builders for the table/figure binaries.
+//!
+//! Every solve goes through the engine registry
+//! ([`rfp_baselines::engines::full_registry`]), so the harness exercises the
+//! same `FloorplanEngine::solve(request, control)` call path as the `rfp`
+//! CLI and the portfolio.
 
-use rfp_baselines::{tessellation_floorplan, TessellationConfig};
-use rfp_floorplan::combinatorial::CombinatorialConfig;
+use rfp_baselines::engines::full_registry;
+use rfp_floorplan::engine::{SolveControl, SolveOutcome, SolveRequest};
 use rfp_floorplan::feasibility::{feasibility_analysis, RegionFeasibility};
-use rfp_floorplan::{
-    Floorplan, FloorplanError, FloorplanProblem, Floorplanner, FloorplannerConfig,
-};
+use rfp_floorplan::{Floorplan, FloorplanError, FloorplanProblem};
 use rfp_workloads::sdr::{sdr2_problem, sdr3_problem, sdr_problem, sdr_region_table};
 use serde::{Deserialize, Serialize};
 
@@ -82,50 +85,38 @@ pub struct Table2Row {
 /// to proven optimality in a few seconds by the combinatorial engine, so the
 /// limit only matters on very slow machines.
 pub fn table2(time_limit_secs: f64) -> Result<(Vec<Table2Row>, Vec<Floorplan>), FloorplanError> {
+    let registry = full_registry();
+    let ctl = SolveControl::default();
     let mut rows = Vec::new();
     let mut floorplans = Vec::new();
 
-    // [8]-style baseline on the plain SDR design.
-    let sdr = sdr_problem();
-    let start = std::time::Instant::now();
-    let tess = tessellation_floorplan(&sdr, &TessellationConfig::default())?;
-    let tess_secs = start.elapsed().as_secs_f64();
-    let m = tess.metrics(&sdr);
-    rows.push(Table2Row {
-        algorithm: "[8] (tessellation baseline)".to_string(),
-        design: "SDR".to_string(),
-        fc_areas: m.fc_found,
-        wasted_frames: m.wasted_frames,
-        solve_seconds: tess_secs,
-        proven_optimal: false,
-        nodes: 0,
-        gap: f64::INFINITY,
-    });
-    floorplans.push(tess);
-
-    // [10] == PA without relocation requirements, and PA on SDR2/SDR3.
-    let configs: [(&str, &str, FloorplanProblem); 3] = [
-        ("[10] (PA without relocation)", "SDR", sdr_problem()),
-        ("PA", "SDR2", sdr2_problem()),
-        ("PA", "SDR3", sdr3_problem()),
+    // Every row goes through the same registry call path; only the engine id
+    // and the instance vary.
+    let runs: [(&str, &str, &str, FloorplanProblem); 4] = [
+        ("[8] (tessellation baseline)", "tessellation", "SDR", sdr_problem()),
+        ("[10] (PA without relocation)", "combinatorial", "SDR", sdr_problem()),
+        ("PA", "combinatorial", "SDR2", sdr2_problem()),
+        ("PA", "combinatorial", "SDR3", sdr3_problem()),
     ];
-    for (alg, design, problem) in configs {
-        let cfg = FloorplannerConfig {
-            combinatorial: CombinatorialConfig::with_time_limit(time_limit_secs),
-            ..FloorplannerConfig::combinatorial()
+    for (alg, engine_id, design, problem) in runs {
+        let engine = registry.get(engine_id).expect("engine registered");
+        let req = SolveRequest::new(problem).with_time_limit(time_limit_secs);
+        let outcome = engine.solve(&req, &ctl);
+        let Some(floorplan) = outcome.floorplan.clone() else {
+            return Err(outcome.into_error());
         };
-        let report = Floorplanner::new(cfg).solve_report(&problem)?;
+        let m = outcome.metrics.as_ref().expect("metrics accompany floorplans");
         rows.push(Table2Row {
             algorithm: alg.to_string(),
             design: design.to_string(),
-            fc_areas: report.metrics.fc_found,
-            wasted_frames: report.metrics.wasted_frames,
-            solve_seconds: report.solve_seconds,
-            proven_optimal: report.proven_optimal,
-            nodes: report.nodes,
-            gap: report.gap,
+            fc_areas: m.fc_found,
+            wasted_frames: m.wasted_frames,
+            solve_seconds: outcome.stats.solve_seconds,
+            proven_optimal: outcome.is_proven(),
+            nodes: outcome.stats.nodes,
+            gap: outcome.stats.gap,
         });
-        floorplans.push(report.floorplan);
+        floorplans.push(floorplan);
     }
     Ok((rows, floorplans))
 }
@@ -170,7 +161,10 @@ pub fn table2_markdown(rows: &[Table2Row]) -> String {
 
 /// Runs the Section VI feasibility analysis on the SDR design.
 pub fn feasibility_report() -> Result<Vec<RegionFeasibility>, FloorplanError> {
-    feasibility_analysis(&sdr_problem(), &CombinatorialConfig::default())
+    feasibility_analysis(
+        &sdr_problem(),
+        &rfp_floorplan::combinatorial::CombinatorialConfig::default(),
+    )
 }
 
 /// One MILP-engine measurement of the solve-time study: everything the BENCH
@@ -202,8 +196,11 @@ pub struct MilpSolveRow {
 }
 
 impl MilpSolveRow {
-    /// Builds a row from a floorplanner report.
-    pub fn from_report(engine: impl Into<String>, r: &rfp_floorplan::SolveReport) -> MilpSolveRow {
+    /// Builds a row from a legacy floorplanner report.
+    pub fn from_report(
+        engine: impl Into<String>,
+        r: &rfp_floorplan::FloorplanReport,
+    ) -> MilpSolveRow {
         MilpSolveRow {
             engine: engine.into(),
             outcome: Ok(r.metrics.wasted_frames),
@@ -216,6 +213,26 @@ impl MilpSolveRow {
             cuts: r.cuts,
             gap: r.gap,
             proven: r.proven_optimal,
+        }
+    }
+
+    /// Builds a row from an engine outcome (the registry call path).
+    pub fn from_outcome(engine: impl Into<String>, o: &SolveOutcome) -> MilpSolveRow {
+        MilpSolveRow {
+            engine: engine.into(),
+            outcome: match (&o.metrics, &o.detail) {
+                (Some(m), _) => Ok(m.wasted_frames),
+                (None, detail) => Err(detail.clone().unwrap_or_else(|| o.status.to_string())),
+            },
+            fc_areas: o.metrics.as_ref().map_or(0, |m| m.fc_found),
+            solve_seconds: o.stats.solve_seconds,
+            nodes: o.stats.nodes,
+            lp_iterations: o.stats.lp_iterations,
+            lp_solves: o.stats.lp_solves,
+            lp_seconds: o.stats.lp_seconds,
+            cuts: o.stats.cuts,
+            gap: o.stats.gap,
+            proven: o.is_proven(),
         }
     }
 

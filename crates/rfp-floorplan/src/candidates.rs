@@ -170,6 +170,15 @@ fn cache() -> &'static Mutex<HashMap<CacheKey, Vec<Candidate>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Whether a memoised enumeration was answered from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// The candidate list was cloned from the cache.
+    Hit,
+    /// The list was enumerated from scratch and inserted into the cache.
+    Miss,
+}
+
 /// Enumerates the candidate placements of a region, sorted by increasing
 /// waste (ties broken by x, then y, then width, then height).
 ///
@@ -183,10 +192,21 @@ pub fn enumerate_candidates(
     spec: &RegionSpec,
     config: &CandidateConfig,
 ) -> Vec<Candidate> {
+    enumerate_candidates_traced(partition, spec, config).0
+}
+
+/// [`enumerate_candidates`] plus the cache verdict of this lookup, so
+/// callers (and the cache's own tests) can observe memoisation behaviour
+/// without relying on racy global counters.
+pub fn enumerate_candidates_traced(
+    partition: &ColumnarPartition,
+    spec: &RegionSpec,
+    config: &CandidateConfig,
+) -> (Vec<Candidate>, CacheLookup) {
     let key = CacheKey::new(partition, spec, config);
     let guard = cache().lock().unwrap_or_else(|e| e.into_inner());
     if let Some(hit) = guard.get(&key) {
-        return hit.clone();
+        return (hit.clone(), CacheLookup::Hit);
     }
     drop(guard); // do not hold the lock across the expensive enumeration
     let out = enumerate_candidates_uncached(partition, spec, config);
@@ -195,7 +215,7 @@ pub fn enumerate_candidates(
         cache.clear();
     }
     cache.insert(key, out.clone());
-    out
+    (out, CacheLookup::Miss)
 }
 
 /// The memoisation-free enumeration behind [`enumerate_candidates`], exposed
@@ -394,6 +414,76 @@ mod tests {
         // A different config must not collide with the cached entry.
         let relaxed = enumerate_candidates(&p, &spec, &CandidateConfig::relaxed(100));
         assert!(relaxed.len() >= raw.len());
+    }
+
+    /// A device structurally unique to one test, so concurrent tests sharing
+    /// the process-wide cache can never collide with its keys.
+    fn unique_partition(tag: u32) -> (ColumnarPartition, rfp_device::TileTypeId) {
+        let mut b = DeviceBuilder::new(format!("cache-probe-{tag}"));
+        // An unusual frame weight namespaces the cache key (the key hashes
+        // per-column frames, not the device name).
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 1000 + tag);
+        b.rows(2).repeat_column(clb, 3);
+        (columnar_partition(&b.build().unwrap()).unwrap(), clb)
+    }
+
+    #[test]
+    fn identical_lookups_hit_the_cache() {
+        let (p, clb) = unique_partition(1);
+        let spec = RegionSpec::new("r", vec![(clb, 2)]);
+        let cfg = CandidateConfig::default();
+        let (cold, first) = enumerate_candidates_traced(&p, &spec, &cfg);
+        assert_eq!(first, CacheLookup::Miss, "first lookup of a fresh key must miss");
+        let (warm, second) = enumerate_candidates_traced(&p, &spec, &cfg);
+        assert_eq!(second, CacheLookup::Hit, "identical device+demand+config must hit");
+        assert_eq!(cold, warm);
+        // The region *name* is not part of the demand; a renamed but
+        // otherwise identical spec still hits.
+        let renamed = RegionSpec::new("other-name", vec![(clb, 2)]);
+        assert_eq!(enumerate_candidates_traced(&p, &renamed, &cfg).1, CacheLookup::Hit);
+    }
+
+    #[test]
+    fn changed_demand_config_or_device_miss_the_cache() {
+        let (p, clb) = unique_partition(2);
+        let spec = RegionSpec::new("r", vec![(clb, 2)]);
+        let cfg = CandidateConfig::default();
+        assert_eq!(enumerate_candidates_traced(&p, &spec, &cfg).1, CacheLookup::Miss);
+        assert_eq!(enumerate_candidates_traced(&p, &spec, &cfg).1, CacheLookup::Hit);
+        // Changed demand: different tile count.
+        let bigger = RegionSpec::new("r", vec![(clb, 3)]);
+        assert_eq!(enumerate_candidates_traced(&p, &bigger, &cfg).1, CacheLookup::Miss);
+        // Changed config: relaxed enumeration.
+        let relaxed = CandidateConfig::relaxed(50);
+        assert_eq!(enumerate_candidates_traced(&p, &spec, &relaxed).1, CacheLookup::Miss);
+        // Changed device structure: one more row.
+        let mut b = DeviceBuilder::new("cache-probe-2b");
+        let clb2 = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 1002);
+        b.rows(3).repeat_column(clb2, 3);
+        let taller = columnar_partition(&b.build().unwrap()).unwrap();
+        let spec2 = RegionSpec::new("r", vec![(clb2, 2)]);
+        assert_eq!(enumerate_candidates_traced(&taller, &spec2, &cfg).1, CacheLookup::Miss);
+        // The original key is still cached.
+        assert_eq!(enumerate_candidates_traced(&p, &spec, &cfg).1, CacheLookup::Hit);
+    }
+
+    #[test]
+    fn capacity_overflow_clears_stale_entries() {
+        let (p, clb) = unique_partition(3);
+        let cfg = CandidateConfig::default();
+        let first = RegionSpec::new("r", vec![(clb, 1)]);
+        assert_eq!(enumerate_candidates_traced(&p, &first, &cfg).1, CacheLookup::Miss);
+        // Insert enough distinct keys to force at least one wholesale clear
+        // after `first` was cached (the cache holds CACHE_CAPACITY entries).
+        for extra in 0..=CACHE_CAPACITY as u32 {
+            let spec = RegionSpec::new("r", vec![(clb, 2 + extra)]);
+            let _ = enumerate_candidates_traced(&p, &spec, &cfg);
+        }
+        assert_eq!(
+            enumerate_candidates_traced(&p, &first, &cfg).1,
+            CacheLookup::Miss,
+            "the capacity sweep must have evicted the first key"
+        );
     }
 
     #[test]

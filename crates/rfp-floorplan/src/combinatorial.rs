@@ -22,6 +22,7 @@
 //! reports whether optimality was proven.
 
 use crate::candidates::{enumerate_candidates, Candidate, CandidateConfig};
+use crate::engine::SolveControl;
 use crate::error::FloorplanError;
 use crate::placement::{FcPlacement, Floorplan};
 use crate::problem::{FloorplanProblem, RelocationMode};
@@ -86,6 +87,9 @@ pub struct CombinatorialResult {
     pub nodes: u64,
     /// Wall-clock seconds.
     pub solve_seconds: f64,
+    /// `true` when the search stopped because the caller's
+    /// [`SolveControl`] token was cancelled.
+    pub cancelled: bool,
 }
 
 struct SearchCtx<'a> {
@@ -96,10 +100,13 @@ struct SearchCtx<'a> {
     candidates: Vec<Vec<Candidate>>,
     /// Connections grouped for incremental wire-length computation.
     config: &'a CombinatorialConfig,
+    ctl: &'a SolveControl,
+    start: Instant,
     deadline: Option<Instant>,
     node_limit: u64,
     nodes: u64,
     aborted: bool,
+    cancelled: bool,
     /// Current partial placement, indexed by region id.
     placed: Vec<Option<Rect>>,
     best: Option<(u64, f64, Floorplan)>,
@@ -114,6 +121,11 @@ impl<'a> SearchCtx<'a> {
         }
         if self.node_limit > 0 && self.nodes >= self.node_limit {
             self.aborted = true;
+            return true;
+        }
+        if self.nodes.is_multiple_of(64) && self.ctl.cancel.is_cancelled() {
+            self.aborted = true;
+            self.cancelled = true;
             return true;
         }
         if let Some(d) = self.deadline {
@@ -273,6 +285,11 @@ impl<'a> SearchCtx<'a> {
             };
             if better {
                 self.best = Some((waste_so_far, wl, floorplan));
+                self.ctl.report_incumbent(
+                    "combinatorial",
+                    waste_so_far as f64,
+                    self.start.elapsed().as_secs_f64(),
+                );
             }
             if self.config.first_feasible {
                 // Unwind the whole search: the caller reports `proven: false`.
@@ -301,9 +318,36 @@ impl<'a> SearchCtx<'a> {
 }
 
 /// Solves a floorplanning problem with the combinatorial engine.
+///
+/// A budget (node/time/cancellation) that expires before any floorplan is
+/// found maps to [`FloorplanError::LimitReached`]; use
+/// [`solve_combinatorial_with_control`] to keep the partial-run statistics
+/// in that case.
 pub fn solve_combinatorial(
     problem: &FloorplanProblem,
     config: &CombinatorialConfig,
+) -> Result<CombinatorialResult, FloorplanError> {
+    match solve_combinatorial_with_control(problem, config, &SolveControl::default()) {
+        Ok(res) if res.floorplan.is_none() && !res.proven => Err(FloorplanError::LimitReached),
+        other => other,
+    }
+}
+
+/// Solves a floorplanning problem with the combinatorial engine under a
+/// [`SolveControl`]: the search polls the control's cancellation token in
+/// its inner loop and reports every improved incumbent (waste objective)
+/// through the control's callback.
+///
+/// Unlike [`solve_combinatorial`], a budget that expires before any
+/// floorplan is found is *not* an error here: it returns `Ok` with
+/// `floorplan: None` and `proven: false`, so the nodes explored, the wall
+/// clock spent and the cancellation flag survive for engine-level
+/// reporting. `Ok` with `floorplan: None` and `proven: true` means the
+/// search space was exhausted — the instance is infeasible.
+pub fn solve_combinatorial_with_control(
+    problem: &FloorplanProblem,
+    config: &CombinatorialConfig,
+    ctl: &SolveControl,
 ) -> Result<CombinatorialResult, FloorplanError> {
     problem.validate()?;
     let start = Instant::now();
@@ -340,19 +384,26 @@ pub fn solve_combinatorial(
         order,
         candidates,
         config,
+        ctl,
+        start,
         deadline,
         node_limit: config.node_limit,
         nodes: 0,
         aborted: false,
+        cancelled: ctl.cancel.is_cancelled(),
         placed: vec![None; problem.regions.len()],
         best: None,
         min_waste,
     };
-
-    ctx.dfs(0, 0);
+    if ctx.cancelled {
+        ctx.aborted = true;
+    } else {
+        ctx.dfs(0, 0);
+    }
 
     let proven = !ctx.aborted;
     let nodes = ctx.nodes;
+    let cancelled = ctx.cancelled;
     let solve_seconds = start.elapsed().as_secs_f64();
     match ctx.best {
         Some((waste, wl, floorplan)) => Ok(CombinatorialResult {
@@ -362,21 +413,17 @@ pub fn solve_combinatorial(
             proven: proven && !config.first_feasible,
             nodes,
             solve_seconds,
+            cancelled,
         }),
-        None => {
-            if proven {
-                Ok(CombinatorialResult {
-                    floorplan: None,
-                    best_waste: None,
-                    best_wirelength: None,
-                    proven: true,
-                    nodes,
-                    solve_seconds,
-                })
-            } else {
-                Err(FloorplanError::LimitReached)
-            }
-        }
+        None => Ok(CombinatorialResult {
+            floorplan: None,
+            best_waste: None,
+            best_wirelength: None,
+            proven,
+            nodes,
+            solve_seconds,
+            cancelled,
+        }),
     }
 }
 
@@ -511,6 +558,46 @@ mod tests {
         let fp = res.floorplan.unwrap();
         assert!(fp.validate(&p).is_empty());
         assert!(!res.proven, "first-feasible mode does not prove optimality");
+    }
+
+    #[test]
+    fn pre_cancelled_control_aborts_before_searching() {
+        let (mut p, clb, bram, _) = small_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        let ctl = SolveControl::default();
+        ctl.cancel.cancel();
+        let res = solve_combinatorial_with_control(&p, &CombinatorialConfig::default(), &ctl)
+            .expect("budget exhaustion is not an error under a control");
+        assert!(res.floorplan.is_none());
+        assert!(!res.proven);
+        assert!(res.cancelled);
+        // The legacy wrapper still maps this case to an error.
+        assert!(matches!(
+            solve_combinatorial(&p, &CombinatorialConfig { node_limit: 1, ..Default::default() }),
+            Err(FloorplanError::LimitReached)
+        ));
+    }
+
+    #[test]
+    fn incumbents_are_reported_through_the_control() {
+        use std::sync::{Arc, Mutex};
+        let (mut p, clb, bram, _) = small_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 4)]));
+        let seen: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let ctl = SolveControl {
+            cancel: Default::default(),
+            on_incumbent: Some(Arc::new(move |e: &crate::engine::IncumbentEvent| {
+                assert_eq!(e.engine, "combinatorial");
+                sink.lock().unwrap().push(e.objective);
+            })),
+        };
+        let res =
+            solve_combinatorial_with_control(&p, &CombinatorialConfig::default(), &ctl).unwrap();
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty());
+        assert_eq!(*seen.last().unwrap(), res.best_waste.unwrap() as f64);
     }
 
     #[test]

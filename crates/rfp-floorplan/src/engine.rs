@@ -1,0 +1,935 @@
+//! The engine-agnostic solve API.
+//!
+//! The paper's contribution is that *several* solution strategies — the
+//! exact MILP (`O`), the LP-guided heuristic (`HO`), the combinatorial
+//! branch-and-bound, and the relocation-unaware baselines — attack the same
+//! relocation-aware formulation. This module gives them a single contract:
+//!
+//! * [`SolveRequest`] — what to solve: the problem, optional objective-weight
+//!   overrides, wall-clock/node budgets and a warm-start hint;
+//! * [`SolveControl`] — how the run is steered while in flight: a shareable
+//!   [`CancelToken`] polled by every engine's inner loop plus an optional
+//!   incumbent-progress callback;
+//! * [`SolveOutcome`] — the unified result: a four-state status
+//!   ([`OutcomeStatus`]), the floorplan/metrics when one was found, and
+//!   engine-tagged [`EngineStats`];
+//! * [`FloorplanEngine`] — the trait every engine implements;
+//! * [`EngineRegistry`] — string-keyed lookup (`"milp"`, `"ho"`,
+//!   `"combinatorial"`, plus the baselines registered by `rfp-baselines`).
+//!
+//! The [`crate::portfolio`] module builds engine racing on top of this
+//! contract, and the `rfp` CLI drives it from JSON problem files
+//! ([`crate::jsonio`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+//! use rfp_floorplan::engine::{EngineRegistry, SolveControl, SolveRequest};
+//! use rfp_floorplan::problem::{FloorplanProblem, RegionSpec};
+//!
+//! let mut b = DeviceBuilder::new("demo");
+//! let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+//! let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+//! b.rows(3).columns(&[clb, clb, bram, clb]);
+//! let mut problem = FloorplanProblem::new(columnar_partition(&b.build().unwrap()).unwrap());
+//! problem.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+//!
+//! let registry = EngineRegistry::builtin();
+//! let engine = registry.get("combinatorial").unwrap();
+//! let outcome = engine.solve(&SolveRequest::new(problem), &SolveControl::default());
+//! assert!(outcome.is_proven());
+//! assert!(outcome.floorplan.is_some());
+//! ```
+
+use crate::combinatorial::{solve_combinatorial_with_control, CombinatorialConfig};
+use crate::error::FloorplanError;
+use crate::heuristic::greedy_floorplan_fast;
+use crate::model::{FloorplanMilp, MilpBuildConfig, ModelStats};
+use crate::placement::{Floorplan, Metrics};
+use crate::problem::{FloorplanProblem, ObjectiveWeights};
+use crate::sequence_pair::extract_relations;
+use rfp_milp::{Solver as MilpSolver, SolverConfig as MilpSolverConfig};
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use rfp_milp::CancelToken;
+
+/// A self-contained solve request: the problem plus the run's budgets and
+/// hints. The same request can be handed to any engine — or to several at
+/// once by [`crate::portfolio::Portfolio`].
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The problem to solve.
+    pub problem: FloorplanProblem,
+    /// Objective-weight override; `None` uses the problem's own weights.
+    pub weights: Option<ObjectiveWeights>,
+    /// Wall-clock budget in seconds; `0` defers to the engine's own
+    /// configuration (which may be unlimited).
+    pub time_limit_secs: f64,
+    /// Search-node budget; `0` defers to the engine's own configuration.
+    /// Engines without a node-based search (annealing, tessellation) ignore
+    /// it.
+    pub node_limit: u64,
+    /// Warm-start hint: a known-good floorplan used as the initial incumbent
+    /// (MILP engines) or as the HO restriction seed. Invalid hints are
+    /// ignored.
+    pub warm_start: Option<Floorplan>,
+}
+
+impl SolveRequest {
+    /// A request with no budgets and no hints.
+    pub fn new(problem: FloorplanProblem) -> Self {
+        SolveRequest {
+            problem,
+            weights: None,
+            time_limit_secs: 0.0,
+            node_limit: 0,
+            warm_start: None,
+        }
+    }
+
+    /// Sets the wall-clock budget (seconds).
+    pub fn with_time_limit(mut self, secs: f64) -> Self {
+        self.time_limit_secs = secs;
+        self
+    }
+
+    /// Sets the search-node budget.
+    pub fn with_node_limit(mut self, nodes: u64) -> Self {
+        self.node_limit = nodes;
+        self
+    }
+
+    /// Sets the warm-start hint.
+    pub fn with_warm_start(mut self, floorplan: Floorplan) -> Self {
+        self.warm_start = Some(floorplan);
+        self
+    }
+
+    /// Sets an objective-weight override.
+    pub fn with_weights(mut self, weights: ObjectiveWeights) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// The problem with the weight override applied (borrowed when there is
+    /// nothing to override).
+    pub fn effective_problem(&self) -> Cow<'_, FloorplanProblem> {
+        match self.weights {
+            None => Cow::Borrowed(&self.problem),
+            Some(w) => {
+                let mut p = self.problem.clone();
+                p.weights = w;
+                Cow::Owned(p)
+            }
+        }
+    }
+}
+
+/// A new-incumbent notification delivered through
+/// [`SolveControl::on_incumbent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncumbentEvent {
+    /// Id of the reporting engine.
+    pub engine: &'static str,
+    /// Engine-scale objective of the new incumbent (lower is better): the
+    /// MILP objective for the MILP engines, wasted frames for the
+    /// combinatorial engine, the annealing cost for the annealer.
+    pub objective: f64,
+    /// Seconds since the engine's solve started.
+    pub seconds: f64,
+}
+
+/// Callback type for incumbent-progress notifications.
+pub type IncumbentCallback = Arc<dyn Fn(&IncumbentEvent) + Send + Sync>;
+
+/// Run-time control handed to [`FloorplanEngine::solve`]: cooperative
+/// cancellation plus optional progress reporting. Cloning shares the same
+/// cancellation flag.
+#[derive(Clone, Default)]
+pub struct SolveControl {
+    /// Cancellation flag polled by the engines' inner loops (including the
+    /// branch-and-bound of `rfp-milp` and the combinatorial DFS).
+    pub cancel: CancelToken,
+    /// Invoked every time the engine finds a strictly better incumbent.
+    pub on_incumbent: Option<IncumbentCallback>,
+}
+
+impl fmt::Debug for SolveControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveControl")
+            .field("cancel", &self.cancel)
+            .field("on_incumbent", &self.on_incumbent.as_ref().map(|_| "Fn"))
+            .finish()
+    }
+}
+
+impl SolveControl {
+    /// A control whose token is shared with `cancel`.
+    pub fn with_cancel(cancel: CancelToken) -> Self {
+        SolveControl { cancel, on_incumbent: None }
+    }
+
+    /// Delivers an incumbent event to the callback, if any.
+    pub fn report_incumbent(&self, engine: &'static str, objective: f64, seconds: f64) {
+        if let Some(cb) = &self.on_incumbent {
+            cb(&IncumbentEvent { engine, objective, seconds });
+        }
+    }
+}
+
+/// Final status of an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeStatus {
+    /// A floorplan was found and proven optimal with respect to the engine's
+    /// search space (for `ho` that is the restricted space; heuristics never
+    /// report this).
+    Proven,
+    /// A floorplan was found but optimality was not established.
+    Feasible,
+    /// The engine established that no feasible floorplan exists (exact
+    /// engines), or could not produce one at all (heuristics).
+    Infeasible,
+    /// The node/time budget was exhausted — or the run was cancelled — before
+    /// any floorplan was found; feasibility is unknown.
+    BudgetExhausted,
+}
+
+impl OutcomeStatus {
+    /// `true` when a floorplan is available ([`OutcomeStatus::Proven`] or
+    /// [`OutcomeStatus::Feasible`]).
+    pub fn has_floorplan(self) -> bool {
+        matches!(self, OutcomeStatus::Proven | OutcomeStatus::Feasible)
+    }
+}
+
+impl fmt::Display for OutcomeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OutcomeStatus::Proven => "proven",
+            OutcomeStatus::Feasible => "feasible",
+            OutcomeStatus::Infeasible => "infeasible",
+            OutcomeStatus::BudgetExhausted => "budget-exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Engine-tagged solve statistics, uniform across engines (LP fields are
+/// zero for the non-MILP engines).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Id of the engine that produced the outcome.
+    pub engine: String,
+    /// Search nodes explored (annealing reports proposed moves).
+    pub nodes: u64,
+    /// Wall-clock seconds spent solving.
+    pub solve_seconds: f64,
+    /// Simplex iterations across all LP relaxations (MILP engines).
+    pub lp_iterations: u64,
+    /// LP (re-)solves performed (MILP engines).
+    pub lp_solves: u64,
+    /// Seconds spent inside LP solves (MILP engines).
+    pub lp_seconds: f64,
+    /// Cutting planes separated at the root (MILP engines).
+    pub cuts: u64,
+    /// Relative optimality gap at termination (0 when proven,
+    /// `f64::INFINITY` when no bound is available).
+    pub gap: f64,
+    /// `true` when the run observed a cancellation through its
+    /// [`SolveControl`] token.
+    pub cancelled: bool,
+    /// MILP model statistics (MILP engines only).
+    pub model_stats: Option<ModelStats>,
+}
+
+impl EngineStats {
+    /// Zeroed statistics tagged with an engine id.
+    pub fn new(engine: impl Into<String>) -> Self {
+        EngineStats {
+            engine: engine.into(),
+            nodes: 0,
+            solve_seconds: 0.0,
+            lp_iterations: 0,
+            lp_solves: 0,
+            lp_seconds: 0.0,
+            cuts: 0,
+            gap: f64::INFINITY,
+            cancelled: false,
+            model_stats: None,
+        }
+    }
+}
+
+/// The unified result of an engine run. This supersedes the two historical
+/// report types (`rfp_floorplan`'s solver report and `rfp_milp`'s solution)
+/// as the cross-engine currency; the legacy `FloorplanReport` is derived
+/// from it by the deprecated `Floorplanner` facade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// Final status.
+    pub status: OutcomeStatus,
+    /// The floorplan, when [`OutcomeStatus::has_floorplan`] holds.
+    pub floorplan: Option<Floorplan>,
+    /// Evaluation metrics of the floorplan.
+    pub metrics: Option<Metrics>,
+    /// Human-readable detail for [`OutcomeStatus::Infeasible`] /
+    /// [`OutcomeStatus::BudgetExhausted`].
+    pub detail: Option<String>,
+    /// Engine-tagged statistics.
+    pub stats: EngineStats,
+}
+
+impl SolveOutcome {
+    /// An outcome with no floorplan.
+    pub fn without_floorplan(
+        status: OutcomeStatus,
+        detail: impl Into<String>,
+        stats: EngineStats,
+    ) -> Self {
+        SolveOutcome { status, floorplan: None, metrics: None, detail: Some(detail.into()), stats }
+    }
+
+    /// `true` when the engine proved optimality.
+    pub fn is_proven(&self) -> bool {
+        self.status == OutcomeStatus::Proven
+    }
+
+    /// Wasted frames of the floorplan, if one was found.
+    pub fn wasted_frames(&self) -> Option<u64> {
+        self.metrics.as_ref().map(|m| m.wasted_frames)
+    }
+
+    /// Converts the outcome into the legacy `Result` shape: the floorplan on
+    /// success, a [`FloorplanError`] otherwise.
+    pub fn into_result(self) -> Result<Floorplan, FloorplanError> {
+        match self.floorplan {
+            Some(fp) => Ok(fp),
+            None => Err(self.into_error()),
+        }
+    }
+
+    /// The error equivalent of a floorplan-less outcome.
+    pub fn into_error(self) -> FloorplanError {
+        match self.status {
+            OutcomeStatus::Infeasible => FloorplanError::Infeasible {
+                reason: self.detail.unwrap_or_else(|| "no feasible floorplan exists".to_string()),
+            },
+            _ => FloorplanError::LimitReached,
+        }
+    }
+}
+
+/// A floorplanning engine: anything that can turn a [`SolveRequest`] into a
+/// [`SolveOutcome`] under a [`SolveControl`].
+///
+/// Engines are `Send + Sync` so a [`crate::portfolio::Portfolio`] can race
+/// them on threads; implementations must poll [`SolveControl::cancel`] in
+/// their inner loops and return promptly once it fires.
+pub trait FloorplanEngine: Send + Sync {
+    /// Stable string id used by [`EngineRegistry`] and the `rfp` CLI.
+    fn id(&self) -> &'static str;
+
+    /// One-line human description.
+    fn description(&self) -> &'static str;
+
+    /// Solves the request. Never panics on infeasible or over-budget runs —
+    /// those are [`OutcomeStatus`] values, not errors.
+    fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome;
+}
+
+/// String-keyed engine registry.
+///
+/// [`EngineRegistry::builtin`] registers the three engines of this crate
+/// (`milp`, `ho`, `combinatorial`); `rfp_baselines::engines::full_registry`
+/// adds `annealing` and `tessellation`. Registering an engine with an
+/// existing id replaces it, so callers can override a default engine with a
+/// custom-configured instance.
+#[derive(Clone, Default)]
+pub struct EngineRegistry {
+    engines: Vec<Arc<dyn FloorplanEngine>>,
+}
+
+impl fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.engines.iter().map(|e| e.id())).finish()
+    }
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        EngineRegistry::default()
+    }
+
+    /// The engines implemented by this crate, with default configurations:
+    /// `milp`, `ho` and `combinatorial`.
+    pub fn builtin() -> Self {
+        let mut r = EngineRegistry::empty();
+        r.register(Arc::new(MilpEngine::default()));
+        r.register(Arc::new(HeuristicMilpEngine::default()));
+        r.register(Arc::new(CombinatorialEngine::default()));
+        r
+    }
+
+    /// Registers an engine, replacing any previous engine with the same id.
+    pub fn register(&mut self, engine: Arc<dyn FloorplanEngine>) {
+        self.engines.retain(|e| e.id() != engine.id());
+        self.engines.push(engine);
+    }
+
+    /// Looks an engine up by id.
+    pub fn get(&self, id: &str) -> Option<Arc<dyn FloorplanEngine>> {
+        self.engines.iter().find(|e| e.id() == id).cloned()
+    }
+
+    /// Registered ids, in registration order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.id()).collect()
+    }
+
+    /// Iterates over the registered engines.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn FloorplanEngine>> {
+        self.engines.iter()
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// `true` when no engine is registered.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in engines.
+// ---------------------------------------------------------------------------
+
+/// The exact MILP engine (`O`): the full relocation-aware model solved by the
+/// from-scratch branch-and-bound of `rfp-milp`, warm-started from a greedy
+/// floorplan. Practical for small and mid-size instances.
+#[derive(Debug, Clone, Default)]
+pub struct MilpEngine {
+    /// Base MILP solver configuration; the request's budgets override its
+    /// node/time limits.
+    pub config: MilpSolverConfig,
+}
+
+impl MilpEngine {
+    /// An engine with a custom solver configuration.
+    pub fn with_config(config: MilpSolverConfig) -> Self {
+        MilpEngine { config }
+    }
+}
+
+impl FloorplanEngine for MilpEngine {
+    fn id(&self) -> &'static str {
+        "milp"
+    }
+
+    fn description(&self) -> &'static str {
+        "exact MILP (algorithm O): full relocation-aware model, from-scratch branch and bound"
+    }
+
+    fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
+        solve_milp_engine(self.id(), &self.config, false, req, ctl)
+    }
+}
+
+/// The LP-guided heuristic engine (`HO`): the MILP restricted by the
+/// sequence pair of a greedy seed, which shrinks the search space by orders
+/// of magnitude at the cost of possible sub-optimality.
+#[derive(Debug, Clone, Default)]
+pub struct HeuristicMilpEngine {
+    /// Base MILP solver configuration; the request's budgets override its
+    /// node/time limits.
+    pub config: MilpSolverConfig,
+}
+
+impl HeuristicMilpEngine {
+    /// An engine with a custom solver configuration.
+    pub fn with_config(config: MilpSolverConfig) -> Self {
+        HeuristicMilpEngine { config }
+    }
+}
+
+impl FloorplanEngine for HeuristicMilpEngine {
+    fn id(&self) -> &'static str {
+        "ho"
+    }
+
+    fn description(&self) -> &'static str {
+        "LP-guided heuristic (algorithm HO): MILP restricted by a greedy sequence pair"
+    }
+
+    fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
+        solve_milp_engine(self.id(), &self.config, true, req, ctl)
+    }
+}
+
+/// The exact combinatorial engine: columnar branch-and-bound over candidate
+/// rectangles; the engine that solves the full-die SDR instances.
+#[derive(Debug, Clone, Default)]
+pub struct CombinatorialEngine {
+    /// Base search configuration; the request's budgets override its
+    /// node/time limits.
+    pub config: CombinatorialConfig,
+}
+
+impl CombinatorialEngine {
+    /// An engine with a custom search configuration.
+    pub fn with_config(config: CombinatorialConfig) -> Self {
+        CombinatorialEngine { config }
+    }
+}
+
+impl FloorplanEngine for CombinatorialEngine {
+    fn id(&self) -> &'static str {
+        "combinatorial"
+    }
+
+    fn description(&self) -> &'static str {
+        "exact columnar branch and bound over candidate rectangles (full-die scale)"
+    }
+
+    fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
+        let problem = req.effective_problem();
+        let mut stats = EngineStats::new(self.id());
+        if let Err(e) = problem.validate() {
+            stats.cancelled = ctl.cancel.is_cancelled();
+            return SolveOutcome::without_floorplan(
+                OutcomeStatus::Infeasible,
+                e.to_string(),
+                stats,
+            );
+        }
+        let mut cfg = self.config.clone();
+        if req.time_limit_secs > 0.0 {
+            cfg.time_limit_secs = req.time_limit_secs;
+        }
+        if req.node_limit > 0 {
+            cfg.node_limit = req.node_limit;
+        }
+        let res = match solve_combinatorial_with_control(&problem, &cfg, ctl) {
+            Ok(res) => res,
+            Err(e) => {
+                // Only problem-level errors reach here (validation failures,
+                // impossible requirements); an exhausted budget is an `Ok`
+                // with no floorplan.
+                stats.cancelled = ctl.cancel.is_cancelled();
+                return SolveOutcome::without_floorplan(
+                    OutcomeStatus::Infeasible,
+                    e.to_string(),
+                    stats,
+                );
+            }
+        };
+        stats.nodes = res.nodes;
+        stats.solve_seconds = res.solve_seconds;
+        stats.cancelled = res.cancelled;
+        stats.gap = if res.proven { 0.0 } else { f64::INFINITY };
+        match res.floorplan {
+            Some(fp) => {
+                let metrics = fp.metrics(&problem);
+                SolveOutcome {
+                    status: if res.proven {
+                        OutcomeStatus::Proven
+                    } else {
+                        OutcomeStatus::Feasible
+                    },
+                    floorplan: Some(fp),
+                    metrics: Some(metrics),
+                    detail: None,
+                    stats,
+                }
+            }
+            None if res.proven => SolveOutcome::without_floorplan(
+                OutcomeStatus::Infeasible,
+                "the combinatorial search exhausted the space without a feasible floorplan",
+                stats,
+            ),
+            None => SolveOutcome::without_floorplan(
+                OutcomeStatus::BudgetExhausted,
+                "search budget exhausted before any feasible floorplan was found",
+                stats,
+            ),
+        }
+    }
+}
+
+/// Shared implementation of the two MILP-backed engines.
+fn solve_milp_engine(
+    engine_id: &'static str,
+    base: &MilpSolverConfig,
+    restricted: bool,
+    req: &SolveRequest,
+    ctl: &SolveControl,
+) -> SolveOutcome {
+    let problem = req.effective_problem();
+    let mut stats = EngineStats::new(engine_id);
+    if let Err(e) = problem.validate() {
+        stats.cancelled = ctl.cancel.is_cancelled();
+        return SolveOutcome::without_floorplan(OutcomeStatus::Infeasible, e.to_string(), stats);
+    }
+
+    let engine_start = std::time::Instant::now();
+    let mut cfg = base.clone();
+    if req.node_limit > 0 {
+        cfg.max_nodes = req.node_limit as usize;
+    }
+    cfg.cancel = ctl.cancel.clone();
+
+    // A valid caller-supplied floorplan doubles as warm start and (for HO)
+    // restriction seed; invalid hints are dropped.
+    let hint = req.warm_start.clone().filter(|fp| fp.validate(&problem).is_empty());
+
+    let seed = if restricted {
+        // HO needs a seed whose sequence pair restricts the model. Greedy
+        // first, then the complete first-feasible search (which honours the
+        // budget and the cancellation token). Incumbents it reports are
+        // re-tagged with this engine's id.
+        match hint.clone().or_else(|| greedy_floorplan_fast(&problem)) {
+            Some(fp) => Some(fp),
+            None => {
+                let seed_ctl = SolveControl {
+                    cancel: ctl.cancel.clone(),
+                    on_incumbent: ctl.on_incumbent.clone().map(|cb| {
+                        Arc::new(move |e: &IncumbentEvent| {
+                            cb(&IncumbentEvent { engine: engine_id, ..*e })
+                        }) as IncumbentCallback
+                    }),
+                };
+                let seed_cfg = CombinatorialConfig {
+                    first_feasible: true,
+                    time_limit_secs: req.time_limit_secs,
+                    ..CombinatorialConfig::default()
+                };
+                match solve_combinatorial_with_control(&problem, &seed_cfg, &seed_ctl) {
+                    Ok(res) if res.floorplan.is_some() => res.floorplan,
+                    Ok(res) => {
+                        stats.nodes = res.nodes;
+                        stats.solve_seconds = res.solve_seconds;
+                        stats.cancelled = res.cancelled || ctl.cancel.is_cancelled();
+                        // A proven empty search means the instance itself is
+                        // infeasible; otherwise the budget ran out first.
+                        let (status, detail) = if res.proven {
+                            (
+                                OutcomeStatus::Infeasible,
+                                "the seed search exhausted the space without a \
+                                 feasible floorplan",
+                            )
+                        } else {
+                            (
+                                OutcomeStatus::BudgetExhausted,
+                                "no seed floorplan found for the HO restriction \
+                                 within the budget",
+                            )
+                        };
+                        return SolveOutcome::without_floorplan(status, detail, stats);
+                    }
+                    Err(e) => {
+                        stats.cancelled = ctl.cancel.is_cancelled();
+                        return SolveOutcome::without_floorplan(
+                            OutcomeStatus::Infeasible,
+                            e.to_string(),
+                            stats,
+                        );
+                    }
+                }
+            }
+        }
+    } else {
+        None
+    };
+
+    // The request's wall-clock budget covers the whole engine run: the MILP
+    // search gets whatever the seed phase left over.
+    if req.time_limit_secs > 0.0 {
+        let remaining = (req.time_limit_secs - engine_start.elapsed().as_secs_f64()).max(0.01);
+        cfg.time_limit = Some(Duration::from_secs_f64(remaining));
+    }
+
+    // The warm start never restricts the search space — it only gives the
+    // branch-and-bound an initial incumbent to prune against, which is what
+    // makes the indicator-heavy floorplanning models tractable for the
+    // from-scratch solver.
+    let warm = hint.or_else(|| seed.clone()).or_else(|| greedy_floorplan_fast(&problem));
+
+    let build_cfg = match &seed {
+        None => MilpBuildConfig::optimal(),
+        Some(seed) => {
+            // The sequence pair covers the regions and, when all requested
+            // areas were reserved by the seed, also the free-compatible
+            // pseudo-regions (Section II-A). If the seed could not reserve
+            // every area, restrict only the region pairs.
+            let rects = if seed.fc_found() == problem.n_fc_areas() {
+                seed.occupied()
+            } else {
+                seed.regions.clone()
+            };
+            MilpBuildConfig::heuristic_optimal(extract_relations(&rects))
+        }
+    };
+    let model = FloorplanMilp::build(&problem, &build_cfg);
+    stats.model_stats = Some(model.stats());
+    let solver = MilpSolver::new(cfg);
+    let start = warm.and_then(|fp| model.encode(&problem, &fp));
+    let progress = |obj: f64, secs: f64| ctl.report_incumbent(engine_id, obj, secs);
+    let solution = solver.solve_controlled(&model.milp, start.as_deref(), Some(&progress));
+
+    stats.nodes = solution.nodes as u64;
+    stats.solve_seconds = solution.solve_seconds;
+    stats.lp_iterations = solution.lp_iterations as u64;
+    stats.lp_solves = solution.lp_solves as u64;
+    stats.lp_seconds = solution.lp_seconds;
+    stats.cuts = solution.cuts as u64;
+    stats.gap = solution.gap();
+    stats.cancelled = solution.cancelled || ctl.cancel.is_cancelled();
+
+    if !solution.status.has_solution() {
+        return match solution.status {
+            rfp_milp::SolveStatus::Infeasible => SolveOutcome::without_floorplan(
+                OutcomeStatus::Infeasible,
+                "the MILP model is infeasible",
+                stats,
+            ),
+            _ => SolveOutcome::without_floorplan(
+                OutcomeStatus::BudgetExhausted,
+                "solver budget exhausted before a feasible floorplan was found",
+                stats,
+            ),
+        };
+    }
+    let floorplan = model.extract(&solution);
+    let issues = floorplan.validate(&problem);
+    if !issues.is_empty() {
+        // A solution that passes the MILP but fails the independent validator
+        // indicates numerical trouble; report it rather than returning a
+        // bogus floorplan.
+        return SolveOutcome::without_floorplan(
+            OutcomeStatus::Infeasible,
+            format!("extracted floorplan failed validation: {}", issues.join("; ")),
+            stats,
+        );
+    }
+    let metrics = floorplan.metrics(&problem);
+    SolveOutcome {
+        status: if solution.status == rfp_milp::SolveStatus::Optimal {
+            OutcomeStatus::Proven
+        } else {
+            OutcomeStatus::Feasible
+        },
+        floorplan: Some(floorplan),
+        metrics: Some(metrics),
+        detail: None,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RegionSpec, RelocationRequest};
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use std::sync::Mutex;
+
+    fn tiny_problem() -> (FloorplanProblem, rfp_device::TileTypeId, rfp_device::TileTypeId) {
+        let mut b = DeviceBuilder::new("engine-tiny");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        b.rows(3).columns(&[clb, clb, bram, clb, clb]);
+        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        (FloorplanProblem::new(p), clb, bram)
+    }
+
+    #[test]
+    fn builtin_registry_exposes_three_engines() {
+        let r = EngineRegistry::builtin();
+        assert_eq!(r.ids(), vec!["milp", "ho", "combinatorial"]);
+        assert!(r.get("combinatorial").is_some());
+        assert!(r.get("nonsense").is_none());
+        assert!(!r.is_empty());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn registering_an_engine_with_the_same_id_replaces_it() {
+        let mut r = EngineRegistry::builtin();
+        let custom = CombinatorialEngine::with_config(CombinatorialConfig::feasibility());
+        r.register(Arc::new(custom));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.ids(), vec!["milp", "ho", "combinatorial"]);
+    }
+
+    #[test]
+    fn every_builtin_engine_solves_a_tiny_instance() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let req = SolveRequest::new(p.clone()).with_time_limit(60.0);
+        let registry = EngineRegistry::builtin();
+        for id in registry.ids() {
+            let outcome = registry.get(id).unwrap().solve(&req, &SolveControl::default());
+            assert!(outcome.status.has_floorplan(), "{id} failed: {:?}", outcome.detail);
+            let fp = outcome.floorplan.as_ref().unwrap();
+            assert!(fp.validate(&p).is_empty(), "{id} returned an invalid floorplan");
+            assert_eq!(outcome.stats.engine, id);
+        }
+    }
+
+    #[test]
+    fn exact_engines_agree_and_report_proven() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let req = SolveRequest::new(p);
+        let registry = EngineRegistry::builtin();
+        let comb = registry.get("combinatorial").unwrap().solve(&req, &SolveControl::default());
+        let milp = registry.get("milp").unwrap().solve(&req, &SolveControl::default());
+        assert!(comb.is_proven());
+        assert!(milp.is_proven());
+        assert_eq!(comb.wasted_frames(), milp.wasted_frames());
+        assert!(milp.stats.model_stats.is_some());
+        assert!(comb.stats.model_stats.is_none());
+    }
+
+    #[test]
+    fn infeasible_problems_report_infeasible_not_panic() {
+        let (mut p, _, bram) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(bram, 2)]));
+        p.add_region(RegionSpec::new("B", vec![(bram, 2)]));
+        let req = SolveRequest::new(p);
+        let outcome = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&req, &SolveControl::default());
+        assert_eq!(outcome.status, OutcomeStatus::Infeasible);
+        assert!(outcome.floorplan.is_none());
+        assert!(matches!(outcome.into_result(), Err(FloorplanError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn request_node_budget_overrides_the_engine_config() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let req = SolveRequest::new(p).with_node_limit(1);
+        let outcome = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&req, &SolveControl::default());
+        // One node is not enough to reach a leaf of this search.
+        assert_eq!(outcome.status, OutcomeStatus::BudgetExhausted);
+        assert!(matches!(outcome.into_result(), Err(FloorplanError::LimitReached)));
+    }
+
+    #[test]
+    fn pre_cancelled_control_stops_every_engine() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        let ctl = SolveControl::default();
+        ctl.cancel.cancel();
+        let registry = EngineRegistry::builtin();
+        for id in ["milp", "combinatorial"] {
+            let outcome = registry.get(id).unwrap().solve(&SolveRequest::new(p.clone()), &ctl);
+            assert!(outcome.stats.cancelled, "{id} must observe the cancellation");
+        }
+    }
+
+    #[test]
+    fn weight_override_is_applied_to_the_metrics() {
+        let (mut p, clb, _) = tiny_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 1)]));
+        let b = p.add_region(RegionSpec::new("B", vec![(clb, 1)]));
+        p.connect(a, b, 10.0);
+        let req = SolveRequest::new(p).with_weights(ObjectiveWeights::wirelength_only());
+        let outcome = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&req, &SolveControl::default());
+        let m = outcome.metrics.unwrap();
+        // With wirelength-only weights the objective is exactly the
+        // normalised wire-length term.
+        let expected = m.wirelength / req.effective_problem().wl_max();
+        assert!((m.objective - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incumbent_callback_fires_for_the_combinatorial_engine() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let events: Arc<Mutex<Vec<IncumbentEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        let ctl = SolveControl {
+            cancel: CancelToken::new(),
+            on_incumbent: Some(Arc::new(move |e: &IncumbentEvent| {
+                sink.lock().unwrap().push(*e);
+            })),
+        };
+        let outcome = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&SolveRequest::new(p), &ctl);
+        assert!(outcome.is_proven());
+        let events = events.lock().unwrap();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.engine == "combinatorial"));
+        // Waste-objective improvements are monotone non-increasing.
+        for w in events.windows(2) {
+            assert!(w[1].objective <= w[0].objective);
+        }
+    }
+
+    #[test]
+    fn ho_reports_infeasible_when_the_seed_search_proves_it() {
+        let (mut p, _, bram) = tiny_problem();
+        // Two regions each needing 2 of the 3 BRAM tiles cannot coexist, and
+        // the greedy pass cannot see that — the complete seed search proves
+        // it. A time limit must not turn this proof into BudgetExhausted.
+        p.add_region(RegionSpec::new("A", vec![(bram, 2)]));
+        p.add_region(RegionSpec::new("B", vec![(bram, 2)]));
+        let req = SolveRequest::new(p).with_time_limit(30.0);
+        let outcome =
+            EngineRegistry::builtin().get("ho").unwrap().solve(&req, &SolveControl::default());
+        assert_eq!(outcome.status, OutcomeStatus::Infeasible, "{:?}", outcome.detail);
+        assert!(outcome.stats.nodes > 0, "the seed search's work must be reported");
+    }
+
+    #[test]
+    fn combinatorial_budget_exhaustion_keeps_partial_run_stats() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let req = SolveRequest::new(p).with_node_limit(1);
+        let outcome = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&req, &SolveControl::default());
+        assert_eq!(outcome.status, OutcomeStatus::BudgetExhausted);
+        assert_eq!(outcome.stats.nodes, 1, "the explored node must survive into the stats");
+    }
+
+    #[test]
+    fn ho_uses_a_warm_start_hint_as_its_seed() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 1), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        p.request_relocation(RelocationRequest::metric(a, 1, 1.0));
+        let seed = crate::heuristic::greedy_floorplan(&p).unwrap();
+        let req = SolveRequest::new(p.clone()).with_warm_start(seed);
+        let outcome =
+            EngineRegistry::builtin().get("ho").unwrap().solve(&req, &SolveControl::default());
+        assert!(outcome.status.has_floorplan(), "{:?}", outcome.detail);
+        assert!(outcome.floorplan.unwrap().validate(&p).is_empty());
+    }
+}

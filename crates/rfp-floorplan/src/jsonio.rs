@@ -1,0 +1,874 @@
+//! Versioned JSON interchange for problems and floorplans.
+//!
+//! The workspace's `serde` is an offline no-op stand-in (see `vendor/`), so
+//! this module hand-rolls both directions of a small, versioned JSON format:
+//!
+//! * **`rfp-problem` v1** — a complete [`FloorplanProblem`] including the
+//!   device description (tile types, per-column type layout, forbidden
+//!   areas), the regions, connections, relocation requests and objective
+//!   weights. Reading rebuilds the device through the public `rfp-device`
+//!   constructors and re-runs the columnar partitioning, so a written
+//!   problem round-trips to an *equal* [`FloorplanProblem`].
+//! * **`rfp-floorplan` v1** — a [`Floorplan`]: one rectangle per region plus
+//!   the reserved free-compatible areas.
+//!
+//! The writer is deterministic (stable field order, stable number
+//! formatting), which makes the emitted documents usable as golden files:
+//! `write(read(doc)) == write(problem)` byte for byte.
+//!
+//! The `rfp` CLI (`rfp solve / validate / engines / convert`) is a thin
+//! shell around this module and [`crate::engine`].
+
+use crate::placement::{FcPlacement, Floorplan};
+use crate::problem::{
+    Connection, FloorplanProblem, ObjectiveWeights, RegionSpec, RelocationMode, RelocationRequest,
+};
+use rfp_device::{
+    columnar_partition, Device, ForbiddenArea, Rect, ResourceVec, TileGrid, TileType, TileTypeId,
+    TileTypeRegistry,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Format tag of problem documents.
+pub const PROBLEM_FORMAT: &str = "rfp-problem";
+/// Format tag of floorplan documents.
+pub const FLOORPLAN_FORMAT: &str = "rfp-floorplan";
+/// Current schema version of both formats.
+pub const FORMAT_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model + parser.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (object keys keep their document order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+/// Error raised by the parser or by the document readers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl JsonValue {
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required object field.
+    pub fn field(&self, key: &str) -> Result<&JsonValue, JsonError> {
+        self.get(key).ok_or_else(|| JsonError(format!("missing field `{key}`")))
+    }
+
+    /// The value as a finite number.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            JsonValue::Num(v) => Ok(*v),
+            _ => err(format!("expected a number, found {self:?}")),
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        let v = self.as_f64()?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return err(format!("expected a non-negative integer, found {v}"));
+        }
+        Ok(v as u64)
+    }
+
+    /// The value as a `u32`.
+    pub fn as_u32(&self) -> Result<u32, JsonError> {
+        let v = self.as_u64()?;
+        u32::try_from(v).map_err(|_| JsonError(format!("integer {v} overflows u32")))
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            _ => err(format!("expected a string, found {self:?}")),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[JsonValue], JsonError> {
+        match self {
+            JsonValue::Arr(items) => Ok(items),
+            _ => err(format!("expected an array, found {self:?}")),
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => err(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(JsonValue::Num(v)),
+            _ => err(format!("invalid number `{text}` at byte {start}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError("non-ascii \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError(format!("bad \\u escape `{hex}`")))?;
+                            // Surrogates are not needed by this format.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError(format!("bad code point {code}")))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic emission helpers.
+// ---------------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    // Deterministic shortest-form formatting; the format never emits
+    // non-finite values.
+    debug_assert!(v.is_finite());
+    format!("{v}")
+}
+
+fn rect_json(r: &Rect) -> String {
+    format!("{{\"x\":{},\"y\":{},\"w\":{},\"h\":{}}}", r.x, r.y, r.w, r.h)
+}
+
+fn rect_from_json(v: &JsonValue) -> Result<Rect, JsonError> {
+    let x = v.field("x")?.as_u32()?;
+    let y = v.field("y")?.as_u32()?;
+    let w = v.field("w")?.as_u32()?;
+    let h = v.field("h")?.as_u32()?;
+    if x < 1 || y < 1 || w < 1 || h < 1 {
+        return err(format!("invalid rectangle ({x},{y},{w},{h}): 1-based, non-empty"));
+    }
+    Ok(Rect::new(x, y, w, h))
+}
+
+// ---------------------------------------------------------------------------
+// Problem writer.
+// ---------------------------------------------------------------------------
+
+/// Renders a problem as an `rfp-problem` v1 JSON document (deterministic,
+/// human-readable, trailing newline).
+pub fn write_problem(problem: &FloorplanProblem) -> String {
+    let part = &problem.partition;
+
+    // Tile types present on the device or referenced by a region
+    // requirement, in registry-index order; `pos_of` maps a registry index
+    // to its position in the emitted array. Requirement-only types (a demand
+    // no column can serve — the problem is invalid but still writable) must
+    // be emitted too, or the requirement could not be expressed.
+    let mut present: BTreeMap<usize, ()> = BTreeMap::new();
+    for c in 1..=part.cols {
+        if let Some(ty) = part.column_type(c) {
+            present.insert(ty.index(), ());
+        }
+    }
+    for region in &problem.regions {
+        for &(ty, _) in region.tile_req() {
+            present.insert(ty.index(), ());
+        }
+    }
+    let order: Vec<usize> = present.keys().copied().collect();
+    let pos_of: BTreeMap<usize, usize> =
+        order.iter().enumerate().map(|(pos, &idx)| (idx, pos)).collect();
+
+    let type_name = |idx: usize| -> String {
+        let res = part.resources_per_tile(TileTypeId(idx as u16));
+        let [clb, bram, dsp, other] = res.0;
+        match (clb > 0, bram > 0, dsp > 0, other > 0) {
+            (true, false, false, false) => "CLB".to_string(),
+            (false, true, false, false) => "BRAM".to_string(),
+            (false, false, true, false) => "DSP".to_string(),
+            _ => format!("T{idx}"),
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"format\": \"{PROBLEM_FORMAT}\",\n"));
+    out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
+
+    // Device.
+    out.push_str("  \"device\": {\n");
+    out.push_str(&format!("    \"name\": \"{}\",\n", escape(&part.device_name)));
+    out.push_str(&format!("    \"rows\": {},\n", part.rows));
+    out.push_str("    \"tile_types\": [\n");
+    for (i, &idx) in order.iter().enumerate() {
+        let res = part.resources_per_tile(TileTypeId(idx as u16));
+        let [clb, bram, dsp, other] = res.0;
+        out.push_str(&format!(
+            "      {{\"name\":\"{}\",\"resources\":[{clb},{bram},{dsp},{other}],\"frames\":{}}}{}\n",
+            escape(&type_name(idx)),
+            part.frames_per_tile(TileTypeId(idx as u16)),
+            if i + 1 < order.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    let columns: Vec<String> = (1..=part.cols)
+        .map(|c| pos_of[&part.column_type(c).expect("column inside device").index()].to_string())
+        .collect();
+    out.push_str(&format!("    \"columns\": [{}],\n", columns.join(",")));
+    out.push_str("    \"forbidden\": [");
+    for (i, fa) in part.forbidden.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\"name\":\"{}\",\"rect\":{}}}",
+            escape(&fa.name),
+            rect_json(&fa.rect)
+        ));
+    }
+    if !part.forbidden.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n");
+    out.push_str("  },\n");
+
+    // Regions.
+    out.push_str("  \"regions\": [\n");
+    for (i, region) in problem.regions.iter().enumerate() {
+        let req: Vec<String> = region
+            .tile_req()
+            .iter()
+            .map(|&(ty, n)| format!("[{},{n}]", pos_of[&ty.index()]))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\":\"{}\",\"req\":[{}]}}{}\n",
+            escape(&region.name),
+            req.join(","),
+            if i + 1 < problem.regions.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // Connections.
+    out.push_str("  \"connections\": [");
+    for (i, c) in problem.connections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"a\":{},\"b\":{},\"weight\":{}}}",
+            c.a,
+            c.b,
+            num(c.weight)
+        ));
+    }
+    if !problem.connections.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    // Relocation requests.
+    out.push_str("  \"relocation\": [");
+    for (i, r) in problem.relocation.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mode = match r.mode {
+            RelocationMode::Constraint => "\"mode\":\"constraint\"".to_string(),
+            RelocationMode::Metric { weight } => {
+                format!("\"mode\":\"metric\",\"weight\":{}", num(weight))
+            }
+        };
+        out.push_str(&format!("\n    {{\"region\":{},\"count\":{},{mode}}}", r.region, r.count));
+    }
+    if !problem.relocation.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    // Objective weights.
+    let w = &problem.weights;
+    out.push_str(&format!(
+        "  \"weights\": {{\"wirelength\":{},\"perimeter\":{},\"resources\":{},\"relocation\":{}}}\n",
+        num(w.wirelength),
+        num(w.perimeter),
+        num(w.resources),
+        num(w.relocation)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Problem reader.
+// ---------------------------------------------------------------------------
+
+fn check_header(doc: &JsonValue, format: &str) -> Result<(), JsonError> {
+    let tag = doc.field("format")?.as_str()?;
+    if tag != format {
+        return err(format!("expected format `{format}`, found `{tag}`"));
+    }
+    let version = doc.field("version")?.as_u64()?;
+    if version != FORMAT_VERSION {
+        return err(format!(
+            "unsupported {format} version {version} (this build reads version {FORMAT_VERSION})"
+        ));
+    }
+    Ok(())
+}
+
+/// Parses an `rfp-problem` v1 document back into a [`FloorplanProblem`].
+///
+/// The device is rebuilt through the public `rfp-device` constructors and
+/// re-partitioned, so the result is structurally identical to the problem
+/// the document was written from. The problem is *not* semantically
+/// validated here; call [`FloorplanProblem::validate`] before solving.
+pub fn read_problem(input: &str) -> Result<FloorplanProblem, JsonError> {
+    let doc = parse(input)?;
+    check_header(&doc, PROBLEM_FORMAT)?;
+
+    // Device.
+    let device = doc.field("device")?;
+    let name = device.field("name")?.as_str()?.to_string();
+    let rows = device.field("rows")?.as_u32()?;
+    let mut registry = TileTypeRegistry::new();
+    let mut ids: Vec<TileTypeId> = Vec::new();
+    for (i, t) in device.field("tile_types")?.as_arr()?.iter().enumerate() {
+        let tname = t.field("name")?.as_str()?.to_string();
+        let res = t.field("resources")?.as_arr()?;
+        if res.len() != 4 {
+            return err(format!("tile type `{tname}`: `resources` must have 4 entries"));
+        }
+        let mut v = [0u32; 4];
+        for (slot, item) in v.iter_mut().zip(res) {
+            *slot = item.as_u32()?;
+        }
+        let frames = t.field("frames")?.as_u32()?;
+        // A per-entry configuration signature keeps ids aligned with the
+        // array positions even when two entries share resources and frames
+        // (Definition .1 would otherwise merge them).
+        let tile = TileType {
+            name: tname.clone(),
+            resources: ResourceVec(v),
+            frames,
+            config_signature: i as u32,
+        };
+        let id =
+            registry.register(tile).map_err(|e| JsonError(format!("tile type `{tname}`: {e}")))?;
+        ids.push(id);
+    }
+
+    let columns = device.field("columns")?.as_arr()?;
+    if columns.is_empty() {
+        return err("device has no columns");
+    }
+    let mut grid = TileGrid::new(columns.len() as u32, rows)
+        .map_err(|e| JsonError(format!("invalid grid: {e}")))?;
+    for (c, col) in columns.iter().enumerate() {
+        let pos = col.as_u64()? as usize;
+        let ty = *ids
+            .get(pos)
+            .ok_or_else(|| JsonError(format!("column {}: unknown tile type {pos}", c + 1)))?;
+        grid.fill_column(c as u32 + 1, ty)
+            .map_err(|e| JsonError(format!("column {}: {e}", c + 1)))?;
+    }
+
+    let mut forbidden = Vec::new();
+    for fa in device.field("forbidden")?.as_arr()? {
+        let fname = fa.field("name")?.as_str()?.to_string();
+        forbidden.push(ForbiddenArea::new(fname, rect_from_json(fa.field("rect")?)?));
+    }
+
+    let dev = Device::new(name, registry, grid, forbidden)
+        .map_err(|e| JsonError(format!("invalid device: {e}")))?;
+    let partition =
+        columnar_partition(&dev).map_err(|e| JsonError(format!("device is not columnar: {e}")))?;
+
+    // Problem.
+    let mut problem = FloorplanProblem::new(partition);
+    for region in doc.field("regions")?.as_arr()? {
+        let rname = region.field("name")?.as_str()?.to_string();
+        let mut req = Vec::new();
+        for pair in region.field("req")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return err(format!("region `{rname}`: requirement entries are [type, tiles]"));
+            }
+            let pos = pair[0].as_u64()? as usize;
+            let tiles = pair[1].as_u32()?;
+            let ty = *ids
+                .get(pos)
+                .ok_or_else(|| JsonError(format!("region `{rname}`: unknown tile type {pos}")))?;
+            req.push((ty, tiles));
+        }
+        problem.add_region(RegionSpec::new(rname, req));
+    }
+
+    for c in doc.field("connections")?.as_arr()? {
+        problem.connections.push(Connection {
+            a: c.field("a")?.as_u64()? as usize,
+            b: c.field("b")?.as_u64()? as usize,
+            weight: c.field("weight")?.as_f64()?,
+        });
+    }
+
+    for r in doc.field("relocation")?.as_arr()? {
+        let region = r.field("region")?.as_u64()? as usize;
+        let count = r.field("count")?.as_u32()?;
+        let mode = match r.field("mode")?.as_str()? {
+            "constraint" => RelocationMode::Constraint,
+            "metric" => RelocationMode::Metric { weight: r.field("weight")?.as_f64()? },
+            other => return err(format!("unknown relocation mode `{other}`")),
+        };
+        problem.relocation.push(RelocationRequest { region, count, mode });
+    }
+
+    let w = doc.field("weights")?;
+    problem.weights = ObjectiveWeights {
+        wirelength: w.field("wirelength")?.as_f64()?,
+        perimeter: w.field("perimeter")?.as_f64()?,
+        resources: w.field("resources")?.as_f64()?,
+        relocation: w.field("relocation")?.as_f64()?,
+    };
+
+    Ok(problem)
+}
+
+// ---------------------------------------------------------------------------
+// Floorplan writer / reader.
+// ---------------------------------------------------------------------------
+
+/// Renders a floorplan as an `rfp-floorplan` v1 JSON document.
+pub fn write_floorplan(floorplan: &Floorplan) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"format\": \"{FLOORPLAN_FORMAT}\",\n"));
+    out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
+    out.push_str("  \"regions\": [");
+    for (i, r) in floorplan.regions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}", rect_json(r)));
+    }
+    if !floorplan.regions.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str("  \"fc_areas\": [");
+    for (i, f) in floorplan.fc_areas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mode = match f.mode {
+            RelocationMode::Constraint => "\"mode\":\"constraint\"".to_string(),
+            RelocationMode::Metric { weight } => {
+                format!("\"mode\":\"metric\",\"weight\":{}", num(weight))
+            }
+        };
+        let rect = match &f.rect {
+            Some(r) => rect_json(r),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "\n    {{\"request\":{},\"region\":{},{mode},\"rect\":{rect}}}",
+            f.request, f.region
+        ));
+    }
+    if !floorplan.fc_areas.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Parses an `rfp-floorplan` v1 document.
+pub fn read_floorplan(input: &str) -> Result<Floorplan, JsonError> {
+    let doc = parse(input)?;
+    check_header(&doc, FLOORPLAN_FORMAT)?;
+    let mut regions = Vec::new();
+    for r in doc.field("regions")?.as_arr()? {
+        regions.push(rect_from_json(r)?);
+    }
+    let mut fc_areas = Vec::new();
+    for f in doc.field("fc_areas")?.as_arr()? {
+        let mode = match f.field("mode")?.as_str()? {
+            "constraint" => RelocationMode::Constraint,
+            "metric" => RelocationMode::Metric { weight: f.field("weight")?.as_f64()? },
+            other => return err(format!("unknown relocation mode `{other}`")),
+        };
+        let rect = match f.field("rect")? {
+            JsonValue::Null => None,
+            v => Some(rect_from_json(v)?),
+        };
+        fc_areas.push(FcPlacement {
+            request: f.field("request")?.as_u64()? as usize,
+            region: f.field("region")?.as_u64()? as usize,
+            mode,
+            rect,
+        });
+    }
+    Ok(Floorplan { regions, fc_areas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ObjectiveWeights, RegionSpec, RelocationRequest};
+    use rfp_device::{columnar_partition, xc5vfx70t, DeviceBuilder};
+
+    fn sample_problem() -> FloorplanProblem {
+        let mut b = DeviceBuilder::new("json-sample");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        b.rows(4).columns(&[clb, clb, bram, clb, clb, bram, clb]);
+        b.forbidden("blk", Rect::new(4, 1, 1, 2));
+        let mut p = FloorplanProblem::new(columnar_partition(&b.build().unwrap()).unwrap());
+        let a = p.add_region(RegionSpec::new("A \"quoted\"", vec![(clb, 2), (bram, 1)]));
+        let b2 = p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        p.connect(a, b2, 12.5);
+        p.request_relocation(RelocationRequest::constraint(a, 1));
+        p.request_relocation(RelocationRequest::metric(b2, 2, 1.5));
+        p.weights = ObjectiveWeights::paper_default().with_relocation(2.0);
+        p
+    }
+
+    #[test]
+    fn parser_handles_scalars_strings_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5, true, null], "b": {"c": "x\n\"y\""}}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_arr().unwrap().len(), 4);
+        assert_eq!(v.field("a").unwrap().as_arr().unwrap()[0].as_u64().unwrap(), 1);
+        assert_eq!(v.field("b").unwrap().field("c").unwrap().as_str().unwrap(), "x\n\"y\"");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("42 43").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("nulL").is_err());
+    }
+
+    #[test]
+    fn problem_round_trips_to_an_equal_problem() {
+        let p = sample_problem();
+        let doc = write_problem(&p);
+        let back = read_problem(&doc).unwrap();
+        assert_eq!(back, p);
+        // Canonical: re-emission is byte-identical.
+        assert_eq!(write_problem(&back), doc);
+    }
+
+    #[test]
+    fn fx70t_problem_round_trips() {
+        let device = xc5vfx70t();
+        let clb = device.registry.by_name("CLB").unwrap();
+        let mut p = FloorplanProblem::new(columnar_partition(&device).unwrap());
+        p.add_region(RegionSpec::new("R", vec![(clb, 3)]));
+        let back = read_problem(&write_problem(&p)).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.partition.total_frames(), p.partition.total_frames());
+    }
+
+    #[test]
+    fn floorplan_round_trips_including_missing_areas() {
+        let fp = Floorplan {
+            regions: vec![Rect::new(1, 1, 3, 2), Rect::new(4, 1, 2, 1)],
+            fc_areas: vec![
+                FcPlacement {
+                    request: 0,
+                    region: 0,
+                    mode: RelocationMode::Constraint,
+                    rect: Some(Rect::new(5, 3, 3, 2)),
+                },
+                FcPlacement {
+                    request: 1,
+                    region: 1,
+                    mode: RelocationMode::Metric { weight: 2.5 },
+                    rect: None,
+                },
+            ],
+        };
+        let doc = write_floorplan(&fp);
+        let back = read_floorplan(&doc).unwrap();
+        assert_eq!(back, fp);
+        assert_eq!(write_floorplan(&back), doc);
+    }
+
+    #[test]
+    fn version_and_format_mismatches_are_rejected() {
+        let p = sample_problem();
+        let doc = write_problem(&p);
+        assert!(read_floorplan(&doc).is_err(), "floorplan reader must reject problem docs");
+        let bumped = doc.replace("\"version\": 1", "\"version\": 99");
+        let e = read_problem(&bumped).unwrap_err();
+        assert!(e.0.contains("version 99"), "{e}");
+    }
+
+    #[test]
+    fn identical_resource_profiles_stay_distinct_types() {
+        // Two tile types with equal resources and frames would merge under
+        // Definition .1; the reader keeps them apart via per-entry
+        // configuration signatures so column indices stay valid.
+        let doc = r#"{
+  "format": "rfp-problem",
+  "version": 1,
+  "device": {
+    "name": "twins",
+    "rows": 2,
+    "tile_types": [
+      {"name":"CLBL","resources":[1,0,0,0],"frames":36},
+      {"name":"CLBM","resources":[1,0,0,0],"frames":36}
+    ],
+    "columns": [0,1,0],
+    "forbidden": []
+  },
+  "regions": [{"name":"R","req":[[0,1]]}],
+  "connections": [],
+  "relocation": [],
+  "weights": {"wirelength":1,"perimeter":0,"resources":1000,"relocation":0}
+}"#;
+        let p = read_problem(doc).unwrap();
+        assert_eq!(p.partition.n_portions(), 3, "alternating twin types form three portions");
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn requirement_only_tile_types_are_emitted_not_panicked_on() {
+        // A registered tile type with no column can still appear in a region
+        // requirement (the problem is invalid, but must serialise cleanly).
+        let mut b = DeviceBuilder::new("req-only");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let dsp = b.tile_type("DSP", ResourceVec::new(0, 0, 1), 28);
+        b.rows(2).columns(&[clb, clb]);
+        let mut p = FloorplanProblem::new(columnar_partition(&b.build().unwrap()).unwrap());
+        p.add_region(RegionSpec::new("R", vec![(clb, 1), (dsp, 1)]));
+        let doc = write_problem(&p);
+        assert!(doc.contains("\"DSP\""), "the demanded-but-absent type must be emitted");
+        let back = read_problem(&doc).unwrap();
+        assert_eq!(back, p);
+        // Both sides agree the problem is unsatisfiable.
+        assert!(back.validate().is_err());
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn solving_a_round_tripped_problem_matches_the_original() {
+        use crate::combinatorial::{solve_combinatorial, CombinatorialConfig};
+        let p = sample_problem();
+        let q = read_problem(&write_problem(&p)).unwrap();
+        let a = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        let b = solve_combinatorial(&q, &CombinatorialConfig::default()).unwrap();
+        assert_eq!(a.best_waste, b.best_waste);
+        assert_eq!(a.floorplan, b.floorplan);
+    }
+}

@@ -28,8 +28,18 @@
 //!   rectangles, specialised to the columnar structure; this engine solves
 //!   the full-die SDR instances that are out of reach for the from-scratch
 //!   MILP solver.
-//! * [`solver`] — the user-facing [`solver::Floorplanner`] tying everything
-//!   together (algorithms `O`, `HO` and `Combinatorial`).
+//! * [`engine`] — the engine-agnostic solve API: the
+//!   [`engine::FloorplanEngine`] trait, cancellable
+//!   [`engine::SolveRequest`]/[`engine::SolveOutcome`], and the string-keyed
+//!   [`engine::EngineRegistry`] (`"milp"`, `"ho"`, `"combinatorial"`; the
+//!   baselines register `"annealing"` and `"tessellation"`).
+//! * [`portfolio`] — races engines on threads and cancels the losers once
+//!   one engine proves optimality.
+//! * [`jsonio`] — versioned, hand-rolled JSON reader/writer for problems and
+//!   floorplans; the interchange format of the `rfp` CLI and the golden-file
+//!   tests.
+//! * [`solver`] — the legacy [`solver::Floorplanner`] facade (algorithms
+//!   `O`, `HO` and `Combinatorial`), now a thin shim over [`engine`].
 //! * [`feasibility`] — the per-region free-compatible-area feasibility
 //!   analysis of Section VI.
 //! * [`render`] — ASCII rendering of floorplans (used to regenerate
@@ -66,12 +76,15 @@
 
 pub mod candidates;
 pub mod combinatorial;
+pub mod engine;
 pub mod error;
 pub mod export;
 pub mod feasibility;
 pub mod heuristic;
+pub mod jsonio;
 pub mod model;
 pub mod placement;
+pub mod portfolio;
 pub mod problem;
 pub mod render;
 pub mod sequence_pair;
@@ -79,20 +92,32 @@ pub mod solver;
 
 /// Convenient glob import of the public API.
 pub mod prelude {
+    pub use crate::engine::{
+        CancelToken, EngineRegistry, EngineStats, FloorplanEngine, IncumbentEvent, OutcomeStatus,
+        SolveControl, SolveOutcome, SolveRequest,
+    };
     pub use crate::error::FloorplanError;
     pub use crate::feasibility::{feasibility_analysis, RegionFeasibility};
     pub use crate::placement::{FcPlacement, Floorplan, Metrics};
+    pub use crate::portfolio::{Portfolio, RaceOutcome};
     pub use crate::problem::{
         Connection, FloorplanProblem, ObjectiveWeights, RegionId, RegionSpec, RelocationMode,
         RelocationRequest,
     };
-    pub use crate::solver::{Algorithm, Floorplanner, FloorplannerConfig, SolveReport};
+    pub use crate::solver::{Algorithm, FloorplanReport, Floorplanner, FloorplannerConfig};
 }
 
+pub use engine::{
+    CancelToken, EngineRegistry, EngineStats, FloorplanEngine, IncumbentEvent, OutcomeStatus,
+    SolveControl, SolveOutcome, SolveRequest,
+};
 pub use error::FloorplanError;
 pub use placement::{FcPlacement, Floorplan, Metrics};
+pub use portfolio::{Portfolio, RaceOutcome};
 pub use problem::{
     Connection, FloorplanProblem, ObjectiveWeights, RegionId, RegionSpec, RelocationMode,
     RelocationRequest,
 };
-pub use solver::{Algorithm, Floorplanner, FloorplannerConfig, SolveReport};
+#[allow(deprecated)]
+pub use solver::SolveReport;
+pub use solver::{Algorithm, FloorplanReport, Floorplanner, FloorplannerConfig};

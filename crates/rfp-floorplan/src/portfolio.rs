@@ -1,0 +1,333 @@
+//! Engine portfolio racing.
+//!
+//! Exact engines dominate on some instance shapes and heuristics on others,
+//! and there is no reliable a-priori predictor. A [`Portfolio`] sidesteps
+//! the choice: it launches several [`FloorplanEngine`]s on the *same*
+//! [`SolveRequest`] on parallel threads and cancels the stragglers through
+//! their [`SolveControl`] tokens as soon as one engine returns a **proven**
+//! result. If nobody proves within the budget, the best feasible floorplan
+//! (lowest composite objective, ties to the earlier finisher) wins.
+//!
+//! Every engine gets its own [`CancelToken`] child so that a caller-level
+//! cancellation still stops the whole race, while a race-level cancellation
+//! never leaks into the caller's token.
+
+use crate::engine::{
+    CancelToken, FloorplanEngine, IncumbentCallback, OutcomeStatus, SolveControl, SolveOutcome,
+    SolveRequest,
+};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Outcome of one engine's leg of a race.
+#[derive(Debug, Clone)]
+pub struct RaceEntry {
+    /// Engine id.
+    pub engine: String,
+    /// The engine's outcome (losers typically report
+    /// [`OutcomeStatus::BudgetExhausted`] or a feasible-but-unproven result
+    /// with [`crate::engine::EngineStats::cancelled`] set).
+    pub outcome: SolveOutcome,
+    /// Order of arrival: 0 finished first.
+    pub arrival: usize,
+}
+
+/// Outcome of a portfolio race.
+#[derive(Debug, Clone)]
+pub struct RaceOutcome {
+    /// Index into [`RaceOutcome::entries`] of the winning engine, when any
+    /// engine produced a floorplan.
+    pub winner: Option<usize>,
+    /// All engines' results, in registration order.
+    pub entries: Vec<RaceEntry>,
+}
+
+impl RaceOutcome {
+    /// The winning entry, if any.
+    pub fn winning_entry(&self) -> Option<&RaceEntry> {
+        self.winner.map(|i| &self.entries[i])
+    }
+
+    /// The winning outcome, if any engine produced a floorplan.
+    pub fn best(&self) -> Option<&SolveOutcome> {
+        self.winning_entry().map(|e| &e.outcome)
+    }
+}
+
+/// A set of engines raced against each other on a shared request.
+///
+/// ```
+/// use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+/// use rfp_floorplan::engine::{EngineRegistry, SolveRequest};
+/// use rfp_floorplan::portfolio::Portfolio;
+/// use rfp_floorplan::problem::{FloorplanProblem, RegionSpec};
+///
+/// let mut b = DeviceBuilder::new("race");
+/// let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+/// b.rows(2).columns(&[clb, clb, clb]);
+/// let mut problem = FloorplanProblem::new(columnar_partition(&b.build().unwrap()).unwrap());
+/// problem.add_region(RegionSpec::new("A", vec![(clb, 2)]));
+///
+/// let registry = EngineRegistry::builtin();
+/// let portfolio = Portfolio::new(vec![
+///     registry.get("combinatorial").unwrap(),
+///     registry.get("milp").unwrap(),
+/// ]);
+/// let race = portfolio.race(&SolveRequest::new(problem));
+/// assert!(race.best().unwrap().is_proven());
+/// ```
+#[derive(Clone, Default)]
+pub struct Portfolio {
+    engines: Vec<Arc<dyn FloorplanEngine>>,
+}
+
+impl Portfolio {
+    /// A portfolio over the given engines.
+    pub fn new(engines: Vec<Arc<dyn FloorplanEngine>>) -> Self {
+        Portfolio { engines }
+    }
+
+    /// A portfolio over every engine of a registry, in registration order.
+    pub fn from_registry(registry: &crate::engine::EngineRegistry) -> Self {
+        Portfolio { engines: registry.iter().cloned().collect() }
+    }
+
+    /// Adds an engine to the portfolio.
+    pub fn push(&mut self, engine: Arc<dyn FloorplanEngine>) {
+        self.engines.push(engine);
+    }
+
+    /// Ids of the participating engines.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.id()).collect()
+    }
+
+    /// Races the engines on the request with a default (non-cancellable,
+    /// silent) control.
+    pub fn race(&self, req: &SolveRequest) -> RaceOutcome {
+        self.race_controlled(req, &SolveControl::default())
+    }
+
+    /// Races the engines on the request.
+    ///
+    /// Each engine runs on its own thread with its own cancellation token;
+    /// the first engine to return a [`OutcomeStatus::Proven`] outcome
+    /// cancels all others. The caller's `ctl` is honoured: cancelling its
+    /// token aborts the whole race, and its incumbent callback receives the
+    /// merged progress stream of every engine (events carry the reporting
+    /// engine's id).
+    pub fn race_controlled(&self, req: &SolveRequest, ctl: &SolveControl) -> RaceOutcome {
+        if self.engines.is_empty() {
+            return RaceOutcome { winner: None, entries: Vec::new() };
+        }
+
+        let tokens: Vec<CancelToken> = self.engines.iter().map(|_| CancelToken::new()).collect();
+        let on_incumbent: Option<IncumbentCallback> = ctl.on_incumbent.clone();
+
+        let (tx, rx) = mpsc::channel::<(usize, SolveOutcome)>();
+        let mut slots: Vec<Option<RaceEntry>> = vec![None; self.engines.len()];
+        std::thread::scope(|scope| {
+            for (i, engine) in self.engines.iter().enumerate() {
+                let tx = tx.clone();
+                let engine_ctl =
+                    SolveControl { cancel: tokens[i].clone(), on_incumbent: on_incumbent.clone() };
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    let outcome = engine.solve(req, &engine_ctl);
+                    // The receiver may have left already; that is fine.
+                    let _ = tx.send((i, outcome));
+                });
+            }
+            drop(tx);
+
+            let mut arrived = 0usize;
+            loop {
+                match rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                    Ok((i, outcome)) => {
+                        if outcome.status == OutcomeStatus::Proven {
+                            // First proven result: stop the stragglers.
+                            for (j, t) in tokens.iter().enumerate() {
+                                if j != i {
+                                    t.cancel();
+                                }
+                            }
+                        }
+                        slots[i] = Some(RaceEntry {
+                            engine: self.engines[i].id().to_string(),
+                            outcome,
+                            arrival: arrived,
+                        });
+                        arrived += 1;
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+                // Propagate a caller-level cancellation to every leg.
+                if ctl.cancel.is_cancelled() {
+                    for t in &tokens {
+                        t.cancel();
+                    }
+                }
+            }
+        });
+
+        let entries: Vec<RaceEntry> =
+            slots.into_iter().map(|s| s.expect("every engine reports exactly once")).collect();
+
+        // Winner: first proven by arrival; otherwise the best feasible
+        // floorplan by composite objective (arrival breaks ties).
+        let winner = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.outcome.status == OutcomeStatus::Proven)
+            .min_by_key(|(_, e)| e.arrival)
+            .map(|(i, _)| i)
+            .or_else(|| {
+                entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.outcome.floorplan.is_some())
+                    .min_by(|(_, a), (_, b)| {
+                        let oa = a.outcome.metrics.as_ref().map_or(f64::INFINITY, |m| m.objective);
+                        let ob = b.outcome.metrics.as_ref().map_or(f64::INFINITY, |m| m.objective);
+                        oa.partial_cmp(&ob)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.arrival.cmp(&b.arrival))
+                    })
+                    .map(|(i, _)| i)
+            });
+        RaceOutcome { winner, entries }
+    }
+}
+
+impl std::fmt::Debug for Portfolio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.ids()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineRegistry, EngineStats};
+    use crate::problem::{FloorplanProblem, RegionSpec};
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn tiny_problem() -> FloorplanProblem {
+        let mut b = DeviceBuilder::new("portfolio-tiny");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+        b.rows(3).columns(&[clb, clb, bram, clb, clb]);
+        let mut p = FloorplanProblem::new(columnar_partition(&b.build().unwrap()).unwrap());
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        p
+    }
+
+    /// An engine that spins until cancelled, then reports whether it saw the
+    /// cancellation — the probe for loser-cancellation semantics.
+    struct Sleeper {
+        observed_cancel: Arc<AtomicBool>,
+    }
+
+    impl crate::engine::FloorplanEngine for Sleeper {
+        fn id(&self) -> &'static str {
+            "sleeper"
+        }
+        fn description(&self) -> &'static str {
+            "test engine that only returns once cancelled"
+        }
+        fn solve(&self, _req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
+            while !ctl.cancel.is_cancelled() {
+                std::thread::yield_now();
+            }
+            self.observed_cancel.store(true, Ordering::SeqCst);
+            let mut stats = EngineStats::new("sleeper");
+            stats.cancelled = true;
+            SolveOutcome::without_floorplan(OutcomeStatus::BudgetExhausted, "cancelled", stats)
+        }
+    }
+
+    #[test]
+    fn race_returns_a_proven_winner_and_cancels_losers() {
+        let observed = Arc::new(AtomicBool::new(false));
+        let registry = EngineRegistry::builtin();
+        let portfolio = Portfolio::new(vec![
+            Arc::new(Sleeper { observed_cancel: observed.clone() }),
+            registry.get("combinatorial").unwrap(),
+        ]);
+        let race = portfolio.race(&SolveRequest::new(tiny_problem()));
+        let winner = race.winning_entry().expect("combinatorial proves the tiny instance");
+        assert_eq!(winner.engine, "combinatorial");
+        assert!(winner.outcome.is_proven());
+        assert!(observed.load(Ordering::SeqCst), "the loser must observe the cancellation");
+        let sleeper = race.entries.iter().find(|e| e.engine == "sleeper").unwrap();
+        assert!(sleeper.outcome.stats.cancelled);
+        assert_eq!(sleeper.outcome.status, OutcomeStatus::BudgetExhausted);
+    }
+
+    #[test]
+    fn caller_cancellation_aborts_the_whole_race() {
+        let observed = Arc::new(AtomicBool::new(false));
+        let portfolio =
+            Portfolio::new(vec![Arc::new(Sleeper { observed_cancel: observed.clone() })]);
+        let ctl = SolveControl::default();
+        let token = ctl.cancel.clone();
+        let problem = tiny_problem();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                // No exact engine participates, so only the caller's token
+                // can end this race.
+                portfolio.race_controlled(&SolveRequest::new(problem.clone()), &ctl)
+            });
+            token.cancel();
+            let race = handle.join().unwrap();
+            assert!(race.winner.is_none());
+        });
+        assert!(observed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn empty_portfolio_has_no_winner() {
+        let race = Portfolio::default().race(&SolveRequest::new(tiny_problem()));
+        assert!(race.winner.is_none());
+        assert!(race.entries.is_empty());
+    }
+
+    #[test]
+    fn feasible_fallback_picks_the_lowest_objective() {
+        // Two heuristic-style stub engines with different objectives.
+        struct Fixed {
+            id: &'static str,
+            waste: u64,
+        }
+        impl crate::engine::FloorplanEngine for Fixed {
+            fn id(&self) -> &'static str {
+                self.id
+            }
+            fn description(&self) -> &'static str {
+                "stub"
+            }
+            fn solve(&self, req: &SolveRequest, _ctl: &SolveControl) -> SolveOutcome {
+                let p = &req.problem;
+                let fp = crate::heuristic::greedy_floorplan(p).unwrap();
+                let mut metrics = fp.metrics(p);
+                metrics.objective = self.waste as f64;
+                SolveOutcome {
+                    status: OutcomeStatus::Feasible,
+                    floorplan: Some(fp),
+                    metrics: Some(metrics),
+                    detail: None,
+                    stats: EngineStats::new(self.id),
+                }
+            }
+        }
+        let portfolio = Portfolio::new(vec![
+            Arc::new(Fixed { id: "worse", waste: 10 }),
+            Arc::new(Fixed { id: "better", waste: 3 }),
+        ]);
+        let race = portfolio.race(&SolveRequest::new(tiny_problem()));
+        assert_eq!(race.winning_entry().unwrap().engine, "better");
+    }
+}

@@ -1,38 +1,53 @@
-//! The user-facing floorplanner.
+//! The legacy user-facing floorplanner facade.
 //!
-//! [`Floorplanner`] ties the pieces together and exposes the three engines:
+//! [`Floorplanner`] predates the engine-agnostic solve API of
+//! [`crate::engine`] and is kept as a thin compatibility shim: it maps its
+//! [`Algorithm`] selector onto the corresponding [`crate::engine::FloorplanEngine`]
+//! implementation and converts the unified [`crate::engine::SolveOutcome`]
+//! back into the historical `Result<FloorplanReport, FloorplanError>` shape.
+//! New code should use [`crate::engine::EngineRegistry`] (and
+//! [`crate::portfolio::Portfolio`] for racing) directly:
 //!
-//! * [`Algorithm::O`] — the full MILP model (Section II of [10] plus the
-//!   relocation extension of this paper), solved by the from-scratch
-//!   branch-and-bound of `rfp-milp`. Exact, but practical only for small and
-//!   mid-size instances with this solver.
-//! * [`Algorithm::HO`] — the same MILP restricted by the sequence pair of a
-//!   greedy seed solution (Section II-A), which shrinks the search space by
-//!   orders of magnitude at the cost of possible sub-optimality.
-//! * [`Algorithm::Combinatorial`] — the exact columnar branch-and-bound of
-//!   [`crate::combinatorial`]; this is the engine used for the full-die SDR
-//!   experiments.
+//! * [`Algorithm::O`] — the full MILP model, engine id `"milp"`;
+//! * [`Algorithm::HO`] — the MILP restricted by a greedy sequence pair,
+//!   engine id `"ho"`;
+//! * [`Algorithm::Combinatorial`] — the exact columnar branch-and-bound,
+//!   engine id `"combinatorial"`.
 
-use crate::combinatorial::{solve_combinatorial, CombinatorialConfig};
+use crate::combinatorial::CombinatorialConfig;
+use crate::engine::{
+    CombinatorialEngine, FloorplanEngine, HeuristicMilpEngine, MilpEngine, SolveControl,
+    SolveOutcome, SolveRequest,
+};
 use crate::error::FloorplanError;
-use crate::heuristic::{greedy_floorplan, greedy_floorplan_fast};
-use crate::model::{FloorplanMilp, MilpBuildConfig, ModelStats};
+use crate::model::ModelStats;
 use crate::placement::{Floorplan, Metrics};
 use crate::problem::FloorplanProblem;
-use crate::sequence_pair::extract_relations;
-use rfp_milp::{Solver as MilpSolver, SolverConfig as MilpSolverConfig};
+use rfp_milp::SolverConfig as MilpSolverConfig;
 use serde::{Deserialize, Serialize};
 
 /// Selection of the solving engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Algorithm {
-    /// Optimal MILP (full search space).
+    /// Optimal MILP (full search space); engine id `"milp"`.
     O,
     /// Heuristic-Optimal MILP (search space restricted by the sequence pair
-    /// of a greedy seed).
+    /// of a greedy seed); engine id `"ho"`.
     HO,
-    /// Exact combinatorial branch and bound over candidate rectangles.
+    /// Exact combinatorial branch and bound over candidate rectangles;
+    /// engine id `"combinatorial"`.
     Combinatorial,
+}
+
+impl Algorithm {
+    /// The engine-registry id of the algorithm.
+    pub fn engine_id(self) -> &'static str {
+        match self {
+            Algorithm::O => "milp",
+            Algorithm::HO => "ho",
+            Algorithm::Combinatorial => "combinatorial",
+        }
+    }
 }
 
 /// Configuration of the floorplanner.
@@ -80,17 +95,35 @@ impl FloorplannerConfig {
         }
     }
 
-    /// Applies a wall-clock time limit (seconds) to whichever engine is used.
+    /// Applies a wall-clock time limit (seconds) to whichever engine is
+    /// used: the limit is written to **both** the MILP configuration and the
+    /// combinatorial configuration so every [`Algorithm`] honours the same
+    /// budget field, matching the semantics of
+    /// [`SolveRequest::with_time_limit`].
     pub fn with_time_limit(mut self, secs: f64) -> Self {
         self.milp.time_limit = Some(std::time::Duration::from_secs_f64(secs));
         self.combinatorial.time_limit_secs = secs;
         self
     }
+
+    /// The engine instance selected by [`FloorplannerConfig::algorithm`],
+    /// configured with this configuration's parameters.
+    pub fn engine(&self) -> Box<dyn FloorplanEngine> {
+        match self.algorithm {
+            Algorithm::Combinatorial => {
+                Box::new(CombinatorialEngine::with_config(self.combinatorial.clone()))
+            }
+            Algorithm::O => Box::new(MilpEngine::with_config(self.milp.clone())),
+            Algorithm::HO => Box::new(HeuristicMilpEngine::with_config(self.milp.clone())),
+        }
+    }
 }
 
-/// Detailed outcome of a floorplanning run.
+/// Detailed outcome of a floorplanning run, in the legacy (pre-engine-API)
+/// shape. Produced by [`Floorplanner::solve_report`]; new code should use
+/// [`crate::engine::SolveOutcome`] instead.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SolveReport {
+pub struct FloorplanReport {
     /// The floorplan found.
     pub floorplan: Floorplan,
     /// Its evaluation metrics.
@@ -119,7 +152,46 @@ pub struct SolveReport {
     pub gap: f64,
 }
 
-/// The relocation-aware floorplanner.
+/// Deprecated alias of [`FloorplanReport`], kept because this name used to
+/// collide with the MILP-level report of `rfp-milp` in downstream glob
+/// imports.
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `FloorplanReport`; the unified engine-level report is \
+            `rfp_floorplan::engine::SolveOutcome`"
+)]
+pub type SolveReport = FloorplanReport;
+
+impl FloorplanReport {
+    /// Builds the legacy report from an engine outcome. Returns the legacy
+    /// error mapping when the outcome carries no floorplan.
+    pub fn from_outcome(
+        algorithm: Algorithm,
+        outcome: SolveOutcome,
+    ) -> Result<FloorplanReport, FloorplanError> {
+        if outcome.floorplan.is_none() {
+            return Err(outcome.into_error());
+        }
+        let proven = outcome.status == crate::engine::OutcomeStatus::Proven;
+        let SolveOutcome { floorplan, metrics, stats, .. } = outcome;
+        Ok(FloorplanReport {
+            floorplan: floorplan.expect("checked above"),
+            metrics: metrics.expect("engines attach metrics to every floorplan"),
+            algorithm,
+            proven_optimal: proven,
+            nodes: stats.nodes,
+            solve_seconds: stats.solve_seconds,
+            model_stats: stats.model_stats,
+            lp_iterations: stats.lp_iterations,
+            lp_solves: stats.lp_solves,
+            lp_seconds: stats.lp_seconds,
+            cuts: stats.cuts,
+            gap: stats.gap,
+        })
+    }
+}
+
+/// The relocation-aware floorplanner (legacy facade over the engine API).
 #[derive(Debug, Clone, Default)]
 pub struct Floorplanner {
     /// Configuration.
@@ -139,116 +211,14 @@ impl Floorplanner {
 
     /// Solves a problem and returns the floorplan together with solve
     /// statistics.
-    pub fn solve_report(&self, problem: &FloorplanProblem) -> Result<SolveReport, FloorplanError> {
+    pub fn solve_report(
+        &self,
+        problem: &FloorplanProblem,
+    ) -> Result<FloorplanReport, FloorplanError> {
         problem.validate()?;
-        match self.config.algorithm {
-            Algorithm::Combinatorial => self.solve_combinatorial(problem),
-            Algorithm::O => self.solve_milp(problem, None),
-            Algorithm::HO => {
-                let seed = greedy_floorplan(problem)?;
-                self.solve_milp(problem, Some(seed))
-            }
-        }
-    }
-
-    fn solve_combinatorial(
-        &self,
-        problem: &FloorplanProblem,
-    ) -> Result<SolveReport, FloorplanError> {
-        let res = solve_combinatorial(problem, &self.config.combinatorial)?;
-        match res.floorplan {
-            Some(floorplan) => {
-                let metrics = floorplan.metrics(problem);
-                Ok(SolveReport {
-                    floorplan,
-                    metrics,
-                    algorithm: Algorithm::Combinatorial,
-                    proven_optimal: res.proven,
-                    nodes: res.nodes,
-                    solve_seconds: res.solve_seconds,
-                    model_stats: None,
-                    lp_iterations: 0,
-                    lp_solves: 0,
-                    lp_seconds: 0.0,
-                    cuts: 0,
-                    gap: if res.proven { 0.0 } else { f64::INFINITY },
-                })
-            }
-            None => Err(FloorplanError::Infeasible {
-                reason: "the combinatorial search exhausted the space without a feasible floorplan"
-                    .to_string(),
-            }),
-        }
-    }
-
-    fn solve_milp(
-        &self,
-        problem: &FloorplanProblem,
-        seed: Option<Floorplan>,
-    ) -> Result<SolveReport, FloorplanError> {
-        // O gets a fresh greedy pass as its warm start; HO reuses its seed.
-        // A warm start never restricts the search space — it only gives the
-        // branch-and-bound an initial incumbent to prune against, which is
-        // what makes the indicator-heavy floorplanning models tractable for
-        // the from-scratch solver. The fallback-free greedy keeps this
-        // opportunistic step from launching an unbounded exhaustive search.
-        let warm = seed.clone().or_else(|| greedy_floorplan_fast(problem));
-        let (build_cfg, algorithm) = match seed {
-            None => (MilpBuildConfig::optimal(), Algorithm::O),
-            Some(seed) => {
-                // The sequence pair covers the regions and, when all requested
-                // areas were reserved by the seed, also the free-compatible
-                // pseudo-regions (Section II-A). If the seed could not reserve
-                // every area, restrict only the region pairs.
-                let expected_entities = problem.n_regions() + problem.n_fc_areas();
-                let rects = if seed.fc_found() == problem.n_fc_areas() {
-                    seed.occupied()
-                } else {
-                    seed.regions.clone()
-                };
-                let relations = extract_relations(&rects);
-                debug_assert!(rects.len() <= expected_entities);
-                (MilpBuildConfig::heuristic_optimal(relations), Algorithm::HO)
-            }
-        };
-        let model = FloorplanMilp::build(problem, &build_cfg);
-        let stats = model.stats();
-        let solver = MilpSolver::new(self.config.milp.clone());
-        let start = warm.and_then(|fp| model.encode(problem, &fp));
-        let solution = solver.solve_with_start(&model.milp, start.as_deref());
-        if !solution.status.has_solution() {
-            return match solution.status {
-                rfp_milp::SolveStatus::Infeasible => Err(FloorplanError::Infeasible {
-                    reason: "the MILP model is infeasible".to_string(),
-                }),
-                _ => Err(FloorplanError::LimitReached),
-            };
-        }
-        let floorplan = model.extract(&solution);
-        let issues = floorplan.validate(problem);
-        if !issues.is_empty() {
-            // A solution that passes the MILP but fails the independent
-            // validator indicates numerical trouble; report it as a limit
-            // rather than returning a bogus floorplan.
-            return Err(FloorplanError::Infeasible {
-                reason: format!("extracted floorplan failed validation: {}", issues.join("; ")),
-            });
-        }
-        let metrics = floorplan.metrics(problem);
-        Ok(SolveReport {
-            floorplan,
-            metrics,
-            algorithm,
-            proven_optimal: solution.status == rfp_milp::SolveStatus::Optimal,
-            nodes: solution.nodes as u64,
-            solve_seconds: solution.solve_seconds,
-            model_stats: Some(stats),
-            lp_iterations: solution.lp_iterations as u64,
-            lp_solves: solution.lp_solves as u64,
-            lp_seconds: solution.lp_seconds,
-            cuts: solution.cuts as u64,
-            gap: solution.gap(),
-        })
+        let engine = self.config.engine();
+        let outcome = engine.solve(&SolveRequest::new(problem.clone()), &SolveControl::default());
+        FloorplanReport::from_outcome(self.config.algorithm, outcome)
     }
 }
 
@@ -321,5 +291,31 @@ mod tests {
         let cfg = FloorplannerConfig::combinatorial().with_time_limit(0.5);
         assert!((cfg.combinatorial.time_limit_secs - 0.5).abs() < 1e-12);
         assert!(cfg.milp.time_limit.is_some());
+        // The same budget must land on both engine configurations, so
+        // switching `algorithm` cannot silently drop the limit.
+        assert!(
+            (cfg.milp.time_limit.unwrap().as_secs_f64() - cfg.combinatorial.time_limit_secs).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn algorithm_maps_to_engine_ids() {
+        assert_eq!(Algorithm::O.engine_id(), "milp");
+        assert_eq!(Algorithm::HO.engine_id(), "ho");
+        assert_eq!(Algorithm::Combinatorial.engine_id(), "combinatorial");
+        assert_eq!(FloorplannerConfig::optimal().engine().id(), "milp");
+        assert_eq!(FloorplannerConfig::combinatorial().engine().id(), "combinatorial");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_solve_report_alias_still_compiles() {
+        fn takes_legacy(_: &SolveReport) {}
+        let (mut p, clb, _) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 1)]));
+        let report =
+            Floorplanner::new(FloorplannerConfig::combinatorial()).solve_report(&p).unwrap();
+        takes_legacy(&report);
     }
 }

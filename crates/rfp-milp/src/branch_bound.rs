@@ -24,6 +24,7 @@
 //! [`SolverConfig::use_dense_lp`] to benchmark the revised engine against
 //! the old from-scratch path.
 
+use crate::cancel::CancelToken;
 use crate::cuts::Separator;
 use crate::dense::DenseForm;
 use crate::model::{Model, Sense};
@@ -88,6 +89,11 @@ pub struct SolverConfig {
     /// Solve node LPs with the retired dense tableau instead of the revised
     /// simplex (benchmark baseline; disables warm re-solves and cuts).
     pub use_dense_lp: bool,
+    /// Cooperative cancellation flag, polled once per node and per dive
+    /// step. Share a clone of the token with another thread to abort the
+    /// search; a cancelled solve reports [`crate::SolveStatus::Feasible`] or
+    /// [`crate::SolveStatus::Unknown`] with [`Solution::cancelled`] set.
+    pub cancel: CancelToken,
 }
 
 impl Default for SolverConfig {
@@ -105,6 +111,7 @@ impl Default for SolverConfig {
             cut_rounds: 10,
             max_cuts_per_round: 64,
             use_dense_lp: false,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -320,12 +327,38 @@ impl Solver {
     /// becomes the initial incumbent, which prunes the search from the first
     /// node. An infeasible or malformed start is silently ignored.
     pub fn solve_with_start(&self, model: &Model, warm_start: Option<&[f64]>) -> Solution {
+        self.solve_controlled(model, warm_start, None)
+    }
+
+    /// Solves a mixed-integer linear program with full run-time control:
+    /// a warm start (see [`Solver::solve_with_start`]) and an
+    /// incumbent-progress callback invoked with `(objective, seconds)` —
+    /// objective in the model's optimisation sense — every time the search
+    /// finds a strictly better feasible solution. Cancellation is configured
+    /// through [`SolverConfig::cancel`].
+    pub fn solve_controlled(
+        &self,
+        model: &Model,
+        warm_start: Option<&[f64]>,
+        on_incumbent: Option<&(dyn Fn(f64, f64) + Send + Sync)>,
+    ) -> Solution {
         let start = Instant::now();
+        let notify = |obj_model_sense: f64| {
+            if let Some(cb) = on_incumbent {
+                cb(obj_model_sense, start.elapsed().as_secs_f64());
+            }
+        };
         let n = model.n_vars();
         let maximize = model.sense == Sense::Maximize;
         // Internal bounding works in minimisation sense.
         let to_min = |obj: f64| if maximize { -obj } else { obj };
         let from_min = |obj: f64| if maximize { -obj } else { obj };
+
+        // The LP layer shares the solver's cancellation token and deadline so
+        // an abort fires even in the middle of a long relaxation solve.
+        let mut lp_cfg = self.config.lp.clone();
+        lp_cfg.cancel = self.config.cancel.clone();
+        lp_cfg.deadline = self.config.time_limit.map(|limit| start + limit);
 
         let mut backend = if self.config.use_dense_lp {
             LpBackend::Dense(DenseForm::from_model(model))
@@ -363,6 +396,7 @@ impl Solver {
             if integral && model.is_feasible(values, tol::WARM_START) {
                 let obj_min = to_min(model.objective.eval(values));
                 incumbent = Some((obj_min, values.to_vec()));
+                notify(from_min(obj_min));
                 if self.config.stop_at_first_feasible {
                     return Solution {
                         status: SolveStatus::Feasible,
@@ -375,6 +409,7 @@ impl Solver {
                         lp_seconds: 0.0,
                         cuts: 0,
                         solve_seconds: start.elapsed().as_secs_f64(),
+                        cancelled: false,
                     };
                 }
             }
@@ -400,20 +435,18 @@ impl Solver {
                     break;
                 }
             }
-            if self.config.max_nodes > 0 && nodes >= self.config.max_nodes {
+            let node_budget = self.config.max_nodes > 0 && nodes >= self.config.max_nodes;
+            let time_budget = self.config.time_limit.is_some_and(|limit| start.elapsed() >= limit);
+            if node_budget || time_budget || self.config.cancel.is_cancelled() {
                 hit_limit = true;
+                // Keep the node's bound visible to the final gap accounting.
+                heap.push(OrderedNode(node));
                 break;
-            }
-            if let Some(limit) = self.config.time_limit {
-                if start.elapsed() >= limit {
-                    hit_limit = true;
-                    break;
-                }
             }
 
             nodes += 1;
             let (mut lp, mut snap) =
-                stats.timed(&backend, node.snapshot.as_deref(), &node.bounds, &self.config.lp);
+                stats.timed(&backend, node.snapshot.as_deref(), &node.bounds, &lp_cfg);
 
             // Root separation loop: add violated cover/clique cuts and
             // re-solve dually from the extended basis ("cut and branch").
@@ -437,8 +470,7 @@ impl Solver {
                     sf.add_rows(&rows);
                     cuts_added += cuts.len();
                     let warm = snap.as_ref().and_then(|s| sf.extend_snapshot(s));
-                    let (lp2, snap2) =
-                        stats.timed(&backend, warm.as_ref(), &node.bounds, &self.config.lp);
+                    let (lp2, snap2) = stats.timed(&backend, warm.as_ref(), &node.bounds, &lp_cfg);
                     lp = lp2;
                     snap = snap2;
                 }
@@ -457,6 +489,7 @@ impl Solver {
                         let mut sol = Solution::empty(SolveStatus::Unbounded, n);
                         sol.nodes = nodes;
                         sol.solve_seconds = start.elapsed().as_secs_f64();
+                        sol.cancelled = self.config.cancel.is_cancelled();
                         return sol;
                     }
                     // An unbounded relaxation of a bounded-integer problem is
@@ -496,6 +529,7 @@ impl Solver {
                     let obj_min = to_min(model.objective.eval(&values));
                     if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
                         incumbent = Some((obj_min, values));
+                        notify(from_min(obj_min));
                         if self.config.stop_at_first_feasible {
                             break;
                         }
@@ -510,6 +544,7 @@ impl Solver {
             if incumbent.is_none() && dive_due {
                 if let Some((obj_min_raw, values)) = self.dive(
                     &backend,
+                    &lp_cfg,
                     model,
                     &int_vars,
                     &node.bounds,
@@ -521,6 +556,7 @@ impl Solver {
                     let obj_min = to_min(obj_min_raw);
                     if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
                         incumbent = Some((obj_min, values));
+                        notify(from_min(obj_min));
                         if self.config.stop_at_first_feasible {
                             break;
                         }
@@ -538,6 +574,7 @@ impl Solver {
                     let obj_min = to_min(model.objective.eval(&rounded));
                     if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
                         incumbent = Some((obj_min, rounded));
+                        notify(from_min(obj_min));
                         if self.config.stop_at_first_feasible {
                             break;
                         }
@@ -586,6 +623,7 @@ impl Solver {
         }
 
         let elapsed = start.elapsed().as_secs_f64();
+        let was_cancelled = self.config.cancel.is_cancelled();
         // Remaining open nodes bound the optimum from below (min sense).
         let open_bound = heap.iter().map(|OrderedNode(nd)| nd.bound).fold(f64::INFINITY, f64::min);
 
@@ -609,6 +647,7 @@ impl Solver {
                     lp_seconds: stats.seconds,
                     cuts: cuts_added,
                     solve_seconds: elapsed,
+                    cancelled: was_cancelled,
                 }
             }
             None => {
@@ -626,6 +665,7 @@ impl Solver {
                 sol.lp_seconds = stats.seconds;
                 sol.cuts = cuts_added;
                 sol.solve_seconds = elapsed;
+                sol.cancelled = was_cancelled;
                 sol
             }
         }
@@ -672,6 +712,7 @@ impl Solver {
     fn dive(
         &self,
         backend: &LpBackend,
+        lp_cfg: &LpConfig,
         model: &Model,
         int_vars: &[usize],
         start_bounds: &[(f64, f64)],
@@ -687,6 +728,9 @@ impl Solver {
         // generous for binary-dominated models while still bounded for wide
         // integer ranges.
         for _ in 0..4 * int_vars.len() + 16 {
+            if self.config.cancel.is_cancelled() {
+                return None;
+            }
             if let Some(limit) = self.config.time_limit {
                 if start.elapsed() >= limit {
                     return None;
@@ -712,7 +756,7 @@ impl Solver {
             // rounding up, lower the upper bound when rounding down.
             let up = v.round() >= v;
             bounds[j] = if up { (v.ceil().min(ubj), ubj) } else { (lbj, v.floor().max(lbj)) };
-            let (lp, snap) = stats.timed(backend, snapshot.as_ref(), &bounds, &self.config.lp);
+            let (lp, snap) = stats.timed(backend, snapshot.as_ref(), &bounds, lp_cfg);
             if lp.status == LpStatus::Optimal {
                 values = lp.values;
                 snapshot = snap;
@@ -721,7 +765,7 @@ impl Solver {
             // Infeasible (or numerically stuck): flip the direction once,
             // then give up on this dive.
             bounds[j] = if up { (lbj, v.floor().max(lbj)) } else { (v.ceil().min(ubj), ubj) };
-            let (lp, snap) = stats.timed(backend, snapshot.as_ref(), &bounds, &self.config.lp);
+            let (lp, snap) = stats.timed(backend, snapshot.as_ref(), &bounds, lp_cfg);
             if lp.status == LpStatus::Optimal {
                 values = lp.values;
                 snapshot = snap;
@@ -973,6 +1017,90 @@ mod tests {
         assert!((sol.objective - 4.0).abs() < 1e-6);
         assert!(sol.best_bound >= sol.objective - 1e-6);
         assert!(sol.gap() < 1e-6);
+    }
+
+    #[test]
+    fn pre_cancelled_solve_stops_at_the_first_node() {
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = SolverConfig { cancel: token, ..SolverConfig::default() };
+        let mut m = Model::new("cancelled", Sense::Maximize);
+        let x = m.int_var("x", 0.0, 100.0);
+        let y = m.int_var("y", 0.0, 100.0);
+        m.add_con("c", LinExpr::from(x) * 3.0 + LinExpr::from(y) * 7.0, ConOp::Le, 20.5);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y) * 2.0);
+        let sol = Solver::new(cfg).solve(&m);
+        assert!(sol.cancelled);
+        assert_eq!(sol.nodes, 0);
+        assert_eq!(sol.status, SolveStatus::Unknown);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_the_lp_layer_itself() {
+        // The LP loops must notice the token directly: a multi-minute root
+        // relaxation would otherwise run to completion before the node-level
+        // cancellation check is ever reached.
+        let token = CancelToken::new();
+        token.cancel();
+        let lp_cfg = LpConfig { cancel: token, ..LpConfig::default() };
+        let mut m = Model::new("lp-interrupt", Sense::Minimize);
+        let x = m.cont_var("x", 0.0, 10.0);
+        let y = m.cont_var("y", 0.0, 10.0);
+        m.add_con("c", LinExpr::from(x) + y, ConOp::Ge, 3.0);
+        m.set_objective(LinExpr::from(x) * 2.0 + y);
+        let sf = StandardForm::from_model(&m);
+        let (res, _) = sf.solve_cold(None, &lp_cfg);
+        assert_eq!(res.status, LpStatus::IterationLimit);
+        // An expired deadline interrupts the same way.
+        let deadline_cfg = LpConfig { deadline: Some(Instant::now()), ..LpConfig::default() };
+        let (res, _) = sf.solve_cold(None, &deadline_cfg);
+        assert_eq!(res.status, LpStatus::IterationLimit);
+    }
+
+    #[test]
+    fn cancelled_solve_keeps_the_warm_start_incumbent() {
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = SolverConfig { cancel: token, ..SolverConfig::default() };
+        let mut m = Model::new("cancelled-warm", Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        m.add_con("c", LinExpr::from(x), ConOp::Le, 7.0);
+        m.set_objective(LinExpr::from(x));
+        let sol = Solver::new(cfg).solve_with_start(&m, Some(&[3.0]));
+        assert!(sol.cancelled);
+        assert_eq!(sol.status, SolveStatus::Feasible);
+        assert!((sol.objective - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incumbent_callback_reports_monotone_improvements() {
+        use std::sync::Mutex;
+        let seen: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let mut m = Model::new("progress", Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| m.bin_var(format!("b{i}"))).collect();
+        m.add_con(
+            "cap",
+            LinExpr::weighted_sum(vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64))),
+            ConOp::Le,
+            6.0,
+        );
+        m.set_objective(LinExpr::weighted_sum(vars.iter().map(|&v| (v, 1.0))));
+        let sol = Solver::default().solve_controlled(
+            &m,
+            None,
+            Some(&|obj, secs| {
+                assert!(secs >= 0.0);
+                seen.lock().unwrap().push(obj);
+            }),
+        );
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty(), "at least the final incumbent must be reported");
+        // Maximisation: each report strictly improves on the previous one.
+        for w in seen.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!((seen.last().unwrap() - sol.objective).abs() < 1e-9);
     }
 
     #[test]

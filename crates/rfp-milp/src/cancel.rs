@@ -1,0 +1,84 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle around a shared atomic
+//! flag. Long-running solver loops poll [`CancelToken::is_cancelled`] and
+//! unwind as soon as any clone of the token is [`CancelToken::cancel`]led —
+//! the mechanism the engine portfolio uses to stop losing engines once a
+//! proven result is available, and that interactive callers use to abort a
+//! solve from another thread.
+//!
+//! Cancellation is *cooperative*: it never interrupts a pivot or a node
+//! mid-flight, it only stops the search at the next poll point, so a
+//! cancelled solve still returns a well-formed (budget-exhausted) result.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable cancellation flag polled by the solver inner loops.
+///
+/// Clones share the same flag; cancelling any clone cancels them all.
+///
+/// ```
+/// use rfp_milp::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns `true` once any clone has been cancelled.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        a.cancel();
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let handle = std::thread::spawn(move || {
+            while !remote.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(handle.join().unwrap());
+    }
+}

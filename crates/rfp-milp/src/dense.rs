@@ -235,7 +235,7 @@ impl DenseForm {
         // phase = 1 uses d1, phase = 2 uses d2.
         let mut phase = 1;
         loop {
-            if iterations >= max_iter {
+            if iterations >= max_iter || config.interrupted() {
                 return self.finish(LpStatus::IterationLimit, &basis, &xb, &at_upper, &lb, &ub);
             }
 

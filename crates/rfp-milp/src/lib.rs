@@ -56,6 +56,7 @@
 
 pub mod basis;
 pub mod branch_bound;
+pub mod cancel;
 pub mod cuts;
 pub mod dense;
 pub mod expr;
@@ -69,12 +70,30 @@ pub mod tol;
 /// Convenient glob import for users of the solver.
 pub mod prelude {
     pub use crate::branch_bound::{BranchRule, Solver, SolverConfig};
+    pub use crate::cancel::CancelToken;
     pub use crate::expr::LinExpr;
     pub use crate::model::{ConOp, Model, Sense, VarId, VarKind};
     pub use crate::solution::{Solution, SolveStatus};
 }
 
 pub use branch_bound::{BranchRule, Solver, SolverConfig};
+pub use cancel::CancelToken;
 pub use expr::LinExpr;
 pub use model::{ConOp, Model, Sense, VarId, VarKind};
 pub use solution::{Solution, SolveStatus};
+
+/// The MILP-level solve report under an unambiguous name.
+///
+/// Historically both this crate (via its solution type) and `rfp-floorplan`
+/// exposed a "solve report", which collided in downstream glob imports. The
+/// floorplan-level report is now `rfp_floorplan::FloorplanReport` and the
+/// engine API's `SolveOutcome`; this alias names the MILP-level one.
+pub use solution::Solution as MilpSolution;
+
+/// Deprecated alias kept so pre-unification call sites keep compiling.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solution` (or the `MilpSolution` alias); the unified floorplan-level \
+            report is `rfp_floorplan::engine::SolveOutcome`"
+)]
+pub type SolveReport = Solution;

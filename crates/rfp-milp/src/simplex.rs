@@ -68,6 +68,13 @@ pub struct LpConfig {
     pub max_iterations: usize,
     /// Refactorize the basis after this many eta updates.
     pub refactor_interval: usize,
+    /// Cooperative cancellation, polled once per pivot; an interrupted solve
+    /// returns [`LpStatus::IterationLimit`]. The MILP driver shares its own
+    /// token here so a cancellation fires even mid-LP (the root relaxations
+    /// of full-die models run for minutes otherwise).
+    pub cancel: crate::cancel::CancelToken,
+    /// Absolute wall-clock deadline, polled alongside `cancel`.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for LpConfig {
@@ -77,7 +84,17 @@ impl Default for LpConfig {
             pivot_tol: tol::PIVOT,
             max_iterations: 0,
             refactor_interval: 64,
+            cancel: crate::cancel::CancelToken::default(),
+            deadline: None,
         }
+    }
+}
+
+impl LpConfig {
+    /// `true` once the cancellation token fired or the deadline passed.
+    #[inline]
+    pub fn interrupted(&self) -> bool {
+        self.cancel.is_cancelled() || self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
     }
 }
 
@@ -496,7 +513,7 @@ impl<'a> Worker<'a> {
         let mut alpha = vec![0.0f64; m];
 
         loop {
-            if self.iterations >= max_iter {
+            if self.iterations >= max_iter || self.cfg.interrupted() {
                 return LpStatus::IterationLimit;
             }
             if self.fact.n_etas() >= self.cfg.refactor_interval && !self.refactorize() {
@@ -711,7 +728,9 @@ impl<'a> Worker<'a> {
         let dual_budget = (m / 2 + 200).min(max_iter);
         let mut degenerate_run = 0usize;
         loop {
-            if self.iterations >= dual_budget {
+            if self.iterations >= dual_budget || self.cfg.interrupted() {
+                // An interrupt falls back to the cold primal, which then
+                // notices the same interrupt immediately and unwinds.
                 return DualOutcome::Fallback;
             }
             if self.fact.n_etas() >= self.cfg.refactor_interval && !self.refactorize() {

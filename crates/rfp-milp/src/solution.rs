@@ -52,6 +52,10 @@ pub struct Solution {
     pub cuts: usize,
     /// Wall-clock solve time in seconds.
     pub solve_seconds: f64,
+    /// `true` when the search stopped because the configured
+    /// [`crate::CancelToken`] was cancelled (rather than by proof or by a
+    /// node/time limit).
+    pub cancelled: bool,
 }
 
 impl Solution {
@@ -68,6 +72,7 @@ impl Solution {
             lp_seconds: 0.0,
             cuts: 0,
             solve_seconds: 0.0,
+            cancelled: false,
         }
     }
 
@@ -142,6 +147,7 @@ mod tests {
             lp_seconds: 0.06,
             cuts: 0,
             solve_seconds: 0.1,
+            cancelled: false,
         };
         assert_eq!(sol.value(VarId::from_index(0)), 1.2);
         assert_eq!(sol.int_value(VarId::from_index(2)), 3);

@@ -63,6 +63,14 @@ pub struct SyntheticWorkload {
     pub spec: WorkloadSpec,
 }
 
+impl SyntheticWorkload {
+    /// The generated problem as an `rfp-problem` v1 JSON document
+    /// ([`rfp_floorplan::jsonio`]), ready for `rfp solve`.
+    pub fn problem_json(&self) -> String {
+        rfp_floorplan::jsonio::write_problem(&self.problem)
+    }
+}
+
 impl WorkloadSpec {
     /// Generates the workload.
     ///
@@ -173,6 +181,16 @@ mod tests {
         let p = spec.generate().problem;
         assert_eq!(p.relocation.len(), 2);
         assert_eq!(p.n_fc_areas(), 4);
+    }
+
+    #[test]
+    fn generated_workloads_round_trip_through_the_json_format() {
+        let w =
+            WorkloadSpec { fc_per_region: 1, relocatable_regions: 2, ..WorkloadSpec::default() }
+                .generate();
+        let doc = w.problem_json();
+        let back = rfp_floorplan::jsonio::read_problem(&doc).unwrap();
+        assert_eq!(back, w.problem);
     }
 
     #[test]

@@ -13,4 +13,6 @@ pub mod generator;
 pub mod sdr;
 
 pub use generator::{SyntheticWorkload, WorkloadSpec};
-pub use sdr::{sdr2_problem, sdr3_problem, sdr_problem, sdr_region_table, SdrRegionRow};
+pub use sdr::{
+    sdr2_problem, sdr3_problem, sdr_problem, sdr_problem_json, sdr_region_table, SdrRegionRow,
+};

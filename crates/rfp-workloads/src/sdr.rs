@@ -155,6 +155,20 @@ pub fn sdr3_problem() -> FloorplanProblem {
     with_relocation_constraints(sdr_problem(), 3)
 }
 
+/// The SDR instance with `fc_per_region` constraint-mode areas per
+/// relocatable region (0 = plain SDR, 2 = SDR2, 3 = SDR3), rendered as an
+/// `rfp-problem` v1 JSON document ([`rfp_floorplan::jsonio`]). This is what
+/// `rfp convert sdr|sdr2|sdr3` emits and what the golden files under
+/// `tests/golden/` pin.
+pub fn sdr_problem_json(fc_per_region: u32) -> String {
+    let problem = if fc_per_region == 0 {
+        sdr_problem()
+    } else {
+        with_relocation_constraints(sdr_problem(), fc_per_region)
+    };
+    rfp_floorplan::jsonio::write_problem(&problem)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +202,15 @@ mod tests {
         assert_eq!(p.connections.len(), 4, "chain of five modules");
         assert_eq!(p.total_required_frames(), 4202);
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn sdr_json_variants_round_trip_to_equal_problems() {
+        for (fc, expected) in [(0u32, sdr_problem()), (2, sdr2_problem()), (3, sdr3_problem())] {
+            let doc = sdr_problem_json(fc);
+            let back = rfp_floorplan::jsonio::read_problem(&doc).unwrap();
+            assert_eq!(back, expected, "fc_per_region = {fc}");
+        }
     }
 
     #[test]

@@ -7,18 +7,15 @@
 
 use relocfp::prelude::*;
 use rfp_device::SyntheticSpec;
-use rfp_floorplan::combinatorial::CombinatorialConfig;
 use rfp_workloads::generator::WorkloadSpec;
 
 fn solve(problem: &FloorplanProblem) -> Option<(u64, usize, f64)> {
-    let cfg = FloorplannerConfig {
-        combinatorial: CombinatorialConfig::with_time_limit(20.0),
-        ..FloorplannerConfig::combinatorial()
-    };
-    Floorplanner::new(cfg)
-        .solve_report(problem)
-        .ok()
-        .map(|r| (r.metrics.wasted_frames, r.metrics.fc_found, r.solve_seconds))
+    let registry = EngineRegistry::builtin();
+    let engine = registry.get("combinatorial").expect("builtin engine");
+    let req = SolveRequest::new(problem.clone()).with_time_limit(20.0);
+    let outcome = engine.solve(&req, &SolveControl::default());
+    let m = outcome.metrics?;
+    Some((m.wasted_frames, m.fc_found, outcome.stats.solve_seconds))
 }
 
 fn main() {

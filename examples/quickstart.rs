@@ -48,20 +48,29 @@ fn main() {
     problem.request_relocation(RelocationRequest::constraint(crc, 1));
     problem.request_relocation(RelocationRequest::metric(fft, 1, 2.0));
 
-    // 5. Solve and validate.
-    let report = Floorplanner::new(FloorplannerConfig::combinatorial())
-        .solve_report(&problem)
-        .expect("the instance is feasible");
-    let issues = report.floorplan.validate(&problem);
+    // 5. Solve through the engine registry (the same call path the `rfp`
+    //    CLI and the portfolio use) and validate.
+    let registry = EngineRegistry::builtin();
+    let engine = registry.get("combinatorial").expect("builtin engine");
+    let outcome = engine.solve(&SolveRequest::new(problem.clone()), &SolveControl::default());
+    let floorplan = outcome.floorplan.expect("the instance is feasible");
+    let metrics = outcome.metrics.expect("metrics accompany floorplans");
+    let issues = floorplan.validate(&problem);
     assert!(issues.is_empty(), "the floorplanner must return a valid floorplan: {issues:?}");
 
-    println!("\n{}", render_ascii(&problem, &report.floorplan));
+    println!("\n{}", render_ascii(&problem, &floorplan));
     println!(
         "wasted frames = {}, wire length = {:.0}, free-compatible areas = {}/{}, proven optimal = {}",
-        report.metrics.wasted_frames,
-        report.metrics.wirelength,
-        report.metrics.fc_found,
-        report.metrics.fc_requested,
-        report.proven_optimal,
+        metrics.wasted_frames,
+        metrics.wirelength,
+        metrics.fc_found,
+        metrics.fc_requested,
+        outcome.status == OutcomeStatus::Proven,
     );
+
+    // 6. Problems and floorplans serialise to a versioned JSON format, so
+    //    the same instance can be solved from the command line:
+    //    `rfp solve --engine combinatorial quickstart.problem.json`.
+    let json = relocfp::floorplan::jsonio::write_problem(&problem);
+    println!("\nJSON problem document: {} bytes (try `rfp solve` on it)", json.len());
 }

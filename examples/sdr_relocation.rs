@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example sdr_relocation`
 
-use relocfp::baselines::{tessellation_floorplan, AnnealingFloorplanner, TessellationConfig};
+use relocfp::baselines::engines::full_registry;
 use relocfp::prelude::*;
 use rfp_floorplan::render::render_ascii;
 use rfp_workloads::{sdr2_problem, sdr_problem, sdr_region_table};
@@ -18,49 +18,66 @@ fn main() {
         );
     }
 
+    // Every engine — exact and baseline alike — speaks the same
+    // `FloorplanEngine::solve(request, control)` contract.
+    let registry = full_registry();
+    let ctl = SolveControl::default();
+
     // Relocation-unaware baselines on the plain SDR instance.
     let sdr = sdr_problem();
-    let tess = tessellation_floorplan(&sdr, &TessellationConfig::default())
-        .expect("tessellation places the SDR design");
+    let plain_req = SolveRequest::new(sdr.clone()).with_time_limit(60.0);
+    for (label, id) in [
+        ("[8]-style tessellation baseline", "tessellation"),
+        ("[9]-style simulated annealing  ", "annealing"),
+    ] {
+        let outcome = registry.get(id).expect("registered").solve(&plain_req, &ctl);
+        match outcome.metrics {
+            Some(m) => println!("\n{label} : {:>5} wasted frames", m.wasted_frames),
+            None => println!("\n{label} : no floorplan ({})", outcome.status),
+        }
+    }
+    let plain = registry.get("combinatorial").expect("registered").solve(&plain_req, &ctl);
     println!(
-        "\n[8]-style tessellation baseline : {:>5} wasted frames",
-        tess.metrics(&sdr).wasted_frames
+        "[10]  (PA without relocation)   : {:>5} wasted frames",
+        plain.metrics.expect("SDR is feasible").wasted_frames
     );
-    if let Ok(sa) = AnnealingFloorplanner::default().solve(&sdr) {
+
+    // The relocation-aware solve on SDR2 as a portfolio race: all five
+    // engines start, the first proven result cancels the rest (the
+    // relocation-unaware baselines drop out as infeasible).
+    let problem = sdr2_problem();
+    let race = Portfolio::from_registry(&registry)
+        .race(&SolveRequest::new(problem.clone()).with_time_limit(120.0));
+    for entry in &race.entries {
         println!(
-            "[9]-style simulated annealing   : {:>5} wasted frames",
-            sa.metrics(&sdr).wasted_frames
+            "  raced {:<14} -> {}{}",
+            entry.engine,
+            entry.outcome.status,
+            if entry.outcome.stats.cancelled { " (cancelled)" } else { "" }
         );
     }
-    let plain = Floorplanner::new(FloorplannerConfig::combinatorial().with_time_limit(60.0))
-        .solve_report(&sdr)
-        .expect("SDR is feasible");
-    println!("[10]  (PA without relocation)   : {:>5} wasted frames", plain.metrics.wasted_frames);
-
-    // The relocation-aware floorplanner on SDR2.
-    let problem = sdr2_problem();
-    let report = Floorplanner::new(FloorplannerConfig::combinatorial().with_time_limit(120.0))
-        .solve_report(&problem)
-        .expect("SDR2 is feasible");
+    let winner = race.winning_entry().expect("SDR2 is feasible");
+    let report_fp = winner.outcome.floorplan.clone().expect("winner carries a floorplan");
+    let report_metrics = winner.outcome.metrics.expect("metrics accompany floorplans");
     println!(
-        "PA on SDR2 (2 areas/relocatable) : {:>5} wasted frames, {} free-compatible areas\n",
-        report.metrics.wasted_frames, report.metrics.fc_found
+        "PA on SDR2 (won by `{}`)         : {:>5} wasted frames, {} free-compatible areas\n",
+        winner.engine, report_metrics.wasted_frames, report_metrics.fc_found
     );
-    println!("{}", render_ascii(&problem, &report.floorplan));
+    println!("{}", render_ascii(&problem, &report_fp));
 
     // Every reserved area really is a legal relocation target: prove it by
     // generating a bitstream for each relocatable region and relocating it.
     let partition = &problem.partition;
-    let occupied = report.floorplan.occupied();
+    let occupied = report_fp.occupied();
     let mut memory = ConfigMemory::new();
-    for (idx, rect) in report.floorplan.regions.iter().enumerate() {
+    for (idx, rect) in report_fp.regions.iter().enumerate() {
         let name = &problem.regions[idx].name;
         let bs = Bitstream::generate(partition, name, *rect, idx as u64).expect("legal area");
         memory.program(name, &bs).expect("no conflicts in a valid floorplan");
     }
-    for (idx, rect) in report.floorplan.regions.iter().enumerate() {
+    for (idx, rect) in report_fp.regions.iter().enumerate() {
         let name = &problem.regions[idx].name;
-        let targets = report.floorplan.fc_for_region(idx);
+        let targets = report_fp.fc_for_region(idx);
         if targets.is_empty() {
             continue;
         }

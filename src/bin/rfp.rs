@@ -1,0 +1,339 @@
+//! `rfp` — the relocation-aware floorplanning CLI.
+//!
+//! Drives the engine registry from versioned JSON problem files
+//! (`rfp_floorplan::jsonio`):
+//!
+//! ```text
+//! rfp engines                                   list the registered engines
+//! rfp convert sdr2 --out sdr2.problem.json      emit a built-in instance as JSON
+//! rfp solve --engine milp problem.json          solve with one engine
+//! rfp solve --portfolio problem.json            race every engine, first proof wins
+//! rfp validate problem.json floorplan.json      re-check a floorplan independently
+//! ```
+//!
+//! Exit codes: `0` success, `1` usage/IO/format error, `2` infeasible (or
+//! floorplan invalid for `validate`), `3` budget exhausted before a
+//! floorplan was found.
+
+use relocfp::floorplan::engine::{EngineRegistry, OutcomeStatus, SolveControl, SolveRequest};
+use relocfp::floorplan::jsonio;
+use relocfp::floorplan::portfolio::Portfolio;
+use rfp_workloads::generator::WorkloadSpec;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  rfp engines
+  rfp solve [--engine ID | --portfolio[=ID,ID,...]] [--time-limit SECS]
+            [--node-limit N] [--out FILE] [--quiet] PROBLEM.json
+  rfp validate PROBLEM.json FLOORPLAN.json
+  rfp convert [--out FILE] INSTANCE
+      INSTANCE: sdr | sdr2 | sdr3 | synthetic[:SEED[:REGIONS]]
+
+Problems and floorplans use the versioned JSON formats of
+rfp_floorplan::jsonio (rfp-problem v1 / rfp-floorplan v1).";
+
+fn fail(msg: impl AsRef<str>) -> ExitCode {
+    eprintln!("rfp: {}", msg.as_ref());
+    ExitCode::from(1)
+}
+
+fn registry() -> EngineRegistry {
+    rfp_baselines::engines::full_registry()
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn write_output(out: Option<&str>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}"))
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("engines") => cmd_engines(),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn cmd_engines() -> ExitCode {
+    let registry = registry();
+    for engine in registry.iter() {
+        println!("{:<14} {}", engine.id(), engine.description());
+    }
+    ExitCode::SUCCESS
+}
+
+struct SolveArgs {
+    engine: Option<String>,
+    portfolio: Option<Vec<String>>,
+    time_limit: f64,
+    node_limit: u64,
+    out: Option<String>,
+    quiet: bool,
+    problem_path: String,
+}
+
+fn parse_solve_args(args: &[String]) -> Result<SolveArgs, String> {
+    let mut parsed = SolveArgs {
+        engine: None,
+        portfolio: None,
+        time_limit: 0.0,
+        node_limit: 0,
+        out: None,
+        quiet: false,
+        problem_path: String::new(),
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take_value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--engine" => parsed.engine = Some(take_value("--engine")?),
+            "--portfolio" => parsed.portfolio = Some(Vec::new()),
+            a if a.starts_with("--portfolio=") => {
+                let ids = a["--portfolio=".len()..]
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                parsed.portfolio = Some(ids);
+            }
+            "--time-limit" => {
+                let v = take_value("--time-limit")?;
+                parsed.time_limit = v.parse().map_err(|_| format!("invalid --time-limit `{v}`"))?;
+            }
+            "--node-limit" => {
+                let v = take_value("--node-limit")?;
+                parsed.node_limit = v.parse().map_err(|_| format!("invalid --node-limit `{v}`"))?;
+            }
+            "--out" | "-o" => parsed.out = Some(take_value("--out")?),
+            "--quiet" | "-q" => parsed.quiet = true,
+            a if a.starts_with('-') => return Err(format!("unknown option `{a}`")),
+            a => positional.push(a.to_string()),
+        }
+    }
+    match positional.as_slice() {
+        [path] => parsed.problem_path = path.clone(),
+        [] => return Err("missing PROBLEM.json argument".to_string()),
+        more => return Err(format!("unexpected extra arguments: {more:?}")),
+    }
+    if parsed.engine.is_some() && parsed.portfolio.is_some() {
+        return Err("--engine and --portfolio are mutually exclusive".to_string());
+    }
+    Ok(parsed)
+}
+
+fn cmd_solve(args: &[String]) -> ExitCode {
+    let parsed = match parse_solve_args(args) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("{e}\n{USAGE}")),
+    };
+    let doc = match read_file(&parsed.problem_path) {
+        Ok(d) => d,
+        Err(e) => return fail(e),
+    };
+    let problem = match jsonio::read_problem(&doc) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("`{}`: {e}", parsed.problem_path)),
+    };
+    if let Err(e) = problem.validate() {
+        return fail(format!("`{}`: invalid problem: {e}", parsed.problem_path));
+    }
+
+    let registry = registry();
+    let mut req = SolveRequest::new(problem);
+    if parsed.time_limit > 0.0 {
+        req = req.with_time_limit(parsed.time_limit);
+    }
+    if parsed.node_limit > 0 {
+        req = req.with_node_limit(parsed.node_limit);
+    }
+
+    let (engine_label, outcome) = if let Some(ids) = &parsed.portfolio {
+        // Race the requested engines (or every registered engine). The exact
+        // engines prove and cancel the heuristics; heuristics only win on
+        // objective when nobody proves within the budget.
+        let portfolio = if ids.is_empty() {
+            Portfolio::from_registry(&registry)
+        } else {
+            let mut engines = Vec::new();
+            for id in ids {
+                match registry.get(id) {
+                    Some(e) => engines.push(e),
+                    None => return fail(format!("unknown engine `{id}` in --portfolio")),
+                }
+            }
+            Portfolio::new(engines)
+        };
+        let race = portfolio.race(&req);
+        if !parsed.quiet {
+            for entry in &race.entries {
+                eprintln!(
+                    "  {:<14} {:<16} {:>8.2}s  nodes {}{}",
+                    entry.engine,
+                    entry.outcome.status.to_string(),
+                    entry.outcome.stats.solve_seconds,
+                    entry.outcome.stats.nodes,
+                    if entry.outcome.stats.cancelled { "  (cancelled)" } else { "" },
+                );
+            }
+        }
+        match race.winner {
+            Some(i) => {
+                let entry = &race.entries[i];
+                (entry.engine.clone(), entry.outcome.clone())
+            }
+            None => {
+                let budget =
+                    race.entries.iter().any(|e| e.outcome.status == OutcomeStatus::BudgetExhausted);
+                eprintln!("rfp: no engine produced a floorplan");
+                return ExitCode::from(if budget { 3 } else { 2 });
+            }
+        }
+    } else {
+        let id = parsed.engine.as_deref().unwrap_or("combinatorial");
+        let Some(engine) = registry.get(id) else {
+            let known = registry.ids().join(", ");
+            return fail(format!("unknown engine `{id}` (known: {known})"));
+        };
+        (id.to_string(), engine.solve(&req, &SolveControl::default()))
+    };
+
+    if !parsed.quiet {
+        eprintln!(
+            "rfp: {engine_label}: {} in {:.2}s ({} nodes)",
+            outcome.status, outcome.stats.solve_seconds, outcome.stats.nodes
+        );
+        if let Some(m) = &outcome.metrics {
+            eprintln!(
+                "rfp: wasted frames {}, wire length {:.1}, free-compatible areas {}/{}",
+                m.wasted_frames, m.wirelength, m.fc_found, m.fc_requested
+            );
+        }
+    }
+    match &outcome.floorplan {
+        Some(fp) => {
+            let rendered = jsonio::write_floorplan(fp);
+            match write_output(parsed.out.as_deref(), &rendered) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
+        None => {
+            eprintln!("rfp: no floorplan: {}", outcome.detail.as_deref().unwrap_or("(no detail)"));
+            ExitCode::from(if outcome.status == OutcomeStatus::BudgetExhausted { 3 } else { 2 })
+        }
+    }
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let [problem_path, floorplan_path] = args else {
+        return fail(format!("validate needs PROBLEM.json and FLOORPLAN.json\n{USAGE}"));
+    };
+    let problem = match read_file(problem_path)
+        .and_then(|d| jsonio::read_problem(&d).map_err(|e| format!("`{problem_path}`: {e}")))
+    {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = problem.validate() {
+        return fail(format!("`{problem_path}`: invalid problem: {e}"));
+    }
+    let floorplan = match read_file(floorplan_path)
+        .and_then(|d| jsonio::read_floorplan(&d).map_err(|e| format!("`{floorplan_path}`: {e}")))
+    {
+        Ok(fp) => fp,
+        Err(e) => return fail(e),
+    };
+    let issues = floorplan.validate(&problem);
+    if issues.is_empty() {
+        let m = floorplan.metrics(&problem);
+        println!(
+            "valid: wasted frames {}, wire length {:.1}, free-compatible areas {}/{}",
+            m.wasted_frames, m.wirelength, m.fc_found, m.fc_requested
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("invalid floorplan ({} issue(s)):", issues.len());
+        for issue in &issues {
+            eprintln!("  - {issue}");
+        }
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_convert(args: &[String]) -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut instance: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" | "-o" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return fail("--out needs a value"),
+            },
+            a if a.starts_with('-') => return fail(format!("unknown option `{a}`")),
+            a => {
+                if instance.replace(a.to_string()).is_some() {
+                    return fail(format!("more than one INSTANCE given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let Some(instance) = instance else {
+        return fail(format!("missing INSTANCE argument\n{USAGE}"));
+    };
+    let doc = match instance.as_str() {
+        "sdr" => rfp_workloads::sdr_problem_json(0),
+        "sdr2" => rfp_workloads::sdr_problem_json(2),
+        "sdr3" => rfp_workloads::sdr_problem_json(3),
+        other if other == "synthetic" || other.starts_with("synthetic:") => {
+            let mut spec = WorkloadSpec::default();
+            let parts: Vec<&str> = other.split(':').collect();
+            if let Some(seed) = parts.get(1) {
+                match seed.parse() {
+                    Ok(s) => spec.seed = s,
+                    Err(_) => return fail(format!("invalid synthetic seed `{seed}`")),
+                }
+            }
+            if let Some(n) = parts.get(2) {
+                match n.parse() {
+                    Ok(n) => spec.n_regions = n,
+                    Err(_) => return fail(format!("invalid synthetic region count `{n}`")),
+                }
+            }
+            if parts.len() > 3 {
+                return fail(format!("invalid synthetic spec `{other}`"));
+            }
+            spec.generate().problem_json()
+        }
+        other => {
+            return fail(format!(
+                "unknown instance `{other}` (known: sdr, sdr2, sdr3, synthetic[:SEED[:REGIONS]])"
+            ))
+        }
+    };
+    match write_output(out.as_deref(), &doc) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}

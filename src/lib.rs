@@ -21,15 +21,28 @@
 //!
 //! ## Quick start
 //!
+//! Solving goes through the engine-agnostic API: look an engine up in the
+//! [`floorplan::engine::EngineRegistry`] (or race several with
+//! [`floorplan::portfolio::Portfolio`]) and hand it a cancellable
+//! [`floorplan::engine::SolveRequest`]. The `rfp` CLI (`rfp solve`,
+//! `validate`, `engines`, `convert`) drives the same path from versioned
+//! JSON problem files ([`floorplan::jsonio`]).
+//!
 //! ```
 //! use relocfp::prelude::*;
 //!
 //! // The SDR2 instance of the paper: two free-compatible areas for every
 //! // relocatable region of the SDR design on a Virtex-5 FX70T.
 //! let problem = relocfp::workloads::sdr2_problem();
-//! let floorplan = Floorplanner::new(FloorplannerConfig::combinatorial().with_time_limit(60.0))
-//!     .solve(&problem)
-//!     .expect("SDR2 is feasible");
+//! let registry = relocfp::baselines::engines::full_registry();
+//! let outcome = registry
+//!     .get("combinatorial")
+//!     .expect("registered engine")
+//!     .solve(
+//!         &SolveRequest::new(problem.clone()).with_time_limit(60.0),
+//!         &SolveControl::default(),
+//!     );
+//! let floorplan = outcome.floorplan.expect("SDR2 is feasible");
 //! assert!(floorplan.validate(&problem).is_empty());
 //! assert_eq!(floorplan.fc_found(), 6);
 //! ```

@@ -76,7 +76,7 @@ fn feasibility_analysis_matches_the_paper() {
 
 #[test]
 fn engines_agree_on_a_small_instance() {
-    // O (the MILP path through the from-scratch solver) and the combinatorial
+    // The MILP engine (through the registry call path) and the combinatorial
     // engine must agree on the optimal wasted frames of a small instance with
     // a relocation constraint.
     let mut builder = DeviceBuilder::new("agree");
@@ -91,12 +91,15 @@ fn engines_agree_on_a_small_instance() {
     problem.request_relocation(RelocationRequest::constraint(a, 1));
 
     let comb = solve_combinatorial(&problem, &CombinatorialConfig::default()).unwrap();
-    let o = Floorplanner::new(FloorplannerConfig::optimal().with_time_limit(120.0))
-        .solve_report(&problem)
-        .unwrap();
-    assert!(o.floorplan.validate(&problem).is_empty());
-    assert_eq!(Some(o.metrics.wasted_frames), comb.best_waste);
-    assert_eq!(o.metrics.fc_found, 1);
+    let o = EngineRegistry::builtin().get("milp").expect("builtin engine").solve(
+        &SolveRequest::new(problem.clone()).with_time_limit(120.0),
+        &SolveControl::default(),
+    );
+    let o_fp = o.floorplan.as_ref().expect("O solves the small instance");
+    let o_metrics = o.metrics.expect("metrics accompany floorplans");
+    assert!(o_fp.validate(&problem).is_empty());
+    assert_eq!(Some(o_metrics.wasted_frames), comb.best_waste);
+    assert_eq!(o_metrics.fc_found, 1);
 }
 
 #[test]

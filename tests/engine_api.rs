@@ -1,0 +1,157 @@
+//! Cross-crate tests of the engine-agnostic solve API: all five engines on
+//! the SDR instance through the same registry call path, portfolio racing
+//! with loser cancellation, and the `rfp` CLI end to end.
+
+use relocfp::floorplan::engine::{SolveControl, SolveRequest};
+use relocfp::floorplan::portfolio::Portfolio;
+use rfp_baselines::engines::full_registry;
+use rfp_workloads::sdr_problem;
+
+/// Acceptance: every registered engine solves the (plain) SDR instance
+/// through `EngineRegistry::get(id).solve(req, ctl)`. The exact
+/// combinatorial engine proves; the MILP engines at least return their
+/// warm-start incumbent within the budget; the baselines are feasible.
+#[test]
+fn all_five_engines_solve_sdr_through_the_registry() {
+    let registry = full_registry();
+    assert_eq!(registry.ids(), vec!["milp", "ho", "combinatorial", "annealing", "tessellation"]);
+    let req = SolveRequest::new(sdr_problem()).with_time_limit(10.0);
+    for id in registry.ids() {
+        let outcome = registry.get(id).unwrap().solve(&req, &SolveControl::default());
+        assert!(
+            outcome.status.has_floorplan(),
+            "engine `{id}` failed on SDR: {} ({:?})",
+            outcome.status,
+            outcome.detail
+        );
+        let fp = outcome.floorplan.as_ref().expect("floorplan present");
+        assert!(fp.validate(&req.problem).is_empty(), "engine `{id}` returned invalid floorplan");
+        assert_eq!(outcome.stats.engine, id);
+        if id == "combinatorial" {
+            assert!(outcome.is_proven(), "the combinatorial engine proves SDR");
+            assert_eq!(outcome.stats.gap, 0.0);
+        }
+        if id == "annealing" || id == "tessellation" {
+            assert!(!outcome.is_proven(), "baselines never claim proof");
+        }
+    }
+}
+
+/// Acceptance: `Portfolio::race` returns a proven result on SDR and cancels
+/// the losing engines — the still-running exact engines observe the
+/// cancellation token.
+#[test]
+fn portfolio_race_on_sdr_proves_and_cancels_losers() {
+    let registry = full_registry();
+    let race = Portfolio::from_registry(&registry).race(&SolveRequest::new(sdr_problem()));
+    let winner = race.winning_entry().expect("SDR is feasible");
+    assert_eq!(winner.engine, "combinatorial", "only the combinatorial engine can prove SDR");
+    assert!(winner.outcome.is_proven());
+    assert!(!winner.outcome.stats.cancelled);
+
+    // The full-die MILP legs cannot finish before the combinatorial proof;
+    // they must have been stopped through their cancellation tokens.
+    for id in ["milp", "ho"] {
+        let loser = race.entries.iter().find(|e| e.engine == id).unwrap();
+        assert!(
+            loser.outcome.stats.cancelled,
+            "losing engine `{id}` must observe the cancellation token \
+             (status {})",
+            loser.outcome.status
+        );
+    }
+    // Every leg reported, in registration order.
+    assert_eq!(race.entries.len(), registry.len());
+}
+
+/// The facade (`Floorplanner`) and the registry path produce identical
+/// results — they share the engine implementations.
+#[test]
+fn facade_and_registry_agree_on_sdr() {
+    use relocfp::prelude::*;
+    let problem = sdr_problem();
+    let facade = Floorplanner::new(FloorplannerConfig::combinatorial().with_time_limit(60.0))
+        .solve_report(&problem)
+        .expect("SDR is feasible");
+    let registry = full_registry();
+    let outcome = registry
+        .get("combinatorial")
+        .unwrap()
+        .solve(&SolveRequest::new(problem.clone()).with_time_limit(60.0), &SolveControl::default());
+    assert_eq!(Some(facade.floorplan), outcome.floorplan);
+    assert_eq!(facade.proven_optimal, outcome.is_proven());
+}
+
+/// A shared time budget set on the request is honoured by every engine kind
+/// (satellite: one budget field, all engines respect it).
+#[test]
+fn request_time_budget_reaches_every_engine() {
+    let registry = full_registry();
+    // A generous instance with an absurdly small budget: nobody may grossly
+    // overshoot it (allow startup slack), and no engine may hang.
+    let req = SolveRequest::new(sdr_problem()).with_time_limit(0.05);
+    for id in registry.ids() {
+        let start = std::time::Instant::now();
+        let outcome = registry.get(id).unwrap().solve(&req, &SolveControl::default());
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            elapsed < 15.0,
+            "engine `{id}` ignored the time budget (ran {elapsed:.1}s, status {})",
+            outcome.status
+        );
+    }
+}
+
+/// The `rfp` CLI end to end: convert → solve → validate, exercising the JSON
+/// format and the registry from the outside.
+#[test]
+fn rfp_cli_convert_solve_validate_round_trip() {
+    use std::process::Command;
+    let rfp = env!("CARGO_BIN_EXE_rfp");
+    let dir = std::env::temp_dir().join(format!("rfp-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let problem = dir.join("sdr.problem.json");
+    let floorplan = dir.join("sdr.floorplan.json");
+
+    let convert = Command::new(rfp)
+        .args(["convert", "sdr", "--out", problem.to_str().unwrap()])
+        .output()
+        .expect("rfp convert runs");
+    assert!(convert.status.success(), "{}", String::from_utf8_lossy(&convert.stderr));
+
+    let solve = Command::new(rfp)
+        .args([
+            "solve",
+            "--engine",
+            "combinatorial",
+            "--time-limit",
+            "60",
+            "--out",
+            floorplan.to_str().unwrap(),
+            problem.to_str().unwrap(),
+        ])
+        .output()
+        .expect("rfp solve runs");
+    assert!(solve.status.success(), "{}", String::from_utf8_lossy(&solve.stderr));
+
+    let validate = Command::new(rfp)
+        .args(["validate", problem.to_str().unwrap(), floorplan.to_str().unwrap()])
+        .output()
+        .expect("rfp validate runs");
+    assert!(validate.status.success(), "{}", String::from_utf8_lossy(&validate.stderr));
+    assert!(String::from_utf8_lossy(&validate.stdout).starts_with("valid:"));
+
+    // Unknown engines and malformed documents are rejected with exit 1.
+    let bad_engine = Command::new(rfp)
+        .args(["solve", "--engine", "quantum", problem.to_str().unwrap()])
+        .output()
+        .expect("rfp runs");
+    assert_eq!(bad_engine.status.code(), Some(1));
+    let bad_doc = dir.join("garbage.json");
+    std::fs::write(&bad_doc, "{not json").unwrap();
+    let bad_parse =
+        Command::new(rfp).args(["solve", bad_doc.to_str().unwrap()]).output().expect("rfp runs");
+    assert_eq!(bad_parse.status.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,120 @@
+//! Golden-file tests for the versioned JSON problem/solution format.
+//!
+//! The documents under `tests/golden/` are checked-in outputs of
+//! `rfp_floorplan::jsonio::write_problem`; the writer is deterministic, so
+//! any change to the format (or to the instances) shows up as a byte diff
+//! here. Regenerate with:
+//!
+//! ```text
+//! cargo test --test json_roundtrip -- --ignored regenerate_golden_files
+//! ```
+
+use relocfp::floorplan::engine::{EngineRegistry, SolveControl, SolveRequest};
+use relocfp::floorplan::jsonio;
+use relocfp::prelude::*;
+use rfp_workloads::sdr_problem_json;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden(name: &str) -> String {
+    let path = golden_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()))
+}
+
+/// The small mixed instance pinned as `tiny.problem.json`: quick enough for
+/// the exact MILP engine, rich enough to cover connections, relocation
+/// requests of both modes and a forbidden area.
+fn tiny_problem() -> FloorplanProblem {
+    let mut b = DeviceBuilder::new("tiny-golden");
+    let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+    let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
+    b.rows(3).columns(&[clb, clb, bram, clb, clb, bram, clb]);
+    b.forbidden("static", Rect::new(7, 1, 1, 1));
+    let mut p = FloorplanProblem::new(columnar_partition(&b.build().unwrap()).unwrap());
+    p.weights = ObjectiveWeights::area_only();
+    let a = p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+    let b2 = p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+    p.connect(a, b2, 8.0);
+    p.request_relocation(RelocationRequest::constraint(a, 1));
+    p.request_relocation(RelocationRequest::metric(b2, 1, 2.0));
+    p
+}
+
+fn expected_documents() -> Vec<(&'static str, String)> {
+    vec![
+        ("sdr.problem.json", sdr_problem_json(0)),
+        ("sdr2.problem.json", sdr_problem_json(2)),
+        ("sdr3.problem.json", sdr_problem_json(3)),
+        ("tiny.problem.json", jsonio::write_problem(&tiny_problem())),
+    ]
+}
+
+#[test]
+fn golden_problem_files_are_current() {
+    for (name, expected) in expected_documents() {
+        assert_eq!(
+            golden(name),
+            expected,
+            "golden file {name} is stale; regenerate with \
+             `cargo test --test json_roundtrip -- --ignored regenerate_golden_files`"
+        );
+    }
+}
+
+#[test]
+fn golden_problems_parse_validate_and_round_trip() {
+    for (name, _) in expected_documents() {
+        let doc = golden(name);
+        let problem = jsonio::read_problem(&doc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        problem.validate().unwrap_or_else(|e| panic!("{name}: invalid problem: {e}"));
+        // Byte-stable canonical form.
+        assert_eq!(jsonio::write_problem(&problem), doc, "{name} does not round-trip");
+    }
+}
+
+#[test]
+fn golden_sdr_documents_equal_the_builtin_instances() {
+    use rfp_workloads::{sdr2_problem, sdr3_problem, sdr_problem};
+    assert_eq!(jsonio::read_problem(&golden("sdr.problem.json")).unwrap(), sdr_problem());
+    assert_eq!(jsonio::read_problem(&golden("sdr2.problem.json")).unwrap(), sdr2_problem());
+    assert_eq!(jsonio::read_problem(&golden("sdr3.problem.json")).unwrap(), sdr3_problem());
+}
+
+#[test]
+fn tiny_golden_problem_is_solved_identically_by_milp_and_combinatorial() {
+    let problem = jsonio::read_problem(&golden("tiny.problem.json")).unwrap();
+    let registry = EngineRegistry::builtin();
+    let req = SolveRequest::new(problem.clone()).with_time_limit(120.0);
+    let comb = registry.get("combinatorial").unwrap().solve(&req, &SolveControl::default());
+    let milp = registry.get("milp").unwrap().solve(&req, &SolveControl::default());
+    assert!(comb.is_proven(), "{:?}", comb.detail);
+    assert!(milp.status.has_floorplan(), "{:?}", milp.detail);
+    assert_eq!(
+        comb.metrics.as_ref().unwrap().wasted_frames,
+        milp.metrics.as_ref().unwrap().wasted_frames
+    );
+
+    // The solution side of the format: the floorplan round-trips and still
+    // validates against the (round-tripped) problem.
+    let fp = comb.floorplan.unwrap();
+    let doc = jsonio::write_floorplan(&fp);
+    let back = jsonio::read_floorplan(&doc).unwrap();
+    assert_eq!(back, fp);
+    assert!(back.validate(&problem).is_empty());
+    assert_eq!(jsonio::write_floorplan(&back), doc);
+}
+
+/// Rewrites the golden files from the current writer output. Ignored by
+/// default; run explicitly after an intentional format change.
+#[test]
+#[ignore = "regenerates the golden files in-place"]
+fn regenerate_golden_files() {
+    std::fs::create_dir_all(golden_dir()).unwrap();
+    for (name, doc) in expected_documents() {
+        std::fs::write(golden_dir().join(name), doc).unwrap();
+    }
+}

@@ -107,6 +107,32 @@ proptest! {
         }
     }
 
+    /// Every randomly generated workload survives the JSON problem format:
+    /// parsing the written document yields an equal problem, and re-emission
+    /// is byte-stable (the canonical-form property the golden files rely on).
+    #[test]
+    fn workload_problems_round_trip_through_json(
+        seed in 0u64..1000,
+        n_regions in 1usize..6,
+        fc in 0u32..3,
+        bus in 0u32..2,
+    ) {
+        let spec = WorkloadSpec {
+            seed,
+            n_regions,
+            utilisation: 0.3,
+            fc_per_region: fc,
+            relocatable_regions: n_regions.min(2),
+            bus_width: f64::from(bus * 16),
+            ..WorkloadSpec::default()
+        };
+        let problem = spec.generate().problem;
+        let doc = rfp_floorplan::jsonio::write_problem(&problem);
+        let back = rfp_floorplan::jsonio::read_problem(&doc).unwrap();
+        prop_assert_eq!(&back, &problem);
+        prop_assert_eq!(rfp_floorplan::jsonio::write_problem(&back), doc);
+    }
+
     /// Any floorplan returned by the combinatorial engine on a random
     /// feasible workload passes the independent validator, and its reserved
     /// areas match the requests.
