@@ -1,0 +1,54 @@
+//! Online defragmentation study: relocation-aware vs relocation-oblivious
+//! policy on Fekete-style traces.
+//!
+//! Runs the CI-smoke scenario plus (unless `--quick`) a batch of seeded
+//! synthetic traces through the `rfp-runtime` simulator under both policies
+//! and prints a comparison table per scenario.
+//!
+//! Usage: `defrag_sim [--quick] [--json PATH]`
+
+use rfp_bench::json;
+use rfp_bench::sim::compare_policies;
+use rfp_runtime::{OnlineConfig, Scenario};
+use rfp_workloads::{smoke_scenario, DefragWorkloadSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+
+    let mut scenarios: Vec<Scenario> = vec![smoke_scenario()];
+    if !quick {
+        for seed in [1u64, 7, 42] {
+            scenarios.push(DefragWorkloadSpec { seed, ..DefragWorkloadSpec::default() }.generate());
+        }
+    }
+
+    println!("# Online defragmentation: relocation-aware vs oblivious\n");
+    let config = OnlineConfig::default();
+    let mut artefacts = Vec::new();
+    for scenario in &scenarios {
+        let cmp = match compare_policies(scenario, &config) {
+            Ok(cmp) => cmp,
+            Err(e) => {
+                eprintln!("defrag_sim: {}: {e}", scenario.name);
+                continue;
+            }
+        };
+        println!("## {}\n", scenario.name);
+        println!("{}", cmp.markdown());
+        artefacts.push(cmp.to_json());
+    }
+
+    if let Some(path) = json_path {
+        let doc = json::Object::new()
+            .str("report", "defrag_sim")
+            .raw("scenarios", json::array(artefacts))
+            .build();
+        if let Err(e) = std::fs::write(&path, doc + "\n") {
+            eprintln!("defrag_sim: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("defrag_sim: wrote {path}");
+    }
+}

@@ -15,15 +15,18 @@
 //! | `figure4` | Figure 4 — SDR2 floorplan (6 free-compatible areas) |
 //! | `figure5` | Figure 5 — SDR3 floorplan (9 free-compatible areas) |
 //! | `solve_times` | Section VI solve-time discussion (SDR/SDR2/SDR3) |
+//! | `defrag_sim` | online defragmentation study (relocation-aware vs oblivious) |
 //!
 //! The [`reports`] module contains the reusable report builders so that the
-//! binaries stay thin and the logic is unit-tested.
+//! binaries stay thin and the logic is unit-tested; [`sim`] does the same
+//! for the online-simulation comparison.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod json;
 pub mod reports;
+pub mod sim;
 
 pub use reports::{
     feasibility_report, markdown_table, table1_markdown, table2, table2_json, table2_markdown,

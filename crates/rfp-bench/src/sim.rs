@@ -1,0 +1,114 @@
+//! Online-simulation comparison reports.
+//!
+//! Runs a scenario through [`rfp_runtime::simulate`] under both
+//! defragmentation policies and tabulates the runtime-quality metrics the
+//! defragmentation literature reports: rejected modules, relocation moves,
+//! frames moved by mechanism, the relocation-aware traffic cost and the
+//! fragmentation peak. The `defrag_sim` binary prints the table; the CI
+//! `sim-smoke` job uploads the underlying `SimReport` JSON.
+
+use crate::json;
+use crate::reports::markdown_table;
+use rfp_runtime::{simulate, DefragPolicy, OnlineConfig, Scenario, SimError, SimReport};
+
+/// The two policy runs of one scenario.
+#[derive(Debug, Clone)]
+pub struct SimComparison {
+    /// Relocation-aware run.
+    pub aware: SimReport,
+    /// Relocation-oblivious baseline run.
+    pub oblivious: SimReport,
+}
+
+/// Simulates `scenario` under the relocation-aware policy and the oblivious
+/// baseline with otherwise identical configuration.
+pub fn compare_policies(
+    scenario: &Scenario,
+    base: &OnlineConfig,
+) -> Result<SimComparison, SimError> {
+    let aware = simulate(
+        scenario,
+        &OnlineConfig { policy: DefragPolicy::RelocationAware, ..base.clone() },
+    )?;
+    let oblivious =
+        simulate(scenario, &OnlineConfig { policy: DefragPolicy::Oblivious, ..base.clone() })?;
+    Ok(SimComparison { aware, oblivious })
+}
+
+impl SimComparison {
+    /// The comparison as a markdown table (one row per policy).
+    pub fn markdown(&self) -> String {
+        let row = |r: &SimReport| -> Vec<String> {
+            vec![
+                r.policy.clone(),
+                format!("{}", r.arrivals()),
+                format!("{}", r.rejected()),
+                format!("{}", r.total_moves()),
+                format!("{}", r.frames_relocated()),
+                format!("{}", r.frames_resynthesized()),
+                format!("{:.0}", r.relocation_cost()),
+                format!("{}", r.escalations()),
+                format!("{:.3}", r.max_fragmentation()),
+                format!("{}", r.violations()),
+            ]
+        };
+        markdown_table(
+            &[
+                "policy",
+                "arrivals",
+                "rejected",
+                "moves",
+                "frames reloc.",
+                "frames resynth.",
+                "cost",
+                "escalations",
+                "max frag.",
+                "violations",
+            ],
+            &[row(&self.aware), row(&self.oblivious)],
+        )
+    }
+
+    /// The comparison as a small JSON object (BENCH artefact style).
+    pub fn to_json(&self) -> String {
+        let policy = |r: &SimReport| {
+            json::Object::new()
+                .str("policy", &r.policy)
+                .int("arrivals", r.arrivals())
+                .int("rejected", r.rejected())
+                .int("moves", r.total_moves())
+                .int("frames_relocated", r.frames_relocated())
+                .int("frames_resynthesized", r.frames_resynthesized())
+                .num("relocation_cost", r.relocation_cost())
+                .int("escalations", r.escalations())
+                .num("max_fragmentation", r.max_fragmentation())
+                .int("violations", r.violations())
+                .build()
+        };
+        json::Object::new()
+            .str("scenario", &self.aware.scenario)
+            .str("engine", &self.aware.engine)
+            .raw("policies", json::array([policy(&self.aware), policy(&self.oblivious)]))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_workloads::smoke_scenario;
+
+    #[test]
+    fn smoke_comparison_favours_the_aware_policy() {
+        let cmp = compare_policies(&smoke_scenario(), &OnlineConfig::default()).unwrap();
+        assert_eq!(cmp.aware.violations(), 0);
+        assert_eq!(cmp.oblivious.violations(), 0);
+        assert!(cmp.aware.frames_moved() < cmp.oblivious.frames_moved());
+        let md = cmp.markdown();
+        assert!(md.contains("| aware |"), "{md}");
+        assert!(md.contains("| oblivious |"), "{md}");
+        let doc = cmp.to_json();
+        assert!(doc.contains("\"policies\":["), "{doc}");
+        assert!(rfp_floorplan::jsonio::parse(&doc).is_ok());
+    }
+}

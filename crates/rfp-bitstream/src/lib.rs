@@ -34,4 +34,4 @@ pub mod relocate;
 pub use crc::crc32;
 pub use format::{Bitstream, BitstreamError, FrameAddress, FRAME_WORDS};
 pub use memory::ConfigMemory;
-pub use relocate::{relocate, RelocationError};
+pub use relocate::{relocate, relocate_or_regenerate, MoveKind, RelocationError};

@@ -89,6 +89,52 @@ pub fn relocate(
     Ok(out)
 }
 
+/// How a module was moved to its new area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveKind {
+    /// The partial bitstream was relocated by rewriting frame addresses —
+    /// the cheap path (a pure copy through the relocation filter).
+    Relocated,
+    /// The target was not compatible; the bitstream had to be regenerated —
+    /// the stand-in for a re-implementation of the module for the new
+    /// location, which is orders of magnitude more expensive in practice.
+    Resynthesized,
+}
+
+impl fmt::Display for MoveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoveKind::Relocated => f.write_str("relocated"),
+            MoveKind::Resynthesized => f.write_str("resynthesized"),
+        }
+    }
+}
+
+/// Moves a bitstream to `target`, relocating when the target is compatible
+/// and regenerating (re-synthesis-equivalent) when it is not.
+///
+/// `seed` deterministically parameterises the regenerated payload on the
+/// expensive path. Corrupt sources and illegal target areas remain errors —
+/// the move either succeeds by one of the two mechanisms or not at all.
+pub fn relocate_or_regenerate(
+    partition: &ColumnarPartition,
+    bitstream: &Bitstream,
+    target: Rect,
+    seed: u64,
+) -> Result<(Bitstream, MoveKind), RelocationError> {
+    match relocate(partition, bitstream, target) {
+        Ok(moved) => Ok((moved, MoveKind::Relocated)),
+        Err(RelocationError::NotCompatible { report }) => {
+            match Bitstream::generate(partition, bitstream.module.clone(), target, seed) {
+                Ok(bs) => Ok((bs, MoveKind::Resynthesized)),
+                // An illegal target cannot be configured by either mechanism.
+                Err(_) => Err(RelocationError::NotCompatible { report }),
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +194,31 @@ mod tests {
             let moved = relocate(&p, &bs, *t).expect("free-compatible targets must be accepted");
             assert!(moved.verify().is_ok());
         }
+    }
+
+    #[test]
+    fn relocate_or_regenerate_picks_the_cheap_path_when_compatible() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let bs = Bitstream::generate(&p, "demo", Rect::new(1, 1, 2, 2), 11).unwrap();
+        // Compatible target: pure relocation, payload untouched.
+        let (moved, kind) = relocate_or_regenerate(&p, &bs, Rect::new(3, 4, 2, 2), 99).unwrap();
+        assert_eq!(kind, MoveKind::Relocated);
+        assert_eq!(moved.frames[0].words, bs.frames[0].words);
+        // Incompatible target: regenerated at the new area.
+        let (rebuilt, kind) = relocate_or_regenerate(&p, &bs, Rect::new(2, 1, 2, 2), 99).unwrap();
+        assert_eq!(kind, MoveKind::Resynthesized);
+        assert_eq!(rebuilt.area, Rect::new(2, 1, 2, 2));
+        assert!(rebuilt.verify().is_ok());
+        assert_eq!(rebuilt.n_frames(), p.frames_in_rect(&Rect::new(2, 1, 2, 2)) as usize);
+        // An out-of-device target fails outright.
+        assert!(relocate_or_regenerate(&p, &bs, Rect::new(6, 6, 2, 2), 0).is_err());
+        // A corrupt source fails on both paths.
+        let mut bad = bs.clone();
+        bad.frames[0].words[0] ^= 1;
+        assert!(matches!(
+            relocate_or_regenerate(&p, &bad, Rect::new(3, 4, 2, 2), 0),
+            Err(RelocationError::CorruptSource { .. })
+        ));
     }
 
     #[test]

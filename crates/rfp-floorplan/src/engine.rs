@@ -109,6 +109,19 @@ impl SolveRequest {
         self
     }
 
+    /// Seeds the warm start from a previous solve's outcome — the incremental
+    /// re-solve path. Outcomes without a floorplan leave the request
+    /// unchanged; hints that do not fit the (possibly edited) problem are
+    /// dropped by the engine, so chaining outcomes across solves is always
+    /// safe. When the problem's region list changed between the solves, adapt
+    /// the floorplan first with [`adapt_floorplan`].
+    pub fn with_warm_outcome(mut self, outcome: &SolveOutcome) -> Self {
+        if let Some(fp) = &outcome.floorplan {
+            self.warm_start = Some(fp.clone());
+        }
+        self
+    }
+
     /// Sets an objective-weight override.
     pub fn with_weights(mut self, weights: ObjectiveWeights) -> Self {
         self.weights = Some(weights);
@@ -321,6 +334,73 @@ impl SolveOutcome {
             _ => FloorplanError::LimitReached,
         }
     }
+}
+
+/// Adapts the floorplan of a previous solve to an **edited** problem — the
+/// warm-start half of an incremental re-solve.
+///
+/// `mapping[new_region]` gives the region's index in the previous floorplan,
+/// or `None` for regions that did not exist before (e.g. a module arriving in
+/// an online scenario). Mapped regions keep their previous rectangles; new
+/// regions are placed greedily in the remaining space; requested
+/// free-compatible areas are re-reserved greedily. Returns `None` when no
+/// complete feasible floorplan can be assembled this way — callers then fall
+/// back to a cold solve.
+pub fn adapt_floorplan(
+    previous: &Floorplan,
+    mapping: &[Option<usize>],
+    problem: &FloorplanProblem,
+) -> Option<Floorplan> {
+    use crate::candidates::{enumerate_candidates, CandidateConfig};
+    use crate::placement::FcPlacement;
+    use crate::problem::RelocationMode;
+    use rfp_device::compat::enumerate_free_compatible;
+
+    if mapping.len() != problem.regions.len() {
+        return None;
+    }
+    let partition = &problem.partition;
+    let mut regions: Vec<Option<rfp_device::Rect>> = vec![None; problem.regions.len()];
+    let mut occupied: Vec<rfp_device::Rect> = Vec::new();
+    for (i, old) in mapping.iter().enumerate() {
+        if let Some(old) = old {
+            let rect = *previous.regions.get(*old)?;
+            regions[i] = Some(rect);
+            occupied.push(rect);
+        }
+    }
+    // Place the new regions greedily, most demanding first, in the space the
+    // retained rectangles leave over.
+    let mut todo: Vec<usize> =
+        (0..problem.regions.len()).filter(|&i| regions[i].is_none()).collect();
+    todo.sort_by_key(|&i| u64::MAX - problem.regions[i].required_frames(partition));
+    let cand_cfg = CandidateConfig::default();
+    for i in todo {
+        let cands = enumerate_candidates(partition, &problem.regions[i], &cand_cfg);
+        let chosen = cands.iter().find(|c| !occupied.iter().any(|o| o.overlaps(&c.rect)))?;
+        regions[i] = Some(chosen.rect);
+        occupied.push(chosen.rect);
+    }
+    let regions: Vec<rfp_device::Rect> = regions.into_iter().map(|r| r.expect("filled")).collect();
+
+    // Re-reserve the requested free-compatible areas greedily (the previous
+    // reservations may be invalid after the edit, so they are not reused).
+    let mut fc_areas = Vec::new();
+    for (request, region, mode) in problem.fc_areas() {
+        let source = regions[region];
+        let options = enumerate_free_compatible(partition, &source, &occupied);
+        match options.first().copied() {
+            Some(rect) => {
+                occupied.push(rect);
+                fc_areas.push(FcPlacement { request, region, mode, rect: Some(rect) });
+            }
+            None if matches!(mode, RelocationMode::Constraint) => return None,
+            None => fc_areas.push(FcPlacement { request, region, mode, rect: None }),
+        }
+    }
+
+    let fp = Floorplan { regions, fc_areas };
+    fp.validate(problem).is_empty().then_some(fp)
 }
 
 /// A floorplanning engine: anything that can turn a [`SolveRequest`] into a
@@ -916,6 +996,79 @@ mod tests {
             .solve(&req, &SolveControl::default());
         assert_eq!(outcome.status, OutcomeStatus::BudgetExhausted);
         assert_eq!(outcome.stats.nodes, 1, "the explored node must survive into the stats");
+    }
+
+    #[test]
+    fn adapt_floorplan_retains_old_regions_and_places_new_ones() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.weights = ObjectiveWeights::area_only();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        let first = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&SolveRequest::new(p.clone()), &SolveControl::default());
+        let prev = first.floorplan.clone().unwrap();
+
+        // Edit: region B arrives, A keeps its index.
+        let mut edited = p.clone();
+        edited.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let adapted = adapt_floorplan(&prev, &[Some(0), None], &edited).unwrap();
+        assert_eq!(adapted.regions[0], prev.regions[0], "retained region must not move");
+        assert!(adapted.validate(&edited).is_empty());
+
+        // The adapted floorplan warm-starts the re-solve.
+        let req = SolveRequest::new(edited.clone()).with_warm_start(adapted);
+        let second =
+            EngineRegistry::builtin().get("milp").unwrap().solve(&req, &SolveControl::default());
+        assert!(second.status.has_floorplan(), "{:?}", second.detail);
+    }
+
+    #[test]
+    fn adapt_floorplan_handles_departures_and_impossible_edits() {
+        let (mut p, clb, bram) = tiny_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 2)]));
+        let outcome = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&SolveRequest::new(p.clone()), &SolveControl::default());
+        let prev = outcome.floorplan.clone().unwrap();
+
+        // Departure of A: only B survives, at its old rectangle.
+        let mut smaller = FloorplanProblem::new(p.partition.clone());
+        smaller.add_region(p.regions[1].clone());
+        let adapted = adapt_floorplan(&prev, &[Some(1)], &smaller).unwrap();
+        assert_eq!(adapted.regions, vec![prev.regions[1]]);
+
+        // A mapping of the wrong arity is rejected.
+        assert!(adapt_floorplan(&prev, &[Some(0)], &p).is_none());
+        // An edit that cannot fit (every BRAM tile demanded twice) fails
+        // cleanly instead of producing an invalid floorplan.
+        let mut impossible = p.clone();
+        impossible.add_region(RegionSpec::new("C", vec![(bram, 3)]));
+        assert!(adapt_floorplan(&prev, &[Some(0), Some(1), None], &impossible).is_none());
+        let _ = a;
+    }
+
+    #[test]
+    fn with_warm_outcome_seeds_the_next_request() {
+        let (mut p, clb, bram) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        let registry = EngineRegistry::builtin();
+        let outcome = registry
+            .get("combinatorial")
+            .unwrap()
+            .solve(&SolveRequest::new(p.clone()), &SolveControl::default());
+        let req = SolveRequest::new(p.clone()).with_warm_outcome(&outcome);
+        assert_eq!(req.warm_start, outcome.floorplan);
+        // An outcome without a floorplan leaves the request untouched.
+        let empty = SolveOutcome::without_floorplan(
+            OutcomeStatus::BudgetExhausted,
+            "no",
+            EngineStats::new("milp"),
+        );
+        let req2 = SolveRequest::new(p).with_warm_outcome(&empty);
+        assert!(req2.warm_start.is_none());
     }
 
     #[test]

@@ -24,8 +24,8 @@ use crate::problem::{
     Connection, FloorplanProblem, ObjectiveWeights, RegionSpec, RelocationMode, RelocationRequest,
 };
 use rfp_device::{
-    columnar_partition, Device, ForbiddenArea, Rect, ResourceVec, TileGrid, TileType, TileTypeId,
-    TileTypeRegistry,
+    columnar_partition, ColumnarPartition, Device, ForbiddenArea, Rect, ResourceVec, TileGrid,
+    TileType, TileTypeId, TileTypeRegistry,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -318,7 +318,11 @@ impl<'a> Parser<'a> {
 // Deterministic emission helpers.
 // ---------------------------------------------------------------------------
 
-fn escape(s: &str) -> String {
+/// Escapes a string for inclusion in a JSON document (without the
+/// surrounding quotes). Shared by every `jsonio`-family writer — the
+/// problem/floorplan formats here plus the scenario and sim-report formats
+/// of `rfp-runtime`.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -334,11 +338,15 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn num(v: f64) -> String {
-    // Deterministic shortest-form formatting; the format never emits
-    // non-finite values.
-    debug_assert!(v.is_finite());
-    format!("{v}")
+/// Deterministic shortest-form number formatting for the `jsonio`-family
+/// writers; non-finite values (which JSON cannot represent) render as
+/// `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 fn rect_json(r: &Rect) -> String {
@@ -357,6 +365,187 @@ fn rect_from_json(v: &JsonValue) -> Result<Rect, JsonError> {
 }
 
 // ---------------------------------------------------------------------------
+// Shared device/region sections (used by the problem format here and by the
+// `rfp-scenario` format of `rfp-runtime`).
+// ---------------------------------------------------------------------------
+
+/// The tile-type table of a device section: which registry indices are
+/// emitted, and at which array position. Built by [`DeviceSection::new`] from
+/// the partition plus every region/module requirement that must remain
+/// expressible — requirement-only types (a demand no column can serve; the
+/// problem is invalid but still writable) are emitted too.
+#[derive(Debug, Clone)]
+pub struct DeviceSection {
+    order: Vec<usize>,
+    pos_of: BTreeMap<usize, usize>,
+}
+
+impl DeviceSection {
+    /// Builds the emission table for a partition and the requirements of
+    /// `regions` (tile types referenced only by requirements are kept).
+    pub fn new(part: &ColumnarPartition, regions: &[RegionSpec]) -> Self {
+        let mut present: BTreeMap<usize, ()> = BTreeMap::new();
+        for c in 1..=part.cols {
+            if let Some(ty) = part.column_type(c) {
+                present.insert(ty.index(), ());
+            }
+        }
+        for region in regions {
+            for &(ty, _) in region.tile_req() {
+                present.insert(ty.index(), ());
+            }
+        }
+        let order: Vec<usize> = present.keys().copied().collect();
+        let pos_of: BTreeMap<usize, usize> =
+            order.iter().enumerate().map(|(pos, &idx)| (idx, pos)).collect();
+        DeviceSection { order, pos_of }
+    }
+
+    /// Renders the `"device": {...}` object (two-space base indentation,
+    /// no trailing separator).
+    pub fn write_device(&self, part: &ColumnarPartition) -> String {
+        let type_name = |idx: usize| -> String {
+            let res = part.resources_per_tile(TileTypeId(idx as u16));
+            let [clb, bram, dsp, other] = res.0;
+            match (clb > 0, bram > 0, dsp > 0, other > 0) {
+                (true, false, false, false) => "CLB".to_string(),
+                (false, true, false, false) => "BRAM".to_string(),
+                (false, false, true, false) => "DSP".to_string(),
+                _ => format!("T{idx}"),
+            }
+        };
+        let mut out = String::new();
+        out.push_str("  \"device\": {\n");
+        out.push_str(&format!("    \"name\": \"{}\",\n", escape(&part.device_name)));
+        out.push_str(&format!("    \"rows\": {},\n", part.rows));
+        out.push_str("    \"tile_types\": [\n");
+        for (i, &idx) in self.order.iter().enumerate() {
+            let res = part.resources_per_tile(TileTypeId(idx as u16));
+            let [clb, bram, dsp, other] = res.0;
+            out.push_str(&format!(
+                "      {{\"name\":\"{}\",\"resources\":[{clb},{bram},{dsp},{other}],\"frames\":{}}}{}\n",
+                escape(&type_name(idx)),
+                part.frames_per_tile(TileTypeId(idx as u16)),
+                if i + 1 < self.order.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ],\n");
+        let columns: Vec<String> = (1..=part.cols)
+            .map(|c| {
+                self.pos_of[&part.column_type(c).expect("column inside device").index()].to_string()
+            })
+            .collect();
+        out.push_str(&format!("    \"columns\": [{}],\n", columns.join(",")));
+        out.push_str("    \"forbidden\": [");
+        for (i, fa) in part.forbidden.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      {{\"name\":\"{}\",\"rect\":{}}}",
+                escape(&fa.name),
+                rect_json(&fa.rect)
+            ));
+        }
+        if !part.forbidden.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n");
+        out.push_str("  }");
+        out
+    }
+
+    /// Renders one region/module object: `{"name":...,"req":[[type,tiles]...]}`.
+    pub fn write_region(&self, region: &RegionSpec) -> String {
+        let req: Vec<String> = region
+            .tile_req()
+            .iter()
+            .map(|&(ty, n)| format!("[{},{n}]", self.pos_of[&ty.index()]))
+            .collect();
+        format!("{{\"name\":\"{}\",\"req\":[{}]}}", escape(&region.name), req.join(","))
+    }
+}
+
+/// Parses a `"device"` object back into a partition plus the tile-type ids at
+/// each emitted-array position (needed to resolve region requirements).
+pub fn read_device(device: &JsonValue) -> Result<(ColumnarPartition, Vec<TileTypeId>), JsonError> {
+    let name = device.field("name")?.as_str()?.to_string();
+    let rows = device.field("rows")?.as_u32()?;
+    let mut registry = TileTypeRegistry::new();
+    let mut ids: Vec<TileTypeId> = Vec::new();
+    for (i, t) in device.field("tile_types")?.as_arr()?.iter().enumerate() {
+        let tname = t.field("name")?.as_str()?.to_string();
+        let res = t.field("resources")?.as_arr()?;
+        if res.len() != 4 {
+            return err(format!("tile type `{tname}`: `resources` must have 4 entries"));
+        }
+        let mut v = [0u32; 4];
+        for (slot, item) in v.iter_mut().zip(res) {
+            *slot = item.as_u32()?;
+        }
+        let frames = t.field("frames")?.as_u32()?;
+        // A per-entry configuration signature keeps ids aligned with the
+        // array positions even when two entries share resources and frames
+        // (Definition .1 would otherwise merge them).
+        let tile = TileType {
+            name: tname.clone(),
+            resources: ResourceVec(v),
+            frames,
+            config_signature: i as u32,
+        };
+        let id =
+            registry.register(tile).map_err(|e| JsonError(format!("tile type `{tname}`: {e}")))?;
+        ids.push(id);
+    }
+
+    let columns = device.field("columns")?.as_arr()?;
+    if columns.is_empty() {
+        return err("device has no columns");
+    }
+    let mut grid = TileGrid::new(columns.len() as u32, rows)
+        .map_err(|e| JsonError(format!("invalid grid: {e}")))?;
+    for (c, col) in columns.iter().enumerate() {
+        let pos = col.as_u64()? as usize;
+        let ty = *ids
+            .get(pos)
+            .ok_or_else(|| JsonError(format!("column {}: unknown tile type {pos}", c + 1)))?;
+        grid.fill_column(c as u32 + 1, ty)
+            .map_err(|e| JsonError(format!("column {}: {e}", c + 1)))?;
+    }
+
+    let mut forbidden = Vec::new();
+    for fa in device.field("forbidden")?.as_arr()? {
+        let fname = fa.field("name")?.as_str()?.to_string();
+        forbidden.push(ForbiddenArea::new(fname, rect_from_json(fa.field("rect")?)?));
+    }
+
+    let dev = Device::new(name, registry, grid, forbidden)
+        .map_err(|e| JsonError(format!("invalid device: {e}")))?;
+    let partition =
+        columnar_partition(&dev).map_err(|e| JsonError(format!("device is not columnar: {e}")))?;
+    Ok((partition, ids))
+}
+
+/// Parses one region/module object written by [`DeviceSection::write_region`].
+pub fn read_region(region: &JsonValue, ids: &[TileTypeId]) -> Result<RegionSpec, JsonError> {
+    let rname = region.field("name")?.as_str()?.to_string();
+    let mut req = Vec::new();
+    for pair in region.field("req")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        if pair.len() != 2 {
+            return err(format!("region `{rname}`: requirement entries are [type, tiles]"));
+        }
+        let pos = pair[0].as_u64()? as usize;
+        let tiles = pair[1].as_u32()?;
+        let ty = *ids
+            .get(pos)
+            .ok_or_else(|| JsonError(format!("region `{rname}`: unknown tile type {pos}")))?;
+        req.push((ty, tiles));
+    }
+    Ok(RegionSpec::new(rname, req))
+}
+
+// ---------------------------------------------------------------------------
 // Problem writer.
 // ---------------------------------------------------------------------------
 
@@ -364,37 +553,7 @@ fn rect_from_json(v: &JsonValue) -> Result<Rect, JsonError> {
 /// human-readable, trailing newline).
 pub fn write_problem(problem: &FloorplanProblem) -> String {
     let part = &problem.partition;
-
-    // Tile types present on the device or referenced by a region
-    // requirement, in registry-index order; `pos_of` maps a registry index
-    // to its position in the emitted array. Requirement-only types (a demand
-    // no column can serve — the problem is invalid but still writable) must
-    // be emitted too, or the requirement could not be expressed.
-    let mut present: BTreeMap<usize, ()> = BTreeMap::new();
-    for c in 1..=part.cols {
-        if let Some(ty) = part.column_type(c) {
-            present.insert(ty.index(), ());
-        }
-    }
-    for region in &problem.regions {
-        for &(ty, _) in region.tile_req() {
-            present.insert(ty.index(), ());
-        }
-    }
-    let order: Vec<usize> = present.keys().copied().collect();
-    let pos_of: BTreeMap<usize, usize> =
-        order.iter().enumerate().map(|(pos, &idx)| (idx, pos)).collect();
-
-    let type_name = |idx: usize| -> String {
-        let res = part.resources_per_tile(TileTypeId(idx as u16));
-        let [clb, bram, dsp, other] = res.0;
-        match (clb > 0, bram > 0, dsp > 0, other > 0) {
-            (true, false, false, false) => "CLB".to_string(),
-            (false, true, false, false) => "BRAM".to_string(),
-            (false, false, true, false) => "DSP".to_string(),
-            _ => format!("T{idx}"),
-        }
-    };
+    let section = DeviceSection::new(part, &problem.regions);
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -402,54 +561,15 @@ pub fn write_problem(problem: &FloorplanProblem) -> String {
     out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
 
     // Device.
-    out.push_str("  \"device\": {\n");
-    out.push_str(&format!("    \"name\": \"{}\",\n", escape(&part.device_name)));
-    out.push_str(&format!("    \"rows\": {},\n", part.rows));
-    out.push_str("    \"tile_types\": [\n");
-    for (i, &idx) in order.iter().enumerate() {
-        let res = part.resources_per_tile(TileTypeId(idx as u16));
-        let [clb, bram, dsp, other] = res.0;
-        out.push_str(&format!(
-            "      {{\"name\":\"{}\",\"resources\":[{clb},{bram},{dsp},{other}],\"frames\":{}}}{}\n",
-            escape(&type_name(idx)),
-            part.frames_per_tile(TileTypeId(idx as u16)),
-            if i + 1 < order.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("    ],\n");
-    let columns: Vec<String> = (1..=part.cols)
-        .map(|c| pos_of[&part.column_type(c).expect("column inside device").index()].to_string())
-        .collect();
-    out.push_str(&format!("    \"columns\": [{}],\n", columns.join(",")));
-    out.push_str("    \"forbidden\": [");
-    for (i, fa) in part.forbidden.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n      {{\"name\":\"{}\",\"rect\":{}}}",
-            escape(&fa.name),
-            rect_json(&fa.rect)
-        ));
-    }
-    if !part.forbidden.is_empty() {
-        out.push_str("\n    ");
-    }
-    out.push_str("]\n");
-    out.push_str("  },\n");
+    out.push_str(&section.write_device(part));
+    out.push_str(",\n");
 
     // Regions.
     out.push_str("  \"regions\": [\n");
     for (i, region) in problem.regions.iter().enumerate() {
-        let req: Vec<String> = region
-            .tile_req()
-            .iter()
-            .map(|&(ty, n)| format!("[{},{n}]", pos_of[&ty.index()]))
-            .collect();
         out.push_str(&format!(
-            "    {{\"name\":\"{}\",\"req\":[{}]}}{}\n",
-            escape(&region.name),
-            req.join(","),
+            "    {}{}\n",
+            section.write_region(region),
             if i + 1 < problem.regions.len() { "," } else { "" }
         ));
     }
@@ -533,81 +653,12 @@ pub fn read_problem(input: &str) -> Result<FloorplanProblem, JsonError> {
     let doc = parse(input)?;
     check_header(&doc, PROBLEM_FORMAT)?;
 
-    // Device.
-    let device = doc.field("device")?;
-    let name = device.field("name")?.as_str()?.to_string();
-    let rows = device.field("rows")?.as_u32()?;
-    let mut registry = TileTypeRegistry::new();
-    let mut ids: Vec<TileTypeId> = Vec::new();
-    for (i, t) in device.field("tile_types")?.as_arr()?.iter().enumerate() {
-        let tname = t.field("name")?.as_str()?.to_string();
-        let res = t.field("resources")?.as_arr()?;
-        if res.len() != 4 {
-            return err(format!("tile type `{tname}`: `resources` must have 4 entries"));
-        }
-        let mut v = [0u32; 4];
-        for (slot, item) in v.iter_mut().zip(res) {
-            *slot = item.as_u32()?;
-        }
-        let frames = t.field("frames")?.as_u32()?;
-        // A per-entry configuration signature keeps ids aligned with the
-        // array positions even when two entries share resources and frames
-        // (Definition .1 would otherwise merge them).
-        let tile = TileType {
-            name: tname.clone(),
-            resources: ResourceVec(v),
-            frames,
-            config_signature: i as u32,
-        };
-        let id =
-            registry.register(tile).map_err(|e| JsonError(format!("tile type `{tname}`: {e}")))?;
-        ids.push(id);
-    }
-
-    let columns = device.field("columns")?.as_arr()?;
-    if columns.is_empty() {
-        return err("device has no columns");
-    }
-    let mut grid = TileGrid::new(columns.len() as u32, rows)
-        .map_err(|e| JsonError(format!("invalid grid: {e}")))?;
-    for (c, col) in columns.iter().enumerate() {
-        let pos = col.as_u64()? as usize;
-        let ty = *ids
-            .get(pos)
-            .ok_or_else(|| JsonError(format!("column {}: unknown tile type {pos}", c + 1)))?;
-        grid.fill_column(c as u32 + 1, ty)
-            .map_err(|e| JsonError(format!("column {}: {e}", c + 1)))?;
-    }
-
-    let mut forbidden = Vec::new();
-    for fa in device.field("forbidden")?.as_arr()? {
-        let fname = fa.field("name")?.as_str()?.to_string();
-        forbidden.push(ForbiddenArea::new(fname, rect_from_json(fa.field("rect")?)?));
-    }
-
-    let dev = Device::new(name, registry, grid, forbidden)
-        .map_err(|e| JsonError(format!("invalid device: {e}")))?;
-    let partition =
-        columnar_partition(&dev).map_err(|e| JsonError(format!("device is not columnar: {e}")))?;
+    let (partition, ids) = read_device(doc.field("device")?)?;
 
     // Problem.
     let mut problem = FloorplanProblem::new(partition);
     for region in doc.field("regions")?.as_arr()? {
-        let rname = region.field("name")?.as_str()?.to_string();
-        let mut req = Vec::new();
-        for pair in region.field("req")?.as_arr()? {
-            let pair = pair.as_arr()?;
-            if pair.len() != 2 {
-                return err(format!("region `{rname}`: requirement entries are [type, tiles]"));
-            }
-            let pos = pair[0].as_u64()? as usize;
-            let tiles = pair[1].as_u32()?;
-            let ty = *ids
-                .get(pos)
-                .ok_or_else(|| JsonError(format!("region `{rname}`: unknown tile type {pos}")))?;
-            req.push((ty, tiles));
-        }
-        problem.add_region(RegionSpec::new(rname, req));
+        problem.add_region(read_region(region, &ids)?);
     }
 
     for c in doc.field("connections")?.as_arr()? {
@@ -859,6 +910,113 @@ mod tests {
         // Both sides agree the problem is unsatisfiable.
         assert!(back.validate().is_err());
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn truncated_documents_error_at_every_cut_point() {
+        // Cutting the document anywhere must produce an error, never a
+        // partial problem or a panic. Step through the byte length so the
+        // loop stays fast on the ~1.5 kB sample document.
+        let doc = write_problem(&sample_problem());
+        for cut in (1..doc.len()).step_by(7) {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                read_problem(&doc[..cut]).is_err(),
+                "truncation at byte {cut} must be rejected"
+            );
+        }
+        assert!(read_problem("").is_err());
+    }
+
+    #[test]
+    fn missing_header_fields_are_reported_by_name() {
+        let doc = write_problem(&sample_problem());
+        let no_format = doc.replacen("\"format\"", "\"fmt\"", 1);
+        assert!(read_problem(&no_format).unwrap_err().0.contains("missing field `format`"));
+        let no_version = doc.replacen("\"version\"", "\"ver\"", 1);
+        assert!(read_problem(&no_version).unwrap_err().0.contains("missing field `version`"));
+        let no_weights = doc.replacen("\"weights\"", "\"objective\"", 1);
+        assert!(read_problem(&no_weights).unwrap_err().0.contains("missing field `weights`"));
+    }
+
+    #[test]
+    fn unknown_tile_type_references_are_rejected() {
+        // A column referencing a tile-type position that was never declared.
+        let doc = write_problem(&sample_problem());
+        let bad_column =
+            doc.replacen("\"columns\": [0,0,1,0,0,1,0]", "\"columns\": [0,0,9,0,0,1,0]", 1);
+        assert_ne!(bad_column, doc, "fixture out of sync with the writer");
+        let e = read_problem(&bad_column).unwrap_err();
+        assert!(e.0.contains("unknown tile type 9"), "{e}");
+        // A region requirement referencing an unknown tile type.
+        let bad_req = doc.replacen("\"req\":[[0,2],[1,1]]", "\"req\":[[7,2],[1,1]]", 1);
+        assert_ne!(bad_req, doc, "fixture out of sync with the writer");
+        let e = read_problem(&bad_req).unwrap_err();
+        assert!(e.0.contains("unknown tile type 7"), "{e}");
+    }
+
+    #[test]
+    fn unknown_relocation_modes_and_malformed_numbers_are_rejected() {
+        let doc = write_problem(&sample_problem());
+        let bad_mode = doc.replacen("\"mode\":\"constraint\"", "\"mode\":\"teleport\"", 1);
+        let e = read_problem(&bad_mode).unwrap_err();
+        assert!(e.0.contains("unknown relocation mode `teleport`"), "{e}");
+        // A fractional region count.
+        let bad_count = doc.replacen("\"count\":1,", "\"count\":1.5,", 1);
+        assert_ne!(bad_count, doc);
+        assert!(read_problem(&bad_count).is_err());
+        // A u32 overflow in a rectangle coordinate.
+        let bad_rect = doc.replacen("\"rect\":{\"x\":4,", "\"rect\":{\"x\":4294967296,", 1);
+        assert_ne!(bad_rect, doc);
+        let e = read_problem(&bad_rect).unwrap_err();
+        assert!(e.0.contains("overflows u32"), "{e}");
+        // Zero-sized rectangles are invalid (1-based, non-empty).
+        let empty_rect = doc.replacen(
+            "\"rect\":{\"x\":4,\"y\":1,\"w\":1,",
+            "\"rect\":{\"x\":4,\"y\":1,\"w\":0,",
+            1,
+        );
+        assert_ne!(empty_rect, doc);
+        assert!(read_problem(&empty_rect).unwrap_err().0.contains("invalid rectangle"));
+    }
+
+    #[test]
+    fn malformed_device_sections_are_rejected() {
+        let doc = write_problem(&sample_problem());
+        // Wrong arity of a tile type's resource vector.
+        let bad_res = doc.replacen("\"resources\":[1,0,0,0]", "\"resources\":[1,0,0]", 1);
+        let e = read_problem(&bad_res).unwrap_err();
+        assert!(e.0.contains("must have 4 entries"), "{e}");
+        // An empty column list.
+        let no_cols = doc.replacen("\"columns\": [0,0,1,0,0,1,0]", "\"columns\": []", 1);
+        assert!(read_problem(&no_cols).unwrap_err().0.contains("no columns"));
+    }
+
+    #[test]
+    fn floorplan_error_paths_mirror_the_problem_ones() {
+        let fp = Floorplan {
+            regions: vec![Rect::new(1, 1, 2, 2)],
+            fc_areas: vec![FcPlacement {
+                request: 0,
+                region: 0,
+                mode: RelocationMode::Metric { weight: 1.5 },
+                rect: None,
+            }],
+        };
+        let doc = write_floorplan(&fp);
+        for cut in (1..doc.len()).step_by(5) {
+            assert!(read_floorplan(&doc[..cut]).is_err(), "truncation at byte {cut}");
+        }
+        let bad_mode = doc.replacen("\"mode\":\"metric\"", "\"mode\":\"psychic\"", 1);
+        assert!(read_floorplan(&bad_mode).unwrap_err().0.contains("unknown relocation mode"));
+        // Metric mode without its weight.
+        let no_weight =
+            doc.replacen("\"mode\":\"metric\",\"weight\":1.5", "\"mode\":\"metric\"", 1);
+        assert!(read_floorplan(&no_weight).unwrap_err().0.contains("missing field `weight`"));
+        let bumped = doc.replacen("\"version\": 1", "\"version\": 3", 1);
+        assert!(read_floorplan(&bumped).unwrap_err().0.contains("version 3"));
     }
 
     #[test]

@@ -73,6 +73,10 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+// The deprecated `SolveReport` alias lives on for downstream callers, but no
+// internal code path may use it (the re-export below and the alias
+// compile-test carry explicit `allow`s).
+#![deny(deprecated)]
 
 pub mod candidates;
 pub mod combinatorial;
@@ -93,8 +97,8 @@ pub mod solver;
 /// Convenient glob import of the public API.
 pub mod prelude {
     pub use crate::engine::{
-        CancelToken, EngineRegistry, EngineStats, FloorplanEngine, IncumbentEvent, OutcomeStatus,
-        SolveControl, SolveOutcome, SolveRequest,
+        adapt_floorplan, CancelToken, EngineRegistry, EngineStats, FloorplanEngine, IncumbentEvent,
+        OutcomeStatus, SolveControl, SolveOutcome, SolveRequest,
     };
     pub use crate::error::FloorplanError;
     pub use crate::feasibility::{feasibility_analysis, RegionFeasibility};
@@ -108,8 +112,8 @@ pub mod prelude {
 }
 
 pub use engine::{
-    CancelToken, EngineRegistry, EngineStats, FloorplanEngine, IncumbentEvent, OutcomeStatus,
-    SolveControl, SolveOutcome, SolveRequest,
+    adapt_floorplan, CancelToken, EngineRegistry, EngineStats, FloorplanEngine, IncumbentEvent,
+    OutcomeStatus, SolveControl, SolveOutcome, SolveRequest,
 };
 pub use error::FloorplanError;
 pub use placement::{FcPlacement, Floorplan, Metrics};

@@ -53,6 +53,9 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+// The deprecated `SolveReport` alias lives on for downstream callers, but no
+// internal code path may use it.
+#![deny(deprecated)]
 
 pub mod basis;
 pub mod branch_bound;

@@ -1,0 +1,148 @@
+//! Free-space accounting and fragmentation metrics.
+//!
+//! The defragmentation literature (Fekete et al.) measures the health of an
+//! online placement by how much of the free area is usable as one piece: a
+//! device can be mostly empty and still reject a mid-sized module because
+//! the free tiles are scattered between running modules. [`frag_metrics`]
+//! quantifies that with the **largest free rectangle**: fragmentation is
+//! `1 - largest_free_rect_tiles / free_tiles` — `0.0` when all free space is
+//! one rectangle, approaching `1.0` as the free space shatters.
+
+use rfp_device::{ColumnarPartition, Rect};
+
+/// Fragmentation state of a placement at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragMetrics {
+    /// Usable tiles not covered by any module or forbidden area.
+    pub free_tiles: u64,
+    /// Tiles of the largest rectangle of contiguous free tiles.
+    pub largest_free_rect: u64,
+    /// `1 - largest_free_rect / free_tiles` (0 when the device is full or
+    /// the free space is one rectangle).
+    pub fragmentation: f64,
+}
+
+/// Computes the fragmentation metrics of a placement.
+///
+/// `occupied` are the rectangles of the running modules; forbidden areas of
+/// the partition are never free. Runs one largest-rectangle-in-histogram
+/// sweep over the tile grid — O(cols × rows).
+pub fn frag_metrics(partition: &ColumnarPartition, occupied: &[Rect]) -> FragMetrics {
+    let cols = partition.cols as usize;
+    let rows = partition.rows as usize;
+    // free[r][c], 0-based.
+    let mut free = vec![vec![true; cols]; rows];
+    let blocked = |rect: &Rect, free: &mut Vec<Vec<bool>>| {
+        for (c, r) in rect.cells() {
+            let (c, r) = (c as usize - 1, r as usize - 1);
+            if c < cols && r < rows {
+                free[r][c] = false;
+            }
+        }
+    };
+    for fa in &partition.forbidden {
+        blocked(&fa.rect, &mut free);
+    }
+    for rect in occupied {
+        blocked(rect, &mut free);
+    }
+
+    let free_tiles: u64 = free.iter().flatten().filter(|&&f| f).count() as u64;
+
+    // Largest free rectangle: histogram of free-run heights per row, then the
+    // classic stack-based largest-rectangle-in-histogram per row.
+    let mut best = 0u64;
+    let mut heights = vec![0u64; cols];
+    for row in &free {
+        for (h, &cell_free) in heights.iter_mut().zip(row) {
+            *h = if cell_free { *h + 1 } else { 0 };
+        }
+        best = best.max(largest_in_histogram(&heights));
+    }
+
+    let fragmentation = if free_tiles == 0 { 0.0 } else { 1.0 - best as f64 / free_tiles as f64 };
+    FragMetrics { free_tiles, largest_free_rect: best, fragmentation }
+}
+
+fn largest_in_histogram(heights: &[u64]) -> u64 {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut best = 0u64;
+    for i in 0..=heights.len() {
+        let h = if i < heights.len() { heights[i] } else { 0 };
+        while let Some(&top) = stack.last() {
+            if heights[top] <= h {
+                break;
+            }
+            stack.pop();
+            let width = match stack.last() {
+                Some(&below) => i - below - 1,
+                None => i,
+            };
+            best = best.max(heights[top] * width as u64);
+        }
+        stack.push(i);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+
+    fn partition(cols: u32, rows: u32) -> ColumnarPartition {
+        let mut b = DeviceBuilder::new("frag");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        b.rows(rows).repeat_column(clb, cols);
+        columnar_partition(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empty_device_is_unfragmented() {
+        let p = partition(6, 4);
+        let m = frag_metrics(&p, &[]);
+        assert_eq!(m.free_tiles, 24);
+        assert_eq!(m.largest_free_rect, 24);
+        assert_eq!(m.fragmentation, 0.0);
+    }
+
+    #[test]
+    fn full_device_reports_zero_fragmentation() {
+        let p = partition(4, 2);
+        let m = frag_metrics(&p, &[Rect::new(1, 1, 4, 2)]);
+        assert_eq!(m.free_tiles, 0);
+        assert_eq!(m.fragmentation, 0.0);
+    }
+
+    #[test]
+    fn a_central_module_splits_the_free_space() {
+        let p = partition(8, 2);
+        // A full-height module in the middle: two free 3x2 and 4x2 blocks
+        // minus... columns 4 covered => free columns 1-3 and 5-8.
+        let m = frag_metrics(&p, &[Rect::new(4, 1, 1, 2)]);
+        assert_eq!(m.free_tiles, 14);
+        assert_eq!(m.largest_free_rect, 8); // columns 5-8 x 2 rows
+        assert!((m.fragmentation - (1.0 - 8.0 / 14.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scattered_modules_fragment_harder_than_packed_ones() {
+        let p = partition(9, 2);
+        let packed = frag_metrics(&p, &[Rect::new(1, 1, 2, 2), Rect::new(3, 1, 2, 2)]);
+        let scattered = frag_metrics(&p, &[Rect::new(2, 1, 2, 2), Rect::new(6, 1, 2, 2)]);
+        assert!(scattered.fragmentation > packed.fragmentation);
+        assert_eq!(packed.fragmentation, 0.0, "packed modules leave one free rectangle");
+    }
+
+    #[test]
+    fn forbidden_areas_are_not_free() {
+        let mut b = DeviceBuilder::new("frag-fb");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        b.rows(3).repeat_column(clb, 4);
+        b.forbidden("blk", Rect::new(2, 1, 1, 2));
+        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        let m = frag_metrics(&p, &[]);
+        assert_eq!(m.free_tiles, 10);
+        assert_eq!(m.largest_free_rect, 6); // columns 3-4 x all 3 rows
+    }
+}

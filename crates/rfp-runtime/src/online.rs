@@ -1,0 +1,688 @@
+//! The event-driven online floorplanner.
+//!
+//! [`OnlineFloorplanner`] maintains the live placement of a device while a
+//! [`Scenario`] stream plays: modules arrive, depart and occasionally force
+//! the layout to be reorganised. Every placement decision is backed by a
+//! real [`rfp_bitstream::ConfigMemory`] — bitstreams are generated,
+//! relocated (or regenerated) and programmed, so an overlap with a running
+//! module is not just a bookkeeping bug but a configuration conflict the
+//! memory model rejects.
+//!
+//! An arrival is handled by escalation:
+//!
+//! 1. **Incremental placement** — the memoised candidate enumeration of
+//!    `rfp-floorplan` finds the lowest-waste free rectangle; cost: one table
+//!    lookup plus overlap checks.
+//! 2. **Defragmentation** — if nothing fits, the [`DefragPlanner`] compacts
+//!    the live placement (policy-dependent, see [`DefragPolicy`]) and step 1
+//!    is retried.
+//! 3. **Engine re-solve** — as a last resort the full problem (running
+//!    modules + the arrival) goes to a registry engine; the request is
+//!    warm-started from the previous engine outcome adapted across the edit
+//!    ([`adapt_floorplan`] — the incremental re-solve path). The solved
+//!    layout is replayed as a sequence of relocation moves that never
+//!    overlap a running module.
+//!
+//! Departures release the module's area; when fragmentation then exceeds the
+//! configured threshold, a proactive compaction runs.
+
+use crate::defrag::{
+    find_placement, CompactionGoal, DefragPlanner, DefragPolicy, LiveModule, PlannedMove,
+};
+use crate::frag::frag_metrics;
+use crate::report::{EventRecord, SimReport};
+use crate::scenario::{EventKind, ModuleId, Scenario};
+use rfp_bitstream::{relocate_or_regenerate, Bitstream, ConfigMemory, MoveKind};
+use rfp_device::{ColumnarPartition, Rect};
+use rfp_floorplan::engine::{adapt_floorplan, EngineRegistry, SolveControl, SolveRequest};
+use rfp_floorplan::{Floorplan, FloorplanProblem, ObjectiveWeights, RegionSpec, SolveOutcome};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of the online floorplanner.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Registry engine used for escalation re-solves.
+    pub engine: String,
+    /// Defragmentation policy.
+    pub policy: DefragPolicy,
+    /// Fragmentation threshold that triggers a proactive compaction after a
+    /// departure (1.0 disables proactive defragmentation).
+    pub defrag_threshold: f64,
+    /// Wall-clock budget (seconds) per escalation re-solve.
+    pub engine_time_limit: f64,
+    /// Cost multiplier for re-synthesis-equivalent frames in the report.
+    pub resynthesis_factor: f64,
+    /// Fixpoint cap for compaction passes.
+    pub max_passes: u32,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            engine: "combinatorial".to_string(),
+            policy: DefragPolicy::RelocationAware,
+            defrag_threshold: 0.5,
+            engine_time_limit: 10.0,
+            resynthesis_factor: 20.0,
+            max_passes: 3,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// The relocation-oblivious baseline configuration (same budgets,
+    /// cost-blind defragmentation).
+    pub fn oblivious(mut self) -> Self {
+        self.policy = DefragPolicy::Oblivious;
+        self
+    }
+}
+
+/// Error raised when a scenario cannot be simulated at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The event stream is malformed (see [`Scenario::validate`]).
+    InvalidScenario(Vec<String>),
+    /// The configured engine id is not registered.
+    UnknownEngine(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidScenario(issues) => {
+                write!(f, "invalid scenario: {}", issues.join("; "))
+            }
+            SimError::UnknownEngine(id) => write!(f, "unknown engine `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A running module: its requirement, placement and live bitstream.
+#[derive(Debug, Clone)]
+struct Running {
+    spec: RegionSpec,
+    rect: Rect,
+    bitstream: Bitstream,
+}
+
+/// Per-event accounting accumulated while handling one event.
+#[derive(Debug, Default)]
+struct Traffic {
+    moves: u64,
+    frames_relocated: u64,
+    frames_resynthesized: u64,
+    violations: Vec<String>,
+}
+
+/// The online floorplanner state machine.
+pub struct OnlineFloorplanner {
+    partition: ColumnarPartition,
+    config: OnlineConfig,
+    registry: EngineRegistry,
+    running: BTreeMap<ModuleId, Running>,
+    /// Arrivals that were rejected (their departures are no-ops).
+    rejected: BTreeSet<ModuleId>,
+    memory: ConfigMemory,
+    /// Previous escalation outcome + the module ids its regions describe, in
+    /// region order — the warm-start seed of the next re-solve.
+    last_solve: Option<(SolveOutcome, Vec<ModuleId>)>,
+}
+
+impl OnlineFloorplanner {
+    /// Creates an empty online floorplanner on a device.
+    pub fn new(
+        partition: ColumnarPartition,
+        registry: EngineRegistry,
+        config: OnlineConfig,
+    ) -> Self {
+        OnlineFloorplanner {
+            partition,
+            config,
+            registry,
+            running: BTreeMap::new(),
+            rejected: BTreeSet::new(),
+            memory: ConfigMemory::new(),
+            last_solve: None,
+        }
+    }
+
+    /// Currently running module ids, ascending.
+    pub fn running_modules(&self) -> Vec<ModuleId> {
+        self.running.keys().copied().collect()
+    }
+
+    /// Current placement of a running module.
+    pub fn placement_of(&self, module: ModuleId) -> Option<Rect> {
+        self.running.get(&module).map(|r| r.rect)
+    }
+
+    /// Rectangles currently occupied, in module-id order.
+    fn occupied(&self) -> Vec<Rect> {
+        self.running.values().map(|r| r.rect).collect()
+    }
+
+    fn live_modules(&self) -> Vec<LiveModule> {
+        self.running
+            .iter()
+            .map(|(&id, r)| LiveModule {
+                id,
+                spec: r.spec.clone(),
+                rect: r.rect,
+                frames: r.bitstream.n_frames() as u64,
+            })
+            .collect()
+    }
+
+    /// Executes one planned move through the bitstream/configuration-memory
+    /// model, recording traffic and any violation.
+    fn execute_move(&mut self, mv: &PlannedMove, traffic: &mut Traffic) -> bool {
+        let Some(running) = self.running.get(&mv.module) else {
+            traffic.violations.push(format!("move of unknown module {}", mv.module));
+            return false;
+        };
+        if running.rect != mv.from {
+            traffic.violations.push(format!(
+                "move of module {} expected it at {} but it is at {}",
+                mv.module, mv.from, running.rect
+            ));
+            return false;
+        }
+        // No move may overlap another *running* module. The mover's own old
+        // area is exempt: the module is reprogrammed from its bitstream in
+        // memory, so an in-place shift only overwrites configuration it
+        // itself owns (the configuration-memory model re-checks this).
+        for (&other, r) in &self.running {
+            if other != mv.module && r.rect.overlaps(&mv.to) {
+                traffic.violations.push(format!(
+                    "move of module {} to {} overlaps running module {other} at {}",
+                    mv.module, mv.to, r.rect
+                ));
+                return false;
+            }
+        }
+        let (moved, kind) = match relocate_or_regenerate(
+            &self.partition,
+            &running.bitstream,
+            mv.to,
+            mv.module as u64,
+        ) {
+            Ok(res) => res,
+            Err(e) => {
+                traffic.violations.push(format!("move of module {} failed: {e}", mv.module));
+                return false;
+            }
+        };
+        let instance = format!("m{}", mv.module);
+        if let Err(e) = self.memory.program(&instance, &moved) {
+            traffic.violations.push(format!("configuration conflict: {e}"));
+            return false;
+        }
+        let frames = moved.n_frames() as u64;
+        match kind {
+            MoveKind::Relocated => traffic.frames_relocated += frames,
+            MoveKind::Resynthesized => traffic.frames_resynthesized += frames,
+        }
+        traffic.moves += 1;
+        let running = self.running.get_mut(&mv.module).expect("checked above");
+        running.rect = mv.to;
+        running.bitstream = moved;
+        true
+    }
+
+    /// Runs a policy compaction towards `goal`; executes the plan move by
+    /// move.
+    fn compact(&mut self, goal: CompactionGoal<'_>, traffic: &mut Traffic) {
+        let planner =
+            DefragPlanner { policy: self.config.policy, max_passes: self.config.max_passes };
+        let plan = planner.plan(&self.partition, &self.live_modules(), goal);
+        for mv in &plan {
+            if !self.execute_move(mv, traffic) {
+                break;
+            }
+        }
+    }
+
+    /// Admits a module at `rect`: generates and programs its bitstream.
+    fn admit(
+        &mut self,
+        module: ModuleId,
+        spec: &RegionSpec,
+        rect: Rect,
+        traffic: &mut Traffic,
+    ) -> bool {
+        let bitstream =
+            match Bitstream::generate(&self.partition, spec.name.clone(), rect, module as u64) {
+                Ok(bs) => bs,
+                Err(e) => {
+                    traffic.violations.push(format!("admission of module {module} failed: {e}"));
+                    return false;
+                }
+            };
+        if let Err(e) = self.memory.program(&format!("m{module}"), &bitstream) {
+            traffic.violations.push(format!("admission conflict: {e}"));
+            return false;
+        }
+        self.running.insert(module, Running { spec: spec.clone(), rect, bitstream });
+        true
+    }
+
+    /// The escalation re-solve: running modules + the arrival as one static
+    /// problem, warm-started from the previous outcome when it adapts.
+    /// Returns the arrival's rectangle on success; the layout moves for the
+    /// running modules are executed as a side effect.
+    fn escalate(
+        &mut self,
+        module: ModuleId,
+        spec: &RegionSpec,
+        traffic: &mut Traffic,
+    ) -> Option<Rect> {
+        let ids: Vec<ModuleId> = self.running.keys().copied().collect();
+        let mut problem = FloorplanProblem::new(self.partition.clone());
+        problem.weights = ObjectiveWeights::area_only();
+        for id in &ids {
+            problem.add_region(self.running[id].spec.clone());
+        }
+        let arrival_region = problem.add_region(spec.clone());
+        if problem.validate().is_err() {
+            return None;
+        }
+
+        // Warm start, best effort: previous outcome adapted across the edit,
+        // falling back to the current placement.
+        let hint = self
+            .last_solve
+            .as_ref()
+            .and_then(|(outcome, old_ids)| {
+                let fp = outcome.floorplan.as_ref()?;
+                let mapping: Vec<Option<usize>> = ids
+                    .iter()
+                    .map(|id| old_ids.iter().position(|o| o == id))
+                    .chain(std::iter::once(None))
+                    .collect();
+                adapt_floorplan(fp, &mapping, &problem)
+            })
+            .or_else(|| {
+                let current = Floorplan::from_regions(self.occupied());
+                let mapping: Vec<Option<usize>> =
+                    (0..ids.len()).map(Some).chain(std::iter::once(None)).collect();
+                adapt_floorplan(&current, &mapping, &problem)
+            });
+
+        let mut req = SolveRequest::new(problem).with_time_limit(self.config.engine_time_limit);
+        if let Some(hint) = hint {
+            req = req.with_warm_start(hint);
+        }
+        let engine = self.registry.get(&self.config.engine)?;
+        let outcome = engine.solve(&req, &SolveControl::default());
+        let target = outcome.floorplan.clone()?;
+
+        // Replay the layout difference as a sequence of safe moves: pick any
+        // pending move whose target is free right now; when none is, park a
+        // pending module in scratch space to break the cycle.
+        let mut pending: Vec<(ModuleId, Rect)> = ids
+            .iter()
+            .enumerate()
+            .filter(|&(pos, id)| target.regions[pos] != self.running[id].rect)
+            .map(|(pos, &id)| (id, target.regions[pos]))
+            .collect();
+        let arrival_rect = target.regions[arrival_region];
+        // Termination guard: each executed move either retires a pending
+        // entry or parks a module, and a bounded number of parks per pending
+        // entry is ample for any real cycle — when the budget runs out the
+        // layout is abandoned (state stays consistent, arrival rejected)
+        // instead of livelocking on a pathological park ping-pong.
+        let mut budget = 2 * pending.len() + 4;
+        while !pending.is_empty() {
+            if budget == 0 {
+                return None;
+            }
+            budget -= 1;
+            // A move is executable when its target is free of every *other*
+            // running module right now (self-overlapping shifts are legal —
+            // see `execute_move`).
+            let free_now = pending.iter().position(|(id, to)| {
+                self.running.iter().all(|(other, r)| other == id || !r.rect.overlaps(to))
+            });
+            match free_now {
+                Some(i) => {
+                    let (id, to) = pending.remove(i);
+                    let mv = PlannedMove { module: id, from: self.running[&id].rect, to };
+                    if !self.execute_move(&mv, traffic) {
+                        return None;
+                    }
+                }
+                None => {
+                    // Cycle: park the first pending module anywhere that is
+                    // free now, does not block a final target, and actually
+                    // moves it (a stay-put "park" would make no progress).
+                    let blocked: Vec<Rect> = pending.iter().map(|&(_, to)| to).collect();
+                    let parked = pending.iter().enumerate().find_map(|(i, &(id, _))| {
+                        let current = self.running[&id].rect;
+                        let mut occupied = self.occupied();
+                        occupied.retain(|r| *r != current);
+                        occupied.extend(blocked.iter().copied());
+                        occupied.push(arrival_rect);
+                        let spot =
+                            find_placement(&self.partition, &self.running[&id].spec, &occupied)
+                                .filter(|spot| *spot != current)?;
+                        Some((i, id, spot))
+                    });
+                    let Some((_, id, spot)) = parked else {
+                        // No scratch space: give up on this layout, state
+                        // stays consistent (some moves may have happened).
+                        return None;
+                    };
+                    let mv = PlannedMove { module: id, from: self.running[&id].rect, to: spot };
+                    if !self.execute_move(&mv, traffic) {
+                        return None;
+                    }
+                }
+            }
+        }
+
+        // All running modules sit at their targets; the arrival slot is free.
+        self.last_solve = Some((outcome, ids.iter().copied().chain([module]).collect()));
+        Some(arrival_rect)
+    }
+
+    /// Handles an arrival through the three-stage escalation. Returns
+    /// `(accepted, escalated)`.
+    fn handle_arrival(
+        &mut self,
+        module: ModuleId,
+        spec: &RegionSpec,
+        traffic: &mut Traffic,
+    ) -> (bool, bool) {
+        // Stage 1: incremental placement.
+        if let Some(rect) = find_placement(&self.partition, spec, &self.occupied()) {
+            return (self.admit(module, spec, rect, traffic), false);
+        }
+        // Stage 2: defragment, then retry.
+        self.compact(CompactionGoal::FitModule(spec), traffic);
+        if let Some(rect) = find_placement(&self.partition, spec, &self.occupied()) {
+            return (self.admit(module, spec, rect, traffic), false);
+        }
+        // Stage 3: engine re-solve.
+        match self.escalate(module, spec, traffic) {
+            Some(rect) => (self.admit(module, spec, rect, traffic), true),
+            None => (false, true),
+        }
+    }
+
+    /// Re-checks every runtime invariant (used at checkpoints).
+    fn check_invariants(&self, traffic: &mut Traffic) {
+        let rects: Vec<(ModuleId, Rect)> =
+            self.running.iter().map(|(&id, r)| (id, r.rect)).collect();
+        for (i, &(id_a, a)) in rects.iter().enumerate() {
+            for &(id_b, b) in &rects[i + 1..] {
+                if a.overlaps(&b) {
+                    traffic
+                        .violations
+                        .push(format!("running modules {id_a} and {id_b} overlap ({a} vs {b})"));
+                }
+            }
+        }
+        for (&id, r) in &self.running {
+            if !self.partition.placement_legal(&r.rect) {
+                traffic.violations.push(format!("module {id} sits on an illegal area {}", r.rect));
+            }
+            let covered = self.partition.tiles_by_type_in_rect(&r.rect);
+            for &(ty, need) in r.spec.tile_req() {
+                let have = covered.iter().find(|(t, _)| *t == ty).map(|&(_, c)| c).unwrap_or(0);
+                if have < need {
+                    traffic.violations.push(format!(
+                        "module {id} covers {have} tiles of {ty} but requires {need}"
+                    ));
+                }
+            }
+            if self.memory.area_of(&format!("m{id}")) != Some(r.rect) {
+                traffic
+                    .violations
+                    .push(format!("module {id} placement and configuration memory disagree"));
+            }
+            if let Err(e) = r.bitstream.verify() {
+                traffic.violations.push(format!("module {id} bitstream corrupt: {e}"));
+            }
+        }
+    }
+
+    /// Plays one event and returns its record.
+    pub fn step(&mut self, scenario: &Scenario, index: usize) -> EventRecord {
+        let event = scenario.events[index];
+        let start = Instant::now();
+        let mut traffic = Traffic::default();
+        let (kind, module, accepted, escalated) = match event.kind {
+            EventKind::Arrive(m) => {
+                let spec = &scenario.modules[m];
+                let (accepted, escalated) = self.handle_arrival(m, spec, &mut traffic);
+                if !accepted {
+                    self.rejected.insert(m);
+                }
+                ("arrive", Some(m), accepted, escalated)
+            }
+            EventKind::Depart(m) => {
+                // A departure of a module whose arrival was rejected is a
+                // no-op, not a violation — the stream does not know the
+                // admission decision.
+                if self.running.remove(&m).is_none() && !self.rejected.contains(&m) {
+                    traffic
+                        .violations
+                        .push(format!("departure of module {m} which is not running"));
+                }
+                self.memory.remove(&format!("m{m}"));
+                if frag_metrics(&self.partition, &self.occupied()).fragmentation
+                    > self.config.defrag_threshold
+                {
+                    self.compact(
+                        CompactionGoal::Fragmentation(self.config.defrag_threshold),
+                        &mut traffic,
+                    );
+                }
+                ("depart", Some(m), true, false)
+            }
+            EventKind::Checkpoint => {
+                self.check_invariants(&mut traffic);
+                ("checkpoint", None, true, false)
+            }
+        };
+        let frag = frag_metrics(&self.partition, &self.occupied());
+        EventRecord {
+            time: event.time,
+            kind: kind.to_string(),
+            module,
+            accepted,
+            latency_seconds: start.elapsed().as_secs_f64(),
+            escalated,
+            moves: traffic.moves,
+            frames_relocated: traffic.frames_relocated,
+            frames_resynthesized: traffic.frames_resynthesized,
+            fragmentation: frag.fragmentation,
+            free_tiles: frag.free_tiles,
+            violations: traffic.violations,
+        }
+    }
+}
+
+/// Simulates a whole scenario under a configuration and returns the report.
+///
+/// Uses the full engine registry (all five engines) for escalation
+/// re-solves; use [`OnlineFloorplanner`] directly to inject a custom
+/// registry.
+pub fn simulate(scenario: &Scenario, config: &OnlineConfig) -> Result<SimReport, SimError> {
+    simulate_with_registry(scenario, config, rfp_baselines::engines::full_registry())
+}
+
+/// [`simulate`] with an explicit engine registry.
+pub fn simulate_with_registry(
+    scenario: &Scenario,
+    config: &OnlineConfig,
+    registry: EngineRegistry,
+) -> Result<SimReport, SimError> {
+    let issues = scenario.validate();
+    if !issues.is_empty() {
+        return Err(SimError::InvalidScenario(issues));
+    }
+    if registry.get(&config.engine).is_none() {
+        return Err(SimError::UnknownEngine(config.engine.clone()));
+    }
+    let start = Instant::now();
+    let mut sim = OnlineFloorplanner::new(scenario.partition.clone(), registry, config.clone());
+    let events: Vec<EventRecord> =
+        (0..scenario.events.len()).map(|i| sim.step(scenario, i)).collect();
+    Ok(SimReport {
+        scenario: scenario.name.clone(),
+        policy: config.policy.id().to_string(),
+        engine: config.engine.clone(),
+        events,
+        resynthesis_factor: config.resynthesis_factor,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use rfp_floorplan::RegionSpec;
+
+    /// 12 CLB columns x 2 rows.
+    fn uniform_scenario() -> (Scenario, rfp_device::TileTypeId) {
+        let mut b = DeviceBuilder::new("online-uniform");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        b.rows(2).repeat_column(clb, 12);
+        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        (Scenario::new("uniform", p), clb)
+    }
+
+    #[test]
+    fn modules_arrive_and_depart_without_violations() {
+        let (mut s, clb) = uniform_scenario();
+        let a = s.add_module(RegionSpec::new("A", vec![(clb, 8)]));
+        let b = s.add_module(RegionSpec::new("B", vec![(clb, 8)]));
+        let c = s.add_module(RegionSpec::new("C", vec![(clb, 4)]));
+        s.arrive(0, a);
+        s.arrive(1, b);
+        s.checkpoint(2);
+        s.depart(3, a);
+        s.arrive(4, c);
+        s.checkpoint(5);
+        let report = simulate(&s, &OnlineConfig::default()).unwrap();
+        assert_eq!(report.violations(), 0, "{report:#?}");
+        assert_eq!(report.rejected(), 0);
+        assert_eq!(report.arrivals(), 3);
+    }
+
+    #[test]
+    fn a_fragmented_device_defragments_to_admit_a_large_module() {
+        let (mut s, clb) = uniform_scenario();
+        // Fill the row with 4 modules of 3x2, then remove two alternating
+        // ones: the free space is 2 x (3x2) islands. A 10-tile module needs
+        // compaction to fit.
+        let ids: Vec<_> = (0..4)
+            .map(|i| s.add_module(RegionSpec::new(format!("f{i}"), vec![(clb, 6)])))
+            .collect();
+        let big = s.add_module(RegionSpec::new("big", vec![(clb, 10)]));
+        for (i, &id) in ids.iter().enumerate() {
+            s.arrive(i as u64, id);
+        }
+        s.depart(4, ids[0]);
+        s.depart(5, ids[2]);
+        s.arrive(6, big);
+        s.checkpoint(7);
+        // Disable the proactive (threshold) compaction so the arrival itself
+        // must trigger the defragmentation.
+        let config = OnlineConfig { defrag_threshold: 1.0, ..OnlineConfig::default() };
+        let report = simulate(&s, &config).unwrap();
+        assert_eq!(report.violations(), 0, "{report:#?}");
+        assert_eq!(report.rejected(), 0, "defragmentation must make room: {report:#?}");
+        assert!(report.total_moves() > 0, "the big arrival requires at least one move");
+    }
+
+    #[test]
+    fn arrivals_escalate_to_an_engine_resolve_when_compaction_is_unavailable() {
+        let (mut s, clb) = uniform_scenario();
+        let ids: Vec<_> = (0..4)
+            .map(|i| s.add_module(RegionSpec::new(format!("f{i}"), vec![(clb, 6)])))
+            .collect();
+        let big = s.add_module(RegionSpec::new("big", vec![(clb, 10)]));
+        let late = s.add_module(RegionSpec::new("late", vec![(clb, 4)]));
+        for (i, &id) in ids.iter().enumerate() {
+            s.arrive(i as u64, id);
+        }
+        s.depart(4, ids[0]);
+        s.depart(5, ids[2]);
+        s.arrive(6, big);
+        s.checkpoint(7);
+        s.depart(8, big);
+        s.arrive(9, late);
+        s.checkpoint(10);
+        // `max_passes: 0` turns the defragmentation stage off entirely, so
+        // the fragmented arrival must go through the engine re-solve (and
+        // its layout replay), and the second escalation warm-starts from the
+        // first outcome.
+        let config =
+            OnlineConfig { defrag_threshold: 1.0, max_passes: 0, ..OnlineConfig::default() };
+        let report = simulate(&s, &config).unwrap();
+        assert_eq!(report.violations(), 0, "{report:#?}");
+        assert_eq!(report.rejected(), 0, "the engine re-solve must admit the module: {report:#?}");
+        assert!(report.escalations() >= 1);
+        assert!(report.total_moves() > 0, "the re-solved layout requires relocations");
+    }
+
+    #[test]
+    fn impossible_arrivals_are_rejected_not_fatal() {
+        let (mut s, clb) = uniform_scenario();
+        let huge = s.add_module(RegionSpec::new("huge", vec![(clb, 25)]));
+        let ok = s.add_module(RegionSpec::new("ok", vec![(clb, 4)]));
+        s.arrive(0, huge); // 25 > 24 tiles on the device
+        s.arrive(1, ok);
+        s.checkpoint(2);
+        let report = simulate(&s, &OnlineConfig::default()).unwrap();
+        assert_eq!(report.rejected(), 1);
+        assert_eq!(report.violations(), 0);
+        // The rejection left the device usable.
+        assert!(report.events[1].accepted);
+    }
+
+    #[test]
+    fn proactive_defrag_triggers_on_the_threshold() {
+        let (mut s, clb) = uniform_scenario();
+        let ids: Vec<_> = (0..4)
+            .map(|i| s.add_module(RegionSpec::new(format!("f{i}"), vec![(clb, 6)])))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            s.arrive(i as u64, id);
+        }
+        // Departures leave two free islands; threshold 0.4 forces compaction.
+        s.depart(4, ids[0]);
+        s.depart(5, ids[2]);
+        s.checkpoint(6);
+        let config = OnlineConfig { defrag_threshold: 0.4, ..OnlineConfig::default() };
+        let report = simulate(&s, &config).unwrap();
+        assert_eq!(report.violations(), 0, "{report:#?}");
+        assert!(report.total_moves() > 0, "threshold crossing must trigger moves");
+        let last = report.events.last().unwrap();
+        assert!(last.fragmentation <= 0.4, "compaction must reach the threshold");
+    }
+
+    #[test]
+    fn invalid_scenarios_and_unknown_engines_are_errors() {
+        let (mut s, clb) = uniform_scenario();
+        let a = s.add_module(RegionSpec::new("A", vec![(clb, 2)]));
+        s.depart(0, a);
+        assert!(matches!(
+            simulate(&s, &OnlineConfig::default()),
+            Err(SimError::InvalidScenario(_))
+        ));
+        let (mut s2, clb2) = uniform_scenario();
+        let b = s2.add_module(RegionSpec::new("B", vec![(clb2, 2)]));
+        s2.arrive(0, b);
+        let config = OnlineConfig { engine: "nonsense".into(), ..OnlineConfig::default() };
+        assert!(matches!(simulate(&s2, &config), Err(SimError::UnknownEngine(_))));
+    }
+}

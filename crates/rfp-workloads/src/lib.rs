@@ -5,13 +5,17 @@
 //!   by a 64-bit bus, plus the SDR2/SDR3 relocation variants.
 //! * [`generator`] — reproducible synthetic workloads and devices for the
 //!   scaling and ablation benchmarks.
+//! * [`defrag`] — Fekete-style online defragmentation traces for the
+//!   `rfp-runtime` simulator, plus the deterministic CI-smoke scenario.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod defrag;
 pub mod generator;
 pub mod sdr;
 
+pub use defrag::{smoke_scenario, smoke_scenario_json, DefragWorkloadSpec};
 pub use generator::{SyntheticWorkload, WorkloadSpec};
 pub use sdr::{
     sdr2_problem, sdr3_problem, sdr_problem, sdr_problem_json, sdr_region_table, SdrRegionRow,

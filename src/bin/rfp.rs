@@ -9,16 +9,19 @@
 //! rfp solve --engine milp problem.json          solve with one engine
 //! rfp solve --portfolio problem.json            race every engine, first proof wins
 //! rfp validate problem.json floorplan.json      re-check a floorplan independently
+//! rfp simulate scenario.json                    play an online reconfiguration stream
 //! ```
 //!
 //! Exit codes: `0` success, `1` usage/IO/format error, `2` infeasible (or
-//! floorplan invalid for `validate`), `3` budget exhausted before a
-//! floorplan was found.
+//! floorplan invalid for `validate`, constraint violations for `simulate`),
+//! `3` budget exhausted before a floorplan was found.
 
 use relocfp::floorplan::engine::{EngineRegistry, OutcomeStatus, SolveControl, SolveRequest};
 use relocfp::floorplan::jsonio;
 use relocfp::floorplan::portfolio::Portfolio;
+use relocfp::runtime::{read_scenario, simulate_with_registry, DefragPolicy, OnlineConfig};
 use rfp_workloads::generator::WorkloadSpec;
+use rfp_workloads::DefragWorkloadSpec;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -26,11 +29,15 @@ const USAGE: &str = "usage:
   rfp solve [--engine ID | --portfolio[=ID,ID,...]] [--time-limit SECS]
             [--node-limit N] [--out FILE] [--quiet] PROBLEM.json
   rfp validate PROBLEM.json FLOORPLAN.json
+  rfp simulate [--policy aware|oblivious] [--engine ID] [--threshold F]
+               [--time-limit SECS] [--report FILE] [--quiet] SCENARIO.json
   rfp convert [--out FILE] INSTANCE
       INSTANCE: sdr | sdr2 | sdr3 | synthetic[:SEED[:REGIONS]]
+              | smoke | defrag[:SEED[:MODULES]]
 
-Problems and floorplans use the versioned JSON formats of
-rfp_floorplan::jsonio (rfp-problem v1 / rfp-floorplan v1).";
+Problems, floorplans and scenarios use the versioned JSON formats of the
+jsonio v1 family (rfp-problem / rfp-floorplan / rfp-scenario); `simulate`
+writes an rfp-sim-report document.";
 
 fn fail(msg: impl AsRef<str>) -> ExitCode {
     eprintln!("rfp: {}", msg.as_ref());
@@ -63,6 +70,7 @@ fn main() -> ExitCode {
         Some("engines") => cmd_engines(),
         Some("solve") => cmd_solve(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             println!("{USAGE}");
@@ -281,6 +289,94 @@ fn cmd_validate(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let mut config = OnlineConfig::default();
+    let mut report_path: Option<String> = None;
+    let mut quiet = false;
+    let mut scenario_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take_value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--policy" => {
+                let v = match take_value("--policy") {
+                    Ok(v) => v,
+                    Err(e) => return fail(e),
+                };
+                match DefragPolicy::from_id(&v) {
+                    Some(p) => config.policy = p,
+                    None => return fail(format!("unknown policy `{v}` (aware | oblivious)")),
+                }
+            }
+            "--engine" => match take_value("--engine") {
+                Ok(v) => config.engine = v,
+                Err(e) => return fail(e),
+            },
+            "--threshold" => {
+                let v = match take_value("--threshold") {
+                    Ok(v) => v,
+                    Err(e) => return fail(e),
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if (0.0..=1.0).contains(&t) => config.defrag_threshold = t,
+                    _ => return fail(format!("invalid --threshold `{v}` (0.0 - 1.0)")),
+                }
+            }
+            "--time-limit" => {
+                let v = match take_value("--time-limit") {
+                    Ok(v) => v,
+                    Err(e) => return fail(e),
+                };
+                match v.parse::<f64>() {
+                    Ok(secs) if secs.is_finite() && secs > 0.0 => {
+                        config.engine_time_limit = secs;
+                    }
+                    _ => return fail(format!("invalid --time-limit `{v}` (positive seconds)")),
+                }
+            }
+            "--report" => match take_value("--report") {
+                Ok(v) => report_path = Some(v),
+                Err(e) => return fail(e),
+            },
+            "--quiet" | "-q" => quiet = true,
+            a if a.starts_with('-') => return fail(format!("unknown option `{a}`")),
+            a => {
+                if scenario_path.replace(a.to_string()).is_some() {
+                    return fail(format!("more than one SCENARIO.json given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let Some(scenario_path) = scenario_path else {
+        return fail(format!("missing SCENARIO.json argument\n{USAGE}"));
+    };
+    let scenario = match read_file(&scenario_path)
+        .and_then(|d| read_scenario(&d).map_err(|e| format!("`{scenario_path}`: {e}")))
+    {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let report = match simulate_with_registry(&scenario, &config, registry()) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("`{scenario_path}`: {e}")),
+    };
+    if !quiet {
+        eprintln!("rfp: {}", report.summary());
+        for e in report.events.iter().filter(|e| !e.violations.is_empty()) {
+            for v in &e.violations {
+                eprintln!("rfp: violation at t={}: {v}", e.time);
+            }
+        }
+    }
+    let rendered = report.to_json();
+    if let Err(e) = write_output(report_path.as_deref(), &rendered) {
+        return fail(e);
+    }
+    ExitCode::from(if report.violations() > 0 { 2 } else { 0 })
+}
+
 fn cmd_convert(args: &[String]) -> ExitCode {
     let mut out: Option<String> = None;
     let mut instance: Option<String> = None;
@@ -306,6 +402,27 @@ fn cmd_convert(args: &[String]) -> ExitCode {
         "sdr" => rfp_workloads::sdr_problem_json(0),
         "sdr2" => rfp_workloads::sdr_problem_json(2),
         "sdr3" => rfp_workloads::sdr_problem_json(3),
+        "smoke" => rfp_workloads::smoke_scenario_json(),
+        other if other == "defrag" || other.starts_with("defrag:") => {
+            let mut spec = DefragWorkloadSpec::default();
+            let parts: Vec<&str> = other.split(':').collect();
+            if let Some(seed) = parts.get(1) {
+                match seed.parse() {
+                    Ok(s) => spec.seed = s,
+                    Err(_) => return fail(format!("invalid defrag seed `{seed}`")),
+                }
+            }
+            if let Some(n) = parts.get(2) {
+                match n.parse() {
+                    Ok(n) => spec.n_modules = n,
+                    Err(_) => return fail(format!("invalid defrag module count `{n}`")),
+                }
+            }
+            if parts.len() > 3 {
+                return fail(format!("invalid defrag spec `{other}`"));
+            }
+            relocfp::runtime::write_scenario(&spec.generate())
+        }
         other if other == "synthetic" || other.starts_with("synthetic:") => {
             let mut spec = WorkloadSpec::default();
             let parts: Vec<&str> = other.split(':').collect();
@@ -328,7 +445,8 @@ fn cmd_convert(args: &[String]) -> ExitCode {
         }
         other => {
             return fail(format!(
-                "unknown instance `{other}` (known: sdr, sdr2, sdr3, synthetic[:SEED[:REGIONS]])"
+                "unknown instance `{other}` (known: sdr, sdr2, sdr3, \
+                 synthetic[:SEED[:REGIONS]], smoke, defrag[:SEED[:MODULES]])"
             ))
         }
     };

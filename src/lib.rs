@@ -17,7 +17,8 @@
 //! | [`floorplan`] | `rfp-floorplan` | the relocation-aware floorplanner (O, HO, combinatorial) |
 //! | [`baselines`] | `rfp-baselines` | tessellation ([8]-style) and simulated annealing ([9]-style) |
 //! | [`bitstream`] | `rfp-bitstream` | synthetic partial bitstreams, CRC-32, relocation filter |
-//! | [`workloads`] | `rfp-workloads` | the SDR case study (Table I) and synthetic generators |
+//! | [`runtime`] | `rfp-runtime` | online reconfiguration simulator: event streams, incremental placement, defragmentation |
+//! | [`workloads`] | `rfp-workloads` | the SDR case study (Table I), synthetic generators and defragmentation traces |
 //!
 //! ## Quick start
 //!
@@ -52,6 +53,7 @@ pub use rfp_bitstream as bitstream;
 pub use rfp_device as device;
 pub use rfp_floorplan as floorplan;
 pub use rfp_milp as milp;
+pub use rfp_runtime as runtime;
 pub use rfp_workloads as workloads;
 
 /// One-stop import of the most used types.
@@ -63,4 +65,7 @@ pub mod prelude {
     };
     pub use rfp_floorplan::prelude::*;
     pub use rfp_milp::prelude::*;
+    pub use rfp_runtime::{
+        simulate, DefragPolicy, OnlineConfig, OnlineFloorplanner, Scenario, SimReport,
+    };
 }

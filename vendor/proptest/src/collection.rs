@@ -38,7 +38,10 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
@@ -48,6 +51,33 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
             rng.gen_range(self.size.min..=self.size.max)
         };
         (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+
+    fn simplify(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: drop to the minimum length, halve, then
+        // remove single elements (front to back).
+        if value.len() > self.size.min {
+            out.push(value[..self.size.min].to_vec());
+            let half = (value.len() / 2).max(self.size.min);
+            if half < value.len() && half > self.size.min {
+                out.push(value[..half].to_vec());
+            }
+            for i in 0..value.len() {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Element-wise shrinks keep the shape and simplify one slot.
+        for (i, elem) in value.iter().enumerate() {
+            for candidate in self.element.simplify(elem) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
     }
 }
 
@@ -73,5 +103,43 @@ mod tests {
             assert!((2..5).contains(&v.len()));
             assert!(v.iter().all(|&x| x < 5));
         }
+    }
+
+    #[test]
+    fn vec_simplify_never_goes_below_the_minimum_length() {
+        let strat = vec(0u32..10, 2..=4);
+        for cand in strat.simplify(&alloc(&[5, 7, 9])) {
+            assert!(cand.len() >= 2, "{cand:?}");
+        }
+        // Fixed-length vectors only shrink element-wise.
+        let fixed = vec(0u32..10, 3);
+        assert!(fixed.simplify(&alloc(&[5, 7, 9])).iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn shrink_minimises_length_then_elements() {
+        let strat = vec(0u32..100, 0..10);
+        // Fails iff the vector has >= 3 elements: minimal case is three
+        // zeros (length cannot drop further, elements shrink to the bound).
+        let minimal = crate::test_runner::shrink(
+            &strat,
+            alloc(&[40, 2, 99, 7, 13, 25]),
+            |v| v.len() >= 3,
+            5000,
+        );
+        assert_eq!(minimal, alloc(&[0, 0, 0]));
+        // Fails iff any element is >= 10: one minimal offending element
+        // survives.
+        let minimal = crate::test_runner::shrink(
+            &strat,
+            alloc(&[40, 2, 99]),
+            |v| v.iter().any(|&x| x >= 10),
+            5000,
+        );
+        assert_eq!(minimal, alloc(&[10]));
+    }
+
+    fn alloc(v: &[u32]) -> Vec<u32> {
+        v.to_vec()
     }
 }

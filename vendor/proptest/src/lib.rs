@@ -5,8 +5,14 @@
 //! strategies for integer ranges, tuples, [`strategy::Just`], `any`,
 //! [`collection::vec`] and [`option::of`], plus the `proptest!` /
 //! `prop_assert*!` macros. Inputs are drawn from a deterministic per-case
-//! generator, so failures are reproducible run to run; the stand-in does not
-//! shrink counterexamples (it reports the failing input as generated).
+//! generator, so failures are reproducible run to run.
+//!
+//! Failing cases are **shrunk** before being reported: integer inputs move
+//! toward their range's lower bound and vectors drop/simplify elements
+//! (greedy first-failing-candidate descent, see
+//! [`test_runner::shrink`]), so the panic message carries a minimal failing
+//! input next to the originally generated one. Combinators that cannot
+//! invert their mapping (`prop_map`, `prop_flat_map`) do not shrink.
 
 #![deny(unsafe_code)]
 
@@ -54,20 +60,31 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::Config = $cfg;
                 let strategies = ($($strat,)*);
+                let run_case = $crate::test_runner::case_runner(&strategies, |values| {
+                    let ($($arg,)*) = ::std::clone::Clone::clone(values);
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 for case in 0..config.cases {
                     let mut rng = $crate::test_runner::case_rng(case);
                     let values = $crate::strategy::Strategy::new_value(&strategies, &mut rng);
-                    let ($($arg,)*) = values.clone();
-                    let result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    if let ::std::result::Result::Err(e) = result {
+                    if let ::std::result::Result::Err(e) = run_case(&values) {
+                        // Shrink to a minimal failing input before reporting.
+                        let minimal = $crate::test_runner::shrink(
+                            &strategies,
+                            values.clone(),
+                            |candidate| run_case(candidate).is_err(),
+                            1000,
+                        );
+                        let minimal_err = run_case(&minimal)
+                            .err()
+                            .unwrap_or_else(|| $crate::test_runner::TestCaseError::fail(e.to_string()));
                         panic!(
-                            "proptest case {case}/{total} failed: {e}\n    input: {values:?}",
+                            "proptest case {case}/{total} failed: {e}\n    minimal input: {minimal:?}\n    as generated: {values:?}",
                             case = case,
                             total = config.cases,
-                            e = e,
+                            e = minimal_err,
+                            minimal = minimal,
                             values = values
                         );
                     }
@@ -134,8 +151,9 @@ macro_rules! prop_assert_ne {
 /// Skips the current test case when the assumption does not hold.
 ///
 /// The stand-in treats a failed assumption as a silently passing case (the
-/// real proptest resamples; without shrinking the difference is only in the
-/// effective case count).
+/// real proptest resamples; the difference is only in the effective case
+/// count). During shrinking this also means candidates violating the
+/// assumption read as passing and are never adopted.
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr $(, $($fmt:tt)*)?) => {
@@ -143,4 +161,30 @@ macro_rules! prop_assume {
             return ::std::result::Result::Ok(());
         }
     };
+}
+
+#[cfg(test)]
+mod shrink_reporting_tests {
+    /// The macro must report the shrunk counterexample, not just the
+    /// generated one.
+    #[test]
+    fn failing_properties_report_a_minimal_input() {
+        crate::proptest! {
+            #![proptest_config(crate::test_runner::Config::with_cases(8))]
+            fn fails_at_five_and_up(v in 0u32..1000) {
+                crate::prop_assert!(v < 5, "v = {} reached 5", v);
+            }
+        }
+        let panic =
+            std::panic::catch_unwind(fails_at_five_and_up).expect_err("the property must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| panic.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            message.contains("minimal input: (5,)"),
+            "shrinking must reach the minimal counterexample 5: {message}"
+        );
+        assert!(message.contains("as generated:"), "{message}");
+    }
 }

@@ -22,6 +22,15 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             None
         }
     }
+
+    fn simplify(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(v) => {
+                std::iter::once(None).chain(self.inner.simplify(v).into_iter().map(Some)).collect()
+            }
+        }
+    }
 }
 
 /// Strategy yielding `None` or `Some(value)` with `value` from `inner`.

@@ -53,3 +53,49 @@ impl std::error::Error for TestCaseError {}
 pub fn case_rng(case: u32) -> StdRng {
     StdRng::seed_from_u64(0xC0FF_EE00_u64 ^ (u64::from(case) << 1))
 }
+
+/// Identity helper pinning a case-runner closure's argument type to the
+/// strategy's `Value`, so the `proptest!` macro's closure type-checks
+/// against the concrete generated-tuple type (plain `|values: &_|` closures
+/// leave the argument as an unconstrained inference variable inside generic
+/// property bodies).
+pub fn case_runner<S, F>(_strategy: &S, f: F) -> F
+where
+    S: crate::strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
+
+/// Greedily shrinks a failing input to a minimal failing input.
+///
+/// Starting from `initial` (which must fail), repeatedly asks the strategy
+/// for simpler candidates ([`crate::strategy::Strategy::simplify`]) and
+/// adopts the first candidate that still fails, until no proposed candidate
+/// fails or `budget` re-runs are exhausted. Used by the `proptest!` macro;
+/// exposed so the shrinking loop itself is unit-testable.
+pub fn shrink<S, F>(strategy: &S, initial: S::Value, mut fails: F, budget: usize) -> S::Value
+where
+    S: crate::strategy::Strategy,
+    F: FnMut(&S::Value) -> bool,
+{
+    let mut best = initial;
+    let mut remaining = budget;
+    loop {
+        let mut improved = false;
+        for candidate in strategy.simplify(&best) {
+            if remaining == 0 {
+                return best;
+            }
+            remaining -= 1;
+            if fails(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
