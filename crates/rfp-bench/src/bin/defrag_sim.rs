@@ -1,9 +1,10 @@
 //! Online defragmentation study: relocation-aware vs relocation-oblivious
-//! policy on Fekete-style traces.
+//! vs no-break policy on Fekete-style traces.
 //!
 //! Runs the CI-smoke scenario plus (unless `--quick`) a batch of seeded
-//! synthetic traces through the `rfp-runtime` simulator under both policies
-//! and prints a comparison table per scenario.
+//! synthetic traces — including high-utilisation traces where double-buffer
+//! shadows are scarce — through the `rfp-runtime` simulator under all three
+//! policies and prints a comparison table per scenario.
 //!
 //! Usage: `defrag_sim [--quick] [--json PATH]`
 
@@ -22,9 +23,14 @@ fn main() {
         for seed in [1u64, 7, 42] {
             scenarios.push(DefragWorkloadSpec { seed, ..DefragWorkloadSpec::default() }.generate());
         }
+        // High-utilisation traces: shadows are scarce, so the no-break
+        // policy's stop-and-move fallback (and its downtime) shows up.
+        for seed in [3u64, 11] {
+            scenarios.push(DefragWorkloadSpec::high_utilisation(seed).generate());
+        }
     }
 
-    println!("# Online defragmentation: relocation-aware vs oblivious\n");
+    println!("# Online defragmentation: relocation-aware vs oblivious vs no-break\n");
     let config = OnlineConfig::default();
     let mut artefacts = Vec::new();
     for scenario in &scenarios {

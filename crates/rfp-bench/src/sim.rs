@@ -1,41 +1,51 @@
 //! Online-simulation comparison reports.
 //!
-//! Runs a scenario through [`rfp_runtime::simulate`] under both
-//! defragmentation policies and tabulates the runtime-quality metrics the
-//! defragmentation literature reports: rejected modules, relocation moves,
-//! frames moved by mechanism, the relocation-aware traffic cost and the
-//! fragmentation peak. The `defrag_sim` binary prints the table; the CI
-//! `sim-smoke` job uploads the underlying `SimReport` JSON.
+//! Runs a scenario through [`rfp_runtime::simulate`] under all three
+//! defragmentation policies (`aware`, `oblivious`, `no_break`) and
+//! tabulates the runtime-quality metrics the defragmentation literature
+//! reports: rejected modules, relocation moves, frames moved by mechanism,
+//! **stopped-module downtime frames** (the no-break headline number), the
+//! relocation-aware traffic cost and the fragmentation peak. The
+//! `defrag_sim` binary prints the table; the CI `sim-smoke` job uploads the
+//! underlying `SimReport` JSON.
 
 use crate::json;
 use crate::reports::markdown_table;
 use rfp_runtime::{simulate, DefragPolicy, OnlineConfig, Scenario, SimError, SimReport};
 
-/// The two policy runs of one scenario.
+/// The three policy runs of one scenario.
 #[derive(Debug, Clone)]
 pub struct SimComparison {
     /// Relocation-aware run.
     pub aware: SimReport,
     /// Relocation-oblivious baseline run.
     pub oblivious: SimReport,
+    /// No-break (double-buffered) run.
+    pub no_break: SimReport,
 }
 
-/// Simulates `scenario` under the relocation-aware policy and the oblivious
-/// baseline with otherwise identical configuration.
+/// Simulates `scenario` under all three policies with otherwise identical
+/// configuration.
 pub fn compare_policies(
     scenario: &Scenario,
     base: &OnlineConfig,
 ) -> Result<SimComparison, SimError> {
-    let aware = simulate(
-        scenario,
-        &OnlineConfig { policy: DefragPolicy::RelocationAware, ..base.clone() },
-    )?;
-    let oblivious =
-        simulate(scenario, &OnlineConfig { policy: DefragPolicy::Oblivious, ..base.clone() })?;
-    Ok(SimComparison { aware, oblivious })
+    let run = |policy: DefragPolicy| -> Result<SimReport, SimError> {
+        simulate(scenario, &OnlineConfig { policy, ..base.clone() })
+    };
+    Ok(SimComparison {
+        aware: run(DefragPolicy::RelocationAware)?,
+        oblivious: run(DefragPolicy::Oblivious)?,
+        no_break: run(DefragPolicy::NoBreak)?,
+    })
 }
 
 impl SimComparison {
+    /// The three reports in study order (aware, oblivious, no-break).
+    pub fn reports(&self) -> [&SimReport; 3] {
+        [&self.aware, &self.oblivious, &self.no_break]
+    }
+
     /// The comparison as a markdown table (one row per policy).
     pub fn markdown(&self) -> String {
         let row = |r: &SimReport| -> Vec<String> {
@@ -46,6 +56,7 @@ impl SimComparison {
                 format!("{}", r.total_moves()),
                 format!("{}", r.frames_relocated()),
                 format!("{}", r.frames_resynthesized()),
+                format!("{}", r.downtime_frames()),
                 format!("{:.0}", r.relocation_cost()),
                 format!("{}", r.escalations()),
                 format!("{:.3}", r.max_fragmentation()),
@@ -60,12 +71,13 @@ impl SimComparison {
                 "moves",
                 "frames reloc.",
                 "frames resynth.",
+                "downtime",
                 "cost",
                 "escalations",
                 "max frag.",
                 "violations",
             ],
-            &[row(&self.aware), row(&self.oblivious)],
+            &self.reports().map(row),
         )
     }
 
@@ -79,6 +91,7 @@ impl SimComparison {
                 .int("moves", r.total_moves())
                 .int("frames_relocated", r.frames_relocated())
                 .int("frames_resynthesized", r.frames_resynthesized())
+                .int("downtime_frames", r.downtime_frames())
                 .num("relocation_cost", r.relocation_cost())
                 .int("escalations", r.escalations())
                 .num("max_fragmentation", r.max_fragmentation())
@@ -88,7 +101,7 @@ impl SimComparison {
         json::Object::new()
             .str("scenario", &self.aware.scenario)
             .str("engine", &self.aware.engine)
-            .raw("policies", json::array([policy(&self.aware), policy(&self.oblivious)]))
+            .raw("policies", json::array(self.reports().map(policy)))
             .build()
     }
 }
@@ -99,16 +112,24 @@ mod tests {
     use rfp_workloads::smoke_scenario;
 
     #[test]
-    fn smoke_comparison_favours_the_aware_policy() {
+    fn smoke_comparison_favours_the_aware_policies() {
         let cmp = compare_policies(&smoke_scenario(), &OnlineConfig::default()).unwrap();
-        assert_eq!(cmp.aware.violations(), 0);
-        assert_eq!(cmp.oblivious.violations(), 0);
+        for r in cmp.reports() {
+            assert_eq!(r.violations(), 0, "{}: {r:#?}", r.policy);
+        }
         assert!(cmp.aware.frames_moved() < cmp.oblivious.frames_moved());
+        // The no-break policy eliminates downtime entirely on the smoke
+        // scenario; the stop-and-move policies pay for every moved frame.
+        assert_eq!(cmp.no_break.downtime_frames(), 0);
+        assert_eq!(cmp.aware.downtime_frames(), cmp.aware.frames_moved());
+        assert_eq!(cmp.oblivious.downtime_frames(), cmp.oblivious.frames_moved());
         let md = cmp.markdown();
         assert!(md.contains("| aware |"), "{md}");
         assert!(md.contains("| oblivious |"), "{md}");
+        assert!(md.contains("| no_break |"), "{md}");
         let doc = cmp.to_json();
         assert!(doc.contains("\"policies\":["), "{doc}");
+        assert!(doc.contains("\"downtime_frames\":0"), "{doc}");
         assert!(rfp_floorplan::jsonio::parse(&doc).is_ok());
     }
 }

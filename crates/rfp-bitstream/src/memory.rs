@@ -93,6 +93,30 @@ impl ConfigMemory {
         Ok(())
     }
 
+    /// Transfers ownership of a configured area from one instance name to
+    /// another **without writing any frame** — the atomic switch step of a
+    /// double-buffered (no-break) move: the shadow copy is programmed under a
+    /// scratch name while the original keeps running, then this rename makes
+    /// the copy the live instance.
+    ///
+    /// Fails (returns `false`, memory untouched) when `from` is not
+    /// configured or when `to` is already configured as a different
+    /// instance. Renaming an instance to itself is a no-op success.
+    pub fn rename(&mut self, from: &str, to: &str) -> bool {
+        if from == to {
+            return self.areas.contains_key(from);
+        }
+        if !self.areas.contains_key(from) || self.areas.contains_key(to) {
+            return false;
+        }
+        let area = self.areas.remove(from).expect("checked above");
+        for (c, r) in area.cells() {
+            self.owners.insert((c, r), to.to_string());
+        }
+        self.areas.insert(to.to_string(), area);
+        true
+    }
+
     /// Removes an instance from the configuration plane.
     pub fn remove(&mut self, instance: &str) -> bool {
         match self.areas.remove(instance) {
@@ -171,6 +195,33 @@ mod tests {
         bs.frames[0].words[0] ^= 1;
         let mut mem = ConfigMemory::new();
         assert!(matches!(mem.program("filter", &bs), Err(ConfigError::Bitstream(_))));
+    }
+
+    #[test]
+    fn rename_switches_ownership_without_writing_frames() {
+        let p = columnar_partition(&figure1_device()).unwrap();
+        let source = Rect::new(1, 1, 2, 2);
+        let target = Rect::new(3, 4, 2, 2);
+        let bs = Bitstream::generate(&p, "filter", source, 1).unwrap();
+        let mut mem = ConfigMemory::new();
+        mem.program("filter", &bs).unwrap();
+        // Double-buffered move: shadow copy at the target, then switch.
+        let shadow = relocate(&p, &bs, target).unwrap();
+        mem.program("filter.shadow", &shadow).unwrap();
+        let frames_after_copy = mem.frames_written();
+        assert!(mem.remove("filter"));
+        assert!(mem.rename("filter.shadow", "filter"));
+        assert_eq!(mem.frames_written(), frames_after_copy, "the switch writes no frame");
+        assert_eq!(mem.area_of("filter"), Some(target));
+        assert_eq!(mem.area_of("filter.shadow"), None);
+        // The freed source area is owned by nobody again.
+        let other = Bitstream::generate(&p, "other", source, 9).unwrap();
+        mem.program("other", &other).unwrap();
+        // Error paths: unknown source, occupied destination, self-rename.
+        assert!(!mem.rename("ghost", "x"));
+        assert!(!mem.rename("other", "filter"));
+        assert!(mem.rename("other", "other"));
+        assert_eq!(mem.area_of("other"), Some(source));
     }
 
     #[test]

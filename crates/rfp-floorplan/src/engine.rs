@@ -1051,6 +1051,59 @@ mod tests {
     }
 
     #[test]
+    fn adapt_floorplan_survives_a_warm_outcome_for_a_deleted_module() {
+        // The warm outcome's floorplan describes modules that no longer
+        // exist in the edited problem: a mapping entry pointing past the end
+        // of the previous floorplan must degrade to `None` (→ cold solve),
+        // never panic or fabricate a rectangle.
+        let (mut p, clb, bram) = tiny_problem();
+        p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        let outcome = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&SolveRequest::new(p.clone()), &SolveControl::default());
+        let prev = outcome.floorplan.clone().unwrap();
+        assert_eq!(prev.regions.len(), 1);
+        // The stale mapping references region 3 of a 1-region floorplan.
+        assert!(adapt_floorplan(&prev, &[Some(3)], &p).is_none());
+        // The cold path still solves the edited problem.
+        let cold = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&SolveRequest::new(p), &SolveControl::default());
+        assert!(cold.status.has_floorplan(), "{:?}", cold.detail);
+    }
+
+    #[test]
+    fn adapt_floorplan_survives_a_device_whose_column_count_shrank() {
+        // A previous floorplan from an 8-column device, retained onto a
+        // 2-column one: the rectangle at columns 5-6 lies entirely outside
+        // the shrunken device, so the adapted floorplan is invalid and the
+        // adapter must return `None` (→ cold solve) instead of panicking
+        // inside candidate or free-compatible enumeration.
+        let prev = Floorplan::from_regions(vec![rfp_device::Rect::new(5, 1, 2, 2)]);
+        let mut narrow = DeviceBuilder::new("adapt-narrow");
+        let nclb = narrow.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        narrow.rows(2).columns(&[nclb, nclb]);
+        let mut shrunk =
+            FloorplanProblem::new(columnar_partition(&narrow.build().unwrap()).unwrap());
+        shrunk.add_region(RegionSpec::new("R", vec![(nclb, 4)]));
+        assert!(adapt_floorplan(&prev, &[Some(0)], &shrunk).is_none());
+
+        // An engine handed the stale floorplan as an explicit warm start
+        // must drop the invalid hint and degrade to a cold solve — the
+        // 4-tile demand still fits the 2x2 device, so the solve succeeds.
+        let req = SolveRequest::new(shrunk).with_warm_start(prev);
+        let warmed = EngineRegistry::builtin()
+            .get("combinatorial")
+            .unwrap()
+            .solve(&req, &SolveControl::default());
+        assert!(warmed.status.has_floorplan(), "{:?}", warmed.detail);
+        let fp = warmed.floorplan.unwrap();
+        assert!(fp.regions[0].x2() <= 2, "the cold solve must place inside the narrow device");
+    }
+
+    #[test]
     fn with_warm_outcome_seeds_the_next_request() {
         let (mut p, clb, bram) = tiny_problem();
         p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));

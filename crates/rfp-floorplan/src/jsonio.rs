@@ -111,6 +111,14 @@ impl JsonValue {
         u32::try_from(v).map_err(|_| JsonError(format!("integer {v} overflows u32")))
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            JsonValue::Bool(v) => Ok(*v),
+            _ => err(format!("expected a boolean, found {self:?}")),
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {
@@ -129,15 +137,31 @@ impl JsonValue {
 }
 
 /// Parses a JSON document.
+///
+/// The document must be exactly one JSON value: anything but whitespace
+/// after it — a second value, a stray brace, shell output appended to a
+/// report file — is rejected with a line/column-positioned error, so a
+/// corrupted golden file never half-parses.
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return err(format!("trailing characters at byte {}", p.pos));
+        return err(format!(
+            "trailing characters after the document at {}",
+            position(input.as_bytes(), p.pos)
+        ));
     }
     Ok(v)
+}
+
+/// Renders a byte offset as `line L, column C (byte N)` (1-based, counting
+/// bytes within the line) for parser diagnostics.
+fn position(bytes: &[u8], pos: usize) -> String {
+    let line = 1 + bytes[..pos].iter().filter(|&&b| b == b'\n').count();
+    let column = 1 + pos - bytes[..pos].iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    format!("line {line}, column {column} (byte {pos})")
 }
 
 struct Parser<'a> {
@@ -807,6 +831,32 @@ mod tests {
         assert!(parse("42 43").is_err());
         assert!(parse("\"open").is_err());
         assert!(parse("nulL").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_after_the_document_is_rejected_with_a_position() {
+        // Trailing whitespace is fine; anything else after the closing
+        // brace/bracket/value must fail with the exact offending location.
+        assert!(parse("{\"a\":1}\n\t ").is_ok());
+        let e = parse("{\"a\":1} garbage").unwrap_err();
+        assert!(e.0.contains("trailing characters"), "{e}");
+        assert!(e.0.contains("line 1, column 9 (byte 8)"), "{e}");
+        let e = parse("{\n  \"a\": 1\n}\n}").unwrap_err();
+        assert!(e.0.contains("line 4, column 1 (byte 13)"), "{e}");
+        // Two concatenated documents are not one document.
+        assert!(parse("{}{}").unwrap_err().0.contains("trailing characters"));
+        assert!(parse("[1] [2]").unwrap_err().0.contains("trailing characters"));
+        assert!(parse("null null").unwrap_err().0.contains("trailing characters"));
+        // The document readers inherit the rejection.
+        let doc = write_problem(&sample_problem());
+        let appended = format!("{doc}extra");
+        let e = read_problem(&appended).unwrap_err();
+        assert!(e.0.contains("trailing characters"), "{e}");
+        let fp_doc = write_floorplan(&Floorplan { regions: Vec::new(), fc_areas: Vec::new() });
+        assert!(read_floorplan(&format!("{fp_doc}[]"))
+            .unwrap_err()
+            .0
+            .contains("trailing characters"));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! [`SolveRequest`] on parallel threads and cancels the stragglers through
 //! their [`SolveControl`] tokens as soon as one engine returns a **proven**
 //! result. If nobody proves within the budget, the best feasible floorplan
-//! (lowest composite objective, ties to the earlier finisher) wins.
+//! (lowest composite objective, ties to the engine registered first) wins —
+//! the tie-break is **stable engine order**, not thread-finish order, so
+//! repeated races on the same request name the same winner.
 //!
 //! Every engine gets its own [`CancelToken`] child so that a caller-level
 //! cancellation still stops the whole race, while a race-level cancellation
@@ -174,25 +176,26 @@ impl Portfolio {
         let entries: Vec<RaceEntry> =
             slots.into_iter().map(|s| s.expect("every engine reports exactly once")).collect();
 
-        // Winner: first proven by arrival; otherwise the best feasible
-        // floorplan by composite objective (arrival breaks ties).
+        // Winner: first proven by arrival (a genuine race — whoever proves
+        // first stopped everybody else); otherwise the best feasible
+        // floorplan by composite objective, with ties broken by **stable
+        // engine registration order** rather than thread-finish order, so
+        // the winner of an unproven race is reproducible run to run.
         let winner = entries
             .iter()
             .enumerate()
             .filter(|(_, e)| e.outcome.status == OutcomeStatus::Proven)
-            .min_by_key(|(_, e)| e.arrival)
+            .min_by_key(|&(i, e)| (e.arrival, i))
             .map(|(i, _)| i)
             .or_else(|| {
                 entries
                     .iter()
                     .enumerate()
                     .filter(|(_, e)| e.outcome.floorplan.is_some())
-                    .min_by(|(_, a), (_, b)| {
+                    .min_by(|&(ia, a), &(ib, b)| {
                         let oa = a.outcome.metrics.as_ref().map_or(f64::INFINITY, |m| m.objective);
                         let ob = b.outcome.metrics.as_ref().map_or(f64::INFINITY, |m| m.objective);
-                        oa.partial_cmp(&ob)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.arrival.cmp(&b.arrival))
+                        oa.partial_cmp(&ob).unwrap_or(std::cmp::Ordering::Equal).then(ia.cmp(&ib))
                     })
                     .map(|(i, _)| i)
             });
@@ -295,39 +298,77 @@ mod tests {
         assert!(race.entries.is_empty());
     }
 
+    /// A feasible-only stub engine with a fixed objective and an optional
+    /// stall, used to probe the unproven-race winner selection.
+    struct Fixed {
+        id: &'static str,
+        waste: u64,
+        delay: std::time::Duration,
+    }
+
+    impl Fixed {
+        fn new(id: &'static str, waste: u64) -> Self {
+            Fixed { id, waste, delay: std::time::Duration::ZERO }
+        }
+    }
+
+    impl crate::engine::FloorplanEngine for Fixed {
+        fn id(&self) -> &'static str {
+            self.id
+        }
+        fn description(&self) -> &'static str {
+            "stub"
+        }
+        fn solve(&self, req: &SolveRequest, _ctl: &SolveControl) -> SolveOutcome {
+            std::thread::sleep(self.delay);
+            let p = &req.problem;
+            let fp = crate::heuristic::greedy_floorplan(p).unwrap();
+            let mut metrics = fp.metrics(p);
+            metrics.objective = self.waste as f64;
+            SolveOutcome {
+                status: OutcomeStatus::Feasible,
+                floorplan: Some(fp),
+                metrics: Some(metrics),
+                detail: None,
+                stats: EngineStats::new(self.id),
+            }
+        }
+    }
+
     #[test]
     fn feasible_fallback_picks_the_lowest_objective() {
-        // Two heuristic-style stub engines with different objectives.
-        struct Fixed {
-            id: &'static str,
-            waste: u64,
-        }
-        impl crate::engine::FloorplanEngine for Fixed {
-            fn id(&self) -> &'static str {
-                self.id
-            }
-            fn description(&self) -> &'static str {
-                "stub"
-            }
-            fn solve(&self, req: &SolveRequest, _ctl: &SolveControl) -> SolveOutcome {
-                let p = &req.problem;
-                let fp = crate::heuristic::greedy_floorplan(p).unwrap();
-                let mut metrics = fp.metrics(p);
-                metrics.objective = self.waste as f64;
-                SolveOutcome {
-                    status: OutcomeStatus::Feasible,
-                    floorplan: Some(fp),
-                    metrics: Some(metrics),
-                    detail: None,
-                    stats: EngineStats::new(self.id),
-                }
-            }
-        }
         let portfolio = Portfolio::new(vec![
-            Arc::new(Fixed { id: "worse", waste: 10 }),
-            Arc::new(Fixed { id: "better", waste: 3 }),
+            Arc::new(Fixed::new("worse", 10)),
+            Arc::new(Fixed::new("better", 3)),
         ]);
         let race = portfolio.race(&SolveRequest::new(tiny_problem()));
         assert_eq!(race.winning_entry().unwrap().engine, "better");
+    }
+
+    #[test]
+    fn equal_objective_ties_break_by_stable_engine_order_not_finish_order() {
+        // Two engines report the *same* objective; the first-registered one
+        // is deliberately slowed down so it always finishes last. The winner
+        // must still be the first-registered engine, on every run —
+        // `rfp solve --portfolio` output would otherwise flap with thread
+        // scheduling.
+        let problem = tiny_problem();
+        for _ in 0..8 {
+            let portfolio = Portfolio::new(vec![
+                Arc::new(Fixed {
+                    id: "first",
+                    waste: 5,
+                    delay: std::time::Duration::from_millis(30),
+                }),
+                Arc::new(Fixed::new("second", 5)),
+            ]);
+            let race = portfolio.race(&SolveRequest::new(problem.clone()));
+            let winner = race.winning_entry().expect("both engines are feasible");
+            assert_eq!(winner.engine, "first", "tie must break by registration order");
+            // The slowed-down engine really did arrive last, so the old
+            // finish-order tie-break would have picked `second`.
+            assert_eq!(race.entries[0].arrival, 1);
+            assert_eq!(race.entries[1].arrival, 0);
+        }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! When an arrival cannot be placed — or the fragmentation of the free space
 //! crosses a threshold — the simulator compacts the live placement by moving
-//! running modules. Two policies are implemented:
+//! running modules. Three policies are implemented:
 //!
 //! * [`DefragPolicy::RelocationAware`] — the paper's cost model applied at
 //!   runtime: moves are planned **cheapest first** (fewest configuration
@@ -16,6 +16,15 @@
 //!   compatible (incompatible targets cost a re-synthesis-equivalent
 //!   regeneration). This is the baseline the relocation-aware policy is
 //!   measured against.
+//! * [`DefragPolicy::NoBreak`] — Fekete et al.'s *no-break* defragmentation:
+//!   like the aware policy, but every planned target must additionally be
+//!   **disjoint from the mover's own current area** so the move can execute
+//!   as a double-buffered copy-then-switch (see
+//!   [`crate::scheduler::MoveScheduler`]) with zero stopped-module downtime.
+//!   That shadow-capacity constraint can deadlock a chain of mutually
+//!   blocking modules; the planner then breaks the cycle with **one buffered
+//!   bounce** — a single sideways move of the cheapest bounceable module
+//!   into scratch space — before resuming the leftward compaction.
 //!
 //! Plans are *sequential*: each move's target is free with respect to the
 //! placement **after** the moves before it, so replaying a plan in order
@@ -38,14 +47,24 @@ pub enum DefragPolicy {
     RelocationAware,
     /// Cost-oblivious full left-compaction (the baseline).
     Oblivious,
+    /// Cheapest-first compaction over compatible targets that are disjoint
+    /// from the mover's current area, so every move executes as a
+    /// double-buffered copy with zero downtime (stop-and-move only as a
+    /// last-resort fallback in the executor).
+    NoBreak,
 }
 
 impl DefragPolicy {
+    /// All policies, in study/report order.
+    pub const ALL: [DefragPolicy; 3] =
+        [DefragPolicy::RelocationAware, DefragPolicy::Oblivious, DefragPolicy::NoBreak];
+
     /// Stable id used in reports and on the CLI.
     pub fn id(self) -> &'static str {
         match self {
             DefragPolicy::RelocationAware => "aware",
             DefragPolicy::Oblivious => "oblivious",
+            DefragPolicy::NoBreak => "no_break",
         }
     }
 
@@ -54,6 +73,7 @@ impl DefragPolicy {
         match id {
             "aware" => Some(DefragPolicy::RelocationAware),
             "oblivious" => Some(DefragPolicy::Oblivious),
+            "no_break" | "no-break" => Some(DefragPolicy::NoBreak),
             _ => None,
         }
     }
@@ -89,6 +109,10 @@ pub enum CompactionGoal<'a> {
     /// Stop as soon as a non-overlapping placement for this requirement
     /// exists somewhere on the device.
     FitModule(&'a RegionSpec),
+    /// Stop as soon as all of these requirements can be placed greedily,
+    /// pairwise disjoint, somewhere on the device (the batched-arrival
+    /// goal: one compaction serves every same-timestamp arrival).
+    FitModules(&'a [RegionSpec]),
     /// Compact until fragmentation drops to the threshold or below.
     Fragmentation(f64),
 }
@@ -139,12 +163,12 @@ impl DefragPlanner {
         let mut rects: Vec<Rect> = modules.iter().map(|m| m.rect).collect();
         let mut plan = Vec::new();
 
-        // Visit order: the aware policy touches cheap modules first and can
-        // stop early; the oblivious baseline sweeps left-to-right and always
-        // compacts everything it can.
+        // Visit order: the aware and no-break policies touch cheap modules
+        // first and can stop early; the oblivious baseline sweeps
+        // left-to-right and always compacts everything it can.
         let mut order: Vec<usize> = (0..modules.len()).collect();
         match self.policy {
-            DefragPolicy::RelocationAware => {
+            DefragPolicy::RelocationAware | DefragPolicy::NoBreak => {
                 order.sort_by_key(|&i| (modules[i].frames, modules[i].id));
             }
             DefragPolicy::Oblivious => {
@@ -152,6 +176,10 @@ impl DefragPlanner {
             }
         }
 
+        // The no-break policy may break one deadlocked move chain per plan
+        // with a sideways "bounce" into scratch space; every other move goes
+        // strictly up-or-left, so planning still terminates.
+        let mut bounced = false;
         for _ in 0..self.max_passes {
             if self.goal_met(partition, &rects, goal) {
                 break;
@@ -171,6 +199,15 @@ impl DefragPlanner {
                         enumerate_free_compatible(partition, &rects[i], &others)
                             .into_iter()
                             .filter(|t| is_left_of(t, &rects[i]))
+                            .min_by_key(|t| (t.x, t.y))
+                    }
+                    DefragPolicy::NoBreak => {
+                        // Like aware, but the target must not touch the
+                        // mover's own current area either: the shadow copy
+                        // and the running original coexist during the move.
+                        enumerate_free_compatible(partition, &rects[i], &others)
+                            .into_iter()
+                            .filter(|t| is_left_of(t, &rects[i]) && !t.overlaps(&rects[i]))
                             .min_by_key(|t| (t.x, t.y))
                     }
                     DefragPolicy::Oblivious => {
@@ -197,10 +234,44 @@ impl DefragPlanner {
                 }
             }
             if !moved_any {
+                if self.policy == DefragPolicy::NoBreak && !bounced {
+                    bounced = true;
+                    if self.bounce(partition, modules, &mut rects, &mut plan, &order) {
+                        continue;
+                    }
+                }
                 break;
             }
         }
         plan
+    }
+
+    /// Breaks a deadlocked no-break chain: moves the cheapest module that has
+    /// *any* disjoint free compatible target (leftward or not) out of the
+    /// way, buffered like every other no-break move. Returns `true` when a
+    /// bounce was planned.
+    fn bounce(
+        &self,
+        partition: &ColumnarPartition,
+        modules: &[LiveModule],
+        rects: &mut [Rect],
+        plan: &mut Vec<PlannedMove>,
+        order: &[usize],
+    ) -> bool {
+        for &i in order {
+            let others: Vec<Rect> =
+                rects.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, r)| *r).collect();
+            let spot = enumerate_free_compatible(partition, &rects[i], &others)
+                .into_iter()
+                .filter(|t| !t.overlaps(&rects[i]))
+                .min_by_key(|t| (t.x, t.y));
+            if let Some(to) = spot {
+                plan.push(PlannedMove { module: modules[i].id, from: rects[i], to });
+                rects[i] = to;
+                return true;
+            }
+        }
+        false
     }
 
     fn goal_met(
@@ -214,6 +285,16 @@ impl DefragPlanner {
             // compacts to its fixpoint.
             _ if self.policy == DefragPolicy::Oblivious => false,
             CompactionGoal::FitModule(spec) => can_place(partition, spec, rects),
+            CompactionGoal::FitModules(specs) => {
+                let mut occupied = rects.to_vec();
+                specs.iter().all(|spec| match find_placement(partition, spec, &occupied) {
+                    Some(rect) => {
+                        occupied.push(rect);
+                        true
+                    }
+                    None => false,
+                })
+            }
             CompactionGoal::Fragmentation(threshold) => {
                 frag_metrics(partition, rects).fragmentation <= threshold
             }
@@ -302,6 +383,83 @@ mod tests {
         let plan = planner.plan(&p, &[m], CompactionGoal::Fragmentation(0.0));
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].to, Rect::new(2, 1, 2, 1), "the only compatible window to the left");
+    }
+
+    #[test]
+    fn no_break_plan_uses_only_disjoint_shadow_targets() {
+        let (p, clb) = uniform();
+        // Same fragmented layout as the aware test: every planned move must
+        // additionally land fully clear of the mover's own current area.
+        let m0 = live(0, RegionSpec::new("m0", vec![(clb, 4)]), Rect::new(4, 1, 2, 2), 144);
+        let m1 = live(1, RegionSpec::new("m1", vec![(clb, 4)]), Rect::new(9, 1, 2, 2), 144);
+        let pending = RegionSpec::new("big", vec![(clb, 12)]);
+        let planner = DefragPlanner { policy: DefragPolicy::NoBreak, max_passes: 3 };
+        let plan = plan_and_check(&planner, &p, &[m0, m1], CompactionGoal::FitModule(&pending));
+        assert!(!plan.is_empty());
+        for mv in &plan {
+            assert!(!mv.to.overlaps(&mv.from), "no-break move {mv:?} overlaps its own source");
+        }
+    }
+
+    #[test]
+    fn no_break_bounces_once_to_break_a_deadlock() {
+        let (p, clb) = uniform();
+        // A 7x2 module on a 12-wide device: every leftward shift of less
+        // than its width overlaps its own area, so the shadow constraint
+        // deadlocks the leftward pass — only the bounce clause can move it
+        // (left is impossible here; the plan stays downtime-free by simply
+        // not moving). A second small module sits flush left and cannot
+        // move either.
+        let wide = live(0, RegionSpec::new("wide", vec![(clb, 14)]), Rect::new(4, 1, 7, 2), 504);
+        let small = live(1, RegionSpec::new("small", vec![(clb, 4)]), Rect::new(1, 1, 2, 2), 144);
+        let planner = DefragPlanner { policy: DefragPolicy::NoBreak, max_passes: 3 };
+        let plan =
+            planner.plan(&p, &[wide.clone(), small.clone()], CompactionGoal::Fragmentation(0.0));
+        // Whatever the plan does, it must stay executable and disjoint.
+        let mut rects = vec![(wide.id, wide.rect), (small.id, small.rect)];
+        for mv in &plan {
+            assert!(!mv.to.overlaps(&mv.from), "{mv:?} is not double-bufferable");
+            for &(id, r) in &rects {
+                assert!(id == mv.module || !r.overlaps(&mv.to));
+            }
+            rects.iter_mut().find(|(id, _)| *id == mv.module).unwrap().1 = mv.to;
+        }
+    }
+
+    #[test]
+    fn policy_ids_round_trip() {
+        for policy in DefragPolicy::ALL {
+            assert_eq!(DefragPolicy::from_id(policy.id()), Some(policy));
+        }
+        assert_eq!(DefragPolicy::from_id("no-break"), Some(DefragPolicy::NoBreak));
+        assert_eq!(DefragPolicy::from_id("nonsense"), None);
+    }
+
+    #[test]
+    fn fit_modules_goal_requires_all_pending_arrivals_to_fit() {
+        let (p, clb) = uniform();
+        let m0 = live(0, RegionSpec::new("m0", vec![(clb, 4)]), Rect::new(4, 1, 2, 2), 144);
+        let m1 = live(1, RegionSpec::new("m1", vec![(clb, 4)]), Rect::new(9, 1, 2, 2), 144);
+        let a = RegionSpec::new("a", vec![(clb, 8)]);
+        let b = RegionSpec::new("b", vec![(clb, 8)]);
+        let batch = [a, b];
+        assert!(!can_place(&p, &RegionSpec::new("big", vec![(clb, 12)]), &[m0.rect, m1.rect]));
+        let planner = DefragPlanner::default();
+        let plan = plan_and_check(
+            &planner,
+            &p,
+            &[m0.clone(), m1.clone()],
+            CompactionGoal::FitModules(&batch),
+        );
+        // Replay the plan, then both batch members must fit greedily.
+        let mut rects = vec![m0.rect, m1.rect];
+        for mv in &plan {
+            let slot = rects.iter_mut().find(|r| **r == mv.from).unwrap();
+            *slot = mv.to;
+        }
+        let first = find_placement(&p, &batch[0], &rects).expect("first batch member fits");
+        rects.push(first);
+        assert!(find_placement(&p, &batch[1], &rects).is_some(), "second batch member fits");
     }
 
     /// Replays a plan step by step asserting no move overlaps a running

@@ -30,7 +30,13 @@ pub struct FragMetrics {
 pub fn frag_metrics(partition: &ColumnarPartition, occupied: &[Rect]) -> FragMetrics {
     let cols = partition.cols as usize;
     let rows = partition.rows as usize;
-    // free[r][c], 0-based.
+    // free[r][c], 0-based. `Rect` coordinates (and therefore `cells()`) are
+    // 1-based inclusive — `Rect::new` rejects a zero coordinate — so the
+    // `- 1` below cannot underflow, a rect touching column/row 1 maps to
+    // index 0, and a rect touching the last column/row maps to `cols - 1`/
+    // `rows - 1`; anything beyond the grid is dropped by the bounds check.
+    // Pinned against a brute-force scan in `tests/properties.rs`
+    // (`largest_free_rect_matches_brute_force`).
     let mut free = vec![vec![true; cols]; rows];
     let blocked = |rect: &Rect, free: &mut Vec<Vec<bool>>| {
         for (c, r) in rect.cells() {
@@ -132,6 +138,33 @@ mod tests {
         let scattered = frag_metrics(&p, &[Rect::new(2, 1, 2, 2), Rect::new(6, 1, 2, 2)]);
         assert!(scattered.fragmentation > packed.fragmentation);
         assert_eq!(packed.fragmentation, 0.0, "packed modules leave one free rectangle");
+    }
+
+    #[test]
+    fn rects_touching_the_grid_borders_are_counted_exactly() {
+        // Column 1, row 1, the last column and the last row are the
+        // off-by-one hot spots of the 1-based → 0-based translation: a
+        // module flush against any border must block exactly its own tiles.
+        let p = partition(6, 4);
+        for rect in [
+            Rect::new(1, 1, 1, 1), // top-left corner tile
+            Rect::new(6, 4, 1, 1), // bottom-right corner tile
+            Rect::new(1, 1, 6, 1), // full first row
+            Rect::new(1, 4, 6, 1), // full last row
+            Rect::new(1, 1, 1, 4), // full first column
+            Rect::new(6, 1, 1, 4), // full last column
+        ] {
+            let m = frag_metrics(&p, &[rect]);
+            assert_eq!(m.free_tiles, 24 - rect.area(), "{rect}");
+        }
+        // A full first column leaves one 5x4 free rectangle — unfragmented.
+        let m = frag_metrics(&p, &[Rect::new(1, 1, 1, 4)]);
+        assert_eq!(m.largest_free_rect, 20);
+        assert_eq!(m.fragmentation, 0.0);
+        // Two opposite border columns leave a 4x4 block.
+        let m = frag_metrics(&p, &[Rect::new(1, 1, 1, 4), Rect::new(6, 1, 1, 4)]);
+        assert_eq!(m.free_tiles, 16);
+        assert_eq!(m.largest_free_rect, 16);
     }
 
     #[test]

@@ -12,15 +12,22 @@
 //!   fragmentation metric.
 //! * [`defrag`] — the [`defrag::DefragPlanner`]: relocation-aware
 //!   (cheapest-first, compatible targets only) vs relocation-oblivious
-//!   (full left-compaction) move planning.
+//!   (full left-compaction) vs no-break (double-bufferable targets only)
+//!   move planning.
+//! * [`scheduler`] — the [`scheduler::MoveScheduler`]: Fekete-style
+//!   *no-break* move execution as a double-buffered copy-then-switch (zero
+//!   stopped-module downtime), with stop-and-move as the measured-downtime
+//!   fallback.
 //! * [`online`] — the [`online::OnlineFloorplanner`]: incremental placement,
 //!   policy-driven defragmentation and engine re-solves warm-started from
-//!   the previous outcome, all replayed through the real
-//!   [`rfp_bitstream::ConfigMemory`] so constraint violations are physical
-//!   configuration conflicts, not bookkeeping.
-//! * [`report`] — per-event latency, rejected modules, relocated frames and
-//!   the fragmentation curve, as a [`report::SimReport`] with deterministic
-//!   JSON output.
+//!   the previous outcome, with same-timestamp events handled as one batch,
+//!   all replayed through the real [`rfp_bitstream::ConfigMemory`] so
+//!   constraint violations are physical configuration conflicts, not
+//!   bookkeeping.
+//! * [`report`] — per-event latency, rejected modules, relocated frames,
+//!   stopped-module downtime and the fragmentation curve, as a
+//!   [`report::SimReport`] with deterministic JSON output (v2) and a
+//!   back-compatible reader ([`report::read_sim_report`]).
 //!
 //! The `rfp simulate` CLI subcommand and the `defrag_sim` benchmark binary
 //! drive this crate end to end.
@@ -58,9 +65,11 @@ pub mod frag;
 pub mod online;
 pub mod report;
 pub mod scenario;
+pub mod scheduler;
 
 pub use defrag::{CompactionGoal, DefragPlanner, DefragPolicy, LiveModule, PlannedMove};
 pub use frag::{frag_metrics, FragMetrics};
 pub use online::{simulate, simulate_with_registry, OnlineConfig, OnlineFloorplanner, SimError};
-pub use report::{EventRecord, SimReport};
+pub use report::{read_sim_report, EventRecord, SimReport};
 pub use scenario::{read_scenario, write_scenario, Event, EventKind, ModuleId, Scenario};
+pub use scheduler::{ExecutedMove, MoveScheduler};

@@ -23,6 +23,20 @@
 //!    layout is replayed as a sequence of relocation moves that never
 //!    overlap a running module.
 //!
+//! Events sharing a timestamp are handled as **one batch**: departures
+//! release their areas first (one proactive compaction check for the whole
+//! group instead of one per departure), and the batch's arrivals escalate
+//! *together* — one defragmentation towards a joint
+//! [`CompactionGoal::FitModules`] goal and, if still needed, one engine
+//! re-solve containing every pending arrival, instead of an escalation per
+//! event.
+//!
+//! Every move executes through the policy's [`MoveScheduler`]: under the
+//! `no_break` policy a move with a disjoint target is a double-buffered
+//! copy-then-switch with **zero downtime**, while the aware/oblivious
+//! baselines stop the module and accrue `downtime_frames` — the cost the
+//! no-break defragmentation literature (Fekete et al.) measures.
+//!
 //! Departures release the module's area; when fragmentation then exceeds the
 //! configured threshold, a proactive compaction runs.
 
@@ -32,7 +46,8 @@ use crate::defrag::{
 use crate::frag::frag_metrics;
 use crate::report::{EventRecord, SimReport};
 use crate::scenario::{EventKind, ModuleId, Scenario};
-use rfp_bitstream::{relocate_or_regenerate, Bitstream, ConfigMemory, MoveKind};
+use crate::scheduler::MoveScheduler;
+use rfp_bitstream::{Bitstream, ConfigMemory, MoveKind};
 use rfp_device::{ColumnarPartition, Rect};
 use rfp_floorplan::engine::{adapt_floorplan, EngineRegistry, SolveControl, SolveRequest};
 use rfp_floorplan::{Floorplan, FloorplanProblem, ObjectiveWeights, RegionSpec, SolveOutcome};
@@ -116,6 +131,7 @@ struct Traffic {
     moves: u64,
     frames_relocated: u64,
     frames_resynthesized: u64,
+    downtime_frames: u64,
     violations: Vec<String>,
 }
 
@@ -124,6 +140,7 @@ pub struct OnlineFloorplanner {
     partition: ColumnarPartition,
     config: OnlineConfig,
     registry: EngineRegistry,
+    scheduler: MoveScheduler,
     running: BTreeMap<ModuleId, Running>,
     /// Arrivals that were rejected (their departures are no-ops).
     rejected: BTreeSet<ModuleId>,
@@ -142,6 +159,7 @@ impl OnlineFloorplanner {
     ) -> Self {
         OnlineFloorplanner {
             partition,
+            scheduler: MoveScheduler::for_policy(config.policy),
             config,
             registry,
             running: BTreeMap::new(),
@@ -193,9 +211,12 @@ impl OnlineFloorplanner {
             return false;
         }
         // No move may overlap another *running* module. The mover's own old
-        // area is exempt: the module is reprogrammed from its bitstream in
-        // memory, so an in-place shift only overwrites configuration it
-        // itself owns (the configuration-memory model re-checks this).
+        // area is exempt: on the stop-and-move path the module is
+        // reprogrammed from its bitstream in memory, so an in-place shift
+        // only overwrites configuration it itself owns (the
+        // configuration-memory model re-checks this; on the no-break path a
+        // self-overlapping target simply cannot be double-buffered and falls
+        // back to stop-and-move).
         for (&other, r) in &self.running {
             if other != mv.module && r.rect.overlaps(&mv.to) {
                 traffic.violations.push(format!(
@@ -205,32 +226,28 @@ impl OnlineFloorplanner {
                 return false;
             }
         }
-        let (moved, kind) = match relocate_or_regenerate(
+        let executed = match self.scheduler.execute(
             &self.partition,
+            &mut self.memory,
+            mv.module,
             &running.bitstream,
             mv.to,
-            mv.module as u64,
         ) {
-            Ok(res) => res,
+            Ok(executed) => executed,
             Err(e) => {
-                traffic.violations.push(format!("move of module {} failed: {e}", mv.module));
+                traffic.violations.push(e);
                 return false;
             }
         };
-        let instance = format!("m{}", mv.module);
-        if let Err(e) = self.memory.program(&instance, &moved) {
-            traffic.violations.push(format!("configuration conflict: {e}"));
-            return false;
+        match executed.kind {
+            MoveKind::Relocated => traffic.frames_relocated += executed.frames,
+            MoveKind::Resynthesized => traffic.frames_resynthesized += executed.frames,
         }
-        let frames = moved.n_frames() as u64;
-        match kind {
-            MoveKind::Relocated => traffic.frames_relocated += frames,
-            MoveKind::Resynthesized => traffic.frames_resynthesized += frames,
-        }
+        traffic.downtime_frames += executed.downtime_frames;
         traffic.moves += 1;
         let running = self.running.get_mut(&mv.module).expect("checked above");
         running.rect = mv.to;
-        running.bitstream = moved;
+        running.bitstream = executed.bitstream;
         true
     }
 
@@ -271,23 +288,26 @@ impl OnlineFloorplanner {
         true
     }
 
-    /// The escalation re-solve: running modules + the arrival as one static
-    /// problem, warm-started from the previous outcome when it adapts.
-    /// Returns the arrival's rectangle on success; the layout moves for the
-    /// running modules are executed as a side effect.
+    /// The escalation re-solve: running modules + every pending arrival of
+    /// the batch as one static problem, warm-started from the previous
+    /// outcome when it adapts. Returns the arrivals' rectangles (in batch
+    /// order) on success; the layout moves for the running modules are
+    /// executed as a side effect.
     fn escalate(
         &mut self,
-        module: ModuleId,
-        spec: &RegionSpec,
+        arrivals: &[(ModuleId, RegionSpec)],
         traffic: &mut Traffic,
-    ) -> Option<Rect> {
+    ) -> Option<Vec<Rect>> {
         let ids: Vec<ModuleId> = self.running.keys().copied().collect();
         let mut problem = FloorplanProblem::new(self.partition.clone());
         problem.weights = ObjectiveWeights::area_only();
         for id in &ids {
             problem.add_region(self.running[id].spec.clone());
         }
-        let arrival_region = problem.add_region(spec.clone());
+        let first_arrival_region = ids.len();
+        for (_, spec) in arrivals {
+            problem.add_region(spec.clone());
+        }
         if problem.validate().is_err() {
             return None;
         }
@@ -302,14 +322,14 @@ impl OnlineFloorplanner {
                 let mapping: Vec<Option<usize>> = ids
                     .iter()
                     .map(|id| old_ids.iter().position(|o| o == id))
-                    .chain(std::iter::once(None))
+                    .chain(arrivals.iter().map(|_| None))
                     .collect();
                 adapt_floorplan(fp, &mapping, &problem)
             })
             .or_else(|| {
                 let current = Floorplan::from_regions(self.occupied());
                 let mapping: Vec<Option<usize>> =
-                    (0..ids.len()).map(Some).chain(std::iter::once(None)).collect();
+                    (0..ids.len()).map(Some).chain(arrivals.iter().map(|_| None)).collect();
                 adapt_floorplan(&current, &mapping, &problem)
             });
 
@@ -330,7 +350,7 @@ impl OnlineFloorplanner {
             .filter(|&(pos, id)| target.regions[pos] != self.running[id].rect)
             .map(|(pos, &id)| (id, target.regions[pos]))
             .collect();
-        let arrival_rect = target.regions[arrival_region];
+        let arrival_rects: Vec<Rect> = target.regions[first_arrival_region..].to_vec();
         // Termination guard: each executed move either retires a pending
         // entry or parks a module, and a bounded number of parks per pending
         // entry is ample for any real cycle — when the budget runs out the
@@ -366,7 +386,7 @@ impl OnlineFloorplanner {
                         let mut occupied = self.occupied();
                         occupied.retain(|r| *r != current);
                         occupied.extend(blocked.iter().copied());
-                        occupied.push(arrival_rect);
+                        occupied.extend(arrival_rects.iter().copied());
                         let spot =
                             find_placement(&self.partition, &self.running[&id].spec, &occupied)
                                 .filter(|spot| *spot != current)?;
@@ -385,33 +405,94 @@ impl OnlineFloorplanner {
             }
         }
 
-        // All running modules sit at their targets; the arrival slot is free.
-        self.last_solve = Some((outcome, ids.iter().copied().chain([module]).collect()));
-        Some(arrival_rect)
+        // All running modules sit at their targets; the arrival slots are
+        // free.
+        self.last_solve = Some((
+            outcome,
+            ids.iter().copied().chain(arrivals.iter().map(|&(id, _)| id)).collect(),
+        ));
+        Some(arrival_rects)
     }
 
-    /// Handles an arrival through the three-stage escalation. Returns
-    /// `(accepted, escalated)`.
-    fn handle_arrival(
+    /// Handles the arrivals of one same-timestamp batch through the
+    /// three-stage escalation, sharing the defragmentation and the engine
+    /// re-solve across the whole batch. Returns `(accepted, escalated)` per
+    /// arrival, in batch order; shared-stage traffic accrues into the
+    /// `traffic` entry of the first arrival that needed the stage.
+    fn handle_arrivals(
         &mut self,
-        module: ModuleId,
-        spec: &RegionSpec,
-        traffic: &mut Traffic,
-    ) -> (bool, bool) {
-        // Stage 1: incremental placement.
-        if let Some(rect) = find_placement(&self.partition, spec, &self.occupied()) {
-            return (self.admit(module, spec, rect, traffic), false);
+        batch: &[(ModuleId, RegionSpec)],
+        traffics: &mut [Traffic],
+    ) -> Vec<(bool, bool)> {
+        debug_assert_eq!(batch.len(), traffics.len());
+        let mut results: Vec<Option<(bool, bool)>> = vec![None; batch.len()];
+
+        // Stage 1: incremental placement, batch members in stream order.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, (module, spec)) in batch.iter().enumerate() {
+            match find_placement(&self.partition, spec, &self.occupied()) {
+                Some(rect) => {
+                    results[i] = Some((self.admit(*module, spec, rect, &mut traffics[i]), false));
+                }
+                None => pending.push(i),
+            }
         }
-        // Stage 2: defragment, then retry.
-        self.compact(CompactionGoal::FitModule(spec), traffic);
-        if let Some(rect) = find_placement(&self.partition, spec, &self.occupied()) {
-            return (self.admit(module, spec, rect, traffic), false);
+
+        // Stage 2: one defragmentation towards fitting *all* pending
+        // arrivals, then retry the placement.
+        if let Some(&first) = pending.first() {
+            let specs: Vec<RegionSpec> = pending.iter().map(|&i| batch[i].1.clone()).collect();
+            self.compact(CompactionGoal::FitModules(&specs), &mut traffics[first]);
+            pending.retain(|&i| {
+                let (module, spec) = &batch[i];
+                match find_placement(&self.partition, spec, &self.occupied()) {
+                    Some(rect) => {
+                        results[i] =
+                            Some((self.admit(*module, spec, rect, &mut traffics[i]), false));
+                        false
+                    }
+                    None => true,
+                }
+            });
         }
-        // Stage 3: engine re-solve.
-        match self.escalate(module, spec, traffic) {
-            Some(rect) => (self.admit(module, spec, rect, traffic), true),
-            None => (false, true),
+
+        // Stage 3: one engine re-solve for every arrival still pending; when
+        // the joint solve fails (e.g. one oversized module poisons the
+        // batch), fall back to escalating the stragglers one by one so a
+        // feasible arrival is never rejected because of an infeasible
+        // neighbour.
+        if let Some(&first) = pending.first() {
+            let stragglers: Vec<(ModuleId, RegionSpec)> =
+                pending.iter().map(|&i| batch[i].clone()).collect();
+            match self.escalate(&stragglers, &mut traffics[first]) {
+                Some(rects) => {
+                    for (&i, rect) in pending.iter().zip(rects) {
+                        let (module, spec) = &batch[i];
+                        results[i] =
+                            Some((self.admit(*module, spec, rect, &mut traffics[i]), true));
+                    }
+                }
+                None if stragglers.len() > 1 => {
+                    for &i in &pending {
+                        let (module, spec) = batch[i].clone();
+                        let outcome =
+                            match self.escalate(&[(module, spec.clone())], &mut traffics[i]) {
+                                Some(rects) => {
+                                    (self.admit(module, &spec, rects[0], &mut traffics[i]), true)
+                                }
+                                None => (false, true),
+                            };
+                        results[i] = Some(outcome);
+                    }
+                }
+                None => {
+                    for &i in &pending {
+                        results[i] = Some((false, true));
+                    }
+                }
+            }
         }
+        results.into_iter().map(|r| r.expect("every arrival resolved")).collect()
     }
 
     /// Re-checks every runtime invariant (used at checkpoints).
@@ -451,60 +532,190 @@ impl OnlineFloorplanner {
         }
     }
 
-    /// Plays one event and returns its record.
-    pub fn step(&mut self, scenario: &Scenario, index: usize) -> EventRecord {
-        let event = scenario.events[index];
+    /// The per-batch proactive-defragmentation check: compacts when the
+    /// fragmentation crossed the configured threshold, charging the work to
+    /// the batch's last departure.
+    fn proactive_compact(
+        &mut self,
+        last_depart: Option<usize>,
+        traffics: &mut [Traffic],
+        latencies: &mut [f64],
+    ) {
+        let Some(slot) = last_depart else { return };
         let start = Instant::now();
-        let mut traffic = Traffic::default();
-        let (kind, module, accepted, escalated) = match event.kind {
-            EventKind::Arrive(m) => {
-                let spec = &scenario.modules[m];
-                let (accepted, escalated) = self.handle_arrival(m, spec, &mut traffic);
-                if !accepted {
-                    self.rejected.insert(m);
+        if frag_metrics(&self.partition, &self.occupied()).fragmentation
+            > self.config.defrag_threshold
+        {
+            self.compact(
+                CompactionGoal::Fragmentation(self.config.defrag_threshold),
+                &mut traffics[slot],
+            );
+        }
+        latencies[slot] += start.elapsed().as_secs_f64();
+    }
+
+    /// Plays one event and returns its record (a batch of one — see
+    /// [`OnlineFloorplanner::step_batch`]).
+    pub fn step(&mut self, scenario: &Scenario, index: usize) -> EventRecord {
+        self.step_batch(scenario, index..index + 1).remove(0)
+    }
+
+    /// Plays a contiguous run of events as **one batch** — the intended use
+    /// is one call per group of same-timestamp events, which the batch
+    /// treats as simultaneous:
+    ///
+    /// 1. every departure releases its area (one proactive-compaction check
+    ///    for the whole group instead of one per departure),
+    /// 2. the group's arrivals go through **one** shared
+    ///    placement/defragmentation/re-solve escalation
+    ///    ([`OnlineFloorplanner::handle_arrivals`] — a joint
+    ///    [`CompactionGoal::FitModules`] goal and a single engine re-solve
+    ///    covering every still-pending arrival),
+    /// 3. checkpoints observe the post-batch state.
+    ///
+    /// One stream-order caveat: a departure of a module that *arrives in the
+    /// same batch* (a zero-lifetime module) is deferred until after the
+    /// arrival phase, so the arrive-then-depart pair nets out instead of the
+    /// departure firing against a not-yet-running module.
+    ///
+    /// Records come back in stream order; the fragmentation snapshot is
+    /// taken once, after the batch. Shared-stage traffic accrues to the
+    /// event that triggered the stage (the last departure for the proactive
+    /// compaction, the first still-pending arrival for defragmentation and
+    /// re-solve); the arrival stage's wall time is split evenly across the
+    /// batch's arrivals.
+    pub fn step_batch(
+        &mut self,
+        scenario: &Scenario,
+        range: std::ops::Range<usize>,
+    ) -> Vec<EventRecord> {
+        let indices: Vec<usize> = range.collect();
+        assert!(!indices.is_empty(), "step_batch needs at least one event");
+        let n = indices.len();
+        let mut traffics: Vec<Traffic> = (0..n).map(|_| Traffic::default()).collect();
+        let mut latencies = vec![0.0f64; n];
+        let mut outcomes: Vec<(&'static str, Option<ModuleId>, bool, bool)> =
+            vec![("", None, true, false); n];
+
+        // Phase 1: departures, in stream order. A departure of a module
+        // whose arrival was rejected is a no-op, not a violation — the
+        // stream does not know the admission decision. Departures of modules
+        // that *arrive in this same batch* (zero-lifetime modules: the
+        // stream's arrive precedes its depart at one timestamp) are deferred
+        // until after the arrival phase, so they release an area that
+        // actually got configured instead of misfiring on a not-yet-running
+        // module.
+        let arriving: BTreeSet<ModuleId> = indices
+            .iter()
+            .filter_map(|&idx| match scenario.events[idx].kind {
+                EventKind::Arrive(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        let mut deferred: Vec<(usize, ModuleId)> = Vec::new();
+        let mut last_depart: Option<usize> = None;
+        for (slot, &idx) in indices.iter().enumerate() {
+            if let EventKind::Depart(m) = scenario.events[idx].kind {
+                if arriving.contains(&m) {
+                    deferred.push((slot, m));
+                    continue;
                 }
-                ("arrive", Some(m), accepted, escalated)
-            }
-            EventKind::Depart(m) => {
-                // A departure of a module whose arrival was rejected is a
-                // no-op, not a violation — the stream does not know the
-                // admission decision.
+                let start = Instant::now();
                 if self.running.remove(&m).is_none() && !self.rejected.contains(&m) {
-                    traffic
+                    traffics[slot]
                         .violations
                         .push(format!("departure of module {m} which is not running"));
                 }
                 self.memory.remove(&format!("m{m}"));
-                if frag_metrics(&self.partition, &self.occupied()).fragmentation
-                    > self.config.defrag_threshold
-                {
-                    self.compact(
-                        CompactionGoal::Fragmentation(self.config.defrag_threshold),
-                        &mut traffic,
-                    );
-                }
-                ("depart", Some(m), true, false)
+                latencies[slot] += start.elapsed().as_secs_f64();
+                outcomes[slot] = ("depart", Some(m), true, false);
+                last_depart = Some(slot);
             }
-            EventKind::Checkpoint => {
-                self.check_invariants(&mut traffic);
-                ("checkpoint", None, true, false)
-            }
-        };
-        let frag = frag_metrics(&self.partition, &self.occupied());
-        EventRecord {
-            time: event.time,
-            kind: kind.to_string(),
-            module,
-            accepted,
-            latency_seconds: start.elapsed().as_secs_f64(),
-            escalated,
-            moves: traffic.moves,
-            frames_relocated: traffic.frames_relocated,
-            frames_resynthesized: traffic.frames_resynthesized,
-            fragmentation: frag.fragmentation,
-            free_tiles: frag.free_tiles,
-            violations: traffic.violations,
         }
+        // The batch's single proactive-compaction check runs once every
+        // departure has been processed: here when none is deferred,
+        // otherwise after the deferred departures below.
+        if deferred.is_empty() {
+            self.proactive_compact(last_depart, &mut traffics, &mut latencies);
+        }
+
+        // Phase 2: the batch's arrivals, escalated together.
+        let arrival_slots: Vec<(usize, ModuleId)> = indices
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, &idx)| match scenario.events[idx].kind {
+                EventKind::Arrive(m) => Some((slot, m)),
+                _ => None,
+            })
+            .collect();
+        if !arrival_slots.is_empty() {
+            let batch: Vec<(ModuleId, RegionSpec)> =
+                arrival_slots.iter().map(|&(_, m)| (m, scenario.modules[m].clone())).collect();
+            let start = Instant::now();
+            let mut batch_traffics: Vec<Traffic> =
+                (0..batch.len()).map(|_| Traffic::default()).collect();
+            let results = self.handle_arrivals(&batch, &mut batch_traffics);
+            let per_event = start.elapsed().as_secs_f64() / batch.len() as f64;
+            for ((&(slot, m), traffic), (accepted, escalated)) in
+                arrival_slots.iter().zip(batch_traffics).zip(results)
+            {
+                if !accepted {
+                    self.rejected.insert(m);
+                }
+                traffics[slot] = traffic;
+                latencies[slot] += per_event;
+                outcomes[slot] = ("arrive", Some(m), accepted, escalated);
+            }
+        }
+
+        // Phase 2b: deferred departures of modules that arrived in this very
+        // batch (zero-lifetime modules), then the batch's proactive check.
+        if !deferred.is_empty() {
+            for &(slot, m) in &deferred {
+                let start = Instant::now();
+                if self.running.remove(&m).is_none() && !self.rejected.contains(&m) {
+                    traffics[slot]
+                        .violations
+                        .push(format!("departure of module {m} which is not running"));
+                }
+                self.memory.remove(&format!("m{m}"));
+                latencies[slot] += start.elapsed().as_secs_f64();
+                outcomes[slot] = ("depart", Some(m), true, false);
+                last_depart = Some(slot);
+            }
+            self.proactive_compact(last_depart, &mut traffics, &mut latencies);
+        }
+
+        // Phase 3: checkpoints observe the settled post-batch state.
+        for (slot, &idx) in indices.iter().enumerate() {
+            if matches!(scenario.events[idx].kind, EventKind::Checkpoint) {
+                let start = Instant::now();
+                self.check_invariants(&mut traffics[slot]);
+                latencies[slot] += start.elapsed().as_secs_f64();
+                outcomes[slot] = ("checkpoint", None, true, false);
+            }
+        }
+
+        let frag = frag_metrics(&self.partition, &self.occupied());
+        indices
+            .iter()
+            .enumerate()
+            .map(|(slot, &idx)| EventRecord {
+                time: scenario.events[idx].time,
+                kind: outcomes[slot].0.to_string(),
+                module: outcomes[slot].1,
+                accepted: outcomes[slot].2,
+                latency_seconds: latencies[slot],
+                escalated: outcomes[slot].3,
+                moves: traffics[slot].moves,
+                frames_relocated: traffics[slot].frames_relocated,
+                frames_resynthesized: traffics[slot].frames_resynthesized,
+                downtime_frames: traffics[slot].downtime_frames,
+                fragmentation: frag.fragmentation,
+                free_tiles: frag.free_tiles,
+                violations: std::mem::take(&mut traffics[slot].violations),
+            })
+            .collect()
     }
 }
 
@@ -532,8 +743,19 @@ pub fn simulate_with_registry(
     }
     let start = Instant::now();
     let mut sim = OnlineFloorplanner::new(scenario.partition.clone(), registry, config.clone());
-    let events: Vec<EventRecord> =
-        (0..scenario.events.len()).map(|i| sim.step(scenario, i)).collect();
+    // Events sharing a timestamp are simultaneous: play them as one batch
+    // (one proactive-compaction check, one escalation pipeline).
+    let mut events: Vec<EventRecord> = Vec::with_capacity(scenario.events.len());
+    let mut i = 0;
+    while i < scenario.events.len() {
+        let t = scenario.events[i].time;
+        let mut j = i + 1;
+        while j < scenario.events.len() && scenario.events[j].time == t {
+            j += 1;
+        }
+        events.extend(sim.step_batch(scenario, i..j));
+        i = j;
+    }
     Ok(SimReport {
         scenario: scenario.name.clone(),
         policy: config.policy.id().to_string(),
@@ -668,6 +890,107 @@ mod tests {
         assert!(report.total_moves() > 0, "threshold crossing must trigger moves");
         let last = report.events.last().unwrap();
         assert!(last.fragmentation <= 0.4, "compaction must reach the threshold");
+    }
+
+    #[test]
+    fn no_break_runs_are_downtime_free_when_shadows_fit() {
+        // Same fragmented-arrival scenario as the defragmentation test, but
+        // under the no-break policy: the compaction move lands on a disjoint
+        // shadow, so the whole run reports zero stopped-module frames.
+        let (mut s, clb) = uniform_scenario();
+        let ids: Vec<_> = (0..4)
+            .map(|i| s.add_module(RegionSpec::new(format!("f{i}"), vec![(clb, 6)])))
+            .collect();
+        let big = s.add_module(RegionSpec::new("big", vec![(clb, 10)]));
+        for (i, &id) in ids.iter().enumerate() {
+            s.arrive(i as u64, id);
+        }
+        s.depart(4, ids[0]);
+        s.depart(5, ids[2]);
+        s.arrive(6, big);
+        s.checkpoint(7);
+        let config = OnlineConfig {
+            policy: DefragPolicy::NoBreak,
+            defrag_threshold: 1.0,
+            ..OnlineConfig::default()
+        };
+        let report = simulate(&s, &config).unwrap();
+        assert_eq!(report.violations(), 0, "{report:#?}");
+        assert_eq!(report.rejected(), 0, "{report:#?}");
+        assert!(report.total_moves() > 0, "the big arrival requires at least one move");
+        assert_eq!(report.downtime_frames(), 0, "every no-break move must be buffered");
+        assert_eq!(report.policy, "no_break");
+    }
+
+    #[test]
+    fn same_timestamp_arrivals_are_batched_into_one_escalation() {
+        // Fill the device, free two islands, then let *two* modules arrive
+        // at the same timestamp: the batch must go through one shared
+        // defragmentation (the FitModules goal) and admit both.
+        let (mut s, clb) = uniform_scenario();
+        let ids: Vec<_> = (0..4)
+            .map(|i| s.add_module(RegionSpec::new(format!("f{i}"), vec![(clb, 6)])))
+            .collect();
+        let a = s.add_module(RegionSpec::new("a", vec![(clb, 6)]));
+        let b = s.add_module(RegionSpec::new("b", vec![(clb, 6)]));
+        for (i, &id) in ids.iter().enumerate() {
+            s.arrive(i as u64, id);
+        }
+        s.depart(4, ids[0]);
+        s.depart(5, ids[2]);
+        // Both arrive at t=6; together they need exactly the freed 12 tiles.
+        s.arrive(6, a);
+        s.arrive(6, b);
+        s.checkpoint(7);
+        let config = OnlineConfig { defrag_threshold: 1.0, ..OnlineConfig::default() };
+        let report = simulate(&s, &config).unwrap();
+        assert_eq!(report.violations(), 0, "{report:#?}");
+        assert_eq!(report.rejected(), 0, "both same-time arrivals must fit: {report:#?}");
+        assert_eq!(report.arrivals(), 6);
+        // The two batch records share the post-batch fragmentation snapshot.
+        let batch: Vec<_> = report.events.iter().filter(|e| e.time == 6).collect();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].fragmentation, batch[1].fragmentation);
+    }
+
+    #[test]
+    fn a_batch_with_one_oversized_arrival_still_admits_the_feasible_one() {
+        // Two same-timestamp arrivals, one of which can never fit: the
+        // joint re-solve fails, the per-arrival fallback admits the
+        // feasible module and rejects only the oversized one.
+        let (mut s, clb) = uniform_scenario();
+        let huge = s.add_module(RegionSpec::new("huge", vec![(clb, 25)]));
+        let ok = s.add_module(RegionSpec::new("ok", vec![(clb, 4)]));
+        s.arrive(0, huge); // 25 > 24 tiles on the device
+        s.arrive(0, ok);
+        s.checkpoint(1);
+        let report = simulate(&s, &OnlineConfig::default()).unwrap();
+        assert_eq!(report.violations(), 0, "{report:#?}");
+        assert_eq!(report.rejected(), 1, "{report:#?}");
+        let ok_event = report.events.iter().find(|e| e.module == Some(ok)).unwrap();
+        assert!(ok_event.accepted, "the feasible member of the batch must be admitted");
+    }
+
+    #[test]
+    fn zero_lifetime_modules_arrive_and_depart_within_one_batch() {
+        // arrive(t, m) followed by depart(t, m) is a valid stream (the
+        // validator's state machine runs in stream order); the batch must
+        // net the pair out — admit, then release — not fire the departure
+        // against a not-yet-running module.
+        let (mut s, clb) = uniform_scenario();
+        let flash = s.add_module(RegionSpec::new("flash", vec![(clb, 20)]));
+        let later = s.add_module(RegionSpec::new("later", vec![(clb, 20)]));
+        s.arrive(0, flash);
+        s.depart(0, flash);
+        // A 20-tile module fits afterwards only if flash's area was freed.
+        s.arrive(1, later);
+        s.checkpoint(2);
+        assert!(s.validate().is_empty(), "{:?}", s.validate());
+        let report = simulate(&s, &OnlineConfig::default()).unwrap();
+        assert_eq!(report.violations(), 0, "{report:#?}");
+        assert_eq!(report.rejected(), 0, "flash's area must be released: {report:#?}");
+        assert!(report.events[1].accepted);
+        assert_eq!(report.events[1].kind, "depart");
     }
 
     #[test]

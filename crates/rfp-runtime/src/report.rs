@@ -1,9 +1,21 @@
 //! Simulation reporting: per-event records, stream-level totals and a
 //! deterministic JSON rendering (uploaded as a CI artifact by the
-//! `sim-smoke` job and printed by `rfp simulate`).
+//! `sim-smoke` job and printed by `rfp simulate`), plus the matching
+//! reader.
+//!
+//! The document is versioned like every other `jsonio`-family format:
+//! **v2** adds the per-event and total `downtime_frames` columns (frames
+//! programmed while a module was stopped — the no-break defragmentation
+//! headline metric). [`read_sim_report`] also accepts v1 documents, whose
+//! records predate the downtime column and read back as zero downtime.
 
-use rfp_floorplan::jsonio::{escape, num};
+use rfp_floorplan::jsonio::{escape, num, parse, JsonError, JsonValue};
 use std::fmt::Write as _;
+
+/// Format tag of sim-report documents.
+pub const SIM_REPORT_FORMAT: &str = "rfp-sim-report";
+/// Current schema version of the sim-report format.
+pub const SIM_REPORT_VERSION: u64 = 2;
 
 /// What the simulator did in reaction to one event.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +38,10 @@ pub struct EventRecord {
     pub frames_relocated: u64,
     /// Frames moved the expensive way (re-synthesis-equivalent).
     pub frames_resynthesized: u64,
+    /// Frames programmed while the moved module was **stopped** (the
+    /// downtime the no-break policy eliminates). Zero for double-buffered
+    /// moves; equal to the moved frames for stop-and-move executions.
+    pub downtime_frames: u64,
     /// Fragmentation after the event (see [`crate::frag`]).
     pub fragmentation: f64,
     /// Free tiles after the event.
@@ -40,7 +56,8 @@ pub struct EventRecord {
 pub struct SimReport {
     /// Scenario name.
     pub scenario: String,
-    /// Placement/defragmentation policy id (`"aware"` / `"oblivious"`).
+    /// Placement/defragmentation policy id (`"aware"` / `"oblivious"` /
+    /// `"no_break"`).
     pub policy: String,
     /// Registry engine used for escalation re-solves.
     pub engine: String,
@@ -84,6 +101,14 @@ impl SimReport {
         self.frames_relocated() + self.frames_resynthesized()
     }
 
+    /// Frames programmed while the affected module was stopped, over the
+    /// whole stream — what the defragmentation literature actually measures
+    /// as the cost of a layout reorganisation. Zero under a fully
+    /// double-buffered (no-break) run.
+    pub fn downtime_frames(&self) -> u64 {
+        self.events.iter().map(|e| e.downtime_frames).sum()
+    }
+
     /// The relocation-aware traffic cost: relocated frames count once,
     /// re-synthesis-equivalent frames count [`SimReport::resynthesis_factor`]
     /// times (Equation 13's spirit applied to runtime traffic).
@@ -111,7 +136,7 @@ impl SimReport {
     pub fn summary(&self) -> String {
         format!(
             "{}/{}: {} arrivals ({} rejected), {} moves ({} frames relocated, {} resynthesized, \
-             cost {:.0}), {} escalations, max fragmentation {:.3}, {} violations",
+             cost {:.0}, downtime {}), {} escalations, max fragmentation {:.3}, {} violations",
             self.scenario,
             self.policy,
             self.arrivals(),
@@ -120,6 +145,7 @@ impl SimReport {
             self.frames_relocated(),
             self.frames_resynthesized(),
             self.relocation_cost(),
+            self.downtime_frames(),
             self.escalations(),
             self.max_fragmentation(),
             self.violations()
@@ -131,8 +157,8 @@ impl SimReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"format\": \"rfp-sim-report\",");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"format\": \"{SIM_REPORT_FORMAT}\",");
+        let _ = writeln!(out, "  \"version\": {SIM_REPORT_VERSION},");
         let _ = writeln!(out, "  \"scenario\": \"{}\",", escape(&self.scenario));
         let _ = writeln!(out, "  \"policy\": \"{}\",", escape(&self.policy));
         let _ = writeln!(out, "  \"engine\": \"{}\",", escape(&self.engine));
@@ -143,6 +169,7 @@ impl SimReport {
         let _ = writeln!(out, "    \"moves\": {},", self.total_moves());
         let _ = writeln!(out, "    \"frames_relocated\": {},", self.frames_relocated());
         let _ = writeln!(out, "    \"frames_resynthesized\": {},", self.frames_resynthesized());
+        let _ = writeln!(out, "    \"downtime_frames\": {},", self.downtime_frames());
         let _ = writeln!(out, "    \"relocation_cost\": {},", num(self.relocation_cost()));
         let _ = writeln!(out, "    \"escalations\": {},", self.escalations());
         let _ = writeln!(out, "    \"max_fragmentation\": {},", num(self.max_fragmentation()));
@@ -164,8 +191,8 @@ impl SimReport {
                 out,
                 "\n    {{\"t\":{},\"kind\":\"{}\",\"module\":{module},\"accepted\":{},\
                  \"latency_seconds\":{},\"escalated\":{},\"moves\":{},\"frames_relocated\":{},\
-                 \"frames_resynthesized\":{},\"fragmentation\":{},\"free_tiles\":{},\
-                 \"violations\":[{}]}}",
+                 \"frames_resynthesized\":{},\"downtime_frames\":{},\"fragmentation\":{},\
+                 \"free_tiles\":{},\"violations\":[{}]}}",
                 e.time,
                 escape(&e.kind),
                 e.accepted,
@@ -174,6 +201,7 @@ impl SimReport {
                 e.moves,
                 e.frames_relocated,
                 e.frames_resynthesized,
+                e.downtime_frames,
                 num(e.fragmentation),
                 e.free_tiles,
                 violations.join(",")
@@ -186,6 +214,68 @@ impl SimReport {
         out.push_str("}\n");
         out
     }
+}
+
+/// Parses an `rfp-sim-report` document (v1 or v2).
+///
+/// v1 documents predate the `downtime_frames` column: their records read
+/// back with zero downtime. Totals are derived quantities and are *not*
+/// read back — they are recomputed from the events (and re-emitted on the
+/// next [`SimReport::to_json`]), so a hand-edited totals block cannot
+/// contradict the event stream.
+pub fn read_sim_report(input: &str) -> Result<SimReport, JsonError> {
+    let doc = parse(input)?;
+    let tag = doc.field("format")?.as_str()?;
+    if tag != SIM_REPORT_FORMAT {
+        return Err(JsonError(format!("expected format `{SIM_REPORT_FORMAT}`, found `{tag}`")));
+    }
+    let version = doc.field("version")?.as_u64()?;
+    if version == 0 || version > SIM_REPORT_VERSION {
+        return Err(JsonError(format!(
+            "unsupported {SIM_REPORT_FORMAT} version {version} (this build reads versions 1-\
+             {SIM_REPORT_VERSION})"
+        )));
+    }
+    let mut events = Vec::new();
+    for (i, e) in doc.field("events")?.as_arr()?.iter().enumerate() {
+        let module = match e.field("module")? {
+            JsonValue::Null => None,
+            v => Some(v.as_u64()? as usize),
+        };
+        let downtime_frames = match e.get("downtime_frames") {
+            Some(v) => v.as_u64()?,
+            None if version < 2 => 0,
+            None => return Err(JsonError(format!("event #{i}: missing field `downtime_frames`"))),
+        };
+        events.push(EventRecord {
+            time: e.field("t")?.as_u64()?,
+            kind: e.field("kind")?.as_str()?.to_string(),
+            module,
+            accepted: e.field("accepted")?.as_bool()?,
+            latency_seconds: e.field("latency_seconds")?.as_f64()?,
+            escalated: e.field("escalated")?.as_bool()?,
+            moves: e.field("moves")?.as_u64()?,
+            frames_relocated: e.field("frames_relocated")?.as_u64()?,
+            frames_resynthesized: e.field("frames_resynthesized")?.as_u64()?,
+            downtime_frames,
+            fragmentation: e.field("fragmentation")?.as_f64()?,
+            free_tiles: e.field("free_tiles")?.as_u64()?,
+            violations: e
+                .field("violations")?
+                .as_arr()?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?,
+        });
+    }
+    Ok(SimReport {
+        scenario: doc.field("scenario")?.as_str()?.to_string(),
+        policy: doc.field("policy")?.as_str()?.to_string(),
+        engine: doc.field("engine")?.as_str()?.to_string(),
+        events,
+        resynthesis_factor: doc.field("resynthesis_factor")?.as_f64()?,
+        wall_seconds: doc.field("totals")?.field("wall_seconds")?.as_f64()?,
+    })
 }
 
 #[cfg(test)]
@@ -203,15 +293,15 @@ mod tests {
             moves: u64::from(relocated + resynth > 0),
             frames_relocated: relocated,
             frames_resynthesized: resynth,
+            downtime_frames: resynth,
             fragmentation: 0.25,
             free_tiles: 10,
             violations: Vec::new(),
         }
     }
 
-    #[test]
-    fn totals_aggregate_event_records() {
-        let report = SimReport {
+    fn sample() -> SimReport {
+        SimReport {
             scenario: "s".into(),
             policy: "aware".into(),
             engine: "combinatorial".into(),
@@ -222,31 +312,84 @@ mod tests {
             ],
             resynthesis_factor: 20.0,
             wall_seconds: 0.01,
-        };
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_event_records() {
+        let report = sample();
         assert_eq!(report.arrivals(), 2);
         assert_eq!(report.rejected(), 1);
         assert_eq!(report.frames_moved(), 108);
+        assert_eq!(report.downtime_frames(), 36);
         assert_eq!(report.relocation_cost(), 72.0 + 36.0 * 20.0);
         assert_eq!(report.violations(), 0);
         assert!(report.summary().contains("2 arrivals (1 rejected)"));
+        assert!(report.summary().contains("downtime 36"));
     }
 
     #[test]
     fn json_is_parseable_and_carries_the_totals() {
         let report = SimReport {
             scenario: "smoke \"x\"".into(),
-            policy: "aware".into(),
+            policy: "no_break".into(),
             engine: "combinatorial".into(),
             events: vec![record("arrive", true, 72, 0)],
             resynthesis_factor: 20.0,
             wall_seconds: 0.5,
         };
         let doc = report.to_json();
-        let parsed = rfp_floorplan::jsonio::parse(&doc).expect("report JSON parses");
-        assert_eq!(parsed.field("format").unwrap().as_str().unwrap(), "rfp-sim-report");
+        let parsed = parse(&doc).expect("report JSON parses");
+        assert_eq!(parsed.field("format").unwrap().as_str().unwrap(), SIM_REPORT_FORMAT);
+        assert_eq!(parsed.field("version").unwrap().as_u64().unwrap(), SIM_REPORT_VERSION);
         let totals = parsed.field("totals").unwrap();
         assert_eq!(totals.field("frames_relocated").unwrap().as_u64().unwrap(), 72);
+        assert_eq!(totals.field("downtime_frames").unwrap().as_u64().unwrap(), 0);
         assert_eq!(parsed.field("events").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reports_round_trip_through_the_reader() {
+        let report = sample();
+        let back = read_sim_report(&report.to_json()).expect("v2 report parses");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn v1_documents_read_back_with_zero_downtime() {
+        // A v1 document: no downtime column anywhere.
+        let mut report = sample();
+        for e in &mut report.events {
+            e.downtime_frames = 0;
+        }
+        let v1 = report
+            .to_json()
+            .replace("\"version\": 2", "\"version\": 1")
+            .replace("    \"downtime_frames\": 0,\n", "")
+            .replace(",\"downtime_frames\":0", "");
+        assert!(!v1.contains("downtime_frames"), "fixture must be a clean v1 document");
+        let back = read_sim_report(&v1).expect("v1 report parses");
+        assert_eq!(back.downtime_frames(), 0);
+        assert_eq!(back.events.len(), report.events.len());
+        assert_eq!(back.frames_moved(), report.frames_moved());
+    }
+
+    #[test]
+    fn foreign_future_and_malformed_documents_are_rejected() {
+        let doc = sample().to_json();
+        let wrong = doc.replace(SIM_REPORT_FORMAT, "rfp-problem");
+        assert!(read_sim_report(&wrong).unwrap_err().0.contains("expected format"));
+        let future = doc.replace("\"version\": 2", "\"version\": 9");
+        assert!(read_sim_report(&future).unwrap_err().0.contains("version 9"));
+        // A v2 document missing its downtime column is malformed.
+        let gutted = doc.replace(",\"downtime_frames\":0", "");
+        assert!(read_sim_report(&gutted)
+            .unwrap_err()
+            .0
+            .contains("missing field `downtime_frames`"));
+        let truncated = &doc[..doc.len() / 2];
+        assert!(read_sim_report(truncated).is_err());
     }
 
     #[test]
@@ -260,6 +403,6 @@ mod tests {
             wall_seconds: 0.0,
         };
         assert_eq!(report.max_fragmentation(), 0.0);
-        assert!(rfp_floorplan::jsonio::parse(&report.to_json()).is_ok());
+        assert_eq!(read_sim_report(&report.to_json()).unwrap(), report);
     }
 }

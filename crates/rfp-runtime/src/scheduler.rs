@@ -1,0 +1,189 @@
+//! No-break move execution: double-buffered copy-then-switch relocations.
+//!
+//! Fekete et al.'s "No-Break Dynamic Defragmentation of Reconfigurable
+//! Devices" observes that a running module does not have to *stop* to move:
+//! program a copy of it into a free, relocation-compatible **shadow** region
+//! while the original keeps running, switch the live role to the copy in one
+//! atomic step (no frame is written), then free the original. The module is
+//! never offline; the only cost is the copy traffic. Stop-and-move — rewrite
+//! the module's frames at the target while it is stopped — remains the
+//! fallback when no disjoint shadow exists (an in-place slide, or a device
+//! too full to hold both buffers at once), and its price is **downtime**:
+//! every frame programmed while the module is stopped.
+//!
+//! [`MoveScheduler`] implements exactly that decision per move, on top of the
+//! real [`ConfigMemory`] model: the shadow copy is programmed under a scratch
+//! instance name (so an overlap with *any* running area, including the
+//! mover's own, is a physical configuration conflict), and the switch is
+//! [`ConfigMemory::rename`] — ownership moves, no frame is written. The
+//! per-move [`ExecutedMove::downtime_frames`] feeds the simulator's
+//! first-class downtime metric ([`crate::report::SimReport`]).
+
+use crate::defrag::DefragPolicy;
+use crate::scenario::ModuleId;
+use rfp_bitstream::{relocate_or_regenerate, Bitstream, ConfigMemory, MoveKind};
+use rfp_device::{ColumnarPartition, Rect};
+
+/// How the scheduler executes planned moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveScheduler {
+    /// When `true`, every move with a disjoint target executes as a
+    /// double-buffered copy-then-switch (zero downtime); otherwise every
+    /// move is a classic stop-and-move.
+    pub no_break: bool,
+}
+
+impl MoveScheduler {
+    /// The scheduler matching a defragmentation policy: only
+    /// [`DefragPolicy::NoBreak`] buffers its moves — the aware/oblivious
+    /// baselines model the classic stop-and-move executors of the
+    /// defragmentation literature.
+    pub fn for_policy(policy: DefragPolicy) -> Self {
+        MoveScheduler { no_break: policy == DefragPolicy::NoBreak }
+    }
+}
+
+/// The outcome of one executed move.
+#[derive(Debug, Clone)]
+pub struct ExecutedMove {
+    /// The module's bitstream at its new location (the live buffer).
+    pub bitstream: Bitstream,
+    /// Mechanism of the copy: relocation filter or re-synthesis-equivalent
+    /// regeneration.
+    pub kind: MoveKind,
+    /// Frames written to move the module.
+    pub frames: u64,
+    /// Frames written **while the module was stopped** — `0` on the
+    /// double-buffered path, equal to [`ExecutedMove::frames`] on the
+    /// stop-and-move path.
+    pub downtime_frames: u64,
+    /// `true` when the move executed as a double-buffered copy-then-switch.
+    pub buffered: bool,
+}
+
+impl MoveScheduler {
+    /// Executes one move of `module` (currently configured as `bitstream`)
+    /// to `to` through the configuration memory.
+    ///
+    /// On the no-break path the shadow copy is programmed under a scratch
+    /// name first, so the memory model itself proves the shadow is disjoint
+    /// from every running area; the switch then transfers ownership without
+    /// writing a frame. Targets overlapping the mover's own current area
+    /// cannot be double-buffered and fall back to stop-and-move, which
+    /// accrues downtime.
+    ///
+    /// On error the configuration memory is left exactly as it was.
+    pub fn execute(
+        &self,
+        partition: &ColumnarPartition,
+        memory: &mut ConfigMemory,
+        module: ModuleId,
+        bitstream: &Bitstream,
+        to: Rect,
+    ) -> Result<ExecutedMove, String> {
+        let (moved, kind) = relocate_or_regenerate(partition, bitstream, to, module as u64)
+            .map_err(|e| format!("move of module {module} failed: {e}"))?;
+        let frames = moved.n_frames() as u64;
+        let instance = format!("m{module}");
+        if self.no_break && !to.overlaps(&bitstream.area) {
+            // Double-buffered: the copy and the running original coexist.
+            let shadow = format!("{instance}+shadow");
+            memory.program(&shadow, &moved).map_err(|e| format!("shadow conflict: {e}"))?;
+            memory.remove(&instance);
+            if !memory.rename(&shadow, &instance) {
+                return Err(format!("buffer switch of module {module} failed"));
+            }
+            Ok(ExecutedMove { bitstream: moved, kind, frames, downtime_frames: 0, buffered: true })
+        } else {
+            // Stop-and-move: the module is offline while its frames are
+            // rewritten at the target (the memory releases its old area on
+            // reprogramming the same instance).
+            memory
+                .program(&instance, &moved)
+                .map_err(|e| format!("configuration conflict: {e}"))?;
+            Ok(ExecutedMove {
+                bitstream: moved,
+                kind,
+                frames,
+                downtime_frames: frames,
+                buffered: false,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+
+    fn uniform() -> ColumnarPartition {
+        let mut b = DeviceBuilder::new("scheduler-uniform");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        b.rows(2).repeat_column(clb, 12);
+        columnar_partition(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn disjoint_no_break_moves_are_buffered_with_zero_downtime() {
+        let p = uniform();
+        let mut mem = ConfigMemory::new();
+        let bs = Bitstream::generate(&p, "A", Rect::new(1, 1, 3, 2), 7).unwrap();
+        mem.program("m0", &bs).unwrap();
+        let sched = MoveScheduler::for_policy(DefragPolicy::NoBreak);
+        let done = sched.execute(&p, &mut mem, 0, &bs, Rect::new(7, 1, 3, 2)).unwrap();
+        assert!(done.buffered);
+        assert_eq!(done.downtime_frames, 0);
+        assert_eq!(done.kind, MoveKind::Relocated);
+        assert_eq!(done.frames, bs.n_frames() as u64);
+        assert_eq!(mem.area_of("m0"), Some(Rect::new(7, 1, 3, 2)));
+        assert_eq!(mem.area_of("m0+shadow"), None, "the scratch name must not leak");
+        assert_eq!(mem.occupied().len(), 1);
+    }
+
+    #[test]
+    fn self_overlapping_targets_fall_back_to_stop_and_move() {
+        let p = uniform();
+        let mut mem = ConfigMemory::new();
+        let bs = Bitstream::generate(&p, "A", Rect::new(1, 1, 3, 2), 7).unwrap();
+        mem.program("m0", &bs).unwrap();
+        let sched = MoveScheduler::for_policy(DefragPolicy::NoBreak);
+        // A one-column slide overlaps the module's own area: no shadow fits.
+        let done = sched.execute(&p, &mut mem, 0, &bs, Rect::new(2, 1, 3, 2)).unwrap();
+        assert!(!done.buffered);
+        assert_eq!(done.downtime_frames, done.frames);
+        assert_eq!(mem.area_of("m0"), Some(Rect::new(2, 1, 3, 2)));
+    }
+
+    #[test]
+    fn stop_and_move_policies_always_accrue_downtime() {
+        let p = uniform();
+        for policy in [DefragPolicy::RelocationAware, DefragPolicy::Oblivious] {
+            let mut mem = ConfigMemory::new();
+            let bs = Bitstream::generate(&p, "A", Rect::new(1, 1, 3, 2), 7).unwrap();
+            mem.program("m0", &bs).unwrap();
+            let sched = MoveScheduler::for_policy(policy);
+            assert!(!sched.no_break);
+            let done = sched.execute(&p, &mut mem, 0, &bs, Rect::new(7, 1, 3, 2)).unwrap();
+            assert!(!done.buffered);
+            assert_eq!(done.downtime_frames, done.frames);
+        }
+    }
+
+    #[test]
+    fn shadow_conflicts_with_other_modules_leave_memory_untouched() {
+        let p = uniform();
+        let mut mem = ConfigMemory::new();
+        let a = Bitstream::generate(&p, "A", Rect::new(1, 1, 3, 2), 7).unwrap();
+        let b = Bitstream::generate(&p, "B", Rect::new(7, 1, 3, 2), 8).unwrap();
+        mem.program("m0", &a).unwrap();
+        mem.program("m1", &b).unwrap();
+        let sched = MoveScheduler::for_policy(DefragPolicy::NoBreak);
+        // The shadow would overlap m1: the memory model rejects it.
+        let err = sched.execute(&p, &mut mem, 0, &a, Rect::new(6, 1, 3, 2)).unwrap_err();
+        assert!(err.contains("shadow conflict"), "{err}");
+        assert_eq!(mem.area_of("m0"), Some(Rect::new(1, 1, 3, 2)));
+        assert_eq!(mem.area_of("m1"), Some(Rect::new(7, 1, 3, 2)));
+        assert_eq!(mem.occupied().len(), 2);
+    }
+}

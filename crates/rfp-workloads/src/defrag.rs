@@ -64,6 +64,27 @@ impl Default for DefragWorkloadSpec {
 }
 
 impl DefragWorkloadSpec {
+    /// A **high-utilisation** trace: modules are large relative to the
+    /// device and live long, so many run concurrently and the free space
+    /// rarely holds both buffers of a double-buffered move at once. This is
+    /// the stress regime for the `no_break` policy — shadows are scarce, so
+    /// its planner must chain and bounce moves (and the executor's
+    /// stop-and-move fallback, with its non-zero downtime, actually gets
+    /// exercised).
+    pub fn high_utilisation(seed: u64) -> Self {
+        DefragWorkloadSpec {
+            seed,
+            cols: 20,
+            rows: 2,
+            bram_every: 0,
+            n_modules: 12,
+            min_tiles: 5,
+            max_tiles: 10,
+            mean_lifetime: 10,
+            checkpoint_every: 6,
+        }
+    }
+
     /// Generates the scenario.
     ///
     /// Arrivals are spaced 1-2 time units apart; each instance departs after
@@ -196,14 +217,41 @@ mod tests {
     }
 
     #[test]
-    fn generated_traces_simulate_cleanly_under_both_policies() {
+    fn generated_traces_simulate_cleanly_under_all_policies() {
         let spec = DefragWorkloadSpec { n_modules: 8, ..DefragWorkloadSpec::default() };
         let s = spec.generate();
-        for policy in [DefragPolicy::RelocationAware, DefragPolicy::Oblivious] {
+        for policy in DefragPolicy::ALL {
             let config = OnlineConfig { policy, ..OnlineConfig::default() };
             let report = simulate(&s, &config).unwrap();
             assert_eq!(report.violations(), 0, "{policy:?}: {report:#?}");
         }
+    }
+
+    #[test]
+    fn high_utilisation_traces_keep_the_device_busy_and_stay_clean() {
+        let spec = DefragWorkloadSpec::high_utilisation(3);
+        let s = spec.generate();
+        assert!(s.validate().is_empty(), "{:?}", s.validate());
+        let device_tiles = u64::from(spec.cols) * u64::from(spec.rows);
+        for policy in DefragPolicy::ALL {
+            let config = OnlineConfig { policy, ..OnlineConfig::default() };
+            let report = simulate(&s, &config).unwrap();
+            assert_eq!(report.violations(), 0, "{policy:?}: {report:#?}");
+            // The trace must actually reach high utilisation: at some point
+            // at most a third of the device is free.
+            let min_free = report.events.iter().map(|e| e.free_tiles).min().unwrap();
+            assert!(
+                min_free <= device_tiles / 3,
+                "{policy:?}: trace never fills the device (min free {min_free})"
+            );
+        }
+        // Stop-and-move policies pay downtime for every frame they move.
+        let aware = simulate(
+            &s,
+            &OnlineConfig { policy: DefragPolicy::RelocationAware, ..OnlineConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(aware.downtime_frames(), aware.frames_moved());
     }
 
     #[test]

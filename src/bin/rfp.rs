@@ -29,7 +29,7 @@ const USAGE: &str = "usage:
   rfp solve [--engine ID | --portfolio[=ID,ID,...]] [--time-limit SECS]
             [--node-limit N] [--out FILE] [--quiet] PROBLEM.json
   rfp validate PROBLEM.json FLOORPLAN.json
-  rfp simulate [--policy aware|oblivious] [--engine ID] [--threshold F]
+  rfp simulate [--policy aware|oblivious|no_break] [--engine ID] [--threshold F]
                [--time-limit SECS] [--report FILE] [--quiet] SCENARIO.json
   rfp convert [--out FILE] INSTANCE
       INSTANCE: sdr | sdr2 | sdr3 | synthetic[:SEED[:REGIONS]]
@@ -307,7 +307,9 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 };
                 match DefragPolicy::from_id(&v) {
                     Some(p) => config.policy = p,
-                    None => return fail(format!("unknown policy `{v}` (aware | oblivious)")),
+                    None => {
+                        return fail(format!("unknown policy `{v}` (aware | oblivious | no_break)"))
+                    }
                 }
             }
             "--engine" => match take_value("--engine") {

@@ -163,6 +163,69 @@ proptest! {
         }
     }
 
+    /// The largest-free-rectangle sweep of `frag_metrics` agrees with a
+    /// brute-force scan over every rectangle of small grids — the pin for
+    /// the 1-based → 0-based coordinate translation (a module flush against
+    /// column 1 or the last row must block exactly its own tiles).
+    #[test]
+    fn largest_free_rect_matches_brute_force(
+        cols in 1u32..7,
+        rows in 1u32..5,
+        seeds in proptest::collection::vec((1u32..7, 1u32..5, 1u32..4, 1u32..3), 0..4),
+    ) {
+        use relocfp::runtime::frag_metrics;
+        let p = {
+            let mut b = rfp_device::DeviceBuilder::new("frag-prop");
+            let clb = b.tile_type("CLB", rfp_device::ResourceVec::new(1, 0, 0), 36);
+            b.rows(rows).repeat_column(clb, cols);
+            columnar_partition(&b.build().unwrap()).unwrap()
+        };
+        // Clamp the generated rectangles into the grid (occupied modules may
+        // touch any border, including column 1 and the last row).
+        let occupied: Vec<Rect> = seeds
+            .iter()
+            .map(|&(x, y, w, h)| {
+                let x = x.min(cols);
+                let y = y.min(rows);
+                Rect::new(x, y, w.min(cols - x + 1), h.min(rows - y + 1))
+            })
+            .collect();
+        let metrics = frag_metrics(&p, &occupied);
+
+        // Brute force: free-tile count and the best all-free rectangle.
+        let is_free = |c: u32, r: u32| !occupied.iter().any(|o| o.contains(c, r));
+        let mut free_tiles = 0u64;
+        for c in 1..=cols {
+            for r in 1..=rows {
+                if is_free(c, r) {
+                    free_tiles += 1;
+                }
+            }
+        }
+        let mut best = 0u64;
+        for x in 1..=cols {
+            for y in 1..=rows {
+                for w in 1..=(cols - x + 1) {
+                    for h in 1..=(rows - y + 1) {
+                        let all_free = (x..x + w).all(|c| (y..y + h).all(|r| is_free(c, r)));
+                        if all_free {
+                            best = best.max(u64::from(w) * u64::from(h));
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(metrics.free_tiles, free_tiles);
+        prop_assert_eq!(
+            metrics.largest_free_rect, best,
+            "histogram sweep disagrees with brute force on {}x{} with {:?}",
+            cols, rows, occupied
+        );
+        let expected_frag =
+            if free_tiles == 0 { 0.0 } else { 1.0 - best as f64 / free_tiles as f64 };
+        prop_assert!((metrics.fragmentation - expected_frag).abs() < 1e-12);
+    }
+
     /// The MILP solver agrees with brute force on random small knapsacks.
     #[test]
     fn milp_matches_brute_force_on_small_knapsacks(

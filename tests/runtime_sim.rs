@@ -4,10 +4,17 @@
 //! The acceptance criteria of the runtime subsystem live here:
 //!
 //! * the golden Fekete-style scenario completes with **zero constraint
-//!   violations** (no move ever overlaps a running module — checked both by
-//!   the executor and by the configuration-memory model);
-//! * the relocation-aware policy relocates **strictly fewer frames** than
-//!   the relocation-oblivious baseline on that scenario.
+//!   violations** under all three policies (no move ever overlaps a running
+//!   module — checked both by the executor and by the configuration-memory
+//!   model);
+//! * the relocation-aware policy relocates **exactly 216** frames and the
+//!   relocation-oblivious baseline **exactly 432** on that scenario;
+//! * the `no_break` policy moves the same 216 frames with **zero
+//!   stopped-module downtime** — every move is a double-buffered
+//!   copy-then-switch — while the stop-and-move policies pay downtime for
+//!   every frame they move;
+//! * the `SimReport` v2 document round-trips through its jsonio
+//!   reader/writer, and v1 documents stay readable.
 //!
 //! Regenerate the golden file with:
 //!
@@ -16,7 +23,7 @@
 //! ```
 
 use relocfp::runtime::{
-    read_scenario, simulate, write_scenario, DefragPolicy, OnlineConfig, SimReport,
+    read_scenario, read_sim_report, simulate, write_scenario, DefragPolicy, OnlineConfig, SimReport,
 };
 use rfp_workloads::{smoke_scenario, smoke_scenario_json};
 use std::path::PathBuf;
@@ -55,8 +62,8 @@ fn golden_scenario_round_trips() {
 }
 
 #[test]
-fn golden_scenario_completes_with_zero_violations_under_both_policies() {
-    for policy in [DefragPolicy::RelocationAware, DefragPolicy::Oblivious] {
+fn golden_scenario_completes_with_zero_violations_under_all_policies() {
+    for policy in DefragPolicy::ALL {
         let report = run(policy);
         assert_eq!(report.violations(), 0, "{policy:?} violated an invariant: {report:#?}");
         assert_eq!(report.rejected(), 0, "{policy:?} rejected an admissible module: {report:#?}");
@@ -64,6 +71,17 @@ fn golden_scenario_completes_with_zero_violations_under_both_policies() {
         // The big arrival cannot fit without defragmentation.
         assert!(report.total_moves() > 0, "{policy:?} never moved a module: {report:#?}");
     }
+}
+
+#[test]
+fn moved_frames_are_pinned_per_policy() {
+    // The headline numbers of the three-way study, pinned exactly: the
+    // aware policy frees the window with one 216-frame relocation, the
+    // oblivious baseline left-compacts two modules (432 frames), and the
+    // no-break policy uses the same single move as aware.
+    assert_eq!(run(DefragPolicy::RelocationAware).frames_moved(), 216);
+    assert_eq!(run(DefragPolicy::Oblivious).frames_moved(), 432);
+    assert_eq!(run(DefragPolicy::NoBreak).frames_moved(), 216);
 }
 
 #[test]
@@ -91,6 +109,29 @@ fn relocation_aware_policy_relocates_strictly_fewer_frames_than_the_baseline() {
 }
 
 #[test]
+fn no_break_policy_eliminates_downtime_on_the_smoke_scenario() {
+    let no_break = run(DefragPolicy::NoBreak);
+    assert_eq!(
+        no_break.downtime_frames(),
+        0,
+        "every no-break move on the smoke scenario must be double-buffered: {}",
+        no_break.summary()
+    );
+    assert_eq!(no_break.violations(), 0);
+    assert_eq!(no_break.rejected(), 0);
+    // The stop-and-move policies pay downtime for every frame they move.
+    for policy in [DefragPolicy::RelocationAware, DefragPolicy::Oblivious] {
+        let report = run(policy);
+        assert_eq!(
+            report.downtime_frames(),
+            report.frames_moved(),
+            "{policy:?} is a stop-and-move executor: {}",
+            report.summary()
+        );
+    }
+}
+
+#[test]
 fn sim_reports_render_parseable_json() {
     let report = run(DefragPolicy::RelocationAware);
     let doc = report.to_json();
@@ -100,8 +141,37 @@ fn sim_reports_render_parseable_json() {
         totals.field("frames_relocated").unwrap().as_u64().unwrap(),
         report.frames_relocated()
     );
+    assert_eq!(
+        totals.field("downtime_frames").unwrap().as_u64().unwrap(),
+        report.downtime_frames()
+    );
     assert_eq!(totals.field("violations").unwrap().as_u64().unwrap(), 0);
     assert_eq!(parsed.field("events").unwrap().as_arr().unwrap().len(), report.events.len());
+}
+
+#[test]
+fn sim_reports_round_trip_through_the_v2_reader() {
+    for policy in DefragPolicy::ALL {
+        let report = run(policy);
+        let doc = report.to_json();
+        let back = read_sim_report(&doc).expect("v2 report parses");
+        assert_eq!(back, report, "{policy:?} report must round-trip");
+        assert_eq!(back.to_json(), doc, "re-emission must be byte-identical");
+    }
+    // A v1 document (no downtime columns) still reads, with zero downtime.
+    let v2 = run(DefragPolicy::NoBreak).to_json();
+    let mut v1 = v2.replace("\"version\": 2", "\"version\": 1");
+    v1 = v1.replace("    \"downtime_frames\": 0,\n", "");
+    while let Some(at) = v1.find(",\"downtime_frames\":") {
+        let end = at
+            + ",\"downtime_frames\":".len()
+            + v1[at + ",\"downtime_frames\":".len()..].find(',').expect("another column follows");
+        v1.replace_range(at..end, "");
+    }
+    assert!(!v1.contains("downtime_frames"), "fixture must be a clean v1 document");
+    let back = read_sim_report(&v1).expect("v1 report parses");
+    assert_eq!(back.downtime_frames(), 0);
+    assert_eq!(back.events.len(), run(DefragPolicy::NoBreak).events.len());
 }
 
 /// Rewrites the golden scenario file from the generator. Run explicitly
