@@ -103,6 +103,33 @@ fn solve_times_quick_writes_the_bench_json() {
 }
 
 #[test]
+fn serve_load_shows_the_cache_speedup_and_writes_json() {
+    let path = std::env::temp_dir().join(format!("serve_load_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = run(
+        env!("CARGO_BIN_EXE_serve_load"),
+        &["--rounds", "6", "--samples", "2", "--json", path_str],
+    );
+    assert!(out.contains("Solve-service throughput"), "unexpected output:\n{out}");
+    assert!(out.contains("cache-on"), "unexpected output:\n{out}");
+    assert!(out.contains("cache-off"), "unexpected output:\n{out}");
+    let json = std::fs::read_to_string(&path).expect("JSON artefact exists");
+    let _ = std::fs::remove_file(&path);
+    assert!(json.contains("\"schema\":\"rfp-bench/serve_load/v1\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"cache_hits\""), "bad JSON:\n{json}");
+    // The acceptance bar of the solve service: a repeat-heavy stream must be
+    // at least 2x faster with the outcome cache on. The margin is wide (a
+    // cache hit is microseconds, a cold solve hundreds of milliseconds), so
+    // this is safe to assert even on noisy CI machines.
+    let speedup: f64 = json
+        .split("\"speedup\":")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches(['}', '\n']).parse().ok())
+        .expect("speedup field parses");
+    assert!(speedup >= 2.0, "cache speedup below the 2x bar: {speedup:.2}x\n{json}");
+}
+
+#[test]
 fn defrag_sim_compares_all_three_policies_and_writes_json() {
     let path = std::env::temp_dir().join(format!("defrag_sim_smoke_{}.json", std::process::id()));
     let path_str = path.to_str().expect("utf-8 temp path");

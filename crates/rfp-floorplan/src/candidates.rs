@@ -13,6 +13,7 @@
 //! to a waste slack, which matters when relocation constraints make a
 //! slightly larger region the only way to obtain a free-compatible area.
 
+use crate::fingerprint::{device_columns, forbidden_rects, region_demand};
 use crate::problem::RegionSpec;
 use rfp_device::{ColumnarPartition, Rect};
 use serde::{Deserialize, Serialize};
@@ -121,7 +122,8 @@ fn min_height(table: &ColumnTable, spec: &RegionSpec, x: u32, w: u32, rows: u32)
 /// Memoisation key: the full structural input of the enumeration. Keyed on
 /// device *structure* (per-column tile types and frames, rows, forbidden
 /// rectangles) rather than the device name, so identical synthetic devices
-/// share entries.
+/// share entries. The canonical device/demand encodings are shared with the
+/// problem-level [`crate::fingerprint::ProblemFingerprint`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     /// Per-column `(tile-type index, frames per tile)`.
@@ -138,22 +140,11 @@ struct CacheKey {
 
 impl CacheKey {
     fn new(partition: &ColumnarPartition, spec: &RegionSpec, config: &CandidateConfig) -> CacheKey {
-        let columns = (1..=partition.cols)
-            .map(|c| {
-                let ty = partition.column_type(c).expect("column inside device");
-                (ty.index(), partition.frames_per_tile(ty))
-            })
-            .collect();
-        let forbidden =
-            partition.forbidden.iter().map(|f| (f.rect.x, f.rect.y, f.rect.w, f.rect.h)).collect();
-        let mut req: Vec<(usize, u32)> =
-            spec.tile_req().iter().map(|&(ty, n)| (ty.index(), n)).collect();
-        req.sort_unstable();
         CacheKey {
-            columns,
+            columns: device_columns(partition),
             rows: partition.rows,
-            forbidden,
-            req,
+            forbidden: forbidden_rects(partition),
+            req: region_demand(spec),
             irredundant_only: config.irredundant_only,
             waste_slack: config.waste_slack,
             max_candidates: config.max_candidates,

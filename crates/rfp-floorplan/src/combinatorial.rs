@@ -592,6 +592,7 @@ mod tests {
                 assert_eq!(e.engine, "combinatorial");
                 sink.lock().unwrap().push(e.objective);
             })),
+            shared_incumbent: None,
         };
         let res =
             solve_combinatorial_with_control(&p, &CombinatorialConfig::default(), &ctl).unwrap();

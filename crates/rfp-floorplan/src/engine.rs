@@ -52,7 +52,8 @@ use crate::sequence_pair::extract_relations;
 use rfp_milp::{Solver as MilpSolver, SolverConfig as MilpSolverConfig};
 use std::borrow::Cow;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 pub use rfp_milp::CancelToken;
@@ -159,6 +160,78 @@ pub struct IncumbentEvent {
 /// Callback type for incumbent-progress notifications.
 pub type IncumbentCallback = Arc<dyn Fn(&IncumbentEvent) + Send + Sync>;
 
+/// The best floorplan found so far across a set of cooperating engine runs.
+///
+/// The portfolio creates one slot per race and hands a clone to every
+/// engine's [`SolveControl`]; when a racer finishes with a feasible (but
+/// unproven) floorplan, its result is [`SharedIncumbent::offer`]ed here and
+/// the still-running MILP engines adopt it as a genuine incumbent (via
+/// [`rfp_milp::ExternalIncumbents`]), pruning their branch-and-bound trees
+/// instead of merely waiting to be cancelled.
+///
+/// Objectives are the composite problem-level objective
+/// ([`Metrics::objective`]) and only order competing offers; consumers
+/// re-derive their own engine-scale objective from the floorplan itself.
+#[derive(Clone, Default)]
+pub struct SharedIncumbent {
+    inner: Arc<Mutex<SharedIncumbentState>>,
+}
+
+#[derive(Default)]
+struct SharedIncumbentState {
+    /// Bumped on every accepted offer; 0 while empty. Lets consumers poll
+    /// cheaply ("anything new since version v?") without cloning.
+    version: u64,
+    objective: f64,
+    floorplan: Option<Floorplan>,
+}
+
+impl SharedIncumbent {
+    /// An empty slot.
+    pub fn new() -> Self {
+        SharedIncumbent::default()
+    }
+
+    /// Offers a floorplan with composite objective `objective` (lower is
+    /// better). The offer is installed — and the version bumped — only when
+    /// the slot is empty or the offer is strictly better. Returns whether it
+    /// was installed.
+    pub fn offer(&self, objective: f64, floorplan: &Floorplan) -> bool {
+        let mut s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if s.floorplan.is_none() || objective < s.objective {
+            s.version += 1;
+            s.objective = objective;
+            s.floorplan = Some(floorplan.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Version of the current content (0 = empty, then monotonically
+    /// increasing).
+    pub fn version(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).version
+    }
+
+    /// The best offer so far as `(version, objective, floorplan)`.
+    pub fn best(&self) -> Option<(u64, f64, Floorplan)> {
+        let s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        s.floorplan.as_ref().map(|fp| (s.version, s.objective, fp.clone()))
+    }
+}
+
+impl fmt::Debug for SharedIncumbent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("SharedIncumbent")
+            .field("version", &s.version)
+            .field("objective", &s.objective)
+            .field("has_floorplan", &s.floorplan.is_some())
+            .finish()
+    }
+}
+
 /// Run-time control handed to [`FloorplanEngine::solve`]: cooperative
 /// cancellation plus optional progress reporting. Cloning shares the same
 /// cancellation flag.
@@ -169,6 +242,9 @@ pub struct SolveControl {
     pub cancel: CancelToken,
     /// Invoked every time the engine finds a strictly better incumbent.
     pub on_incumbent: Option<IncumbentCallback>,
+    /// Cross-engine incumbent slot; the MILP engines poll it once per
+    /// branch-and-bound node and adopt better floorplans as incumbents.
+    pub shared_incumbent: Option<SharedIncumbent>,
 }
 
 impl fmt::Debug for SolveControl {
@@ -176,6 +252,7 @@ impl fmt::Debug for SolveControl {
         f.debug_struct("SolveControl")
             .field("cancel", &self.cancel)
             .field("on_incumbent", &self.on_incumbent.as_ref().map(|_| "Fn"))
+            .field("shared_incumbent", &self.shared_incumbent)
             .finish()
     }
 }
@@ -183,7 +260,7 @@ impl fmt::Debug for SolveControl {
 impl SolveControl {
     /// A control whose token is shared with `cancel`.
     pub fn with_cancel(cancel: CancelToken) -> Self {
-        SolveControl { cancel, on_incumbent: None }
+        SolveControl { cancel, on_incumbent: None, shared_incumbent: None }
     }
 
     /// Delivers an incumbent event to the callback, if any.
@@ -487,6 +564,43 @@ impl EngineRegistry {
     }
 }
 
+/// Anything that can resolve an engine id and run a solve: the seam between
+/// solve *consumers* (the online simulator, the CLI) and solve *providers*.
+///
+/// Two canonical implementations: [`EngineRegistry`] dispatches inline on
+/// the caller's thread, and `rfp-service`'s `SolveService` routes the
+/// request through its job queue and cross-request outcome cache. Consumers
+/// written against this trait get caching and queueing for free when the
+/// caller wires a service in.
+pub trait SolveDispatcher: Send + Sync {
+    /// Solves `req` on the engine registered under `engine`. An unknown id
+    /// is reported as an [`OutcomeStatus::Infeasible`] outcome (with a
+    /// detail message), not a panic, mirroring how engines report their own
+    /// failures.
+    fn dispatch(&self, engine: &str, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome;
+
+    /// `true` when `engine` would resolve to a real engine — lets callers
+    /// fail fast on typos before queueing work.
+    fn knows(&self, engine: &str) -> bool;
+}
+
+impl SolveDispatcher for EngineRegistry {
+    fn dispatch(&self, engine: &str, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
+        match self.get(engine) {
+            Some(e) => e.solve(req, ctl),
+            None => SolveOutcome::without_floorplan(
+                OutcomeStatus::Infeasible,
+                format!("unknown engine `{engine}` (known: {})", self.ids().join(", ")),
+                EngineStats::new("registry"),
+            ),
+        }
+    }
+
+    fn knows(&self, engine: &str) -> bool {
+        self.get(engine).is_some()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Built-in engines.
 // ---------------------------------------------------------------------------
@@ -684,6 +798,7 @@ fn solve_milp_engine(
                             cb(&IncumbentEvent { engine: engine_id, ..*e })
                         }) as IncumbentCallback
                     }),
+                    shared_incumbent: None,
                 };
                 let seed_cfg = CombinatorialConfig {
                     first_feasible: true,
@@ -756,8 +871,32 @@ fn solve_milp_engine(
             MilpBuildConfig::heuristic_optimal(extract_relations(&rects))
         }
     };
-    let model = FloorplanMilp::build(&problem, &build_cfg);
+    let model = Arc::new(FloorplanMilp::build(&problem, &build_cfg));
     stats.model_stats = Some(model.stats());
+
+    // Cross-engine cooperation: floorplans offered by racing engines are
+    // encoded into this model's variable space and adopted as incumbents by
+    // the branch-and-bound, pruning the tree. The version gate keeps the
+    // per-node poll allocation-free until something new actually arrives.
+    if let Some(shared) = &ctl.shared_incumbent {
+        let shared = shared.clone();
+        let model = Arc::clone(&model);
+        let problem_owned = problem.as_ref().clone();
+        let last_seen = AtomicU64::new(0);
+        cfg.external_incumbents = rfp_milp::ExternalIncumbents::from_fn(move || {
+            let version = shared.version();
+            if version == 0 || version == last_seen.load(Ordering::Relaxed) {
+                return None;
+            }
+            last_seen.store(version, Ordering::Relaxed);
+            let (_, _, fp) = shared.best()?;
+            if !fp.validate(&problem_owned).is_empty() {
+                return None;
+            }
+            model.encode(&problem_owned, &fp)
+        });
+    }
+
     let solver = MilpSolver::new(cfg);
     let start = warm.and_then(|fp| model.encode(&problem, &fp));
     let progress = |obj: f64, secs: f64| ctl.report_incumbent(engine_id, obj, secs);
@@ -954,6 +1093,7 @@ mod tests {
             on_incumbent: Some(Arc::new(move |e: &IncumbentEvent| {
                 sink.lock().unwrap().push(*e);
             })),
+            shared_incumbent: None,
         };
         let outcome = EngineRegistry::builtin()
             .get("combinatorial")

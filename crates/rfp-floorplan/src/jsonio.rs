@@ -675,7 +675,15 @@ fn check_header(doc: &JsonValue, format: &str) -> Result<(), JsonError> {
 /// validated here; call [`FloorplanProblem::validate`] before solving.
 pub fn read_problem(input: &str) -> Result<FloorplanProblem, JsonError> {
     let doc = parse(input)?;
-    check_header(&doc, PROBLEM_FORMAT)?;
+    read_problem_value(&doc)
+}
+
+/// Parses an already-parsed `rfp-problem` v1 value into a
+/// [`FloorplanProblem`] — the entry point for documents that *embed* a
+/// problem (e.g. the `problem` field of an `rfp serve` submit line), where
+/// the caller has parsed the enclosing line already.
+pub fn read_problem_value(doc: &JsonValue) -> Result<FloorplanProblem, JsonError> {
+    check_header(doc, PROBLEM_FORMAT)?;
 
     let (partition, ids) = read_device(doc.field("device")?)?;
 

@@ -16,6 +16,9 @@
 //!   validator that re-checks every constraint of the formulation.
 //! * [`candidates`] — enumeration of the irredundant candidate rectangles of
 //!   a region on a columnar-partitioned device.
+//! * [`fingerprint`] — stable FNV-1a digests of device structure, demand and
+//!   configuration ([`fingerprint::ProblemFingerprint`]); the key of the
+//!   solve service's cross-request outcome cache.
 //! * [`model`] — the MILP formulation: the base floorplanning model of [10]
 //!   restricted to columnar devices, the forbidden-area constraints
 //!   (Eqs. 1-2), the portion-offset variables (Eqs. 4-5), relocation as a
@@ -84,6 +87,7 @@ pub mod engine;
 pub mod error;
 pub mod export;
 pub mod feasibility;
+pub mod fingerprint;
 pub mod heuristic;
 pub mod jsonio;
 pub mod model;
@@ -98,10 +102,11 @@ pub mod solver;
 pub mod prelude {
     pub use crate::engine::{
         adapt_floorplan, CancelToken, EngineRegistry, EngineStats, FloorplanEngine, IncumbentEvent,
-        OutcomeStatus, SolveControl, SolveOutcome, SolveRequest,
+        OutcomeStatus, SharedIncumbent, SolveControl, SolveDispatcher, SolveOutcome, SolveRequest,
     };
     pub use crate::error::FloorplanError;
     pub use crate::feasibility::{feasibility_analysis, RegionFeasibility};
+    pub use crate::fingerprint::ProblemFingerprint;
     pub use crate::placement::{FcPlacement, Floorplan, Metrics};
     pub use crate::portfolio::{Portfolio, RaceOutcome};
     pub use crate::problem::{
@@ -113,9 +118,10 @@ pub mod prelude {
 
 pub use engine::{
     adapt_floorplan, CancelToken, EngineRegistry, EngineStats, FloorplanEngine, IncumbentEvent,
-    OutcomeStatus, SolveControl, SolveOutcome, SolveRequest,
+    OutcomeStatus, SharedIncumbent, SolveControl, SolveDispatcher, SolveOutcome, SolveRequest,
 };
 pub use error::FloorplanError;
+pub use fingerprint::ProblemFingerprint;
 pub use placement::{FcPlacement, Floorplan, Metrics};
 pub use portfolio::{Portfolio, RaceOutcome};
 pub use problem::{

@@ -118,6 +118,13 @@ impl Portfolio {
     /// token aborts the whole race, and its incumbent callback receives the
     /// merged progress stream of every engine (events carry the reporting
     /// engine's id).
+    ///
+    /// The legs also *cooperate*: every engine shares one
+    /// [`crate::engine::SharedIncumbent`] slot (the caller's, when `ctl`
+    /// carries one), and
+    /// a leg that finishes with a feasible-but-unproven floorplan offers it
+    /// there, so still-running MILP legs adopt it as an incumbent and prune
+    /// their trees instead of merely waiting to be beaten or cancelled.
     pub fn race_controlled(&self, req: &SolveRequest, ctl: &SolveControl) -> RaceOutcome {
         if self.engines.is_empty() {
             return RaceOutcome { winner: None, entries: Vec::new() };
@@ -125,14 +132,18 @@ impl Portfolio {
 
         let tokens: Vec<CancelToken> = self.engines.iter().map(|_| CancelToken::new()).collect();
         let on_incumbent: Option<IncumbentCallback> = ctl.on_incumbent.clone();
+        let shared = ctl.shared_incumbent.clone().unwrap_or_default();
 
         let (tx, rx) = mpsc::channel::<(usize, SolveOutcome)>();
         let mut slots: Vec<Option<RaceEntry>> = vec![None; self.engines.len()];
         std::thread::scope(|scope| {
             for (i, engine) in self.engines.iter().enumerate() {
                 let tx = tx.clone();
-                let engine_ctl =
-                    SolveControl { cancel: tokens[i].clone(), on_incumbent: on_incumbent.clone() };
+                let engine_ctl = SolveControl {
+                    cancel: tokens[i].clone(),
+                    on_incumbent: on_incumbent.clone(),
+                    shared_incumbent: Some(shared.clone()),
+                };
                 let engine = engine.clone();
                 scope.spawn(move || {
                     let outcome = engine.solve(req, &engine_ctl);
@@ -153,6 +164,10 @@ impl Portfolio {
                                     t.cancel();
                                 }
                             }
+                        } else if let (Some(fp), Some(m)) = (&outcome.floorplan, &outcome.metrics) {
+                            // A finished-but-unproven leg feeds its best
+                            // floorplan to the engines still running.
+                            shared.offer(m.objective, fp);
                         }
                         slots[i] = Some(RaceEntry {
                             engine: self.engines[i].id().to_string(),
@@ -343,6 +358,80 @@ mod tests {
         ]);
         let race = portfolio.race(&SolveRequest::new(tiny_problem()));
         assert_eq!(race.winning_entry().unwrap().engine, "better");
+    }
+
+    /// An engine that blocks until a sibling's result appears in the shared
+    /// incumbent slot, then returns that very floorplan — the probe for
+    /// cross-engine incumbent sharing.
+    struct SharedIncumbentProbe {
+        saw_version: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl crate::engine::FloorplanEngine for SharedIncumbentProbe {
+        fn id(&self) -> &'static str {
+            "probe"
+        }
+        fn description(&self) -> &'static str {
+            "test engine that waits for a shared incumbent"
+        }
+        fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
+            let shared = ctl.shared_incumbent.as_ref().expect("the race installs a shared slot");
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while shared.version() == 0 && !ctl.cancel.is_cancelled() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "no shared incumbent arrived within the deadline"
+                );
+                std::thread::yield_now();
+            }
+            let (version, objective, fp) =
+                shared.best().expect("a non-zero version implies a stored floorplan");
+            self.saw_version.store(version, std::sync::atomic::Ordering::SeqCst);
+            let mut metrics = fp.metrics(&req.problem);
+            metrics.objective = objective;
+            SolveOutcome {
+                status: OutcomeStatus::Feasible,
+                floorplan: Some(fp),
+                metrics: Some(metrics),
+                detail: Some("adopted the shared incumbent".into()),
+                stats: EngineStats::new("probe"),
+            }
+        }
+    }
+
+    #[test]
+    fn losers_feed_their_result_to_still_running_engines() {
+        // `fast-loser` finishes immediately with a feasible-but-unproven
+        // floorplan; the race must offer it to the shared slot, where the
+        // still-running probe engine picks it up. Without the offer the probe
+        // would spin to its deadline and panic.
+        let saw_version = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let portfolio = Portfolio::new(vec![
+            Arc::new(Fixed::new("fast-loser", 7)),
+            Arc::new(SharedIncumbentProbe { saw_version: saw_version.clone() }),
+        ]);
+        let race = portfolio.race(&SolveRequest::new(tiny_problem()));
+        assert!(
+            saw_version.load(std::sync::atomic::Ordering::SeqCst) > 0,
+            "the probe must observe the loser's offer"
+        );
+        let probe = race.entries.iter().find(|e| e.engine == "probe").unwrap();
+        assert_eq!(
+            probe.outcome.metrics.as_ref().unwrap().objective,
+            7.0,
+            "the probe must have received exactly the loser's floorplan"
+        );
+    }
+
+    #[test]
+    fn a_caller_provided_shared_slot_receives_the_offers() {
+        let shared = crate::engine::SharedIncumbent::new();
+        let ctl = SolveControl { shared_incumbent: Some(shared.clone()), ..Default::default() };
+        let portfolio = Portfolio::new(vec![Arc::new(Fixed::new("only", 4))]);
+        let race = portfolio.race_controlled(&SolveRequest::new(tiny_problem()), &ctl);
+        assert!(race.winner.is_some());
+        let (_, objective, _) = shared.best().expect("the caller's slot must be filled");
+        assert_eq!(objective, 4.0);
     }
 
     #[test]

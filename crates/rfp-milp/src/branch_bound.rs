@@ -33,8 +33,58 @@ use crate::solution::{Solution, SolveStatus};
 use crate::tol;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A source of externally-discovered feasible assignments, polled once per
+/// branch-and-bound node.
+///
+/// This is how racing engines cooperate: a portfolio can hand a solution
+/// found by one engine to the still-running MILP search, where it is
+/// validated and — when feasible, integral and better than the current
+/// incumbent — installed as a genuine incumbent, so the normal
+/// prune-by-bound machinery cuts the tree. Installing a *solution* rather
+/// than a bare objective bound keeps the status accounting sound: a search
+/// whose tree empties still holds a feasible assignment to return.
+///
+/// The closure should be cheap and non-blocking (e.g. a version-gated read
+/// of a shared slot returning `None` when nothing new arrived); it is called
+/// on the hot path.
+#[derive(Clone, Default)]
+pub struct ExternalIncumbents {
+    source: Option<Arc<dyn Fn() -> Option<Vec<f64>> + Send + Sync>>,
+}
+
+impl ExternalIncumbents {
+    /// A source that never produces anything (the default).
+    pub fn none() -> Self {
+        ExternalIncumbents::default()
+    }
+
+    /// Wraps a polling closure. Returning `None` means "nothing new";
+    /// returning `Some(values)` proposes a full variable assignment, which
+    /// the solver validates before adopting.
+    pub fn from_fn(f: impl Fn() -> Option<Vec<f64>> + Send + Sync + 'static) -> Self {
+        ExternalIncumbents { source: Some(Arc::new(f)) }
+    }
+
+    /// Polls the source, if any.
+    pub fn poll(&self) -> Option<Vec<f64>> {
+        self.source.as_ref().and_then(|f| f())
+    }
+}
+
+impl fmt::Debug for ExternalIncumbents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.source.is_some() {
+            "ExternalIncumbents(set)"
+        } else {
+            "ExternalIncumbents(none)"
+        })
+    }
+}
 
 /// Selection rule for the branching variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +144,9 @@ pub struct SolverConfig {
     /// search; a cancelled solve reports [`crate::SolveStatus::Feasible`] or
     /// [`crate::SolveStatus::Unknown`] with [`Solution::cancelled`] set.
     pub cancel: CancelToken,
+    /// Externally-discovered incumbents (see [`ExternalIncumbents`]), polled
+    /// once per node.
+    pub external_incumbents: ExternalIncumbents,
 }
 
 impl Default for SolverConfig {
@@ -112,6 +165,7 @@ impl Default for SolverConfig {
             max_cuts_per_round: 64,
             use_dense_lp: false,
             cancel: CancelToken::default(),
+            external_incumbents: ExternalIncumbents::none(),
         }
     }
 }
@@ -425,6 +479,26 @@ impl Solver {
         let mut hit_limit = false;
 
         while let Some(OrderedNode(node)) = heap.pop() {
+            // Adopt externally-discovered solutions (portfolio cooperation)
+            // before any pruning decision, so a fresh incumbent cuts this
+            // very node.
+            if let Some(mut values) = self.config.external_incumbents.poll() {
+                if values.len() == n {
+                    for &j in &int_vars {
+                        values[j] = values[j].round();
+                    }
+                    if model.is_feasible(&values, tol::WARM_START) {
+                        let obj_min = to_min(model.objective.eval(&values));
+                        if incumbent.as_ref().is_none_or(|(best, _)| obj_min < *best) {
+                            incumbent = Some((obj_min, values));
+                            notify(from_min(obj_min));
+                            if self.config.stop_at_first_feasible {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
             // Global bound = min over the popped node and everything remaining.
             best_bound_min = node.bound.max(best_bound_min.min(node.bound));
             if let Some((inc_obj, _)) = &incumbent {
@@ -1128,5 +1202,82 @@ mod tests {
         assert_eq!(s1.status, s2.status);
         assert_eq!(s1.values, s2.values);
         assert_eq!(s1.nodes, s2.nodes);
+    }
+
+    /// A subset-sum style model with **no integrality gap**: the LP bound
+    /// equals the integer optimum, so a best-first search without an
+    /// incumbent must wander through bound-tied nodes hunting for an
+    /// integral leaf, while a search holding the optimum as incumbent
+    /// closes the gap immediately. This is exactly the situation of a MILP
+    /// leg in a portfolio race whose sibling has already found the optimum.
+    fn pruning_probe_model() -> Model {
+        let mut m = Model::new("external-inc", Sense::Maximize);
+        let vars: Vec<_> = (0..16).map(|i| m.bin_var(format!("b{i}"))).collect();
+        let w = |i: usize| (2 * i + 3) as f64;
+        m.add_con(
+            "cap",
+            LinExpr::weighted_sum(vars.iter().enumerate().map(|(i, &v)| (v, w(i)))),
+            ConOp::Le,
+            55.0,
+        );
+        m.set_objective(LinExpr::weighted_sum(vars.iter().enumerate().map(|(i, &v)| (v, w(i)))));
+        m
+    }
+
+    #[test]
+    fn external_incumbents_prune_the_tree() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Disable the incumbent heuristics so the cold run really has to
+        // search for its first incumbent — the scenario a racing portfolio
+        // engine is in when a sibling finishes first.
+        let cold_cfg = SolverConfig { dive_period: 0, cut_rounds: 0, ..SolverConfig::default() };
+        let cold = Solver::new(cold_cfg.clone()).solve(&pruning_probe_model());
+        assert_eq!(cold.status, SolveStatus::Optimal);
+        assert!(cold.nodes > 10, "the cold run must need a real tree, got {}", cold.nodes);
+
+        // Hand the cold run's optimal assignment in through the external
+        // source, as a portfolio loser would.
+        let optimum = cold.values.clone();
+        let polls = Arc::new(AtomicUsize::new(0));
+        let polls_probe = polls.clone();
+        let warm_cfg = SolverConfig {
+            external_incumbents: ExternalIncumbents::from_fn(move || {
+                // First poll delivers, later polls report "nothing new".
+                if polls_probe.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Some(optimum.clone())
+                } else {
+                    None
+                }
+            }),
+            ..cold_cfg
+        };
+        let warm = Solver::new(warm_cfg).solve(&pruning_probe_model());
+        assert_eq!(warm.status, SolveStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        assert!(polls.load(Ordering::SeqCst) >= 1, "the source must be polled");
+        assert!(
+            warm.nodes < cold.nodes,
+            "an adopted external incumbent must prune the tree ({} vs {} nodes)",
+            warm.nodes,
+            cold.nodes
+        );
+    }
+
+    #[test]
+    fn malformed_external_incumbents_are_ignored() {
+        // Wrong length and infeasible proposals must be rejected without
+        // corrupting the solve.
+        let junk = Arc::new(std::sync::Mutex::new(vec![
+            vec![1.0; 3],  // wrong arity
+            vec![1.0; 14], // violates every capacity constraint
+        ]));
+        let cfg = SolverConfig {
+            external_incumbents: ExternalIncumbents::from_fn(move || junk.lock().unwrap().pop()),
+            ..SolverConfig::default()
+        };
+        let sol = Solver::new(cfg).solve(&pruning_probe_model());
+        let clean = Solver::default().solve(&pruning_probe_model());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - clean.objective).abs() < 1e-9);
     }
 }

@@ -72,14 +72,14 @@ pub mod tol;
 
 /// Convenient glob import for users of the solver.
 pub mod prelude {
-    pub use crate::branch_bound::{BranchRule, Solver, SolverConfig};
+    pub use crate::branch_bound::{BranchRule, ExternalIncumbents, Solver, SolverConfig};
     pub use crate::cancel::CancelToken;
     pub use crate::expr::LinExpr;
     pub use crate::model::{ConOp, Model, Sense, VarId, VarKind};
     pub use crate::solution::{Solution, SolveStatus};
 }
 
-pub use branch_bound::{BranchRule, Solver, SolverConfig};
+pub use branch_bound::{BranchRule, ExternalIncumbents, Solver, SolverConfig};
 pub use cancel::CancelToken;
 pub use expr::LinExpr;
 pub use model::{ConOp, Model, Sense, VarId, VarKind};

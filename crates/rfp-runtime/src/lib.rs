@@ -69,7 +69,10 @@ pub mod scheduler;
 
 pub use defrag::{CompactionGoal, DefragPlanner, DefragPolicy, LiveModule, PlannedMove};
 pub use frag::{frag_metrics, FragMetrics};
-pub use online::{simulate, simulate_with_registry, OnlineConfig, OnlineFloorplanner, SimError};
+pub use online::{
+    simulate, simulate_with_dispatcher, simulate_with_registry, OnlineConfig, OnlineFloorplanner,
+    SimError,
+};
 pub use report::{read_sim_report, EventRecord, SimReport};
 pub use scenario::{read_scenario, write_scenario, Event, EventKind, ModuleId, Scenario};
 pub use scheduler::{ExecutedMove, MoveScheduler};

@@ -49,10 +49,13 @@ use crate::scenario::{EventKind, ModuleId, Scenario};
 use crate::scheduler::MoveScheduler;
 use rfp_bitstream::{Bitstream, ConfigMemory, MoveKind};
 use rfp_device::{ColumnarPartition, Rect};
-use rfp_floorplan::engine::{adapt_floorplan, EngineRegistry, SolveControl, SolveRequest};
+use rfp_floorplan::engine::{
+    adapt_floorplan, EngineRegistry, SolveControl, SolveDispatcher, SolveRequest,
+};
 use rfp_floorplan::{Floorplan, FloorplanProblem, ObjectiveWeights, RegionSpec, SolveOutcome};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the online floorplanner.
@@ -139,7 +142,7 @@ struct Traffic {
 pub struct OnlineFloorplanner {
     partition: ColumnarPartition,
     config: OnlineConfig,
-    registry: EngineRegistry,
+    dispatcher: Arc<dyn SolveDispatcher>,
     scheduler: MoveScheduler,
     running: BTreeMap<ModuleId, Running>,
     /// Arrivals that were rejected (their departures are no-ops).
@@ -157,11 +160,22 @@ impl OnlineFloorplanner {
         registry: EngineRegistry,
         config: OnlineConfig,
     ) -> Self {
+        Self::with_dispatcher(partition, Arc::new(registry), config)
+    }
+
+    /// Creates an empty online floorplanner that escalates through an
+    /// arbitrary [`SolveDispatcher`] — a bare [`EngineRegistry`], or a
+    /// queue-worker solve service with its outcome cache.
+    pub fn with_dispatcher(
+        partition: ColumnarPartition,
+        dispatcher: Arc<dyn SolveDispatcher>,
+        config: OnlineConfig,
+    ) -> Self {
         OnlineFloorplanner {
             partition,
             scheduler: MoveScheduler::for_policy(config.policy),
             config,
-            registry,
+            dispatcher,
             running: BTreeMap::new(),
             rejected: BTreeSet::new(),
             memory: ConfigMemory::new(),
@@ -337,8 +351,7 @@ impl OnlineFloorplanner {
         if let Some(hint) = hint {
             req = req.with_warm_start(hint);
         }
-        let engine = self.registry.get(&self.config.engine)?;
-        let outcome = engine.solve(&req, &SolveControl::default());
+        let outcome = self.dispatcher.dispatch(&self.config.engine, &req, &SolveControl::default());
         let target = outcome.floorplan.clone()?;
 
         // Replay the layout difference as a sequence of safe moves: pick any
@@ -734,15 +747,27 @@ pub fn simulate_with_registry(
     config: &OnlineConfig,
     registry: EngineRegistry,
 ) -> Result<SimReport, SimError> {
+    simulate_with_dispatcher(scenario, config, Arc::new(registry))
+}
+
+/// [`simulate`] with an arbitrary [`SolveDispatcher`] behind the
+/// escalation re-solves — e.g. a queue-worker solve service whose outcome
+/// cache then warm-starts repeated escalations across a scenario.
+pub fn simulate_with_dispatcher(
+    scenario: &Scenario,
+    config: &OnlineConfig,
+    dispatcher: Arc<dyn SolveDispatcher>,
+) -> Result<SimReport, SimError> {
     let issues = scenario.validate();
     if !issues.is_empty() {
         return Err(SimError::InvalidScenario(issues));
     }
-    if registry.get(&config.engine).is_none() {
+    if !dispatcher.knows(&config.engine) {
         return Err(SimError::UnknownEngine(config.engine.clone()));
     }
     let start = Instant::now();
-    let mut sim = OnlineFloorplanner::new(scenario.partition.clone(), registry, config.clone());
+    let mut sim =
+        OnlineFloorplanner::with_dispatcher(scenario.partition.clone(), dispatcher, config.clone());
     // Events sharing a timestamp are simultaneous: play them as one batch
     // (one proactive-compaction check, one escalation pipeline).
     let mut events: Vec<EventRecord> = Vec::with_capacity(scenario.events.len());

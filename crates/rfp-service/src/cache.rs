@@ -1,0 +1,196 @@
+//! The cross-request outcome cache.
+//!
+//! Keyed on [`ProblemFingerprint`] — the stable digest of device structure,
+//! demand and configuration — so two submissions of the *same* problem hit
+//! the same entry no matter how their JSON was formatted or what the regions
+//! were called. Three outcomes of a lookup:
+//!
+//! * **exact** — an identical problem was solved before; its
+//!   [`SolveOutcome`] is returned as-is. A proven outcome can be served
+//!   without running any engine at all (the fast path behind the service's
+//!   repeat-job throughput).
+//! * **near** — a problem on the same device at a small
+//!   [`ProblemFingerprint::distance`]; the cached floorplan is adapted to
+//!   the new region list (regions are matched *by name* across requests)
+//!   and handed back as a warm start.
+//! * **miss** — nothing usable; the job solves cold.
+//!
+//! Only floorplan-bearing outcomes are cached: an infeasibility proof is
+//! cheap to re-derive relative to the risk of serving it for a near-match,
+//! and a budget-exhausted run carries nothing to warm-start from.
+
+use rfp_floorplan::engine::{adapt_floorplan, SolveOutcome};
+use rfp_floorplan::fingerprint::ProblemFingerprint;
+use rfp_floorplan::placement::Floorplan;
+use rfp_floorplan::problem::FloorplanProblem;
+
+/// Result of an [`OutcomeCache::lookup`].
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// An identical problem (same fingerprint) was solved before. Boxed so
+    /// the miss arm of a lookup stays pointer-sized.
+    Exact(Box<SolveOutcome>),
+    /// A nearby problem's floorplan was adapted into a warm start.
+    Near {
+        /// The adapted, validated floorplan to warm-start from.
+        warm: Floorplan,
+        /// The fingerprint distance of the donor entry.
+        distance: u64,
+    },
+    /// Nothing usable cached.
+    Miss,
+}
+
+struct CacheEntry {
+    fingerprint: ProblemFingerprint,
+    /// Region names of the cached problem, in region order — the join key
+    /// that maps a near-match's regions onto the cached floorplan.
+    region_names: Vec<String>,
+    outcome: SolveOutcome,
+}
+
+/// A bounded, insertion-ordered outcome cache (oldest entry evicted first;
+/// exact re-insertions refresh the entry's position).
+pub struct OutcomeCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    max_distance: u64,
+    hits: u64,
+    near_hits: u64,
+    misses: u64,
+}
+
+/// Default maximum number of cached outcomes.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Default maximum fingerprint distance accepted for a near hit. The
+/// distance scale (see [`ProblemFingerprint::distance`]) charges 1 for a
+/// weight change, and `16 + 4·Δregions + Δframes` for a demand change, so
+/// 256 admits moderate demand edits while rejecting wholesale rewrites.
+pub const DEFAULT_MAX_DISTANCE: u64 = 256;
+
+impl Default for OutcomeCache {
+    fn default() -> Self {
+        OutcomeCache::new(DEFAULT_CAPACITY, DEFAULT_MAX_DISTANCE)
+    }
+}
+
+impl OutcomeCache {
+    /// An empty cache holding at most `capacity` entries and accepting near
+    /// hits up to `max_distance`.
+    pub fn new(capacity: usize, max_distance: u64) -> Self {
+        OutcomeCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            max_distance,
+            hits: 0,
+            near_hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters `(exact hits, near hits, misses)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.near_hits, self.misses)
+    }
+
+    /// Looks the problem up. `fingerprint` must be
+    /// [`ProblemFingerprint::of`] the same problem (the caller usually has
+    /// it already for the job record).
+    pub fn lookup(
+        &mut self,
+        problem: &FloorplanProblem,
+        fingerprint: &ProblemFingerprint,
+    ) -> CacheLookup {
+        if let Some(entry) = self.entries.iter().find(|e| e.fingerprint == *fingerprint) {
+            self.hits += 1;
+            return CacheLookup::Exact(Box::new(entry.outcome.clone()));
+        }
+
+        // Near lookup: rank same-device entries by fingerprint distance and
+        // take the first whose floorplan actually adapts to the new problem.
+        let mut nearby: Vec<(u64, usize)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let d = fingerprint.distance(&e.fingerprint)?;
+                (d <= self.max_distance).then_some((d, i))
+            })
+            .collect();
+        nearby.sort_unstable();
+        for (distance, i) in nearby {
+            let entry = &self.entries[i];
+            let previous = entry.outcome.floorplan.as_ref().expect("only floorplans are cached");
+            let mapping: Vec<Option<usize>> = problem
+                .regions
+                .iter()
+                .map(|r| entry.region_names.iter().position(|n| *n == r.name))
+                .collect();
+            if let Some(warm) = adapt_floorplan(previous, &mapping, problem) {
+                self.near_hits += 1;
+                return CacheLookup::Near { warm, distance };
+            }
+        }
+        self.misses += 1;
+        CacheLookup::Miss
+    }
+
+    /// Caches a solved outcome. Outcomes without a floorplan are ignored. An
+    /// existing entry with the same fingerprint is replaced only when the
+    /// new outcome is at least as good (proven beats unproven, then lower
+    /// composite objective); either way the entry moves to the freshest
+    /// position.
+    pub fn insert(&mut self, problem: &FloorplanProblem, outcome: &SolveOutcome) {
+        if outcome.floorplan.is_none() {
+            return;
+        }
+        let fingerprint = ProblemFingerprint::of(problem);
+        let region_names: Vec<String> = problem.regions.iter().map(|r| r.name.clone()).collect();
+        let replaced = match self.entries.iter().position(|e| e.fingerprint == fingerprint) {
+            Some(i) => {
+                let old = self.entries.remove(i);
+                if Self::better(outcome, &old.outcome) {
+                    CacheEntry { fingerprint, region_names, outcome: outcome.clone() }
+                } else {
+                    old
+                }
+            }
+            None => CacheEntry { fingerprint, region_names, outcome: outcome.clone() },
+        };
+        self.entries.push(replaced);
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+        }
+    }
+
+    fn better(new: &SolveOutcome, old: &SolveOutcome) -> bool {
+        if new.is_proven() != old.is_proven() {
+            return new.is_proven();
+        }
+        let obj = |o: &SolveOutcome| o.metrics.as_ref().map_or(f64::INFINITY, |m| m.objective);
+        obj(new) <= obj(old)
+    }
+}
+
+impl std::fmt::Debug for OutcomeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutcomeCache")
+            .field("len", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits)
+            .field("near_hits", &self.near_hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}

@@ -1,0 +1,244 @@
+//! A hand-rolled MPMC job queue with per-job priorities.
+//!
+//! No async runtime, no channels: a [`std::sync::Mutex`] around a
+//! [`BTreeMap`] plus a [`Condvar`]. The map is keyed by
+//! `(Reverse(priority), sequence)`, so iteration order *is* dispatch order:
+//! higher priorities first, FIFO within a priority. Any number of producers
+//! push and any number of workers block in [`JobQueue::pop`]; closing the
+//! queue lets the workers drain what is left and then observe
+//! [`Pop::Closed`].
+
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+
+/// Result of a (blocking) [`JobQueue::pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// A job was dequeued.
+    Item {
+        /// The id it was pushed under.
+        id: u64,
+        /// The job payload.
+        item: T,
+    },
+    /// The queue was closed and fully drained; the worker should exit.
+    Closed,
+}
+
+/// Dispatch order within the queue: higher priority first, then FIFO.
+type QueueKey = (Reverse<i32>, u64);
+
+struct QueueState<T> {
+    entries: BTreeMap<QueueKey, (u64, T)>,
+    /// Reverse index so [`JobQueue::remove`] does not scan: id → key.
+    index: std::collections::HashMap<u64, QueueKey>,
+    seq: u64,
+    closed: bool,
+}
+
+/// A blocking multi-producer multi-consumer priority queue.
+///
+/// ```
+/// use rfp_service::queue::{JobQueue, Pop};
+/// let q: JobQueue<&str> = JobQueue::new();
+/// q.push(1, 0, "background");
+/// q.push(2, 5, "urgent");
+/// assert_eq!(q.pop(), Pop::Item { id: 2, item: "urgent" });
+/// q.close();
+/// assert_eq!(q.pop(), Pop::Item { id: 1, item: "background" });
+/// assert_eq!(q.pop(), Pop::Closed);
+/// ```
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                entries: BTreeMap::new(),
+                index: std::collections::HashMap::new(),
+                seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job under `id`. Higher `priority` dispatches earlier; equal
+    /// priorities dispatch in push order. Returns `false` (and drops the
+    /// item) when the queue is closed.
+    pub fn push(&self, id: u64, priority: i32, item: T) -> bool {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.closed {
+            return false;
+        }
+        let key = (Reverse(priority), s.seq);
+        s.seq += 1;
+        s.entries.insert(key, (id, item));
+        s.index.insert(id, key);
+        drop(s);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until a job is available or the queue is closed *and* drained.
+    pub fn pop(&self) -> Pop<T> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some((&key, _)) = s.entries.iter().next() {
+                let (id, item) = s.entries.remove(&key).expect("key just observed");
+                s.index.remove(&id);
+                return Pop::Item { id, item };
+            }
+            if s.closed {
+                return Pop::Closed;
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Removes a not-yet-dispatched job — the cancel-before-dispatch path.
+    /// Returns `None` when the job was already popped (or never pushed).
+    pub fn remove(&self, id: u64) -> Option<T> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let key = s.index.remove(&id)?;
+        Some(s.entries.remove(&key).expect("index and entries agree").1)
+    }
+
+    /// Number of queued (not yet dispatched) jobs.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).entries.len()
+    }
+
+    /// `true` when no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: further pushes are rejected, and once the remaining
+    /// jobs are drained every blocked and future [`JobQueue::pop`] returns
+    /// [`Pop::Closed`].
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn priorities_dispatch_high_first_and_fifo_within() {
+        let q: JobQueue<u32> = JobQueue::new();
+        q.push(1, 0, 10);
+        q.push(2, 7, 20);
+        q.push(3, 7, 30);
+        q.push(4, -1, 40);
+        assert_eq!(q.pop(), Pop::Item { id: 2, item: 20 });
+        assert_eq!(q.pop(), Pop::Item { id: 3, item: 30 });
+        assert_eq!(q.pop(), Pop::Item { id: 1, item: 10 });
+        assert_eq!(q.pop(), Pop::Item { id: 4, item: 40 });
+    }
+
+    #[test]
+    fn close_drains_before_reporting_closed() {
+        let q: JobQueue<&str> = JobQueue::new();
+        q.push(1, 0, "left-over");
+        q.close();
+        assert!(!q.push(2, 0, "late"), "pushes after close must be rejected");
+        assert_eq!(q.pop(), Pop::Item { id: 1, item: "left-over" });
+        assert_eq!(q.pop(), Pop::Closed);
+        assert_eq!(q.pop(), Pop::Closed);
+    }
+
+    #[test]
+    fn remove_takes_a_queued_job_exactly_once() {
+        let q: JobQueue<&str> = JobQueue::new();
+        q.push(1, 0, "a");
+        q.push(2, 0, "b");
+        assert_eq!(q.remove(2), Some("b"));
+        assert_eq!(q.remove(2), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Pop::Item { id: 1, item: "a" });
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_push_and_on_close() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new());
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the popper a moment to block, then feed it.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(9, 0, 99);
+        assert_eq!(popper.join().unwrap(), Pop::Item { id: 9, item: 99 });
+
+        let closer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(closer.join().unwrap(), Pop::Closed);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q: Arc<JobQueue<u64>> = Arc::new(JobQueue::new());
+        let n_producers = 4u64;
+        let per_producer = 50u64;
+        std::thread::scope(|scope| {
+            for p in 0..n_producers {
+                let q = q.clone();
+                scope.spawn(move || {
+                    for i in 0..per_producer {
+                        let id = p * per_producer + i;
+                        assert!(q.push(id, (i % 3) as i32, id));
+                    }
+                });
+            }
+            let mut seen = Vec::new();
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let q = q.clone();
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            match q.pop() {
+                                Pop::Item { id, item } => {
+                                    assert_eq!(id, item);
+                                    got.push(id);
+                                }
+                                Pop::Closed => return got,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // Producers finish quickly; close once everything is pushed.
+            while q.state.lock().unwrap().seq < n_producers * per_producer {
+                std::thread::yield_now();
+            }
+            q.close();
+            for c in consumers {
+                seen.extend(c.join().unwrap());
+            }
+            seen.sort_unstable();
+            let expected: Vec<u64> = (0..n_producers * per_producer).collect();
+            assert_eq!(seen, expected);
+        });
+    }
+}

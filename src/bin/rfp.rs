@@ -10,19 +10,28 @@
 //! rfp solve --portfolio problem.json            race every engine, first proof wins
 //! rfp validate problem.json floorplan.json      re-check a floorplan independently
 //! rfp simulate scenario.json                    play an online reconfiguration stream
+//! rfp serve --jobs jobs.jsonl                   run an NDJSON job stream through
+//!                                               the queue-worker solve service
 //! ```
 //!
-//! Exit codes: `0` success, `1` usage/IO/format error, `2` infeasible (or
-//! floorplan invalid for `validate`, constraint violations for `simulate`),
-//! `3` budget exhausted before a floorplan was found.
+//! `solve` and `simulate` route through the same `rfp-service` queue-worker
+//! layer that `serve` hosts: `solve` submits a single job, `simulate` wires
+//! the service in as the online simulator's [`SolveDispatcher`] so repeated
+//! escalation re-solves warm-start from the cross-request outcome cache.
+//!
+//! Exit codes: `0` success, `1` usage/IO/format error (or failed jobs for
+//! `serve`), `2` infeasible (or floorplan invalid for `validate`, constraint
+//! violations for `simulate`), `3` budget exhausted before a floorplan was
+//! found.
 
-use relocfp::floorplan::engine::{EngineRegistry, OutcomeStatus, SolveControl, SolveRequest};
+use relocfp::floorplan::engine::{EngineRegistry, OutcomeStatus, SolveRequest};
 use relocfp::floorplan::jsonio;
-use relocfp::floorplan::portfolio::Portfolio;
-use relocfp::runtime::{read_scenario, simulate_with_registry, DefragPolicy, OnlineConfig};
+use relocfp::runtime::{read_scenario, simulate_with_dispatcher, DefragPolicy, OnlineConfig};
+use relocfp::service::{serve, EngineChoice, JobSpec, ServeConfig, ServiceConfig, SolveService};
 use rfp_workloads::generator::WorkloadSpec;
 use rfp_workloads::DefragWorkloadSpec;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage:
   rfp engines
@@ -31,13 +40,17 @@ const USAGE: &str = "usage:
   rfp validate PROBLEM.json FLOORPLAN.json
   rfp simulate [--policy aware|oblivious|no_break] [--engine ID] [--threshold F]
                [--time-limit SECS] [--report FILE] [--quiet] SCENARIO.json
+  rfp serve [--workers N] [--engine ID] [--no-cache] [--jobs FILE] [--out FILE]
   rfp convert [--out FILE] INSTANCE
       INSTANCE: sdr | sdr2 | sdr3 | synthetic[:SEED[:REGIONS]]
               | smoke | defrag[:SEED[:MODULES]]
 
 Problems, floorplans and scenarios use the versioned JSON formats of the
 jsonio v1 family (rfp-problem / rfp-floorplan / rfp-scenario); `simulate`
-writes an rfp-sim-report document.";
+writes an rfp-sim-report document. `serve` reads one JSON job per line
+(verbs: submit, status, cancel, shutdown) from stdin or --jobs FILE and
+answers with one JSON response per line; with --jobs the whole stream is
+queued before the workers start, so responses are deterministic.";
 
 fn fail(msg: impl AsRef<str>) -> ExitCode {
     eprintln!("rfp: {}", msg.as_ref());
@@ -71,6 +84,7 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             println!("{USAGE}");
@@ -168,6 +182,21 @@ fn cmd_solve(args: &[String]) -> ExitCode {
     }
 
     let registry = registry();
+    // Fail fast on unknown engine ids — a usage error (exit 1), not an
+    // infeasible job outcome.
+    if let Some(ids) = &parsed.portfolio {
+        for id in ids {
+            if registry.get(id).is_none() {
+                return fail(format!("unknown engine `{id}` in --portfolio"));
+            }
+        }
+    } else if let Some(id) = &parsed.engine {
+        if registry.get(id).is_none() {
+            let known = registry.ids().join(", ");
+            return fail(format!("unknown engine `{id}` (known: {known})"));
+        }
+    }
+
     let mut req = SolveRequest::new(problem);
     if parsed.time_limit > 0.0 {
         req = req.with_time_limit(parsed.time_limit);
@@ -176,55 +205,33 @@ fn cmd_solve(args: &[String]) -> ExitCode {
         req = req.with_node_limit(parsed.node_limit);
     }
 
-    let (engine_label, outcome) = if let Some(ids) = &parsed.portfolio {
-        // Race the requested engines (or every registered engine). The exact
-        // engines prove and cancel the heuristics; heuristics only win on
-        // objective when nobody proves within the budget.
-        let portfolio = if ids.is_empty() {
-            Portfolio::from_registry(&registry)
-        } else {
-            let mut engines = Vec::new();
-            for id in ids {
-                match registry.get(id) {
-                    Some(e) => engines.push(e),
-                    None => return fail(format!("unknown engine `{id}` in --portfolio")),
-                }
-            }
-            Portfolio::new(engines)
-        };
-        let race = portfolio.race(&req);
-        if !parsed.quiet {
-            for entry in &race.entries {
-                eprintln!(
-                    "  {:<14} {:<16} {:>8.2}s  nodes {}{}",
-                    entry.engine,
-                    entry.outcome.status.to_string(),
-                    entry.outcome.stats.solve_seconds,
-                    entry.outcome.stats.nodes,
-                    if entry.outcome.stats.cancelled { "  (cancelled)" } else { "" },
-                );
-            }
-        }
-        match race.winner {
-            Some(i) => {
-                let entry = &race.entries[i];
-                (entry.engine.clone(), entry.outcome.clone())
-            }
-            None => {
-                let budget =
-                    race.entries.iter().any(|e| e.outcome.status == OutcomeStatus::BudgetExhausted);
-                eprintln!("rfp: no engine produced a floorplan");
-                return ExitCode::from(if budget { 3 } else { 2 });
-            }
-        }
-    } else {
-        let id = parsed.engine.as_deref().unwrap_or("combinatorial");
-        let Some(engine) = registry.get(id) else {
-            let known = registry.ids().join(", ");
-            return fail(format!("unknown engine `{id}` (known: {known})"));
-        };
-        (id.to_string(), engine.solve(&req, &SolveControl::default()))
+    // One job through the same queue-worker service `rfp serve` hosts. A
+    // portfolio job races the requested engines (or every registered one):
+    // the exact engines prove and cancel the heuristics; heuristics only win
+    // on objective when nobody proves within the budget.
+    let choice = match (&parsed.engine, &parsed.portfolio) {
+        (Some(id), _) => EngineChoice::Engine(id.clone()),
+        (None, Some(ids)) => EngineChoice::Portfolio(ids.clone()),
+        (None, None) => EngineChoice::Default,
     };
+    let service =
+        SolveService::new(registry, ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let id = service.submit(JobSpec::new(req).with_engine(choice));
+    let result = service.join(id).expect("submitted ids are joinable");
+
+    let (engine_label, outcome) = (result.engine, result.outcome);
+    if let (false, Some(race)) = (parsed.quiet, &result.race) {
+        for entry in &race.entries {
+            eprintln!(
+                "  {:<14} {:<16} {:>8.2}s  nodes {}{}",
+                entry.engine,
+                entry.outcome.status.to_string(),
+                entry.outcome.stats.solve_seconds,
+                entry.outcome.stats.nodes,
+                if entry.outcome.stats.cancelled { "  (cancelled)" } else { "" },
+            );
+        }
+    }
 
     if !parsed.quiet {
         eprintln!(
@@ -360,12 +367,22 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
-    let report = match simulate_with_registry(&scenario, &config, registry()) {
+    // Escalation re-solves go through a solve service: repeated escalations
+    // over similar live-module sets warm-start from the outcome cache.
+    let service = Arc::new(SolveService::new(
+        registry(),
+        ServiceConfig { workers: 1, default_engine: config.engine.clone(), ..Default::default() },
+    ));
+    let report = match simulate_with_dispatcher(&scenario, &config, service.clone()) {
         Ok(r) => r,
         Err(e) => return fail(format!("`{scenario_path}`: {e}")),
     };
     if !quiet {
         eprintln!("rfp: {}", report.summary());
+        let (hits, warm, misses) = service.cache_counters();
+        if hits + warm + misses > 0 {
+            eprintln!("rfp: solve cache: {hits} hit(s), {warm} warm-start(s), {misses} miss(es)");
+        }
         for e in report.events.iter().filter(|e| !e.violations.is_empty()) {
             for v in &e.violations {
                 eprintln!("rfp: violation at t={}: {v}", e.time);
@@ -377,6 +394,81 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         return fail(e);
     }
     ExitCode::from(if report.violations() > 0 { 2 } else { 0 })
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = ServeConfig::default();
+    let mut jobs_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take_value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let v = match take_value("--workers") {
+                    Ok(v) => v,
+                    Err(e) => return fail(e),
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => config.workers = n,
+                    _ => return fail(format!("invalid --workers `{v}` (positive integer)")),
+                }
+            }
+            "--engine" => match take_value("--engine") {
+                Ok(v) => config.default_engine = v,
+                Err(e) => return fail(e),
+            },
+            "--no-cache" => config.cache = false,
+            "--jobs" => match take_value("--jobs") {
+                Ok(v) => jobs_path = Some(v),
+                Err(e) => return fail(e),
+            },
+            "--out" | "-o" => match take_value("--out") {
+                Ok(v) => out_path = Some(v),
+                Err(e) => return fail(e),
+            },
+            a => return fail(format!("unknown argument `{a}`\n{USAGE}")),
+        }
+    }
+    let registry = registry();
+    if registry.get(&config.default_engine).is_none() {
+        let known = registry.ids().join(", ");
+        return fail(format!("unknown engine `{}` (known: {known})", config.default_engine));
+    }
+    // A jobs file is a complete, finite stream: queue everything before the
+    // workers start, so the response order (and the golden files CI diffs
+    // against) is deterministic. Stdin is interactive — dispatch live.
+    config.deferred = jobs_path.is_some();
+
+    let mut rendered: Vec<u8> = Vec::new();
+    let summary = {
+        let stdout = std::io::stdout();
+        let mut output: Box<dyn std::io::Write> =
+            if out_path.is_some() { Box::new(&mut rendered) } else { Box::new(stdout.lock()) };
+        let served = match &jobs_path {
+            Some(path) => match read_file(path) {
+                Ok(doc) => serve(&mut doc.as_bytes(), &mut output, registry, &config),
+                Err(e) => return fail(e),
+            },
+            None => {
+                let stdin = std::io::stdin();
+                serve(&mut stdin.lock(), &mut output, registry, &config)
+            }
+        };
+        match served {
+            Ok(s) => s,
+            Err(e) => return fail(format!("serve failed: {e}")),
+        }
+    };
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            return fail(format!("cannot write `{path}`: {e}"));
+        }
+    }
+    eprintln!("rfp: served {} job(s), {} error(s)", summary.jobs, summary.errors);
+    ExitCode::from(if summary.errors > 0 { 1 } else { 0 })
 }
 
 fn cmd_convert(args: &[String]) -> ExitCode {

@@ -18,6 +18,7 @@
 //! | [`baselines`] | `rfp-baselines` | tessellation ([8]-style) and simulated annealing ([9]-style) |
 //! | [`bitstream`] | `rfp-bitstream` | synthetic partial bitstreams, CRC-32, relocation filter |
 //! | [`runtime`] | `rfp-runtime` | online reconfiguration simulator: event streams, incremental placement, defragmentation |
+//! | [`service`] | `rfp-service` | queue-worker solve service: job queue, worker pool, cross-request outcome cache, `rfp serve` protocol |
 //! | [`workloads`] | `rfp-workloads` | the SDR case study (Table I), synthetic generators and defragmentation traces |
 //!
 //! ## Quick start
@@ -54,6 +55,7 @@ pub use rfp_device as device;
 pub use rfp_floorplan as floorplan;
 pub use rfp_milp as milp;
 pub use rfp_runtime as runtime;
+pub use rfp_service as service;
 pub use rfp_workloads as workloads;
 
 /// One-stop import of the most used types.
@@ -68,4 +70,5 @@ pub mod prelude {
     pub use rfp_runtime::{
         simulate, DefragPolicy, OnlineConfig, OnlineFloorplanner, Scenario, SimReport,
     };
+    pub use rfp_service::{JobSpec, ServiceConfig, SolveService};
 }

@@ -226,6 +226,61 @@ proptest! {
         prop_assert!((metrics.fragmentation - expected_frag).abs() < 1e-12);
     }
 
+    /// Problem fingerprints are stable and mutation-sensitive: regenerating
+    /// the same workload (or renaming a region) fingerprints identically,
+    /// while any single structural mutation — demand, connectivity,
+    /// relocation, objective weights or the device itself — changes the
+    /// fingerprint. This is the contract the solve service's outcome cache
+    /// keys on.
+    #[test]
+    fn fingerprints_are_stable_and_mutation_sensitive(
+        seed in 0u64..1000,
+        n_regions in 1usize..6,
+        mutation in 0usize..6,
+    ) {
+        use rfp_floorplan::fingerprint::ProblemFingerprint;
+        use rfp_floorplan::problem::RelocationRequest;
+        let spec = WorkloadSpec {
+            seed,
+            n_regions,
+            utilisation: 0.3,
+            relocatable_regions: n_regions.min(2),
+            ..WorkloadSpec::default()
+        };
+        let problem = spec.generate().problem;
+        let twin = spec.generate().problem;
+        let fp = ProblemFingerprint::of(&problem);
+        prop_assert_eq!(ProblemFingerprint::of(&twin), fp);
+
+        // Region names are presentation, not structure.
+        let mut renamed = problem.clone();
+        let req = renamed.regions[0].tile_req().to_vec();
+        renamed.regions[0] = RegionSpec::new("renamed-by-the-property", req);
+        prop_assert_eq!(ProblemFingerprint::of(&renamed), fp);
+
+        let mut mutated = problem.clone();
+        match mutation {
+            0 => {
+                // One more tile in an existing region's requirement.
+                let mut req = mutated.regions[0].tile_req().to_vec();
+                req[0].1 += 1;
+                let name = mutated.regions[0].name.clone();
+                mutated.regions[0] = RegionSpec::new(name, req);
+            }
+            1 => {
+                let ty = mutated.partition.portions[0].tile_type;
+                mutated.add_region(RegionSpec::new("extra", vec![(ty, 1)]));
+            }
+            2 => mutated.weights.wirelength += 1.0,
+            3 => mutated.connect(0, n_regions - 1, 3.25),
+            4 => mutated.partition.rows += 1,
+            _ => mutated.request_relocation(RelocationRequest::constraint(0, 1)),
+        }
+        let fp_mutated = ProblemFingerprint::of(&mutated);
+        prop_assert_ne!(fp_mutated, fp, "mutation {} left the fingerprint unchanged", mutation);
+        prop_assert_ne!(fp_mutated.digest(), fp.digest());
+    }
+
     /// The MILP solver agrees with brute force on random small knapsacks.
     #[test]
     fn milp_matches_brute_force_on_small_knapsacks(

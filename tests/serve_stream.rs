@@ -1,0 +1,58 @@
+//! The `rfp serve` NDJSON protocol against the golden job stream.
+//!
+//! Drives [`relocfp::service::serve`] in-memory over
+//! `tests/golden/serve.jobs.jsonl` and compares byte-for-byte with
+//! `tests/golden/serve.golden.jsonl` — the same pair the CI `serve-smoke`
+//! job replays through the `rfp serve` binary. Deferred mode (the `--jobs`
+//! path) queues the whole stream before the workers start, so the response
+//! bytes are reproducible regardless of scheduling.
+
+use relocfp::service::{serve, ServeConfig};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn run_stream(jobs: &str, config: &ServeConfig) -> (String, relocfp::service::ServeSummary) {
+    let registry = rfp_baselines::engines::full_registry();
+    let mut output: Vec<u8> = Vec::new();
+    let summary = serve(&mut jobs.as_bytes(), &mut output, registry, config).expect("in-memory IO");
+    (String::from_utf8(output).expect("responses are UTF-8"), summary)
+}
+
+#[test]
+fn golden_job_stream_replays_byte_for_byte() {
+    let jobs = golden("serve.jobs.jsonl");
+    let config = ServeConfig { workers: 1, deferred: true, ..ServeConfig::default() };
+    let (responses, summary) = run_stream(&jobs, &config);
+    assert_eq!(responses, golden("serve.golden.jsonl"));
+    // Three jobs complete (one cancelled); the bad-engine submit and the
+    // unknown-id status are the two deliberate protocol errors.
+    assert_eq!((summary.jobs, summary.errors), (3, 2));
+}
+
+#[test]
+fn the_second_identical_job_is_a_cache_hit() {
+    let jobs = golden("serve.jobs.jsonl");
+    let config = ServeConfig { workers: 1, deferred: true, ..ServeConfig::default() };
+    let (responses, _) = run_stream(&jobs, &config);
+    let repeat = responses
+        .lines()
+        .find(|l| l.contains("\"verb\":\"done\",\"id\":\"repeat\""))
+        .expect("the repeat job completes");
+    assert!(repeat.contains("\"engine\":\"cache\""), "not served from cache: {repeat}");
+    assert!(repeat.contains("\"cache\":\"hit\""), "not a cache hit: {repeat}");
+    assert!(responses.contains("\"cache_hits\":1"), "stats line missing the hit:\n{responses}");
+}
+
+#[test]
+fn disabling_the_cache_solves_every_job_cold() {
+    let jobs = golden("serve.jobs.jsonl");
+    let config = ServeConfig { workers: 1, deferred: true, cache: false, ..ServeConfig::default() };
+    let (responses, _) = run_stream(&jobs, &config);
+    assert!(!responses.contains("\"cache\":\"hit\""), "cache served despite being off");
+    assert!(responses.contains("\"cache_hits\":0"), "stats line reports hits:\n{responses}");
+    // Both real jobs still prove, just from separate cold solves.
+    assert_eq!(responses.matches("\"status\":\"proven\"").count(), 2);
+}

@@ -1,10 +1,16 @@
 //! Offline stand-in for `criterion`.
 //!
 //! Keeps the bench sources compiling and running without the registry crate:
-//! each `bench_function` runs its routine for a handful of timed iterations
-//! and prints a single mean-time line. There is no statistical analysis, no
-//! warm-up scheduling and no HTML report — this is a smoke-and-ballpark
-//! harness until the real criterion can be vendored in full.
+//! each `bench_function` times its routine over a configurable number of
+//! samples and prints mean / p50 / p95. [`sample_size`] is honoured, every
+//! per-iteration duration is kept, and the summary statistics are exposed
+//! through [`summarize`] / [`SampleStats`] so bench binaries can write
+//! machine-readable artefacts from the same numbers. There is still no
+//! warm-up scheduling, outlier classification or HTML report — this is a
+//! statistics-bearing smoke harness until the real criterion can be
+//! vendored in full.
+//!
+//! [`sample_size`]: BenchmarkGroup::sample_size
 
 #![deny(unsafe_code)]
 
@@ -13,14 +19,85 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Iterations per benchmark. Small on purpose: the SDR instances take
-/// seconds per solve and the stand-in optimises for "runs everywhere"
-/// over statistical power.
-const ITERATIONS: u32 = 3;
+/// Samples per benchmark unless overridden with
+/// [`BenchmarkGroup::sample_size`]. Small on purpose: the SDR instances take
+/// seconds per solve and the stand-in optimises for "runs everywhere" over
+/// statistical power.
+const DEFAULT_SAMPLE_SIZE: u32 = 3;
+
+/// Summary statistics over one benchmark's per-iteration samples.
+///
+/// Percentiles use the nearest-rank definition on the sorted samples, so
+/// `p50`/`p95` are always durations that actually occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Sum of all samples.
+    pub total: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (nearest rank).
+    pub p50: Duration,
+    /// 95th percentile (nearest rank).
+    pub p95: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+impl SampleStats {
+    /// The all-zero statistics of an empty sample set.
+    pub fn empty() -> SampleStats {
+        SampleStats {
+            n: 0,
+            total: Duration::ZERO,
+            mean: Duration::ZERO,
+            p50: Duration::ZERO,
+            p95: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+}
+
+/// Computes [`SampleStats`] over a sample set (all-zero when empty).
+pub fn summarize(samples: &[Duration]) -> SampleStats {
+    if samples.is_empty() {
+        return SampleStats::empty();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    // Nearest-rank percentile: the smallest sample with at least p% of the
+    // set at or below it.
+    let pct = |p: u32| {
+        let rank = (p as usize * sorted.len()).div_ceil(100);
+        sorted[rank.max(1) - 1]
+    };
+    SampleStats {
+        n: sorted.len(),
+        total,
+        mean: total / sorted.len() as u32,
+        p50: pct(50),
+        p95: pct(95),
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+    }
+}
 
 /// Mirrors `criterion::Criterion`.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
 
 impl Criterion {
     /// Accepted for `criterion_group!` compatibility; the stand-in has no
@@ -29,9 +106,16 @@ impl Criterion {
         self
     }
 
+    /// Sets the default sample count for benchmarks run on this criterion.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = (n.max(1)).min(u32::MAX as usize) as u32;
+        self
+    }
+
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into() }
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
     }
 
     /// Benchmarks a single function outside any group.
@@ -39,7 +123,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one("", &id.into(), f);
+        run_one("", &id.into(), self.sample_size, f);
         self
     }
 }
@@ -49,16 +133,18 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
+    sample_size: u32,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Accepted for API compatibility; the stand-in always runs
-    /// [`ITERATIONS`] iterations.
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Sets the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n.max(1)).min(u32::MAX as usize) as u32;
         self
     }
 
-    /// Accepted for API compatibility.
+    /// Accepted for API compatibility; the stand-in runs a fixed sample
+    /// count instead of a wall-clock budget.
     pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
         self
     }
@@ -68,7 +154,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&self.name, &id.into(), f);
+        run_one(&self.name, &id.into(), self.sample_size, f);
         self
     }
 
@@ -82,7 +168,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&self.name, &id.into(), |b| f(b, input));
+        run_one(&self.name, &id.into(), self.sample_size, |b| f(b, input));
         self
     }
 
@@ -90,33 +176,35 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, mut f: F) {
-    let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, sample_size: u32, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), target: sample_size };
     f(&mut bencher);
     let label = if group.is_empty() { id.0.clone() } else { format!("{group}/{}", id.0) };
-    if bencher.iterations == 0 {
+    if bencher.samples.is_empty() {
         println!("bench {label:<50} (routine never called)");
     } else {
-        let mean = bencher.elapsed / bencher.iterations;
-        println!("bench {label:<50} mean {mean:>12.3?} ({} iters)", bencher.iterations);
+        let s = summarize(&bencher.samples);
+        println!(
+            "bench {label:<50} mean {:>11.3?}  p50 {:>11.3?}  p95 {:>11.3?} ({} samples)",
+            s.mean, s.p50, s.p95, s.n
+        );
     }
 }
 
 /// Mirrors `criterion::Bencher`.
 #[derive(Debug)]
 pub struct Bencher {
-    elapsed: Duration,
-    iterations: u32,
+    samples: Vec<Duration>,
+    target: u32,
 }
 
 impl Bencher {
-    /// Times `routine` over the stand-in's fixed iteration count.
+    /// Times `routine` once per configured sample.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        for _ in 0..ITERATIONS {
+        for _ in 0..self.target {
             let start = Instant::now();
             black_box(routine());
-            self.elapsed += start.elapsed();
-            self.iterations += 1;
+            self.samples.push(start.elapsed());
         }
     }
 
@@ -127,13 +215,17 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        for _ in 0..ITERATIONS {
+        for _ in 0..self.target {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            self.elapsed += start.elapsed();
-            self.iterations += 1;
+            self.samples.push(start.elapsed());
         }
+    }
+
+    /// The per-iteration samples collected so far.
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
     }
 }
 
@@ -210,13 +302,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bencher_counts_iterations() {
+    fn bencher_honours_the_sample_size() {
         let mut c = Criterion::default();
         let mut calls = 0u32;
         let mut group = c.benchmark_group("g");
         group.sample_size(10).bench_function("count", |b| b.iter(|| calls += 1));
         group.finish();
-        assert_eq!(calls, ITERATIONS);
+        assert_eq!(calls, 10);
     }
 
     #[test]
@@ -233,6 +325,28 @@ mod tests {
                 BatchSize::SmallInput,
             )
         });
-        assert_eq!(setups, ITERATIONS);
+        assert_eq!(setups, DEFAULT_SAMPLE_SIZE);
+    }
+
+    #[test]
+    fn summarize_uses_nearest_rank_percentiles() {
+        let ms = Duration::from_millis;
+        // 1..=20 ms: p50 is the 10th sample (10ms), p95 the 19th (19ms).
+        let samples: Vec<Duration> = (1..=20).map(ms).collect();
+        let s = summarize(&samples);
+        assert_eq!(s.n, 20);
+        assert_eq!(s.p50, ms(10));
+        assert_eq!(s.p95, ms(19));
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(20));
+        assert_eq!(s.mean, ms(10) + Duration::from_micros(500));
+        assert_eq!(summarize(&[]), SampleStats::empty());
+    }
+
+    #[test]
+    fn single_sample_is_its_own_percentiles() {
+        let one = [Duration::from_millis(7)];
+        let s = summarize(&one);
+        assert_eq!((s.p50, s.p95, s.mean), (one[0], one[0], one[0]));
     }
 }
