@@ -1,0 +1,193 @@
+//! Serial-vs-parallel solver benchmark: the comparable bench that pins the
+//! prefix-split parallel combinatorial search against the serial baseline.
+//!
+//! Runs the combinatorial engine over the device-size scaling instances of
+//! `benches/scaling.rs` (synthetic workloads at fixed utilisation, growing
+//! column count) at a list of thread counts, timing each with the vendored
+//! criterion's statistics ([`criterion::summarize`]). Every parallel run is
+//! cross-checked against the serial proof on the spot: same proven waste, or
+//! the bench aborts — a wrong fast answer is not a speedup.
+//!
+//! Usage:
+//! `solver_bench [--quick] [--threads LIST] [--samples N] [--json PATH]
+//!               [--require-speedup X]`
+//!
+//! * `--threads 1,2,4` — comma-separated thread counts (1 = serial baseline;
+//!   always measured even if omitted from the list).
+//! * `--quick` — smaller instance sweep and fewer samples, for CI smoke.
+//! * `--require-speedup X` — exit 1 unless the largest instance's best
+//!   parallel mean is at least `X`x the serial mean. CI passes `1.0` on a
+//!   multi-core runner; on a single-CPU box parallel can only tie or lose,
+//!   so the check is opt-in.
+//!
+//! The JSON artefact (default `BENCH_solver.json`, schema
+//! `rfp-bench/solver_bench/v1`) records per instance and thread count the
+//! sample statistics (mean/p50/p95), node throughput and speedup over
+//! serial — the PR-over-PR evidence for the parallel search.
+
+use criterion::{summarize, SampleStats};
+use rfp_bench::json;
+use rfp_device::SyntheticSpec;
+use rfp_floorplan::combinatorial::{solve_combinatorial, CombinatorialConfig};
+use rfp_floorplan::problem::FloorplanProblem;
+use rfp_workloads::generator::WorkloadSpec;
+use std::time::{Duration, Instant};
+
+/// Per-solve wall-clock cap — generous; the scaling instances prove well
+/// inside it. A run that hits the cap shows up as `proven:false` and fails
+/// the cross-check below.
+const TIME_LIMIT_SECS: f64 = 60.0;
+
+/// One scaling instance: the synthetic device-size sweep of
+/// `benches/scaling.rs`, keyed by column count.
+fn instance(cols: u32) -> FloorplanProblem {
+    let spec = WorkloadSpec {
+        n_regions: 4,
+        utilisation: 0.35,
+        device: SyntheticSpec { cols, rows: 6, bram_every: 5, dsp_every: 9, ..Default::default() },
+        fc_per_region: 1,
+        relocatable_regions: 2,
+        ..WorkloadSpec::default()
+    };
+    spec.generate().problem
+}
+
+/// One timed mode: a thread count run `samples` times over an instance.
+struct Mode {
+    threads: usize,
+    stats: SampleStats,
+    /// Nodes of the final sample (node counts vary run to run above 1
+    /// thread; the serial count is exact).
+    nodes: u64,
+    waste: u64,
+}
+
+fn measure(problem: &FloorplanProblem, threads: usize, samples: usize) -> Mode {
+    let cfg = CombinatorialConfig {
+        threads,
+        time_limit_secs: TIME_LIMIT_SECS,
+        ..CombinatorialConfig::default()
+    };
+    let mut times = Vec::with_capacity(samples);
+    let (mut nodes, mut waste) = (0, None);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let res = solve_combinatorial(problem, &cfg).expect("scaling instances are well-formed");
+        times.push(start.elapsed());
+        assert!(res.proven, "{threads}-thread solve failed to prove within {TIME_LIMIT_SECS}s");
+        nodes = res.nodes;
+        waste = Some(res.best_waste.expect("scaling instances are feasible"));
+    }
+    Mode { threads, stats: summarize(&times), nodes, waste: waste.expect("at least one sample") }
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn mode_json(mode: &Mode, serial_mean: f64) -> String {
+    json::Object::new()
+        .int("threads", mode.threads as u64)
+        .int("sample_size", mode.stats.n as u64)
+        .num("mean_seconds", secs(mode.stats.mean))
+        .num("p50_seconds", secs(mode.stats.p50))
+        .num("p95_seconds", secs(mode.stats.p95))
+        .int("nodes", mode.nodes)
+        .int("wasted_frames", mode.waste)
+        .num("speedup_vs_serial", serial_mean / secs(mode.stats.mean).max(1e-9))
+        .build()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples: usize =
+        value_of("--samples").and_then(|v| v.parse().ok()).unwrap_or(if quick { 3 } else { 5 });
+    let thread_counts: Vec<usize> = {
+        let mut counts: Vec<usize> = value_of("--threads")
+            .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+            .unwrap_or_else(|| vec![1, 2, 4]);
+        if !counts.contains(&1) {
+            counts.push(1); // The serial baseline anchors every speedup.
+        }
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    };
+    let json_path = value_of("--json").unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let require_speedup: Option<f64> = value_of("--require-speedup").and_then(|v| v.parse().ok());
+    let cols: &[u32] = if quick { &[12, 20, 32] } else { &[12, 20, 32, 48] };
+
+    println!("# Solver bench: serial vs parallel combinatorial search\n");
+    println!(
+        "device-size scaling instances (cols {cols:?}, rows 6, 4 regions), \
+         {samples} sample(s) per mode, thread counts {thread_counts:?}\n"
+    );
+    println!("| cols | threads | mean      | p50       | p95       | speedup | nodes    |");
+    println!("|------|---------|-----------|-----------|-----------|---------|----------|");
+
+    let mut instances_json = Vec::new();
+    let mut largest_best_speedup = 1.0f64;
+    for &c in cols {
+        let problem = instance(c);
+        let serial = measure(&problem, 1, samples);
+        let serial_mean = secs(serial.stats.mean);
+        let mut modes = vec![serial];
+        for &t in thread_counts.iter().filter(|&&t| t > 1) {
+            let mode = measure(&problem, t, samples);
+            assert_eq!(
+                mode.waste, modes[0].waste,
+                "{t}-thread proof disagrees with serial on cols={c}"
+            );
+            modes.push(mode);
+        }
+        let mut best_speedup = 1.0f64;
+        for mode in &modes {
+            let speedup = serial_mean / secs(mode.stats.mean).max(1e-9);
+            best_speedup = best_speedup.max(speedup);
+            println!(
+                "| {c:>4} | {:>7} | {:>9.3?} | {:>9.3?} | {:>9.3?} | {speedup:>6.2}x | {:>8} |",
+                mode.threads, mode.stats.mean, mode.stats.p50, mode.stats.p95, mode.nodes,
+            );
+        }
+        largest_best_speedup = best_speedup; // `cols` is sorted ascending.
+        instances_json.push(
+            json::Object::new()
+                .int("cols", c as u64)
+                .int("wasted_frames", modes[0].waste)
+                .raw("modes", json::array(modes.iter().map(|m| mode_json(m, serial_mean))))
+                .build(),
+        );
+    }
+    println!(
+        "\nbest parallel speedup on the largest instance (cols {}): {largest_best_speedup:.2}x",
+        cols.last().expect("at least one instance"),
+    );
+
+    let doc = json::Object::new()
+        .str("schema", "rfp-bench/solver_bench/v1")
+        .bool("quick", quick)
+        .int("samples", samples as u64)
+        .raw("thread_counts", json::array(thread_counts.iter().map(|t| t.to_string())))
+        .raw("instances", json::array(instances_json))
+        .num("largest_instance_best_speedup", largest_best_speedup)
+        .build();
+    if let Err(e) = std::fs::write(&json_path, doc + "\n") {
+        eprintln!("solver_bench: cannot write `{json_path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("solver_bench: BENCH JSON written to {json_path}");
+
+    if let Some(bar) = require_speedup {
+        if largest_best_speedup < bar {
+            eprintln!(
+                "solver_bench: parallel speedup {largest_best_speedup:.2}x on the largest \
+                 instance is below the required {bar:.2}x"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -130,6 +130,46 @@ fn serve_load_shows_the_cache_speedup_and_writes_json() {
 }
 
 #[test]
+fn solver_bench_times_every_thread_count_and_writes_json() {
+    let path = std::env::temp_dir().join(format!("solver_bench_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    // Two thread counts, two samples and only the smallest instance keep the
+    // smoke fast; the binary always adds the serial baseline itself.
+    let out = run(
+        env!("CARGO_BIN_EXE_solver_bench"),
+        &["--quick", "--threads", "2", "--samples", "2", "--json", path_str],
+    );
+    assert!(out.contains("Solver bench"), "unexpected output:\n{out}");
+    assert!(out.contains("| cols | threads |"), "expected the timing table:\n{out}");
+    assert!(out.contains("best parallel speedup"), "unexpected output:\n{out}");
+    let json = std::fs::read_to_string(&path).expect("JSON artefact exists");
+    let _ = std::fs::remove_file(&path);
+    assert!(json.contains("\"schema\":\"rfp-bench/solver_bench/v1\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"quick\":true"), "bad JSON:\n{json}");
+    assert!(json.contains("\"sample_size\":2"), "bad JSON:\n{json}");
+    assert!(json.contains("\"mean_seconds\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"p95_seconds\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"speedup_vs_serial\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"largest_instance_best_speedup\""), "bad JSON:\n{json}");
+    // The serial baseline is always present alongside the requested counts.
+    assert!(json.contains("\"thread_counts\":[1,2]"), "bad JSON:\n{json}");
+}
+
+#[test]
+fn the_committed_solver_bench_artefact_is_current() {
+    // The repo commits a full-sweep BENCH_solver.json as the PR-over-PR
+    // record; keep it in the current schema with the serial baseline and at
+    // least one parallel mode per instance.
+    let path = format!("{}/../../BENCH_solver.json", env!("CARGO_MANIFEST_DIR"));
+    let json = std::fs::read_to_string(&path).expect("BENCH_solver.json is committed at repo root");
+    assert!(json.contains("\"schema\":\"rfp-bench/solver_bench/v1\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"quick\":false"), "the committed artefact is the full sweep:\n{json}");
+    assert!(json.contains("\"threads\":1"), "serial baseline missing:\n{json}");
+    assert!(json.contains("\"threads\":4"), "4-thread mode missing:\n{json}");
+    assert!(json.contains("\"largest_instance_best_speedup\""), "bad JSON:\n{json}");
+}
+
+#[test]
 fn defrag_sim_compares_all_three_policies_and_writes_json() {
     let path = std::env::temp_dir().join(format!("defrag_sim_smoke_{}.json", std::process::id()));
     let path_str = path.to_str().expect("utf-8 temp path");

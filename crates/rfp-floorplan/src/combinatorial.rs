@@ -20,6 +20,14 @@
 //!
 //! Node and time limits make the engine usable inside benchmarks; the result
 //! reports whether optimality was proven.
+//!
+//! With [`CombinatorialConfig::threads`] > 1 the search runs in parallel:
+//! the tree is split serially into placement *prefixes* (level by level,
+//! with the same overlap and relocation pruning as the DFS itself) until
+//! there are several prefixes per worker, and scoped threads then exhaust
+//! disjoint prefix subtrees against a shared incumbent. Node counts vary
+//! run to run, but the proven waste/wire-length results are deterministic;
+//! `threads <= 1` preserves the serial search order exactly.
 
 use crate::candidates::{enumerate_candidates, Candidate, CandidateConfig};
 use crate::engine::SolveControl;
@@ -29,6 +37,8 @@ use crate::problem::{FloorplanProblem, RelocationMode};
 use rfp_device::compat::enumerate_free_compatible;
 use rfp_device::Rect;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Configuration of the combinatorial engine.
@@ -45,6 +55,11 @@ pub struct CombinatorialConfig {
     /// Optimise weighted wire length as a secondary criterion (lexicographic
     /// after wasted frames).
     pub optimize_wirelength: bool,
+    /// Worker threads for the prefix-split parallel search (`0` or `1` =
+    /// serial). The serial node order — and thus the node count — is
+    /// preserved exactly at `threads <= 1`; above that only the *results*
+    /// (waste, wire length, proven-ness) are deterministic.
+    pub threads: usize,
 }
 
 impl Default for CombinatorialConfig {
@@ -55,6 +70,7 @@ impl Default for CombinatorialConfig {
             time_limit_secs: 0.0,
             first_feasible: false,
             optimize_wirelength: true,
+            threads: 1,
         }
     }
 }
@@ -92,6 +108,25 @@ pub struct CombinatorialResult {
     pub cancelled: bool,
 }
 
+/// State shared by the workers of a parallel solve. The atomic `best_waste`
+/// mirrors the mutex-held incumbent so the hot bound check in [`SearchCtx::dfs`]
+/// never takes a lock; it may lag behind (read a stale, too-large value),
+/// which only costs a little pruning, never correctness.
+struct ParShared {
+    /// Wasted frames of the shared incumbent; `u64::MAX` while none exists.
+    best_waste: AtomicU64,
+    /// The shared incumbent: `(waste, wirelength, floorplan)`.
+    best: Mutex<Option<(u64, f64, Floorplan)>>,
+    /// Global wind-down flag: budget hit, cancellation, or a first-feasible
+    /// find. Workers poll it at every node.
+    abort: AtomicBool,
+    /// `true` when the abort was caused by the caller's cancellation token.
+    cancelled: AtomicBool,
+    /// Nodes explored across all workers (the node limit is enforced on
+    /// this total, so it may overshoot by at most one node per worker).
+    nodes: AtomicU64,
+}
+
 struct SearchCtx<'a> {
     problem: &'a FloorplanProblem,
     /// Region order (most constrained first); `order[i]` is a region index.
@@ -112,6 +147,9 @@ struct SearchCtx<'a> {
     best: Option<(u64, f64, Floorplan)>,
     /// Minimum waste per region (for the lower bound).
     min_waste: Vec<u64>,
+    /// Present when this context is one worker of a parallel solve; the
+    /// incumbent then lives in the shared state, not in `best`.
+    shared: Option<&'a ParShared>,
 }
 
 impl<'a> SearchCtx<'a> {
@@ -119,22 +157,87 @@ impl<'a> SearchCtx<'a> {
         if self.aborted {
             return true;
         }
-        if self.node_limit > 0 && self.nodes >= self.node_limit {
+        if let Some(sh) = self.shared {
+            if sh.abort.load(Ordering::Relaxed) {
+                self.aborted = true;
+                return true;
+            }
+            if self.node_limit > 0 && sh.nodes.load(Ordering::Relaxed) >= self.node_limit {
+                self.aborted = true;
+                sh.abort.store(true, Ordering::Relaxed);
+                return true;
+            }
+        } else if self.node_limit > 0 && self.nodes >= self.node_limit {
             self.aborted = true;
             return true;
         }
         if self.nodes.is_multiple_of(64) && self.ctl.cancel.is_cancelled() {
             self.aborted = true;
             self.cancelled = true;
+            if let Some(sh) = self.shared {
+                sh.abort.store(true, Ordering::Relaxed);
+                sh.cancelled.store(true, Ordering::Relaxed);
+            }
             return true;
         }
         if let Some(d) = self.deadline {
             if self.nodes.is_multiple_of(256) && Instant::now() >= d {
                 self.aborted = true;
+                if let Some(sh) = self.shared {
+                    sh.abort.store(true, Ordering::Relaxed);
+                }
                 return true;
             }
         }
         false
+    }
+
+    /// Waste of the current incumbent — the shared one for a parallel
+    /// worker, the local one otherwise.
+    fn incumbent_waste(&self) -> Option<u64> {
+        match self.shared {
+            Some(sh) => {
+                let w = sh.best_waste.load(Ordering::Relaxed);
+                (w != u64::MAX).then_some(w)
+            }
+            None => self.best.as_ref().map(|(w, _, _)| *w),
+        }
+    }
+
+    /// Installs a leaf as the incumbent when it improves the lexicographic
+    /// objective, reporting it through the control. Parallel workers compare
+    /// and install under the shared lock so incumbent reports stay monotone.
+    fn install(&mut self, waste: u64, wl: f64, floorplan: Floorplan) {
+        let improves = |cur: &Option<(u64, f64, Floorplan)>| match cur {
+            None => true,
+            Some((bw, bwl, _)) => {
+                waste < *bw || (waste == *bw && self.config.optimize_wirelength && wl + 1e-9 < *bwl)
+            }
+        };
+        match self.shared {
+            Some(sh) => {
+                let mut best = sh.best.lock().unwrap_or_else(|e| e.into_inner());
+                if improves(&best) {
+                    *best = Some((waste, wl, floorplan));
+                    sh.best_waste.store(waste, Ordering::Relaxed);
+                    self.ctl.report_incumbent(
+                        "combinatorial",
+                        waste as f64,
+                        self.start.elapsed().as_secs_f64(),
+                    );
+                }
+            }
+            None => {
+                if improves(&self.best) {
+                    self.best = Some((waste, wl, floorplan));
+                    self.ctl.report_incumbent(
+                        "combinatorial",
+                        waste as f64,
+                        self.start.elapsed().as_secs_f64(),
+                    );
+                }
+            }
+        }
     }
 
     fn partial_wirelength(&self) -> f64 {
@@ -226,38 +329,23 @@ impl<'a> SearchCtx<'a> {
         false
     }
 
-    /// Quick necessary condition: every constraint-mode area of already-placed
-    /// regions still has at least one compatible placement ignoring the
-    /// not-yet-placed regions.
-    fn fc_still_possible(&self) -> bool {
-        let occupied = self.occupied();
-        for req in &self.problem.relocation {
-            if !matches!(req.mode, RelocationMode::Constraint) {
-                continue;
-            }
-            let Some(source) = self.placed[req.region] else { continue };
-            let options = enumerate_free_compatible(&self.problem.partition, &source, &occupied);
-            if (options.len() as u32) < req.count {
-                return false;
-            }
-        }
-        true
-    }
-
     fn dfs(&mut self, level: usize, waste_so_far: u64) {
         if self.time_up() {
             return;
         }
         self.nodes += 1;
+        if let Some(sh) = self.shared {
+            sh.nodes.fetch_add(1, Ordering::Relaxed);
+        }
 
         // Bound: waste so far plus the best-case waste of the remaining regions.
         let remaining_min: u64 = self.order[level..].iter().map(|&r| self.min_waste[r]).sum();
-        if let Some((best_waste, _, _)) = &self.best {
+        if let Some(best_waste) = self.incumbent_waste() {
             let lb = waste_so_far + remaining_min;
-            if lb > *best_waste {
+            if lb > best_waste {
                 return;
             }
-            if !self.config.optimize_wirelength && lb == *best_waste {
+            if !self.config.optimize_wirelength && lb == best_waste {
                 return;
             }
         }
@@ -274,26 +362,13 @@ impl<'a> SearchCtx<'a> {
                 fc_areas,
             };
             let wl = self.partial_wirelength();
-            let better = match &self.best {
-                None => true,
-                Some((bw, bwl, _)) => {
-                    waste_so_far < *bw
-                        || (waste_so_far == *bw
-                            && self.config.optimize_wirelength
-                            && wl + 1e-9 < *bwl)
-                }
-            };
-            if better {
-                self.best = Some((waste_so_far, wl, floorplan));
-                self.ctl.report_incumbent(
-                    "combinatorial",
-                    waste_so_far as f64,
-                    self.start.elapsed().as_secs_f64(),
-                );
-            }
+            self.install(waste_so_far, wl, floorplan);
             if self.config.first_feasible {
                 // Unwind the whole search: the caller reports `proven: false`.
                 self.aborted = true;
+                if let Some(sh) = self.shared {
+                    sh.abort.store(true, Ordering::Relaxed);
+                }
             }
             return;
         }
@@ -306,7 +381,7 @@ impl<'a> SearchCtx<'a> {
                 continue;
             }
             self.placed[region] = Some(cand.rect);
-            if self.fc_still_possible() {
+            if fc_still_possible(self.problem, &self.placed) {
                 self.dfs(level + 1, waste_so_far + cand.waste);
             }
             self.placed[region] = None;
@@ -315,6 +390,25 @@ impl<'a> SearchCtx<'a> {
             }
         }
     }
+}
+
+/// Quick necessary condition: every constraint-mode area of already-placed
+/// regions still has at least one compatible placement ignoring the
+/// not-yet-placed regions. Free function so the prefix-expansion phase of the
+/// parallel solve applies the same pruning as the DFS.
+fn fc_still_possible(problem: &FloorplanProblem, placed: &[Option<Rect>]) -> bool {
+    let occupied: Vec<Rect> = placed.iter().filter_map(|r| *r).collect();
+    for req in &problem.relocation {
+        if !matches!(req.mode, RelocationMode::Constraint) {
+            continue;
+        }
+        let Some(source) = placed[req.region] else { continue };
+        let options = enumerate_free_compatible(&problem.partition, &source, &occupied);
+        if (options.len() as u32) < req.count {
+            return false;
+        }
+    }
+    true
 }
 
 /// Solves a floorplanning problem with the combinatorial engine.
@@ -379,6 +473,19 @@ pub fn solve_combinatorial_with_control(
         None
     };
 
+    if config.threads > 1 && !problem.regions.is_empty() && !ctl.cancel.is_cancelled() {
+        return solve_parallel(SolveParts {
+            problem,
+            config,
+            ctl,
+            start,
+            deadline,
+            order,
+            candidates,
+            min_waste,
+        });
+    }
+
     let mut ctx = SearchCtx {
         problem,
         order,
@@ -394,6 +501,7 @@ pub fn solve_combinatorial_with_control(
         placed: vec![None; problem.regions.len()],
         best: None,
         min_waste,
+        shared: None,
     };
     if ctx.cancelled {
         ctx.aborted = true;
@@ -406,6 +514,169 @@ pub fn solve_combinatorial_with_control(
     let cancelled = ctx.cancelled;
     let solve_seconds = start.elapsed().as_secs_f64();
     match ctx.best {
+        Some((waste, wl, floorplan)) => Ok(CombinatorialResult {
+            floorplan: Some(floorplan),
+            best_waste: Some(waste),
+            best_wirelength: Some(wl),
+            proven: proven && !config.first_feasible,
+            nodes,
+            solve_seconds,
+            cancelled,
+        }),
+        None => Ok(CombinatorialResult {
+            floorplan: None,
+            best_waste: None,
+            best_wirelength: None,
+            proven,
+            nodes,
+            solve_seconds,
+            cancelled,
+        }),
+    }
+}
+
+/// Everything the parallel driver needs from the setup phase of
+/// [`solve_combinatorial_with_control`], bundled to keep the call site tidy.
+struct SolveParts<'a> {
+    problem: &'a FloorplanProblem,
+    config: &'a CombinatorialConfig,
+    ctl: &'a SolveControl,
+    start: Instant,
+    deadline: Option<Instant>,
+    order: Vec<usize>,
+    candidates: Vec<Vec<Candidate>>,
+    min_waste: Vec<u64>,
+}
+
+/// A serially-expanded placement of the first `depth` regions of the search
+/// order: the root of one disjoint subtree handed to a parallel worker.
+struct Prefix {
+    placed: Vec<Option<Rect>>,
+    waste: u64,
+}
+
+/// Prefixes generated per worker thread before the parallel phase starts;
+/// several per worker so fast subtrees do not leave threads idle.
+const PREFIX_FANOUT: usize = 8;
+
+/// The prefix-split parallel search. The expansion phase enumerates, level
+/// by level in the serial search order, every placement of the first few
+/// regions that survives the overlap and relocation pruning — so the
+/// prefixes partition exactly the part of the tree the serial DFS would
+/// visit. Workers then exhaust disjoint prefix subtrees against a shared
+/// incumbent; an empty expansion level is already a proof of infeasibility.
+fn solve_parallel(parts: SolveParts<'_>) -> Result<CombinatorialResult, FloorplanError> {
+    let SolveParts { problem, config, ctl, start, deadline, order, candidates, min_waste } = parts;
+    let threads = config.threads;
+
+    // Serial prefix expansion. Each generated child corresponds to one node
+    // the serial DFS would have expanded, and is counted as such.
+    let mut prefixes = vec![Prefix { placed: vec![None; problem.regions.len()], waste: 0 }];
+    let mut depth = 0usize;
+    let mut expansion_nodes: u64 = 1; // the root
+    while depth < order.len() && prefixes.len() < threads * PREFIX_FANOUT {
+        if ctl.cancel.is_cancelled() {
+            return Ok(CombinatorialResult {
+                floorplan: None,
+                best_waste: None,
+                best_wirelength: None,
+                proven: false,
+                nodes: expansion_nodes,
+                solve_seconds: start.elapsed().as_secs_f64(),
+                cancelled: true,
+            });
+        }
+        let region = order[depth];
+        let mut next = Vec::new();
+        for p in &prefixes {
+            for cand in &candidates[region] {
+                if p.placed.iter().flatten().any(|r| r.overlaps(&cand.rect)) {
+                    continue;
+                }
+                let mut placed = p.placed.clone();
+                placed[region] = Some(cand.rect);
+                if fc_still_possible(problem, &placed) {
+                    expansion_nodes += 1;
+                    next.push(Prefix { placed, waste: p.waste + cand.waste });
+                }
+            }
+        }
+        if next.is_empty() {
+            // No placement of the first `depth + 1` regions survives: the
+            // whole instance is proven infeasible without spawning a thread.
+            return Ok(CombinatorialResult {
+                floorplan: None,
+                best_waste: None,
+                best_wirelength: None,
+                proven: true,
+                nodes: expansion_nodes,
+                solve_seconds: start.elapsed().as_secs_f64(),
+                cancelled: false,
+            });
+        }
+        prefixes = next;
+        depth += 1;
+    }
+
+    let shared = ParShared {
+        best_waste: AtomicU64::new(u64::MAX),
+        best: Mutex::new(None),
+        abort: AtomicBool::new(false),
+        cancelled: AtomicBool::new(false),
+        nodes: AtomicU64::new(expansion_nodes),
+    };
+
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            // Deal the prefixes round-robin: they are generated best-first
+            // (increasing-waste candidate order), so every worker gets a
+            // spread of promising and less promising subtrees.
+            let assigned: Vec<&Prefix> = prefixes.iter().skip(w).step_by(threads).collect();
+            if assigned.is_empty() {
+                continue;
+            }
+            let shared = &shared;
+            let order = &order;
+            let candidates = &candidates;
+            let min_waste = &min_waste;
+            s.spawn(move || {
+                let mut ctx = SearchCtx {
+                    problem,
+                    order: order.clone(),
+                    candidates: candidates.clone(),
+                    config,
+                    ctl,
+                    start,
+                    deadline,
+                    node_limit: config.node_limit,
+                    nodes: 0,
+                    aborted: false,
+                    cancelled: false,
+                    placed: vec![None; problem.regions.len()],
+                    best: None,
+                    min_waste: min_waste.clone(),
+                    shared: Some(shared),
+                };
+                for p in assigned {
+                    if shared.abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    ctx.placed.clone_from(&p.placed);
+                    ctx.dfs(depth, p.waste);
+                    if ctx.aborted {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let proven = !shared.abort.load(Ordering::Relaxed);
+    let cancelled = shared.cancelled.load(Ordering::Relaxed);
+    let nodes = shared.nodes.load(Ordering::Relaxed);
+    let solve_seconds = start.elapsed().as_secs_f64();
+    let best = shared.best.into_inner().unwrap_or_else(|e| e.into_inner());
+    match best {
         Some((waste, wl, floorplan)) => Ok(CombinatorialResult {
             floorplan: Some(floorplan),
             best_waste: Some(waste),
@@ -610,5 +881,116 @@ mod tests {
         let cfg = CombinatorialConfig { node_limit: 1, ..CombinatorialConfig::default() };
         let err = solve_combinatorial(&p, &cfg);
         assert!(matches!(err, Err(FloorplanError::LimitReached)));
+    }
+
+    /// A four-region connected instance busy enough that the parallel phase
+    /// genuinely runs (thousands of nodes), yet fast in serial.
+    fn busy_problem() -> FloorplanProblem {
+        let (mut p, clb, bram, dsp) = small_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 3), (bram, 1)]));
+        let b = p.add_region(RegionSpec::new("B", vec![(clb, 2), (dsp, 1)]));
+        let c = p.add_region(RegionSpec::new("C", vec![(clb, 2)]));
+        let d = p.add_region(RegionSpec::new("D", vec![(bram, 1)]));
+        p.connect(a, b, 3.0);
+        p.connect(b, c, 1.0);
+        p.connect(c, d, 2.0);
+        p
+    }
+
+    #[test]
+    fn parallel_search_proves_the_serial_results_at_every_thread_count() {
+        let p = busy_problem();
+        let serial = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        assert!(serial.proven);
+        for threads in [2usize, 4, 8] {
+            let cfg = CombinatorialConfig { threads, ..CombinatorialConfig::default() };
+            let par = solve_combinatorial(&p, &cfg).unwrap();
+            assert!(par.proven, "{threads} threads must exhaust the space");
+            assert_eq!(par.best_waste, serial.best_waste, "waste at {threads} threads");
+            let (swl, pwl) = (serial.best_wirelength.unwrap(), par.best_wirelength.unwrap());
+            assert!((swl - pwl).abs() < 1e-9, "wirelength at {threads} threads: {pwl} vs {swl}");
+            assert!(par.floorplan.unwrap().validate(&p).is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_search_proves_infeasibility() {
+        let (mut p, _, _, dsp) = small_problem();
+        p.add_region(RegionSpec::new("A", vec![(dsp, 2)]));
+        p.add_region(RegionSpec::new("B", vec![(dsp, 2)]));
+        p.add_region(RegionSpec::new("C", vec![(dsp, 2)]));
+        let cfg = CombinatorialConfig { threads: 4, ..CombinatorialConfig::default() };
+        let res = solve_combinatorial(&p, &cfg).unwrap();
+        assert!(res.proven);
+        assert!(res.floorplan.is_none());
+    }
+
+    #[test]
+    fn parallel_first_feasible_returns_a_valid_unproven_floorplan() {
+        let p = busy_problem();
+        let cfg = CombinatorialConfig { threads: 4, ..CombinatorialConfig::feasibility() };
+        let res = solve_combinatorial(&p, &cfg).unwrap();
+        assert!(!res.proven, "first-feasible mode never claims a proof");
+        assert!(res.floorplan.unwrap().validate(&p).is_empty());
+    }
+
+    #[test]
+    fn parallel_relocation_constraints_match_the_serial_proof() {
+        let (mut p, clb, bram, _) = small_problem();
+        let a = p.add_region(RegionSpec::new("A", vec![(clb, 2), (bram, 1)]));
+        p.add_region(RegionSpec::new("B", vec![(clb, 3)]));
+        p.request_relocation(RelocationRequest::constraint(a, 1));
+        let serial = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        let cfg = CombinatorialConfig { threads: 4, ..CombinatorialConfig::default() };
+        let par = solve_combinatorial(&p, &cfg).unwrap();
+        assert!(par.proven);
+        assert_eq!(par.best_waste, serial.best_waste);
+        let fp = par.floorplan.unwrap();
+        assert!(fp.validate(&p).is_empty());
+        assert_eq!(fp.fc_found(), 1);
+    }
+
+    #[test]
+    fn cancellation_mid_parallel_search_is_reported() {
+        // Cancel deterministically mid-search: the token fires the moment the
+        // first incumbent lands, while workers still hold open subtrees.
+        let p = busy_problem();
+        let ctl = SolveControl::default();
+        let token = ctl.cancel.clone();
+        let ctl = SolveControl {
+            cancel: ctl.cancel.clone(),
+            on_incumbent: Some(std::sync::Arc::new(move |_: &crate::engine::IncumbentEvent| {
+                token.cancel();
+            })),
+            shared_incumbent: None,
+        };
+        let cfg = CombinatorialConfig { threads: 4, ..CombinatorialConfig::default() };
+        let res = solve_combinatorial_with_control(&p, &cfg, &ctl).unwrap();
+        assert!(res.cancelled, "the cancellation must be observed and reported");
+        assert!(!res.proven, "a cancelled run must not claim a proof");
+        // Whatever was found before the cancel is still a valid floorplan.
+        if let Some(fp) = res.floorplan {
+            assert!(fp.validate(&p).is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_node_limit_is_honoured_across_workers() {
+        let p = busy_problem();
+        let serial = solve_combinatorial(&p, &CombinatorialConfig::default()).unwrap();
+        // Deep enough into the search that the workers are running, far from
+        // enough to exhaust it.
+        let limit = serial.nodes / 2;
+        let cfg =
+            CombinatorialConfig { threads: 4, node_limit: limit, ..CombinatorialConfig::default() };
+        let res = solve_combinatorial_with_control(&p, &cfg, &SolveControl::default()).unwrap();
+        assert!(!res.proven, "a truncated run must not claim a proof");
+        // The workers stop within one node each of the shared limit; the
+        // serial expansion phase (well under `limit` nodes here) is included
+        // in the count.
+        assert!(res.nodes <= limit + 4, "nodes {} vs limit {limit}", res.nodes);
+        if let Some(fp) = res.floorplan {
+            assert!(fp.validate(&p).is_empty());
+        }
     }
 }

@@ -78,6 +78,11 @@ pub struct SolveRequest {
     /// (MILP engines) or as the HO restriction seed. Invalid hints are
     /// ignored.
     pub warm_start: Option<Floorplan>,
+    /// Worker threads for the parallel-capable engines (the MILP
+    /// branch-and-bound and the combinatorial DFS); `0` defers to the
+    /// engine's own configuration. Engines without a parallel search ignore
+    /// it.
+    pub threads: usize,
 }
 
 impl SolveRequest {
@@ -89,12 +94,19 @@ impl SolveRequest {
             time_limit_secs: 0.0,
             node_limit: 0,
             warm_start: None,
+            threads: 0,
         }
     }
 
     /// Sets the wall-clock budget (seconds).
     pub fn with_time_limit(mut self, secs: f64) -> Self {
         self.time_limit_secs = secs;
+        self
+    }
+
+    /// Sets the worker thread count for parallel-capable engines.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -332,6 +344,9 @@ pub struct EngineStats {
     /// `true` when the run observed a cancellation through its
     /// [`SolveControl`] token.
     pub cancelled: bool,
+    /// Worker threads the engine effectively ran with (`1` = serial; always
+    /// `1` for engines without a parallel search).
+    pub threads: usize,
     /// MILP model statistics (MILP engines only).
     pub model_stats: Option<ModelStats>,
 }
@@ -349,6 +364,7 @@ impl EngineStats {
             cuts: 0,
             gap: f64::INFINITY,
             cancelled: false,
+            threads: 1,
             model_stats: None,
         }
     }
@@ -493,6 +509,13 @@ pub trait FloorplanEngine: Send + Sync {
     /// One-line human description.
     fn description(&self) -> &'static str;
 
+    /// `true` when the engine honours [`SolveRequest::threads`] with an
+    /// internal parallel search. Serial engines ignore the field (their
+    /// [`EngineStats::threads`] always reports 1).
+    fn parallel(&self) -> bool {
+        false
+    }
+
     /// Solves the request. Never panics on infeasible or over-budget runs —
     /// those are [`OutcomeStatus`] values, not errors.
     fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome;
@@ -631,6 +654,10 @@ impl FloorplanEngine for MilpEngine {
         "exact MILP (algorithm O): full relocation-aware model, from-scratch branch and bound"
     }
 
+    fn parallel(&self) -> bool {
+        true
+    }
+
     fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
         solve_milp_engine(self.id(), &self.config, false, req, ctl)
     }
@@ -660,6 +687,10 @@ impl FloorplanEngine for HeuristicMilpEngine {
 
     fn description(&self) -> &'static str {
         "LP-guided heuristic (algorithm HO): MILP restricted by a greedy sequence pair"
+    }
+
+    fn parallel(&self) -> bool {
+        true
     }
 
     fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
@@ -692,6 +723,10 @@ impl FloorplanEngine for CombinatorialEngine {
         "exact columnar branch and bound over candidate rectangles (full-die scale)"
     }
 
+    fn parallel(&self) -> bool {
+        true
+    }
+
     fn solve(&self, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
         let problem = req.effective_problem();
         let mut stats = EngineStats::new(self.id());
@@ -710,6 +745,10 @@ impl FloorplanEngine for CombinatorialEngine {
         if req.node_limit > 0 {
             cfg.node_limit = req.node_limit;
         }
+        if req.threads > 0 {
+            cfg.threads = req.threads;
+        }
+        stats.threads = cfg.threads.max(1);
         let res = match solve_combinatorial_with_control(&problem, &cfg, ctl) {
             Ok(res) => res,
             Err(e) => {
@@ -777,6 +816,10 @@ fn solve_milp_engine(
     if req.node_limit > 0 {
         cfg.max_nodes = req.node_limit as usize;
     }
+    if req.threads > 0 {
+        cfg.threads = req.threads;
+    }
+    stats.threads = cfg.threads.max(1);
     cfg.cancel = ctl.cancel.clone();
 
     // A valid caller-supplied floorplan doubles as warm start and (for HO)
@@ -803,6 +846,7 @@ fn solve_milp_engine(
                 let seed_cfg = CombinatorialConfig {
                     first_feasible: true,
                     time_limit_secs: req.time_limit_secs,
+                    threads: req.threads.max(1),
                     ..CombinatorialConfig::default()
                 };
                 match solve_combinatorial_with_control(&problem, &seed_cfg, &seed_ctl) {

@@ -13,6 +13,10 @@
 //! Every engine gets its own [`CancelToken`] child so that a caller-level
 //! cancellation still stops the whole race, while a race-level cancellation
 //! never leaks into the caller's token.
+//!
+//! Racing composes with in-engine parallelism: every leg receives the same
+//! request, including [`SolveRequest::threads`], so a race of parallel-capable
+//! engines runs `legs × threads` workers — budget accordingly.
 
 use crate::engine::{
     CancelToken, FloorplanEngine, IncumbentCallback, OutcomeStatus, SolveControl, SolveOutcome,

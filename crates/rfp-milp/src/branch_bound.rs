@@ -3,8 +3,10 @@
 //! The search is a best-first exploration of the bound-tightening tree,
 //! rebuilt around warm-started node re-solves:
 //!
+//! * the model is tightened by [`crate::presolve`] (bound propagation and
+//!   big-M coefficient strengthening) before the root LP is ever built;
 //! * the [`crate::simplex::StandardForm`] is built once; every node carries
-//!   an `Rc` to its parent's optimal **basis snapshot**, so the child LP is
+//!   an `Arc` to its parent's optimal **basis snapshot**, so the child LP is
 //!   re-solved with the **dual simplex** in a handful of pivots after the
 //!   single bound change of the branch (cold fallback when the snapshot is
 //!   unusable);
@@ -18,7 +20,10 @@
 //!   and an LP-guided diving heuristic (warm-started along the dive path)
 //!   find incumbents early;
 //! * node order is deterministic (ties broken by node id), so repeated
-//!   solves of the same model explore the same tree.
+//!   solves of the same model explore the same tree;
+//! * with [`SolverConfig::threads`] ` > 1` the tree is explored by the
+//!   work-stealing parallel driver in [`crate::parallel`]; `threads = 1`
+//!   keeps the serial loop below, bit-identical to previous releases.
 //!
 //! The retired dense tableau can be selected with
 //! [`SolverConfig::use_dense_lp`] to benchmark the revised engine against
@@ -34,7 +39,6 @@ use crate::tol;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -139,6 +143,17 @@ pub struct SolverConfig {
     /// Solve node LPs with the retired dense tableau instead of the revised
     /// simplex (benchmark baseline; disables warm re-solves and cuts).
     pub use_dense_lp: bool,
+    /// Worker threads for the branch-and-bound tree search. `1` (the
+    /// default) runs the serial loop, bit-identical to previous releases —
+    /// same node order, same proof. Larger values explore the tree with the
+    /// work-stealing parallel driver: results (proven objective, status) are
+    /// deterministic, node *counts* and traversal order are not. Ignored
+    /// (treated as `1`) by the dense benchmarking backend.
+    pub threads: usize,
+    /// Run [`crate::presolve`] (bound propagation + big-M coefficient
+    /// tightening) on the model before building the root LP. On by default;
+    /// disable to benchmark the raw formulation.
+    pub presolve: bool,
     /// Cooperative cancellation flag, polled once per node and per dive
     /// step. Share a clone of the token with another thread to abort the
     /// search; a cancelled solve reports [`crate::SolveStatus::Feasible`] or
@@ -164,6 +179,8 @@ impl Default for SolverConfig {
             cut_rounds: 10,
             max_cuts_per_round: 64,
             use_dense_lp: false,
+            threads: 1,
+            presolve: true,
             cancel: CancelToken::default(),
             external_incumbents: ExternalIncumbents::none(),
         }
@@ -191,36 +208,37 @@ pub struct Solver {
 
 /// Which branch produced a node, for pseudo-cost learning.
 #[derive(Debug, Clone, Copy)]
-struct BranchInfo {
+pub(crate) struct BranchInfo {
     /// Branched variable (structural index).
-    var: usize,
+    pub(crate) var: usize,
     /// `true` for the up (`x ≥ ⌈v⌉`) child.
-    up: bool,
+    pub(crate) up: bool,
     /// Parent LP objective in minimisation sense.
-    parent_obj: f64,
+    pub(crate) parent_obj: f64,
     /// Fractional part `v − ⌊v⌋` of the branched value.
-    frac: f64,
+    pub(crate) frac: f64,
 }
 
 /// A node of the branch-and-bound tree.
 #[derive(Debug, Clone)]
-struct Node {
+pub(crate) struct Node {
     /// Bounds of the structural variables at this node.
-    bounds: Vec<(f64, f64)>,
+    pub(crate) bounds: Vec<(f64, f64)>,
     /// Parent LP bound in minimisation sense (used for ordering).
-    bound: f64,
+    pub(crate) bound: f64,
     /// Depth in the tree.
-    depth: usize,
+    pub(crate) depth: usize,
     /// Monotone id for deterministic tie-breaking.
-    id: usize,
-    /// Parent's optimal basis, shared between siblings.
-    snapshot: Option<Rc<BasisSnapshot>>,
+    pub(crate) id: usize,
+    /// Parent's optimal basis, shared between siblings (and, in the parallel
+    /// driver, across worker threads — hence `Arc`).
+    pub(crate) snapshot: Option<Arc<BasisSnapshot>>,
     /// Branching decision that created this node.
-    branch: Option<BranchInfo>,
+    pub(crate) branch: Option<BranchInfo>,
 }
 
 /// Best-first ordering: smaller bound first, then deeper, then older.
-struct OrderedNode(Node);
+pub(crate) struct OrderedNode(pub(crate) Node);
 
 impl PartialEq for OrderedNode {
     fn eq(&self, other: &Self) -> bool {
@@ -247,8 +265,8 @@ impl Ord for OrderedNode {
 }
 
 /// Online pseudo-cost statistics per integer variable and direction.
-#[derive(Debug)]
-struct PseudoCosts {
+#[derive(Debug, Clone)]
+pub(crate) struct PseudoCosts {
     up_sum: Vec<f64>,
     up_cnt: Vec<u32>,
     down_sum: Vec<f64>,
@@ -256,7 +274,7 @@ struct PseudoCosts {
 }
 
 impl PseudoCosts {
-    fn new(n: usize) -> PseudoCosts {
+    pub(crate) fn new(n: usize) -> PseudoCosts {
         PseudoCosts {
             up_sum: vec![0.0; n],
             up_cnt: vec![0; n],
@@ -280,6 +298,19 @@ impl PseudoCosts {
     fn global_avg(sums: &[f64], cnts: &[u32]) -> Option<f64> {
         let total: u32 = cnts.iter().sum();
         (total > 0).then(|| sums.iter().sum::<f64>() / f64::from(total))
+    }
+
+    /// Folds the *delta* between a worker's current table (`newer`) and the
+    /// snapshot it started from (`older`) into `self`. The parallel driver
+    /// uses this to merge per-thread pseudo-cost learning into the shared
+    /// table without double-counting the observations the worker inherited.
+    pub(crate) fn merge_diff(&mut self, newer: &PseudoCosts, older: &PseudoCosts) {
+        for j in 0..self.up_sum.len() {
+            self.up_sum[j] += newer.up_sum[j] - older.up_sum[j];
+            self.up_cnt[j] += newer.up_cnt[j] - older.up_cnt[j];
+            self.down_sum[j] += newer.down_sum[j] - older.down_sum[j];
+            self.down_cnt[j] += newer.down_cnt[j] - older.down_cnt[j];
+        }
     }
 
     /// Picks the branching variable among `candidates` (`(index, value)` of
@@ -317,13 +348,13 @@ impl PseudoCosts {
 
 /// The LP engine behind the tree search: the revised simplex with warm
 /// starts, or the retired dense tableau as a benchmarking baseline.
-enum LpBackend {
+pub(crate) enum LpBackend {
     Revised(StandardForm),
     Dense(DenseForm),
 }
 
 impl LpBackend {
-    fn solve(
+    pub(crate) fn solve(
         &self,
         snapshot: Option<&BasisSnapshot>,
         bounds: &[(f64, f64)],
@@ -340,14 +371,14 @@ impl LpBackend {
 }
 
 /// Bookkeeping shared by every LP solve of one `solve_with_start` call.
-struct LpStats {
-    iterations: usize,
-    solves: usize,
-    seconds: f64,
+pub(crate) struct LpStats {
+    pub(crate) iterations: usize,
+    pub(crate) solves: usize,
+    pub(crate) seconds: f64,
 }
 
 impl LpStats {
-    fn timed(
+    pub(crate) fn timed(
         &mut self,
         backend: &LpBackend,
         snapshot: Option<&BasisSnapshot>,
@@ -397,6 +428,38 @@ impl Solver {
         on_incumbent: Option<&(dyn Fn(f64, f64) + Send + Sync)>,
     ) -> Solution {
         let start = Instant::now();
+        // Presolve up front so the serial and parallel drivers both search
+        // the tightened (integer-equivalent) model. Variable indices are
+        // unchanged, so warm starts and external incumbents stay valid.
+        let pre;
+        let model = if self.config.presolve {
+            pre = crate::presolve::presolve(model);
+            if pre.stats.infeasible {
+                let mut sol = Solution::empty(SolveStatus::Infeasible, model.n_vars());
+                sol.solve_seconds = start.elapsed().as_secs_f64();
+                return sol;
+            }
+            &pre.model
+        } else {
+            model
+        };
+        // The dense tableau is a frozen serial benchmarking baseline; the
+        // parallel driver only fronts the revised simplex.
+        if self.config.threads > 1 && !self.config.use_dense_lp {
+            return crate::parallel::solve_parallel(self, model, warm_start, on_incumbent, start);
+        }
+        self.solve_serial(model, warm_start, on_incumbent, start)
+    }
+
+    /// The serial best-first search loop (`threads = 1`), unchanged from
+    /// previous releases: same node order, same proof.
+    fn solve_serial(
+        &self,
+        model: &Model,
+        warm_start: Option<&[f64]>,
+        on_incumbent: Option<&(dyn Fn(f64, f64) + Send + Sync)>,
+        start: Instant,
+    ) -> Solution {
         let notify = |obj_model_sense: f64| {
             if let Some(cb) = on_incumbent {
                 cb(obj_model_sense, start.elapsed().as_secs_f64());
@@ -658,7 +721,7 @@ impl Solver {
 
             // Branch.
             let (j, v) = self.pick_branch(&pseudo, &fractional);
-            let shared_snap = snap.map(Rc::new);
+            let shared_snap = snap.map(Arc::new);
             let frac = v - v.floor();
             let floor = v.floor();
             let ceil = v.ceil();
@@ -746,7 +809,12 @@ impl Solver {
     }
 
     /// Updates pseudo-costs from a solved (or infeasible) child node.
-    fn record_pseudo(&self, pseudo: &mut PseudoCosts, node: &Node, child_obj: Option<f64>) {
+    pub(crate) fn record_pseudo(
+        &self,
+        pseudo: &mut PseudoCosts,
+        node: &Node,
+        child_obj: Option<f64>,
+    ) {
         if !matches!(self.config.branching, BranchRule::PseudoCost { .. }) {
             return;
         }
@@ -767,7 +835,11 @@ impl Solver {
     }
 
     /// Picks the branching variable according to the configured rule.
-    fn pick_branch(&self, pseudo: &PseudoCosts, fractional: &[(usize, f64)]) -> (usize, f64) {
+    pub(crate) fn pick_branch(
+        &self,
+        pseudo: &PseudoCosts,
+        fractional: &[(usize, f64)],
+    ) -> (usize, f64) {
         if let BranchRule::PseudoCost { reliability } = self.config.branching {
             if let Some(pick) = pseudo.select(fractional, reliability) {
                 return pick;
@@ -783,7 +855,7 @@ impl Solver {
     /// infeasibility. Returns an objective (in the *model's* sense) and a
     /// feasible assignment on success.
     #[allow(clippy::too_many_arguments)]
-    fn dive(
+    pub(crate) fn dive(
         &self,
         backend: &LpBackend,
         lp_cfg: &LpConfig,
@@ -853,13 +925,13 @@ impl Solver {
 
 /// The integer variables whose LP values are fractional beyond `tol`, with
 /// their values, in index order.
-fn fractional_vars(int_vars: &[usize], values: &[f64], tol: f64) -> Vec<(usize, f64)> {
+pub(crate) fn fractional_vars(int_vars: &[usize], values: &[f64], tol: f64) -> Vec<(usize, f64)> {
     int_vars.iter().map(|&j| (j, values[j])).filter(|&(_, v)| (v - v.round()).abs() > tol).collect()
 }
 
 /// The candidate whose value is farthest from integral (ties broken towards
 /// 0.5 then by index, matching the historical branching rule).
-fn most_fractional(candidates: &[(usize, f64)]) -> Option<(usize, f64)> {
+pub(crate) fn most_fractional(candidates: &[(usize, f64)]) -> Option<(usize, f64)> {
     candidates
         .iter()
         .map(|&(j, v)| (j, v, (v - v.round()).abs()))
@@ -968,10 +1040,20 @@ mod tests {
         m.add_mutex_group("yz", vec![y, z]);
         m.add_mutex_group("xz", vec![x, z]);
         m.set_objective(LinExpr::from(x) + y + z);
-        let sol = solver().solve(&m);
+        // Presolve's coefficient tightening reduces these knapsacks to the
+        // cliques themselves (no fractional cheat left to separate), so turn
+        // it off to exercise the separation machinery.
+        let cfg = SolverConfig { presolve: false, ..SolverConfig::default() };
+        let sol = Solver::new(cfg).solve(&m);
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!((sol.objective - 1.0).abs() < 1e-6, "objective {}", sol.objective);
         assert!(sol.cuts > 0, "the relaxation is fractional, cuts must fire");
+
+        // With presolve on, the same optimum is proven without needing cuts:
+        // the tightened rows already cut off the fractional point.
+        let pre = solver().solve(&m);
+        assert_eq!(pre.status, SolveStatus::Optimal);
+        assert!((pre.objective - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -28,7 +28,12 @@ use std::sync::Arc;
 /// assert!(observer.is_cancelled());
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    /// Optional parent: a child token is also cancelled when any ancestor
+    /// is, without the child's own flag ever touching the parent.
+    parent: Option<Box<CancelToken>>,
+}
 
 impl CancelToken {
     /// Creates a fresh, un-cancelled token.
@@ -36,15 +41,27 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Requests cancellation; every clone of this token observes it.
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+    /// Derives a *child* token: cancelling the parent (or any ancestor)
+    /// cancels the child, but cancelling the child leaves the parent
+    /// untouched. The parallel branch-and-bound uses this for its internal
+    /// stop signal — workers wind down when the search decides to stop *or*
+    /// the caller cancels, while an internal stop never masquerades as a
+    /// caller cancellation.
+    pub fn child(&self) -> CancelToken {
+        CancelToken { flag: Arc::default(), parent: Some(Box::new(self.clone())) }
     }
 
-    /// Returns `true` once any clone has been cancelled.
+    /// Requests cancellation; every clone of this token (and every child
+    /// derived from it) observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns `true` once any clone — or, for a child token, any ancestor —
+    /// has been cancelled.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Relaxed) || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
     }
 }
 
@@ -66,6 +83,20 @@ mod tests {
         let a = CancelToken::new();
         a.cancel();
         assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn child_tokens_observe_the_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let grandchild = child.child();
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled() && grandchild.is_cancelled());
+        assert!(!parent.is_cancelled(), "a child cancel must not leak upward");
+        let child2 = parent.child();
+        parent.cancel();
+        assert!(child2.is_cancelled() && parent.is_cancelled());
     }
 
     #[test]

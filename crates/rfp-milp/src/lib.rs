@@ -65,6 +65,8 @@ pub mod dense;
 pub mod expr;
 pub mod io;
 pub mod model;
+pub(crate) mod parallel;
+pub mod presolve;
 pub mod simplex;
 pub mod solution;
 pub mod sparse;

@@ -203,6 +203,13 @@ impl Model {
         &self.constraints
     }
 
+    /// Mutable access to the constraints, for in-place strengthening by the
+    /// presolver (coefficient tightening rewrites rows without changing the
+    /// integer-feasible set).
+    pub(crate) fn constraints_mut(&mut self) -> &mut [Constraint] {
+        &mut self.constraints
+    }
+
     /// Declares that at most one of the given binary variables can be 1 in
     /// any integral solution (a *clique* in the conflict graph).
     ///

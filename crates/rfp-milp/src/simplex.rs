@@ -20,9 +20,12 @@
 //! * cut rows can be appended ([`StandardForm::add_rows`]) and an existing
 //!   snapshot extended with the new logical basics, so a cut round re-solves
 //!   dually as well;
-//! * Dantzig pricing switches to Bland's rule after a run of degenerate
-//!   pivots, guaranteeing termination on the degenerate LPs floorplanning
-//!   produces.
+//! * the primal prices with **Devex** (approximate steepest edge): reduced
+//!   costs are scored against online reference weights `d_j² / w_j`, updated
+//!   from the transformed pivot row each iteration, which steers the walk
+//!   along steep edges and cuts the iteration count on the near-degenerate
+//!   big-M LPs floorplanning produces; pricing switches to Bland's rule
+//!   after a run of degenerate pivots, guaranteeing termination.
 //!
 //! The solver is deterministic: ties are broken by column index everywhere.
 
@@ -511,6 +514,12 @@ impl<'a> Worker<'a> {
         let mut cb = vec![0.0f64; m];
         let mut y = vec![0.0f64; m];
         let mut alpha = vec![0.0f64; m];
+        // Devex reference weights: one per column, reset to the unit
+        // framework whenever the phase flips (the phase-1 objective prices a
+        // different gradient, so carried-over weights would mislead it).
+        let mut devex = vec![1.0f64; n];
+        let mut rho = vec![0.0f64; m];
+        let mut prev_phase1: Option<bool> = None;
 
         loop {
             if self.iterations >= max_iter || self.cfg.interrupted() {
@@ -549,10 +558,16 @@ impl<'a> Worker<'a> {
             y.copy_from_slice(&cb);
             self.fact.btran(&mut y);
 
-            // Entering column: Dantzig, or Bland after a degenerate streak.
+            if prev_phase1 != Some(phase1) {
+                devex.iter_mut().for_each(|w| *w = 1.0);
+                prev_phase1 = Some(phase1);
+            }
+
+            // Entering column: Devex pricing (d_j² against the reference
+            // weight), or Bland after a degenerate streak.
             let use_bland = degenerate_run > 2 * (m + 10);
             let mut enter: Option<(usize, f64, i8)> = None;
-            for j in 0..n {
+            for (j, &weight) in devex.iter().enumerate().take(n) {
                 if self.in_basis[j] || (self.ub[j] - self.lb[j]).abs() < 1e-15 {
                     continue;
                 }
@@ -565,7 +580,7 @@ impl<'a> Worker<'a> {
                 } else {
                     continue;
                 };
-                let score = dj.abs();
+                let score = dj * dj / weight;
                 match (&enter, use_bland) {
                     (_, true) => {
                         enter = Some((j, score, dir));
@@ -678,6 +693,40 @@ impl<'a> Worker<'a> {
                     for (x, &a) in self.xb.iter_mut().zip(&alpha) {
                         if a != 0.0 {
                             *x -= dirf * t_max * a;
+                        }
+                    }
+                    // Devex update from the transformed pivot row: every
+                    // non-basic column inherits the steepness the pivot
+                    // exposes, the leaving column gets the entering weight
+                    // projected through the pivot element. Skipped under
+                    // Bland's rule, where the scores are ignored anyway.
+                    let aq = alpha[r];
+                    if !use_bland && aq.abs() >= self.cfg.pivot_tol {
+                        let wq = devex[e].max(1.0);
+                        let inv = 1.0 / (aq * aq);
+                        rho.iter_mut().for_each(|v| *v = 0.0);
+                        rho[r] = 1.0;
+                        self.fact.btran(&mut rho);
+                        let mut w_max = 1.0f64;
+                        for (j, w) in devex.iter_mut().enumerate() {
+                            if self.in_basis[j] || j == e || (self.ub[j] - self.lb[j]).abs() < 1e-15
+                            {
+                                continue;
+                            }
+                            let arj = self.sf.matrix.col_dot(j, &rho);
+                            if arj != 0.0 {
+                                let cand = arj * arj * inv * wq;
+                                if cand > *w {
+                                    *w = cand;
+                                }
+                            }
+                            w_max = w_max.max(*w);
+                        }
+                        devex[self.basis[r]] = (wq * inv).max(1.0);
+                        if w_max > 1e12 {
+                            // The reference framework drifted too far:
+                            // restart it rather than price on noise.
+                            devex.iter_mut().for_each(|w| *w = 1.0);
                         }
                     }
                     let entering_value = self.nonbasic_value(e) + dirf * t_max;

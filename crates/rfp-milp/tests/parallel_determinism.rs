@@ -1,0 +1,242 @@
+//! Result-determinism of the work-stealing parallel branch-and-bound.
+//!
+//! The parallel search is free to explore the tree in any order — node
+//! counts differ run to run — but the *results* must be deterministic:
+//! at every thread count the proven objective and the `Optimal` status must
+//! match the serial search on the same model. A cancelled or time-limited
+//! parallel solve must additionally report an *honest* bound: the best-bound
+//! side of the gap must still enclose the true optimum.
+
+use proptest::prelude::*;
+use rfp_milp::prelude::*;
+use rfp_milp::LinExpr;
+
+/// Thread counts the fixed instances are checked at.
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn solve_with_threads(model: &Model, threads: usize) -> Solution {
+    let cfg = SolverConfig { threads, ..SolverConfig::default() };
+    Solver::new(cfg).solve(model)
+}
+
+/// Classic 0/1 knapsack; optimum 56.
+fn knapsack() -> Model {
+    let values = [10.0, 13.0, 18.0, 31.0, 7.0, 15.0];
+    let weights = [2.0, 3.0, 4.0, 5.0, 1.0, 4.0];
+    let mut m = Model::new("knapsack", Sense::Maximize);
+    let vars: Vec<_> = (0..6).map(|i| m.bin_var(format!("item{i}"))).collect();
+    m.add_con(
+        "capacity",
+        LinExpr::weighted_sum(vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w))),
+        ConOp::Le,
+        10.0,
+    );
+    m.set_objective(LinExpr::weighted_sum(vars.iter().zip(values.iter()).map(|(&v, &c)| (v, c))));
+    m
+}
+
+/// Subset-sum probe with no integrality gap: bound-tied nodes everywhere,
+/// the hardest shape for parallel pruning to get wrong.
+fn subset_sum() -> Model {
+    let mut m = Model::new("subset", Sense::Maximize);
+    let vars: Vec<_> = (0..16).map(|i| m.bin_var(format!("b{i}"))).collect();
+    let w = |i: usize| (2 * i + 3) as f64;
+    m.add_con(
+        "cap",
+        LinExpr::weighted_sum(vars.iter().enumerate().map(|(i, &v)| (v, w(i)))),
+        ConOp::Le,
+        55.0,
+    );
+    m.set_objective(LinExpr::weighted_sum(vars.iter().enumerate().map(|(i, &v)| (v, w(i)))));
+    m
+}
+
+/// 4x4 assignment problem (equality-constrained, minimisation).
+fn assignment() -> Model {
+    let cost =
+        [[4.0, 1.0, 3.0, 6.0], [2.0, 0.0, 5.0, 4.0], [3.0, 2.0, 2.0, 1.0], [5.0, 3.0, 1.0, 2.0]];
+    let mut m = Model::new("assign", Sense::Minimize);
+    let x: Vec<Vec<_>> =
+        (0..4).map(|i| (0..4).map(|j| m.bin_var(format!("x{i}{j}"))).collect()).collect();
+    for (i, row) in x.iter().enumerate() {
+        m.add_con(
+            format!("row{i}"),
+            LinExpr::weighted_sum(row.iter().map(|&v| (v, 1.0))),
+            ConOp::Eq,
+            1.0,
+        );
+    }
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..4 {
+        m.add_con(
+            format!("col{j}"),
+            LinExpr::weighted_sum((0..4).map(|i| (x[i][j], 1.0))),
+            ConOp::Eq,
+            1.0,
+        );
+    }
+    m.set_objective(LinExpr::weighted_sum(
+        (0..4).flat_map(|i| (0..4).map(|j| (x[i][j], cost[i][j])).collect::<Vec<_>>()),
+    ));
+    m
+}
+
+#[test]
+fn fixed_instances_prove_the_serial_objective_at_every_thread_count() {
+    for build in [knapsack, subset_sum, assignment] {
+        let model = build();
+        let serial = Solver::default().solve(&model);
+        assert_eq!(serial.status, SolveStatus::Optimal, "{}", model.name);
+        for threads in THREADS {
+            let par = solve_with_threads(&model, threads);
+            assert_eq!(
+                par.status,
+                SolveStatus::Optimal,
+                "{} at {threads} threads must prove optimality",
+                model.name
+            );
+            assert!(
+                (par.objective - serial.objective).abs() < 1e-6,
+                "{} at {threads} threads: {} vs serial {}",
+                model.name,
+                par.objective,
+                serial.objective
+            );
+            assert!(par.verify(&model, 1e-6).is_empty());
+            // A proven solve's reported gap is closed in every thread mode.
+            assert!(par.gap() < 1e-6, "{} at {threads} threads: gap {}", model.name, par.gap());
+        }
+    }
+}
+
+#[test]
+fn threads_one_is_the_serial_search_bit_for_bit() {
+    let model = subset_sum();
+    let a = Solver::default().solve(&model);
+    let b = solve_with_threads(&model, 1);
+    assert_eq!(a.status, b.status);
+    assert_eq!(a.values, b.values);
+    // Same node order ⇒ same node count and same LP tallies.
+    assert_eq!(a.nodes, b.nodes);
+    assert_eq!(a.lp_solves, b.lp_solves);
+    assert_eq!(a.lp_iterations, b.lp_iterations);
+}
+
+#[test]
+fn cancellation_mid_parallel_search_leaves_honest_bounds() {
+    // A model big enough that 4 threads are still searching when the cancel
+    // lands; the bound reported afterwards must enclose the true optimum
+    // (known: 55 for the subset-sum probe).
+    let model = subset_sum();
+    let token = CancelToken::new();
+    let cfg = SolverConfig {
+        threads: 4,
+        // Slow the pruning down so the search is genuinely mid-flight.
+        dive_period: 0,
+        cut_rounds: 0,
+        cancel: token.clone(),
+        ..SolverConfig::default()
+    };
+    // Cancel deterministically *mid-search*: the moment the first incumbent
+    // is installed, the user token fires while workers still hold open
+    // subtrees.
+    let sol = Solver::new(cfg).solve_controlled(&model, None, Some(&move |_, _| token.cancel()));
+    assert!(sol.cancelled, "the user token must be reported");
+    // Honest bounds: whatever was proven, the true optimum 55 lies between
+    // the incumbent objective and the best bound (maximisation sense).
+    if sol.status.has_solution() {
+        assert!(sol.objective <= 55.0 + 1e-6, "objective {} overclaims", sol.objective);
+        assert!(sol.best_bound >= 55.0 - 1e-6, "bound {} cuts off the optimum", sol.best_bound);
+        assert!(sol.verify(&model, 1e-6).is_empty());
+    } else {
+        assert!(sol.best_bound >= 55.0 - 1e-6 || sol.best_bound.is_infinite());
+    }
+}
+
+#[test]
+fn node_limited_parallel_search_reports_a_valid_bound() {
+    let model = subset_sum();
+    let cfg = SolverConfig { threads: 4, max_nodes: 8, ..SolverConfig::default() };
+    let sol = Solver::new(cfg).solve(&model);
+    // Never a false proof under a budget that cannot close the gap — unless
+    // the gap really did close first (heuristics can be that lucky).
+    if sol.status == SolveStatus::Optimal {
+        assert!((sol.objective - 55.0).abs() < 1e-6);
+    }
+    if sol.status.has_solution() {
+        assert!(sol.objective <= 55.0 + 1e-6);
+        assert!(sol.best_bound >= 55.0 - 1e-6);
+    }
+}
+
+/// Deterministic splitmix64, same idiom as the revised-vs-dense suite.
+struct Rng64(u64);
+
+impl Rng64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+}
+
+/// Random small MILP with bounded integer variables (never unbounded).
+fn random_milp(seed: u64) -> Model {
+    let mut rng = Rng64(seed);
+    let n = rng.int(2, 6) as usize;
+    let m = rng.int(1, 5) as usize;
+    let sense = if rng.int(0, 1) == 0 { Sense::Minimize } else { Sense::Maximize };
+    let mut model = Model::new(format!("pprop{seed}"), sense);
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            if rng.int(0, 3) == 0 {
+                model.cont_var(format!("x{j}"), 0.0, rng.int(1, 8) as f64)
+            } else {
+                model.int_var(format!("x{j}"), 0.0, rng.int(1, 4) as f64)
+            }
+        })
+        .collect();
+    for i in 0..m {
+        let expr = LinExpr::weighted_sum(
+            vars.iter().map(|&v| (v, rng.int(-3, 3) as f64)).filter(|&(_, c)| c != 0.0),
+        );
+        let op = if rng.int(0, 3) == 0 { ConOp::Ge } else { ConOp::Le };
+        model.add_con(format!("c{i}"), expr, op, rng.int(-4, 12) as f64);
+    }
+    model.set_objective(LinExpr::weighted_sum(vars.iter().map(|&v| (v, rng.int(-5, 5) as f64))));
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serial and parallel agree on status and proven objective on random
+    /// small MILPs, at 2 and 4 threads.
+    #[test]
+    fn parallel_matches_serial_on_random_milps(seed in any::<u64>()) {
+        let model = random_milp(seed);
+        let serial = Solver::default().solve(&model);
+        for threads in [2usize, 4] {
+            let par = solve_with_threads(&model, threads);
+            prop_assert_eq!(
+                par.status, serial.status,
+                "status mismatch on seed {} at {} threads: {:?} vs {:?}",
+                seed, threads, par.status, serial.status
+            );
+            if serial.status == SolveStatus::Optimal {
+                prop_assert!(
+                    (par.objective - serial.objective).abs() <= 1e-6,
+                    "objective mismatch on seed {} at {} threads: {} vs {}",
+                    seed, threads, par.objective, serial.objective
+                );
+                prop_assert!(par.verify(&model, 1e-6).is_empty());
+            }
+        }
+    }
+}

@@ -47,10 +47,16 @@ struct CacheEntry {
     /// that maps a near-match's regions onto the cached floorplan.
     region_names: Vec<String>,
     outcome: SolveOutcome,
+    /// Times this entry served a lookup (exact, or as a near-hit donor).
+    /// Eviction removes the least-used entry first, so a hot entry survives
+    /// a flood of one-off submissions that plain FIFO would let push it out.
+    hits: u64,
 }
 
-/// A bounded, insertion-ordered outcome cache (oldest entry evicted first;
-/// exact re-insertions refresh the entry's position).
+/// A bounded outcome cache with hit-count-weighted eviction: when full, the
+/// entry with the fewest lookup hits goes first, ties broken by insertion
+/// order (oldest first). Exact re-insertions refresh the entry's position
+/// and keep its accumulated hit count.
 pub struct OutcomeCache {
     entries: Vec<CacheEntry>,
     capacity: usize,
@@ -112,9 +118,10 @@ impl OutcomeCache {
         problem: &FloorplanProblem,
         fingerprint: &ProblemFingerprint,
     ) -> CacheLookup {
-        if let Some(entry) = self.entries.iter().find(|e| e.fingerprint == *fingerprint) {
+        if let Some(i) = self.entries.iter().position(|e| e.fingerprint == *fingerprint) {
             self.hits += 1;
-            return CacheLookup::Exact(Box::new(entry.outcome.clone()));
+            self.entries[i].hits += 1;
+            return CacheLookup::Exact(Box::new(self.entries[i].outcome.clone()));
         }
 
         // Near lookup: rank same-device entries by fingerprint distance and
@@ -130,15 +137,20 @@ impl OutcomeCache {
             .collect();
         nearby.sort_unstable();
         for (distance, i) in nearby {
-            let entry = &self.entries[i];
-            let previous = entry.outcome.floorplan.as_ref().expect("only floorplans are cached");
-            let mapping: Vec<Option<usize>> = problem
-                .regions
-                .iter()
-                .map(|r| entry.region_names.iter().position(|n| *n == r.name))
-                .collect();
-            if let Some(warm) = adapt_floorplan(previous, &mapping, problem) {
+            let adapted = {
+                let entry = &self.entries[i];
+                let previous =
+                    entry.outcome.floorplan.as_ref().expect("only floorplans are cached");
+                let mapping: Vec<Option<usize>> = problem
+                    .regions
+                    .iter()
+                    .map(|r| entry.region_names.iter().position(|n| *n == r.name))
+                    .collect();
+                adapt_floorplan(previous, &mapping, problem)
+            };
+            if let Some(warm) = adapted {
                 self.near_hits += 1;
+                self.entries[i].hits += 1;
                 return CacheLookup::Near { warm, distance };
             }
         }
@@ -161,16 +173,30 @@ impl OutcomeCache {
             Some(i) => {
                 let old = self.entries.remove(i);
                 if Self::better(outcome, &old.outcome) {
-                    CacheEntry { fingerprint, region_names, outcome: outcome.clone() }
+                    // The problem's popularity, not the outcome's age, is
+                    // what eviction should weigh: keep the hit count.
+                    CacheEntry {
+                        fingerprint,
+                        region_names,
+                        outcome: outcome.clone(),
+                        hits: old.hits,
+                    }
                 } else {
                     old
                 }
             }
-            None => CacheEntry { fingerprint, region_names, outcome: outcome.clone() },
+            None => CacheEntry { fingerprint, region_names, outcome: outcome.clone(), hits: 0 },
         };
         self.entries.push(replaced);
         while self.entries.len() > self.capacity {
-            self.entries.remove(0);
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, e)| (e.hits, *i))
+                .map(|(i, _)| i)
+                .expect("the cache is over capacity, so non-empty");
+            self.entries.remove(victim);
         }
     }
 
@@ -192,5 +218,70 @@ impl std::fmt::Debug for OutcomeCache {
             .field("near_hits", &self.near_hits)
             .field("misses", &self.misses)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use rfp_floorplan::engine::{EngineStats, OutcomeStatus};
+    use rfp_floorplan::problem::RegionSpec;
+
+    /// A one-region problem whose demand (`tag + 1` CLB tiles) makes its
+    /// fingerprint distinct per tag.
+    fn problem(tag: u32) -> FloorplanProblem {
+        let mut b = DeviceBuilder::new("cache-evict");
+        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+        b.rows(4).columns(&[clb, clb, clb, clb]);
+        let mut p = FloorplanProblem::new(columnar_partition(&b.build().unwrap()).unwrap());
+        p.add_region(RegionSpec::new(format!("R{tag}"), vec![(clb, tag + 1)]));
+        p
+    }
+
+    /// A floorplan-bearing outcome; the cache never validates it.
+    fn outcome() -> SolveOutcome {
+        SolveOutcome {
+            status: OutcomeStatus::Proven,
+            floorplan: Some(Floorplan::from_regions(vec![rfp_device::Rect::new(1, 1, 1, 1)])),
+            metrics: None,
+            detail: None,
+            stats: EngineStats::new("test"),
+        }
+    }
+
+    #[test]
+    fn hot_entries_survive_a_flood_of_cold_ones() {
+        let mut cache = OutcomeCache::new(4, 0);
+        let hot = problem(100);
+        let hot_fp = ProblemFingerprint::of(&hot);
+        cache.insert(&hot, &outcome());
+        for _ in 0..5 {
+            assert!(matches!(cache.lookup(&hot, &hot_fp), CacheLookup::Exact(_)));
+        }
+        // Flood with one-off entries, several times past capacity. Plain
+        // FIFO eviction would push the hot entry out after the fourth.
+        for tag in 0..16 {
+            cache.insert(&problem(tag), &outcome());
+        }
+        assert_eq!(cache.len(), 4);
+        assert!(
+            matches!(cache.lookup(&hot, &hot_fp), CacheLookup::Exact(_)),
+            "the repeatedly-hit entry must outlive the flood"
+        );
+    }
+
+    #[test]
+    fn untouched_entries_still_evict_oldest_first() {
+        let mut cache = OutcomeCache::new(2, 0);
+        for tag in 0..3 {
+            cache.insert(&problem(tag), &outcome());
+        }
+        // Nothing was ever looked up, so the tie on zero hits breaks by
+        // age: the first insertion is the victim.
+        let p0 = problem(0);
+        assert!(matches!(cache.lookup(&p0, &ProblemFingerprint::of(&p0)), CacheLookup::Miss));
+        let p2 = problem(2);
+        assert!(matches!(cache.lookup(&p2, &ProblemFingerprint::of(&p2)), CacheLookup::Exact(_)));
     }
 }

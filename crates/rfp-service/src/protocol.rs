@@ -5,17 +5,17 @@
 //!
 //! | verb | fields | effect |
 //! |------|--------|--------|
-//! | `submit` | `id` (string, unique), `problem` (embedded `rfp-problem` v1), optional `priority` (int), `engine` (string) *or* `portfolio` (array of engine ids, `[]` = all), `time_limit` (secs), `node_limit`, `queue_budget_ms`, `cache` (bool) | queue a job |
-//! | `status` | `id` | report `queued` / `running` / `done` |
+//! | `submit` | `id` (string, unique), `problem` (embedded `rfp-problem` v1), optional `priority` (int), `engine` (string) *or* `portfolio` (array of engine ids, `[]` = all), `time_limit` (secs), `node_limit`, `threads` (worker threads for parallel-capable engines, 0 = engine default), `queue_budget_ms`, `cache` (bool) | queue a job |
+//! | `status` | `id` | report `queued` / `running` / `done` (done jobs add outcome status, cache disposition and effective thread count) |
 //! | `cancel` | `id` | cancel a queued or running job |
 //! | `shutdown` | — | stop reading, drain the queue |
 //!
 //! End of input acts like `shutdown`. After the drain one `done` line per
 //! submitted job is emitted **in submission order**, each carrying the
 //! outcome status, the engine that produced it, the cache disposition
-//! (`hit` / `warm` / `miss` / `off`) and, when a floorplan was found, its
-//! objective/metrics and region rectangles. A final `stats` line reports
-//! the cache counters.
+//! (`hit` / `warm` / `miss` / `off`), the effective worker thread count the
+//! engine ran with and, when a floorplan was found, its objective/metrics
+//! and region rectangles. A final `stats` line reports the cache counters.
 //!
 //! No response field carries wall-clock times or other run-dependent noise,
 //! so a fixed job stream on a single-worker deferred service produces
@@ -206,8 +206,8 @@ fn handle_line(
             if status.state == JobState::Done {
                 if let Some(result) = service.result(job) {
                     out.push_str(&format!(
-                        ",\"status\":\"{}\",\"cache\":\"{}\"",
-                        result.outcome.status, result.cache
+                        ",\"status\":\"{}\",\"cache\":\"{}\",\"threads\":{}",
+                        result.outcome.status, result.cache, result.outcome.stats.threads
                     ));
                 }
             }
@@ -255,6 +255,13 @@ fn parse_submit(doc: &JsonValue, service: &SolveService) -> Result<JobSpec, Stri
     if let Some(v) = doc.get("node_limit") {
         request = request.with_node_limit(v.as_u64().map_err(|e| e.to_string())?);
     }
+    if let Some(v) = doc.get("threads") {
+        let threads = v.as_u64().map_err(|e| e.to_string())?;
+        if threads > 256 {
+            return Err(format!("invalid threads {threads} (max 256)"));
+        }
+        request = request.with_threads(threads as usize);
+    }
 
     let mut spec = JobSpec::new(request);
     if let Some(v) = doc.get("priority") {
@@ -299,11 +306,13 @@ fn parse_submit(doc: &JsonValue, service: &SolveService) -> Result<JobSpec, Stri
 /// repeated runs of the same stream compare byte-for-byte.
 fn done_line(name: &str, result: &crate::service::JobResult) -> String {
     let mut out = format!(
-        "{{\"verb\":\"done\",\"id\":\"{}\",\"engine\":\"{}\",\"status\":\"{}\",\"cache\":\"{}\"",
+        "{{\"verb\":\"done\",\"id\":\"{}\",\"engine\":\"{}\",\"status\":\"{}\",\"cache\":\"{}\",\
+         \"threads\":{}",
         jsonio::escape(name),
         jsonio::escape(&result.engine),
         result.outcome.status,
-        result.cache
+        result.cache,
+        result.outcome.stats.threads
     );
     if let CacheDisposition::Warm { distance } = result.cache {
         out.push_str(&format!(",\"cache_distance\":{distance}"));

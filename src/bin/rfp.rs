@@ -36,7 +36,7 @@ use std::sync::Arc;
 const USAGE: &str = "usage:
   rfp engines
   rfp solve [--engine ID | --portfolio[=ID,ID,...]] [--time-limit SECS]
-            [--node-limit N] [--out FILE] [--quiet] PROBLEM.json
+            [--node-limit N] [--threads N] [--out FILE] [--quiet] PROBLEM.json
   rfp validate PROBLEM.json FLOORPLAN.json
   rfp simulate [--policy aware|oblivious|no_break] [--engine ID] [--threshold F]
                [--time-limit SECS] [--report FILE] [--quiet] SCENARIO.json
@@ -97,7 +97,8 @@ fn main() -> ExitCode {
 fn cmd_engines() -> ExitCode {
     let registry = registry();
     for engine in registry.iter() {
-        println!("{:<14} {}", engine.id(), engine.description());
+        let threads = if engine.parallel() { "parallel" } else { "serial  " };
+        println!("{:<14} {threads}  {}", engine.id(), engine.description());
     }
     ExitCode::SUCCESS
 }
@@ -107,6 +108,7 @@ struct SolveArgs {
     portfolio: Option<Vec<String>>,
     time_limit: f64,
     node_limit: u64,
+    threads: usize,
     out: Option<String>,
     quiet: bool,
     problem_path: String,
@@ -118,6 +120,7 @@ fn parse_solve_args(args: &[String]) -> Result<SolveArgs, String> {
         portfolio: None,
         time_limit: 0.0,
         node_limit: 0,
+        threads: 0,
         out: None,
         quiet: false,
         problem_path: String::new(),
@@ -146,6 +149,13 @@ fn parse_solve_args(args: &[String]) -> Result<SolveArgs, String> {
             "--node-limit" => {
                 let v = take_value("--node-limit")?;
                 parsed.node_limit = v.parse().map_err(|_| format!("invalid --node-limit `{v}`"))?;
+            }
+            "--threads" => {
+                let v = take_value("--threads")?;
+                parsed.threads = match v.parse() {
+                    Ok(n) if (1..=256).contains(&n) => n,
+                    _ => return Err(format!("invalid --threads `{v}` (1 - 256)")),
+                };
             }
             "--out" | "-o" => parsed.out = Some(take_value("--out")?),
             "--quiet" | "-q" => parsed.quiet = true,
@@ -204,6 +214,9 @@ fn cmd_solve(args: &[String]) -> ExitCode {
     if parsed.node_limit > 0 {
         req = req.with_node_limit(parsed.node_limit);
     }
+    if parsed.threads > 0 {
+        req = req.with_threads(parsed.threads);
+    }
 
     // One job through the same queue-worker service `rfp serve` hosts. A
     // portfolio job races the requested engines (or every registered one):
@@ -234,8 +247,12 @@ fn cmd_solve(args: &[String]) -> ExitCode {
     }
 
     if !parsed.quiet {
+        let threads = match outcome.stats.threads {
+            0 | 1 => String::new(),
+            n => format!(", {n} threads"),
+        };
         eprintln!(
-            "rfp: {engine_label}: {} in {:.2}s ({} nodes)",
+            "rfp: {engine_label}: {} in {:.2}s ({} nodes{threads})",
             outcome.status, outcome.stats.solve_seconds, outcome.stats.nodes
         );
         if let Some(m) = &outcome.metrics {
