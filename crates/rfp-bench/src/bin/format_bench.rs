@@ -1,0 +1,110 @@
+//! Serialisation-format study: JSON v1 vs `rfpb` binary on a
+//! defragmentation-sized scenario trace.
+//!
+//! The `rfp sweep` runner materialises every trace once as an `rfpb`
+//! document and re-decodes it per policy run, so the decode path sits on
+//! the sweep's critical path. This benchmark generates a defrag trace,
+//! writes it in both formats, parses each repeatedly with the vendored
+//! criterion's statistics, and reports size and p50-decode speedups. It
+//! exits non-zero unless the binary decode is measurably (>=1.5x) faster —
+//! the invariant the sweep's trace replay design depends on.
+//!
+//! Usage: `format_bench [--modules N] [--samples N] [--json PATH]`
+
+use criterion::{summarize, SampleStats};
+use rfp_bench::json;
+use rfp_runtime::{read_scenario, read_scenario_bin, write_scenario, write_scenario_bin};
+use rfp_workloads::DefragWorkloadSpec;
+use std::time::Instant;
+
+/// Minimum p50 decode speedup of binary over JSON the run must show.
+const REQUIRED_SPEEDUP: f64 = 1.5;
+
+fn time_parses<T>(samples: usize, mut parse: impl FnMut() -> T) -> SampleStats {
+    // One warmup parse outside the timed loop.
+    let _ = parse();
+    let times: Vec<_> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = parse();
+            start.elapsed()
+        })
+        .collect();
+    summarize(&times)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let modules = get("--modules", 48);
+    let samples = get("--samples", 40);
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+
+    let scenario =
+        DefragWorkloadSpec { n_modules: modules, ..DefragWorkloadSpec::default() }.generate();
+    let json_doc = write_scenario(&scenario);
+    let bin_doc = write_scenario_bin(&scenario);
+
+    // Sanity: both serialisations decode back to the same scenario.
+    let from_json = read_scenario(&json_doc).expect("generated JSON parses");
+    let from_bin = read_scenario_bin(&bin_doc).expect("generated binary parses");
+    assert_eq!(from_json, from_bin, "the two serialisations must decode identically");
+
+    let json_stats = time_parses(samples, || read_scenario(&json_doc).expect("parses"));
+    let bin_stats = time_parses(samples, || read_scenario_bin(&bin_doc).expect("parses"));
+
+    let p50_speedup = json_stats.p50.as_secs_f64() / bin_stats.p50.as_secs_f64().max(1e-12);
+    let size_ratio = json_doc.len() as f64 / bin_doc.len() as f64;
+
+    println!("# Trace formats: JSON v1 vs rfpb binary\n");
+    println!(
+        "defrag trace `{}`: {} events, {} modules, {samples} timed parses per format\n",
+        scenario.name,
+        scenario.events.len(),
+        modules
+    );
+    println!("| format | bytes | p50 parse | p95 parse |");
+    println!("|--------|-------|-----------|-----------|");
+    for (name, bytes, stats) in
+        [("json", json_doc.len(), &json_stats), ("rfpb", bin_doc.len(), &bin_stats)]
+    {
+        println!(
+            "| {name} | {bytes} | {:.1} us | {:.1} us |",
+            stats.p50.as_secs_f64() * 1e6,
+            stats.p95.as_secs_f64() * 1e6,
+        );
+    }
+    println!("\nbinary is {p50_speedup:.1}x faster to parse (p50) and {size_ratio:.1}x smaller");
+
+    if let Some(path) = json_path {
+        let doc = json::Object::new()
+            .str("report", "format_bench")
+            .int("events", scenario.events.len() as u64)
+            .int("json_bytes", json_doc.len() as u64)
+            .int("bin_bytes", bin_doc.len() as u64)
+            .num("json_p50_seconds", json_stats.p50.as_secs_f64())
+            .num("bin_p50_seconds", bin_stats.p50.as_secs_f64())
+            .num("p50_speedup", p50_speedup)
+            .num("size_ratio", size_ratio)
+            .build();
+        if let Err(e) = std::fs::write(&path, doc + "\n") {
+            eprintln!("format_bench: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("format_bench: wrote {path}");
+    }
+
+    if p50_speedup < REQUIRED_SPEEDUP {
+        eprintln!(
+            "format_bench: binary decode is only {p50_speedup:.2}x faster than JSON \
+             (required: {REQUIRED_SPEEDUP}x)"
+        );
+        std::process::exit(1);
+    }
+}

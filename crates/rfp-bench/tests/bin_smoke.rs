@@ -184,3 +184,20 @@ fn defrag_sim_compares_all_three_policies_and_writes_json() {
     assert!(json.contains("\"frames_relocated\""), "bad JSON:\n{json}");
     assert!(json.contains("\"downtime_frames\""), "bad JSON:\n{json}");
 }
+
+#[test]
+fn format_bench_shows_binary_parsing_measurably_faster_than_json() {
+    let path = std::env::temp_dir().join(format!("format_bench_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    // The binary itself exits non-zero unless rfpb decodes >= 1.5x faster
+    // than JSON at p50, so `run`'s success assertion is the real check.
+    let out = run(env!("CARGO_BIN_EXE_format_bench"), &["--samples", "20", "--json", path_str]);
+    assert!(out.contains("JSON v1 vs rfpb binary"), "unexpected output:\n{out}");
+    assert!(out.contains("| rfpb |"), "unexpected output:\n{out}");
+    assert!(out.contains("x faster to parse"), "unexpected output:\n{out}");
+    let json = std::fs::read_to_string(&path).expect("JSON artefact exists");
+    let _ = std::fs::remove_file(&path);
+    assert!(json.contains("\"report\":\"format_bench\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"p50_speedup\""), "bad JSON:\n{json}");
+    assert!(json.contains("\"bin_bytes\""), "bad JSON:\n{json}");
+}

@@ -425,19 +425,36 @@ impl DeviceSection {
         DeviceSection { order, pos_of }
     }
 
+    /// The registry indices emitted, in array order — the shared vocabulary
+    /// of every serialised device section (JSON and binary alike).
+    pub fn type_indices(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Array position of a registry index (`None` for a type the section
+    /// does not emit).
+    pub fn position(&self, type_index: usize) -> Option<usize> {
+        self.pos_of.get(&type_index).copied()
+    }
+
+    /// The canonical serialised name of a tile type: `CLB`/`BRAM`/`DSP` for
+    /// single-resource types, `T{idx}` otherwise. Shared by the JSON and
+    /// binary device writers so both emit identical tables.
+    pub fn type_name(part: &ColumnarPartition, idx: usize) -> String {
+        let res = part.resources_per_tile(TileTypeId(idx as u16));
+        let [clb, bram, dsp, other] = res.0;
+        match (clb > 0, bram > 0, dsp > 0, other > 0) {
+            (true, false, false, false) => "CLB".to_string(),
+            (false, true, false, false) => "BRAM".to_string(),
+            (false, false, true, false) => "DSP".to_string(),
+            _ => format!("T{idx}"),
+        }
+    }
+
     /// Renders the `"device": {...}` object (two-space base indentation,
     /// no trailing separator).
     pub fn write_device(&self, part: &ColumnarPartition) -> String {
-        let type_name = |idx: usize| -> String {
-            let res = part.resources_per_tile(TileTypeId(idx as u16));
-            let [clb, bram, dsp, other] = res.0;
-            match (clb > 0, bram > 0, dsp > 0, other > 0) {
-                (true, false, false, false) => "CLB".to_string(),
-                (false, true, false, false) => "BRAM".to_string(),
-                (false, false, true, false) => "DSP".to_string(),
-                _ => format!("T{idx}"),
-            }
-        };
+        let type_name = |idx: usize| -> String { DeviceSection::type_name(part, idx) };
         let mut out = String::new();
         out.push_str("  \"device\": {\n");
         out.push_str(&format!("    \"name\": \"{}\",\n", escape(&part.device_name)));
@@ -490,14 +507,80 @@ impl DeviceSection {
     }
 }
 
+/// The raw fields of a parsed device section, decoded but not yet rebuilt.
+///
+/// Both the JSON reader ([`read_device`]) and the binary reader
+/// ([`crate::binio::read_device_bin`]) decode into this struct and share
+/// [`DeviceSpec::build`], so the two formats rebuild byte-for-byte equal
+/// partitions from equal content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSpec {
+    /// Device name.
+    pub name: String,
+    /// Device rows.
+    pub rows: u32,
+    /// Tile types in emission order: `(name, [clb, bram, dsp, other], frames)`.
+    pub tile_types: Vec<(String, [u32; 4], u32)>,
+    /// Per-column positions into `tile_types`.
+    pub columns: Vec<usize>,
+    /// Forbidden areas.
+    pub forbidden: Vec<(String, Rect)>,
+}
+
+impl DeviceSpec {
+    /// Rebuilds the partition through the public `rfp-device` constructors
+    /// plus the tile-type ids at each emitted-array position (needed to
+    /// resolve region requirements).
+    pub fn build(self) -> Result<(ColumnarPartition, Vec<TileTypeId>), String> {
+        let mut registry = TileTypeRegistry::new();
+        let mut ids: Vec<TileTypeId> = Vec::new();
+        for (i, (tname, resources, frames)) in self.tile_types.into_iter().enumerate() {
+            // A per-entry configuration signature keeps ids aligned with the
+            // array positions even when two entries share resources and
+            // frames (Definition .1 would otherwise merge them).
+            let tile = TileType {
+                name: tname.clone(),
+                resources: ResourceVec(resources),
+                frames,
+                config_signature: i as u32,
+            };
+            let id = registry.register(tile).map_err(|e| format!("tile type `{tname}`: {e}"))?;
+            ids.push(id);
+        }
+
+        if self.columns.is_empty() {
+            return Err("device has no columns".to_string());
+        }
+        let mut grid = TileGrid::new(self.columns.len() as u32, self.rows)
+            .map_err(|e| format!("invalid grid: {e}"))?;
+        for (c, &pos) in self.columns.iter().enumerate() {
+            let ty = *ids
+                .get(pos)
+                .ok_or_else(|| format!("column {}: unknown tile type {pos}", c + 1))?;
+            grid.fill_column(c as u32 + 1, ty).map_err(|e| format!("column {}: {e}", c + 1))?;
+        }
+
+        let forbidden: Vec<ForbiddenArea> = self
+            .forbidden
+            .into_iter()
+            .map(|(fname, rect)| ForbiddenArea::new(fname, rect))
+            .collect();
+
+        let dev = Device::new(self.name, registry, grid, forbidden)
+            .map_err(|e| format!("invalid device: {e}"))?;
+        let partition =
+            columnar_partition(&dev).map_err(|e| format!("device is not columnar: {e}"))?;
+        Ok((partition, ids))
+    }
+}
+
 /// Parses a `"device"` object back into a partition plus the tile-type ids at
 /// each emitted-array position (needed to resolve region requirements).
 pub fn read_device(device: &JsonValue) -> Result<(ColumnarPartition, Vec<TileTypeId>), JsonError> {
     let name = device.field("name")?.as_str()?.to_string();
     let rows = device.field("rows")?.as_u32()?;
-    let mut registry = TileTypeRegistry::new();
-    let mut ids: Vec<TileTypeId> = Vec::new();
-    for (i, t) in device.field("tile_types")?.as_arr()?.iter().enumerate() {
+    let mut tile_types = Vec::new();
+    for t in device.field("tile_types")?.as_arr()? {
         let tname = t.field("name")?.as_str()?.to_string();
         let res = t.field("resources")?.as_arr()?;
         if res.len() != 4 {
@@ -508,46 +591,21 @@ pub fn read_device(device: &JsonValue) -> Result<(ColumnarPartition, Vec<TileTyp
             *slot = item.as_u32()?;
         }
         let frames = t.field("frames")?.as_u32()?;
-        // A per-entry configuration signature keeps ids aligned with the
-        // array positions even when two entries share resources and frames
-        // (Definition .1 would otherwise merge them).
-        let tile = TileType {
-            name: tname.clone(),
-            resources: ResourceVec(v),
-            frames,
-            config_signature: i as u32,
-        };
-        let id =
-            registry.register(tile).map_err(|e| JsonError(format!("tile type `{tname}`: {e}")))?;
-        ids.push(id);
+        tile_types.push((tname, v, frames));
     }
 
-    let columns = device.field("columns")?.as_arr()?;
-    if columns.is_empty() {
-        return err("device has no columns");
-    }
-    let mut grid = TileGrid::new(columns.len() as u32, rows)
-        .map_err(|e| JsonError(format!("invalid grid: {e}")))?;
-    for (c, col) in columns.iter().enumerate() {
-        let pos = col.as_u64()? as usize;
-        let ty = *ids
-            .get(pos)
-            .ok_or_else(|| JsonError(format!("column {}: unknown tile type {pos}", c + 1)))?;
-        grid.fill_column(c as u32 + 1, ty)
-            .map_err(|e| JsonError(format!("column {}: {e}", c + 1)))?;
+    let mut columns = Vec::new();
+    for col in device.field("columns")?.as_arr()? {
+        columns.push(col.as_u64()? as usize);
     }
 
     let mut forbidden = Vec::new();
     for fa in device.field("forbidden")?.as_arr()? {
         let fname = fa.field("name")?.as_str()?.to_string();
-        forbidden.push(ForbiddenArea::new(fname, rect_from_json(fa.field("rect")?)?));
+        forbidden.push((fname, rect_from_json(fa.field("rect")?)?));
     }
 
-    let dev = Device::new(name, registry, grid, forbidden)
-        .map_err(|e| JsonError(format!("invalid device: {e}")))?;
-    let partition =
-        columnar_partition(&dev).map_err(|e| JsonError(format!("device is not columnar: {e}")))?;
-    Ok((partition, ids))
+    DeviceSpec { name, rows, tile_types, columns, forbidden }.build().map_err(JsonError)
 }
 
 /// Parses one region/module object written by [`DeviceSection::write_region`].

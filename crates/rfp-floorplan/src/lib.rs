@@ -41,6 +41,8 @@
 //! * [`jsonio`] — versioned, hand-rolled JSON reader/writer for problems and
 //!   floorplans; the interchange format of the `rfp` CLI and the golden-file
 //!   tests.
+//! * [`binio`] — the length-prefixed little-endian binary twin of `jsonio`
+//!   (`rfpb` documents); the fast trace format of the sweep harness.
 //! * [`solver`] — the legacy [`solver::Floorplanner`] facade (algorithms
 //!   `O`, `HO` and `Combinatorial`), now a thin shim over [`engine`].
 //! * [`feasibility`] — the per-region free-compatible-area feasibility
@@ -81,6 +83,7 @@
 // compile-test carry explicit `allow`s).
 #![deny(deprecated)]
 
+pub mod binio;
 pub mod candidates;
 pub mod combinatorial;
 pub mod engine;

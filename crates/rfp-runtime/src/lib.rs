@@ -7,7 +7,8 @@
 //!
 //! * [`scenario`] — timestamped `Arrive`/`Depart`/`Checkpoint` event
 //!   streams plus the `rfp-scenario` v1 JSON format (same `jsonio` family as
-//!   `rfp-problem`).
+//!   `rfp-problem`) and its `rfpb` binary twin
+//!   ([`scenario::write_scenario_bin`] / [`scenario::read_scenario_bin`]).
 //! * [`frag`] — free-space accounting and the largest-free-rectangle
 //!   fragmentation metric.
 //! * [`defrag`] — the [`defrag::DefragPlanner`]: relocation-aware
@@ -74,5 +75,8 @@ pub use online::{
     SimError,
 };
 pub use report::{read_sim_report, EventRecord, SimReport};
-pub use scenario::{read_scenario, write_scenario, Event, EventKind, ModuleId, Scenario};
+pub use scenario::{
+    read_scenario, read_scenario_bin, write_scenario, write_scenario_bin, Event, EventKind,
+    ModuleId, Scenario, SCENARIO_FORMAT,
+};
 pub use scheduler::{ExecutedMove, MoveScheduler};

@@ -26,6 +26,10 @@
 //! ```
 
 use rfp_device::ColumnarPartition;
+use rfp_floorplan::binio::{
+    read_device_bin, read_region_bin, write_device_bin, write_region_bin, BinError, BinKind,
+    BinReader, BinWriter,
+};
 use rfp_floorplan::jsonio::{
     escape, parse, read_device, read_region, DeviceSection, JsonError, JsonValue,
 };
@@ -227,6 +231,77 @@ pub fn read_scenario(input: &str) -> Result<Scenario, JsonError> {
     Ok(scenario)
 }
 
+// ---------------------------------------------------------------------------
+// `rfpb` scenario writer / reader (kind 3 of `rfp_floorplan::binio`).
+// ---------------------------------------------------------------------------
+
+/// Encodes a scenario as an `rfpb` scenario document — the binary twin of
+/// [`write_scenario`], built on the shared device/region sections of
+/// [`rfp_floorplan::binio`]. This is the trace format the sweep harness
+/// materialises generated workloads into: written once, replayed per policy
+/// without paying JSON parse costs.
+pub fn write_scenario_bin(scenario: &Scenario) -> Vec<u8> {
+    let section = DeviceSection::new(&scenario.partition, &scenario.modules);
+    let mut w = BinWriter::new(BinKind::Scenario);
+    w.str(&scenario.name);
+    write_device_bin(&mut w, &scenario.partition, &section);
+    w.len(scenario.modules.len());
+    for m in &scenario.modules {
+        write_region_bin(&mut w, m, &section);
+    }
+    w.len(scenario.events.len());
+    for e in &scenario.events {
+        w.u64(e.time);
+        match e.kind {
+            EventKind::Arrive(m) => {
+                w.u8(0);
+                w.u64(m as u64);
+            }
+            EventKind::Depart(m) => {
+                w.u8(1);
+                w.u64(m as u64);
+            }
+            EventKind::Checkpoint => w.u8(2),
+        }
+    }
+    w.finish()
+}
+
+/// Decodes an `rfpb` scenario document written by [`write_scenario_bin`].
+///
+/// Like [`read_scenario`], the stream is not semantically validated; call
+/// [`Scenario::validate`] before simulating.
+pub fn read_scenario_bin(bytes: &[u8]) -> Result<Scenario, BinError> {
+    let mut r = BinReader::new(bytes);
+    r.expect_kind(BinKind::Scenario)?;
+    let name = r.str("scenario name")?;
+    let (partition, ids) = read_device_bin(&mut r)?;
+    let mut scenario = Scenario::new(name, partition);
+    let n_modules = r.len("module")?;
+    for _ in 0..n_modules {
+        scenario.modules.push(read_region_bin(&mut r, &ids)?);
+    }
+    let n_events = r.len("event")?;
+    for i in 0..n_events {
+        let time = r.u64("event time")?;
+        let at = r.offset();
+        let kind = match r.u8("event kind")? {
+            0 => EventKind::Arrive(r.u64("event module")? as usize),
+            1 => EventKind::Depart(r.u64("event module")? as usize),
+            2 => EventKind::Checkpoint,
+            other => {
+                return Err(BinError {
+                    offset: at,
+                    msg: format!("event #{i}: unknown kind {other}"),
+                })
+            }
+        };
+        scenario.events.push(Event { time, kind });
+    }
+    r.expect_end()?;
+    Ok(scenario)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +350,42 @@ mod tests {
         let mut s4 = tiny_scenario();
         s4.arrive(9, 42);
         assert!(s4.validate().iter().any(|m| m.contains("unknown module 42")));
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_binary_byte_stable() {
+        let s = tiny_scenario();
+        let bytes = write_scenario_bin(&s);
+        assert!(rfp_floorplan::binio::is_binary(&bytes));
+        assert_eq!(rfp_floorplan::binio::detect_kind(&bytes).unwrap(), BinKind::Scenario);
+        let back = read_scenario_bin(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(write_scenario_bin(&back), bytes);
+        // And the two formats decode to the same scenario.
+        assert_eq!(read_scenario(&write_scenario(&s)).unwrap(), back);
+    }
+
+    #[test]
+    fn binary_reader_rejects_truncation_and_corruption() {
+        let s = tiny_scenario();
+        let bytes = write_scenario_bin(&s);
+        for cut in 0..bytes.len() {
+            assert!(read_scenario_bin(&bytes[..cut]).is_err(), "cut at byte {cut} must fail");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(read_scenario_bin(&trailing).unwrap_err().msg.contains("trailing"));
+        // A problem document handed to the scenario reader.
+        let mut wrong_kind = bytes.clone();
+        wrong_kind[4] = BinKind::Problem.tag();
+        let e = read_scenario_bin(&wrong_kind).unwrap_err();
+        assert!(e.msg.contains("expected an rfp-scenario"), "{e}");
+        // An out-of-range event-kind byte: the last event is a checkpoint,
+        // so its kind byte is the last byte of the document.
+        let mut bad_kind = bytes.clone();
+        *bad_kind.last_mut().unwrap() = 7;
+        let e = read_scenario_bin(&bad_kind).unwrap_err();
+        assert!(e.msg.contains("unknown kind 7"), "{e}");
     }
 
     #[test]

@@ -48,15 +48,32 @@ struct CacheEntry {
     region_names: Vec<String>,
     outcome: SolveOutcome,
     /// Times this entry served a lookup (exact, or as a near-hit donor).
-    /// Eviction removes the least-used entry first, so a hot entry survives
-    /// a flood of one-off submissions that plain FIFO would let push it out.
     hits: u64,
+    /// Seconds the stored outcome took to solve — what a miss on this entry
+    /// would cost to re-derive.
+    cost_seconds: f64,
 }
 
-/// A bounded outcome cache with hit-count-weighted eviction: when full, the
-/// entry with the fewest lookup hits goes first, ties broken by insertion
-/// order (oldest first). Exact re-insertions refresh the entry's position
-/// and keep its accumulated hit count.
+impl CacheEntry {
+    /// Eviction weight: expected re-derivation cost saved by keeping the
+    /// entry, `(1 + hits) × solve seconds`. The `1 +` keeps never-hit
+    /// entries comparable by cost instead of uniformly zero, and the floor
+    /// keeps instant solves from pinning the weight to zero regardless of
+    /// how hot the entry is.
+    fn weight(&self) -> f64 {
+        (1 + self.hits) as f64 * self.cost_seconds.max(MIN_COST_SECONDS)
+    }
+}
+
+/// Floor on an entry's recorded solve cost when computing eviction weights.
+const MIN_COST_SECONDS: f64 = 1e-6;
+
+/// A bounded outcome cache with cost-weighted eviction: when full, the entry
+/// with the lowest `(1 + hits) × solve seconds` weight goes first, ties
+/// broken by insertion order (oldest first). A frequently-hit entry survives
+/// a flood of one-off submissions, and an expensive-to-recompute outcome
+/// survives a flood of cheap ones. Exact re-insertions refresh the entry's
+/// position and keep its accumulated hit count.
 pub struct OutcomeCache {
     entries: Vec<CacheEntry>,
     capacity: usize,
@@ -169,23 +186,33 @@ impl OutcomeCache {
         }
         let fingerprint = ProblemFingerprint::of(problem);
         let region_names: Vec<String> = problem.regions.iter().map(|r| r.name.clone()).collect();
+        let cost_seconds = outcome.stats.solve_seconds;
         let replaced = match self.entries.iter().position(|e| e.fingerprint == fingerprint) {
             Some(i) => {
                 let old = self.entries.remove(i);
                 if Self::better(outcome, &old.outcome) {
                     // The problem's popularity, not the outcome's age, is
-                    // what eviction should weigh: keep the hit count.
+                    // what eviction should weigh: keep the hit count. The
+                    // cost follows the outcome actually stored — that is
+                    // what a future miss would have to re-derive.
                     CacheEntry {
                         fingerprint,
                         region_names,
                         outcome: outcome.clone(),
                         hits: old.hits,
+                        cost_seconds,
                     }
                 } else {
                     old
                 }
             }
-            None => CacheEntry { fingerprint, region_names, outcome: outcome.clone(), hits: 0 },
+            None => CacheEntry {
+                fingerprint,
+                region_names,
+                outcome: outcome.clone(),
+                hits: 0,
+                cost_seconds,
+            },
         };
         self.entries.push(replaced);
         while self.entries.len() > self.capacity {
@@ -193,7 +220,7 @@ impl OutcomeCache {
                 .entries
                 .iter()
                 .enumerate()
-                .min_by_key(|(i, e)| (e.hits, *i))
+                .min_by(|(i, a), (j, b)| a.weight().total_cmp(&b.weight()).then_with(|| i.cmp(j)))
                 .map(|(i, _)| i)
                 .expect("the cache is over capacity, so non-empty");
             self.entries.remove(victim);
@@ -250,6 +277,13 @@ mod tests {
         }
     }
 
+    /// Like [`outcome`], but recording `seconds` of solve time.
+    fn outcome_costing(seconds: f64) -> SolveOutcome {
+        let mut o = outcome();
+        o.stats.solve_seconds = seconds;
+        o
+    }
+
     #[test]
     fn hot_entries_survive_a_flood_of_cold_ones() {
         let mut cache = OutcomeCache::new(4, 0);
@@ -268,6 +302,40 @@ mod tests {
         assert!(
             matches!(cache.lookup(&hot, &hot_fp), CacheLookup::Exact(_)),
             "the repeatedly-hit entry must outlive the flood"
+        );
+    }
+
+    #[test]
+    fn expensive_entries_survive_a_flood_of_cheap_ones() {
+        let mut cache = OutcomeCache::new(4, 0);
+        let costly = problem(100);
+        let costly_fp = ProblemFingerprint::of(&costly);
+        // Never looked up — only its recorded 30s solve cost protects it.
+        cache.insert(&costly, &outcome_costing(30.0));
+        for tag in 0..16 {
+            cache.insert(&problem(tag), &outcome_costing(0.001));
+        }
+        assert_eq!(cache.len(), 4);
+        assert!(
+            matches!(cache.lookup(&costly, &costly_fp), CacheLookup::Exact(_)),
+            "the expensive outcome must outlive a flood of instant ones"
+        );
+        // But popularity can still beat raw cost: a cheap entry hit often
+        // enough (weight 101 x 0.5s) outweighs an idle expensive one
+        // (weight 1 x 30s) when a 40s newcomer forces an eviction.
+        let hot = problem(200);
+        let hot_fp = ProblemFingerprint::of(&hot);
+        let mut cache = OutcomeCache::new(2, 0);
+        cache.insert(&hot, &outcome_costing(0.5));
+        cache.insert(&costly, &outcome_costing(30.0));
+        for _ in 0..100 {
+            assert!(matches!(cache.lookup(&hot, &hot_fp), CacheLookup::Exact(_)));
+        }
+        cache.insert(&problem(300), &outcome_costing(40.0));
+        assert!(matches!(cache.lookup(&hot, &hot_fp), CacheLookup::Exact(_)));
+        assert!(
+            matches!(cache.lookup(&costly, &costly_fp), CacheLookup::Miss),
+            "hits x cost weighting must prefer the hot cheap entry"
         );
     }
 

@@ -6,10 +6,12 @@
 //! ```text
 //! rfp engines                                   list the registered engines
 //! rfp convert sdr2 --out sdr2.problem.json      emit a built-in instance as JSON
+//! rfp convert --to bin p.json --out p.rfpb      transcode json <-> binary
 //! rfp solve --engine milp problem.json          solve with one engine
 //! rfp solve --portfolio problem.json            race every engine, first proof wins
 //! rfp validate problem.json floorplan.json      re-check a floorplan independently
-//! rfp simulate scenario.json                    play an online reconfiguration stream
+//! rfp simulate scenario.rfpb                    play an online reconfiguration stream
+//! rfp sweep --grid grid.json --workers 4        Monte-Carlo fleet sweep
 //! rfp serve --jobs jobs.jsonl                   run an NDJSON job stream through
 //!                                               the queue-worker solve service
 //! ```
@@ -18,16 +20,29 @@
 //! layer that `serve` hosts: `solve` submits a single job, `simulate` wires
 //! the service in as the online simulator's [`SolveDispatcher`] so repeated
 //! escalation re-solves warm-start from the cross-request outcome cache.
+//! `sweep` expands an `rfp-sweep-grid` document into hundreds of seeded
+//! simulations over a worker pool and aggregates per-cell percentiles into
+//! a report that is byte-identical at every `--workers` value.
+//!
+//! Every input that names a problem, floorplan or scenario accepts both the
+//! JSON v1 documents and their `rfpb` binary twins — the format is sniffed
+//! from the magic bytes, never the file name.
 //!
 //! Exit codes: `0` success, `1` usage/IO/format error (or failed jobs for
 //! `serve`), `2` infeasible (or floorplan invalid for `validate`, constraint
-//! violations for `simulate`), `3` budget exhausted before a floorplan was
-//! found.
+//! violations for `simulate`/`sweep`), `3` budget exhausted before a
+//! floorplan was found.
 
 use relocfp::floorplan::engine::{EngineRegistry, OutcomeStatus, SolveRequest};
-use relocfp::floorplan::jsonio;
-use relocfp::runtime::{read_scenario, simulate_with_dispatcher, DefragPolicy, OnlineConfig};
+use relocfp::floorplan::placement::Floorplan;
+use relocfp::floorplan::problem::FloorplanProblem;
+use relocfp::floorplan::{binio, jsonio};
+use relocfp::runtime::{
+    read_scenario, read_scenario_bin, simulate_with_dispatcher, write_scenario, write_scenario_bin,
+    DefragPolicy, OnlineConfig, Scenario, SCENARIO_FORMAT,
+};
 use relocfp::service::{serve, EngineChoice, JobSpec, ServeConfig, ServiceConfig, SolveService};
+use relocfp::sweep::{read_grid, run_sweep, SweepGrid, SweepOptions};
 use rfp_workloads::generator::WorkloadSpec;
 use rfp_workloads::DefragWorkloadSpec;
 use std::process::ExitCode;
@@ -36,21 +51,27 @@ use std::sync::Arc;
 const USAGE: &str = "usage:
   rfp engines
   rfp solve [--engine ID | --portfolio[=ID,ID,...]] [--time-limit SECS]
-            [--node-limit N] [--threads N] [--out FILE] [--quiet] PROBLEM.json
-  rfp validate PROBLEM.json FLOORPLAN.json
+            [--node-limit N] [--threads N] [--out FILE] [--quiet] PROBLEM
+  rfp validate PROBLEM FLOORPLAN
   rfp simulate [--policy aware|oblivious|no_break] [--engine ID] [--threshold F]
-               [--time-limit SECS] [--report FILE] [--quiet] SCENARIO.json
+               [--time-limit SECS] [--report FILE] [--quiet] SCENARIO
+  rfp sweep [--grid FILE] [--workers N] [--out FILE] [--quiet]
   rfp serve [--workers N] [--engine ID] [--no-cache] [--jobs FILE] [--out FILE]
-  rfp convert [--out FILE] INSTANCE
+  rfp convert [--to json|bin] [--out FILE] INSTANCE
       INSTANCE: sdr | sdr2 | sdr3 | synthetic[:SEED[:REGIONS]]
-              | smoke | defrag[:SEED[:MODULES]]
+              | smoke | defrag[:SEED[:MODULES]] | a problem/floorplan/scenario file
 
 Problems, floorplans and scenarios use the versioned JSON formats of the
-jsonio v1 family (rfp-problem / rfp-floorplan / rfp-scenario); `simulate`
-writes an rfp-sim-report document. `serve` reads one JSON job per line
-(verbs: submit, status, cancel, shutdown) from stdin or --jobs FILE and
-answers with one JSON response per line; with --jobs the whole stream is
-queued before the workers start, so responses are deterministic.";
+jsonio v1 family (rfp-problem / rfp-floorplan / rfp-scenario) or their rfpb
+binary twins; every PROBLEM/FLOORPLAN/SCENARIO input sniffs the format from
+the magic bytes, and `convert --to` transcodes between the two. `simulate`
+writes an rfp-sim-report document. `sweep` expands an rfp-sweep-grid file
+(default: the built-in smoke grid) into seeded simulations across a worker
+pool; its rfp-sweep-report output is byte-identical at every --workers
+value. `serve` reads one JSON job per line (verbs: submit, status, cancel,
+shutdown) from stdin or --jobs FILE and answers with one JSON response per
+line; with --jobs the whole stream is queued before the workers start, so
+responses are deterministic.";
 
 fn fail(msg: impl AsRef<str>) -> ExitCode {
     eprintln!("rfp: {}", msg.as_ref());
@@ -65,15 +86,57 @@ fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
+fn read_bytes(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
 fn write_output(out: Option<&str>, content: &str) -> Result<(), String> {
+    write_output_bytes(out, content.as_bytes())
+}
+
+fn write_output_bytes(out: Option<&str>, content: &[u8]) -> Result<(), String> {
     match out {
         Some(path) => {
             std::fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}"))
         }
         None => {
-            print!("{content}");
-            Ok(())
+            use std::io::Write as _;
+            std::io::stdout().write_all(content).map_err(|e| format!("cannot write stdout: {e}"))
         }
+    }
+}
+
+fn utf8(path: &str, bytes: Vec<u8>) -> Result<String, String> {
+    String::from_utf8(bytes).map_err(|_| format!("`{path}`: neither rfpb binary nor UTF-8 JSON"))
+}
+
+/// Reads a problem from JSON or `rfpb` binary, sniffing the magic bytes.
+fn read_problem_any(path: &str) -> Result<FloorplanProblem, String> {
+    let bytes = read_bytes(path)?;
+    if binio::is_binary(&bytes) {
+        binio::read_problem_bin(&bytes).map_err(|e| format!("`{path}`: {e}"))
+    } else {
+        jsonio::read_problem(&utf8(path, bytes)?).map_err(|e| format!("`{path}`: {e}"))
+    }
+}
+
+/// Reads a floorplan from JSON or `rfpb` binary, sniffing the magic bytes.
+fn read_floorplan_any(path: &str) -> Result<Floorplan, String> {
+    let bytes = read_bytes(path)?;
+    if binio::is_binary(&bytes) {
+        binio::read_floorplan_bin(&bytes).map_err(|e| format!("`{path}`: {e}"))
+    } else {
+        jsonio::read_floorplan(&utf8(path, bytes)?).map_err(|e| format!("`{path}`: {e}"))
+    }
+}
+
+/// Reads a scenario from JSON or `rfpb` binary, sniffing the magic bytes.
+fn read_scenario_any(path: &str) -> Result<Scenario, String> {
+    let bytes = read_bytes(path)?;
+    if binio::is_binary(&bytes) {
+        read_scenario_bin(&bytes).map_err(|e| format!("`{path}`: {e}"))
+    } else {
+        read_scenario(&utf8(path, bytes)?).map_err(|e| format!("`{path}`: {e}"))
     }
 }
 
@@ -84,6 +147,7 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
@@ -179,13 +243,9 @@ fn cmd_solve(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(format!("{e}\n{USAGE}")),
     };
-    let doc = match read_file(&parsed.problem_path) {
-        Ok(d) => d,
-        Err(e) => return fail(e),
-    };
-    let problem = match jsonio::read_problem(&doc) {
+    let problem = match read_problem_any(&parsed.problem_path) {
         Ok(p) => p,
-        Err(e) => return fail(format!("`{}`: {e}", parsed.problem_path)),
+        Err(e) => return fail(e),
     };
     if let Err(e) = problem.validate() {
         return fail(format!("`{}`: invalid problem: {e}", parsed.problem_path));
@@ -279,20 +339,16 @@ fn cmd_solve(args: &[String]) -> ExitCode {
 
 fn cmd_validate(args: &[String]) -> ExitCode {
     let [problem_path, floorplan_path] = args else {
-        return fail(format!("validate needs PROBLEM.json and FLOORPLAN.json\n{USAGE}"));
+        return fail(format!("validate needs PROBLEM and FLOORPLAN files\n{USAGE}"));
     };
-    let problem = match read_file(problem_path)
-        .and_then(|d| jsonio::read_problem(&d).map_err(|e| format!("`{problem_path}`: {e}")))
-    {
+    let problem = match read_problem_any(problem_path) {
         Ok(p) => p,
         Err(e) => return fail(e),
     };
     if let Err(e) = problem.validate() {
         return fail(format!("`{problem_path}`: invalid problem: {e}"));
     }
-    let floorplan = match read_file(floorplan_path)
-        .and_then(|d| jsonio::read_floorplan(&d).map_err(|e| format!("`{floorplan_path}`: {e}")))
-    {
+    let floorplan = match read_floorplan_any(floorplan_path) {
         Ok(fp) => fp,
         Err(e) => return fail(e),
     };
@@ -376,11 +432,9 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         }
     }
     let Some(scenario_path) = scenario_path else {
-        return fail(format!("missing SCENARIO.json argument\n{USAGE}"));
+        return fail(format!("missing SCENARIO argument\n{USAGE}"));
     };
-    let scenario = match read_file(&scenario_path)
-        .and_then(|d| read_scenario(&d).map_err(|e| format!("`{scenario_path}`: {e}")))
-    {
+    let scenario = match read_scenario_any(&scenario_path) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
@@ -488,8 +542,71 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     ExitCode::from(if summary.errors > 0 { 1 } else { 0 })
 }
 
+/// A typed document in flight between the two serialisations.
+enum ConvertDoc {
+    Problem(FloorplanProblem),
+    Floorplan(Floorplan),
+    Scenario(Scenario),
+}
+
+impl ConvertDoc {
+    /// Decodes a JSON document, dispatching on its `"format"` header.
+    fn from_json(label: &str, text: &str) -> Result<ConvertDoc, String> {
+        let format = jsonio::parse(text)
+            .and_then(|doc| Ok(doc.field("format")?.as_str()?.to_string()))
+            .map_err(|e| format!("`{label}`: {e}"))?;
+        let prefix = |e: &dyn std::fmt::Display| format!("`{label}`: {e}");
+        match format.as_str() {
+            jsonio::PROBLEM_FORMAT => {
+                jsonio::read_problem(text).map(ConvertDoc::Problem).map_err(|e| prefix(&e))
+            }
+            jsonio::FLOORPLAN_FORMAT => {
+                jsonio::read_floorplan(text).map(ConvertDoc::Floorplan).map_err(|e| prefix(&e))
+            }
+            SCENARIO_FORMAT => {
+                read_scenario(text).map(ConvertDoc::Scenario).map_err(|e| prefix(&e))
+            }
+            other => Err(format!("`{label}`: unknown document format `{other}`")),
+        }
+    }
+
+    /// Decodes an `rfpb` document, dispatching on its kind byte.
+    fn from_bin(label: &str, bytes: &[u8]) -> Result<ConvertDoc, String> {
+        let kind = binio::detect_kind(bytes).map_err(|e| format!("`{label}`: {e}"))?;
+        let prefix = |e: &dyn std::fmt::Display| format!("`{label}`: {e}");
+        match kind {
+            binio::BinKind::Problem => {
+                binio::read_problem_bin(bytes).map(ConvertDoc::Problem).map_err(|e| prefix(&e))
+            }
+            binio::BinKind::Floorplan => {
+                binio::read_floorplan_bin(bytes).map(ConvertDoc::Floorplan).map_err(|e| prefix(&e))
+            }
+            binio::BinKind::Scenario => {
+                read_scenario_bin(bytes).map(ConvertDoc::Scenario).map_err(|e| prefix(&e))
+            }
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            ConvertDoc::Problem(p) => jsonio::write_problem(p),
+            ConvertDoc::Floorplan(fp) => jsonio::write_floorplan(fp),
+            ConvertDoc::Scenario(s) => write_scenario(s),
+        }
+    }
+
+    fn to_bin(&self) -> Vec<u8> {
+        match self {
+            ConvertDoc::Problem(p) => binio::write_problem_bin(p),
+            ConvertDoc::Floorplan(fp) => binio::write_floorplan_bin(fp),
+            ConvertDoc::Scenario(s) => write_scenario_bin(s),
+        }
+    }
+}
+
 fn cmd_convert(args: &[String]) -> ExitCode {
     let mut out: Option<String> = None;
+    let mut to_bin = false;
     let mut instance: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -497,6 +614,12 @@ fn cmd_convert(args: &[String]) -> ExitCode {
             "--out" | "-o" => match it.next() {
                 Some(v) => out = Some(v.clone()),
                 None => return fail("--out needs a value"),
+            },
+            "--to" => match it.next().map(String::as_str) {
+                Some("json") => to_bin = false,
+                Some("bin") => to_bin = true,
+                Some(other) => return fail(format!("--to expects json or bin, not `{other}`")),
+                None => return fail("--to needs a value (json or bin)"),
             },
             a if a.starts_with('-') => return fail(format!("unknown option `{a}`")),
             a => {
@@ -509,11 +632,11 @@ fn cmd_convert(args: &[String]) -> ExitCode {
     let Some(instance) = instance else {
         return fail(format!("missing INSTANCE argument\n{USAGE}"));
     };
-    let doc = match instance.as_str() {
-        "sdr" => rfp_workloads::sdr_problem_json(0),
-        "sdr2" => rfp_workloads::sdr_problem_json(2),
-        "sdr3" => rfp_workloads::sdr_problem_json(3),
-        "smoke" => rfp_workloads::smoke_scenario_json(),
+    let builtin: Option<String> = match instance.as_str() {
+        "sdr" => Some(rfp_workloads::sdr_problem_json(0)),
+        "sdr2" => Some(rfp_workloads::sdr_problem_json(2)),
+        "sdr3" => Some(rfp_workloads::sdr_problem_json(3)),
+        "smoke" => Some(rfp_workloads::smoke_scenario_json()),
         other if other == "defrag" || other.starts_with("defrag:") => {
             let mut spec = DefragWorkloadSpec::default();
             let parts: Vec<&str> = other.split(':').collect();
@@ -532,7 +655,7 @@ fn cmd_convert(args: &[String]) -> ExitCode {
             if parts.len() > 3 {
                 return fail(format!("invalid defrag spec `{other}`"));
             }
-            relocfp::runtime::write_scenario(&spec.generate())
+            Some(write_scenario(&spec.generate()))
         }
         other if other == "synthetic" || other.starts_with("synthetic:") => {
             let mut spec = WorkloadSpec::default();
@@ -552,17 +675,114 @@ fn cmd_convert(args: &[String]) -> ExitCode {
             if parts.len() > 3 {
                 return fail(format!("invalid synthetic spec `{other}`"));
             }
-            spec.generate().problem_json()
+            Some(spec.generate().problem_json())
         }
-        other => {
-            return fail(format!(
-                "unknown instance `{other}` (known: sdr, sdr2, sdr3, \
-                 synthetic[:SEED[:REGIONS]], smoke, defrag[:SEED[:MODULES]])"
-            ))
+        _ => None,
+    };
+    let result = match builtin {
+        Some(json) if !to_bin => write_output(out.as_deref(), &json),
+        Some(json) => match ConvertDoc::from_json(&instance, &json) {
+            Ok(doc) => write_output_bytes(out.as_deref(), &doc.to_bin()),
+            Err(e) => return fail(e),
+        },
+        None => {
+            // Not a built-in: treat the instance as a problem/floorplan/
+            // scenario file in either serialisation.
+            let bytes = match read_bytes(&instance) {
+                Ok(b) => b,
+                Err(e) => {
+                    return fail(format!(
+                        "{e} (known instances: sdr, sdr2, sdr3, \
+                         synthetic[:SEED[:REGIONS]], smoke, defrag[:SEED[:MODULES]])"
+                    ))
+                }
+            };
+            let doc = if binio::is_binary(&bytes) {
+                ConvertDoc::from_bin(&instance, &bytes)
+            } else {
+                utf8(&instance, bytes).and_then(|text| ConvertDoc::from_json(&instance, &text))
+            };
+            match doc {
+                Ok(doc) if to_bin => write_output_bytes(out.as_deref(), &doc.to_bin()),
+                Ok(doc) => write_output(out.as_deref(), &doc.to_json()),
+                Err(e) => return fail(e),
+            }
         }
     };
-    match write_output(out.as_deref(), &doc) {
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(e),
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let mut grid_path: Option<String> = None;
+    let mut workers: usize = 1;
+    let mut out: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grid" | "-g" => match it.next() {
+                Some(v) => grid_path = Some(v.clone()),
+                None => return fail("--grid needs a value"),
+            },
+            "--workers" | "-w" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => workers = n,
+                Some(_) => return fail("--workers needs a positive integer"),
+                None => return fail("--workers needs a value"),
+            },
+            "--out" | "-o" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return fail("--out needs a value"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            a => return fail(format!("unknown argument `{a}`\n{USAGE}")),
+        }
+    }
+    let grid = match grid_path {
+        Some(path) => match read_file(&path)
+            .and_then(|d| read_grid(&d).map_err(|e| format!("`{path}`: {e}")))
+        {
+            Ok(g) => g,
+            Err(e) => return fail(e),
+        },
+        None => SweepGrid::smoke(),
+    };
+    let outcome = match run_sweep(&grid, &SweepOptions { workers, ..Default::default() }) {
+        Ok(o) => o,
+        Err(e) => return fail(e.to_string()),
+    };
+    if let Err(e) = write_output(out.as_deref(), &outcome.report.to_json()) {
+        return fail(e);
+    }
+    let violations: u64 = outcome.report.cells.iter().map(|c| c.violations).sum();
+    if !quiet {
+        eprintln!(
+            "sweep `{}`: {} runs over {} cells on {} worker(s) in {:.2}s \
+             ({:.1} KiB of shared binary trace)",
+            outcome.report.grid,
+            outcome.report.runs,
+            outcome.report.cells.len(),
+            workers,
+            outcome.wall_seconds,
+            outcome.trace_bytes as f64 / 1024.0,
+        );
+        if !outcome.over_budget.is_empty() {
+            eprintln!(
+                "warning: {} run(s) exceeded the per-run budget of {:.1}s: {:?}",
+                outcome.over_budget.len(),
+                grid.run_budget_seconds,
+                outcome.over_budget,
+            );
+        }
+        if violations > 0 {
+            eprintln!("warning: {violations} constraint violation(s) across the fleet");
+        }
+    }
+    if violations > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -20,6 +20,7 @@
 //! | [`runtime`] | `rfp-runtime` | online reconfiguration simulator: event streams, incremental placement, defragmentation |
 //! | [`service`] | `rfp-service` | queue-worker solve service: job queue, worker pool, cross-request outcome cache, `rfp serve` protocol |
 //! | [`workloads`] | `rfp-workloads` | the SDR case study (Table I), synthetic generators and defragmentation traces |
+//! | [`sweep`] | `rfp-sweep` | Monte-Carlo fleet sweeps: parameter grids, worker-pool runner, deterministic percentile reports |
 //!
 //! ## Quick start
 //!
@@ -56,6 +57,7 @@ pub use rfp_floorplan as floorplan;
 pub use rfp_milp as milp;
 pub use rfp_runtime as runtime;
 pub use rfp_service as service;
+pub use rfp_sweep as sweep;
 pub use rfp_workloads as workloads;
 
 /// One-stop import of the most used types.
@@ -71,4 +73,5 @@ pub mod prelude {
         simulate, DefragPolicy, OnlineConfig, OnlineFloorplanner, Scenario, SimReport,
     };
     pub use rfp_service::{JobSpec, ServiceConfig, SolveService};
+    pub use rfp_sweep::{run_sweep, SweepGrid, SweepOptions, SweepReport};
 }

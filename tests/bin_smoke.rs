@@ -1,0 +1,135 @@
+//! CLI smoke tests for the binary-format and fleet-sweep subcommands:
+//! `rfp convert --to json|bin`, magic-byte sniffing in `solve` / `validate`
+//! / `simulate`, and the `rfp sweep` worker-pool determinism contract.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn rfp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rfp")).args(args).output().expect("rfp runs")
+}
+
+fn ok(args: &[&str]) -> Output {
+    let out = rfp(args);
+    assert!(
+        out.status.success(),
+        "rfp {args:?} exited with {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfp-bin-smoke-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn s(path: &Path) -> &str {
+    path.to_str().expect("utf-8 temp path")
+}
+
+#[test]
+fn convert_transcodes_between_json_and_binary_losslessly() {
+    let dir = tmp_dir("convert");
+    let json = dir.join("sdr2.problem.json");
+    let bin = dir.join("sdr2.problem.rfpb");
+    let back = dir.join("sdr2.back.json");
+
+    ok(&["convert", "sdr2", "--out", s(&json)]);
+    ok(&["convert", "--to", "bin", s(&json), "--out", s(&bin)]);
+    let bytes = std::fs::read(&bin).unwrap();
+    assert_eq!(&bytes[..4], b"RFPB", "binary documents start with the magic");
+    assert!(bytes.len() < std::fs::metadata(&json).unwrap().len() as usize);
+
+    ok(&["convert", "--to", "json", s(&bin), "--out", s(&back)]);
+    assert_eq!(
+        std::fs::read_to_string(&json).unwrap(),
+        std::fs::read_to_string(&back).unwrap(),
+        "json -> bin -> json must be the identity"
+    );
+
+    // Builtins transcode directly too, and stdout carries the bytes.
+    let direct = ok(&["convert", "--to", "bin", "sdr2"]);
+    assert_eq!(direct.stdout, bytes);
+
+    // Unknown targets and unknown instances are usage errors.
+    assert_eq!(rfp(&["convert", "--to", "yaml", "sdr2"]).status.code(), Some(1));
+    assert_eq!(rfp(&["convert", "no-such-instance"]).status.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_validate_and_simulate_accept_rfpb_inputs_transparently() {
+    let dir = tmp_dir("sniff");
+    let problem = dir.join("tiny.rfpb");
+    let floorplan = dir.join("tiny.floorplan.json");
+    let scenario = dir.join("smoke.rfpb");
+
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    ok(&["convert", "--to", "bin", s(&golden.join("tiny.problem.json")), "--out", s(&problem)]);
+    ok(&[
+        "solve",
+        "--engine",
+        "combinatorial",
+        "--time-limit",
+        "60",
+        "--quiet",
+        "--out",
+        s(&floorplan),
+        s(&problem),
+    ]);
+    ok(&["validate", s(&problem), s(&floorplan)]);
+
+    ok(&["convert", "--to", "bin", "smoke", "--out", s(&scenario)]);
+    let sim = ok(&["simulate", "--quiet", s(&scenario)]);
+    assert!(
+        String::from_utf8_lossy(&sim.stdout).contains("\"format\": \"rfp-sim-report\""),
+        "simulate must emit its report from a binary trace"
+    );
+
+    // Truncated binary documents are rejected with exit 1, not a panic.
+    let bytes = std::fs::read(&problem).unwrap();
+    let cut = dir.join("cut.rfpb");
+    std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+    let out = rfp(&["solve", s(&cut)]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("binary format error at byte"),
+        "binary errors carry the failing offset, got: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_reports_are_byte_identical_across_worker_counts() {
+    let dir = tmp_dir("sweep");
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let grid = golden.join("sweep.grid.json");
+    let one = dir.join("w1.json");
+    let four = dir.join("w4.json");
+
+    ok(&["sweep", "--grid", s(&grid), "--workers", "1", "--quiet", "--out", s(&one)]);
+    ok(&["sweep", "--grid", s(&grid), "--workers", "4", "--quiet", "--out", s(&four)]);
+    let report = std::fs::read_to_string(&one).unwrap();
+    assert_eq!(
+        report,
+        std::fs::read_to_string(&four).unwrap(),
+        "sweep reports must not depend on the worker count"
+    );
+    assert_eq!(
+        report,
+        std::fs::read_to_string(golden.join("sweep.report.json")).unwrap(),
+        "the CLI must reproduce the committed baseline"
+    );
+
+    // Usage errors: a zero worker count and an unreadable grid.
+    assert_eq!(rfp(&["sweep", "--workers", "0"]).status.code(), Some(1));
+    assert_eq!(rfp(&["sweep", "--grid", "/no/such/grid.json"]).status.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -314,4 +314,63 @@ proptest! {
         prop_assert!((sol.objective - best as f64).abs() < 1e-6,
             "solver found {} but brute force found {best}", sol.objective);
     }
+
+    /// Binary problem documents round-trip exactly, byte-stably, and decode
+    /// to the same problem as the JSON serialisation.
+    #[test]
+    fn binio_problems_round_trip_and_agree_with_json(
+        seed in 0u64..1000,
+        n_regions in 1usize..6,
+        fc in 0u32..3,
+    ) {
+        use rfp_floorplan::{binio, jsonio};
+        let spec = WorkloadSpec {
+            seed,
+            n_regions,
+            utilisation: 0.3,
+            fc_per_region: fc,
+            relocatable_regions: n_regions.min(2),
+            bus_width: 16.0,
+            ..WorkloadSpec::default()
+        };
+        let problem = spec.generate().problem;
+        let bytes = binio::write_problem_bin(&problem);
+        let back = binio::read_problem_bin(&bytes).unwrap();
+        prop_assert_eq!(&back, &problem);
+        prop_assert_eq!(&binio::write_problem_bin(&back), &bytes);
+        let via_json = jsonio::read_problem(&jsonio::write_problem(&problem)).unwrap();
+        prop_assert_eq!(&via_json, &back);
+    }
+
+    /// Binary scenario traces round-trip, and truncating the document at
+    /// any byte fails cleanly instead of decoding something else.
+    #[test]
+    fn binio_scenarios_round_trip_and_reject_truncation(
+        seed in 0u64..1000,
+        n_modules in 1usize..12,
+        cut_permille in 0usize..1000,
+    ) {
+        use relocfp::runtime::{read_scenario_bin, write_scenario_bin};
+        let scenario = rfp_workloads::DefragWorkloadSpec {
+            seed,
+            n_modules,
+            ..Default::default()
+        }
+        .generate();
+        let bytes = write_scenario_bin(&scenario);
+        prop_assert_eq!(&read_scenario_bin(&bytes).unwrap(), &scenario);
+        let cut = (bytes.len() - 1) * cut_permille / 1000;
+        prop_assert!(read_scenario_bin(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+    }
+
+    /// Binary floorplan documents round-trip for any rect multiset.
+    #[test]
+    fn binio_floorplans_round_trip(
+        rects in proptest::collection::vec(arb_rect(16, 5), 0..6),
+    ) {
+        use rfp_floorplan::binio;
+        let fp = rfp_floorplan::placement::Floorplan::from_regions(rects);
+        let bytes = binio::write_floorplan_bin(&fp);
+        prop_assert_eq!(binio::read_floorplan_bin(&bytes).unwrap(), fp);
+    }
 }

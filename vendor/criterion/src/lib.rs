@@ -87,6 +87,67 @@ pub fn summarize(samples: &[Duration]) -> SampleStats {
     }
 }
 
+/// Summary statistics over dimensionless integer samples (frame counts,
+/// latencies in frames, queue depths — anything that is not a wall-clock
+/// duration). The integer twin of [`SampleStats`], with the same
+/// nearest-rank percentile definition, used by the sweep harness to keep
+/// its aggregates exactly representable (and therefore byte-stable in
+/// reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Sum of all samples.
+    pub total: u64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 95th percentile (nearest rank).
+    pub p95: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl CountStats {
+    /// The all-zero statistics of an empty sample set.
+    pub fn empty() -> CountStats {
+        CountStats { n: 0, total: 0, p50: 0, p95: 0, min: 0, max: 0 }
+    }
+
+    /// Arithmetic mean as a float (the one derived quantity that is not an
+    /// integer; total/n is exact, so callers that need byte-stable output
+    /// can render `total` and `n` instead).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.n as f64
+        }
+    }
+}
+
+/// Computes [`CountStats`] over integer samples (all-zero when empty).
+pub fn summarize_counts(samples: &[u64]) -> CountStats {
+    if samples.is_empty() {
+        return CountStats::empty();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let pct = |p: u32| {
+        let rank = (p as usize * sorted.len()).div_ceil(100);
+        sorted[rank.max(1) - 1]
+    };
+    CountStats {
+        n: sorted.len(),
+        total: sorted.iter().sum(),
+        p50: pct(50),
+        p95: pct(95),
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+    }
+}
+
 /// Mirrors `criterion::Criterion`.
 #[derive(Debug)]
 pub struct Criterion {
@@ -348,5 +409,25 @@ mod tests {
         let one = [Duration::from_millis(7)];
         let s = summarize(&one);
         assert_eq!((s.p50, s.p95, s.mean), (one[0], one[0], one[0]));
+    }
+
+    #[test]
+    fn count_stats_mirror_duration_stats() {
+        let samples: Vec<u64> = (1..=20).collect();
+        let s = summarize_counts(&samples);
+        assert_eq!(s.n, 20);
+        assert_eq!(s.total, 210);
+        assert_eq!(s.p50, 10);
+        assert_eq!(s.p95, 19);
+        assert_eq!((s.min, s.max), (1, 20));
+        assert_eq!(s.mean(), 10.5);
+        assert_eq!(summarize_counts(&[]), CountStats::empty());
+        assert_eq!(CountStats::empty().mean(), 0.0);
+        // Order must not matter.
+        let shuffled = [20u64, 3, 7, 1, 19];
+        let a = summarize_counts(&shuffled);
+        let mut sorted = shuffled.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(a, summarize_counts(&sorted));
     }
 }
