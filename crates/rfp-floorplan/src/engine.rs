@@ -610,7 +610,14 @@ pub trait SolveDispatcher: Send + Sync {
 impl SolveDispatcher for EngineRegistry {
     fn dispatch(&self, engine: &str, req: &SolveRequest, ctl: &SolveControl) -> SolveOutcome {
         match self.get(engine) {
-            Some(e) => e.solve(req, ctl),
+            Some(e) => {
+                let _leg = rfp_trace::span(&format!("engine.{}", e.id()));
+                let outcome = e.solve(req, ctl);
+                if outcome.stats.cancelled {
+                    rfp_trace::count("engine.cancelled", 1);
+                }
+                outcome
+            }
             None => SolveOutcome::without_floorplan(
                 OutcomeStatus::Infeasible,
                 format!("unknown engine `{engine}` (known: {})", self.ids().join(", ")),
@@ -849,6 +856,7 @@ fn solve_milp_engine(
                     threads: req.threads.max(1),
                     ..CombinatorialConfig::default()
                 };
+                let _seed_span = rfp_trace::span("engine.seed_search");
                 match solve_combinatorial_with_control(&problem, &seed_cfg, &seed_ctl) {
                     Ok(res) if res.floorplan.is_some() => res.floorplan,
                     Ok(res) => {
@@ -915,7 +923,10 @@ fn solve_milp_engine(
             MilpBuildConfig::heuristic_optimal(extract_relations(&rects))
         }
     };
-    let model = Arc::new(FloorplanMilp::build(&problem, &build_cfg));
+    let model = {
+        let _build = rfp_trace::span("engine.model_build");
+        Arc::new(FloorplanMilp::build(&problem, &build_cfg))
+    };
     stats.model_stats = Some(model.stats());
 
     // Cross-engine cooperation: floorplans offered by racing engines are
@@ -943,6 +954,7 @@ fn solve_milp_engine(
 
     let solver = MilpSolver::new(cfg);
     let start = warm.and_then(|fp| model.encode(&problem, &fp));
+    rfp_trace::count("engine.warm_starts", start.is_some() as u64);
     let progress = |obj: f64, secs: f64| ctl.report_incumbent(engine_id, obj, secs);
     let solution = solver.solve_controlled(&model.milp, start.as_deref(), Some(&progress));
 

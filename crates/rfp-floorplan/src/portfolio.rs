@@ -134,10 +134,15 @@ impl Portfolio {
             return RaceOutcome { winner: None, entries: Vec::new() };
         }
 
+        let _race = rfp_trace::span("portfolio.race");
         let tokens: Vec<CancelToken> = self.engines.iter().map(|_| CancelToken::new()).collect();
         let on_incumbent: Option<IncumbentCallback> = ctl.on_incumbent.clone();
         let shared = ctl.shared_incumbent.clone().unwrap_or_default();
 
+        // Leg threads record onto their own tracks, named by engine id; the
+        // handle must be captured here because thread-locals do not cross
+        // `scope.spawn`.
+        let trace = rfp_trace::current();
         let (tx, rx) = mpsc::channel::<(usize, SolveOutcome)>();
         let mut slots: Vec<Option<RaceEntry>> = vec![None; self.engines.len()];
         std::thread::scope(|scope| {
@@ -149,8 +154,16 @@ impl Portfolio {
                     shared_incumbent: Some(shared.clone()),
                 };
                 let engine = engine.clone();
+                let trace = trace.clone();
                 scope.spawn(move || {
-                    let outcome = engine.solve(req, &engine_ctl);
+                    let _scope = trace.map(|h| h.install(engine.id()));
+                    let outcome = {
+                        let _leg = rfp_trace::span(&format!("engine.{}", engine.id()));
+                        engine.solve(req, &engine_ctl)
+                    };
+                    if outcome.stats.cancelled {
+                        rfp_trace::count("engine.cancelled", 1);
+                    }
                     // The receiver may have left already; that is fine.
                     let _ = tx.send((i, outcome));
                 });
@@ -164,13 +177,15 @@ impl Portfolio {
                         if outcome.status == OutcomeStatus::Proven {
                             // First proven result: stop the stragglers.
                             for (j, t) in tokens.iter().enumerate() {
-                                if j != i {
+                                if j != i && !t.is_cancelled() {
+                                    rfp_trace::count("portfolio.loser_cancels", 1);
                                     t.cancel();
                                 }
                             }
                         } else if let (Some(fp), Some(m)) = (&outcome.floorplan, &outcome.metrics) {
                             // A finished-but-unproven leg feeds its best
                             // floorplan to the engines still running.
+                            rfp_trace::count("portfolio.incumbent_offers", 1);
                             shared.offer(m.objective, fp);
                         }
                         slots[i] = Some(RaceEntry {

@@ -390,6 +390,10 @@ impl LpStats {
         self.seconds += t0.elapsed().as_secs_f64();
         self.solves += 1;
         self.iterations += out.0.iterations;
+        // LP-solve granularity is the instrumentation floor: per-pivot
+        // events would swamp the buffers for no diagnostic gain.
+        rfp_trace::count("milp.lp.solves", 1);
+        rfp_trace::record("milp.lp.iterations", out.0.iterations as u64);
         out
     }
 }
@@ -433,8 +437,15 @@ impl Solver {
         // unchanged, so warm starts and external incumbents stay valid.
         let pre;
         let model = if self.config.presolve {
-            pre = crate::presolve::presolve(model);
+            {
+                let _presolve = rfp_trace::span("milp.presolve");
+                pre = crate::presolve::presolve(model);
+            }
+            rfp_trace::count("milp.presolve.rounds", pre.stats.rounds as u64);
+            rfp_trace::count("milp.presolve.bounds_tightened", pre.stats.bounds_tightened as u64);
+            rfp_trace::count("milp.presolve.coeffs_tightened", pre.stats.coeffs_tightened as u64);
             if pre.stats.infeasible {
+                rfp_trace::count("milp.presolve.infeasible", 1);
                 let mut sol = Solution::empty(SolveStatus::Infeasible, model.n_vars());
                 sol.solve_seconds = start.elapsed().as_secs_f64();
                 return sol;
@@ -460,7 +471,9 @@ impl Solver {
         on_incumbent: Option<&(dyn Fn(f64, f64) + Send + Sync)>,
         start: Instant,
     ) -> Solution {
+        let _search = rfp_trace::span("milp.search");
         let notify = |obj_model_sense: f64| {
+            rfp_trace::count("milp.incumbents", 1);
             if let Some(cb) = on_incumbent {
                 cb(obj_model_sense, start.elapsed().as_secs_f64());
             }
@@ -582,6 +595,8 @@ impl Solver {
             }
 
             nodes += 1;
+            rfp_trace::count("milp.nodes", 1);
+            let root_lp_span = (node.depth == 0).then(|| rfp_trace::span("milp.root_lp"));
             let (mut lp, mut snap) =
                 stats.timed(&backend, node.snapshot.as_deref(), &node.bounds, &lp_cfg);
 
@@ -606,12 +621,14 @@ impl Solver {
                     let rows: Vec<_> = cuts.iter().map(|c| c.as_row()).collect();
                     sf.add_rows(&rows);
                     cuts_added += cuts.len();
+                    rfp_trace::count("milp.cuts", cuts.len() as u64);
                     let warm = snap.as_ref().and_then(|s| sf.extend_snapshot(s));
                     let (lp2, snap2) = stats.timed(&backend, warm.as_ref(), &node.bounds, &lp_cfg);
                     lp = lp2;
                     snap = snap2;
                 }
             }
+            drop(root_lp_span);
 
             if node.depth == 0 {
                 root_status = Some(lp.status);
@@ -649,6 +666,7 @@ impl Solver {
             // Prune by bound.
             if let Some((inc_obj, _)) = &incumbent {
                 if node_bound_min >= *inc_obj - self.config.gap_abs {
+                    rfp_trace::count("milp.pruned", 1);
                     continue;
                 }
             }
@@ -658,6 +676,7 @@ impl Solver {
 
             if fractional.is_empty() {
                 // LP solution is integral: candidate incumbent.
+                rfp_trace::count("milp.integral", 1);
                 let mut values = lp.values.clone();
                 for &j in &int_vars {
                     values[j] = values[j].round();

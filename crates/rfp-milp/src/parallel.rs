@@ -128,6 +128,10 @@ pub(crate) fn solve_parallel(
     on_incumbent: Option<&(dyn Fn(f64, f64) + Send + Sync)>,
     start: Instant,
 ) -> Solution {
+    // Same span name as the serial loop: a root-solved instance (which
+    // never primes the pool, so never spawns a worker) must trace
+    // identically at every thread count.
+    let _search = rfp_trace::span("milp.search");
     let cfg = &solver.config;
     let threads = cfg.threads.max(2);
     let n = model.n_vars();
@@ -164,6 +168,7 @@ pub(crate) fn solve_parallel(
         pseudo: Mutex::new(PseudoCosts::new(n)),
     };
     let notify = |obj_min: f64| {
+        rfp_trace::count("milp.incumbents", 1);
         if let Some(cb) = on_incumbent {
             cb(from_min(obj_min), start.elapsed().as_secs_f64());
         }
@@ -243,7 +248,9 @@ pub(crate) fn solve_parallel(
             break 'ramp;
         }
         let nodes_now = shared.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        rfp_trace::count("milp.nodes", 1);
 
+        let root_lp_span = (node.depth == 0).then(|| rfp_trace::span("milp.root_lp"));
         let (mut lp, mut snap) =
             stats.timed(&backend, node.snapshot.as_deref(), &node.bounds, &lp_cfg);
 
@@ -267,12 +274,14 @@ pub(crate) fn solve_parallel(
                 let rows: Vec<_> = cuts.iter().map(|c| c.as_row()).collect();
                 sf.add_rows(&rows);
                 cuts_added += cuts.len();
+                rfp_trace::count("milp.cuts", cuts.len() as u64);
                 let warm = snap.as_ref().and_then(|s| sf.extend_snapshot(s));
                 let (lp2, snap2) = stats.timed(&backend, warm.as_ref(), &node.bounds, &lp_cfg);
                 lp = lp2;
                 snap = snap2;
             }
         }
+        drop(root_lp_span);
         if node.depth == 0 {
             root_status = Some(lp.status);
         }
@@ -299,11 +308,13 @@ pub(crate) fn solve_parallel(
             solver.record_pseudo(&mut pseudo_root, &node, Some(node_bound_min));
         }
         if shared.pruned(node_bound_min, cfg.gap_abs, 0.0) {
+            rfp_trace::count("milp.pruned", 1);
             continue 'ramp;
         }
 
         let fractional = fractional_vars(&int_vars, &lp.values, cfg.int_tol);
         if fractional.is_empty() {
+            rfp_trace::count("milp.integral", 1);
             let mut values = lp.values.clone();
             for &j in &int_vars {
                 values[j] = values[j].round();
@@ -403,6 +414,9 @@ pub(crate) fn solve_parallel(
 
         // ---- The parallel phase ----
         let backend = &backend;
+        // Workers inherit the caller's collector explicitly, each under its
+        // own track — tracks only materialise for workers that emit.
+        let trace = rfp_trace::current();
         let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
@@ -410,7 +424,9 @@ pub(crate) fn solve_parallel(
                     let lp_cfg = &lp_cfg;
                     let int_vars = &int_vars;
                     let notify = &notify;
+                    let trace = trace.clone();
                     scope.spawn(move || {
+                        let _scope = trace.map(|h| h.install(&format!("milp.worker{w}")));
                         worker_loop(
                             w, solver, model, backend, lp_cfg, int_vars, shared, notify, start,
                         )
@@ -494,6 +510,7 @@ fn pop_or_steal(w: usize, shared: &SharedSearch) -> Option<Node> {
     let t = shared.deques.len();
     for k in 1..t {
         if let Some(node) = shared.deques[(w + k) % t].lock().unwrap().pop_back() {
+            rfp_trace::count("milp.stolen", 1);
             return Some(node);
         }
     }
@@ -546,10 +563,12 @@ fn worker_loop(
 
         // Cheap lock-free prune against the freshest incumbent.
         if shared.pruned(node.bound, cfg.gap_abs, cfg.gap_rel) {
+            rfp_trace::count("milp.pruned", 1);
             finish_node(shared);
             continue;
         }
         let nodes_now = shared.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        rfp_trace::count("milp.nodes", 1);
 
         let (lp, snap) = stats.timed(backend, node.snapshot.as_deref(), &node.bounds, lp_cfg);
         match lp.status {
@@ -571,12 +590,14 @@ fn worker_loop(
             solver.record_pseudo(&mut pseudo, &node, Some(node_bound_min));
         }
         if shared.pruned(node_bound_min, cfg.gap_abs, 0.0) {
+            rfp_trace::count("milp.pruned", 1);
             finish_node(shared);
             continue;
         }
 
         let fractional = fractional_vars(int_vars, &lp.values, cfg.int_tol);
         if fractional.is_empty() {
+            rfp_trace::count("milp.integral", 1);
             let mut values = lp.values.clone();
             for &j in int_vars {
                 values[j] = values[j].round();

@@ -254,11 +254,19 @@ impl OnlineFloorplanner {
             }
         };
         match executed.kind {
-            MoveKind::Relocated => traffic.frames_relocated += executed.frames,
-            MoveKind::Resynthesized => traffic.frames_resynthesized += executed.frames,
+            MoveKind::Relocated => {
+                traffic.frames_relocated += executed.frames;
+                rfp_trace::count("runtime.frames_relocated", executed.frames);
+            }
+            MoveKind::Resynthesized => {
+                traffic.frames_resynthesized += executed.frames;
+                rfp_trace::count("runtime.frames_resynthesized", executed.frames);
+            }
         }
         traffic.downtime_frames += executed.downtime_frames;
         traffic.moves += 1;
+        rfp_trace::count("runtime.downtime_frames", executed.downtime_frames);
+        rfp_trace::count("runtime.moves", 1);
         let running = self.running.get_mut(&mv.module).expect("checked above");
         running.rect = mv.to;
         running.bitstream = executed.bitstream;
@@ -268,6 +276,7 @@ impl OnlineFloorplanner {
     /// Runs a policy compaction towards `goal`; executes the plan move by
     /// move.
     fn compact(&mut self, goal: CompactionGoal<'_>, traffic: &mut Traffic) {
+        let _defrag = rfp_trace::span("runtime.defrag");
         let planner =
             DefragPlanner { policy: self.config.policy, max_passes: self.config.max_passes };
         let plan = planner.plan(&self.partition, &self.live_modules(), goal);
@@ -312,6 +321,8 @@ impl OnlineFloorplanner {
         arrivals: &[(ModuleId, RegionSpec)],
         traffic: &mut Traffic,
     ) -> Option<Vec<Rect>> {
+        let _resolve = rfp_trace::span("runtime.resolve");
+        rfp_trace::count("runtime.escalations", 1);
         let ids: Vec<ModuleId> = self.running.keys().copied().collect();
         let mut problem = FloorplanProblem::new(self.partition.clone());
         problem.weights = ObjectiveWeights::area_only();
@@ -410,6 +421,7 @@ impl OnlineFloorplanner {
                         // stays consistent (some moves may have happened).
                         return None;
                     };
+                    rfp_trace::count("runtime.parks", 1);
                     let mv = PlannedMove { module: id, from: self.running[&id].rect, to: spot };
                     if !self.execute_move(&mv, traffic) {
                         return None;
@@ -442,12 +454,16 @@ impl OnlineFloorplanner {
 
         // Stage 1: incremental placement, batch members in stream order.
         let mut pending: Vec<usize> = Vec::new();
-        for (i, (module, spec)) in batch.iter().enumerate() {
-            match find_placement(&self.partition, spec, &self.occupied()) {
-                Some(rect) => {
-                    results[i] = Some((self.admit(*module, spec, rect, &mut traffics[i]), false));
+        {
+            let _place = rfp_trace::span("runtime.place");
+            for (i, (module, spec)) in batch.iter().enumerate() {
+                match find_placement(&self.partition, spec, &self.occupied()) {
+                    Some(rect) => {
+                        results[i] =
+                            Some((self.admit(*module, spec, rect, &mut traffics[i]), false));
+                    }
+                    None => pending.push(i),
                 }
-                None => pending.push(i),
             }
         }
 
@@ -559,6 +575,7 @@ impl OnlineFloorplanner {
         if frag_metrics(&self.partition, &self.occupied()).fragmentation
             > self.config.defrag_threshold
         {
+            rfp_trace::count("runtime.proactive_compacts", 1);
             self.compact(
                 CompactionGoal::Fragmentation(self.config.defrag_threshold),
                 &mut traffics[slot],
@@ -643,6 +660,7 @@ impl OnlineFloorplanner {
                 latencies[slot] += start.elapsed().as_secs_f64();
                 outcomes[slot] = ("depart", Some(m), true, false);
                 last_depart = Some(slot);
+                rfp_trace::count("runtime.departs", 1);
             }
         }
         // The batch's single proactive-compaction check runs once every
@@ -672,6 +690,9 @@ impl OnlineFloorplanner {
             for ((&(slot, m), traffic), (accepted, escalated)) in
                 arrival_slots.iter().zip(batch_traffics).zip(results)
             {
+                rfp_trace::count("runtime.arrivals", 1);
+                rfp_trace::count("runtime.accepted", accepted as u64);
+                rfp_trace::count("runtime.escalated", escalated as u64);
                 if !accepted {
                     self.rejected.insert(m);
                 }
@@ -695,6 +716,7 @@ impl OnlineFloorplanner {
                 latencies[slot] += start.elapsed().as_secs_f64();
                 outcomes[slot] = ("depart", Some(m), true, false);
                 last_depart = Some(slot);
+                rfp_trace::count("runtime.departs", 1);
             }
             self.proactive_compact(last_depart, &mut traffics, &mut latencies);
         }
@@ -703,6 +725,7 @@ impl OnlineFloorplanner {
         for (slot, &idx) in indices.iter().enumerate() {
             if matches!(scenario.events[idx].kind, EventKind::Checkpoint) {
                 let start = Instant::now();
+                rfp_trace::count("runtime.checkpoints", 1);
                 self.check_invariants(&mut traffics[slot]);
                 latencies[slot] += start.elapsed().as_secs_f64();
                 outcomes[slot] = ("checkpoint", None, true, false);
@@ -765,6 +788,7 @@ pub fn simulate_with_dispatcher(
     if !dispatcher.knows(&config.engine) {
         return Err(SimError::UnknownEngine(config.engine.clone()));
     }
+    let _sim = rfp_trace::span("runtime.simulate");
     let start = Instant::now();
     let mut sim =
         OnlineFloorplanner::with_dispatcher(scenario.partition.clone(), dispatcher, config.clone());

@@ -81,6 +81,27 @@ pub struct OutcomeCache {
     hits: u64,
     near_hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+/// A lifetime snapshot of the cache's behaviour, as exposed by the serve
+/// protocol's service-wide `status` and `stats` responses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Outcomes currently held.
+    pub len: usize,
+    /// Exact-fingerprint lookups served.
+    pub hits: u64,
+    /// Lookups served by adapting a nearby entry's floorplan.
+    pub near_hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries displaced by the cost-weighted eviction policy.
+    pub evictions: u64,
+    /// Sum of the resident entries' eviction weights,
+    /// `(1 + hits) × solve seconds` — the re-derivation cost the cache is
+    /// currently protecting.
+    pub weight_mass: f64,
 }
 
 /// Default maximum number of cached outcomes.
@@ -109,6 +130,7 @@ impl OutcomeCache {
             hits: 0,
             near_hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -127,6 +149,21 @@ impl OutcomeCache {
         (self.hits, self.near_hits, self.misses)
     }
 
+    /// The full lifetime snapshot, including evictions and the resident
+    /// weight mass (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            len: self.entries.len(),
+            hits: self.hits,
+            near_hits: self.near_hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            // `Sum for f64` folds from -0.0; re-anchor so an empty cache
+            // reports 0, not -0, in the JSON snapshot.
+            weight_mass: 0.0 + self.entries.iter().map(|e| e.weight()).sum::<f64>(),
+        }
+    }
+
     /// Looks the problem up. `fingerprint` must be
     /// [`ProblemFingerprint::of`] the same problem (the caller usually has
     /// it already for the job record).
@@ -138,6 +175,7 @@ impl OutcomeCache {
         if let Some(i) = self.entries.iter().position(|e| e.fingerprint == *fingerprint) {
             self.hits += 1;
             self.entries[i].hits += 1;
+            rfp_trace::count("service.cache.hits", 1);
             return CacheLookup::Exact(Box::new(self.entries[i].outcome.clone()));
         }
 
@@ -168,10 +206,12 @@ impl OutcomeCache {
             if let Some(warm) = adapted {
                 self.near_hits += 1;
                 self.entries[i].hits += 1;
+                rfp_trace::count("service.cache.near_hits", 1);
                 return CacheLookup::Near { warm, distance };
             }
         }
         self.misses += 1;
+        rfp_trace::count("service.cache.misses", 1);
         CacheLookup::Miss
     }
 
@@ -224,6 +264,8 @@ impl OutcomeCache {
                 .map(|(i, _)| i)
                 .expect("the cache is over capacity, so non-empty");
             self.entries.remove(victim);
+            self.evictions += 1;
+            rfp_trace::count("service.cache.evictions", 1);
         }
     }
 
@@ -244,6 +286,7 @@ impl std::fmt::Debug for OutcomeCache {
             .field("hits", &self.hits)
             .field("near_hits", &self.near_hits)
             .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
             .finish()
     }
 }

@@ -34,7 +34,7 @@ pub mod protocol;
 pub mod queue;
 pub mod service;
 
-pub use cache::{CacheLookup, OutcomeCache};
+pub use cache::{CacheLookup, CacheStats, OutcomeCache};
 pub use protocol::{serve, ServeConfig, ServeSummary};
 pub use queue::{JobQueue, Pop};
 pub use service::{

@@ -1,13 +1,15 @@
 //! The `rfp serve` NDJSON protocol.
 //!
 //! One JSON object per input line, one JSON response line per verb, in
-//! order. Four verbs:
+//! order. Five verbs:
 //!
 //! | verb | fields | effect |
 //! |------|--------|--------|
 //! | `submit` | `id` (string, unique), `problem` (embedded `rfp-problem` v1), optional `priority` (int), `engine` (string) *or* `portfolio` (array of engine ids, `[]` = all), `time_limit` (secs), `node_limit`, `threads` (worker threads for parallel-capable engines, 0 = engine default), `queue_budget_ms`, `cache` (bool) | queue a job |
 //! | `status` | `id` | report `queued` / `running` / `done` (done jobs add outcome status, cache disposition and effective thread count) |
+//! | `status` | — (no `id`) | service-wide snapshot: submitted/queued job counts and the full cache statistics (hits, near hits, misses, evictions, resident entries and cost-weight mass) |
 //! | `cancel` | `id` | cancel a queued or running job |
+//! | `stats` | — | live trace-counter snapshot ([`ServeConfig::trace`]) plus the same cache statistics |
 //! | `shutdown` | — | stop reading, drain the queue |
 //!
 //! End of input acts like `shutdown`. After the drain one `done` line per
@@ -45,6 +47,12 @@ pub struct ServeConfig {
     pub deferred: bool,
     /// Default engine for submits that name none.
     pub default_engine: String,
+    /// Trace collector handle: forwarded to the service workers (per-job
+    /// tracks, queue-wait wall timings) and read back by the live `stats`
+    /// verb. Long-lived sessions should hand in a
+    /// [`rfp_trace::Collector::counters_only`] handle so memory stays
+    /// bounded.
+    pub trace: Option<rfp_trace::TraceHandle>,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +62,7 @@ impl Default for ServeConfig {
             cache: true,
             deferred: false,
             default_engine: "combinatorial".to_string(),
+            trace: None,
         }
     }
 }
@@ -83,6 +92,7 @@ pub fn serve(
             cache: config.cache,
             default_engine: config.default_engine.clone(),
             paused: config.deferred,
+            trace: config.trace.clone(),
             ..ServiceConfig::default()
         },
     );
@@ -101,7 +111,7 @@ pub fn serve(
         if line.trim().is_empty() {
             continue;
         }
-        match handle_line(&line, &service, &mut by_name, &mut order) {
+        match handle_line(&line, &service, config.trace.as_ref(), &mut by_name, &mut order) {
             Ok(Response::Line(l)) => writeln!(output, "{l}")?,
             Ok(Response::Shutdown(l)) => {
                 writeln!(output, "{l}")?;
@@ -159,6 +169,7 @@ impl ProtocolError {
 fn handle_line(
     line: &str,
     service: &SolveService,
+    trace: Option<&rfp_trace::TraceHandle>,
     by_name: &mut HashMap<String, JobId>,
     order: &mut Vec<(String, JobId)>,
 ) -> Result<Response, ProtocolError> {
@@ -194,6 +205,16 @@ fn handle_line(
             )))
         }
         "status" => {
+            if doc.get("id").is_none() {
+                // No `id` names the service itself: report the job counts
+                // and the full cache statistics.
+                return Ok(Response::Line(format!(
+                    "{{\"ok\":true,\"verb\":\"status\",\"jobs\":{},\"queued\":{},{}}}",
+                    order.len(),
+                    service.queued(),
+                    cache_fields(&service.cache_stats())
+                )));
+            }
             let (name, job) = lookup(&doc, by_name).map_err(|m| fail("status", None, m))?;
             let status = service
                 .status(job)
@@ -222,12 +243,47 @@ fn handle_line(
                 jsonio::escape(&name)
             )))
         }
+        "stats" => {
+            let mut out = format!(
+                "{{\"ok\":true,\"verb\":\"stats\",\"jobs\":{},\"queued\":{},{},\"counters\":{{",
+                order.len(),
+                service.queued(),
+                cache_fields(&service.cache_stats())
+            );
+            // Only flushed (finished-job) scopes are visible in the
+            // snapshot; an untraced session reports an empty object.
+            if let Some(handle) = trace {
+                for (i, (name, value)) in handle.counter_snapshot().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":{value}", jsonio::escape(name)));
+                }
+            }
+            out.push_str("}}");
+            Ok(Response::Line(out))
+        }
         "shutdown" => Ok(Response::Shutdown(format!(
             "{{\"ok\":true,\"verb\":\"shutdown\",\"pending\":{}}}",
             service.queued()
         ))),
         other => Err(fail(other, None, format!("unknown verb `{other}`"))),
     }
+}
+
+/// Renders the shared cache-statistics fields of the service-wide `status`
+/// and `stats` responses (no surrounding braces).
+fn cache_fields(stats: &crate::cache::CacheStats) -> String {
+    format!(
+        "\"cache_hits\":{},\"cache_near\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+         \"cache_len\":{},\"cache_weight_mass\":{}",
+        stats.hits,
+        stats.near_hits,
+        stats.misses,
+        stats.evictions,
+        stats.len,
+        jsonio::num(stats.weight_mass)
+    )
 }
 
 fn lookup(doc: &JsonValue, by_name: &HashMap<String, JobId>) -> Result<(String, JobId), String> {

@@ -195,6 +195,11 @@ pub struct ServiceConfig {
     /// gate so the queue drains). This is how `rfp serve --jobs FILE`
     /// achieves a deterministic submit-everything-then-run schedule.
     pub paused: bool,
+    /// Trace collector handle. When set, every worker installs a
+    /// `job#####` scope around each job it runs, so solver spans and
+    /// counters land on per-job tracks, and queue-wait / busy time is
+    /// reported out-of-band via [`rfp_trace::wall`].
+    pub trace: Option<rfp_trace::TraceHandle>,
 }
 
 impl Default for ServiceConfig {
@@ -206,6 +211,7 @@ impl Default for ServiceConfig {
             cache_max_distance: crate::cache::DEFAULT_MAX_DISTANCE,
             default_engine: "combinatorial".to_string(),
             paused: false,
+            trace: None,
         }
     }
 }
@@ -262,9 +268,9 @@ impl SolveService {
             config: config.clone(),
         });
         let workers = (0..config.workers.max(1))
-            .map(|_| {
+            .map(|w| {
                 let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, w))
             })
             .collect();
         SolveService { shared, workers }
@@ -372,6 +378,12 @@ impl SolveService {
         self.shared.cache.lock().unwrap_or_else(|e| e.into_inner()).counters()
     }
 
+    /// The full cache snapshot: hit/near-hit/miss/eviction counters plus
+    /// the resident cost-weight mass.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.shared.cache.lock().unwrap_or_else(|e| e.into_inner()).stats()
+    }
+
     /// The engine registry the service dispatches to.
     pub fn registry(&self) -> &EngineRegistry {
         &self.shared.registry
@@ -436,7 +448,7 @@ fn complete(shared: &Shared, jobs: &mut HashMap<JobId, JobRecord>, id: JobId, re
     shared.done.notify_all();
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     let mut gate = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
     while !*gate {
         gate = shared.gate_open.wait(gate).unwrap_or_else(|e| e.into_inner());
@@ -450,7 +462,7 @@ fn worker_loop(shared: &Shared) {
 
         // Transition to Running — or complete immediately when the job was
         // cancelled while queued or out-lived its queue budget.
-        let (cancel, fingerprint) = {
+        let (cancel, fingerprint, queued_for) = {
             let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
             let record = match jobs.get_mut(&id) {
                 Some(r) => r,
@@ -471,10 +483,19 @@ fn worker_loop(shared: &Shared) {
                 }
             }
             record.state = RecState::Running;
-            (record.cancel.clone(), record.fingerprint)
+            (record.cancel.clone(), record.fingerprint, record.submitted.elapsed())
         };
 
+        // Each job records onto its own `job#####` track (job ids are
+        // service-unique, so concurrent workers never share a track), with
+        // queue-wait and per-worker busy time kept out-of-band.
+        let job_scope = shared.config.trace.as_ref().map(|h| h.install(&format!("job{id:05}")));
+        rfp_trace::count("service.jobs", 1);
+        rfp_trace::wall("service.queue_wait", queued_for.as_secs_f64());
+        let started = Instant::now();
         let result = run_job(shared, spec, cancel, &fingerprint);
+        rfp_trace::wall(&format!("service.worker{worker}.busy"), started.elapsed().as_secs_f64());
+        drop(job_scope);
 
         let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
         complete(shared, &mut jobs, id, result);
@@ -542,7 +563,10 @@ fn run_job(
     }
 
     let ctl = SolveControl::with_cancel(cancel);
-    let (engine_label, outcome, race) = dispatch(shared, &spec.engine, &request, &ctl);
+    let (engine_label, outcome, race) = {
+        let _solve = rfp_trace::span("service.solve");
+        dispatch(shared, &spec.engine, &request, &ctl)
+    };
 
     if use_cache {
         let problem = request.effective_problem();
@@ -602,7 +626,16 @@ fn dispatch(
         }
     };
     match shared.registry.get(engine_id) {
-        Some(engine) => (engine_id.to_string(), engine.solve(request, ctl), None),
+        Some(engine) => {
+            let outcome = {
+                let _leg = rfp_trace::span(&format!("engine.{engine_id}"));
+                engine.solve(request, ctl)
+            };
+            if outcome.stats.cancelled {
+                rfp_trace::count("engine.cancelled", 1);
+            }
+            (engine_id.to_string(), outcome, None)
+        }
         None => (engine_id.to_string(), unknown_engine(engine_id), None),
     }
 }

@@ -36,11 +36,16 @@ pub struct SweepOptions {
     /// Cooperative abort: cancel it and the pool drains after the runs
     /// currently in flight.
     pub cancel: CancelToken,
+    /// Trace collector handle. When set, each run records its decode /
+    /// simulate phase breakdown onto its own `run#####` track (run indices
+    /// are plan-stable, so the trace is as worker-count-independent as the
+    /// report).
+    pub trace: Option<rfp_trace::TraceHandle>,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { workers: 1, cancel: CancelToken::new() }
+        SweepOptions { workers: 1, cancel: CancelToken::new(), trace: None }
     }
 }
 
@@ -114,8 +119,13 @@ pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> Result<SweepOutcom
                 }
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(run) = plan.runs.get(idx) else { break };
-                let scenario = read_scenario_bin(&traces[run.trace])
-                    .expect("traces materialised by this runner decode");
+                let _run_scope = options.trace.as_ref().map(|h| h.install(&format!("run{idx:05}")));
+                rfp_trace::count("sweep.runs", 1);
+                let scenario = {
+                    let _decode = rfp_trace::span("sweep.decode");
+                    read_scenario_bin(&traces[run.trace])
+                        .expect("traces materialised by this runner decode")
+                };
                 let config = OnlineConfig {
                     engine: grid.engine.clone(),
                     policy: run.policy,
@@ -123,9 +133,11 @@ pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> Result<SweepOutcom
                     ..OnlineConfig::default()
                 };
                 let run_started = Instant::now();
+                let _simulate = rfp_trace::span("sweep.simulate");
                 match simulate(&scenario, &config) {
                     Ok(sim) => {
                         if run_started.elapsed().as_secs_f64() > grid.run_budget_seconds {
+                            rfp_trace::count("sweep.over_budget", 1);
                             over_budget.lock().expect("budget lock").push(idx);
                         }
                         *results[idx].lock().expect("slot lock") = Some(RunMetrics::from_sim(&sim));

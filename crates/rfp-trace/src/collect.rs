@@ -1,0 +1,478 @@
+//! The collector: thread-local scopes, per-thread buffers, one-lock drain.
+//!
+//! Emission never touches a lock: every [`TraceHandle::install`] scope
+//! accumulates into a thread-owned [`TrackBuf`] and flushes it **once**,
+//! when the scope ends, into the collector's shared state. Counters merge
+//! by summation and histogram samples by multiset union, so the flush
+//! order of concurrent scopes cannot change the drained document as long
+//! as concurrent scopes use distinct track names (which the
+//! instrumentation does: worker indices, job ids, engine ids).
+
+use crate::doc::TraceDoc;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One span boundary recorded in thread order.
+#[derive(Debug, Clone)]
+pub(crate) enum SpanEvent {
+    /// A span named `0` opened.
+    Enter(String),
+    /// The innermost open span closed.
+    Exit,
+}
+
+/// Everything one track accumulated: span boundaries in emission order,
+/// counters and histogram samples.
+#[derive(Debug, Default)]
+pub(crate) struct TrackBuf {
+    pub(crate) events: Vec<SpanEvent>,
+    pub(crate) counts: BTreeMap<String, u64>,
+    pub(crate) values: BTreeMap<String, Vec<u64>>,
+}
+
+impl TrackBuf {
+    fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.counts.is_empty() && self.values.is_empty()
+    }
+
+    fn merge(&mut self, other: TrackBuf) {
+        self.events.extend(other.events);
+        for (name, delta) in other.counts {
+            *self.counts.entry(name).or_insert(0) += delta;
+        }
+        for (name, mut samples) in other.values {
+            self.values.entry(name).or_default().append(&mut samples);
+        }
+    }
+}
+
+/// The collector-side accumulation of every flushed scope.
+#[derive(Debug, Default)]
+pub(crate) struct State {
+    pub(crate) tracks: BTreeMap<String, TrackBuf>,
+    /// Out-of-band wall-clock seconds by name — never part of the document.
+    pub(crate) wall: BTreeMap<String, f64>,
+}
+
+/// Shared between the [`Collector`] and every [`TraceHandle`] clone.
+struct Shared {
+    state: Mutex<State>,
+    wall_clock: bool,
+    counters_only: bool,
+}
+
+/// Aggregates trace scopes and drains them to a deterministic [`TraceDoc`].
+pub struct Collector {
+    shared: Arc<Shared>,
+}
+
+impl Collector {
+    /// A collector with logical clocks only — the deterministic default.
+    pub fn new() -> Collector {
+        Collector::build(false, false)
+    }
+
+    /// A collector that *additionally* measures real span durations and
+    /// accepts [`wall`] measurements. The wall numbers stay out-of-band
+    /// ([`Collector::wall_timings`]); the drained document is unchanged.
+    pub fn with_wall_clock() -> Collector {
+        Collector::build(true, false)
+    }
+
+    /// A collector that keeps **only counters** — span boundaries and
+    /// histogram samples are dropped at emission, so memory stays bounded
+    /// no matter how long the process lives. Built for the serve loop's
+    /// live `stats` snapshots.
+    pub fn counters_only() -> Collector {
+        Collector::build(false, true)
+    }
+
+    fn build(wall_clock: bool, counters_only: bool) -> Collector {
+        Collector {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State::default()),
+                wall_clock,
+                counters_only,
+            }),
+        }
+    }
+
+    /// A cheap, cloneable, `Send + Sync` handle for installing scopes —
+    /// including on spawned threads.
+    pub fn handle(&self) -> TraceHandle {
+        TraceHandle { shared: self.shared.clone() }
+    }
+
+    /// Installs this collector on the current thread under `track` (a
+    /// convenience for [`TraceHandle::install`]).
+    pub fn install(&self, track: &str) -> ScopeGuard {
+        self.handle().install(track)
+    }
+
+    /// Drains every flushed scope into the deterministic document and
+    /// clears the span/counter state. Out-of-band wall timings survive a
+    /// drain and keep accumulating.
+    pub fn drain(&self) -> TraceDoc {
+        let mut state = self.shared.state.lock().expect("trace state lock");
+        let tracks = std::mem::take(&mut state.tracks);
+        TraceDoc::build(&tracks)
+    }
+
+    /// The accumulated out-of-band wall-clock seconds, `(name, seconds)`
+    /// sorted by name. Span durations appear under the span's name (only
+    /// when the collector was built [`Collector::with_wall_clock`]);
+    /// explicit [`wall`] measurements always land here.
+    pub fn wall_timings(&self) -> Vec<(String, f64)> {
+        let state = self.shared.state.lock().expect("trace state lock");
+        state.wall.iter().map(|(n, &s)| (n.clone(), s)).collect()
+    }
+
+    /// A live snapshot of every counter, summed across tracks — the serve
+    /// protocol's `stats` verb. Non-destructive; only flushed scopes are
+    /// visible.
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        snapshot_counters(&self.shared)
+    }
+}
+
+fn snapshot_counters(shared: &Shared) -> BTreeMap<String, u64> {
+    let state = shared.state.lock().expect("trace state lock");
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    for buf in state.tracks.values() {
+        for (name, &v) in &buf.counts {
+            *merged.entry(name.clone()).or_insert(0) += v;
+        }
+    }
+    merged
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("wall_clock", &self.shared.wall_clock)
+            .field("counters_only", &self.shared.counters_only)
+            .finish()
+    }
+}
+
+/// A cloneable reference to a [`Collector`], safe to move into spawned
+/// threads.
+#[derive(Clone)]
+pub struct TraceHandle {
+    shared: Arc<Shared>,
+}
+
+impl TraceHandle {
+    /// Installs the collector on the current thread for a lexical scope;
+    /// everything emitted until the returned guard drops lands on `track`.
+    /// Scopes nest (the innermost wins); a scope that emitted nothing
+    /// flushes nothing, so its track never materialises.
+    pub fn install(&self, track: &str) -> ScopeGuard {
+        SCOPES.with(|scopes| {
+            scopes.borrow_mut().push(LocalScope {
+                shared: self.shared.clone(),
+                track: track.to_string(),
+                buf: TrackBuf::default(),
+                wall: BTreeMap::new(),
+                wall_clock: self.shared.wall_clock,
+                counters_only: self.shared.counters_only,
+                open_starts: Vec::new(),
+            });
+        });
+        ACTIVE.with(|a| a.set(true));
+        ScopeGuard { _not_send: PhantomData }
+    }
+
+    /// A live counter snapshot through the handle (see
+    /// [`Collector::counter_snapshot`]) — lets a protocol layer report
+    /// counters without holding the collector itself.
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        snapshot_counters(&self.shared)
+    }
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceHandle")
+    }
+}
+
+/// One installed scope on this thread.
+struct LocalScope {
+    shared: Arc<Shared>,
+    track: String,
+    buf: TrackBuf,
+    wall: BTreeMap<String, f64>,
+    wall_clock: bool,
+    counters_only: bool,
+    /// Start instants of the open spans, innermost last (wall mode only).
+    open_starts: Vec<(String, Instant)>,
+}
+
+impl LocalScope {
+    fn flush(mut self) {
+        // Wall mode: charge still-open spans up to the flush point so an
+        // early scope drop doesn't silently lose their time.
+        while let Some((name, started)) = self.open_starts.pop() {
+            *self.wall.entry(name).or_insert(0.0) += started.elapsed().as_secs_f64();
+        }
+        if self.buf.is_empty() && self.wall.is_empty() {
+            return;
+        }
+        let mut state = self.shared.state.lock().expect("trace state lock");
+        if !self.buf.is_empty() {
+            state.tracks.entry(self.track).or_default().merge(self.buf);
+        }
+        for (name, secs) in self.wall {
+            *state.wall.entry(name).or_insert(0.0) += secs;
+        }
+    }
+}
+
+thread_local! {
+    /// The stack of installed scopes; emission targets the top.
+    static SCOPES: RefCell<Vec<LocalScope>> = const { RefCell::new(Vec::new()) };
+    /// Mirror of `!SCOPES.is_empty()` — the one-read fast path that makes
+    /// every emission free when tracing is off.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when a collector scope is installed on this thread. Use it to
+/// gate *computing* an expensive metric; plain emissions self-gate.
+pub fn enabled() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// The innermost installed collector, for handing to spawned threads.
+pub fn current() -> Option<TraceHandle> {
+    if !enabled() {
+        return None;
+    }
+    SCOPES.with(|scopes| {
+        scopes.borrow().last().map(|scope| TraceHandle { shared: scope.shared.clone() })
+    })
+}
+
+fn with_top<R>(f: impl FnOnce(&mut LocalScope) -> R) -> Option<R> {
+    SCOPES.with(|scopes| scopes.borrow_mut().last_mut().map(f))
+}
+
+/// Adds `delta` to the counter `name` on the current track. No-op when
+/// tracing is off or `delta` is zero (zero counters never materialise).
+pub fn count(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    with_top(|scope| *scope.buf.counts.entry(name.to_string()).or_insert(0) += delta);
+}
+
+/// Adds one sample to the histogram `name` on the current track.
+pub fn record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_top(|scope| {
+        if !scope.counters_only {
+            scope.buf.values.entry(name.to_string()).or_default().push(value);
+        }
+    });
+}
+
+/// Adds out-of-band wall-clock seconds under `name` — queue waits, worker
+/// busy time. Never appears in the deterministic document; read it back
+/// with [`Collector::wall_timings`].
+pub fn wall(name: &str, seconds: f64) {
+    if !enabled() {
+        return;
+    }
+    with_top(|scope| *scope.wall.entry(name.to_string()).or_insert(0.0) += seconds);
+}
+
+/// Opens a span named `name` on the current track; it closes when the
+/// guard drops. The guard must not outlive the scope it was opened in.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { armed: false };
+    }
+    with_top(|scope| {
+        if !scope.counters_only {
+            scope.buf.events.push(SpanEvent::Enter(name.to_string()));
+        }
+        if scope.wall_clock {
+            scope.open_starts.push((name.to_string(), Instant::now()));
+        }
+    });
+    SpanGuard { armed: true }
+}
+
+/// Closes its span on drop. When tracing was off at [`span`] time the
+/// guard is inert.
+#[must_use = "a span closes when its guard drops"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed || !enabled() {
+            return;
+        }
+        with_top(|scope| {
+            if !scope.counters_only {
+                scope.buf.events.push(SpanEvent::Exit);
+            }
+            if scope.wall_clock {
+                if let Some((name, started)) = scope.open_starts.pop() {
+                    *scope.wall.entry(name).or_insert(0.0) += started.elapsed().as_secs_f64();
+                }
+            }
+        });
+    }
+}
+
+/// Uninstalls its scope on drop, flushing the scope's buffer into the
+/// collector. Not `Send`: a scope must end on the thread that opened it.
+#[must_use = "the scope ends (and flushes) when its guard drops"]
+pub struct ScopeGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let scope = SCOPES.with(|scopes| {
+            let mut scopes = scopes.borrow_mut();
+            let scope = scopes.pop();
+            ACTIVE.with(|a| a.set(!scopes.is_empty()));
+            scope
+        });
+        if let Some(scope) = scope {
+            scope.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emission_without_a_scope_is_a_no_op() {
+        assert!(!enabled());
+        count("orphan", 1);
+        record("orphan", 1);
+        wall("orphan", 1.0);
+        let _g = span("orphan");
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scopes_flush_once_and_merge_by_track() {
+        let collector = Collector::new();
+        {
+            let _a = collector.install("main");
+            count("n", 2);
+            record("h", 5);
+        }
+        {
+            let _b = collector.install("main");
+            count("n", 3);
+            record("h", 7);
+        }
+        let doc = collector.drain();
+        assert_eq!(doc.tracks.len(), 1);
+        assert_eq!(doc.tracks[0].counters, vec![("n".to_string(), 5)]);
+        assert_eq!(doc.tracks[0].histograms[0].1.total, 12);
+        // Drained: the next drain is empty.
+        assert!(collector.drain().tracks.is_empty());
+    }
+
+    #[test]
+    fn empty_scopes_leave_no_track_and_zero_counts_vanish() {
+        let collector = Collector::new();
+        {
+            let _idle = collector.install("worker0");
+        }
+        {
+            let _main = collector.install("main");
+            count("zero", 0);
+        }
+        assert!(collector.drain().tracks.is_empty());
+    }
+
+    #[test]
+    fn nested_installs_route_to_the_innermost_track() {
+        let collector = Collector::new();
+        let _outer = collector.install("outer");
+        count("x", 1);
+        {
+            let _inner = collector.install("inner");
+            count("x", 10);
+        }
+        count("x", 1);
+        drop(_outer);
+        let doc = collector.drain();
+        let get = |t: &str| {
+            doc.tracks.iter().find(|tr| tr.name == t).map(|tr| tr.counters[0].1).unwrap_or(0)
+        };
+        assert_eq!(get("outer"), 2);
+        assert_eq!(get("inner"), 10);
+    }
+
+    #[test]
+    fn handles_cross_threads() {
+        let collector = Collector::new();
+        let handle = collector.handle();
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let _s = handle.install(&format!("worker{w}"));
+                    count("done", 1);
+                });
+            }
+        });
+        let doc = collector.drain();
+        assert_eq!(doc.tracks.len(), 2);
+        assert_eq!(collector.counter_snapshot().len(), 0, "drain cleared the counters");
+    }
+
+    #[test]
+    fn counters_only_mode_drops_spans_and_samples() {
+        let collector = Collector::counters_only();
+        {
+            let _s = collector.install("main");
+            let _sp = span("ignored");
+            count("kept", 4);
+            record("dropped", 9);
+        }
+        assert_eq!(collector.counter_snapshot().get("kept"), Some(&4));
+        let doc = collector.drain();
+        assert!(doc.tracks[0].spans.is_empty());
+        assert!(doc.tracks[0].histograms.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_stays_out_of_band() {
+        let collector = Collector::with_wall_clock();
+        {
+            let _s = collector.install("main");
+            let _sp = span("work");
+            wall("queue_wait", 0.25);
+        }
+        let doc = collector.drain();
+        assert_eq!(doc.tracks[0].spans[0].name, "work");
+        let timings = collector.wall_timings();
+        assert!(timings.iter().any(|(n, _)| n == "queue_wait"));
+        assert!(timings.iter().any(|(n, _)| n == "work"));
+        assert!(!doc.to_json().contains("queue_wait\" :"), "wall names never gain fields");
+    }
+}

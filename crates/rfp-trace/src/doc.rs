@@ -1,0 +1,319 @@
+//! The deterministic `rfp-trace` v1 document: span trees on named tracks,
+//! non-zero counters, and count histograms.
+//!
+//! Logical sequence numbers are assigned **here**, at build time, by
+//! walking tracks in canonical order (`"main"` first, the rest
+//! lexicographic) and each track's span boundaries in emission order —
+//! not at emission time — so the numbering is a pure function of the
+//! recorded structure, independent of thread scheduling.
+
+use crate::collect::{SpanEvent, TrackBuf};
+use crate::json;
+use std::collections::BTreeMap;
+
+/// Summary statistics over dimensionless integer samples — the same shape
+/// (and nearest-rank percentile definition) as the criterion stub's
+/// `CountStats`, re-derived here so the trace crate stays dependency-free.
+/// Order-independent: a multiset of samples has exactly one summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountStats {
+    /// Number of samples.
+    pub n: u64,
+    /// Sum of all samples.
+    pub total: u64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 95th percentile (nearest rank).
+    pub p95: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Computes [`CountStats`] over a sample multiset (all-zero when empty).
+pub fn summarize_counts(samples: &[u64]) -> CountStats {
+    if samples.is_empty() {
+        return CountStats { n: 0, total: 0, p50: 0, p95: 0, min: 0, max: 0 };
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let pct = |p: u64| {
+        let rank = (p as usize * sorted.len()).div_ceil(100);
+        sorted[rank.max(1) - 1]
+    };
+    CountStats {
+        n: sorted.len() as u64,
+        total: sorted.iter().sum(),
+        p50: pct(50),
+        p95: pct(95),
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+    }
+}
+
+/// One node of a track's span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The name passed to [`crate::span`].
+    pub name: String,
+    /// Logical sequence number of the span's opening.
+    pub seq: u64,
+    /// Logical sequence number of the span's closing (`> seq`).
+    pub end: u64,
+    /// Spans opened and closed while this one was open.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// The span's extent on the logical clock.
+    pub fn logical_len(&self) -> u64 {
+        self.end.saturating_sub(self.seq)
+    }
+}
+
+/// One track: everything a named scope (or several scopes sharing the
+/// name) emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// Track name (`"main"`, `"job00003"`, `"milp.worker1"`, …).
+    pub name: String,
+    /// Top-level spans in emission order.
+    pub spans: Vec<Span>,
+    /// Non-zero counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, CountStats)>,
+}
+
+/// A drained trace: the deterministic `rfp-trace` v1 document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceDoc {
+    /// Tracks in canonical order: `"main"` first, the rest lexicographic.
+    pub tracks: Vec<Track>,
+}
+
+impl TraceDoc {
+    /// Folds the collector's raw buffers into the canonical document.
+    pub(crate) fn build(tracks: &BTreeMap<String, TrackBuf>) -> TraceDoc {
+        let mut names: Vec<&String> = tracks.keys().collect();
+        names.sort_by_key(|n| (n.as_str() != "main", n.as_str()));
+        let mut seq = 0u64;
+        let mut out = Vec::new();
+        for name in names {
+            let buf = &tracks[name];
+            let spans = build_tree(&buf.events, &mut seq);
+            let counters: Vec<(String, u64)> =
+                buf.counts.iter().filter(|(_, &v)| v != 0).map(|(n, &v)| (n.clone(), v)).collect();
+            let histograms: Vec<(String, CountStats)> = buf
+                .values
+                .iter()
+                .filter(|(_, samples)| !samples.is_empty())
+                .map(|(n, samples)| (n.clone(), summarize_counts(samples)))
+                .collect();
+            if spans.is_empty() && counters.is_empty() && histograms.is_empty() {
+                continue;
+            }
+            out.push(Track { name: name.clone(), spans, counters, histograms });
+        }
+        TraceDoc { tracks: out }
+    }
+
+    /// Serialises to the pretty-printed `rfp-trace` v1 JSON (trailing
+    /// newline included). Integers only — the document is byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"format\": \"rfp-trace\",\n  \"version\": 1,\n  \"tracks\": [");
+        for (i, track) in self.tracks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\n      \"name\": ");
+            json::write_string(&mut s, &track.name);
+            s.push_str(",\n      \"spans\": [");
+            write_spans(&mut s, &track.spans, 8);
+            s.push_str("],\n      \"counters\": {");
+            for (j, (name, value)) in track.counters.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str("\n        ");
+                json::write_string(&mut s, name);
+                s.push_str(&format!(": {value}"));
+            }
+            if !track.counters.is_empty() {
+                s.push_str("\n      ");
+            }
+            s.push_str("},\n      \"histograms\": {");
+            for (j, (name, h)) in track.histograms.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str("\n        ");
+                json::write_string(&mut s, name);
+                s.push_str(&format!(
+                    ": {{\"n\": {}, \"total\": {}, \"p50\": {}, \"p95\": {}, \"min\": {}, \"max\": {}}}",
+                    h.n, h.total, h.p50, h.p95, h.min, h.max
+                ));
+            }
+            if !track.histograms.is_empty() {
+                s.push_str("\n      ");
+            }
+            s.push_str("}\n    }");
+        }
+        if !self.tracks.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parses an `rfp-trace` v1 JSON document.
+    pub fn from_json(text: &str) -> Result<TraceDoc, ParseError> {
+        json::parse_doc(text)
+    }
+}
+
+pub use crate::json::ParseError;
+
+fn write_spans(s: &mut String, spans: &[Span], indent: usize) {
+    let pad = " ".repeat(indent);
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('\n');
+        s.push_str(&pad);
+        s.push_str("{\"name\": ");
+        json::write_string(s, &span.name);
+        s.push_str(&format!(", \"seq\": {}, \"end\": {}, \"children\": [", span.seq, span.end));
+        if !span.children.is_empty() {
+            write_spans(s, &span.children, indent + 2);
+            s.push('\n');
+            s.push_str(&pad);
+        }
+        s.push_str("]}");
+    }
+    if !spans.is_empty() {
+        s.push('\n');
+        s.push_str(&" ".repeat(indent.saturating_sub(2)));
+    }
+}
+
+/// Builds the span forest of one track, ticking the document-global
+/// logical clock once per boundary. Unbalanced exits are dropped;
+/// unclosed spans close at the track's end.
+fn build_tree(events: &[SpanEvent], seq: &mut u64) -> Vec<Span> {
+    let mut roots: Vec<Span> = Vec::new();
+    let mut stack: Vec<Span> = Vec::new();
+    let mut tick = || {
+        let s = *seq;
+        *seq += 1;
+        s
+    };
+    for event in events {
+        match event {
+            SpanEvent::Enter(name) => {
+                stack.push(Span { name: name.clone(), seq: tick(), end: 0, children: Vec::new() })
+            }
+            SpanEvent::Exit => {
+                if let Some(mut span) = stack.pop() {
+                    span.end = tick();
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(span),
+                        None => roots.push(span),
+                    }
+                }
+            }
+        }
+    }
+    while let Some(mut span) = stack.pop() {
+        span.end = tick();
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(span),
+            None => roots.push(span),
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{count, record, span, Collector};
+
+    #[test]
+    fn summarize_matches_the_nearest_rank_definition() {
+        let s = summarize_counts(&[4, 1, 3, 2]);
+        assert_eq!(s, CountStats { n: 4, total: 10, p50: 2, p95: 4, min: 1, max: 4 });
+        assert_eq!(summarize_counts(&[]).n, 0);
+        let shuffled = summarize_counts(&[2, 4, 1, 3]);
+        assert_eq!(s, shuffled, "order-independent");
+    }
+
+    #[test]
+    fn span_trees_nest_and_sequence_canonically() {
+        let collector = Collector::new();
+        {
+            let _s = collector.install("main");
+            let _outer = span("solve");
+            {
+                let _inner = span("presolve");
+            }
+            {
+                let _inner = span("search");
+                count("nodes", 1);
+            }
+        }
+        {
+            let _s = collector.install("aux");
+            let _sp = span("side");
+        }
+        let doc = collector.drain();
+        assert_eq!(doc.tracks.len(), 2);
+        assert_eq!(doc.tracks[0].name, "main", "main sorts first");
+        let solve = &doc.tracks[0].spans[0];
+        assert_eq!(solve.seq, 0);
+        assert_eq!(solve.children[0].name, "presolve");
+        assert_eq!(solve.children[0].seq, 1);
+        assert_eq!(solve.children[0].end, 2);
+        assert_eq!(solve.children[1].name, "search");
+        assert_eq!(solve.end, 5);
+        assert_eq!(doc.tracks[1].spans[0].seq, 6, "the clock is document-global");
+    }
+
+    #[test]
+    fn unclosed_spans_close_at_track_end() {
+        let collector = Collector::new();
+        {
+            let _s = collector.install("main");
+            let open = span("left-open");
+            std::mem::forget(open);
+        }
+        let doc = collector.drain();
+        assert_eq!(doc.tracks[0].spans[0].end, 1);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let collector = Collector::new();
+        {
+            let _s = collector.install("main");
+            let _a = span("a");
+            count("c\"tricky\\name", 3);
+            record("h", 1);
+            record("h", 2);
+        }
+        let doc = collector.drain();
+        let text = doc.to_json();
+        let parsed = TraceDoc::from_json(&text).expect("parses");
+        assert_eq!(doc, parsed);
+        assert_eq!(parsed.to_json(), text, "writer is a fixpoint");
+    }
+
+    #[test]
+    fn empty_doc_round_trips() {
+        let doc = TraceDoc::default();
+        assert_eq!(TraceDoc::from_json(&doc.to_json()).unwrap(), doc);
+    }
+}

@@ -1,0 +1,337 @@
+//! Hand-rolled JSON support for the `rfp-trace` v1 schema: a string
+//! escaper for the writer and a recursive-descent parser specialised to
+//! the document shape (objects, arrays, strings, unsigned integers), with
+//! positioned errors. Integers parse exactly as `u64` — no float detour —
+//! so a write→parse→write round trip is byte-identical.
+
+use crate::doc::{CountStats, Span, TraceDoc, Track};
+
+/// Why a trace document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Appends `value` to `out` as a JSON string literal.
+pub(crate) fn write_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", byte as char))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.err("non-scalar \\u escape"),
+                            }
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-borrow the raw UTF-8: step back one byte and take
+                    // the full code point.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+                        ParseError { offset: self.pos, message: "invalid UTF-8".to_string() }
+                    })?;
+                    let c = rest.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return self.err("unescaped control character");
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected an unsigned integer");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| ParseError { offset: start, message: "integer overflow".to_string() })
+    }
+
+    /// Parses `{ "key": ..., ... }`, calling `field` for each key with the
+    /// parser positioned at the value.
+    fn object(
+        &mut self,
+        mut field: impl FnMut(&mut Self, &str) -> Result<(), ParseError>,
+    ) -> Result<(), ParseError> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            field(self, &key)?;
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    /// Parses `[ ..., ... ]`, calling `item` once per element.
+    fn array(
+        &mut self,
+        mut item: impl FnMut(&mut Self) -> Result<(), ParseError>,
+    ) -> Result<(), ParseError> {
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            item(self)?;
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn span(&mut self) -> Result<Span, ParseError> {
+        let mut span = Span { name: String::new(), seq: 0, end: 0, children: Vec::new() };
+        self.object(|p, key| {
+            match key {
+                "name" => span.name = p.string()?,
+                "seq" => span.seq = p.integer()?,
+                "end" => span.end = p.integer()?,
+                "children" => p.array(|p| {
+                    span.children.push(p.span()?);
+                    Ok(())
+                })?,
+                other => return p.err(format!("unknown span field `{other}`")),
+            }
+            Ok(())
+        })?;
+        Ok(span)
+    }
+
+    fn histogram(&mut self) -> Result<CountStats, ParseError> {
+        let mut h = CountStats { n: 0, total: 0, p50: 0, p95: 0, min: 0, max: 0 };
+        self.object(|p, key| {
+            let slot = match key {
+                "n" => &mut h.n,
+                "total" => &mut h.total,
+                "p50" => &mut h.p50,
+                "p95" => &mut h.p95,
+                "min" => &mut h.min,
+                "max" => &mut h.max,
+                other => return p.err(format!("unknown histogram field `{other}`")),
+            };
+            *slot = p.integer()?;
+            Ok(())
+        })?;
+        Ok(h)
+    }
+
+    fn track(&mut self) -> Result<Track, ParseError> {
+        let mut track = Track {
+            name: String::new(),
+            spans: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        self.object(|p, key| {
+            match key {
+                "name" => track.name = p.string()?,
+                "spans" => p.array(|p| {
+                    track.spans.push(p.span()?);
+                    Ok(())
+                })?,
+                "counters" => p.object(|p, name| {
+                    let value = p.integer()?;
+                    track.counters.push((name.to_string(), value));
+                    Ok(())
+                })?,
+                "histograms" => p.object(|p, name| {
+                    let h = p.histogram()?;
+                    track.histograms.push((name.to_string(), h));
+                    Ok(())
+                })?,
+                other => return p.err(format!("unknown track field `{other}`")),
+            }
+            Ok(())
+        })?;
+        Ok(track)
+    }
+}
+
+/// Parses a complete `rfp-trace` v1 document.
+pub(crate) fn parse_doc(text: &str) -> Result<TraceDoc, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut format = String::new();
+    let mut version = 0u64;
+    let mut tracks = Vec::new();
+    p.object(|p, key| {
+        match key {
+            "format" => format = p.string()?,
+            "version" => version = p.integer()?,
+            "tracks" => p.array(|p| {
+                tracks.push(p.track()?);
+                Ok(())
+            })?,
+            other => return p.err(format!("unknown document field `{other}`")),
+        }
+        Ok(())
+    })?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content after the document");
+    }
+    if format != "rfp-trace" {
+        return Err(ParseError {
+            offset: 0,
+            message: format!("not an rfp-trace file: format `{format}`"),
+        });
+    }
+    if version != 1 {
+        return Err(ParseError {
+            offset: 0,
+            message: format!("unsupported rfp-trace version {version}"),
+        });
+    }
+    Ok(TraceDoc { tracks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(parse_doc("{}").is_err());
+        assert!(parse_doc(r#"{"format": "rfp-trace", "version": 2, "tracks": []}"#).is_err());
+        assert!(parse_doc(r#"{"format": "other", "version": 1, "tracks": []}"#).is_err());
+        let err = parse_doc("{\"format\": \"rfp-trace\"").unwrap_err();
+        assert!(err.to_string().contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let text = r#"{"format": "rfp-trace", "version": 1, "tracks": [
+            {"name": "mäin \"x\"\\", "spans": [], "counters": {"a": 7}, "histograms": {}}
+        ]}"#;
+        let doc = parse_doc(text).expect("parses");
+        assert_eq!(doc.tracks[0].name, "mäin \"x\"\\");
+        assert_eq!(doc.tracks[0].counters, vec![("a".to_string(), 7)]);
+    }
+
+    #[test]
+    fn escaper_and_parser_agree_on_awkward_strings() {
+        for value in ["plain", "with \"quotes\"", "tab\there", "null\u{0}byte", "emoji 🦀"] {
+            let mut s = String::new();
+            write_string(&mut s, value);
+            let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+            assert_eq!(p.string().expect("parses"), value);
+        }
+    }
+}

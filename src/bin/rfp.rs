@@ -14,6 +14,8 @@
 //! rfp sweep --grid grid.json --workers 4        Monte-Carlo fleet sweep
 //! rfp serve --jobs jobs.jsonl                   run an NDJSON job stream through
 //!                                               the queue-worker solve service
+//! rfp solve --trace t.json problem.json         record an rfp-trace document
+//! rfp trace summarize t.json                    render a recorded trace
 //! ```
 //!
 //! `solve` and `simulate` route through the same `rfp-service` queue-worker
@@ -49,14 +51,18 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage:
-  rfp engines
+  rfp engines [--json]
   rfp solve [--engine ID | --portfolio[=ID,ID,...]] [--time-limit SECS]
-            [--node-limit N] [--threads N] [--out FILE] [--quiet] PROBLEM
+            [--node-limit N] [--threads N] [--out FILE] [--trace FILE]
+            [--quiet] PROBLEM
   rfp validate PROBLEM FLOORPLAN
   rfp simulate [--policy aware|oblivious|no_break] [--engine ID] [--threshold F]
-               [--time-limit SECS] [--report FILE] [--quiet] SCENARIO
-  rfp sweep [--grid FILE] [--workers N] [--out FILE] [--quiet]
+               [--time-limit SECS] [--report FILE] [--trace FILE] [--quiet]
+               SCENARIO
+  rfp sweep [--grid FILE] [--workers N] [--out FILE] [--trace FILE] [--quiet]
   rfp serve [--workers N] [--engine ID] [--no-cache] [--jobs FILE] [--out FILE]
+            [--trace FILE]
+  rfp trace summarize FILE
   rfp convert [--to json|bin] [--out FILE] INSTANCE
       INSTANCE: sdr | sdr2 | sdr3 | synthetic[:SEED[:REGIONS]]
               | smoke | defrag[:SEED[:MODULES]] | a problem/floorplan/scenario file
@@ -69,9 +75,12 @@ writes an rfp-sim-report document. `sweep` expands an rfp-sweep-grid file
 (default: the built-in smoke grid) into seeded simulations across a worker
 pool; its rfp-sweep-report output is byte-identical at every --workers
 value. `serve` reads one JSON job per line (verbs: submit, status, cancel,
-shutdown) from stdin or --jobs FILE and answers with one JSON response per
-line; with --jobs the whole stream is queued before the workers start, so
-responses are deterministic.";
+stats, shutdown) from stdin or --jobs FILE and answers with one JSON
+response per line; with --jobs the whole stream is queued before the workers
+start, so responses are deterministic. `--trace FILE` writes an rfp-trace v1
+document (logical-clock span trees, counters, histograms; wall-clock-free,
+so traces of deterministic runs are byte-stable) which `rfp trace summarize`
+renders as per-track tables.";
 
 fn fail(msg: impl AsRef<str>) -> ExitCode {
     eprintln!("rfp: {}", msg.as_ref());
@@ -143,12 +152,13 @@ fn read_scenario_any(path: &str) -> Result<Scenario, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("engines") => cmd_engines(),
+        Some("engines") => cmd_engines(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             println!("{USAGE}");
@@ -158,13 +168,45 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_engines() -> ExitCode {
+fn cmd_engines(args: &[String]) -> ExitCode {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            a => return fail(format!("unknown argument `{a}`\n{USAGE}")),
+        }
+    }
     let registry = registry();
-    for engine in registry.iter() {
-        let threads = if engine.parallel() { "parallel" } else { "serial  " };
-        println!("{:<14} {threads}  {}", engine.id(), engine.description());
+    if json {
+        // Machine-readable registry dump, in registration order (the order
+        // `EngineChoice::Default` and an unrestricted `--portfolio` use).
+        let mut s = String::from("[");
+        for (i, engine) in registry.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n  {{\"id\":\"{}\",\"parallel\":{},\"description\":\"{}\"}}",
+                jsonio::escape(engine.id()),
+                engine.parallel(),
+                jsonio::escape(engine.description()),
+            ));
+        }
+        s.push_str("\n]\n");
+        print!("{s}");
+    } else {
+        for engine in registry.iter() {
+            let threads = if engine.parallel() { "parallel" } else { "serial  " };
+            println!("{:<14} {threads}  {}", engine.id(), engine.description());
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// Writes the collector's drained trace document (CLI `--trace FILE`).
+fn write_trace(path: &str, collector: &relocfp::trace::Collector) -> Result<(), String> {
+    std::fs::write(path, collector.drain().to_json())
+        .map_err(|e| format!("cannot write `{path}`: {e}"))
 }
 
 struct SolveArgs {
@@ -174,6 +216,7 @@ struct SolveArgs {
     node_limit: u64,
     threads: usize,
     out: Option<String>,
+    trace: Option<String>,
     quiet: bool,
     problem_path: String,
 }
@@ -186,6 +229,7 @@ fn parse_solve_args(args: &[String]) -> Result<SolveArgs, String> {
         node_limit: 0,
         threads: 0,
         out: None,
+        trace: None,
         quiet: false,
         problem_path: String::new(),
     };
@@ -222,6 +266,7 @@ fn parse_solve_args(args: &[String]) -> Result<SolveArgs, String> {
                 };
             }
             "--out" | "-o" => parsed.out = Some(take_value("--out")?),
+            "--trace" => parsed.trace = Some(take_value("--trace")?),
             "--quiet" | "-q" => parsed.quiet = true,
             a if a.starts_with('-') => return Err(format!("unknown option `{a}`")),
             a => positional.push(a.to_string()),
@@ -287,10 +332,32 @@ fn cmd_solve(args: &[String]) -> ExitCode {
         (None, Some(ids)) => EngineChoice::Portfolio(ids.clone()),
         (None, None) => EngineChoice::Default,
     };
-    let service =
-        SolveService::new(registry, ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    // With --trace, everything below runs inside a "main"-track scope: the
+    // service worker moves each job onto its own `job#####` track, so the
+    // CLI span only brackets submit/join. Scope before span: drop order
+    // closes the span first, then flushes the scope.
+    let collector = parsed.trace.as_ref().map(|_| relocfp::trace::Collector::new());
+    let trace_scope = collector.as_ref().map(|c| c.install("main"));
+    let cli_span = relocfp::trace::span("cli.solve");
+
+    let service = SolveService::new(
+        registry,
+        ServiceConfig {
+            workers: 1,
+            trace: collector.as_ref().map(|c| c.handle()),
+            ..ServiceConfig::default()
+        },
+    );
     let id = service.submit(JobSpec::new(req).with_engine(choice));
     let result = service.join(id).expect("submitted ids are joinable");
+
+    drop(cli_span);
+    drop(trace_scope);
+    if let (Some(path), Some(collector)) = (&parsed.trace, &collector) {
+        if let Err(e) = write_trace(path, collector) {
+            return fail(e);
+        }
+    }
 
     let (engine_label, outcome) = (result.engine, result.outcome);
     if let (false, Some(race)) = (parsed.quiet, &result.race) {
@@ -372,6 +439,7 @@ fn cmd_validate(args: &[String]) -> ExitCode {
 fn cmd_simulate(args: &[String]) -> ExitCode {
     let mut config = OnlineConfig::default();
     let mut report_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut quiet = false;
     let mut scenario_path: Option<String> = None;
     let mut it = args.iter();
@@ -422,6 +490,10 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 Ok(v) => report_path = Some(v),
                 Err(e) => return fail(e),
             },
+            "--trace" => match take_value("--trace") {
+                Ok(v) => trace_path = Some(v),
+                Err(e) => return fail(e),
+            },
             "--quiet" | "-q" => quiet = true,
             a if a.starts_with('-') => return fail(format!("unknown option `{a}`")),
             a => {
@@ -438,13 +510,31 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
+    // With --trace, the simulation loop runs on the "main" track while the
+    // service worker puts each escalation re-solve on its own job track.
+    let collector = trace_path.as_ref().map(|_| relocfp::trace::Collector::new());
+    let trace_scope = collector.as_ref().map(|c| c.install("main"));
+    let cli_span = relocfp::trace::span("cli.simulate");
     // Escalation re-solves go through a solve service: repeated escalations
     // over similar live-module sets warm-start from the outcome cache.
     let service = Arc::new(SolveService::new(
         registry(),
-        ServiceConfig { workers: 1, default_engine: config.engine.clone(), ..Default::default() },
+        ServiceConfig {
+            workers: 1,
+            default_engine: config.engine.clone(),
+            trace: collector.as_ref().map(|c| c.handle()),
+            ..Default::default()
+        },
     ));
-    let report = match simulate_with_dispatcher(&scenario, &config, service.clone()) {
+    let sim = simulate_with_dispatcher(&scenario, &config, service.clone());
+    drop(cli_span);
+    drop(trace_scope);
+    if let (Some(path), Some(collector)) = (&trace_path, &collector) {
+        if let Err(e) = write_trace(path, collector) {
+            return fail(e);
+        }
+    }
+    let report = match sim {
         Ok(r) => r,
         Err(e) => return fail(format!("`{scenario_path}`: {e}")),
     };
@@ -471,6 +561,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut config = ServeConfig::default();
     let mut jobs_path: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take_value = |name: &str| -> Result<String, String> {
@@ -500,6 +591,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Ok(v) => out_path = Some(v),
                 Err(e) => return fail(e),
             },
+            "--trace" => match take_value("--trace") {
+                Ok(v) => trace_path = Some(v),
+                Err(e) => return fail(e),
+            },
             a => return fail(format!("unknown argument `{a}`\n{USAGE}")),
         }
     }
@@ -512,6 +607,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     // workers start, so the response order (and the golden files CI diffs
     // against) is deterministic. Stdin is interactive — dispatch live.
     config.deferred = jobs_path.is_some();
+    // Counters-only keeps memory bounded however long the session runs,
+    // while still powering the `stats` verb (live counter snapshots) and an
+    // end-of-session `--trace` dump.
+    let collector = relocfp::trace::Collector::counters_only();
+    config.trace = Some(collector.handle());
 
     let mut rendered: Vec<u8> = Vec::new();
     let summary = {
@@ -538,8 +638,86 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return fail(format!("cannot write `{path}`: {e}"));
         }
     }
+    if let Some(path) = &trace_path {
+        if let Err(e) = write_trace(path, &collector) {
+            return fail(e);
+        }
+    }
     eprintln!("rfp: served {} job(s), {} error(s)", summary.jobs, summary.errors);
     ExitCode::from(if summary.errors > 0 { 1 } else { 0 })
+}
+
+/// Flattens a span forest into `(name, calls, total logical length)` rows,
+/// first-seen order.
+fn aggregate_spans(spans: &[relocfp::trace::Span], agg: &mut Vec<(String, u64, u64)>) {
+    for span in spans {
+        match agg.iter_mut().find(|(name, _, _)| name == &span.name) {
+            Some((_, calls, logical)) => {
+                *calls += 1;
+                *logical += span.logical_len();
+            }
+            None => agg.push((span.name.clone(), 1, span.logical_len())),
+        }
+        aggregate_spans(&span.children, agg);
+    }
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let path = match args.first().map(String::as_str) {
+        Some("summarize") => match args {
+            [_, path] => path,
+            _ => return fail(format!("trace summarize needs exactly one FILE\n{USAGE}")),
+        },
+        Some(other) => return fail(format!("unknown trace subcommand `{other}`\n{USAGE}")),
+        None => return fail(format!("trace needs a subcommand (summarize)\n{USAGE}")),
+    };
+    let text = match read_file(path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let doc = match relocfp::trace::TraceDoc::from_json(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("`{path}`: {e}")),
+    };
+    println!("rfp-trace v1: {} track(s)", doc.tracks.len());
+    for track in &doc.tracks {
+        let mut spans: Vec<(String, u64, u64)> = Vec::new();
+        aggregate_spans(&track.spans, &mut spans);
+        println!("\ntrack {}", track.name);
+        let width = spans
+            .iter()
+            .map(|(n, _, _)| n.len())
+            .chain(track.counters.iter().map(|(n, _)| n.len()))
+            .chain(track.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0)
+            .max(9);
+        if !spans.is_empty() {
+            println!("  {:<width$} {:>7} {:>8}", "span", "calls", "logical");
+            for (name, calls, logical) in &spans {
+                println!("  {name:<width$} {calls:>7} {logical:>8}");
+            }
+        }
+        if !track.counters.is_empty() {
+            println!("  {:<width$} {:>16}", "counter", "value");
+            for (name, value) in &track.counters {
+                println!("  {name:<width$} {value:>16}");
+            }
+        }
+        if !track.histograms.is_empty() {
+            println!(
+                "  {:<width$} {:>5} {:>8} {:>6} {:>6} {:>6} {:>6}",
+                "histogram", "n", "total", "p50", "p95", "min", "max"
+            );
+            for (name, h) in &track.histograms {
+                println!(
+                    "  {name:<width$} {:>5} {:>8} {:>6} {:>6} {:>6} {:>6}",
+                    h.n, h.total, h.p50, h.p95, h.min, h.max
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// A typed document in flight between the two serialisations.
@@ -719,6 +897,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     let mut grid_path: Option<String> = None;
     let mut workers: usize = 1;
     let mut out: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -736,6 +915,10 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                 Some(v) => out = Some(v.clone()),
                 None => return fail("--out needs a value"),
             },
+            "--trace" => match it.next() {
+                Some(v) => trace_path = Some(v.clone()),
+                None => return fail("--trace needs a value"),
+            },
             "--quiet" | "-q" => quiet = true,
             a => return fail(format!("unknown argument `{a}`\n{USAGE}")),
         }
@@ -749,7 +932,27 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         },
         None => SweepGrid::smoke(),
     };
-    let outcome = match run_sweep(&grid, &SweepOptions { workers, ..Default::default() }) {
+    // Runs land on plan-stable `run#####` tracks, so a sweep trace — like
+    // the report — is byte-identical at every --workers value.
+    let collector = trace_path.as_ref().map(|_| relocfp::trace::Collector::new());
+    let trace_scope = collector.as_ref().map(|c| c.install("main"));
+    let cli_span = relocfp::trace::span("cli.sweep");
+    let swept = run_sweep(
+        &grid,
+        &SweepOptions {
+            workers,
+            trace: collector.as_ref().map(|c| c.handle()),
+            ..Default::default()
+        },
+    );
+    drop(cli_span);
+    drop(trace_scope);
+    if let (Some(path), Some(collector)) = (&trace_path, &collector) {
+        if let Err(e) = write_trace(path, collector) {
+            return fail(e);
+        }
+    }
+    let outcome = match swept {
         Ok(o) => o,
         Err(e) => return fail(e.to_string()),
     };

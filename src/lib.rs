@@ -19,6 +19,7 @@
 //! | [`bitstream`] | `rfp-bitstream` | synthetic partial bitstreams, CRC-32, relocation filter |
 //! | [`runtime`] | `rfp-runtime` | online reconfiguration simulator: event streams, incremental placement, defragmentation |
 //! | [`service`] | `rfp-service` | queue-worker solve service: job queue, worker pool, cross-request outcome cache, `rfp serve` protocol |
+//! | [`trace`] | `rfp-trace` | zero-dep structured tracing and metrics: logical-clock span trees, counters, histograms, deterministic `rfp-trace` v1 JSON |
 //! | [`workloads`] | `rfp-workloads` | the SDR case study (Table I), synthetic generators and defragmentation traces |
 //! | [`sweep`] | `rfp-sweep` | Monte-Carlo fleet sweeps: parameter grids, worker-pool runner, deterministic percentile reports |
 //!
@@ -58,6 +59,7 @@ pub use rfp_milp as milp;
 pub use rfp_runtime as runtime;
 pub use rfp_service as service;
 pub use rfp_sweep as sweep;
+pub use rfp_trace as trace;
 pub use rfp_workloads as workloads;
 
 /// One-stop import of the most used types.

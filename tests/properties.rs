@@ -373,4 +373,38 @@ proptest! {
         let bytes = binio::write_floorplan_bin(&fp);
         prop_assert_eq!(binio::read_floorplan_bin(&bytes).unwrap(), fp);
     }
+
+    /// Any emission program — random span nesting (including left-open
+    /// spans), counters and histogram samples over several tracks — drains
+    /// to an `rfp-trace` document that round-trips through its JSON and
+    /// whose writer is a fixpoint.
+    #[test]
+    fn trace_documents_round_trip_through_json(
+        tracks in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0usize..3, 0u64..50), 0..12),
+            0..4,
+        ),
+        wall_clock in any::<bool>(),
+    ) {
+        use relocfp::trace::{Collector, TraceDoc};
+        let collector = if wall_clock { Collector::with_wall_clock() } else { Collector::new() };
+        for (t, ops) in tracks.iter().enumerate() {
+            let name = if t == 0 { "main".to_string() } else { format!("track{t}") };
+            let _scope = collector.install(&name);
+            let mut open = Vec::new();
+            for &(kind, name_idx, value) in ops {
+                match kind {
+                    0 => open.push(relocfp::trace::span(&format!("s{name_idx}"))),
+                    1 => drop(open.pop()),
+                    2 => relocfp::trace::count(&format!("c{name_idx}"), value),
+                    _ => relocfp::trace::record(&format!("h{name_idx}"), value),
+                }
+            }
+        }
+        let doc = collector.drain();
+        let text = doc.to_json();
+        let parsed = TraceDoc::from_json(&text).unwrap();
+        prop_assert_eq!(&parsed, &doc);
+        prop_assert_eq!(parsed.to_json(), text, "writer is a fixpoint");
+    }
 }

@@ -1,0 +1,115 @@
+//! Golden pin of the `rfp-trace` v1 document recorded by the standard
+//! traced solve — exactly what
+//! `rfp solve --engine milp --trace FILE tests/golden/tiny.problem.json`
+//! writes. Spans carry logical sequence numbers, not wall clock, so the
+//! document is byte-stable and any change to the format, the instrumented
+//! span/counter vocabulary or the solver's search path shows up as a byte
+//! diff here. Regenerate with:
+//!
+//! ```text
+//! cargo test --test trace_golden -- --ignored regenerate_golden_trace
+//! ```
+
+use relocfp::floorplan::engine::SolveRequest;
+use relocfp::floorplan::jsonio;
+use relocfp::service::{EngineChoice, JobSpec, ServiceConfig, SolveService};
+use relocfp::trace::{Collector, Span, TraceDoc};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/smoke.trace.json")
+}
+
+fn tiny_problem() -> relocfp::floorplan::problem::FloorplanProblem {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/tiny.problem.json");
+    jsonio::read_problem(&std::fs::read_to_string(path).expect("read tiny problem"))
+        .expect("parse tiny problem")
+}
+
+/// Replays the CLI's traced-solve path: one job through a 1-worker solve
+/// service under a `"main"`-track scope with a `cli.solve` span, drained to
+/// the deterministic document.
+fn traced_tiny_solve(threads: usize) -> String {
+    let collector = Collector::new();
+    {
+        let _scope = collector.install("main");
+        let _cli = relocfp::trace::span("cli.solve");
+        let mut req = SolveRequest::new(tiny_problem());
+        if threads > 0 {
+            req = req.with_threads(threads);
+        }
+        let service = SolveService::new(
+            rfp_baselines::engines::full_registry(),
+            ServiceConfig { workers: 1, trace: Some(collector.handle()), ..Default::default() },
+        );
+        let id =
+            service.submit(JobSpec::new(req).with_engine(EngineChoice::Engine("milp".to_string())));
+        service.join(id).expect("submitted ids are joinable");
+    }
+    collector.drain().to_json()
+}
+
+fn span_names(spans: &[Span], out: &mut Vec<String>) {
+    for span in spans {
+        out.push(span.name.clone());
+        span_names(&span.children, out);
+    }
+}
+
+#[test]
+fn golden_trace_file_is_current() {
+    assert_eq!(
+        std::fs::read_to_string(golden_path()).expect("read golden trace"),
+        traced_tiny_solve(0),
+        "tests/golden/smoke.trace.json is stale; regenerate with \
+         `cargo test --test trace_golden -- --ignored regenerate_golden_trace`"
+    );
+}
+
+/// The acceptance shape of a traced MILP solve: the job track's span tree
+/// covers presolve → root LP → branch-and-bound search, nested under the
+/// engine leg, and the core search counters are present.
+#[test]
+fn traced_solve_covers_the_milp_phases() {
+    let doc = TraceDoc::from_json(&traced_tiny_solve(0)).expect("own output parses");
+    assert_eq!(doc.tracks[0].name, "main");
+    assert_eq!(doc.tracks[0].spans[0].name, "cli.solve");
+    let job = doc.tracks.iter().find(|t| t.name == "job00001").expect("job track");
+    let mut names = Vec::new();
+    span_names(&job.spans, &mut names);
+    for expected in [
+        "service.solve",
+        "engine.milp",
+        "engine.model_build",
+        "milp.presolve",
+        "milp.root_lp",
+        "milp.search",
+    ] {
+        assert!(names.contains(&expected.to_string()), "missing span {expected} in {names:?}");
+    }
+    for counter in ["milp.nodes", "milp.lp.solves", "service.jobs"] {
+        assert!(
+            job.counters.iter().any(|(n, v)| n == counter && *v > 0),
+            "missing counter {counter} in {:?}",
+            job.counters
+        );
+    }
+}
+
+/// Logical clocks make the trace thread-count-independent: a root-solved
+/// instance records byte-identical documents at `--threads 1` and
+/// `--threads 4` (the parallel ramp never primes the worker pool, and
+/// nothing wall-clock ever enters the document).
+#[test]
+fn traces_are_identical_across_thread_counts() {
+    assert_eq!(traced_tiny_solve(1), traced_tiny_solve(4));
+}
+
+/// Rewrites the golden trace from the current instrumentation. Ignored by
+/// default; run explicitly after an intentional change to the span/counter
+/// vocabulary, the trace format, or the solver's search path.
+#[test]
+#[ignore = "regenerates the golden trace in-place"]
+fn regenerate_golden_trace() {
+    std::fs::write(golden_path(), traced_tiny_solve(0)).expect("write golden trace");
+}
