@@ -12,6 +12,11 @@
 //! a portion-aligned rectangle — whole portions in width, minimal rows in
 //! height — until the requirement is covered, keeping the candidate with the
 //! fewest wasted frames that does not overlap previously-placed regions.
+//!
+//! On an irregular fabric there are no portions to align with; the heuristic
+//! degrades gracefully to arbitrary column spans (every column is its own
+//! span unit) with per-rectangle tile counting, still preferring the
+//! minimal-height, least-wasteful candidate.
 
 use rfp_device::{ColumnarPartition, PortionId, Rect};
 use rfp_floorplan::placement::Floorplan;
@@ -58,7 +63,6 @@ pub fn tessellation_floorplan(
 ) -> Result<Floorplan, FloorplanError> {
     problem.validate()?;
     let partition = &problem.partition;
-    let n_portions = partition.n_portions();
     let rows = partition.rows;
 
     // Most demanding regions first.
@@ -73,37 +77,83 @@ pub fn tessellation_floorplan(
     for &i in &order {
         let spec = &problem.regions[i];
         let mut best: Option<(u64, Rect)> = None;
-        for first in 0..n_portions {
-            for last in first..n_portions {
-                // Minimal number of rows covering the requirement with whole
-                // portions `first..=last`.
-                let mut h_needed = None;
-                for h in 1..=rows {
-                    if portion_span_covers(partition, first, last, h, spec.tile_req()) {
-                        h_needed = Some(h);
-                        break;
+        if let Some(cp) = partition.columnar() {
+            let n_portions = cp.n_portions();
+            for first in 0..n_portions {
+                for last in first..n_portions {
+                    // Minimal number of rows covering the requirement with
+                    // whole portions `first..=last`.
+                    let mut h_needed = None;
+                    for h in 1..=rows {
+                        if portion_span_covers(cp, first, last, h, spec.tile_req()) {
+                            h_needed = Some(h);
+                            break;
+                        }
+                    }
+                    let Some(mut h) = h_needed else { continue };
+                    if config.full_height_slots {
+                        h = rows;
+                    }
+                    let x1 = cp.portion(PortionId(first)).x1;
+                    let x2 = cp.portion(PortionId(last)).x2;
+                    let w = x2 - x1 + 1;
+                    for y in 1..=(rows - h + 1) {
+                        let rect = Rect::new(x1, y, w, h);
+                        if !partition.placement_legal(&rect) {
+                            continue;
+                        }
+                        if occupied.iter().any(|o| o.overlaps(&rect)) {
+                            continue;
+                        }
+                        let waste = partition
+                            .frames_in_rect(&rect)
+                            .saturating_sub(spec.required_frames(partition));
+                        if best.as_ref().is_none_or(|(bw, _)| waste < *bw) {
+                            best = Some((waste, rect));
+                        }
                     }
                 }
-                let Some(mut h) = h_needed else { continue };
-                if config.full_height_slots {
-                    h = rows;
-                }
-                let x1 = partition.portion(PortionId(first)).x1;
-                let x2 = partition.portion(PortionId(last)).x2;
-                let w = x2 - x1 + 1;
-                for y in 1..=(rows - h + 1) {
-                    let rect = Rect::new(x1, y, w, h);
-                    if !partition.placement_legal(&rect) {
-                        continue;
-                    }
-                    if occupied.iter().any(|o| o.overlaps(&rect)) {
-                        continue;
-                    }
-                    let waste = partition
-                        .frames_in_rect(&rect)
-                        .saturating_sub(spec.required_frames(partition));
-                    if best.as_ref().is_none_or(|(bw, _)| waste < *bw) {
-                        best = Some((waste, rect));
+            }
+        } else {
+            // Irregular fabric: no portions, so any column span may anchor a
+            // slot. Coverage depends on *which* rows the rectangle covers, so
+            // the minimal height is found per anchor instead of per span.
+            for x1 in 1..=partition.cols {
+                for x2 in x1..=partition.cols {
+                    let w = x2 - x1 + 1;
+                    for y in 1..=rows {
+                        let mut chosen = None;
+                        for h in 1..=(rows - y + 1) {
+                            let rect = Rect::new(x1, y, w, h);
+                            let counts = partition.tiles_by_type_in_rect(&rect);
+                            let covers = spec.tile_req().iter().all(|&(ty, need)| {
+                                counts
+                                    .iter()
+                                    .find(|&&(t, _)| t == ty)
+                                    .is_some_and(|&(_, have)| have >= need)
+                            });
+                            if covers {
+                                chosen = Some(if config.full_height_slots {
+                                    Rect::new(x1, 1, w, rows)
+                                } else {
+                                    rect
+                                });
+                                break;
+                            }
+                        }
+                        let Some(rect) = chosen else { continue };
+                        if !partition.placement_legal(&rect) {
+                            continue;
+                        }
+                        if occupied.iter().any(|o| o.overlaps(&rect)) {
+                            continue;
+                        }
+                        let waste = partition
+                            .frames_in_rect(&rect)
+                            .saturating_sub(spec.required_frames(partition));
+                        if best.as_ref().is_none_or(|(bw, _)| waste < *bw) {
+                            best = Some((waste, rect));
+                        }
                     }
                 }
             }
@@ -167,7 +217,7 @@ mod tests {
         let rect = fp.regions[0];
         // The left edge must coincide with a portion start and the right edge
         // with a portion end.
-        let part = &p.partition;
+        let part = p.partition.columnar().expect("test device is columnar");
         let left = part.portion_of_col(rect.x).unwrap();
         let right = part.portion_of_col(rect.x2()).unwrap();
         assert_eq!(part.portion(left).x1, rect.x);

@@ -9,7 +9,7 @@
 
 use crate::crc::crc32_update;
 use bytes::{BufMut, Bytes, BytesMut};
-use rfp_device::{ColumnarPartition, Rect};
+use rfp_device::{FabricPartition, Rect};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -92,7 +92,7 @@ impl Bitstream {
     /// pseudo-random payload derived from `seed` (stands in for the synthesis
     /// result of the module).
     pub fn generate(
-        partition: &ColumnarPartition,
+        partition: &FabricPartition,
         module: impl Into<String>,
         area: Rect,
         seed: u64,
@@ -110,9 +110,9 @@ impl Bitstream {
             (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32
         };
         for col in area.columns() {
-            let ty = partition.column_type(col).expect("legal area");
-            let minors = partition.frames_per_tile(ty);
             for row in area.rows() {
+                let ty = partition.tile_type_at(col, row).expect("legal area");
+                let minors = partition.frames_per_tile(ty);
                 for minor in 0..minors {
                     let words = (0..FRAME_WORDS).map(|_| next_word()).collect();
                     frames.push(Frame { address: FrameAddress { column: col, row, minor }, words });
@@ -191,10 +191,10 @@ impl Bitstream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfp_device::{columnar_partition, xc5vfx70t};
+    use rfp_device::{fabric_partition, xc5vfx70t};
 
-    fn partition() -> ColumnarPartition {
-        columnar_partition(&xc5vfx70t()).unwrap()
+    fn partition() -> FabricPartition {
+        fabric_partition(&xc5vfx70t()).unwrap()
     }
 
     #[test]

@@ -153,11 +153,11 @@ impl ConfigMemory {
 mod tests {
     use super::*;
     use crate::relocate::relocate;
-    use rfp_device::{columnar_partition, figure1_device};
+    use rfp_device::{fabric_partition, figure1_device};
 
     #[test]
     fn programming_and_conflicts() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let a = Bitstream::generate(&p, "filter", Rect::new(1, 1, 2, 2), 1).unwrap();
         let b = Bitstream::generate(&p, "decoder", Rect::new(2, 2, 2, 2), 2).unwrap();
         let c = Bitstream::generate(&p, "decoder", Rect::new(5, 4, 2, 2), 2).unwrap();
@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn relocation_moves_a_module_between_areas() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let source = Rect::new(1, 1, 2, 2);
         let target = Rect::new(3, 4, 2, 2);
         let bs = Bitstream::generate(&p, "filter", source, 1).unwrap();
@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn corrupt_bitstreams_are_rejected_by_the_memory() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let mut bs = Bitstream::generate(&p, "filter", Rect::new(1, 1, 2, 2), 1).unwrap();
         bs.frames[0].words[0] ^= 1;
         let mut mem = ConfigMemory::new();
@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn rename_switches_ownership_without_writing_frames() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let source = Rect::new(1, 1, 2, 2);
         let target = Rect::new(3, 4, 2, 2);
         let bs = Bitstream::generate(&p, "filter", source, 1).unwrap();
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn remove_releases_tiles() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let bs = Bitstream::generate(&p, "filter", Rect::new(1, 1, 2, 2), 1).unwrap();
         let mut mem = ConfigMemory::new();
         mem.program("filter", &bs).unwrap();

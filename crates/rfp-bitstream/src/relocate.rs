@@ -10,8 +10,8 @@
 //! filter.
 
 use crate::format::{Bitstream, Frame};
-use rfp_device::compat::{columnar_compatible, CompatReport};
-use rfp_device::{ColumnarPartition, Rect};
+use rfp_device::compat::{fabric_compatible, CompatReport};
+use rfp_device::{FabricPartition, Rect};
 use std::fmt;
 
 /// Errors reported by the relocation filter.
@@ -53,8 +53,13 @@ impl std::error::Error for RelocationError {}
 /// CRC has been recomputed; the configuration payload is untouched, which is
 /// exactly what makes relocation cheap compared to re-implementing the module
 /// for the new location.
+///
+/// The compatibility gate is [`fabric_compatible`], so a move is a relocation
+/// only when the areas match tile-for-tile *and* neither spans a die
+/// boundary — cross-die moves are refused with
+/// [`CompatReport::CrossesDieBoundary`] and must regenerate.
 pub fn relocate(
-    partition: &ColumnarPartition,
+    partition: &FabricPartition,
     bitstream: &Bitstream,
     target: Rect,
 ) -> Result<Bitstream, RelocationError> {
@@ -62,7 +67,7 @@ pub fn relocate(
     {
         return Err(RelocationError::CorruptSource { stored, computed });
     }
-    let report = columnar_compatible(partition, &bitstream.area, &target);
+    let report = fabric_compatible(partition, &bitstream.area, &target);
     if !report.is_compatible() {
         return Err(RelocationError::NotCompatible { report });
     }
@@ -117,7 +122,7 @@ impl fmt::Display for MoveKind {
 /// expensive path. Corrupt sources and illegal target areas remain errors —
 /// the move either succeeds by one of the two mechanisms or not at all.
 pub fn relocate_or_regenerate(
-    partition: &ColumnarPartition,
+    partition: &FabricPartition,
     bitstream: &Bitstream,
     target: Rect,
     seed: u64,
@@ -139,11 +144,13 @@ pub fn relocate_or_regenerate(
 mod tests {
     use super::*;
     use rfp_device::compat::enumerate_free_compatible;
-    use rfp_device::{columnar_partition, figure1_device, xc5vfx70t};
+    use rfp_device::{
+        fabric_partition, fabric_partition_with_boundaries, figure1_device, xc5vfx70t,
+    };
 
     #[test]
     fn relocation_to_a_compatible_area_preserves_payload_and_fixes_addresses() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let source = Rect::new(1, 1, 2, 2);
         let target = Rect::new(3, 4, 2, 2);
         let bs = Bitstream::generate(&p, "demo", source, 11).unwrap();
@@ -162,7 +169,7 @@ mod tests {
 
     #[test]
     fn relocation_to_an_incompatible_area_is_refused() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let source = Rect::new(1, 1, 2, 2);
         let bs = Bitstream::generate(&p, "demo", source, 11).unwrap();
         // Area C of Figure 1: same shape but shifted by one column, so the
@@ -175,8 +182,31 @@ mod tests {
     }
 
     #[test]
+    fn cross_die_relocation_is_refused_and_regenerates() {
+        // Same striped device, but with a die boundary between rows 3 and 4:
+        // the A -> B move of Figure 1 now crosses dies and must downgrade
+        // from a relocation to a re-synthesis-equivalent regeneration.
+        let p = fabric_partition_with_boundaries(&figure1_device(), &[3]).unwrap();
+        let source = Rect::new(1, 1, 2, 2);
+        let target = Rect::new(1, 3, 2, 2); // spans rows 3-4 across the boundary
+        let bs = Bitstream::generate(&p, "demo", source, 11).unwrap();
+        let err = relocate(&p, &bs, target).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                RelocationError::NotCompatible { report: CompatReport::CrossesDieBoundary }
+            ),
+            "{err}"
+        );
+        let (rebuilt, kind) = relocate_or_regenerate(&p, &bs, target, 3).unwrap();
+        assert_eq!(kind, MoveKind::Resynthesized);
+        assert_eq!(rebuilt.area, target);
+        assert!(rebuilt.verify().is_ok());
+    }
+
+    #[test]
     fn corrupt_bitstreams_are_refused() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let mut bs = Bitstream::generate(&p, "demo", Rect::new(1, 1, 2, 2), 11).unwrap();
         bs.frames[0].words[3] ^= 0xFF;
         let err = relocate(&p, &bs, Rect::new(3, 4, 2, 2));
@@ -185,7 +215,7 @@ mod tests {
 
     #[test]
     fn every_free_compatible_area_reported_by_the_device_model_accepts_relocation() {
-        let p = columnar_partition(&xc5vfx70t()).unwrap();
+        let p = fabric_partition(&xc5vfx70t()).unwrap();
         let source = Rect::new(1, 1, 3, 2);
         let bs = Bitstream::generate(&p, "demo", source, 5).unwrap();
         let targets = enumerate_free_compatible(&p, &source, &[source]);
@@ -198,7 +228,7 @@ mod tests {
 
     #[test]
     fn relocate_or_regenerate_picks_the_cheap_path_when_compatible() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let bs = Bitstream::generate(&p, "demo", Rect::new(1, 1, 2, 2), 11).unwrap();
         // Compatible target: pure relocation, payload untouched.
         let (moved, kind) = relocate_or_regenerate(&p, &bs, Rect::new(3, 4, 2, 2), 99).unwrap();
@@ -223,7 +253,7 @@ mod tests {
 
     #[test]
     fn double_relocation_returns_to_the_original() {
-        let p = columnar_partition(&figure1_device()).unwrap();
+        let p = fabric_partition(&figure1_device()).unwrap();
         let source = Rect::new(1, 1, 2, 2);
         let target = Rect::new(3, 4, 2, 2);
         let bs = Bitstream::generate(&p, "demo", source, 11).unwrap();

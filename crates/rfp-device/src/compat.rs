@@ -12,6 +12,7 @@
 //! filter) and a fast columnar check working on a [`ColumnarPartition`]
 //! (used by the floorplanner and its validators).
 
+use crate::fabric::FabricPartition;
 use crate::geometry::Rect;
 use crate::grid::Device;
 use crate::partition::ColumnarPartition;
@@ -42,6 +43,9 @@ pub enum CompatReport {
     OutOfBounds,
     /// One of the areas crosses a forbidden area.
     CrossesForbidden,
+    /// One of the areas spans a die boundary; bitstreams cannot be relocated
+    /// across dies, so such areas are never relocation-compatible.
+    CrossesDieBoundary,
 }
 
 impl CompatReport {
@@ -63,6 +67,7 @@ impl fmt::Display for CompatReport {
             }
             CompatReport::OutOfBounds => write!(f, "area lies outside the device"),
             CompatReport::CrossesForbidden => write!(f, "area crosses a forbidden area"),
+            CompatReport::CrossesDieBoundary => write!(f, "area spans a die boundary"),
         }
     }
 }
@@ -120,19 +125,64 @@ pub fn columnar_compatible(partition: &ColumnarPartition, a: &Rect, b: &Rect) ->
     CompatReport::Compatible
 }
 
+/// Generalized fabric compatibility check.
+///
+/// Reduces to [`columnar_compatible`] on columnar fabrics (bit-for-bit: same
+/// checks in the same order) and extends it with two fabric-only rules:
+///
+/// * areas spanning a **die boundary** are never relocation-compatible
+///   ([`CompatReport::CrossesDieBoundary`]);
+/// * on non-columnar fabrics the tile types are compared **per cell**, like
+///   the exhaustive grid oracle [`areas_compatible`].
+pub fn fabric_compatible(partition: &FabricPartition, a: &Rect, b: &Rect) -> CompatReport {
+    if !partition.rect_in_bounds(a) || !partition.rect_in_bounds(b) {
+        return CompatReport::OutOfBounds;
+    }
+    if partition.rect_crosses_forbidden(a) || partition.rect_crosses_forbidden(b) {
+        return CompatReport::CrossesForbidden;
+    }
+    if partition.rect_crosses_die_boundary(a) || partition.rect_crosses_die_boundary(b) {
+        return CompatReport::CrossesDieBoundary;
+    }
+    if a.w != b.w || a.h != b.h {
+        return CompatReport::ShapeMismatch { a: (a.w, a.h), b: (b.w, b.h) };
+    }
+    if let Some(cp) = partition.columnar() {
+        // Fast columnar path: the tile type only depends on the column.
+        for dx in 0..a.w {
+            let ta = cp.column_type(a.x + dx);
+            let tb = cp.column_type(b.x + dx);
+            if ta != tb {
+                return CompatReport::TileMismatch { dx, dy: 0 };
+            }
+        }
+        return CompatReport::Compatible;
+    }
+    for dy in 0..a.h {
+        for dx in 0..a.w {
+            let ta = partition.tile_type_at(a.x + dx, a.y + dy);
+            let tb = partition.tile_type_at(b.x + dx, b.y + dy);
+            if ta != tb {
+                return CompatReport::TileMismatch { dx, dy };
+            }
+        }
+    }
+    CompatReport::Compatible
+}
+
 /// Free-compatibility check (Definition .2).
 ///
 /// `candidate` is free-compatible with respect to `source` if the two areas
-/// are columnar-compatible and `candidate` does not overlap any of the
+/// are fabric-compatible and `candidate` does not overlap any of the
 /// `occupied` rectangles (areas assigned to reconfigurable regions or other
 /// free-compatible areas).
 pub fn free_compatible(
-    partition: &ColumnarPartition,
+    partition: &FabricPartition,
     source: &Rect,
     candidate: &Rect,
     occupied: &[Rect],
 ) -> bool {
-    columnar_compatible(partition, source, candidate).is_compatible()
+    fabric_compatible(partition, source, candidate).is_compatible()
         && !occupied.iter().any(|o| o.overlaps(candidate))
 }
 
@@ -143,7 +193,7 @@ pub fn free_compatible(
 /// of their top-left corner). This is the ground truth used by tests and by
 /// the combinatorial floorplanning engine.
 pub fn enumerate_free_compatible(
-    partition: &ColumnarPartition,
+    partition: &FabricPartition,
     source: &Rect,
     occupied: &[Rect],
 ) -> Vec<Rect> {
@@ -251,9 +301,53 @@ mod tests {
     }
 
     #[test]
+    fn fabric_check_bit_agrees_with_columnar_check_on_columnar_devices() {
+        let d = striped_device();
+        let cp = columnar_partition(&d).unwrap();
+        let f = crate::fabric::fabric_partition(&d).unwrap();
+        for ax in 1..=5u32 {
+            for ay in 1..=5u32 {
+                for bx in 1..=5u32 {
+                    for by in 1..=5u32 {
+                        let a = Rect::new(ax, ay, 2, 2);
+                        let b = Rect::new(bx, by, 2, 2);
+                        assert_eq!(
+                            fabric_compatible(&f, &a, &b),
+                            columnar_compatible(&cp, &a, &b),
+                            "disagreement for {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn die_boundary_blocks_relocation_but_not_identity_of_report_order() {
+        let d = striped_device();
+        let f = crate::fabric::fabric_partition_with_boundaries(&d, &[3]).unwrap();
+        let a = Rect::new(1, 1, 2, 2); // above the boundary
+        let b = Rect::new(3, 4, 2, 2); // below the boundary
+        assert!(fabric_compatible(&f, &a, &b).is_compatible());
+        // A source spanning rows 3-4 crosses the boundary between rows 3 and 4.
+        let crossing = Rect::new(1, 3, 2, 2);
+        assert_eq!(
+            fabric_compatible(&f, &crossing, &a),
+            CompatReport::CrossesDieBoundary
+        );
+        assert_eq!(
+            fabric_compatible(&f, &a, &crossing),
+            CompatReport::CrossesDieBoundary
+        );
+        // Out-of-bounds and forbidden checks still take precedence.
+        let oob = Rect::new(6, 6, 2, 2);
+        assert_eq!(fabric_compatible(&f, &crossing, &oob), CompatReport::OutOfBounds);
+    }
+
+    #[test]
     fn free_compatible_respects_occupied_areas() {
         let d = striped_device();
-        let p = columnar_partition(&d).unwrap();
+        let p = crate::fabric::fabric_partition(&d).unwrap();
         let source = Rect::new(1, 1, 2, 2);
         let target = Rect::new(3, 4, 2, 2);
         assert!(free_compatible(&p, &source, &target, &[]));
@@ -268,7 +362,7 @@ mod tests {
     #[test]
     fn enumeration_matches_pairwise_checks() {
         let d = striped_device();
-        let p = columnar_partition(&d).unwrap();
+        let p = crate::fabric::fabric_partition(&d).unwrap();
         let source = Rect::new(1, 1, 2, 2);
         let occupied = [source, Rect::new(5, 1, 2, 2)];
         let found = enumerate_free_compatible(&p, &source, &occupied);
@@ -294,7 +388,7 @@ mod tests {
     #[test]
     fn oversized_source_has_no_candidates() {
         let d = striped_device();
-        let p = columnar_partition(&d).unwrap();
+        let p = crate::fabric::fabric_partition(&d).unwrap();
         let source = Rect::new(1, 1, 6, 6);
         assert!(enumerate_free_compatible(&p, &source, &[]).is_empty());
     }

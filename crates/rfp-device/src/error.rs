@@ -49,6 +49,14 @@ pub enum DeviceError {
         /// Name of the offending forbidden area.
         name: String,
     },
+    /// A die-boundary row lies outside the valid range `1..rows` (a boundary
+    /// `r` separates rows `r` and `r + 1`, so it needs a row below it).
+    InvalidDieBoundary {
+        /// The offending boundary row.
+        row: u32,
+        /// Number of rows of the device.
+        rows: u32,
+    },
     /// Two tile types with identical fingerprints were registered under
     /// different identifiers; Definition .1 requires them to be the same type.
     DuplicateTileType {
@@ -86,6 +94,10 @@ impl fmt::Display for DeviceError {
             DeviceError::ForbiddenOutOfBounds { name } => {
                 write!(f, "forbidden area `{name}` extends outside the device grid")
             }
+            DeviceError::InvalidDieBoundary { row, rows } => write!(
+                f,
+                "die boundary at row {row} is invalid: boundaries must satisfy 1 <= row < {rows}"
+            ),
             DeviceError::DuplicateTileType { first, second } => write!(
                 f,
                 "tile types `{first}` and `{second}` have identical resources and frame counts; \

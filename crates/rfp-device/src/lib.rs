@@ -39,6 +39,7 @@
 pub mod compat;
 pub mod devices;
 pub mod error;
+pub mod fabric;
 pub mod forbidden;
 pub mod frames;
 pub mod geometry;
@@ -48,12 +49,14 @@ pub mod resources;
 pub mod tile;
 
 pub use compat::{
-    areas_compatible, columnar_compatible, enumerate_free_compatible, free_compatible, CompatReport,
+    areas_compatible, columnar_compatible, enumerate_free_compatible, fabric_compatible,
+    free_compatible, CompatReport,
 };
 pub use devices::{
     figure1_device, figure2_device, xc5vfx70t, xc7vx485t, xc7z020, DeviceBuilder, SyntheticSpec,
 };
 pub use error::DeviceError;
+pub use fabric::{fabric_partition, fabric_partition_with_boundaries, FabricPartition};
 pub use forbidden::ForbiddenArea;
 pub use frames::{frames_in_rect, required_frames, wasted_frames};
 pub use geometry::Rect;

@@ -246,6 +246,16 @@ impl ColumnarPartition {
         gross - forbidden
     }
 
+    /// The per-type frames table, indexed by registry tile-type index.
+    pub(crate) fn frames_table(&self) -> &[u32] {
+        &self.frames_of_type
+    }
+
+    /// The per-type resources table, indexed by registry tile-type index.
+    pub(crate) fn resources_table(&self) -> &[ResourceVec] {
+        &self.resources_of_type
+    }
+
     /// Total usable resources on the device (excluding forbidden tiles).
     pub fn total_resources(&self) -> ResourceVec {
         let full = Rect::new(1, 1, self.cols, self.rows);

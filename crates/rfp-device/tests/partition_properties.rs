@@ -2,8 +2,14 @@
 //! invariants (Section III of the paper) on randomly generated devices.
 
 use proptest::prelude::*;
-use rfp_device::compat::{columnar_compatible, enumerate_free_compatible};
-use rfp_device::{columnar_partition, PortionId, Rect, SyntheticSpec};
+use rfp_device::compat::{
+    areas_compatible, columnar_compatible, enumerate_free_compatible, fabric_compatible,
+};
+use rfp_device::fabric::{fabric_partition, fabric_partition_with_boundaries};
+use rfp_device::{
+    columnar_partition, Device, PortionId, Rect, ResourceVec, SyntheticSpec, TileGrid, TileType,
+    TileTypeRegistry,
+};
 
 fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
     (4u32..40, 2u32..10, 0u32..8, 0u32..12, proptest::option::of((1u32..4, 1u32..3))).prop_map(
@@ -111,7 +117,8 @@ proptest! {
         x in 1u32..40, y in 1u32..10, w in 1u32..5, h in 1u32..4,
     ) {
         let device = spec.build().unwrap();
-        let partition = columnar_partition(&device).unwrap();
+        let partition = fabric_partition(&device).unwrap();
+        let columnar = columnar_partition(&device).unwrap();
         let cols = partition.cols;
         let rows = partition.rows;
         let w = w.min(cols);
@@ -124,7 +131,101 @@ proptest! {
             prop_assert!(partition.rect_in_bounds(cand));
             prop_assert!(!partition.rect_crosses_forbidden(cand));
             prop_assert!(!cand.overlaps(&source));
-            prop_assert!(columnar_compatible(&partition, &source, cand).is_compatible());
+            prop_assert!(columnar_compatible(&columnar, &source, cand).is_compatible());
+        }
+    }
+
+    /// `fabric_compatible` bit-agrees with `columnar_compatible` — the exact
+    /// same `CompatReport`, not just the same verdict — on every columnar
+    /// device (the behaviour-preservation pin of the fabric refactor).
+    #[test]
+    fn fabric_compatible_bit_agrees_with_columnar_compatible(
+        spec in arb_spec(),
+        ax in 1u32..40, ay in 1u32..10,
+        bx in 1u32..40, by in 1u32..10,
+        sz in (1u32..6, 1u32..4, 1u32..6, 1u32..4),
+    ) {
+        let (w, h, w2, h2) = sz;
+        let device = spec.build().unwrap();
+        let columnar = columnar_partition(&device).unwrap();
+        let fabric = fabric_partition(&device).unwrap();
+        prop_assert!(fabric.is_columnar_legacy());
+        let cols = columnar.cols;
+        let rows = columnar.rows;
+        // Bias towards in-bounds rects but keep some out-of-bounds probes.
+        let a = Rect::new(ax.min(cols), ay.min(rows), w, h);
+        let b = Rect::new(bx.min(cols), by.min(rows), w2, h2);
+        prop_assert_eq!(
+            fabric_compatible(&fabric, &a, &b),
+            columnar_compatible(&columnar, &a, &b),
+            "fabric/columnar disagreement for {} vs {}", a, b
+        );
+    }
+}
+
+/// A random genuinely heterogeneous fabric: per-cell tile types drawn from
+/// three types, plus optional die boundaries.
+fn arb_hetero_device() -> impl Strategy<Value = (Device, Vec<u32>)> {
+    (3u32..10, 3u32..8).prop_flat_map(|(cols, rows)| {
+        let n = (cols * rows) as usize;
+        (
+            Just(cols),
+            Just(rows),
+            proptest::collection::vec(0u16..3, n),
+            proptest::collection::vec(1u32..8, 0..3),
+        )
+            .prop_map(|(cols, rows, types, raw_bounds)| {
+                let mut reg = TileTypeRegistry::new();
+                let clb = reg.register(TileType::new("CLB", ResourceVec::new(1, 0, 0), 36)).unwrap();
+                let bram =
+                    reg.register(TileType::new("BRAM", ResourceVec::new(0, 1, 0), 30)).unwrap();
+                let dsp = reg.register(TileType::new("DSP", ResourceVec::new(0, 0, 1), 28)).unwrap();
+                let palette = [clb, bram, dsp];
+                let mut grid = TileGrid::new(cols, rows).unwrap();
+                let mut i = 0usize;
+                for row in 1..=rows {
+                    for col in 1..=cols {
+                        grid.set(col, row, Some(palette[types[i] as usize % 3])).unwrap();
+                        i += 1;
+                    }
+                }
+                let device = Device::new("prop-hetero", reg, grid, vec![]).unwrap();
+                let boundaries: Vec<u32> =
+                    raw_bounds.into_iter().filter(|&b| b < rows).collect();
+                (device, boundaries)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On random heterogeneous fabrics, `fabric_compatible` agrees with the
+    /// exhaustive per-cell grid oracle `areas_compatible` whenever no die
+    /// boundary is crossed, and reports `CrossesDieBoundary` otherwise.
+    #[test]
+    fn fabric_compatible_matches_the_grid_oracle_on_random_fabrics(
+        devb in arb_hetero_device(),
+        ax in 1u32..10, ay in 1u32..8,
+        bx in 1u32..10, by in 1u32..8,
+        w in 1u32..5, h in 1u32..5,
+    ) {
+        use rfp_device::CompatReport;
+        let (device, boundaries) = devb;
+        let fabric = fabric_partition_with_boundaries(&device, &boundaries).unwrap();
+        let cols = fabric.cols;
+        let rows = fabric.rows;
+        let a = Rect::new(ax.min(cols), ay.min(rows), w, h);
+        let b = Rect::new(bx.min(cols), by.min(rows), w, h);
+        let verdict = fabric_compatible(&fabric, &a, &b);
+        let oracle = areas_compatible(&device, &a, &b);
+        let crossing = fabric.rect_in_bounds(&a)
+            && fabric.rect_in_bounds(&b)
+            && (fabric.rect_crosses_die_boundary(&a) || fabric.rect_crosses_die_boundary(&b));
+        if crossing {
+            prop_assert_eq!(verdict, CompatReport::CrossesDieBoundary);
+        } else {
+            prop_assert_eq!(verdict, oracle, "oracle disagreement for {} vs {}", a, b);
         }
     }
 }

@@ -38,13 +38,29 @@ use crate::placement::{FcPlacement, Floorplan};
 use crate::problem::{
     Connection, FloorplanProblem, ObjectiveWeights, RegionSpec, RelocationMode, RelocationRequest,
 };
-use rfp_device::{ColumnarPartition, Rect, TileTypeId};
+use rfp_device::{FabricPartition, Rect, TileTypeId};
 use std::fmt;
 
 /// The magic bytes every `rfpb` document starts with.
 pub const MAGIC: [u8; 4] = *b"RFPB";
-/// Current version of the binary encoding (all three kinds share it).
+/// Base version of the binary encoding (all three kinds share it).
 pub const BIN_VERSION: u16 = 1;
+/// Version of documents whose device section carries a per-cell tile grid
+/// and/or die boundaries (heterogeneous fabrics). Version-1 documents keep
+/// reading unchanged, and legacy columnar devices keep writing version 1
+/// byte-for-byte.
+pub const BIN_VERSION_V2: u16 = 2;
+
+/// The binary version a document embedding this partition must declare:
+/// version 1 for legacy columnar fabrics (byte-identical to the historical
+/// encoding), version 2 otherwise.
+pub fn bin_version_for(part: &FabricPartition) -> u16 {
+    if part.is_columnar_legacy() {
+        BIN_VERSION
+    } else {
+        BIN_VERSION_V2
+    }
+}
 
 /// What a binary document contains (the header's kind byte).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,12 +159,19 @@ pub struct BinWriter {
 }
 
 impl BinWriter {
-    /// Starts a document of the given kind (magic + kind + version).
+    /// Starts a version-1 document of the given kind (magic + kind +
+    /// version).
     pub fn new(kind: BinKind) -> BinWriter {
+        BinWriter::with_version(kind, BIN_VERSION)
+    }
+
+    /// Starts a document of the given kind and header version. Documents
+    /// embedding a device section pick the version with [`bin_version_for`].
+    pub fn with_version(kind: BinKind, version: u16) -> BinWriter {
         let mut w = BinWriter { bytes: Vec::with_capacity(256) };
         w.bytes.extend_from_slice(&MAGIC);
         w.u8(kind.tag());
-        w.u16(BIN_VERSION);
+        w.u16(version);
         w
     }
 
@@ -208,17 +231,24 @@ impl BinWriter {
 pub struct BinReader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    version: u16,
 }
 
 impl<'a> BinReader<'a> {
     /// A reader over a complete document (header not yet consumed).
     pub fn new(bytes: &'a [u8]) -> BinReader<'a> {
-        BinReader { bytes, pos: 0 }
+        BinReader { bytes, pos: 0, version: BIN_VERSION }
     }
 
     /// Current byte offset.
     pub fn offset(&self) -> usize {
         self.pos
+    }
+
+    /// The header version, once [`BinReader::header`] has been consumed
+    /// (`BIN_VERSION` before that).
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], BinError> {
@@ -248,15 +278,16 @@ impl<'a> BinReader<'a> {
             .ok_or_else(|| BinError::new(at, format!("unknown document kind {tag}")))?;
         let at = self.pos;
         let version = self.u16("version")?;
-        if version != BIN_VERSION {
+        if version != BIN_VERSION && version != BIN_VERSION_V2 {
             return Err(BinError::new(
                 at,
                 format!(
-                    "unsupported {kind} binary version {version} (this build reads version \
-                     {BIN_VERSION})"
+                    "unsupported {kind} binary version {version} (this build reads versions \
+                     {BIN_VERSION} and {BIN_VERSION_V2})"
                 ),
             ));
         }
+        self.version = version;
         Ok(kind)
     }
 
@@ -359,7 +390,13 @@ impl<'a> BinReader<'a> {
 
 /// Writes the device section (same emission table as the JSON writer, so
 /// both formats agree on tile-type array positions).
-pub fn write_device_bin(w: &mut BinWriter, part: &ColumnarPartition, section: &DeviceSection) {
+///
+/// A legacy columnar fabric writes the exact version-1 layout. Any other
+/// fabric writes the version-2 layout — a shape tag (`0` columns, `1`
+/// per-cell grid), the corresponding position array, the forbidden areas and
+/// a trailing die-boundary list — and the enclosing document must have been
+/// started with [`bin_version_for`].
+pub fn write_device_bin(w: &mut BinWriter, part: &FabricPartition, section: &DeviceSection) {
     w.str(&part.device_name);
     w.u32(part.rows);
     w.len(section.type_indices().len());
@@ -371,23 +408,46 @@ pub fn write_device_bin(w: &mut BinWriter, part: &ColumnarPartition, section: &D
         }
         w.u32(part.frames_per_tile(ty));
     }
-    w.len(part.cols as usize);
-    for c in 1..=part.cols {
-        let idx = part.column_type(c).expect("column inside device").index();
-        w.u32(section.position(idx).expect("emitted type") as u32);
+    let legacy = part.is_columnar_legacy();
+    match part.columnar() {
+        Some(cp) => {
+            if !legacy {
+                w.u8(0);
+            }
+            w.len(cp.cols as usize);
+            for c in 1..=cp.cols {
+                let idx = cp.column_type(c).expect("column inside device").index();
+                w.u32(section.position(idx).expect("emitted type") as u32);
+            }
+        }
+        None => {
+            w.u8(1);
+            let cells = part.cell_types();
+            w.len(cells.len());
+            for &ty in cells {
+                w.u32(section.position(ty.index()).expect("emitted type") as u32);
+            }
+        }
     }
     w.len(part.forbidden.len());
     for fa in &part.forbidden {
         w.str(&fa.name);
         w.rect(&fa.rect);
     }
+    if !legacy {
+        w.len(part.die_boundaries.len());
+        for &b in &part.die_boundaries {
+            w.u32(b);
+        }
+    }
 }
 
 /// Reads a device section back into a partition plus the tile-type ids at
-/// each emitted-array position.
+/// each emitted-array position. The layout is selected by the header version
+/// the reader consumed ([`BinReader::version`]).
 pub fn read_device_bin(
     r: &mut BinReader<'_>,
-) -> Result<(ColumnarPartition, Vec<TileTypeId>), BinError> {
+) -> Result<(FabricPartition, Vec<TileTypeId>), BinError> {
     let name = r.str("device name")?;
     let rows = r.u32("device rows")?;
     let n_types = r.len("tile type")?;
@@ -401,10 +461,33 @@ pub fn read_device_bin(
         let frames = r.u32("tile type frames")?;
         tile_types.push((tname, res, frames));
     }
-    let n_cols = r.len("column")?;
-    let mut columns = Vec::with_capacity(n_cols);
-    for _ in 0..n_cols {
-        columns.push(r.u32("column type")? as usize);
+    let v2 = r.version() >= BIN_VERSION_V2;
+    let mut columns = Vec::new();
+    let mut cells = Vec::new();
+    let per_cell = if v2 {
+        let at = r.offset();
+        match r.u8("device shape tag")? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(BinError::new(at, format!("invalid device shape tag {other} (0 or 1)")))
+            }
+        }
+    } else {
+        false
+    };
+    if per_cell {
+        let n_cells = r.len("cell")?;
+        cells.reserve(n_cells);
+        for _ in 0..n_cells {
+            cells.push(r.u32("cell type")? as usize);
+        }
+    } else {
+        let n_cols = r.len("column")?;
+        columns.reserve(n_cols);
+        for _ in 0..n_cols {
+            columns.push(r.u32("column type")? as usize);
+        }
     }
     let n_forbidden = r.len("forbidden area")?;
     let mut forbidden = Vec::with_capacity(n_forbidden);
@@ -412,8 +495,16 @@ pub fn read_device_bin(
         let fname = r.str("forbidden area name")?;
         forbidden.push((fname, r.rect("forbidden area rect")?));
     }
+    let mut die_boundaries = Vec::new();
+    if v2 {
+        let n_db = r.len("die boundary")?;
+        die_boundaries.reserve(n_db);
+        for _ in 0..n_db {
+            die_boundaries.push(r.u32("die boundary row")?);
+        }
+    }
     let at = r.offset();
-    DeviceSpec { name, rows, tile_types, columns, forbidden }
+    DeviceSpec { name, rows, tile_types, columns, cells, forbidden, die_boundaries }
         .build()
         .map_err(|e| BinError::new(at, e))
 }
@@ -472,7 +563,7 @@ fn read_mode(r: &mut BinReader<'_>) -> Result<RelocationMode, BinError> {
 pub fn write_problem_bin(problem: &FloorplanProblem) -> Vec<u8> {
     let part = &problem.partition;
     let section = DeviceSection::new(part, &problem.regions);
-    let mut w = BinWriter::new(BinKind::Problem);
+    let mut w = BinWriter::with_version(BinKind::Problem, bin_version_for(part));
     write_device_bin(&mut w, part, &section);
     w.len(problem.regions.len());
     for region in &problem.regions {

@@ -13,9 +13,9 @@
 //! to a waste slack, which matters when relocation constraints make a
 //! slightly larger region the only way to obtain a free-compatible area.
 
-use crate::fingerprint::{device_columns, forbidden_rects, region_demand};
+use crate::fingerprint::{device_cells, device_columns, forbidden_rects, region_demand};
 use crate::problem::RegionSpec;
-use rfp_device::{ColumnarPartition, Rect};
+use rfp_device::{ColumnarPartition, FabricPartition, Rect};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -126,8 +126,15 @@ fn min_height(table: &ColumnTable, spec: &RegionSpec, x: u32, w: u32, rows: u32)
 /// problem-level [`crate::fingerprint::ProblemFingerprint`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
-    /// Per-column `(tile-type index, frames per tile)`.
+    /// Per-column `(tile-type index, frames per tile)` when the fabric has a
+    /// columnar view; empty on heterogeneous fabrics.
     columns: Vec<(usize, u32)>,
+    /// Per-cell `(tile-type index, frames per tile)` in row-major order for
+    /// heterogeneous fabrics; empty when a columnar view exists (the column
+    /// encoding already determines every cell). Die boundaries are
+    /// deliberately excluded: they restrict relocation, not placement, so
+    /// they cannot change the enumeration.
+    cells: Vec<(usize, u32)>,
     rows: u32,
     /// Forbidden rectangles as `(x, y, w, h)`.
     forbidden: Vec<(u32, u32, u32, u32)>,
@@ -139,9 +146,10 @@ struct CacheKey {
 }
 
 impl CacheKey {
-    fn new(partition: &ColumnarPartition, spec: &RegionSpec, config: &CandidateConfig) -> CacheKey {
+    fn new(partition: &FabricPartition, spec: &RegionSpec, config: &CandidateConfig) -> CacheKey {
         CacheKey {
             columns: device_columns(partition),
+            cells: if partition.columnar().is_some() { Vec::new() } else { device_cells(partition) },
             rows: partition.rows,
             forbidden: forbidden_rects(partition),
             req: region_demand(spec),
@@ -179,7 +187,7 @@ pub enum CacheLookup {
 /// FC counts over a fixed device), and the enumeration is O(cols² · rows)
 /// while a cache hit is a plain clone.
 pub fn enumerate_candidates(
-    partition: &ColumnarPartition,
+    partition: &FabricPartition,
     spec: &RegionSpec,
     config: &CandidateConfig,
 ) -> Vec<Candidate> {
@@ -190,7 +198,7 @@ pub fn enumerate_candidates(
 /// callers (and the cache's own tests) can observe memoisation behaviour
 /// without relying on racy global counters.
 pub fn enumerate_candidates_traced(
-    partition: &ColumnarPartition,
+    partition: &FabricPartition,
     spec: &RegionSpec,
     config: &CandidateConfig,
 ) -> (Vec<Candidate>, CacheLookup) {
@@ -210,8 +218,28 @@ pub fn enumerate_candidates_traced(
 }
 
 /// The memoisation-free enumeration behind [`enumerate_candidates`], exposed
-/// so benches can measure the raw cost.
+/// so benches can measure the raw cost. Fabrics with a columnar view take
+/// the original O(cols² · rows) per-column path; genuinely heterogeneous
+/// fabrics fall back to a per-rectangle path over 2-D prefix sums.
 pub fn enumerate_candidates_uncached(
+    partition: &FabricPartition,
+    spec: &RegionSpec,
+    config: &CandidateConfig,
+) -> Vec<Candidate> {
+    let mut out = match partition.columnar() {
+        Some(cp) => enumerate_columnar(cp, spec, config),
+        None => enumerate_fabric(partition, spec, config),
+    };
+    out.sort_by_key(|c| (c.waste, c.rect.x, c.rect.y, c.rect.w, c.rect.h));
+    if config.max_candidates > 0 && out.len() > config.max_candidates {
+        out.truncate(config.max_candidates);
+    }
+    out
+}
+
+/// The original columnar enumeration (coverage depends only on the column
+/// window and the height).
+fn enumerate_columnar(
     partition: &ColumnarPartition,
     spec: &RegionSpec,
     config: &CandidateConfig,
@@ -219,7 +247,8 @@ pub fn enumerate_candidates_uncached(
     let cols = partition.cols;
     let rows = partition.rows;
     let table = ColumnTable::new(partition);
-    let required = spec.required_frames(partition);
+    let required: u64 =
+        spec.tile_req().iter().map(|&(ty, c)| partition.frames_per_tile(ty) as u64 * c as u64).sum();
 
     let mut out: Vec<Candidate> = Vec::new();
     for x in 1..=cols {
@@ -256,17 +285,160 @@ pub fn enumerate_candidates_uncached(
             }
         }
     }
+    out
+}
 
-    out.sort_by_key(|c| (c.waste, c.rect.x, c.rect.y, c.rect.w, c.rect.h));
-    if config.max_candidates > 0 && out.len() > config.max_candidates {
-        out.truncate(config.max_candidates);
+/// Per-type 2-D prefix sums over the effective cell grid, answering coverage
+/// and frame queries for arbitrary rectangles in O(types).
+struct FabricTable {
+    /// `counts[t][r * (cols + 1) + c]` = tiles of type index `t` in the
+    /// prefix rows `1..=r`, columns `1..=c` (row/col 0 = 0).
+    counts: Vec<Vec<u32>>,
+    /// Frames, prefix-summed the same way.
+    frames: Vec<u64>,
+    cols: usize,
+    n_types: usize,
+}
+
+impl FabricTable {
+    fn new(partition: &FabricPartition) -> Self {
+        let cols = partition.cols as usize;
+        let rows = partition.rows as usize;
+        let n_types =
+            partition.cell_types().iter().map(|t| t.index() + 1).max().unwrap_or(1);
+        let stride = cols + 1;
+        let mut counts = vec![vec![0u32; stride * (rows + 1)]; n_types];
+        let mut frames = vec![0u64; stride * (rows + 1)];
+        for r in 1..=rows {
+            for c in 1..=cols {
+                let ty = partition
+                    .tile_type_at(c as u32, r as u32)
+                    .expect("cell inside device");
+                let i = r * stride + c;
+                for (t, grid) in counts.iter_mut().enumerate() {
+                    grid[i] = grid[i - 1] + grid[i - stride] - grid[i - stride - 1]
+                        + u32::from(t == ty.index());
+                }
+                frames[i] = frames[i - 1] + frames[i - stride] - frames[i - stride - 1]
+                    + u64::from(partition.frames_per_tile(ty));
+            }
+        }
+        FabricTable { counts, frames, cols, n_types }
+    }
+
+    #[inline]
+    fn sum_u32(grid: &[u32], stride: usize, rect: &Rect) -> u32 {
+        let (x0, y0) = ((rect.x - 1) as usize, (rect.y - 1) as usize);
+        let (x1, y1) = (rect.x2() as usize, rect.y2() as usize);
+        grid[y1 * stride + x1] + grid[y0 * stride + x0]
+            - grid[y0 * stride + x1]
+            - grid[y1 * stride + x0]
+    }
+
+    /// Tiles of type index `t` inside the rectangle.
+    fn tiles_of_type(&self, t: usize, rect: &Rect) -> u32 {
+        Self::sum_u32(&self.counts[t], self.cols + 1, rect)
+    }
+
+    /// Frames inside the rectangle.
+    fn frames_in(&self, rect: &Rect) -> u64 {
+        let stride = self.cols + 1;
+        let (x0, y0) = ((rect.x - 1) as usize, (rect.y - 1) as usize);
+        let (x1, y1) = (rect.x2() as usize, rect.y2() as usize);
+        self.frames[y1 * stride + x1] + self.frames[y0 * stride + x0]
+            - self.frames[y0 * stride + x1]
+            - self.frames[y1 * stride + x0]
+    }
+
+    /// Whether the rectangle covers the requirement.
+    fn covers(&self, spec: &RegionSpec, rect: &Rect) -> bool {
+        spec.tile_req().iter().all(|&(ty, need)| {
+            ty.index() < self.n_types && self.tiles_of_type(ty.index(), rect) >= need
+        })
+    }
+
+    /// Minimum height `h` such that `(x, y, w, h)` covers the requirement,
+    /// or `None` when no height within the device does. Coverage is monotone
+    /// in `h`, so binary search applies.
+    fn min_height_at(&self, spec: &RegionSpec, x: u32, y: u32, w: u32, rows: u32) -> Option<u32> {
+        let h_cap = rows - y + 1;
+        if !self.covers(spec, &Rect::new(x, y, w, h_cap)) {
+            return None;
+        }
+        let (mut lo, mut hi) = (1u32, h_cap);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.covers(spec, &Rect::new(x, y, w, mid)) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+}
+
+/// Enumeration over a genuinely heterogeneous fabric: coverage depends on
+/// the full rectangle, so candidates are anchored per `(x, w, y)` with
+/// minimum height, and irredundancy is checked against all four single-side
+/// shrinks (the bottom shrink fails by height minimality).
+fn enumerate_fabric(
+    partition: &FabricPartition,
+    spec: &RegionSpec,
+    config: &CandidateConfig,
+) -> Vec<Candidate> {
+    let cols = partition.cols;
+    let rows = partition.rows;
+    let table = FabricTable::new(partition);
+    let required = spec.required_frames(partition);
+
+    let mut out: Vec<Candidate> = Vec::new();
+    for x in 1..=cols {
+        for w in 1..=(cols - x + 1) {
+            for y in 1..=rows {
+                let Some(h_min) = table.min_height_at(spec, x, y, w, rows) else { continue };
+                // Irredundancy in width at this anchor: dropping the leftmost
+                // or the rightmost column must break coverage at h_min.
+                let left_shrink_ok = w > 1
+                    && table
+                        .min_height_at(spec, x + 1, y, w - 1, rows)
+                        .is_some_and(|h| h <= h_min);
+                let right_shrink_ok = w > 1
+                    && table.min_height_at(spec, x, y, w - 1, rows).is_some_and(|h| h <= h_min);
+                if left_shrink_ok || right_shrink_ok {
+                    continue;
+                }
+                let min_waste =
+                    table.frames_in(&Rect::new(x, y, w, h_min)).saturating_sub(required);
+                let h_max = if config.irredundant_only { h_min } else { rows - y + 1 };
+                for h in h_min..=h_max {
+                    let rect = Rect::new(x, y, w, h);
+                    let waste = table.frames_in(&rect).saturating_sub(required);
+                    if h > h_min && waste > min_waste + config.waste_slack {
+                        break;
+                    }
+                    if config.irredundant_only
+                        && h > 1
+                        && table.covers(spec, &Rect::new(x, y + 1, w, h - 1))
+                    {
+                        // Redundant in height from the top: the anchor one
+                        // row down does at least as well.
+                        continue;
+                    }
+                    if partition.rect_crosses_forbidden(&rect) {
+                        continue;
+                    }
+                    out.push(Candidate { rect, waste });
+                }
+            }
+        }
     }
     out
 }
 
 /// Minimum waste achievable by any placement of the region (ignoring the
 /// other regions), or `None` if the region cannot be placed at all.
-pub fn min_waste(partition: &ColumnarPartition, spec: &RegionSpec) -> Option<u64> {
+pub fn min_waste(partition: &FabricPartition, spec: &RegionSpec) -> Option<u64> {
     enumerate_candidates(partition, spec, &CandidateConfig::default()).first().map(|c| c.waste)
 }
 
@@ -274,14 +446,14 @@ pub fn min_waste(partition: &ColumnarPartition, spec: &RegionSpec) -> Option<u64
 mod tests {
     use super::*;
     use crate::problem::RegionSpec;
-    use rfp_device::{columnar_partition, xc5vfx70t, DeviceBuilder, ResourceVec};
+    use rfp_device::{fabric_partition, xc5vfx70t, DeviceBuilder, ResourceVec};
 
-    fn small_partition() -> (ColumnarPartition, rfp_device::TileTypeId, rfp_device::TileTypeId) {
+    fn small_partition() -> (FabricPartition, rfp_device::TileTypeId, rfp_device::TileTypeId) {
         let mut b = DeviceBuilder::new("small");
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
         let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
         b.rows(4).columns(&[clb, clb, bram, clb, clb, clb]);
-        (columnar_partition(&b.build().unwrap()).unwrap(), clb, bram)
+        (fabric_partition(&b.build().unwrap()).unwrap(), clb, bram)
     }
 
     #[test]
@@ -351,7 +523,7 @@ mod tests {
         b.rows(3).repeat_column(clb, 3);
         // The forbidden block covers column 2, rows 1-2.
         b.forbidden("blk", rfp_device::Rect::new(2, 1, 1, 2));
-        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        let p = fabric_partition(&b.build().unwrap()).unwrap();
         let spec = RegionSpec::new("r", vec![(clb, 1)]);
         let cands = enumerate_candidates(&p, &spec, &CandidateConfig::default());
         assert!(!cands.is_empty());
@@ -383,7 +555,7 @@ mod tests {
         let clb = device.registry.by_name("CLB").unwrap();
         let bram = device.registry.by_name("BRAM").unwrap();
         let dsp = device.registry.by_name("DSP").unwrap();
-        let p = columnar_partition(&device).unwrap();
+        let p = fabric_partition(&device).unwrap();
         let video = RegionSpec::new("Video Decoder", vec![(clb, 55), (bram, 2), (dsp, 5)]);
         let cands = enumerate_candidates(&p, &video, &CandidateConfig::default());
         assert!(!cands.is_empty(), "the video decoder must be placeable on the FX70T");
@@ -409,13 +581,13 @@ mod tests {
 
     /// A device structurally unique to one test, so concurrent tests sharing
     /// the process-wide cache can never collide with its keys.
-    fn unique_partition(tag: u32) -> (ColumnarPartition, rfp_device::TileTypeId) {
+    fn unique_partition(tag: u32) -> (FabricPartition, rfp_device::TileTypeId) {
         let mut b = DeviceBuilder::new(format!("cache-probe-{tag}"));
         // An unusual frame weight namespaces the cache key (the key hashes
         // per-column frames, not the device name).
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 1000 + tag);
         b.rows(2).repeat_column(clb, 3);
-        (columnar_partition(&b.build().unwrap()).unwrap(), clb)
+        (fabric_partition(&b.build().unwrap()).unwrap(), clb)
     }
 
     #[test]
@@ -451,7 +623,7 @@ mod tests {
         let mut b = DeviceBuilder::new("cache-probe-2b");
         let clb2 = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 1002);
         b.rows(3).repeat_column(clb2, 3);
-        let taller = columnar_partition(&b.build().unwrap()).unwrap();
+        let taller = fabric_partition(&b.build().unwrap()).unwrap();
         let spec2 = RegionSpec::new("r", vec![(clb2, 2)]);
         assert_eq!(enumerate_candidates_traced(&taller, &spec2, &cfg).1, CacheLookup::Miss);
         // The original key is still cached.
@@ -483,5 +655,80 @@ mod tests {
         let spec = RegionSpec::new("r", vec![(clb, 3), (bram, 2)]);
         let cands = enumerate_candidates(&p, &spec, &CandidateConfig::default());
         assert_eq!(min_waste(&p, &spec), Some(cands[0].waste));
+    }
+
+    /// A genuinely heterogeneous 4x4 fabric: column 2 is BRAM on rows 1-2
+    /// only, so coverage depends on the full rectangle, not just columns.
+    fn hetero_partition() -> (FabricPartition, rfp_device::TileTypeId, rfp_device::TileTypeId) {
+        use rfp_device::{Device, TileGrid, TileType, TileTypeRegistry};
+        let mut reg = TileTypeRegistry::new();
+        let clb = reg.register(TileType::new("CLB", ResourceVec::new(1, 0, 0), 36)).unwrap();
+        let bram = reg.register(TileType::new("BRAM", ResourceVec::new(0, 1, 0), 30)).unwrap();
+        let mut grid = TileGrid::new(4, 4).unwrap();
+        for c in 1..=4 {
+            grid.fill_column(c, clb).unwrap();
+        }
+        grid.set(2, 1, Some(bram)).unwrap();
+        grid.set(2, 2, Some(bram)).unwrap();
+        let device = Device::new("hetero-cand", reg, grid, vec![]).unwrap();
+        (fabric_partition(&device).unwrap(), clb, bram)
+    }
+
+    #[test]
+    fn hetero_candidates_cover_and_are_irredundant() {
+        let (p, clb, bram) = hetero_partition();
+        assert!(p.columnar().is_none());
+        let spec = RegionSpec::new("r", vec![(clb, 2), (bram, 1)]);
+        let cands = enumerate_candidates(&p, &spec, &CandidateConfig::default());
+        assert!(!cands.is_empty());
+        let covers = |r: &Rect| {
+            let covered = p.tiles_by_type_in_rect(r);
+            spec.tile_req().iter().all(|&(ty, need)| {
+                covered.iter().find(|(t, _)| *t == ty).map(|&(_, n)| n).unwrap_or(0) >= need
+            })
+        };
+        for c in &cands {
+            let r = c.rect;
+            assert!(p.rect_in_bounds(&r));
+            // BRAM only exists on rows 1-2 of column 2.
+            assert!(covers(&r), "candidate {r} under-covers");
+            assert_eq!(c.waste, p.frames_in_rect(&r) - spec.required_frames(&p));
+            // All four single-side shrinks must break coverage.
+            if r.h > 1 {
+                assert!(!covers(&Rect::new(r.x, r.y, r.w, r.h - 1)), "{r} redundant (bottom)");
+                assert!(!covers(&Rect::new(r.x, r.y + 1, r.w, r.h - 1)), "{r} redundant (top)");
+            }
+            if r.w > 1 {
+                assert!(!covers(&Rect::new(r.x + 1, r.y, r.w - 1, r.h)), "{r} redundant (left)");
+                assert!(!covers(&Rect::new(r.x, r.y, r.w - 1, r.h)), "{r} redundant (right)");
+            }
+        }
+        // No candidate can live entirely on rows 3-4 (no BRAM there).
+        assert!(cands.iter().all(|c| c.rect.y <= 2));
+    }
+
+    #[test]
+    fn hetero_relaxed_enumeration_is_a_superset() {
+        let (p, clb, bram) = hetero_partition();
+        let spec = RegionSpec::new("r", vec![(clb, 1), (bram, 1)]);
+        let strict = enumerate_candidates(&p, &spec, &CandidateConfig::default());
+        let relaxed = enumerate_candidates(&p, &spec, &CandidateConfig::relaxed(1000));
+        assert!(relaxed.len() >= strict.len());
+        for c in &strict {
+            assert!(relaxed.contains(c), "strict candidate {:?} missing from relaxed set", c);
+        }
+    }
+
+    #[test]
+    fn hetero_and_columnar_cache_keys_do_not_collide() {
+        let (p, clb, bram) = hetero_partition();
+        let spec = RegionSpec::new("r", vec![(clb, 1), (bram, 1)]);
+        let cfg = CandidateConfig::default();
+        let key = CacheKey::new(&p, &spec, &cfg);
+        assert!(key.columns.is_empty() && !key.cells.is_empty());
+        let (c, _, _) = small_partition();
+        let columnar_key = CacheKey::new(&c, &spec, &cfg);
+        assert!(!columnar_key.columns.is_empty() && columnar_key.cells.is_empty());
+        assert_ne!(key, columnar_key);
     }
 }

@@ -956,37 +956,61 @@ fn solve_milp_engine(
     let start = warm.and_then(|fp| model.encode(&problem, &fp));
     rfp_trace::count("engine.warm_starts", start.is_some() as u64);
     let progress = |obj: f64, secs: f64| ctl.report_incumbent(engine_id, obj, secs);
-    let solution = solver.solve_controlled(&model.milp, start.as_deref(), Some(&progress));
+    let mut solution = solver.solve_controlled(&model.milp, start.as_deref(), Some(&progress));
 
-    stats.nodes = solution.nodes as u64;
-    stats.solve_seconds = solution.solve_seconds;
-    stats.lp_iterations = solution.lp_iterations as u64;
-    stats.lp_solves = solution.lp_solves as u64;
-    stats.lp_seconds = solution.lp_seconds;
-    stats.cuts = solution.cuts as u64;
-    stats.gap = solution.gap();
-    stats.cancelled = solution.cancelled || ctl.cancel.is_cancelled();
+    // Assignment models keep free-compatible areas out of the formulation,
+    // so an optimal assignment may leave the greedy reservation pass no room
+    // for a constraint-mode request. Ban each such assignment with a no-good
+    // cut and re-solve (bounded: each cut removes one assignment point).
+    const MAX_FC_NOGOOD_ROUNDS: usize = 16;
+    let mut retry_milp: Option<rfp_milp::Model> = None;
+    let (floorplan, issues) = loop {
+        stats.nodes += solution.nodes as u64;
+        stats.solve_seconds += solution.solve_seconds;
+        stats.lp_iterations += solution.lp_iterations as u64;
+        stats.lp_solves += solution.lp_solves as u64;
+        stats.lp_seconds += solution.lp_seconds;
+        stats.cuts += solution.cuts as u64;
+        stats.gap = solution.gap();
+        stats.cancelled = solution.cancelled || ctl.cancel.is_cancelled();
 
-    if !solution.status.has_solution() {
-        return match solution.status {
-            rfp_milp::SolveStatus::Infeasible => SolveOutcome::without_floorplan(
-                OutcomeStatus::Infeasible,
-                "the MILP model is infeasible",
-                stats,
-            ),
-            _ => SolveOutcome::without_floorplan(
-                OutcomeStatus::BudgetExhausted,
-                "solver budget exhausted before a feasible floorplan was found",
-                stats,
-            ),
-        };
-    }
-    let floorplan = model.extract(&solution);
-    let issues = floorplan.validate(&problem);
+        if !solution.status.has_solution() {
+            return match solution.status {
+                rfp_milp::SolveStatus::Infeasible => SolveOutcome::without_floorplan(
+                    OutcomeStatus::Infeasible,
+                    "the MILP model is infeasible",
+                    stats,
+                ),
+                _ => SolveOutcome::without_floorplan(
+                    OutcomeStatus::BudgetExhausted,
+                    "solver budget exhausted before a feasible floorplan was found",
+                    stats,
+                ),
+            };
+        }
+        let floorplan = model.extract(&solution);
+        let issues = floorplan.validate(&problem);
+        let fc_only = !issues.is_empty() && issues.iter().all(|i| i.contains("was not identified"));
+        if !fc_only
+            || stats.cancelled
+            || retry_milp.as_ref().map_or(false, |m| {
+                m.n_cons() >= model.milp.n_cons() + MAX_FC_NOGOOD_ROUNDS
+            })
+        {
+            break (floorplan, issues);
+        }
+        let milp = retry_milp.get_or_insert_with(|| model.milp.clone());
+        if !model.ban_assignment(&solution, milp) {
+            break (floorplan, issues);
+        }
+        rfp_trace::count("engine.fc_nogood_retries", 1);
+        solution = solver.solve_controlled(milp, None, Some(&progress));
+    };
     if !issues.is_empty() {
         // A solution that passes the MILP but fails the independent validator
-        // indicates numerical trouble; report it rather than returning a
-        // bogus floorplan.
+        // indicates numerical trouble (or an unsatisfiable constraint-mode
+        // relocation request); report it rather than returning a bogus
+        // floorplan.
         return SolveOutcome::without_floorplan(
             OutcomeStatus::Infeasible,
             format!("extracted floorplan failed validation: {}", issues.join("; ")),
@@ -995,7 +1019,10 @@ fn solve_milp_engine(
     }
     let metrics = floorplan.metrics(&problem);
     SolveOutcome {
-        status: if solution.status == rfp_milp::SolveStatus::Optimal {
+        // After a no-good round the optimum is only proven for the cut model:
+        // the greedy reservation pass is incomplete, so a banned assignment
+        // might still have admitted the areas under a smarter reservation.
+        status: if solution.status == rfp_milp::SolveStatus::Optimal && retry_milp.is_none() {
             OutcomeStatus::Proven
         } else {
             OutcomeStatus::Feasible

@@ -13,7 +13,7 @@
 
 use crate::placement::Floorplan;
 use crate::problem::FloorplanProblem;
-use rfp_device::{ColumnarPartition, Rect, ResourceKind};
+use rfp_device::{FabricPartition, Rect, ResourceKind};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -50,9 +50,11 @@ fn sanitize(name: &str) -> String {
 }
 
 /// Site ranges (one string per resource kind present) for a rectangle.
-fn site_ranges(partition: &ColumnarPartition, rect: &Rect, cfg: &XdcConfig) -> Vec<String> {
+fn site_ranges(partition: &FabricPartition, rect: &Rect, cfg: &XdcConfig) -> Vec<String> {
     // Column index per resource kind, counting columns of that kind from the
-    // left edge of the device (vendor tools number sites per-kind).
+    // left edge of the device (vendor tools number sites per-kind). On an
+    // irregular fabric a column counts towards a kind when any of its cells
+    // holds that resource.
     let mut ranges = Vec::new();
     let kinds = [
         (ResourceKind::Clb, "SLICE", cfg.slices_per_clb_x, cfg.slice_rows_per_tile),
@@ -64,10 +66,18 @@ fn site_ranges(partition: &ColumnarPartition, rect: &Rect, cfg: &XdcConfig) -> V
         let mut kind_index_of_col = Vec::with_capacity(partition.cols as usize);
         let mut count = 0u32;
         for col in 1..=partition.cols {
-            let is_kind = partition
-                .column_type(col)
-                .map(|ty| partition.resources_per_tile(ty)[kind] > 0)
-                .unwrap_or(false);
+            let is_kind = match partition.columnar() {
+                Some(cp) => cp
+                    .column_type(col)
+                    .map(|ty| cp.resources_per_tile(ty)[kind] > 0)
+                    .unwrap_or(false),
+                None => (1..=partition.rows).any(|row| {
+                    partition
+                        .tile_type_at(col, row)
+                        .map(|ty| partition.resources_per_tile(ty)[kind] > 0)
+                        .unwrap_or(false)
+                }),
+            };
             kind_index_of_col.push(if is_kind { Some(count) } else { None });
             if is_kind {
                 count += 1;

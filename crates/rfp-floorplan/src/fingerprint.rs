@@ -16,23 +16,38 @@
 //! nearest cached floorplan via [`crate::engine::SolveRequest::with_warm_outcome`].
 
 use crate::problem::{FloorplanProblem, RegionSpec, RelocationMode};
-use rfp_device::ColumnarPartition;
+use rfp_device::FabricPartition;
 
 /// Per-column `(tile-type index, frames per tile)` — the canonical device
-/// encoding shared by the candidate cache and [`ProblemFingerprint`]. Two
-/// devices with equal column encodings, rows and forbidden rectangles are
-/// interchangeable for floorplanning regardless of their names.
-pub fn device_columns(partition: &ColumnarPartition) -> Vec<(usize, u32)> {
-    (1..=partition.cols)
+/// encoding shared by the candidate cache and [`ProblemFingerprint`] on
+/// columnar fabrics. Two devices with equal column encodings, rows and
+/// forbidden rectangles are interchangeable for floorplanning regardless of
+/// their names. Returns an empty vector on a fabric with no columnar view
+/// (a heterogeneous device is encoded per cell by [`device_cells`] instead).
+pub fn device_columns(partition: &FabricPartition) -> Vec<(usize, u32)> {
+    let Some(cp) = partition.columnar() else { return Vec::new() };
+    (1..=cp.cols)
         .map(|c| {
-            let ty = partition.column_type(c).expect("column inside device");
-            (ty.index(), partition.frames_per_tile(ty))
+            let ty = cp.column_type(c).expect("column inside device");
+            (ty.index(), cp.frames_per_tile(ty))
         })
         .collect()
 }
 
+/// Per-cell `(tile-type index, frames per tile)` in row-major order — the
+/// canonical encoding of a heterogeneous fabric. Defined for every fabric
+/// (on a columnar device each column repeats `rows` times), but cache keys
+/// only fall back to it when no columnar view exists.
+pub fn device_cells(partition: &FabricPartition) -> Vec<(usize, u32)> {
+    partition
+        .cell_types()
+        .iter()
+        .map(|&ty| (ty.index(), partition.frames_per_tile(ty)))
+        .collect()
+}
+
 /// Forbidden rectangles as `(x, y, w, h)` tuples, in device order.
-pub fn forbidden_rects(partition: &ColumnarPartition) -> Vec<(u32, u32, u32, u32)> {
+pub fn forbidden_rects(partition: &FabricPartition) -> Vec<(u32, u32, u32, u32)> {
     partition.forbidden.iter().map(|f| (f.rect.x, f.rect.y, f.rect.w, f.rect.h)).collect()
 }
 
@@ -113,9 +128,28 @@ impl ProblemFingerprint {
 
         let mut device = Fnv::new();
         device.u64(u64::from(p.rows));
-        for (ty, frames) in device_columns(p) {
-            device.u64(ty as u64);
-            device.u64(u64::from(frames));
+        if p.is_columnar_legacy() {
+            // Legacy columnar devices keep the original per-column encoding,
+            // so every fingerprint persisted before the fabric refactor is
+            // unchanged.
+            for (ty, frames) in device_columns(p) {
+                device.u64(ty as u64);
+                device.u64(u64::from(frames));
+            }
+        } else {
+            // Heterogeneous fabrics (or columnar devices with die
+            // boundaries) hash the full effective cell grid plus the
+            // boundary rows. The leading column count domain-separates this
+            // encoding from the per-column one above.
+            device.u64(u64::from(p.cols));
+            for (ty, frames) in device_cells(p) {
+                device.u64(ty as u64);
+                device.u64(u64::from(frames));
+            }
+            device.u64(p.die_boundaries.len() as u64);
+            for &b in &p.die_boundaries {
+                device.u64(u64::from(b));
+            }
         }
         for (x, y, w, h) in forbidden_rects(p) {
             device.u64(u64::from(x));

@@ -24,8 +24,8 @@ use crate::problem::{
     Connection, FloorplanProblem, ObjectiveWeights, RegionSpec, RelocationMode, RelocationRequest,
 };
 use rfp_device::{
-    columnar_partition, ColumnarPartition, Device, ForbiddenArea, Rect, ResourceVec, TileGrid,
-    TileType, TileTypeId, TileTypeRegistry,
+    columnar_partition, fabric_partition_with_boundaries, Device, FabricPartition, ForbiddenArea,
+    Rect, ResourceVec, TileGrid, TileType, TileTypeId, TileTypeRegistry,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -34,8 +34,13 @@ use std::fmt;
 pub const PROBLEM_FORMAT: &str = "rfp-problem";
 /// Format tag of floorplan documents.
 pub const FLOORPLAN_FORMAT: &str = "rfp-floorplan";
-/// Current schema version of both formats.
+/// Base schema version of both formats (columnar devices).
 pub const FORMAT_VERSION: u64 = 1;
+/// Schema version of documents whose device section carries a per-cell tile
+/// grid (`cells`) and/or die boundaries — heterogeneous fabrics. Version-1
+/// documents keep reading unchanged, and legacy columnar devices keep
+/// *writing* version 1 byte-for-byte.
+pub const FORMAT_VERSION_V2: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // Minimal JSON value model + parser.
@@ -407,10 +412,16 @@ pub struct DeviceSection {
 impl DeviceSection {
     /// Builds the emission table for a partition and the requirements of
     /// `regions` (tile types referenced only by requirements are kept).
-    pub fn new(part: &ColumnarPartition, regions: &[RegionSpec]) -> Self {
+    pub fn new(part: &FabricPartition, regions: &[RegionSpec]) -> Self {
         let mut present: BTreeMap<usize, ()> = BTreeMap::new();
-        for c in 1..=part.cols {
-            if let Some(ty) = part.column_type(c) {
+        if let Some(cp) = part.columnar() {
+            for c in 1..=cp.cols {
+                if let Some(ty) = cp.column_type(c) {
+                    present.insert(ty.index(), ());
+                }
+            }
+        } else {
+            for &ty in part.cell_types() {
                 present.insert(ty.index(), ());
             }
         }
@@ -440,7 +451,7 @@ impl DeviceSection {
     /// The canonical serialised name of a tile type: `CLB`/`BRAM`/`DSP` for
     /// single-resource types, `T{idx}` otherwise. Shared by the JSON and
     /// binary device writers so both emit identical tables.
-    pub fn type_name(part: &ColumnarPartition, idx: usize) -> String {
+    pub fn type_name(part: &FabricPartition, idx: usize) -> String {
         let res = part.resources_per_tile(TileTypeId(idx as u16));
         let [clb, bram, dsp, other] = res.0;
         match (clb > 0, bram > 0, dsp > 0, other > 0) {
@@ -453,7 +464,13 @@ impl DeviceSection {
 
     /// Renders the `"device": {...}` object (two-space base indentation,
     /// no trailing separator).
-    pub fn write_device(&self, part: &ColumnarPartition) -> String {
+    ///
+    /// A legacy columnar fabric renders the exact version-1 section (a
+    /// `columns` array, no `die_boundaries` key), keeping pre-existing
+    /// goldens byte-identical. Any other fabric renders the version-2 shape:
+    /// `columns` when a columnar view exists, a row-major `cells` grid
+    /// otherwise, plus a trailing `die_boundaries` array.
+    pub fn write_device(&self, part: &FabricPartition) -> String {
         let type_name = |idx: usize| -> String { DeviceSection::type_name(part, idx) };
         let mut out = String::new();
         out.push_str("  \"device\": {\n");
@@ -471,12 +488,35 @@ impl DeviceSection {
             ));
         }
         out.push_str("    ],\n");
-        let columns: Vec<String> = (1..=part.cols)
-            .map(|c| {
-                self.pos_of[&part.column_type(c).expect("column inside device").index()].to_string()
-            })
-            .collect();
-        out.push_str(&format!("    \"columns\": [{}],\n", columns.join(",")));
+        match part.columnar() {
+            Some(cp) => {
+                let columns: Vec<String> = (1..=cp.cols)
+                    .map(|c| {
+                        self.pos_of[&cp.column_type(c).expect("column inside device").index()]
+                            .to_string()
+                    })
+                    .collect();
+                out.push_str(&format!("    \"columns\": [{}],\n", columns.join(",")));
+            }
+            None => {
+                out.push_str("    \"cells\": [\n");
+                for row in 1..=part.rows {
+                    let items: Vec<String> = (1..=part.cols)
+                        .map(|c| {
+                            self.pos_of
+                                [&part.tile_type_at(c, row).expect("cell inside device").index()]
+                            .to_string()
+                        })
+                        .collect();
+                    out.push_str(&format!(
+                        "      [{}]{}\n",
+                        items.join(","),
+                        if row < part.rows { "," } else { "" }
+                    ));
+                }
+                out.push_str("    ],\n");
+            }
+        }
         out.push_str("    \"forbidden\": [");
         for (i, fa) in part.forbidden.iter().enumerate() {
             if i > 0 {
@@ -491,7 +531,13 @@ impl DeviceSection {
         if !part.forbidden.is_empty() {
             out.push_str("\n    ");
         }
-        out.push_str("]\n");
+        if part.is_columnar_legacy() {
+            out.push_str("]\n");
+        } else {
+            let db: Vec<String> = part.die_boundaries.iter().map(|b| b.to_string()).collect();
+            out.push_str("],\n");
+            out.push_str(&format!("    \"die_boundaries\": [{}]\n", db.join(",")));
+        }
         out.push_str("  }");
         out
     }
@@ -521,17 +567,28 @@ pub struct DeviceSpec {
     pub rows: u32,
     /// Tile types in emission order: `(name, [clb, bram, dsp, other], frames)`.
     pub tile_types: Vec<(String, [u32; 4], u32)>,
-    /// Per-column positions into `tile_types`.
+    /// Per-column positions into `tile_types` (columnar devices; empty when
+    /// `cells` is used instead).
     pub columns: Vec<usize>,
+    /// Row-major per-cell positions into `tile_types` (heterogeneous
+    /// fabrics; empty when `columns` is used instead).
+    pub cells: Vec<usize>,
     /// Forbidden areas.
     pub forbidden: Vec<(String, Rect)>,
+    /// Die-boundary rows (empty in version-1 documents).
+    pub die_boundaries: Vec<u32>,
 }
 
 impl DeviceSpec {
     /// Rebuilds the partition through the public `rfp-device` constructors
     /// plus the tile-type ids at each emitted-array position (needed to
     /// resolve region requirements).
-    pub fn build(self) -> Result<(ColumnarPartition, Vec<TileTypeId>), String> {
+    ///
+    /// A columnar spec without die boundaries rebuilds through
+    /// [`columnar_partition`] exactly as version 1 always has (so version-1
+    /// documents read as legacy columnar fabrics); anything else rebuilds
+    /// through [`fabric_partition_with_boundaries`].
+    pub fn build(self) -> Result<(FabricPartition, Vec<TileTypeId>), String> {
         let mut registry = TileTypeRegistry::new();
         let mut ids: Vec<TileTypeId> = Vec::new();
         for (i, (tname, resources, frames)) in self.tile_types.into_iter().enumerate() {
@@ -548,16 +605,40 @@ impl DeviceSpec {
             ids.push(id);
         }
 
-        if self.columns.is_empty() {
-            return Err("device has no columns".to_string());
-        }
-        let mut grid = TileGrid::new(self.columns.len() as u32, self.rows)
-            .map_err(|e| format!("invalid grid: {e}"))?;
-        for (c, &pos) in self.columns.iter().enumerate() {
-            let ty = *ids
-                .get(pos)
-                .ok_or_else(|| format!("column {}: unknown tile type {pos}", c + 1))?;
-            grid.fill_column(c as u32 + 1, ty).map_err(|e| format!("column {}: {e}", c + 1))?;
+        let per_cell = !self.cells.is_empty();
+        let cols = if per_cell {
+            if self.rows == 0 || self.cells.len() % self.rows as usize != 0 {
+                return Err(format!(
+                    "cell grid of {} entries does not divide into {} rows",
+                    self.cells.len(),
+                    self.rows
+                ));
+            }
+            (self.cells.len() / self.rows as usize) as u32
+        } else {
+            if self.columns.is_empty() {
+                return Err("device has no columns".to_string());
+            }
+            self.columns.len() as u32
+        };
+        let mut grid =
+            TileGrid::new(cols, self.rows).map_err(|e| format!("invalid grid: {e}"))?;
+        if per_cell {
+            for (i, &pos) in self.cells.iter().enumerate() {
+                let row = (i / cols as usize) as u32 + 1;
+                let col = (i % cols as usize) as u32 + 1;
+                let ty = *ids
+                    .get(pos)
+                    .ok_or_else(|| format!("cell ({col},{row}): unknown tile type {pos}"))?;
+                grid.set(col, row, Some(ty)).map_err(|e| format!("cell ({col},{row}): {e}"))?;
+            }
+        } else {
+            for (c, &pos) in self.columns.iter().enumerate() {
+                let ty = *ids
+                    .get(pos)
+                    .ok_or_else(|| format!("column {}: unknown tile type {pos}", c + 1))?;
+                grid.fill_column(c as u32 + 1, ty).map_err(|e| format!("column {}: {e}", c + 1))?;
+            }
         }
 
         let forbidden: Vec<ForbiddenArea> = self
@@ -568,15 +649,21 @@ impl DeviceSpec {
 
         let dev = Device::new(self.name, registry, grid, forbidden)
             .map_err(|e| format!("invalid device: {e}"))?;
-        let partition =
-            columnar_partition(&dev).map_err(|e| format!("device is not columnar: {e}"))?;
+        let partition: FabricPartition = if per_cell || !self.die_boundaries.is_empty() {
+            fabric_partition_with_boundaries(&dev, &self.die_boundaries)
+                .map_err(|e| format!("invalid fabric: {e}"))?
+        } else {
+            columnar_partition(&dev)
+                .map_err(|e| format!("device is not columnar: {e}"))?
+                .into()
+        };
         Ok((partition, ids))
     }
 }
 
 /// Parses a `"device"` object back into a partition plus the tile-type ids at
 /// each emitted-array position (needed to resolve region requirements).
-pub fn read_device(device: &JsonValue) -> Result<(ColumnarPartition, Vec<TileTypeId>), JsonError> {
+pub fn read_device(device: &JsonValue) -> Result<(FabricPartition, Vec<TileTypeId>), JsonError> {
     let name = device.field("name")?.as_str()?.to_string();
     let rows = device.field("rows")?.as_u32()?;
     let mut tile_types = Vec::new();
@@ -595,8 +682,37 @@ pub fn read_device(device: &JsonValue) -> Result<(ColumnarPartition, Vec<TileTyp
     }
 
     let mut columns = Vec::new();
-    for col in device.field("columns")?.as_arr()? {
-        columns.push(col.as_u64()? as usize);
+    let mut cells = Vec::new();
+    match (device.get("columns"), device.get("cells")) {
+        (Some(cols), _) => {
+            for col in cols.as_arr()? {
+                columns.push(col.as_u64()? as usize);
+            }
+        }
+        (None, Some(grid)) => {
+            let grid_rows = grid.as_arr()?;
+            if grid_rows.len() != rows as usize {
+                return err(format!(
+                    "`cells` has {} rows, device declares {rows}",
+                    grid_rows.len()
+                ));
+            }
+            let mut width = None;
+            for row in grid_rows {
+                let row = row.as_arr()?;
+                match width {
+                    None => width = Some(row.len()),
+                    Some(w) if w != row.len() => {
+                        return err("ragged `cells` rows".to_string());
+                    }
+                    Some(_) => {}
+                }
+                for cell in row {
+                    cells.push(cell.as_u64()? as usize);
+                }
+            }
+        }
+        (None, None) => return err("missing field `columns` (or `cells`)".to_string()),
     }
 
     let mut forbidden = Vec::new();
@@ -605,7 +721,16 @@ pub fn read_device(device: &JsonValue) -> Result<(ColumnarPartition, Vec<TileTyp
         forbidden.push((fname, rect_from_json(fa.field("rect")?)?));
     }
 
-    DeviceSpec { name, rows, tile_types, columns, forbidden }.build().map_err(JsonError)
+    let mut die_boundaries = Vec::new();
+    if let Some(db) = device.get("die_boundaries") {
+        for b in db.as_arr()? {
+            die_boundaries.push(b.as_u32()?);
+        }
+    }
+
+    DeviceSpec { name, rows, tile_types, columns, cells, forbidden, die_boundaries }
+        .build()
+        .map_err(JsonError)
 }
 
 /// Parses one region/module object written by [`DeviceSection::write_region`].
@@ -637,10 +762,11 @@ pub fn write_problem(problem: &FloorplanProblem) -> String {
     let part = &problem.partition;
     let section = DeviceSection::new(part, &problem.regions);
 
+    let version = if part.is_columnar_legacy() { FORMAT_VERSION } else { FORMAT_VERSION_V2 };
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"format\": \"{PROBLEM_FORMAT}\",\n"));
-    out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
+    out.push_str(&format!("  \"version\": {version},\n"));
 
     // Device.
     out.push_str(&section.write_device(part));
@@ -717,9 +843,10 @@ fn check_header(doc: &JsonValue, format: &str) -> Result<(), JsonError> {
         return err(format!("expected format `{format}`, found `{tag}`"));
     }
     let version = doc.field("version")?.as_u64()?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 {
         return err(format!(
-            "unsupported {format} version {version} (this build reads version {FORMAT_VERSION})"
+            "unsupported {format} version {version} (this build reads versions \
+             {FORMAT_VERSION} and {FORMAT_VERSION_V2})"
         ));
     }
     Ok(())
@@ -1005,7 +1132,7 @@ mod tests {
   "weights": {"wirelength":1,"perimeter":0,"resources":1000,"relocation":0}
 }"#;
         let p = read_problem(doc).unwrap();
-        assert_eq!(p.partition.n_portions(), 3, "alternating twin types form three portions");
+        assert_eq!(p.partition.columnar().unwrap().n_portions(), 3, "alternating twin types form three portions");
         assert!(p.validate().is_ok());
     }
 

@@ -40,11 +40,29 @@
 //! must forbid `o_{c,pc} = o_{n,pn} = k_{n,pn+i} = 1` **when the two tile
 //! types differ**; the inequality as printed carries an `=` guard, which we
 //! read as the evident typo for `≠` and implement accordingly.
+//!
+//! ## Heterogeneous fabrics
+//!
+//! The portion machinery above assumes a columnar device. On a fabric with
+//! no columnar view — or a columnar device with die boundaries, whose
+//! relocation rules the portion equations cannot express —
+//! [`FloorplanMilp::build`] instead generates a **candidate-assignment**
+//! model: one binary per (region, candidate rectangle) from the irredundant
+//! enumeration of [`crate::candidates`], an exactly-one constraint per
+//! region, pairwise mutual exclusion between overlapping candidates, and the
+//! same composite objective expressed over the (constant) per-candidate
+//! waste, half-perimeter and centre coordinates. Requested free-compatible
+//! areas are reserved by a greedy pass at extraction time using the
+//! fabric-aware compatibility check (which rejects die-crossing targets); a
+//! constraint-mode request the greedy pass cannot satisfy surfaces as a
+//! validation failure, never as a silently dropped constraint.
 
+use crate::candidates::{enumerate_candidates, Candidate, CandidateConfig};
 use crate::placement::{FcPlacement, Floorplan};
 use crate::problem::{FloorplanProblem, RelocationMode};
 use crate::sequence_pair::{PairRelation, Relation};
-use rfp_device::{PortionId, Rect};
+use rfp_device::compat::enumerate_free_compatible;
+use rfp_device::{ColumnarPartition, FabricPartition, PortionId, Rect};
 use rfp_milp::{ConOp, LinExpr, Model, Sense, Solution, VarId};
 use serde::{Deserialize, Serialize};
 
@@ -119,23 +137,61 @@ pub struct ModelStats {
     pub n_nonzeros: usize,
 }
 
+/// Which formulation [`FloorplanMilp::build`] generated.
+#[derive(Debug, Clone)]
+enum ModelKind {
+    /// Portion-based model (Equations 1-15); legacy columnar devices.
+    Portion,
+    /// Candidate-assignment model; heterogeneous or die-bounded fabrics.
+    Assignment(AssignmentModel),
+}
+
+/// Bookkeeping of the candidate-assignment formulation.
+#[derive(Debug, Clone)]
+struct AssignmentModel {
+    /// The fabric, kept for the greedy free-compatible reservation pass.
+    partition: FabricPartition,
+    /// Candidate rectangles per region.
+    candidates: Vec<Vec<Candidate>>,
+    /// Assignment binaries, aligned with `candidates`.
+    assign: Vec<Vec<VarId>>,
+}
+
 /// A generated floorplanning MILP together with the handles needed to read a
 /// floorplan back out of a solution.
 #[derive(Debug, Clone)]
 pub struct FloorplanMilp {
     /// The generated mixed-integer linear program.
     pub milp: Model,
-    /// Variable handles.
+    /// Variable handles. Only populated by the portion model; the
+    /// candidate-assignment model keeps its binaries in its own bookkeeping
+    /// (all vectors except `wl` stay empty).
     pub vars: ModelVars,
     n_regions: usize,
     /// `(request index, source region, mode)` per FC entity.
     fc_meta: Vec<(usize, usize, RelocationMode)>,
+    kind: ModelKind,
 }
 
 impl FloorplanMilp {
     /// Generates the MILP for a problem.
+    ///
+    /// Legacy columnar devices get the portion-based formulation of the
+    /// paper; heterogeneous fabrics (and columnar devices with die
+    /// boundaries, whose relocation rules the portion equations cannot
+    /// express) get the candidate-assignment formulation.
     pub fn build(problem: &FloorplanProblem, config: &MilpBuildConfig) -> FloorplanMilp {
-        let partition = &problem.partition;
+        if problem.partition.is_columnar_legacy() {
+            Self::build_portion(problem, config)
+        } else {
+            Self::build_assignment(problem, config)
+        }
+    }
+
+    /// The portion-offset formulation (Equations 1-15) for columnar devices.
+    fn build_portion(problem: &FloorplanProblem, config: &MilpBuildConfig) -> FloorplanMilp {
+        let partition: &ColumnarPartition =
+            problem.partition.columnar().expect("portion model requires a columnar device");
         let cols = partition.cols as f64;
         let rows = partition.rows as f64;
         let max_w = partition.cols;
@@ -657,13 +713,192 @@ impl FloorplanMilp {
 
         m.set_objective(objective);
 
-        FloorplanMilp { milp: m, vars, n_regions, fc_meta }
+        FloorplanMilp { milp: m, vars, n_regions, fc_meta, kind: ModelKind::Portion }
+    }
+
+    /// The candidate-assignment formulation for heterogeneous fabrics.
+    ///
+    /// One binary per (region, candidate) from the irredundant enumeration,
+    /// an exactly-one constraint per region and pairwise mutual exclusion
+    /// between overlapping candidates. Waste and half-perimeter are constant
+    /// per candidate; wire length reuses the `dx`/`dy` auxiliaries over the
+    /// linear centre expressions. Free-compatible areas are *not* variables
+    /// of this model: they are reserved greedily at extraction time with the
+    /// fabric-aware compatibility check, so the relocation term of Equation
+    /// (14) is priced by the validator rather than the solver. For a region
+    /// with a **constraint-mode** relocation request, candidates spanning a
+    /// die boundary are pruned up front — a boundary-crossing source has no
+    /// compatible target anywhere, so such an assignment can never satisfy
+    /// the constraint. HO relations are ignored (the assignment space is
+    /// already discrete and small).
+    fn build_assignment(problem: &FloorplanProblem, _config: &MilpBuildConfig) -> FloorplanMilp {
+        let partition = &problem.partition;
+        let n_regions = problem.regions.len();
+        let fc_meta = problem.fc_areas();
+        let cols = partition.cols as f64;
+        let rows = partition.rows as f64;
+
+        let mut m = Model::new(format!("floorplan-{}", partition.device_name), Sense::Minimize);
+
+        let must_not_cross: Vec<bool> = (0..n_regions)
+            .map(|n| {
+                fc_meta
+                    .iter()
+                    .any(|&(_, region, mode)| region == n && matches!(mode, RelocationMode::Constraint))
+            })
+            .collect();
+        let cand_cfg = CandidateConfig::default();
+        let candidates: Vec<Vec<Candidate>> = problem
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(n, spec)| {
+                let mut cands = enumerate_candidates(partition, spec, &cand_cfg);
+                if must_not_cross[n] {
+                    cands.retain(|c| !partition.rect_crosses_die_boundary(&c.rect));
+                }
+                cands
+            })
+            .collect();
+
+        let mut assign: Vec<Vec<VarId>> = Vec::with_capacity(n_regions);
+        for (n, spec) in problem.regions.iter().enumerate() {
+            let row: Vec<VarId> = (0..candidates[n].len())
+                .map(|k| m.bin_var(format!("asg[{}][{k}]", spec.name)))
+                .collect();
+            if row.is_empty() {
+                // No candidate fits the region anywhere: force infeasibility
+                // instead of silently dropping the region.
+                let stub = m.bin_var(format!("infeasible[{}]", spec.name));
+                m.add_con(
+                    format!("no_candidate[{}]", spec.name),
+                    LinExpr::from(stub),
+                    ConOp::Ge,
+                    2.0,
+                );
+            } else {
+                m.add_con(
+                    format!("assign_one[{}]", spec.name),
+                    LinExpr::weighted_sum(row.iter().map(|&v| (v, 1.0))),
+                    ConOp::Eq,
+                    1.0,
+                );
+            }
+            assign.push(row);
+        }
+
+        // Pairwise mutual exclusion between overlapping candidates.
+        for i in 0..n_regions {
+            for j in (i + 1)..n_regions {
+                for (ki, ci) in candidates[i].iter().enumerate() {
+                    for (kj, cj) in candidates[j].iter().enumerate() {
+                        if ci.rect.overlaps(&cj.rect) {
+                            m.add_con(
+                                format!(
+                                    "sep[{}][{ki}][{}][{kj}]",
+                                    problem.regions[i].name, problem.regions[j].name
+                                ),
+                                LinExpr::from(assign[i][ki]) + assign[j][kj],
+                                ConOp::Le,
+                                1.0,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut vars = ModelVars {
+            x: Vec::new(),
+            w: Vec::new(),
+            y: Vec::new(),
+            h: Vec::new(),
+            a: Vec::new(),
+            cov: Vec::new(),
+            k: Vec::new(),
+            o: Vec::new(),
+            l: Vec::new(),
+            v: vec![None; fc_meta.len()],
+            q: Vec::new(),
+            pair_rel: Vec::new(),
+            wl: Vec::new(),
+        };
+
+        let weights = &problem.weights;
+        let mut objective = LinExpr::zero();
+        let centre_x = |c: &Candidate| f64::from(c.rect.x) + f64::from(c.rect.w) * 0.5;
+        let centre_y = |c: &Candidate| f64::from(c.rect.y) + f64::from(c.rect.h) * 0.5;
+
+        // Wire-length cost over linear centre expressions.
+        if weights.wirelength != 0.0 && !problem.connections.is_empty() {
+            let scale = weights.wirelength / problem.wl_max();
+            for (ci, conn) in problem.connections.iter().enumerate() {
+                let dx = m.cont_var(format!("wl_dx[{ci}]"), 0.0, cols);
+                let dy = m.cont_var(format!("wl_dy[{ci}]"), 0.0, rows);
+                vars.wl.push((dx, dy));
+                let centre_expr = |region: usize, f: &dyn Fn(&Candidate) -> f64| -> LinExpr {
+                    LinExpr::weighted_sum(
+                        candidates[region].iter().zip(&assign[region]).map(|(c, &v)| (v, f(c))),
+                    )
+                };
+                let cx_a = centre_expr(conn.a, &centre_x);
+                let cx_b = centre_expr(conn.b, &centre_x);
+                let cy_a = centre_expr(conn.a, &centre_y);
+                let cy_b = centre_expr(conn.b, &centre_y);
+                m.add_con(
+                    format!("wl_dx_pos[{ci}]"),
+                    LinExpr::from(dx) - cx_a.clone() + cx_b.clone(),
+                    ConOp::Ge,
+                    0.0,
+                );
+                m.add_con(format!("wl_dx_neg[{ci}]"), LinExpr::from(dx) + cx_a - cx_b, ConOp::Ge, 0.0);
+                m.add_con(
+                    format!("wl_dy_pos[{ci}]"),
+                    LinExpr::from(dy) - cy_a.clone() + cy_b.clone(),
+                    ConOp::Ge,
+                    0.0,
+                );
+                m.add_con(format!("wl_dy_neg[{ci}]"), LinExpr::from(dy) + cy_a - cy_b, ConOp::Ge, 0.0);
+                objective +=
+                    LinExpr::term(dx, conn.weight * scale) + LinExpr::term(dy, conn.weight * scale);
+            }
+        }
+
+        // Perimeter and wasted-frames costs are constants per candidate.
+        if weights.perimeter != 0.0 {
+            let scale = weights.perimeter / problem.p_max();
+            for n in 0..n_regions {
+                for (k, c) in candidates[n].iter().enumerate() {
+                    objective += LinExpr::term(
+                        assign[n][k],
+                        (f64::from(c.rect.w) + f64::from(c.rect.h)) * scale,
+                    );
+                }
+            }
+        }
+        if weights.resources != 0.0 {
+            let scale = weights.resources / problem.r_max();
+            for n in 0..n_regions {
+                for (k, c) in candidates[n].iter().enumerate() {
+                    objective += LinExpr::term(assign[n][k], c.waste as f64 * scale);
+                }
+            }
+        }
+
+        m.set_objective(objective);
+
+        let kind = ModelKind::Assignment(AssignmentModel {
+            partition: partition.clone(),
+            candidates,
+            assign,
+        });
+        FloorplanMilp { milp: m, vars, n_regions, fc_meta, kind }
     }
 
     /// Statistics of the generated model.
     pub fn stats(&self) -> ModelStats {
         ModelStats {
-            entities: self.vars.x.len(),
+            entities: self.n_entities(),
             n_vars: self.milp.n_vars(),
             n_int_vars: self.milp.n_integer_vars(),
             n_cons: self.milp.n_cons(),
@@ -673,11 +908,49 @@ impl FloorplanMilp {
 
     /// Number of entities (regions plus free-compatible areas).
     pub fn n_entities(&self) -> usize {
-        self.vars.x.len()
+        self.n_regions + self.fc_meta.len()
     }
 
     /// Reads a floorplan out of a MILP solution.
     pub fn extract(&self, solution: &Solution) -> Floorplan {
+        let am = match &self.kind {
+            ModelKind::Portion => return self.extract_portion(solution),
+            ModelKind::Assignment(am) => am,
+        };
+        let regions: Vec<Rect> = am
+            .assign
+            .iter()
+            .zip(&am.candidates)
+            .map(|(row, cands)| {
+                row.iter()
+                    .position(|&v| solution.bool_value(v))
+                    .and_then(|k| cands.get(k))
+                    .or_else(|| cands.first())
+                    .map(|c| c.rect)
+                    .unwrap_or_else(|| Rect::new(1, 1, 1, 1))
+            })
+            .collect();
+        // Greedy reservation of the requested free-compatible areas with the
+        // fabric-aware (die-boundary-rejecting) compatibility check. A
+        // constraint-mode request the pass cannot satisfy is left empty and
+        // surfaces as a validation failure downstream.
+        let mut occupied = regions.clone();
+        let mut fc_areas = Vec::with_capacity(self.fc_meta.len());
+        for &(request, region, mode) in &self.fc_meta {
+            let rect =
+                enumerate_free_compatible(&am.partition, &regions[region], &occupied)
+                    .into_iter()
+                    .next();
+            if let Some(r) = rect {
+                occupied.push(r);
+            }
+            fc_areas.push(FcPlacement { request, region, mode, rect });
+        }
+        Floorplan { regions, fc_areas }
+    }
+
+    /// [`FloorplanMilp::extract`] for the portion model.
+    fn extract_portion(&self, solution: &Solution) -> Floorplan {
         let rect_of = |e: usize| -> Rect {
             let x = solution.value(self.vars.x[e]).round().max(1.0) as u32;
             let y = solution.value(self.vars.y[e]).round().max(1.0) as u32;
@@ -701,6 +974,37 @@ impl FloorplanMilp {
         Floorplan { regions, fc_areas }
     }
 
+    /// Adds a no-good cut to `milp` banning this solution's exact candidate
+    /// assignment (assignment models only).
+    ///
+    /// The assignment formulation keeps free-compatible areas out of the
+    /// model, so an optimal assignment may pack the fabric too tightly for
+    /// the greedy reservation pass to satisfy a constraint-mode request. The
+    /// engine then bans the failing assignment and re-solves: each cut
+    /// removes exactly one point of the assignment space, so the loop is
+    /// sound and terminates. Returns `false` (and adds nothing) for portion
+    /// models or when the solution selects no candidates.
+    pub fn ban_assignment(&self, solution: &Solution, milp: &mut Model) -> bool {
+        let ModelKind::Assignment(am) = &self.kind else { return false };
+        let chosen: Vec<VarId> = am
+            .assign
+            .iter()
+            .filter_map(|row| row.iter().copied().find(|&v| solution.bool_value(v)))
+            .collect();
+        if chosen.is_empty() {
+            return false;
+        }
+        let k = chosen.len() as f64;
+        let name = format!("fc_nogood[{}]", milp.n_cons());
+        milp.add_con(
+            name,
+            LinExpr::weighted_sum(chosen.into_iter().map(|v| (v, 1.0))),
+            ConOp::Le,
+            k - 1.0,
+        );
+        true
+    }
+
     /// Encodes a floorplan as a full variable assignment of this model, for
     /// use as a MILP warm start (the inverse of [`FloorplanMilp::extract`]).
     ///
@@ -710,13 +1014,20 @@ impl FloorplanMilp {
     /// floorplan cannot be expressed in this model (wrong problem, or a
     /// missing constraint-mode area).
     pub fn encode(&self, problem: &FloorplanProblem, floorplan: &Floorplan) -> Option<Vec<f64>> {
-        let partition = &problem.partition;
-        let vars = &self.vars;
         if floorplan.regions.len() != self.n_regions
             || floorplan.fc_areas.len() != self.fc_meta.len()
         {
             return None;
         }
+        let partition = match &self.kind {
+            ModelKind::Portion => {
+                problem.partition.columnar().expect("portion model requires a columnar device")
+            }
+            ModelKind::Assignment(am) => {
+                return self.encode_assignment(problem, am, floorplan);
+            }
+        };
+        let vars = &self.vars;
         // Effective rectangle per entity: regions first, then FC areas.
         let mut rects: Vec<Rect> = floorplan.regions.clone();
         let mut violated = vec![false; self.fc_meta.len()];
@@ -820,6 +1131,45 @@ impl FloorplanMilp {
         // Respect pinned bounds (HO relation binaries): the relations were
         // extracted from this very floorplan, so raising a variable to a
         // pinned lower bound keeps the assignment consistent.
+        for (idx, def) in self.milp.vars().iter().enumerate() {
+            values[idx] = values[idx].clamp(def.lb, def.ub);
+        }
+        Some(values)
+    }
+
+    /// [`FloorplanMilp::encode`] for the candidate-assignment model: every
+    /// region rectangle must be one of its enumerated candidates, otherwise
+    /// the floorplan is outside this model's search space and `None` is
+    /// returned. Free-compatible areas carry no variables here (they are
+    /// re-derived at extraction), so only a missing constraint-mode area is
+    /// disqualifying.
+    fn encode_assignment(
+        &self,
+        problem: &FloorplanProblem,
+        am: &AssignmentModel,
+        floorplan: &Floorplan,
+    ) -> Option<Vec<f64>> {
+        for (c_idx, fcp) in floorplan.fc_areas.iter().enumerate() {
+            if fcp.rect.is_none() && matches!(self.fc_meta[c_idx].2, RelocationMode::Constraint) {
+                return None;
+            }
+        }
+        let mut values = vec![0.0; self.milp.n_vars()];
+        for (n, rect) in floorplan.regions.iter().enumerate() {
+            let k = am.candidates[n].iter().position(|c| c.rect == *rect)?;
+            values[am.assign[n][k].index()] = 1.0;
+        }
+        for (ci, conn) in problem.connections.iter().enumerate() {
+            if ci >= self.vars.wl.len() {
+                break;
+            }
+            let centre_x = |r: &Rect| f64::from(r.x) + f64::from(r.w) * 0.5;
+            let centre_y = |r: &Rect| f64::from(r.y) + f64::from(r.h) * 0.5;
+            let (ra, rb) = (&floorplan.regions[conn.a], &floorplan.regions[conn.b]);
+            let (dx, dy) = self.vars.wl[ci];
+            values[dx.index()] = (centre_x(ra) - centre_x(rb)).abs();
+            values[dy.index()] = (centre_y(ra) - centre_y(rb)).abs();
+        }
         for (idx, def) in self.milp.vars().iter().enumerate() {
             values[idx] = values[idx].clamp(def.lb, def.ub);
         }

@@ -9,7 +9,7 @@
 //! truth used by the test-suite and by the benchmark harness.
 
 use crate::problem::{FloorplanProblem, RegionId, RelocationMode};
-use rfp_device::compat::columnar_compatible;
+use rfp_device::compat::fabric_compatible;
 use rfp_device::Rect;
 use serde::{Deserialize, Serialize};
 
@@ -225,7 +225,7 @@ impl Floorplan {
                 continue;
             }
             let source = &self.regions[f.region];
-            let report = columnar_compatible(partition, source, &rect);
+            let report = fabric_compatible(partition, source, &rect);
             if !report.is_compatible() {
                 issues.push(format!(
                     "free-compatible area #{idx} {} is not compatible with region {} {}: {report}",

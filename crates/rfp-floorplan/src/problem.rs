@@ -13,7 +13,7 @@
 //! * the objective weights `q_1..q_4` of Equation 14.
 
 use crate::error::FloorplanError;
-use rfp_device::{ColumnarPartition, TileTypeId};
+use rfp_device::{FabricPartition, TileTypeId};
 use serde::{Deserialize, Serialize};
 
 /// Index of a reconfigurable region inside a [`FloorplanProblem`].
@@ -64,7 +64,7 @@ impl RegionSpec {
 
     /// Minimum configuration frames needed by the requirement (last column of
     /// Table I).
-    pub fn required_frames(&self, partition: &ColumnarPartition) -> u64 {
+    pub fn required_frames(&self, partition: &FabricPartition) -> u64 {
         self.tile_req.iter().map(|&(ty, c)| partition.frames_per_tile(ty) as u64 * c as u64).sum()
     }
 }
@@ -176,8 +176,9 @@ impl ObjectiveWeights {
 /// A complete floorplanning problem instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FloorplanProblem {
-    /// The columnar-partitioned device.
-    pub partition: ColumnarPartition,
+    /// The partitioned device fabric (columnar devices embed losslessly via
+    /// `From<ColumnarPartition>`).
+    pub partition: FabricPartition,
     /// The reconfigurable regions to place (set `N`, excluding
     /// free-compatible pseudo-regions).
     pub regions: Vec<RegionSpec>,
@@ -190,10 +191,12 @@ pub struct FloorplanProblem {
 }
 
 impl FloorplanProblem {
-    /// Creates an empty problem on a device.
-    pub fn new(partition: ColumnarPartition) -> Self {
+    /// Creates an empty problem on a device. Accepts either a
+    /// [`FabricPartition`] or a legacy `ColumnarPartition` (converted
+    /// losslessly).
+    pub fn new(partition: impl Into<FabricPartition>) -> Self {
         FloorplanProblem {
-            partition,
+            partition: partition.into(),
             regions: Vec::new(),
             connections: Vec::new(),
             relocation: Vec::new(),
@@ -300,21 +303,39 @@ impl FloorplanProblem {
         }
         // Capacity per tile type.
         let mut capacity: Vec<u64> = Vec::new();
-        for p in &self.partition.portions {
-            let idx = p.tile_type.index();
-            if capacity.len() <= idx {
-                capacity.resize(idx + 1, 0);
+        if let Some(cp) = self.partition.columnar() {
+            for p in &cp.portions {
+                let idx = p.tile_type.index();
+                if capacity.len() <= idx {
+                    capacity.resize(idx + 1, 0);
+                }
+                capacity[idx] += (p.width() as u64) * cp.rows as u64;
             }
-            capacity[idx] += (p.width() as u64) * self.partition.rows as u64;
-        }
-        // Subtract tiles lost to forbidden areas (approximation: forbidden
-        // tiles of each column type).
-        for fa in &self.partition.forbidden {
-            for col in fa.rect.columns() {
-                if let Some(ty) = self.partition.column_type(col) {
-                    let idx = ty.index();
-                    if idx < capacity.len() {
-                        capacity[idx] = capacity[idx].saturating_sub(fa.rect.h as u64);
+            // Subtract tiles lost to forbidden areas (approximation: forbidden
+            // tiles of each column type).
+            for fa in &cp.forbidden {
+                for col in fa.rect.columns() {
+                    if let Some(ty) = cp.column_type(col) {
+                        let idx = ty.index();
+                        if idx < capacity.len() {
+                            capacity[idx] = capacity[idx].saturating_sub(fa.rect.h as u64);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Heterogeneous fabric: exact per-cell counts of usable tiles.
+            for row in 1..=self.partition.rows {
+                for col in 1..=self.partition.cols {
+                    if self.partition.forbidden.iter().any(|fa| fa.covers(col, row)) {
+                        continue;
+                    }
+                    if let Some(ty) = self.partition.tile_type_at(col, row) {
+                        let idx = ty.index();
+                        if capacity.len() <= idx {
+                            capacity.resize(idx + 1, 0);
+                        }
+                        capacity[idx] += 1;
                     }
                 }
             }

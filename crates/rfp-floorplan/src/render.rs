@@ -40,18 +40,21 @@ pub fn render_ascii(problem: &FloorplanProblem, floorplan: &Floorplan) -> String
     }
 
     let mut out = String::new();
-    // Column-type ruler.
+    // Column-type ruler: the column's effective type on a columnar fabric,
+    // the top-row cell's type on an irregular one (the per-row detail is in
+    // the grid itself there).
     let _ = write!(out, "     ");
     for c in 1..=cols {
-        let ty = partition.column_type(c as u32).expect("column inside device");
-        let name = &partition.device_name;
-        let _ = name;
         let initial = {
-            // Use the first letter of the tile type id as a stable marker.
-            let t = partition.tid(partition.portion_of_col(c as u32).unwrap());
+            let t = match partition.columnar() {
+                Some(cp) => cp.portion_of_col(c as u32).map(|p| cp.tid(p)).unwrap_or(0),
+                None => partition
+                    .tile_type_at(c as u32, 1)
+                    .map(|ty| ty.index() as u32)
+                    .unwrap_or(0),
+            };
             char::from_digit(t, 36).unwrap_or('?')
         };
-        let _ = ty;
         let _ = write!(out, "{initial}");
     }
     let _ = writeln!(out, "   (column tile-type id)");

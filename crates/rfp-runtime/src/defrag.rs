@@ -35,7 +35,7 @@
 use crate::frag::frag_metrics;
 use crate::scenario::ModuleId;
 use rfp_device::compat::enumerate_free_compatible;
-use rfp_device::{ColumnarPartition, Rect};
+use rfp_device::{FabricPartition, Rect};
 use rfp_floorplan::candidates::{enumerate_candidates, CandidateConfig};
 use rfp_floorplan::RegionSpec;
 
@@ -134,14 +134,14 @@ impl Default for DefragPlanner {
 
 /// `true` when `spec` has at least one legal placement disjoint from
 /// `occupied`.
-pub fn can_place(partition: &ColumnarPartition, spec: &RegionSpec, occupied: &[Rect]) -> bool {
+pub fn can_place(partition: &FabricPartition, spec: &RegionSpec, occupied: &[Rect]) -> bool {
     find_placement(partition, spec, occupied).is_some()
 }
 
 /// The lowest-waste legal placement of `spec` disjoint from `occupied`, if
 /// any. Candidates come from the memoised enumeration of `rfp-floorplan`.
 pub fn find_placement(
-    partition: &ColumnarPartition,
+    partition: &FabricPartition,
     spec: &RegionSpec,
     occupied: &[Rect],
 ) -> Option<Rect> {
@@ -156,7 +156,7 @@ impl DefragPlanner {
     /// the caller replays the plan through its configuration-memory model.
     pub fn plan(
         &self,
-        partition: &ColumnarPartition,
+        partition: &FabricPartition,
         modules: &[LiveModule],
         goal: CompactionGoal<'_>,
     ) -> Vec<PlannedMove> {
@@ -252,7 +252,7 @@ impl DefragPlanner {
     /// bounce was planned.
     fn bounce(
         &self,
-        partition: &ColumnarPartition,
+        partition: &FabricPartition,
         modules: &[LiveModule],
         rects: &mut [Rect],
         plan: &mut Vec<PlannedMove>,
@@ -276,7 +276,7 @@ impl DefragPlanner {
 
     fn goal_met(
         &self,
-        partition: &ColumnarPartition,
+        partition: &FabricPartition,
         rects: &[Rect],
         goal: CompactionGoal<'_>,
     ) -> bool {
@@ -310,15 +310,15 @@ fn is_left_of(a: &Rect, b: &Rect) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use rfp_device::{fabric_partition, DeviceBuilder, ResourceVec};
 
     /// 12 CLB columns x 2 rows (uniform, so every same-shape area is
     /// compatible).
-    fn uniform() -> (ColumnarPartition, rfp_device::TileTypeId) {
+    fn uniform() -> (FabricPartition, rfp_device::TileTypeId) {
         let mut b = DeviceBuilder::new("defrag-uniform");
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
         b.rows(2).repeat_column(clb, 12);
-        (columnar_partition(&b.build().unwrap()).unwrap(), clb)
+        (fabric_partition(&b.build().unwrap()).unwrap(), clb)
     }
 
     fn live(id: ModuleId, spec: RegionSpec, rect: Rect, frames: u64) -> LiveModule {
@@ -376,7 +376,7 @@ mod tests {
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
         let bram = b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30);
         b.rows(1).columns(&[clb, clb, bram, clb, clb, bram, clb, clb]);
-        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        let p = fabric_partition(&b.build().unwrap()).unwrap();
         let spec = RegionSpec::new("m", vec![(clb, 1), (bram, 1)]);
         let m = live(0, spec, Rect::new(5, 1, 2, 1), 66);
         let planner = DefragPlanner::default();
@@ -466,7 +466,7 @@ mod tests {
     /// module, then returns it.
     fn plan_and_check(
         planner: &DefragPlanner,
-        p: &ColumnarPartition,
+        p: &FabricPartition,
         modules: &[LiveModule],
         goal: CompactionGoal<'_>,
     ) -> Vec<PlannedMove> {

@@ -8,7 +8,7 @@
 //! `1 - largest_free_rect_tiles / free_tiles` — `0.0` when all free space is
 //! one rectangle, approaching `1.0` as the free space shatters.
 
-use rfp_device::{ColumnarPartition, Rect};
+use rfp_device::{FabricPartition, Rect};
 
 /// Fragmentation state of a placement at one instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,7 +27,7 @@ pub struct FragMetrics {
 /// `occupied` are the rectangles of the running modules; forbidden areas of
 /// the partition are never free. Runs one largest-rectangle-in-histogram
 /// sweep over the tile grid — O(cols × rows).
-pub fn frag_metrics(partition: &ColumnarPartition, occupied: &[Rect]) -> FragMetrics {
+pub fn frag_metrics(partition: &FabricPartition, occupied: &[Rect]) -> FragMetrics {
     let cols = partition.cols as usize;
     let rows = partition.rows as usize;
     // free[r][c], 0-based. `Rect` coordinates (and therefore `cells()`) are
@@ -94,13 +94,13 @@ fn largest_in_histogram(heights: &[u64]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use rfp_device::{fabric_partition, DeviceBuilder, ResourceVec};
 
-    fn partition(cols: u32, rows: u32) -> ColumnarPartition {
+    fn partition(cols: u32, rows: u32) -> FabricPartition {
         let mut b = DeviceBuilder::new("frag");
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
         b.rows(rows).repeat_column(clb, cols);
-        columnar_partition(&b.build().unwrap()).unwrap()
+        fabric_partition(&b.build().unwrap()).unwrap()
     }
 
     #[test]
@@ -173,7 +173,7 @@ mod tests {
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
         b.rows(3).repeat_column(clb, 4);
         b.forbidden("blk", Rect::new(2, 1, 1, 2));
-        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        let p = fabric_partition(&b.build().unwrap()).unwrap();
         let m = frag_metrics(&p, &[]);
         assert_eq!(m.free_tiles, 10);
         assert_eq!(m.largest_free_rect, 6); // columns 3-4 x all 3 rows

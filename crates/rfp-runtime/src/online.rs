@@ -48,7 +48,7 @@ use crate::report::{EventRecord, SimReport};
 use crate::scenario::{EventKind, ModuleId, Scenario};
 use crate::scheduler::MoveScheduler;
 use rfp_bitstream::{Bitstream, ConfigMemory, MoveKind};
-use rfp_device::{ColumnarPartition, Rect};
+use rfp_device::{FabricPartition, Rect};
 use rfp_floorplan::engine::{
     adapt_floorplan, EngineRegistry, SolveControl, SolveDispatcher, SolveRequest,
 };
@@ -140,7 +140,7 @@ struct Traffic {
 
 /// The online floorplanner state machine.
 pub struct OnlineFloorplanner {
-    partition: ColumnarPartition,
+    partition: FabricPartition,
     config: OnlineConfig,
     dispatcher: Arc<dyn SolveDispatcher>,
     scheduler: MoveScheduler,
@@ -156,7 +156,7 @@ pub struct OnlineFloorplanner {
 impl OnlineFloorplanner {
     /// Creates an empty online floorplanner on a device.
     pub fn new(
-        partition: ColumnarPartition,
+        partition: FabricPartition,
         registry: EngineRegistry,
         config: OnlineConfig,
     ) -> Self {
@@ -167,7 +167,7 @@ impl OnlineFloorplanner {
     /// arbitrary [`SolveDispatcher`] — a bare [`EngineRegistry`], or a
     /// queue-worker solve service with its outcome cache.
     pub fn with_dispatcher(
-        partition: ColumnarPartition,
+        partition: FabricPartition,
         dispatcher: Arc<dyn SolveDispatcher>,
         config: OnlineConfig,
     ) -> Self {
@@ -818,7 +818,7 @@ pub fn simulate_with_dispatcher(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use rfp_device::{fabric_partition, DeviceBuilder, ResourceVec};
     use rfp_floorplan::RegionSpec;
 
     /// 12 CLB columns x 2 rows.
@@ -826,7 +826,7 @@ mod tests {
         let mut b = DeviceBuilder::new("online-uniform");
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
         b.rows(2).repeat_column(clb, 12);
-        let p = columnar_partition(&b.build().unwrap()).unwrap();
+        let p = fabric_partition(&b.build().unwrap()).unwrap();
         (Scenario::new("uniform", p), clb)
     }
 

@@ -25,10 +25,10 @@
 //! }
 //! ```
 
-use rfp_device::ColumnarPartition;
+use rfp_device::FabricPartition;
 use rfp_floorplan::binio::{
-    read_device_bin, read_region_bin, write_device_bin, write_region_bin, BinError, BinKind,
-    BinReader, BinWriter,
+    bin_version_for, read_device_bin, read_region_bin, write_device_bin, write_region_bin,
+    BinError, BinKind, BinReader, BinWriter,
 };
 use rfp_floorplan::jsonio::{
     escape, parse, read_device, read_region, DeviceSection, JsonError, JsonValue,
@@ -39,6 +39,10 @@ use rfp_floorplan::RegionSpec;
 pub const SCENARIO_FORMAT: &str = "rfp-scenario";
 /// Current schema version of the scenario format.
 pub const SCENARIO_VERSION: u64 = 1;
+/// Schema version of scenarios on heterogeneous fabrics (per-cell device
+/// grid and/or die boundaries). Legacy columnar scenarios keep writing
+/// version 1 byte-for-byte.
+pub const SCENARIO_VERSION_V2: u64 = 2;
 
 /// Index of a module instance inside a [`Scenario`].
 pub type ModuleId = usize;
@@ -69,8 +73,9 @@ pub struct Event {
 pub struct Scenario {
     /// Scenario name (used in reports and artifact files).
     pub name: String,
-    /// The columnar-partitioned device the stream runs on.
-    pub partition: ColumnarPartition,
+    /// The tile fabric the stream runs on (columnar devices are the special
+    /// case with a columnar view).
+    pub partition: FabricPartition,
     /// The module-instance catalogue; events reference entries by index.
     pub modules: Vec<RegionSpec>,
     /// The event stream, in time order.
@@ -79,8 +84,8 @@ pub struct Scenario {
 
 impl Scenario {
     /// Creates an empty scenario on a device.
-    pub fn new(name: impl Into<String>, partition: ColumnarPartition) -> Self {
-        Scenario { name: name.into(), partition, modules: Vec::new(), events: Vec::new() }
+    pub fn new(name: impl Into<String>, partition: impl Into<FabricPartition>) -> Self {
+        Scenario { name: name.into(), partition: partition.into(), modules: Vec::new(), events: Vec::new() }
     }
 
     /// Adds a module instance to the catalogue and returns its id.
@@ -152,10 +157,15 @@ impl Scenario {
 /// trailing newline — usable as a golden file).
 pub fn write_scenario(scenario: &Scenario) -> String {
     let section = DeviceSection::new(&scenario.partition, &scenario.modules);
+    let version = if scenario.partition.is_columnar_legacy() {
+        SCENARIO_VERSION
+    } else {
+        SCENARIO_VERSION_V2
+    };
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"format\": \"{SCENARIO_FORMAT}\",\n"));
-    out.push_str(&format!("  \"version\": {SCENARIO_VERSION},\n"));
+    out.push_str(&format!("  \"version\": {version},\n"));
     out.push_str(&format!("  \"name\": \"{}\",\n", escape(&scenario.name)));
     out.push_str(&section.write_device(&scenario.partition));
     out.push_str(",\n");
@@ -203,10 +213,10 @@ pub fn read_scenario(input: &str) -> Result<Scenario, JsonError> {
         return Err(JsonError(format!("expected format `{SCENARIO_FORMAT}`, found `{tag}`")));
     }
     let version = doc.field("version")?.as_u64()?;
-    if version != SCENARIO_VERSION {
+    if version != SCENARIO_VERSION && version != SCENARIO_VERSION_V2 {
         return Err(JsonError(format!(
-            "unsupported {SCENARIO_FORMAT} version {version} (this build reads version \
-             {SCENARIO_VERSION})"
+            "unsupported {SCENARIO_FORMAT} version {version} (this build reads versions \
+             {SCENARIO_VERSION} and {SCENARIO_VERSION_V2})"
         )));
     }
     let name = doc.field("name")?.as_str()?.to_string();
@@ -242,7 +252,7 @@ pub fn read_scenario(input: &str) -> Result<Scenario, JsonError> {
 /// without paying JSON parse costs.
 pub fn write_scenario_bin(scenario: &Scenario) -> Vec<u8> {
     let section = DeviceSection::new(&scenario.partition, &scenario.modules);
-    let mut w = BinWriter::new(BinKind::Scenario);
+    let mut w = BinWriter::with_version(BinKind::Scenario, bin_version_for(&scenario.partition));
     w.str(&scenario.name);
     write_device_bin(&mut w, &scenario.partition, &section);
     w.len(scenario.modules.len());

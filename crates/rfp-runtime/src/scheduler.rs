@@ -22,7 +22,8 @@
 use crate::defrag::DefragPolicy;
 use crate::scenario::ModuleId;
 use rfp_bitstream::{relocate_or_regenerate, Bitstream, ConfigMemory, MoveKind};
-use rfp_device::{ColumnarPartition, Rect};
+use rfp_device::compat::{fabric_compatible, CompatReport};
+use rfp_device::{FabricPartition, Rect};
 
 /// How the scheduler executes planned moves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +76,7 @@ impl MoveScheduler {
     /// On error the configuration memory is left exactly as it was.
     pub fn execute(
         &self,
-        partition: &ColumnarPartition,
+        partition: &FabricPartition,
         memory: &mut ConfigMemory,
         module: ModuleId,
         bitstream: &Bitstream,
@@ -83,6 +84,16 @@ impl MoveScheduler {
     ) -> Result<ExecutedMove, String> {
         let (moved, kind) = relocate_or_regenerate(partition, bitstream, to, module as u64)
             .map_err(|e| format!("move of module {module} failed: {e}"))?;
+        if kind == MoveKind::Resynthesized
+            && fabric_compatible(partition, &bitstream.area, &to)
+                == CompatReport::CrossesDieBoundary
+        {
+            // The move was refused relocation *specifically* because it spans
+            // a die boundary — the expensive regeneration path the hetero
+            // fabric model introduces. Counted so sweeps and the smoke job
+            // can observe it.
+            rfp_trace::count("runtime.die_crossing_rejections", 1);
+        }
         let frames = moved.n_frames() as u64;
         let instance = format!("m{module}");
         if self.no_break && !to.overlaps(&bitstream.area) {
@@ -115,13 +126,13 @@ impl MoveScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+    use rfp_device::{fabric_partition, DeviceBuilder, ResourceVec};
 
-    fn uniform() -> ColumnarPartition {
+    fn uniform() -> FabricPartition {
         let mut b = DeviceBuilder::new("scheduler-uniform");
         let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
         b.rows(2).repeat_column(clb, 12);
-        columnar_partition(&b.build().unwrap()).unwrap()
+        fabric_partition(&b.build().unwrap()).unwrap()
     }
 
     #[test]

@@ -55,6 +55,7 @@ impl SolveDispatcher for SolveService {
             // control cancels the job whether queued or running.
             cancel: Some(ctl.cancel.clone()),
             use_cache: true,
+            trace: false,
         };
         let id = self.submit(spec);
         self.join(id).expect("submitted ids are joinable").outcome

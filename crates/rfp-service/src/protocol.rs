@@ -5,7 +5,7 @@
 //!
 //! | verb | fields | effect |
 //! |------|--------|--------|
-//! | `submit` | `id` (string, unique), `problem` (embedded `rfp-problem` v1), optional `priority` (int), `engine` (string) *or* `portfolio` (array of engine ids, `[]` = all), `time_limit` (secs), `node_limit`, `threads` (worker threads for parallel-capable engines, 0 = engine default), `queue_budget_ms`, `cache` (bool) | queue a job |
+//! | `submit` | `id` (string, unique), `problem` (embedded `rfp-problem` v1), optional `priority` (int), `engine` (string) *or* `portfolio` (array of engine ids, `[]` = all), `time_limit` (secs), `node_limit`, `threads` (worker threads for parallel-capable engines, 0 = engine default), `queue_budget_ms`, `cache` (bool), `trace` (bool: collect a per-job `rfp-trace` v1 document, returned escaped on the job's `done` line) | queue a job |
 //! | `status` | `id` | report `queued` / `running` / `done` (done jobs add outcome status, cache disposition and effective thread count) |
 //! | `status` | — (no `id`) | service-wide snapshot: submitted/queued job counts and the full cache statistics (hits, near hits, misses, evictions, resident entries and cost-weight mass) |
 //! | `cancel` | `id` | cancel a queued or running job |
@@ -333,6 +333,9 @@ fn parse_submit(doc: &JsonValue, service: &SolveService) -> Result<JobSpec, Stri
     if let Some(v) = doc.get("cache") {
         spec.use_cache = v.as_bool().map_err(|e| e.to_string())?;
     }
+    if let Some(v) = doc.get("trace") {
+        spec.trace = v.as_bool().map_err(|e| e.to_string())?;
+    }
     match (doc.get("engine"), doc.get("portfolio")) {
         (Some(_), Some(_)) => return Err("`engine` and `portfolio` are exclusive".to_string()),
         (Some(v), None) => {
@@ -396,6 +399,13 @@ fn done_line(name: &str, result: &crate::service::JobResult) -> String {
     }
     if let Some(detail) = &result.outcome.detail {
         out.push_str(&format!(",\"detail\":\"{}\"", jsonio::escape(detail)));
+    }
+    if let Some(trace) = &result.trace {
+        // The `rfp-trace` v1 document is pretty-printed (multi-line), so it
+        // rides the single-line NDJSON response as an escaped JSON string;
+        // consumers unescape and feed it to `rfp trace summarize` or the
+        // `rfp-trace` reader.
+        out.push_str(&format!(",\"trace\":\"{}\"", jsonio::escape(trace)));
     }
     out.push('}');
     out

@@ -69,6 +69,11 @@ pub struct JobSpec {
     pub cancel: Option<CancelToken>,
     /// Per-job cache opt-out (e.g. benchmark cold runs).
     pub use_cache: bool,
+    /// Collect a per-job trace document. The job's emissions are routed to a
+    /// private deterministic collector (instead of the session collector of
+    /// [`ServiceConfig::trace`], if any) and the drained `rfp-trace` v1
+    /// document is returned on [`JobResult::trace`].
+    pub trace: bool,
 }
 
 impl JobSpec {
@@ -81,7 +86,14 @@ impl JobSpec {
             queue_budget: None,
             cancel: None,
             use_cache: true,
+            trace: false,
         }
+    }
+
+    /// Requests a per-job trace document (see [`JobSpec::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Sets the dispatch priority.
@@ -142,6 +154,9 @@ pub struct JobResult {
     pub engine: String,
     /// Full per-engine entries when the job raced a portfolio.
     pub race: Option<RaceOutcome>,
+    /// The job's deterministic `rfp-trace` v1 document, present iff the job
+    /// was submitted with [`JobSpec::trace`].
+    pub trace: Option<String>,
 }
 
 /// Coarse job state for status polling.
@@ -438,6 +453,7 @@ fn queue_result(detail: &str) -> JobResult {
         cache: CacheDisposition::Off,
         engine: "queue".to_string(),
         race: None,
+        trace: None,
     }
 }
 
@@ -488,14 +504,24 @@ fn worker_loop(shared: &Shared, worker: usize) {
 
         // Each job records onto its own `job#####` track (job ids are
         // service-unique, so concurrent workers never share a track), with
-        // queue-wait and per-worker busy time kept out-of-band.
-        let job_scope = shared.config.trace.as_ref().map(|h| h.install(&format!("job{id:05}")));
+        // queue-wait and per-worker busy time kept out-of-band. A job
+        // submitted with `JobSpec::trace` gets a private deterministic
+        // collector instead (innermost scope wins), and its drained document
+        // rides back on the result.
+        let tracer = spec.trace.then(rfp_trace::Collector::new);
+        let job_scope = match &tracer {
+            Some(collector) => Some(collector.install(&format!("job{id:05}"))),
+            None => shared.config.trace.as_ref().map(|h| h.install(&format!("job{id:05}"))),
+        };
         rfp_trace::count("service.jobs", 1);
         rfp_trace::wall("service.queue_wait", queued_for.as_secs_f64());
         let started = Instant::now();
-        let result = run_job(shared, spec, cancel, &fingerprint);
+        let mut result = run_job(shared, spec, cancel, &fingerprint);
         rfp_trace::wall(&format!("service.worker{worker}.busy"), started.elapsed().as_secs_f64());
         drop(job_scope);
+        if let Some(collector) = tracer {
+            result.trace = Some(collector.drain().to_json());
+        }
 
         let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
         complete(shared, &mut jobs, id, result);
@@ -523,6 +549,7 @@ fn run_job(
                 cache: CacheDisposition::Off,
                 engine: id.to_string(),
                 race: None,
+                trace: None,
             };
         }
     }
@@ -548,6 +575,7 @@ fn run_job(
                         cache: CacheDisposition::Hit,
                         engine: "cache".to_string(),
                         race: None,
+                        trace: None,
                     };
                 }
                 // Unproven cached answer: re-solve, warm-started from it.
@@ -574,7 +602,7 @@ fn run_job(
         cache.insert(&problem, &outcome);
     }
 
-    JobResult { outcome, cache: cache_disposition, engine: engine_label, race }
+    JobResult { outcome, cache: cache_disposition, engine: engine_label, race, trace: None }
 }
 
 fn dispatch(

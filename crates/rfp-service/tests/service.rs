@@ -26,7 +26,7 @@ fn tiny_problem() -> FloorplanProblem {
 /// A problem near `tiny_problem`: same device, one extra region.
 fn near_problem() -> FloorplanProblem {
     let mut p = tiny_problem();
-    let clb = p.partition.portions[0].tile_type;
+    let clb = p.partition.tile_type_at(1, 1).unwrap();
     p.add_region(RegionSpec::new("C", vec![(clb, 1)]));
     p
 }

@@ -40,6 +40,38 @@ pub const GRID_FORMAT: &str = "rfp-sweep-grid";
 /// Current schema version of the sweep-grid format.
 pub const GRID_VERSION: u64 = 1;
 
+/// Device family of one device-axis point: how the tile fabric is laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceFamily {
+    /// Homogeneous columnar device (the paper's Virtex-style fabric) —
+    /// the default, and what every pre-existing grid document means.
+    #[default]
+    Columnar,
+    /// Heterogeneous fabric: BRAM columns are row-striped (no columnar
+    /// partition exists) and a die boundary splits the device at
+    /// mid-height (see [`DefragWorkloadSpec::hetero`]).
+    Hetero,
+}
+
+impl DeviceFamily {
+    /// Stable string id used in grid documents.
+    pub fn id(&self) -> &'static str {
+        match self {
+            DeviceFamily::Columnar => "columnar",
+            DeviceFamily::Hetero => "hetero",
+        }
+    }
+
+    /// Parses a stable id back into a family.
+    pub fn from_id(id: &str) -> Option<DeviceFamily> {
+        match id {
+            "columnar" => Some(DeviceFamily::Columnar),
+            "hetero" => Some(DeviceFamily::Hetero),
+            _ => None,
+        }
+    }
+}
+
 /// One point on the device axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceAxis {
@@ -49,16 +81,22 @@ pub struct DeviceAxis {
     pub rows: u32,
     /// Every `bram_every`-th column is a BRAM column (0 = all-CLB).
     pub bram_every: u32,
+    /// Fabric family of the device (columnar vs heterogeneous).
+    pub family: DeviceFamily,
 }
 
 impl DeviceAxis {
-    /// Stable label used in cell keys (`"16x3"`, `"16x3+bram4"`).
+    /// Stable label used in cell keys (`"16x3"`, `"16x3+bram4"`,
+    /// `"16x3+bram4+hetero"`).
     pub fn label(&self) -> String {
+        let mut label = format!("{}x{}", self.cols, self.rows);
         if self.bram_every > 0 {
-            format!("{}x{}+bram{}", self.cols, self.rows, self.bram_every)
-        } else {
-            format!("{}x{}", self.cols, self.rows)
+            label.push_str(&format!("+bram{}", self.bram_every));
         }
+        if self.family == DeviceFamily::Hetero {
+            label.push_str("+hetero");
+        }
+        label
     }
 
     /// Total tiles on the device.
@@ -106,8 +144,8 @@ impl SweepGrid {
         SweepGrid {
             name: "smoke".to_string(),
             devices: vec![
-                DeviceAxis { cols: 12, rows: 2, bram_every: 0 },
-                DeviceAxis { cols: 16, rows: 3, bram_every: 0 },
+                DeviceAxis { cols: 12, rows: 2, bram_every: 0, family: DeviceFamily::Columnar },
+                DeviceAxis { cols: 16, rows: 3, bram_every: 0, family: DeviceFamily::Columnar },
             ],
             // 0.75 is the highest pressure at which the no-break policy can
             // still double-buffer every move on these devices — the committed
@@ -258,6 +296,7 @@ impl TraceSpec {
             max_tiles: max_tiles.min(self.device.tiles().min(u64::from(u32::MAX)) as u32),
             mean_lifetime: self.mean_lifetime,
             checkpoint_every: self.checkpoint_every,
+            hetero: self.device.family == DeviceFamily::Hetero,
         }
     }
 }
@@ -305,9 +344,15 @@ pub fn write_grid(grid: &SweepGrid) -> String {
         if i > 0 {
             out.push(',');
         }
+        // `family` is emitted only when non-default, so every pre-existing
+        // (columnar) grid document stays byte-identical.
+        let family = match d.family {
+            DeviceFamily::Columnar => String::new(),
+            family => format!(",\"family\":\"{}\"", family.id()),
+        };
         let _ = write!(
             out,
-            "\n    {{\"cols\":{},\"rows\":{},\"bram_every\":{}}}",
+            "\n    {{\"cols\":{},\"rows\":{},\"bram_every\":{}{family}}}",
             d.cols, d.rows, d.bram_every
         );
     }
@@ -345,10 +390,21 @@ pub fn read_grid(input: &str) -> Result<SweepGrid, JsonError> {
     }
     let mut devices = Vec::new();
     for d in doc.field("devices")?.as_arr()? {
+        // `family` is optional: documents written before the device-family
+        // axis existed (and all columnar entries since) omit it.
+        let family = match d.get("family") {
+            Some(v) => {
+                let id = v.as_str()?;
+                DeviceFamily::from_id(id)
+                    .ok_or_else(|| JsonError(format!("unknown device family `{id}`")))?
+            }
+            None => DeviceFamily::Columnar,
+        };
         devices.push(DeviceAxis {
             cols: d.field("cols")?.as_u32()?,
             rows: d.field("rows")?.as_u32()?,
             bram_every: d.field("bram_every")?.as_u32()?,
+            family,
         });
     }
     let f64s = |v: &JsonValue| -> Result<Vec<f64>, JsonError> {
@@ -419,7 +475,7 @@ mod tests {
     #[test]
     fn utilisation_scales_module_sizes() {
         let base = TraceSpec {
-            device: DeviceAxis { cols: 16, rows: 3, bram_every: 0 },
+            device: DeviceAxis { cols: 16, rows: 3, bram_every: 0, family: DeviceFamily::Columnar },
             utilisation: 0.5,
             mean_lifetime: 6,
             seed: 1,
@@ -433,6 +489,35 @@ mod tests {
         assert!(u64::from(high.max_tiles) <= base.device.tiles());
         // The workload itself stays reproducible.
         assert_eq!(low.generate(), low.generate());
+    }
+
+    #[test]
+    fn hetero_device_entries_round_trip_and_label_distinctly() {
+        let mut grid = SweepGrid::smoke();
+        grid.devices
+            .push(DeviceAxis { cols: 16, rows: 4, bram_every: 4, family: DeviceFamily::Hetero });
+        let doc = write_grid(&grid);
+        assert!(doc.contains("\"family\":\"hetero\""));
+        // Columnar entries never gain the field, so pre-existing documents
+        // stay byte-identical.
+        assert_eq!(doc.matches("\"family\"").count(), 1);
+        let back = read_grid(&doc).unwrap();
+        assert_eq!(back, grid);
+        assert_eq!(write_grid(&back), doc);
+        assert_eq!(back.devices[2].label(), "16x4+bram4+hetero");
+        // The hetero flag flows into the materialised workloads.
+        let plan = back.plan();
+        let hetero_traces: Vec<_> =
+            plan.traces.iter().filter(|t| t.device.family == DeviceFamily::Hetero).collect();
+        assert!(!hetero_traces.is_empty());
+        for t in hetero_traces {
+            let w = t.workload();
+            assert!(w.hetero);
+            let scenario = w.generate();
+            assert!(!scenario.partition.is_columnar_legacy());
+        }
+        let bad = doc.replace("\"family\":\"hetero\"", "\"family\":\"psychic\"");
+        assert!(read_grid(&bad).unwrap_err().0.contains("unknown device family"));
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub mod report;
 pub mod runner;
 
 pub use grid::{
-    read_grid, write_grid, CellKey, DeviceAxis, GridPlan, RunSpec, SweepGrid, TraceSpec,
-    GRID_FORMAT, GRID_VERSION,
+    read_grid, write_grid, CellKey, DeviceAxis, DeviceFamily, GridPlan, RunSpec, SweepGrid,
+    TraceSpec, GRID_FORMAT, GRID_VERSION,
 };
 pub use report::{
     aggregate, read_sweep_report, CellStats, RunMetrics, SweepReport, SWEEP_REPORT_FORMAT,

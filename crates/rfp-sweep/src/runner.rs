@@ -179,7 +179,7 @@ pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> Result<SweepOutcom
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::DeviceAxis;
+    use crate::grid::{DeviceAxis, DeviceFamily};
     use rfp_runtime::DefragPolicy;
 
     /// A 6-run grid small enough for unit tests: one device, one
@@ -187,7 +187,12 @@ mod tests {
     fn tiny_grid() -> SweepGrid {
         SweepGrid {
             name: "tiny".to_string(),
-            devices: vec![DeviceAxis { cols: 12, rows: 2, bram_every: 0 }],
+            devices: vec![DeviceAxis {
+                cols: 12,
+                rows: 2,
+                bram_every: 0,
+                family: DeviceFamily::Columnar,
+            }],
             utilisations: vec![0.6],
             lifetimes: vec![6],
             policies: DefragPolicy::ALL.to_vec(),

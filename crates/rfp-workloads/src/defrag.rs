@@ -12,9 +12,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rfp_device::{columnar_partition, DeviceBuilder, ResourceVec};
+use rfp_device::{columnar_partition, DeviceBuilder, FabricPartition, ResourceVec, TileTypeId};
 use rfp_floorplan::RegionSpec;
 use rfp_runtime::Scenario;
+
+use crate::hetero::HeteroDeviceSpec;
 
 /// Specification of a synthetic defragmentation trace.
 ///
@@ -45,6 +47,13 @@ pub struct DefragWorkloadSpec {
     /// Insert a checkpoint every this many events (0 disables; a final
     /// checkpoint is always appended).
     pub checkpoint_every: usize,
+    /// Generate the trace on a **heterogeneous fabric** instead of the
+    /// columnar device: BRAM columns are striped (BRAM on odd rows only, so
+    /// no columnar partition exists when `bram_every > 0`) and a die
+    /// boundary splits the device at mid-height, making tall relocations
+    /// fall back to regeneration. `false` keeps the original columnar
+    /// device byte-for-byte.
+    pub hetero: bool,
 }
 
 impl Default for DefragWorkloadSpec {
@@ -59,6 +68,7 @@ impl Default for DefragWorkloadSpec {
             max_tiles: 9,
             mean_lifetime: 6,
             checkpoint_every: 6,
+            hetero: false,
         }
     }
 }
@@ -82,6 +92,49 @@ impl DefragWorkloadSpec {
             max_tiles: 10,
             mean_lifetime: 10,
             checkpoint_every: 6,
+            hetero: false,
+        }
+    }
+
+    /// The device partition this spec generates its trace on, plus the CLB
+    /// and (optional) BRAM tile-type ids of its registry.
+    fn device_partition(&self) -> (FabricPartition, TileTypeId, Option<TileTypeId>) {
+        if self.hetero {
+            let spec = HeteroDeviceSpec {
+                cols: self.cols,
+                rows: self.rows,
+                bram_every: self.bram_every,
+                bram_stripe: 1,
+                hard_block: None,
+                die_boundaries: if self.rows >= 2 { vec![self.rows / 2] } else { vec![] },
+            };
+            let partition = spec.partition();
+            let mut clb = None;
+            let mut bram = None;
+            for &ty in partition.cell_types() {
+                match partition.frames_per_tile(ty) {
+                    36 => clb = Some(ty),
+                    30 => bram = Some(ty),
+                    _ => {}
+                }
+            }
+            (partition, clb.expect("hetero devices always have CLB cells"), bram)
+        } else {
+            let mut b = DeviceBuilder::new(format!("defrag-{}x{}", self.cols, self.rows));
+            let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
+            let bram =
+                (self.bram_every > 0).then(|| b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30));
+            b.rows(self.rows);
+            for c in 1..=self.cols {
+                match bram {
+                    Some(bram) if c % self.bram_every == 0 => b.column(bram),
+                    _ => b.column(clb),
+                };
+            }
+            let device = b.build().expect("defrag workload device must build");
+            let partition =
+                columnar_partition(&device).expect("single-type columns are columnar");
+            (partition.into(), clb, bram)
         }
     }
 
@@ -94,19 +147,7 @@ impl DefragWorkloadSpec {
     /// # Panics
     /// Panics if the device dimensions are degenerate (zero columns/rows).
     pub fn generate(&self) -> Scenario {
-        let mut b = DeviceBuilder::new(format!("defrag-{}x{}", self.cols, self.rows));
-        let clb = b.tile_type("CLB", ResourceVec::new(1, 0, 0), 36);
-        let bram =
-            (self.bram_every > 0).then(|| b.tile_type("BRAM", ResourceVec::new(0, 1, 0), 30));
-        b.rows(self.rows);
-        for c in 1..=self.cols {
-            match bram {
-                Some(bram) if c % self.bram_every == 0 => b.column(bram),
-                _ => b.column(clb),
-            };
-        }
-        let device = b.build().expect("defrag workload device must build");
-        let partition = columnar_partition(&device).expect("single-type columns are columnar");
+        let (partition, clb, bram) = self.device_partition();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xDEF2A6);
 
         let mut scenario =

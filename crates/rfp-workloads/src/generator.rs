@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rfp_device::{columnar_partition, ColumnarPartition, SyntheticSpec};
+use rfp_device::{fabric_partition, FabricPartition, SyntheticSpec};
 use rfp_floorplan::{FloorplanProblem, RegionSpec, RelocationRequest};
 use serde::{Deserialize, Serialize};
 
@@ -76,25 +76,25 @@ impl WorkloadSpec {
     ///
     /// # Panics
     /// Panics if the device specification cannot be built or partitioned
-    /// (synthetic devices are columnar by construction, so this only happens
-    /// for degenerate dimensions).
+    /// (this only happens for degenerate dimensions).
     pub fn generate(&self) -> SyntheticWorkload {
         let device = self.device.build().expect("synthetic device must build");
-        let partition = columnar_partition(&device).expect("synthetic device is columnar");
+        let partition = fabric_partition(&device).expect("synthetic device partitions");
         let problem = self.generate_on(partition);
         SyntheticWorkload { problem, spec: self.clone() }
     }
 
     /// Generates the workload on an existing partition (used to sweep
-    /// workload parameters on a fixed device).
-    pub fn generate_on(&self, partition: ColumnarPartition) -> FloorplanProblem {
+    /// workload parameters on a fixed device). The partition may be any
+    /// fabric — columnar or heterogeneous.
+    pub fn generate_on(&self, partition: impl Into<FabricPartition>) -> FloorplanProblem {
+        let partition = partition.into();
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Identify tile types by frame weight, as in the SDR builder.
         let mut clb = None;
         let mut bram = None;
         let mut dsp = None;
-        for portion in &partition.portions {
-            let ty = portion.tile_type;
+        for &ty in partition.cell_types() {
             match partition.frames_per_tile(ty) {
                 36 => clb = Some(ty),
                 30 => bram = Some(ty),

@@ -10,7 +10,7 @@ use relocfp::prelude::*;
 
 fn main() {
     let device = xc5vfx70t();
-    let partition = columnar_partition(&device).expect("FX70T is columnar");
+    let partition = fabric_partition(&device).expect("device model is consistent");
 
     // A module occupying 3 CLB columns + the first BRAM column, 2 rows high.
     let source = Rect::new(1, 1, 4, 2);

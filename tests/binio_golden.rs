@@ -29,7 +29,10 @@ fn golden_bytes(name: &str) -> Vec<u8> {
         .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()))
 }
 
-const PROBLEM_GOLDENS: [&str; 4] = ["sdr.problem", "sdr2.problem", "sdr3.problem", "tiny.problem"];
+const PROBLEM_GOLDENS: [&str; 5] =
+    ["sdr.problem", "sdr2.problem", "sdr3.problem", "tiny.problem", "hetero.problem"];
+
+const SCENARIO_GOLDENS: [&str; 2] = ["smoke.scenario", "hetero.scenario"];
 
 /// The binary twin of every JSON golden, encoded from the JSON decode.
 fn expected_twins() -> Vec<(String, Vec<u8>)> {
@@ -39,9 +42,11 @@ fn expected_twins() -> Vec<(String, Vec<u8>)> {
             .unwrap_or_else(|e| panic!("{stem}.json: {e}"));
         twins.push((format!("{stem}.rfpb"), binio::write_problem_bin(&problem)));
     }
-    let scenario = read_scenario(&golden_text("smoke.scenario.json"))
-        .unwrap_or_else(|e| panic!("smoke.scenario.json: {e}"));
-    twins.push(("smoke.scenario.rfpb".to_string(), write_scenario_bin(&scenario)));
+    for stem in SCENARIO_GOLDENS {
+        let scenario = read_scenario(&golden_text(&format!("{stem}.json")))
+            .unwrap_or_else(|e| panic!("{stem}.json: {e}"));
+        twins.push((format!("{stem}.rfpb"), write_scenario_bin(&scenario)));
+    }
     twins
 }
 
@@ -70,11 +75,15 @@ fn binary_and_json_goldens_decode_to_the_same_documents() {
         // A bin -> json transcode reproduces the JSON golden byte-for-byte.
         assert_eq!(jsonio::write_problem(&from_bin), json, "{stem}: transcode drifts");
     }
-    let bytes = golden_bytes("smoke.scenario.rfpb");
-    assert_eq!(binio::detect_kind(&bytes).unwrap(), binio::BinKind::Scenario);
-    let from_bin = read_scenario_bin(&bytes).expect("golden scenario decodes");
-    let from_json = read_scenario(&golden_text("smoke.scenario.json")).expect("json decodes");
-    assert_eq!(from_bin, from_json);
+    for stem in SCENARIO_GOLDENS {
+        let bytes = golden_bytes(&format!("{stem}.rfpb"));
+        assert_eq!(binio::detect_kind(&bytes).unwrap(), binio::BinKind::Scenario, "{stem}");
+        let from_bin =
+            read_scenario_bin(&bytes).unwrap_or_else(|e| panic!("{stem}.rfpb: {e}"));
+        let from_json = read_scenario(&golden_text(&format!("{stem}.json")))
+            .unwrap_or_else(|e| panic!("{stem}.json: {e}"));
+        assert_eq!(from_bin, from_json, "{stem}: the two serialisations disagree");
+    }
 }
 
 #[test]

@@ -2,13 +2,13 @@
 
 use proptest::prelude::*;
 use relocfp::prelude::*;
-use rfp_device::compat::{columnar_compatible, enumerate_free_compatible};
-use rfp_device::{ColumnarPartition, SyntheticSpec};
+use rfp_device::compat::{columnar_compatible, enumerate_free_compatible, fabric_compatible};
+use rfp_device::SyntheticSpec;
 use rfp_floorplan::candidates::{enumerate_candidates, CandidateConfig};
 use rfp_floorplan::combinatorial::{solve_combinatorial, CombinatorialConfig};
 use rfp_workloads::generator::WorkloadSpec;
 
-fn partition(cols: u32, rows: u32) -> ColumnarPartition {
+fn partition(cols: u32, rows: u32) -> FabricPartition {
     let spec = SyntheticSpec {
         name: "prop".into(),
         cols,
@@ -17,7 +17,7 @@ fn partition(cols: u32, rows: u32) -> ColumnarPartition {
         dsp_every: 7,
         hard_block: None,
     };
-    columnar_partition(&spec.build().unwrap()).unwrap()
+    fabric_partition(&spec.build().unwrap()).unwrap()
 }
 
 fn arb_rect(cols: u32, rows: u32) -> impl Strategy<Value = Rect> {
@@ -37,10 +37,17 @@ proptest! {
         b in arb_rect(16, 5),
     ) {
         let p = partition(16, 5);
-        prop_assert!(columnar_compatible(&p, &a, &a).is_compatible());
+        prop_assert!(fabric_compatible(&p, &a, &a).is_compatible());
         prop_assert_eq!(
-            columnar_compatible(&p, &a, &b).is_compatible(),
-            columnar_compatible(&p, &b, &a).is_compatible()
+            fabric_compatible(&p, &a, &b).is_compatible(),
+            fabric_compatible(&p, &b, &a).is_compatible()
+        );
+        // On a boundary-free columnar fabric the fast path and the legacy
+        // columnar predicate must agree bit-for-bit.
+        let cp = p.columnar().expect("synthetic fabrics are columnar");
+        prop_assert_eq!(
+            fabric_compatible(&p, &a, &b).is_compatible(),
+            columnar_compatible(cp, &a, &b).is_compatible()
         );
     }
 
@@ -54,7 +61,7 @@ proptest! {
     ) {
         let p = partition(16, 5);
         let bs = Bitstream::generate(&p, "m", source, seed).unwrap();
-        let compatible = columnar_compatible(&p, &source, &target).is_compatible();
+        let compatible = fabric_compatible(&p, &source, &target).is_compatible();
         match relocate(&p, &bs, target) {
             Ok(moved) => {
                 prop_assert!(compatible);
@@ -78,7 +85,7 @@ proptest! {
         let p = partition(16, 5);
         let occupied = vec![source, blocker];
         for cand in enumerate_free_compatible(&p, &source, &occupied) {
-            prop_assert!(columnar_compatible(&p, &source, &cand).is_compatible());
+            prop_assert!(fabric_compatible(&p, &source, &cand).is_compatible());
             prop_assert!(!cand.overlaps(&source));
             prop_assert!(!cand.overlaps(&blocker));
         }
@@ -93,8 +100,9 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let p = partition(14, 4);
-        let clb = p.portions.iter().find(|q| p.frames_per_tile(q.tile_type) == 36).unwrap().tile_type;
-        let bram = p.portions.iter().find(|q| p.frames_per_tile(q.tile_type) == 30).unwrap().tile_type;
+        let cp = p.columnar().expect("synthetic fabrics are columnar");
+        let clb = cp.portions.iter().find(|q| p.frames_per_tile(q.tile_type) == 36).unwrap().tile_type;
+        let bram = cp.portions.iter().find(|q| p.frames_per_tile(q.tile_type) == 30).unwrap().tile_type;
         let spec = RegionSpec::new(format!("r{seed}"), vec![(clb, clb_req), (bram, bram_req)]);
         let required = spec.required_frames(&p);
         for cand in enumerate_candidates(&p, &spec, &CandidateConfig::default()) {
@@ -178,7 +186,7 @@ proptest! {
             let mut b = rfp_device::DeviceBuilder::new("frag-prop");
             let clb = b.tile_type("CLB", rfp_device::ResourceVec::new(1, 0, 0), 36);
             b.rows(rows).repeat_column(clb, cols);
-            columnar_partition(&b.build().unwrap()).unwrap()
+            fabric_partition(&b.build().unwrap()).unwrap()
         };
         // Clamp the generated rectangles into the grid (occupied modules may
         // touch any border, including column 1 and the last row).
@@ -268,7 +276,7 @@ proptest! {
                 mutated.regions[0] = RegionSpec::new(name, req);
             }
             1 => {
-                let ty = mutated.partition.portions[0].tile_type;
+                let ty = mutated.partition.tile_type_at(1, 1).unwrap();
                 mutated.add_region(RegionSpec::new("extra", vec![(ty, 1)]));
             }
             2 => mutated.weights.wirelength += 1.0,

@@ -47,6 +47,37 @@ fn the_second_identical_job_is_a_cache_hit() {
 }
 
 #[test]
+fn a_traced_submit_returns_the_job_trace_on_its_done_line() {
+    // `"trace": true` routes the job's emissions into a private deterministic
+    // collector and embeds the drained document (escaped) on the done line.
+    let jobs = golden("serve.jobs.jsonl");
+    let traced = jobs.replacen("\"verb\":\"submit\"", "\"verb\":\"submit\",\"trace\":true", 1);
+    assert_ne!(traced, jobs, "golden stream has no submit to trace");
+    let config = ServeConfig { workers: 1, deferred: true, ..ServeConfig::default() };
+    let (responses, _) = run_stream(&traced, &config);
+    let done = responses
+        .lines()
+        .find(|l| l.contains("\"verb\":\"done\"") && l.contains("\"trace\":\""))
+        .expect("the traced job's done line carries a trace field");
+    // The embedded document is the rfp-trace format, NDJSON-safe on one line.
+    assert!(done.contains("rfp-trace"), "not a trace document: {done}");
+    assert!(!done.contains('\n'), "done line is not single-line");
+    // Exactly one job was traced; the rest are unchanged.
+    assert_eq!(responses.matches("\"trace\":\"").count(), 1);
+}
+
+#[test]
+fn untraced_streams_are_byte_identical_to_the_golden_responses() {
+    // The `trace` field defaults to off, so its introduction must not move a
+    // single byte of the committed golden stream.
+    let jobs = golden("serve.jobs.jsonl");
+    let config = ServeConfig { workers: 1, deferred: true, ..ServeConfig::default() };
+    let (responses, _) = run_stream(&jobs, &config);
+    assert!(!responses.contains("\"trace\":"), "untraced job leaked a trace field");
+    assert_eq!(responses, golden("serve.golden.jsonl"));
+}
+
+#[test]
 fn disabling_the_cache_solves_every_job_cold() {
     let jobs = golden("serve.jobs.jsonl");
     let config = ServeConfig { workers: 1, deferred: true, cache: false, ..ServeConfig::default() };
